@@ -1,0 +1,178 @@
+package teechain
+
+// One benchmark per table and figure of the paper's evaluation (§7).
+// Each runs the corresponding experiment in the discrete-event
+// simulator and reports the *simulated* metrics via b.ReportMetric —
+// wall-clock ns/op measures only how fast the simulator itself runs.
+// cmd/teechain-bench regenerates the full-size tables; the benchmarks
+// use measurement slices sized for iteration.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"teechain/internal/costmodel"
+	"teechain/internal/harness"
+)
+
+// BenchmarkTable1 reproduces Table 1: single-channel throughput and
+// latency across the fault-tolerance spectrum.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := metricName(r.Name)
+			b.ReportMetric(r.Throughput, name+"_tx/s")
+			b.ReportMetric(float64(r.AvgLatency)/1e6, name+"_ms")
+		}
+	}
+}
+
+// BenchmarkTable2 reproduces Table 2: channel operation latencies.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Local)/1e6, metricName(r.Operation)+"_ms")
+		}
+	}
+}
+
+// BenchmarkFigure4 reproduces Fig. 4: multi-hop latency versus hops
+// (2..11) per fault-tolerance configuration, plus §7.3 throughput.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunFigure4(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Hops == 2 || p.Hops == 11 {
+				name := metricName(string(p.Config))
+				b.ReportMetric(p.Latency.Seconds(), name+"_"+itoa(p.Hops)+"hop_s")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 reproduces Fig. 6: complete-graph throughput
+// scaling, n = 1..3 committee members.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunFigure6([]int{5, 15, 30}, []int{1, 2, 3}, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.Throughput, "m"+itoa(p.Machines)+"_n"+itoa(p.Committee)+"_tx/s")
+		}
+	}
+}
+
+// BenchmarkTable3 reproduces Table 3: hub-and-spoke throughput with
+// shortest-path and dynamic routing.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable3(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := metricName(r.Approach)
+			b.ReportMetric(r.Throughput, name+"_tx/s")
+			b.ReportMetric(r.AvgHops, name+"_hops")
+		}
+	}
+}
+
+// BenchmarkFigure7 reproduces Fig. 7: hub-and-spoke throughput with G
+// temporary channels on tier-1/2 edges.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.RunFigure7([]int{0, 2}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.Throughput, "G"+itoa(p.TempChannels)+"_n"+itoa(p.Committee)+"_tx/s")
+		}
+	}
+}
+
+// BenchmarkTable4 evaluates the analytic blockchain-cost models of
+// Table 4 (LN, DMC, SFMC, Teechain).
+func BenchmarkTable4(b *testing.B) {
+	var rows []costmodel.Row
+	for i := 0; i < b.N; i++ {
+		rows = costmodel.Table4(1, 4, 8, 2, 2, 3)
+	}
+	for _, r := range rows {
+		name := metricName(r.Scheme)
+		b.ReportMetric(r.Bilateral.Units, name+"_bilat_cost")
+		b.ReportMetric(r.Unilateral.Units, name+"_unilat_cost")
+	}
+	cl := costmodel.DeriveClaims()
+	b.ReportMetric(cl.FewerTxsThanLNBilateral*100, "fewer_txs_vs_LN_pct")
+}
+
+// BenchmarkPaymentChannel is a microbenchmark of the core payment path
+// (wall-clock): one payment through two enclaves end to end, including
+// session freshness tokens.
+func BenchmarkPaymentChannel(b *testing.B) {
+	net, err := NewNetwork()
+	if err != nil {
+		b.Fatal(err)
+	}
+	alice, _ := net.AddNode("alice", SiteUK, NodeOptions{})
+	bob, _ := net.AddNode("bob", SiteUK, NodeOptions{})
+	ch, err := net.OpenChannel(alice, bob, Amount(b.N)+1_000_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	acked := 0
+	for i := 0; i < b.N; i++ {
+		if err := alice.Pay(ch, 1, func(bool, time.Duration, string) { acked++ }); err != nil {
+			b.Fatal(err)
+		}
+		net.Run()
+	}
+	if acked != b.N {
+		b.Fatalf("acked %d of %d", acked, b.N)
+	}
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '-' || r == '/':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,107 @@
+// teechain-attack demonstrates the transaction-delay attack of §2.2
+// against both systems: it steals funds from a Lightning channel and
+// fails against Teechain. A compact CLI wrapper over the same scenario
+// as examples/async-attack; run with -tau to vary the Lightning dispute
+// window and watch the safety/liveness trade-off Teechain eliminates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"teechain"
+	"teechain/internal/chain"
+	"teechain/internal/lightning"
+)
+
+func main() {
+	tau := flag.Uint64("tau", 6, "Lightning dispute window in blocks")
+	delay := flag.Uint64("delay", 8, "blocks the attacker can delay the victim's transactions")
+	flag.Parse()
+
+	fmt.Printf("adversary capability: delay victim transactions for %d blocks\n", *delay)
+	fmt.Printf("Lightning dispute window τ = %d blocks\n\n", *tau)
+
+	stolen := lightningRun(*tau, *delay)
+	if stolen {
+		fmt.Printf("Lightning: attacker STOLE the victim's funds (delay %d > τ %d)\n", *delay, *tau)
+	} else {
+		fmt.Printf("Lightning: theft failed (delay %d <= τ %d) — but the victim's funds were locked behind a τ-block window\n", *delay, *tau)
+	}
+
+	teechainRun(*delay)
+	fmt.Println("Teechain: settlement delayed but funds never at risk — no synchrony window exists")
+}
+
+func lightningRun(tau, delay uint64) bool {
+	c := chain.New()
+	attacker, err := lightning.NewParty("attacker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := lightning.NewParty("victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	utxo, err := c.FundKey(attacker.PayoutKey(), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := lightning.OpenChannel(c, attacker, victim, utxo, 1000, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !ch.WaitOpen() {
+		c.MineBlock()
+	}
+	if err := ch.Pay(900); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ch.BroadcastCommitment(0, true); err != nil {
+		log.Fatal(err)
+	}
+	c.MineBlock()
+	j, err := ch.Justice(0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jid, _ := c.Submit(j)
+	c.Censor(jid, c.Height()+delay)
+	c.MineBlocks(int(tau))
+	if sweep, err := ch.Sweep(0, true); err == nil {
+		if _, err := c.Submit(sweep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.MineBlocks(int(delay) + 2)
+	return c.BalanceByAddress(victim.PayoutAddress()) == 0
+}
+
+func teechainRun(delay uint64) {
+	net, err := teechain.NewNetwork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, _ := net.AddNode("attacker", teechain.SiteUK, teechain.NodeOptions{})
+	victim, _ := net.AddNode("victim", teechain.SiteUS, teechain.NodeOptions{})
+	ch, err := net.OpenChannel(attacker, victim, 1000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attacker.Pay(ch, 900, nil); err != nil {
+		log.Fatal(err)
+	}
+	net.Run()
+	sr, err := victim.Settle(ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run()
+	net.Chain().Censor(sr.Txs[0].ID(), net.Chain().Height()+delay)
+	net.MineBlocks(int(delay) + 2)
+	net.Run()
+	if net.OnChainBalance(victim) != 900 {
+		log.Fatalf("teechain victim recovered %d, want 900", net.OnChainBalance(victim))
+	}
+}

@@ -1,0 +1,113 @@
+// teechain-bench regenerates every table and figure of the paper's
+// evaluation (§7) from this implementation, printing paper-style
+// output. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	teechain-bench            # run everything (several minutes)
+//	teechain-bench -run table1,fig4
+//	teechain-bench -quick     # reduced measurement lengths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+)
+
+import "teechain/internal/harness"
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,fig4,fig6,fig7")
+	quick := flag.Bool("quick", false, "reduced measurement lengths")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	if selected("table1") {
+		section("Table 1")
+		rows, err := harness.RunTable1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(harness.FormatTable1(rows))
+	}
+	if selected("table2") {
+		section("Table 2")
+		rows, err := harness.RunTable2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(harness.FormatTable2(rows))
+	}
+	if selected("fig4") {
+		section("Figure 4")
+		maxHops := 11
+		if *quick {
+			maxHops = 6
+		}
+		points, err := harness.RunFigure4(maxHops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(harness.FormatFigure4(points))
+	}
+	if selected("fig6") {
+		section("Figure 6")
+		machines := []int{5, 10, 15, 20, 25, 30}
+		perMachine := 3000
+		if *quick {
+			machines = []int{5, 10, 15}
+			perMachine = 1500
+		}
+		points, err := harness.RunFigure6(machines, []int{1, 2, 3}, perMachine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(harness.FormatFigure6(points))
+	}
+	if selected("table3") {
+		section("Table 3")
+		per := 30
+		if *quick {
+			per = 15
+		}
+		rows, err := harness.RunTable3(per)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(harness.FormatTable3(rows))
+	}
+	if selected("fig7") {
+		section("Figure 7")
+		per := 30
+		gs := []int{0, 1, 2, 4}
+		if *quick {
+			per = 15
+			gs = []int{0, 2}
+		}
+		points, err := harness.RunFigure7(gs, per)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(harness.FormatFigure7(points))
+	}
+	if selected("table4") {
+		section("Table 4")
+		fmt.Print(harness.FormatTable4())
+	}
+	fmt.Printf("\ncompleted in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Printf("\n================ %s ================\n", title)
+}

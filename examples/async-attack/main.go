@@ -1,0 +1,131 @@
+// Async-attack: the transaction-delay attack that motivates Teechain
+// (§1, §2.2). Against a Lightning channel, an attacker who can delay
+// the victim's transactions past the dispute window τ steals funds.
+// Against Teechain the same adversary gains nothing: no protocol step
+// depends on bounded blockchain write latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teechain"
+	"teechain/internal/chain"
+	"teechain/internal/lightning"
+)
+
+func main() {
+	lightningTheft()
+	fmt.Println()
+	teechainSafety()
+}
+
+// lightningTheft replays the attack against the Lightning baseline: the
+// attacker broadcasts a revoked state and censors the victim's justice
+// transaction until the dispute window closes.
+func lightningTheft() {
+	fmt.Println("=== Lightning Network under transaction delay ===")
+	c := chain.New()
+	tau := uint64(6) // dispute window in blocks
+
+	attacker, err := lightning.NewParty("attacker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := lightning.NewParty("victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	utxo, err := c.FundKey(attacker.PayoutKey(), 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := lightning.OpenChannel(c, attacker, victim, utxo, 1000, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !ch.WaitOpen() {
+		c.MineBlock()
+	}
+	if err := ch.Pay(900); err != nil { // attacker now owes victim 900
+		log.Fatal(err)
+	}
+	fmt.Println("channel state: attacker 100 / victim 900")
+
+	// Attack: broadcast the revoked state 0 (attacker 1000 / victim 0).
+	if _, err := ch.BroadcastCommitment(0, true); err != nil {
+		log.Fatal(err)
+	}
+	c.MineBlock()
+	fmt.Println("attacker broadcasts revoked state 0 (attacker 1000)")
+
+	// The victim reacts instantly with the justice transaction — but
+	// the attacker delays it (spam, fees, eclipse: §2.2's citations).
+	j, err := ch.Justice(0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jid, _ := c.Submit(j)
+	c.Censor(jid, c.Height()+tau+2)
+	fmt.Printf("victim submits justice tx %s; attacker censors it for %d blocks\n", jid, tau+2)
+
+	c.MineBlocks(int(tau))
+	sweep, err := ch.Sweep(0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Submit(sweep); err != nil {
+		log.Fatal(err)
+	}
+	c.MineBlocks(4)
+
+	fmt.Printf("result: attacker %d, victim %d — theft of 900 SUCCEEDED\n",
+		c.BalanceByAddress(attacker.PayoutAddress()),
+		c.BalanceByAddress(victim.PayoutAddress()))
+}
+
+// teechainSafety runs the same adversary against a Teechain channel:
+// censoring settlement transactions only delays availability, never
+// changes who gets what — there is exactly one valid settlement and no
+// window to race.
+func teechainSafety() {
+	fmt.Println("=== Teechain under the same adversary ===")
+	net, err := teechain.NewNetwork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, _ := net.AddNode("attacker", teechain.SiteUK, teechain.NodeOptions{})
+	victim, _ := net.AddNode("victim", teechain.SiteUS, teechain.NodeOptions{})
+	ch, err := net.OpenChannel(attacker, victim, 1000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attacker.Pay(ch, 900, nil); err != nil {
+		log.Fatal(err)
+	}
+	net.Run()
+	fmt.Println("channel state: attacker 100 / victim 900")
+
+	// The attacker's enclave cannot produce a stale settlement — the
+	// TEE signs only the current state. The strongest remaining attack
+	// is censoring the (single, correct) settlement transaction.
+	sr, err := victim.Settle(ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run()
+	txid := sr.Txs[0].ID()
+	net.Chain().Censor(txid, net.Chain().Height()+20)
+	fmt.Println("victim settles; attacker censors the settlement for 20 blocks")
+
+	net.MineBlocks(19)
+	if net.OnChainBalance(victim) != 0 {
+		log.Fatal("settlement confirmed during censorship?")
+	}
+	fmt.Println("...funds delayed but never at risk: no deadline is running...")
+	net.MineBlocks(2)
+	net.Run()
+
+	fmt.Printf("result: attacker %d, victim %d — theft IMPOSSIBLE, only delayed\n",
+		net.OnChainBalance(attacker), net.OnChainBalance(victim))
+}

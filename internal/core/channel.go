@@ -1,0 +1,466 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// This file implements the Teechain payment channel protocol (Alg. 1):
+// immediate channel creation, dynamic deposit approval, association and
+// dissociation, payments, and cooperative termination triggers.
+
+// NewDepositScript mints the script a new fund deposit must pay into:
+// a fresh 1-of-1 key without a committee, or the committee's m-of-n
+// multisignature over a fresh owner key plus each member's committee
+// key (§6.1). The host places the funding transaction on the blockchain
+// and then registers the confirmed deposit with RegisterDeposit.
+func (e *Enclave) NewDepositScript() (chain.Script, error) {
+	if e.state.Frozen {
+		return chain.Script{}, ErrFrozen
+	}
+	own, err := e.newBtcKey()
+	if err != nil {
+		return chain.Script{}, err
+	}
+	if e.repl == nil || len(e.repl.members) < 2 {
+		return chain.PayToKey(own.Public()), nil
+	}
+	if !e.repl.ready {
+		return chain.Script{}, errors.New("core: committee not yet ready")
+	}
+	keys := []cryptoutil.PublicKey{own.Public()}
+	for _, m := range e.repl.members[1:] {
+		bk, ok := e.repl.memberBtcKeys[m]
+		if !ok {
+			return chain.Script{}, fmt.Errorf("core: missing committee key for member %s", m)
+		}
+		keys = append(keys, bk)
+	}
+	return chain.Multisig(e.repl.m, keys...), nil
+}
+
+// DepositInfoFor assembles the DepositInfo advertised to counterparties
+// for a deposit paying into script at the given outpoint.
+func (e *Enclave) DepositInfoFor(point chain.OutPoint, value chain.Amount, script chain.Script) wire.DepositInfo {
+	info := wire.DepositInfo{Point: point, Value: value, Script: script}
+	if e.repl != nil && len(e.repl.members) >= 2 && script.M >= 1 && len(script.Keys) > 1 {
+		info.Committee = e.repl.chainID
+		for _, m := range e.repl.members {
+			info.Members = append(info.Members, wire.PathHop{Identity: m})
+		}
+	}
+	return info
+}
+
+// RegisterDeposit records a confirmed on-chain deposit (newDeposit,
+// Alg. 1 line 36). The enclave verifies it owns the deposit's first
+// script key — the "assert btcPrivs(a_btc) exists" of the algorithm.
+func (e *Enclave) RegisterDeposit(info wire.DepositInfo) (*Result, error) {
+	if len(info.Script.Keys) == 0 {
+		return nil, errors.New("core: deposit script has no keys")
+	}
+	if _, ok := e.btcKeys[info.Script.Keys[0].Address()]; !ok {
+		return nil, errors.New("core: deposit does not pay to an enclave-owned key")
+	}
+	if info.Value <= 0 {
+		return nil, fmt.Errorf("core: deposit value %d must be positive", info.Value)
+	}
+	return e.commit(&Op{Kind: OpRegisterDeposit, Deposit: info}, nil, nil)
+}
+
+// ReleaseDeposit spends a free deposit back to the owner's payout
+// address (releaseDeposit, Alg. 1 line 42), returning the transaction
+// for the host to complete (committee signatures) and submit.
+func (e *Enclave) ReleaseDeposit(point chain.OutPoint) (*chain.Transaction, []SigNeed, *Result, error) {
+	rec, ok := e.state.Deposits[point]
+	if !ok {
+		return nil, nil, nil, ErrUnknownDeposit
+	}
+	if !rec.Free || rec.Released || rec.Dissociating {
+		return nil, nil, nil, fmt.Errorf("core: deposit %s is not free", point)
+	}
+	if e.cfg.PayoutKey.IsZero() {
+		return nil, nil, nil, errors.New("core: no payout key configured")
+	}
+	tx := &chain.Transaction{
+		Inputs:  []chain.TxIn{{Prev: point}},
+		Outputs: []chain.TxOut{{Value: rec.Info.Value, Script: chain.PayToKey(e.cfg.PayoutKey)}},
+	}
+	res, err := e.commit(&Op{Kind: OpReleaseDeposit, Deposit: rec.Info}, nil, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	needs := e.signSettlementInputs(tx, []wire.DepositInfo{rec.Info})
+	return tx, needs, res, nil
+}
+
+// RequestDepositApproval asks the peer to approve one of our free
+// deposits for use in shared channels (approveMyDeposit, Alg. 1
+// line 48).
+func (e *Enclave) RequestDepositApproval(peer cryptoutil.PublicKey, point chain.OutPoint) (*Result, error) {
+	if _, err := e.session(peer); err != nil {
+		return nil, err
+	}
+	rec, ok := e.state.Deposits[point]
+	if !ok {
+		return nil, ErrUnknownDeposit
+	}
+	if !rec.Free || rec.Released {
+		return nil, fmt.Errorf("core: deposit %s is not free", point)
+	}
+	if e.state.ApprovedMine[peer][point] {
+		return nil, fmt.Errorf("core: deposit %s already approved by peer", point)
+	}
+	return &Result{Out: oneOut(peer, &wire.ApproveDeposit{Deposit: rec.Info})}, nil
+}
+
+func (e *Enclave) handleApproveDeposit(from cryptoutil.PublicKey, m *wire.ApproveDeposit) (*Result, error) {
+	if byMe := e.state.ApprovedByMe[from]; byMe != nil {
+		if _, ok := byMe[m.Deposit.Point]; ok {
+			return nil, fmt.Errorf("core: deposit %s already approved", m.Deposit.Point)
+		}
+	}
+	if err := m.Deposit.Script.Validate(); err != nil {
+		return nil, err
+	}
+	// The enclave cannot read the blockchain (§4); ask the host to
+	// verify the deposit's confirmation depth against local policy.
+	return &Result{Events: []Event{EvDepositApprovalNeeded{Remote: from, Deposit: m.Deposit}}}, nil
+}
+
+// ConfirmRemoteDeposit is the host's answer to EvDepositApprovalNeeded
+// after checking the blockchain: confirmations at or above the
+// enclave's policy approve the deposit and notify the peer.
+func (e *Enclave) ConfirmRemoteDeposit(peer cryptoutil.PublicKey, deposit wire.DepositInfo, confirmations uint64) (*Result, error) {
+	if _, err := e.session(peer); err != nil {
+		return nil, err
+	}
+	if confirmations < e.cfg.MinConfirmations {
+		return nil, fmt.Errorf("core: deposit %s has %d confirmations, policy requires %d",
+			deposit.Point, confirmations, e.cfg.MinConfirmations)
+	}
+	out := oneOut(peer, &wire.ApprovedDeposit{Point: deposit.Point})
+	return e.commit(&Op{Kind: OpApproveRemote, Remote: peer, Deposit: deposit}, out, nil)
+}
+
+func (e *Enclave) handleApprovedDeposit(from cryptoutil.PublicKey, m *wire.ApprovedDeposit) (*Result, error) {
+	rec, ok := e.state.Deposits[m.Point]
+	if !ok {
+		return nil, ErrUnknownDeposit
+	}
+	if e.state.ApprovedMine[from][m.Point] {
+		return nil, fmt.Errorf("core: duplicate approval for %s", m.Point)
+	}
+	ev := []Event{EvDepositApproved{Remote: from, Point: m.Point}}
+	return e.commit(&Op{Kind: OpApprovedMine, Remote: from, Deposit: rec.Info}, nil, ev)
+}
+
+// OpenChannel initiates a payment channel with an attested peer
+// (newPayChannel, Alg. 1 line 18). No blockchain interaction occurs;
+// the channel is usable as soon as the peer acks.
+func (e *Enclave) OpenChannel(id wire.ChannelID, peer cryptoutil.PublicKey, myAddr cryptoutil.Address, temp bool) (*Result, error) {
+	if _, err := e.session(peer); err != nil {
+		return nil, err
+	}
+	tempFlag := 0
+	if temp {
+		tempFlag = 1
+	}
+	op := &Op{Kind: OpOpenChannel, Channel: id, Remote: peer, Addr1: myAddr, Count: tempFlag}
+	out := oneOut(peer, &wire.ChannelOpen{Channel: id, MyAddress: myAddr})
+	return e.commit(op, out, nil)
+}
+
+func (e *Enclave) handleChannelOpen(from cryptoutil.PublicKey, m *wire.ChannelOpen) (*Result, error) {
+	if _, ok := e.state.Channels[m.Channel]; ok {
+		return nil, fmt.Errorf("core: channel %s already exists", m.Channel)
+	}
+	// Record the proposal; the host decides whether to accept (and with
+	// which settlement address) via AcceptChannel.
+	return &Result{Events: []Event{EvChannelRequest{Channel: m.Channel, Remote: from, RemoteAddr: m.MyAddress}}}, nil
+}
+
+// AcceptChannel completes an inbound channel proposal with our
+// settlement address.
+func (e *Enclave) AcceptChannel(id wire.ChannelID, peer cryptoutil.PublicKey, remoteAddr, myAddr cryptoutil.Address, temp bool) (*Result, error) {
+	if _, err := e.session(peer); err != nil {
+		return nil, err
+	}
+	tempFlag := 0
+	if temp {
+		tempFlag = 1
+	}
+	open := &Op{Kind: OpOpenChannel, Channel: id, Remote: peer, Addr1: myAddr, Addr2: remoteAddr, Count: tempFlag}
+	res, err := e.commit(open, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	ack := oneOut(peer, &wire.ChannelAck{Channel: id, MyAddress: myAddr, YoursAddress: remoteAddr})
+	ev := []Event{EvChannelOpen{Channel: id, Remote: peer}}
+	res2, err := e.commit(&Op{Kind: OpChannelOpened, Channel: id}, ack, ev)
+	if err != nil {
+		return nil, err
+	}
+	return res.merge(res2), nil
+}
+
+func (e *Enclave) handleChannelAck(from cryptoutil.PublicKey, m *wire.ChannelAck) (*Result, error) {
+	c, ok := e.state.Channels[m.Channel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: channel ack from wrong peer")
+	}
+	if c.Open {
+		return nil, fmt.Errorf("core: channel %s already open", m.Channel)
+	}
+	if m.YoursAddress != c.MyAddr {
+		return nil, errors.New("core: channel ack address mismatch")
+	}
+	ev := []Event{EvChannelOpen{Channel: m.Channel, Remote: from}}
+	return e.commit(&Op{Kind: OpChannelOpened, Channel: m.Channel, Addr2: m.MyAddress}, nil, ev)
+}
+
+// AssociateDeposit binds a free, peer-approved deposit to a channel
+// (associateMyDeposit, Alg. 1 line 64). For 1-of-1 deposits the private
+// key travels to the peer, sealed under the session key, so the peer
+// can settle unilaterally (line 73).
+func (e *Enclave) AssociateDeposit(id wire.ChannelID, point chain.OutPoint) (*Result, error) {
+	c, err := e.state.openChannel(id)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := e.state.Deposits[point]
+	if !ok {
+		return nil, ErrUnknownDeposit
+	}
+	if !rec.Free || rec.Released || rec.Dissociating {
+		return nil, fmt.Errorf("core: deposit %s is not free", point)
+	}
+	if !e.state.ApprovedMine[c.Remote][point] {
+		return nil, fmt.Errorf("core: deposit %s not approved by peer", point)
+	}
+	sess, err := e.session(c.Remote)
+	if err != nil {
+		return nil, err
+	}
+	msg := &wire.AssociateDeposit{Channel: id, Deposit: rec.Info}
+	if rec.Info.Committee == "" {
+		kp, ok := e.btcKeys[rec.Info.Script.Keys[0].Address()]
+		if !ok {
+			return nil, errors.New("core: missing private key for 1-of-1 deposit")
+		}
+		enc, err := cryptoutil.SealDetached(sess.key, e.platform.Rand(), kp.PrivateBytes(), []byte(id))
+		if err != nil {
+			return nil, err
+		}
+		msg.EncPrivShare = enc
+	}
+	op := &Op{Kind: OpAssociateMine, Channel: id, Deposit: rec.Info}
+	ev := []Event{EvDepositAssociated{Channel: id, Point: point, Mine: true}}
+	return e.commit(op, oneOut(c.Remote, msg), ev)
+}
+
+func (e *Enclave) handleAssociateDeposit(from cryptoutil.PublicKey, m *wire.AssociateDeposit) (*Result, error) {
+	c, err := e.state.openChannel(m.Channel)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: associate from wrong peer")
+	}
+	byMe := e.state.ApprovedByMe[from]
+	info, ok := byMe[m.Deposit.Point]
+	if !ok {
+		return nil, fmt.Errorf("core: deposit %s was not approved by us", m.Deposit.Point)
+	}
+	if info.Value != m.Deposit.Value || !info.Script.Equal(m.Deposit.Script) {
+		return nil, errors.New("core: associated deposit differs from approved deposit")
+	}
+	if len(m.EncPrivShare) > 0 {
+		sess, err := e.session(from)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := cryptoutil.OpenDetached(sess.key, m.EncPrivShare, []byte(m.Channel))
+		if err != nil {
+			return nil, fmt.Errorf("core: opening shared deposit key: %w", err)
+		}
+		kp, err := cryptoutil.KeyPairFromPrivateBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: shared deposit key invalid: %w", err)
+		}
+		if kp.Public() != m.Deposit.Script.Keys[0] {
+			return nil, errors.New("core: shared key does not match deposit script")
+		}
+		e.btcKeys[kp.Address()] = kp
+	} else if m.Deposit.Committee == "" {
+		return nil, errors.New("core: 1-of-1 deposit association without key share")
+	}
+	op := &Op{Kind: OpAssociateTheirs, Channel: m.Channel, Deposit: m.Deposit}
+	ev := []Event{EvDepositAssociated{Channel: m.Channel, Point: m.Deposit.Point, Mine: false}}
+	return e.commit(op, nil, ev)
+}
+
+// DissociateDeposit removes one of our deposits from a channel
+// (dissociateDeposit, Alg. 1 line 90); the deposit becomes free when
+// the peer acknowledges and destroys its key copy.
+func (e *Enclave) DissociateDeposit(id wire.ChannelID, point chain.OutPoint) (*Result, error) {
+	c, err := e.state.openChannel(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.Stage != MhIdle {
+		return nil, ErrChannelLocked
+	}
+	rec, ok := e.state.Deposits[point]
+	if !ok {
+		return nil, ErrUnknownDeposit
+	}
+	op := &Op{Kind: OpDissociateStart, Channel: id, Deposit: rec.Info}
+	out := oneOut(c.Remote, &wire.DissociateDeposit{Channel: id, Point: point})
+	return e.commit(op, out, nil)
+}
+
+func (e *Enclave) handleDissociateDeposit(from cryptoutil.PublicKey, m *wire.DissociateDeposit) (*Result, error) {
+	c, err := e.state.openChannel(m.Channel)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: dissociate from wrong peer")
+	}
+	if c.Stage != MhIdle {
+		return nil, ErrChannelLocked
+	}
+	i := c.findDep(c.RemoteDeps, m.Point)
+	if i < 0 {
+		return nil, ErrUnknownDeposit
+	}
+	info := c.RemoteDeps[i]
+	// Destroy our copy of the shared private key (Alg. 1 line 104).
+	if info.Committee == "" && len(info.Script.Keys) > 0 {
+		delete(e.btcKeys, info.Script.Keys[0].Address())
+	}
+	op := &Op{Kind: OpDissociateTheirs, Channel: m.Channel, Deposit: info}
+	out := oneOut(from, &wire.DissociateAck{Channel: m.Channel, Point: m.Point})
+	ev := []Event{EvDepositDissociated{Channel: m.Channel, Point: m.Point, Mine: false}}
+	res, err := e.commit(op, out, ev)
+	if err != nil {
+		return nil, err
+	}
+	return e.maybeCloseNeutral(m.Channel, res)
+}
+
+func (e *Enclave) handleDissociateAck(from cryptoutil.PublicKey, m *wire.DissociateAck) (*Result, error) {
+	// The channel may already have closed off-chain (cooperative
+	// termination drains deposits before the final ack arrives), so the
+	// ack is validated against the channel record, not its open state.
+	c, ok := e.state.Channels[m.Channel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: dissociate ack from wrong peer")
+	}
+	rec, ok := e.state.Deposits[m.Point]
+	if !ok {
+		return nil, ErrUnknownDeposit
+	}
+	op := &Op{Kind: OpDissociateAck, Channel: m.Channel, Deposit: rec.Info}
+	ev := []Event{EvDepositDissociated{Channel: m.Channel, Point: m.Point, Mine: true}}
+	res, err := e.commit(op, nil, ev)
+	if err != nil {
+		return nil, err
+	}
+	return e.maybeCloseNeutral(m.Channel, res)
+}
+
+// maybeCloseNeutral finishes a cooperative off-chain termination once
+// every deposit has drained from a close-pending channel.
+func (e *Enclave) maybeCloseNeutral(id wire.ChannelID, res *Result) (*Result, error) {
+	c, ok := e.state.Channels[id]
+	if !ok || !c.ClosePending || c.Closed {
+		return res, nil
+	}
+	if len(c.MyDeps) != 0 || len(c.RemoteDeps) != 0 {
+		return res, nil
+	}
+	ev := []Event{
+		EvChannelClosed{Channel: id, OffChain: true},
+		EvSettlementReady{Channel: id, OffChain: true},
+	}
+	res2, err := e.commit(&Op{Kind: OpCloseChannel, Channel: id}, nil, ev)
+	if err != nil {
+		return nil, err
+	}
+	return res.merge(res2), nil
+}
+
+// Pay sends value over a channel (pay, Alg. 1 line 82). Count > 1
+// represents a client-side batch of that many logical payments whose
+// total is amount.
+func (e *Enclave) Pay(id wire.ChannelID, amount chain.Amount, count int) (*Result, error) {
+	if amount <= 0 || count < 1 {
+		return nil, fmt.Errorf("core: invalid payment amount %d (count %d)", amount, count)
+	}
+	c, err := e.state.openChannel(id)
+	if err != nil {
+		return nil, err
+	}
+	op := &Op{Kind: OpPaySend, Channel: id, Amount: amount, Count: count}
+	out := oneOut(c.Remote, &wire.Pay{Channel: id, Amount: amount, Count: count})
+	return e.commit(op, out, nil)
+}
+
+func (e *Enclave) handlePay(from cryptoutil.PublicKey, m *wire.Pay) (*Result, error) {
+	c, err := e.state.openChannel(m.Channel)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: payment from wrong peer")
+	}
+	if m.Amount <= 0 || m.Count < 1 {
+		return nil, fmt.Errorf("core: invalid payment amount %d", m.Amount)
+	}
+	// A payment can race a multi-hop lock on the same channel: the
+	// sender debited optimistically before our lock reached it. Reject
+	// with a nack so the sender reverses and retries; ordering through
+	// any pending replication keeps acks and nacks FIFO per channel.
+	if c.Stage != MhIdle || c.ClosePending {
+		nack := &wire.PayNack{Channel: m.Channel, Amount: m.Amount, Count: m.Count, Reason: "channel locked"}
+		return e.deferBehindPending(from, nack), nil
+	}
+	op := &Op{Kind: OpPayRecv, Channel: m.Channel, Amount: m.Amount, Count: m.Count}
+	out := oneOut(from, &wire.PayAck{Channel: m.Channel, Amount: m.Amount, Count: m.Count})
+	ev := []Event{EvPaymentReceived{Channel: m.Channel, Amount: m.Amount, Count: m.Count}}
+	return e.commit(op, out, ev)
+}
+
+func (e *Enclave) handlePayNack(from cryptoutil.PublicKey, m *wire.PayNack) (*Result, error) {
+	c, ok := e.state.Channels[m.Channel]
+	if !ok || c.Remote != from {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
+	}
+	op := &Op{Kind: OpPayRevert, Channel: m.Channel, Amount: m.Amount, Count: m.Count}
+	ev := []Event{EvPayNacked{Channel: m.Channel, Amount: m.Amount, Count: m.Count, Reason: m.Reason}}
+	return e.commit(op, nil, ev)
+}
+
+func (e *Enclave) handlePayAck(from cryptoutil.PublicKey, m *wire.PayAck) (*Result, error) {
+	c, ok := e.state.Channels[m.Channel]
+	if !ok || c.Remote != from {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
+	}
+	res := &Result{Events: []Event{EvPayAcked{Channel: m.Channel, Amount: m.Amount, Count: m.Count}}}
+	// Relay the acknowledgement to an outsourced user if one issued
+	// this payment (§3).
+	res.Out = append(res.Out, e.outsourceAckHook(m.Channel)...)
+	return res, nil
+}

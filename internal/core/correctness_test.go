@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+)
+
+// Property-based tests for the paper's formal guarantee (Appendix A):
+// balance correctness — at any point, any well-behaved user can
+// unilaterally reclaim their perceived balance on the blockchain,
+// regardless of what others do.
+
+// randomOpsWorld drives a two-party channel through a random operation
+// sequence (payments both ways, deposit associations, dissociations)
+// and then verifies invariants.
+func runRandomOps(t *testing.T, script []byte) {
+	t.Helper()
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	w.connect(a, b)
+	id := w.openChannel(a, b)
+	w.fundAndAssociate(a, b, id, 500)
+	w.fundAndAssociate(b, a, id, 500)
+
+	initial := a.Enclave().State().PerceivedBalance() + b.Enclave().State().PerceivedBalance()
+
+	for _, op := range script {
+		switch op % 5 {
+		case 0: // alice pays
+			amt := chain.Amount(op%97) + 1
+			if c := a.Enclave().State().Channels[id]; c.MyBal >= amt {
+				if err := a.Pay(id, amt, nil); err != nil {
+					t.Fatalf("alice pay: %v", err)
+				}
+			}
+		case 1: // bob pays
+			amt := chain.Amount(op%53) + 1
+			if c := b.Enclave().State().Channels[id]; c.MyBal >= amt {
+				if err := b.Pay(id, amt, nil); err != nil {
+					t.Fatalf("bob pay: %v", err)
+				}
+			}
+		case 2: // alice adds a deposit
+			if op%2 == 0 {
+				w.fundAndAssociate(a, b, id, chain.Amount(op)+1)
+			}
+		case 3: // alice tries to dissociate her first deposit
+			c := a.Enclave().State().Channels[id]
+			if len(c.MyDeps) > 1 && c.MyBal >= c.MyDeps[0].Value {
+				if err := a.DissociateDeposit(id, c.MyDeps[0].Point); err != nil {
+					t.Fatalf("dissociate: %v", err)
+				}
+			}
+		case 4: // drain the network
+			w.run()
+		}
+	}
+	w.run()
+
+	// Invariant 1: perceived balances conserved (minus nothing — no
+	// settlements happened; funded deposits added value).
+	var funded chain.Amount
+	for _, st := range []*State{a.Enclave().State(), b.Enclave().State()} {
+		for _, d := range st.Deposits {
+			if d.Released {
+				t.Fatal("unexpected release")
+			}
+		}
+		_ = st
+	}
+	funded = w.chain.Minted()
+	got := a.Enclave().State().PerceivedBalance() + b.Enclave().State().PerceivedBalance()
+	if got != funded {
+		t.Fatalf("perceived total %d != funded %d (initial %d)", got, funded, initial)
+	}
+
+	// Invariant 2: channel views agree.
+	ca := a.Enclave().State().Channels[id]
+	cb := b.Enclave().State().Channels[id]
+	if ca.MyBal != cb.RemoteBal || ca.RemoteBal != cb.MyBal {
+		t.Fatalf("views diverged: alice %d/%d, bob %d/%d", ca.MyBal, ca.RemoteBal, cb.MyBal, cb.RemoteBal)
+	}
+
+	// Invariant 3 (balance correctness): alice settles unilaterally and
+	// recovers exactly her perceived balance on chain.
+	perceivedA := a.Enclave().State().PerceivedBalance()
+	if _, err := a.Settle(id); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	w.run()
+	// Release any free deposits too.
+	for point, rec := range a.Enclave().State().Deposits {
+		if rec.Free && !rec.Released {
+			if err := a.ReleaseDeposit(point); err != nil {
+				t.Fatalf("release: %v", err)
+			}
+		}
+	}
+	w.run()
+	w.chain.MineBlocks(2)
+	w.run()
+	if got := w.chain.BalanceByAddress(a.wallet.Address()); got != perceivedA {
+		t.Fatalf("alice recovered %d on chain, perceived %d", got, perceivedA)
+	}
+	if w.chain.TotalUnspent() != w.chain.Minted() {
+		t.Fatal("chain value not conserved")
+	}
+}
+
+func TestBalanceCorrectnessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(script []byte) bool {
+		if len(script) > 24 {
+			script = script[:24]
+		}
+		sub := fmt.Sprintf("script-%x", script)
+		ok := t.Run(sub, func(t *testing.T) { runRandomOps(t, script) })
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateApplyRejectsInvalidOps(t *testing.T) {
+	st := NewState(cryptoutilKey(t, "o").Public())
+	if err := st.Apply(&Op{Kind: OpPaySend, Channel: "nope", Amount: 1, Count: 1}); err == nil {
+		t.Fatal("pay on unknown channel accepted")
+	}
+	if err := st.Apply(&Op{Kind: OpKind(99)}); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+	if err := st.Apply(&Op{Kind: OpFreeze}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Frozen {
+		t.Fatal("freeze op did not freeze")
+	}
+	if err := st.Apply(&Op{Kind: OpRegisterDeposit}); err != ErrFrozen {
+		t.Fatalf("frozen state accepted op: %v", err)
+	}
+}
+
+func TestStateSnapshotRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	w.connect(a, b)
+	id := w.openChannel(a, b)
+	w.fundAndAssociate(a, b, id, 777)
+	if err := a.Pay(id, 111, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+
+	snap, err := encodeState(a.Enclave().State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := decodeState(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.PerceivedBalance() != a.Enclave().State().PerceivedBalance() {
+		t.Fatal("snapshot round trip changed perceived balance")
+	}
+	c := restored.Channels[id]
+	if c == nil || c.MyBal != 666 || c.RemoteBal != 111 {
+		t.Fatalf("restored channel wrong: %+v", c)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same scenario run twice produces identical virtual-time
+	// traces — the property every experiment in the paper reproduction
+	// rests on.
+	run := func() (time.Duration, chain.Amount) {
+		w := newWorld(t)
+		a := w.node("alice", NodeConfig{})
+		b := w.node("bob", NodeConfig{})
+		w.connect(a, b)
+		id := w.openChannel(a, b)
+		w.fundAndAssociate(a, b, id, 1000)
+		for i := 0; i < 20; i++ {
+			if err := a.Pay(id, chain.Amount(i)+1, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.run()
+		c := a.Enclave().State().Channels[id]
+		return time.Duration(w.sim.Now()), c.MyBal
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("replay diverged: (%v,%d) vs (%v,%d)", t1, b1, t2, b2)
+	}
+}
+
+func cryptoutilKey(t *testing.T, seed string) *cryptoutil.KeyPair {
+	t.Helper()
+	kp, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}

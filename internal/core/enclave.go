@@ -1,0 +1,692 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/tee"
+	"teechain/internal/wire"
+)
+
+// ProgramName identifies the Teechain enclave program; all honest
+// enclaves share its measurement.
+const ProgramName = "teechain-enclave-v1"
+
+// Config carries an enclave's local security policy.
+type Config struct {
+	// MinConfirmations is how deep a deposit must be buried before this
+	// enclave approves it for a shared channel (§4.1 deposit approval).
+	MinConfirmations uint64
+	// StableStorage enables the crash-fault persistence mode of §6.2:
+	// every state change is sealed under a monotonic counter.
+	StableStorage bool
+	// AllowOutsource permits one TEE-less user to attach and drive this
+	// enclave remotely (§3).
+	AllowOutsource bool
+	// PayoutKey is the owner's cold settlement key; deposit releases pay
+	// its address and committee members refuse any other destination.
+	PayoutKey cryptoutil.PublicKey
+}
+
+// peerSession is the secure-channel state for one attested remote
+// enclave (netaes of Alg. 1).
+type peerSession struct {
+	remote      cryptoutil.PublicKey
+	dh          *cryptoutil.DHKeyPair
+	key         [32]byte
+	transport   *cryptoutil.Session
+	established bool
+}
+
+// pendingUpdate is an optimistically applied state transition whose
+// externally visible effects are gated on replication acknowledgement
+// (Alg. 3: the primary proceeds only after its backup acks).
+type pendingUpdate struct {
+	op     *Op
+	out    []Outbound
+	events []Event
+}
+
+// replPrimary is the head-of-chain view of this enclave's own
+// replication chain / committee.
+type replPrimary struct {
+	chainID string
+	// members in chain order; members[0] is this enclave.
+	members []cryptoutil.PublicKey
+	m       int // signature threshold for deposits
+	// btcKeys[i] is member i's committee blockchain key (index 0 unused;
+	// the owner uses fresh per-deposit keys).
+	memberBtcKeys map[cryptoutil.PublicKey]cryptoutil.PublicKey
+	ready         bool
+
+	nextSeq uint64
+	ackSeq  uint64
+	pending map[uint64]*pendingUpdate
+}
+
+func (p *replPrimary) backup() (cryptoutil.PublicKey, bool) {
+	if len(p.members) < 2 {
+		return cryptoutil.PublicKey{}, false
+	}
+	return p.members[1], true
+}
+
+// replBackup is this enclave's view of a chain it serves as a committee
+// member / backup for.
+type replBackup struct {
+	chainID string
+	members []cryptoutil.PublicKey
+	m       int
+	myIndex int
+	mirror  *State
+	// btcKey is this member's committee blockchain key.
+	btcKey  *cryptoutil.KeyPair
+	lastSeq uint64
+	frozen  bool
+	// pendingSigs accumulates τ signatures from downstream members per
+	// in-flight update sequence, merged with our own on the way up.
+	pendingSigs map[uint64][]wire.TauSig
+}
+
+func (b *replBackup) prev() cryptoutil.PublicKey { return b.members[b.myIndex-1] }
+
+func (b *replBackup) next() (cryptoutil.PublicKey, bool) {
+	if b.myIndex+1 < len(b.members) {
+		return b.members[b.myIndex+1], true
+	}
+	return cryptoutil.PublicKey{}, false
+}
+
+// Enclave is the trusted Teechain program: a message-driven state
+// machine hosted by an untrusted Node. All methods are entry points
+// crossing the (simulated) enclave boundary.
+type Enclave struct {
+	platform    *tee.Platform
+	measurement tee.Measurement
+	authority   cryptoutil.PublicKey
+	identity    *cryptoutil.KeyPair
+	cfg         Config
+
+	sessions map[cryptoutil.PublicKey]*peerSession
+	state    *State
+	// btcKeys holds blockchain private keys this enclave can sign with:
+	// its own deposit keys plus 1-of-1 keys shared by channel
+	// counterparties (btcPrivs of Alg. 1).
+	btcKeys map[cryptoutil.Address]*cryptoutil.KeyPair
+	// sigCollections tracks in-progress committee signature gathering,
+	// keyed by settlement transaction ID.
+	sigCollections map[chain.TxID]*sigCollection
+
+	repl    *replPrimary
+	backups map[string]*replBackup
+
+	// Outsourcing (§3): the provisioned TEE-less user and the pending
+	// command sequence numbers per channel awaiting acknowledgements.
+	outsourceUser    cryptoutil.PublicKey
+	outsourcePending map[wire.ChannelID][]uint64
+
+	counterName string
+	keySeq      uint64
+}
+
+// NewEnclave launches the Teechain program on a platform.
+func NewEnclave(platform *tee.Platform, authority cryptoutil.PublicKey, cfg Config) (*Enclave, error) {
+	identity, err := cryptoutil.GenerateKeyPair(platform.Rand())
+	if err != nil {
+		return nil, fmt.Errorf("core: generating enclave identity: %w", err)
+	}
+	e := &Enclave{
+		platform:         platform,
+		measurement:      tee.MeasurementOf(ProgramName),
+		authority:        authority,
+		identity:         identity,
+		cfg:              cfg,
+		sessions:         make(map[cryptoutil.PublicKey]*peerSession),
+		state:            NewState(identity.Public()),
+		btcKeys:          make(map[cryptoutil.Address]*cryptoutil.KeyPair),
+		sigCollections:   make(map[chain.TxID]*sigCollection),
+		backups:          make(map[string]*replBackup),
+		outsourcePending: make(map[wire.ChannelID][]uint64),
+		counterName:      "teechain-state",
+	}
+	e.state.OwnerPayout = cfg.PayoutKey.Address()
+	if !cfg.PayoutKey.IsZero() {
+		e.state.PayoutKeys[cfg.PayoutKey.Address()] = cfg.PayoutKey
+	}
+	return e, nil
+}
+
+// Identity returns the enclave's public identity key (K_me).
+func (e *Enclave) Identity() cryptoutil.PublicKey { return e.identity.Public() }
+
+// State exposes the enclave's logical state for inspection by its own
+// host (a local, trusted read in the simulation; a real deployment
+// would expose specific queries).
+func (e *Enclave) State() *State { return e.state }
+
+// ChainID returns this enclave's replication chain identifier.
+func (e *Enclave) ChainID() string { return chainIDOf(e.identity.Public()) }
+
+func chainIDOf(owner cryptoutil.PublicKey) string {
+	sum := cryptoutil.Hash256([]byte("teechain/chain-id"), owner[:])
+	return fmt.Sprintf("cc-%x", sum[:8])
+}
+
+// --- Attestation and session establishment (Alg. 1 newNetworkChannel) ---
+
+func reportDataFor(identity cryptoutil.PublicKey, dhPub []byte) [32]byte {
+	return cryptoutil.Hash256([]byte("teechain/report"), identity[:], dhPub)
+}
+
+// StartAttest begins mutual remote attestation with a peer enclave
+// whose identity key was exchanged out of band.
+func (e *Enclave) StartAttest(peer cryptoutil.PublicKey) (*Result, error) {
+	if e.state.Frozen {
+		return nil, ErrFrozen
+	}
+	if s, ok := e.sessions[peer]; ok && s.established {
+		return nil, fmt.Errorf("core: session with %s already established", peer)
+	}
+	dh, err := cryptoutil.GenerateDHKeyPair(e.platform.Rand())
+	if err != nil {
+		return nil, err
+	}
+	e.sessions[peer] = &peerSession{remote: peer, dh: dh}
+	quote, err := e.platform.Quote(e.measurement, reportDataFor(e.identity.Public(), dh.PublicBytes()))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Out: oneOut(peer, &wire.Attest{
+		Quote:    quote,
+		Identity: e.identity.Public(),
+		DHPublic: dh.PublicBytes(),
+	})}, nil
+}
+
+func (e *Enclave) handleAttest(from cryptoutil.PublicKey, m *wire.Attest) (*Result, error) {
+	if m.Identity != from {
+		return nil, errors.New("core: attest identity does not match sender")
+	}
+	if err := tee.VerifyQuote(e.authority, m.Quote, e.measurement); err != nil {
+		return nil, fmt.Errorf("core: peer attestation failed: %w", err)
+	}
+	if m.Quote.ReportData != reportDataFor(m.Identity, m.DHPublic) {
+		return nil, errors.New("core: attest report data does not bind identity and DH key")
+	}
+
+	if m.Response {
+		s, ok := e.sessions[from]
+		if !ok || s.established {
+			return nil, errors.New("core: unexpected attest response")
+		}
+		if err := e.finishSession(s, m.DHPublic); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+
+	// Fresh inbound handshake; reject duplicates (Alg. 1 line 16).
+	if s, ok := e.sessions[from]; ok && s.established {
+		return nil, fmt.Errorf("core: session with %s already established", from)
+	}
+	dh, err := cryptoutil.GenerateDHKeyPair(e.platform.Rand())
+	if err != nil {
+		return nil, err
+	}
+	s := &peerSession{remote: from, dh: dh}
+	e.sessions[from] = s
+	if err := e.finishSession(s, m.DHPublic); err != nil {
+		return nil, err
+	}
+	quote, err := e.platform.Quote(e.measurement, reportDataFor(e.identity.Public(), dh.PublicBytes()))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Out: oneOut(from, &wire.Attest{
+		Quote:    quote,
+		Identity: e.identity.Public(),
+		DHPublic: dh.PublicBytes(),
+		Response: true,
+	})}, nil
+}
+
+func (e *Enclave) finishSession(s *peerSession, peerDH []byte) error {
+	key, err := s.dh.SharedKey(peerDH, e.identity.Public(), s.remote)
+	if err != nil {
+		return err
+	}
+	transport, err := cryptoutil.NewSession(key)
+	if err != nil {
+		return err
+	}
+	s.key = key
+	s.transport = transport
+	s.established = true
+	return nil
+}
+
+// SessionEstablished reports whether a secure channel to peer exists.
+func (e *Enclave) SessionEstablished(peer cryptoutil.PublicKey) bool {
+	s, ok := e.sessions[peer]
+	return ok && s.established
+}
+
+func (e *Enclave) session(peer cryptoutil.PublicKey) (*peerSession, error) {
+	s, ok := e.sessions[peer]
+	if !ok || !s.established {
+		return nil, fmt.Errorf("core: no established session with %s", peer)
+	}
+	return s, nil
+}
+
+// SealToken produces the freshness/authentication token accompanying a
+// message to peer; VerifyToken checks one on receipt. Hosts call these
+// around every transport send/receive, giving all protocol messages
+// replay protection (§7.1) regardless of transport.
+func (e *Enclave) SealToken(peer cryptoutil.PublicKey) ([]byte, error) {
+	s, err := e.session(peer)
+	if err != nil {
+		return nil, err
+	}
+	return s.transport.Seal(nil, nil), nil
+}
+
+// VerifyToken validates a token produced by the peer's SealToken.
+func (e *Enclave) VerifyToken(peer cryptoutil.PublicKey, token []byte) error {
+	s, err := e.session(peer)
+	if err != nil {
+		return err
+	}
+	_, err = s.transport.Open(token, nil)
+	return err
+}
+
+// --- Replication plumbing (Alg. 3) ---
+
+// commit optimistically applies op and defers its externally visible
+// effects until the replication chain acknowledges. Without backups the
+// effects release immediately. In stable-storage mode the state is
+// additionally sealed under a monotonic counter.
+func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error) {
+	if err := e.state.Apply(op); err != nil {
+		return nil, err
+	}
+	if e.cfg.StableStorage {
+		if err := e.persist(); err != nil {
+			return nil, err
+		}
+	}
+	if e.repl == nil {
+		return &Result{Out: out, Events: events}, nil
+	}
+	backup, ok := e.repl.backup()
+	if !ok {
+		return &Result{Out: out, Events: events}, nil
+	}
+	e.repl.nextSeq++
+	seq := e.repl.nextSeq
+	e.repl.pending[seq] = &pendingUpdate{op: op, out: out, events: events}
+	return &Result{Out: oneOut(backup, &wire.ReplUpdate{
+		Chain: e.repl.chainID,
+		Seq:   seq,
+		Op:    op,
+	})}, nil
+}
+
+func (e *Enclave) handleReplUpdate(from cryptoutil.PublicKey, m *wire.ReplUpdate) (*Result, error) {
+	b, ok := e.backups[m.Chain]
+	if !ok {
+		return nil, fmt.Errorf("core: not a member of chain %s", m.Chain)
+	}
+	if b.frozen {
+		return nil, fmt.Errorf("core: chain %s is frozen", m.Chain)
+	}
+	if from != b.prev() {
+		return nil, fmt.Errorf("core: replication update from non-predecessor %s", from)
+	}
+	if m.Seq != b.lastSeq+1 {
+		// Sequence gap: state forking or message loss. Freeze.
+		return e.freezeChainLocal(b, fmt.Sprintf("sequence gap: got %d, want %d", m.Seq, b.lastSeq+1))
+	}
+	op, ok := m.Op.(*Op)
+	if !ok {
+		return nil, fmt.Errorf("core: replication update carries %T, not *Op", m.Op)
+	}
+	if err := b.mirror.Apply(op); err != nil {
+		// Divergence between primary and mirror: freeze rather than
+		// continue with inconsistent state.
+		return e.freezeChainLocal(b, fmt.Sprintf("mirror apply failed: %v", err))
+	}
+	b.lastSeq = m.Seq
+
+	// Committee members countersign τ during the sign stage (§6.1),
+	// piggybacking signatures on the acknowledgement.
+	var mySigs []wire.TauSig
+	if op.Kind == OpMhStage && op.Stage == MhSign && op.Tau != nil {
+		sigs, err := e.signTauInputs(b, op.Tau)
+		if err != nil {
+			return e.freezeChainLocal(b, fmt.Sprintf("tau signing failed: %v", err))
+		}
+		mySigs = sigs
+	}
+
+	if next, hasNext := b.next(); hasNext {
+		// Remember our sigs; merge when the downstream ack returns.
+		if len(mySigs) > 0 {
+			b.pendingSigs[m.Seq] = mySigs
+		}
+		return &Result{Out: oneOut(next, &wire.ReplUpdate{Chain: m.Chain, Seq: m.Seq, Op: op})}, nil
+	}
+	return &Result{Out: oneOut(b.prev(), &wire.ReplAck{Chain: m.Chain, Seq: m.Seq, TauSigs: mySigs})}, nil
+}
+
+func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Result, error) {
+	// Middle-of-chain: merge our pending sigs and pass the ack up.
+	if b, ok := e.backups[m.Chain]; ok {
+		if from2, hasNext := b.next(); !hasNext || from2 != from {
+			return nil, fmt.Errorf("core: replication ack from non-successor %s", from)
+		}
+		sigs := append(b.pendingSigs[m.Seq], m.TauSigs...)
+		delete(b.pendingSigs, m.Seq)
+		return &Result{Out: oneOut(b.prev(), &wire.ReplAck{Chain: m.Chain, Seq: m.Seq, TauSigs: sigs})}, nil
+	}
+	// Primary: release the pending update's effects in order.
+	if e.repl == nil || e.repl.chainID != m.Chain {
+		return nil, fmt.Errorf("core: ack for unknown chain %s", m.Chain)
+	}
+	backup, ok := e.repl.backup()
+	if !ok || from != backup {
+		return nil, fmt.Errorf("core: replication ack from non-backup %s", from)
+	}
+	if m.Seq != e.repl.ackSeq+1 {
+		return nil, fmt.Errorf("core: out-of-order ack %d (expected %d)", m.Seq, e.repl.ackSeq+1)
+	}
+	pu, ok := e.repl.pending[m.Seq]
+	if !ok {
+		return nil, fmt.Errorf("core: ack for unknown update %d", m.Seq)
+	}
+	delete(e.repl.pending, m.Seq)
+	e.repl.ackSeq = m.Seq
+
+	// Fold committee τ signatures into the (shared) τ object before the
+	// deferred sign-stage message departs.
+	if len(m.TauSigs) > 0 && pu.op.Tau != nil {
+		for _, ts := range m.TauSigs {
+			if ts.Input < 0 || ts.Input >= len(pu.op.Tau.Inputs) {
+				return nil, fmt.Errorf("core: tau signature for invalid input %d", ts.Input)
+			}
+			in := &pu.op.Tau.Inputs[ts.Input]
+			if ts.Slot < 0 || ts.Slot >= len(in.Sigs) {
+				return nil, fmt.Errorf("core: tau signature for invalid slot %d", ts.Slot)
+			}
+			in.Sigs[ts.Slot] = ts.Sig
+		}
+	}
+	return &Result{Out: pu.out, Events: pu.events}, nil
+}
+
+// signTauInputs produces this member's signatures over τ inputs that
+// spend deposits recorded in the mirrored state (committee deposits it
+// co-secures).
+func (e *Enclave) signTauInputs(b *replBackup, tau *chain.Transaction) ([]wire.TauSig, error) {
+	if b.btcKey == nil {
+		return nil, nil
+	}
+	var sigs []wire.TauSig
+	pub := b.btcKey.Public()
+	for i, in := range tau.Inputs {
+		rec, ok := b.mirror.Deposits[in.Prev]
+		if !ok {
+			// Not our owner's deposit; other committees handle it.
+			continue
+		}
+		slot := -1
+		for j, k := range rec.Info.Script.Keys {
+			if k == pub {
+				slot = j
+				break
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		cp := *tau
+		if err := cp.SignInput(i, rec.Info.Script, b.btcKey); err != nil {
+			return nil, err
+		}
+		sigs = append(sigs, wire.TauSig{Input: i, Slot: slot, Sig: cp.Inputs[i].Sigs[slot]})
+	}
+	return sigs, nil
+}
+
+func (e *Enclave) freezeChainLocal(b *replBackup, reason string) (*Result, error) {
+	b.frozen = true
+	b.mirror.Frozen = true
+	res := &Result{Events: []Event{EvFrozen{Chain: b.chainID, Reason: reason}}}
+	// Notify neighbours so the whole chain freezes (§6 force-freeze).
+	res.Out = append(res.Out, Outbound{To: b.prev(), Msg: &wire.ReplFreeze{Chain: b.chainID, Reason: reason}})
+	if next, ok := b.next(); ok {
+		res.Out = append(res.Out, Outbound{To: next, Msg: &wire.ReplFreeze{Chain: b.chainID, Reason: reason}})
+	}
+	return res, nil
+}
+
+func (e *Enclave) handleReplFreeze(from cryptoutil.PublicKey, m *wire.ReplFreeze) (*Result, error) {
+	if b, ok := e.backups[m.Chain]; ok {
+		if b.frozen {
+			return &Result{}, nil
+		}
+		b.frozen = true
+		b.mirror.Frozen = true
+		res := &Result{Events: []Event{EvFrozen{Chain: m.Chain, Reason: m.Reason}}}
+		// Propagate away from the sender.
+		if prev := b.prev(); prev != from {
+			res.Out = append(res.Out, Outbound{To: prev, Msg: m})
+		}
+		if next, ok := b.next(); ok && next != from {
+			res.Out = append(res.Out, Outbound{To: next, Msg: m})
+		}
+		return res, nil
+	}
+	if e.repl != nil && e.repl.chainID == m.Chain {
+		if e.state.Frozen {
+			return &Result{}, nil
+		}
+		// Primary frozen: the paper settles all channels and releases
+		// unused deposits. The host drives that via the EvFrozen event.
+		e.state.Frozen = true
+		e.repl.pending = make(map[uint64]*pendingUpdate)
+		return &Result{Events: []Event{EvFrozen{Chain: m.Chain, Reason: m.Reason}}}, nil
+	}
+	return nil, fmt.Errorf("core: freeze for unknown chain %s", m.Chain)
+}
+
+// Freeze force-freezes a chain this enclave participates in, modelling
+// a read access at a backup (or an operator-initiated halt).
+func (e *Enclave) Freeze(chainID, reason string) (*Result, error) {
+	if b, ok := e.backups[chainID]; ok {
+		return e.freezeChainLocal(b, reason)
+	}
+	if e.repl != nil && e.repl.chainID == chainID {
+		e.state.Frozen = true
+		e.repl.pending = make(map[uint64]*pendingUpdate)
+		res := &Result{Events: []Event{EvFrozen{Chain: chainID, Reason: reason}}}
+		if backup, ok := e.repl.backup(); ok {
+			res.Out = append(res.Out, Outbound{To: backup, Msg: &wire.ReplFreeze{Chain: chainID, Reason: reason}})
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: not a member of chain %s", chainID)
+}
+
+// deferBehindPending routes an outbound message behind any replication
+// updates currently awaiting acknowledgement, preserving per-channel
+// FIFO ordering between committed responses (e.g. PayAck) and
+// uncommitted ones (e.g. PayNack).
+func (e *Enclave) deferBehindPending(to cryptoutil.PublicKey, msg wire.Message) *Result {
+	out := oneOut(to, msg)
+	if e.repl == nil || len(e.repl.pending) == 0 {
+		return &Result{Out: out}
+	}
+	last := e.repl.nextSeq
+	pu := e.repl.pending[last]
+	if pu == nil {
+		return &Result{Out: out}
+	}
+	pu.out = append(pu.out, out...)
+	return &Result{}
+}
+
+// persist seals the enclave state under a monotonic counter (§6.2).
+// The caller's host charges the counter increment latency.
+func (e *Enclave) persist() error {
+	snap, err := e.snapshotState()
+	if err != nil {
+		return err
+	}
+	_, err = tee.SealStateWithCounter(e.platform, e.measurement, e.counterName, snap)
+	return err
+}
+
+func (e *Enclave) snapshotState() ([]byte, error) {
+	return encodeState(e.state)
+}
+
+// HandleMessage is the enclave's network entry point: it dispatches a
+// peer message to the matching protocol handler. Except for the initial
+// Attest, messages from peers without an established session are
+// rejected.
+func (e *Enclave) HandleMessage(from cryptoutil.PublicKey, msg wire.Message) (*Result, error) {
+	if a, ok := msg.(*wire.Attest); ok {
+		if a.Software {
+			return e.handleSoftwareAttest(from, a)
+		}
+		return e.handleAttest(from, a)
+	}
+	if _, err := e.session(from); err != nil {
+		return nil, err
+	}
+	// An outsourced user may only issue commands; everything else on
+	// its session is rejected.
+	if from == e.outsourceUser {
+		if m, ok := msg.(*wire.OutsourceCmd); ok {
+			return e.handleOutsourceCmd(from, m)
+		}
+		return nil, errors.New("core: outsourced user may only send commands")
+	}
+	if e.state.Frozen {
+		// A frozen enclave only answers settlement-signature requests
+		// and freeze propagation.
+		switch m := msg.(type) {
+		case *wire.SigRequest:
+			return e.handleSigRequest(from, m)
+		case *wire.ReplFreeze:
+			return e.handleReplFreeze(from, m)
+		case *wire.ReplUpdate, *wire.ReplAck:
+			return e.handleFrozenRepl(from, msg)
+		default:
+			return nil, ErrFrozen
+		}
+	}
+	switch m := msg.(type) {
+	case *wire.ChannelOpen:
+		return e.handleChannelOpen(from, m)
+	case *wire.ChannelAck:
+		return e.handleChannelAck(from, m)
+	case *wire.ApproveDeposit:
+		return e.handleApproveDeposit(from, m)
+	case *wire.ApprovedDeposit:
+		return e.handleApprovedDeposit(from, m)
+	case *wire.AssociateDeposit:
+		return e.handleAssociateDeposit(from, m)
+	case *wire.DissociateDeposit:
+		return e.handleDissociateDeposit(from, m)
+	case *wire.DissociateAck:
+		return e.handleDissociateAck(from, m)
+	case *wire.Pay:
+		return e.handlePay(from, m)
+	case *wire.PayAck:
+		return e.handlePayAck(from, m)
+	case *wire.PayNack:
+		return e.handlePayNack(from, m)
+	case *wire.SettleRequest:
+		return e.handleSettleRequest(from, m)
+	case *wire.SettleNotify:
+		return e.handleSettleNotify(from, m)
+	case *wire.MhLock:
+		return e.handleMhLock(from, m)
+	case *wire.MhSign:
+		return e.handleMhSign(from, m)
+	case *wire.MhPreUpdate:
+		return e.handleMhPreUpdate(from, m)
+	case *wire.MhUpdate:
+		return e.handleMhUpdate(from, m)
+	case *wire.MhPostUpdate:
+		return e.handleMhPostUpdate(from, m)
+	case *wire.MhRelease:
+		return e.handleMhRelease(from, m)
+	case *wire.MhAbort:
+		return e.handleMhAbort(from, m)
+	case *wire.MhAck:
+		return e.handleMhAck(from, m)
+	case *wire.ReplAttach:
+		return e.handleReplAttach(from, m)
+	case *wire.ReplAttachAck:
+		return e.handleReplAttachAck(from, m)
+	case *wire.ReplUpdate:
+		return e.handleReplUpdate(from, m)
+	case *wire.ReplAck:
+		return e.handleReplAck(from, m)
+	case *wire.ReplFreeze:
+		return e.handleReplFreeze(from, m)
+	case *wire.SigRequest:
+		return e.handleSigRequest(from, m)
+	case *wire.SigResponse:
+		return e.handleSigResponse(from, m)
+	default:
+		return nil, fmt.Errorf("core: unhandled message type %T", msg)
+	}
+}
+
+// handleFrozenRepl lets replication traffic drain on frozen chains
+// without mutating state (acks for already-applied updates may still be
+// in flight when a freeze lands).
+func (e *Enclave) handleFrozenRepl(cryptoutil.PublicKey, wire.Message) (*Result, error) {
+	return &Result{}, nil
+}
+
+// newBtcKey mints a fresh blockchain key inside the enclave (newAddr,
+// Alg. 1 line 32).
+func (e *Enclave) newBtcKey() (*cryptoutil.KeyPair, error) {
+	e.keySeq++
+	kp, err := cryptoutil.GenerateKeyPair(e.platform.Rand())
+	if err != nil {
+		return nil, err
+	}
+	e.btcKeys[kp.Address()] = kp
+	return kp, nil
+}
+
+func encodeState(s *State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("core: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeState(data []byte) (*State, error) {
+	s := new(State)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(s); err != nil {
+		return nil, fmt.Errorf("core: decoding state: %w", err)
+	}
+	return s, nil
+}
+
+func init() {
+	gob.Register(&Op{})
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// Outbound is a protocol message the enclave wants delivered to another
+// enclave; the untrusted host owns the actual transport.
+type Outbound struct {
+	To  cryptoutil.PublicKey
+	Msg wire.Message
+}
+
+// Event is a notification from the enclave to its own host. Concrete
+// types below; hosts type-switch.
+type Event any
+
+// EvChannelRequest asks the host whether to accept an incoming channel
+// (the host answers via Enclave.AcceptChannel).
+type EvChannelRequest struct {
+	Channel    wire.ChannelID
+	Remote     cryptoutil.PublicKey
+	RemoteAddr cryptoutil.Address
+}
+
+// EvChannelOpen reports a channel becoming usable.
+type EvChannelOpen struct {
+	Channel wire.ChannelID
+	Remote  cryptoutil.PublicKey
+}
+
+// EvDepositApprovalNeeded asks the host to verify a remote deposit on
+// the blockchain (the enclave cannot; §4). The host answers via
+// Enclave.ConfirmRemoteDeposit.
+type EvDepositApprovalNeeded struct {
+	Remote  cryptoutil.PublicKey
+	Deposit wire.DepositInfo
+}
+
+// EvDepositApproved reports that the remote approved one of our
+// deposits for use in shared channels.
+type EvDepositApproved struct {
+	Remote cryptoutil.PublicKey
+	Point  chain.OutPoint
+}
+
+// EvDepositAssociated reports a deposit joining a channel.
+type EvDepositAssociated struct {
+	Channel wire.ChannelID
+	Point   chain.OutPoint
+	Mine    bool
+}
+
+// EvDepositDissociated reports a deposit leaving a channel (free
+// again on the owner's side).
+type EvDepositDissociated struct {
+	Channel wire.ChannelID
+	Point   chain.OutPoint
+	Mine    bool
+}
+
+// EvPaymentReceived reports incoming channel payments (possibly a
+// client-side batch).
+type EvPaymentReceived struct {
+	Channel wire.ChannelID
+	Amount  chain.Amount
+	Count   int
+}
+
+// EvPayAcked reports that the remote acknowledged our payment; hosts
+// use it to complete latency measurements.
+type EvPayAcked struct {
+	Channel wire.ChannelID
+	Amount  chain.Amount
+	Count   int
+}
+
+// EvPayNacked reports that the remote rejected our payment (channel
+// locked mid-flight) and the debit was reversed; hosts retry.
+type EvPayNacked struct {
+	Channel wire.ChannelID
+	Amount  chain.Amount
+	Count   int
+	Reason  string
+}
+
+// EvMultihopArrived reports an incoming multi-hop payment credited at
+// the final recipient.
+type EvMultihopArrived struct {
+	Payment wire.PaymentID
+	Amount  chain.Amount
+	Count   int
+}
+
+// EvMultihopComplete reports the outcome of a multi-hop payment at its
+// initiator. Failed payments (OK=false) may be retried by the host.
+type EvMultihopComplete struct {
+	Payment wire.PaymentID
+	OK      bool
+	Reason  string
+}
+
+// SigNeed describes a settlement input that still requires committee
+// signatures: the host contacts Members with SigRequest messages.
+type SigNeed struct {
+	Input     int
+	Committee string
+	Members   []cryptoutil.PublicKey
+}
+
+// EvSettlementReady carries a settlement transaction for the host to
+// complete (collect committee signatures per Needs) and submit to the
+// blockchain. OffChain settlements have a nil Tx: the channel
+// terminated by deposit dissociation alone.
+type EvSettlementReady struct {
+	Channel  wire.ChannelID
+	Tx       *chain.Transaction
+	Needs    []SigNeed
+	OffChain bool
+}
+
+// EvChannelClosed reports channel termination.
+type EvChannelClosed struct {
+	Channel  wire.ChannelID
+	OffChain bool
+}
+
+// EvSigComplete reports that a previously needy settlement transaction
+// now carries enough signatures to submit.
+type EvSigComplete struct {
+	Tx *chain.Transaction
+}
+
+// EvFrozen reports a force-freeze of a replication chain (§6): the host
+// must settle all channels and release deposits.
+type EvFrozen struct {
+	Chain  string
+	Reason string
+}
+
+// EvCommitteeReady reports that all members acked committee formation
+// and deposits can now be created under its multisig scripts.
+type EvCommitteeReady struct {
+	Chain string
+}
+
+// Result aggregates what one enclave entry point produced.
+type Result struct {
+	Out    []Outbound
+	Events []Event
+}
+
+func (r *Result) merge(o *Result) *Result {
+	if o == nil {
+		return r
+	}
+	r.Out = append(r.Out, o.Out...)
+	r.Events = append(r.Events, o.Events...)
+	return r
+}
+
+func oneOut(to cryptoutil.PublicKey, msg wire.Message) []Outbound {
+	return []Outbound{{To: to, Msg: msg}}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"time"
+)
+
+// TestMultihopWithCommitteeDepositsEjectsViaTau is the full §5 × §6
+// composition: a multi-hop payment whose channels are funded by
+// committee-secured (2-of-2) deposits. The intermediate settlement
+// transaction τ must carry threshold signatures collected from every
+// committee along the path (piggybacked on replication acks), so that
+// ejection during preUpdate can settle the entire path on chain.
+func TestMultihopWithCommitteeDepositsEjectsViaTau(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	c := w.node("carol", NodeConfig{})
+	ra := w.node("alice-member", NodeConfig{})
+	rb := w.node("bob-member", NodeConfig{})
+
+	// Committees: alice and bob (the deposit owners on the path) each
+	// have one member; every enclave that will exchange protocol or
+	// signature traffic is attested pairwise.
+	for _, pair := range [][2]*Node{
+		{a, ra}, {b, rb},
+		{a, b}, {b, c},
+		{b, ra}, {c, rb}, {a, rb},
+	} {
+		w.connect(pair[0], pair[1])
+	}
+	if err := a.FormCommittee([]*Node{ra}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FormCommittee([]*Node{rb}, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.until(func() bool { return a.Enclave().CommitteeReady() && b.Enclave().CommitteeReady() })
+
+	idAB := w.openChannel(a, b)
+	w.fundAndAssociate(a, b, idAB, 1000)
+	idBC := w.openChannel(b, c)
+	w.fundAndAssociate(b, c, idBC, 1000)
+
+	// Both deposits are committee-secured: 2-of-2 multisig scripts.
+	for _, n := range []*Node{a, b} {
+		for _, rec := range n.Enclave().State().Deposits {
+			if rec.Info.Script.M != 2 || len(rec.Info.Script.Keys) != 2 {
+				t.Fatalf("deposit script is %d-of-%d, want 2-of-2", rec.Info.Script.M, len(rec.Info.Script.Keys))
+			}
+		}
+	}
+
+	if err := a.PayMultihop([][]cryptoutil.PublicKey{identityPath(a, b, c)}, 200, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	pid := runUntilStage(w, b, MhPreUpdate)
+
+	// τ at bob must already be fully signed — including both
+	// committees' threshold signatures, gathered during the sign stage.
+	mh := b.Enclave().State().Multihop[pid]
+	if mh.Tau == nil {
+		t.Fatal("no τ at preUpdate")
+	}
+	for i := range mh.Tau.Inputs {
+		nonzero := 0
+		for _, s := range mh.Tau.Inputs[i].Sigs {
+			if !s.IsZero() {
+				nonzero++
+			}
+		}
+		if nonzero < 2 {
+			t.Fatalf("τ input %d carries %d signatures, want 2 (threshold)", i, nonzero)
+		}
+	}
+
+	// Bob ejects: τ settles the whole path at post-payment state.
+	sr, err := b.EjectPayment(pid)
+	if err != nil {
+		t.Fatalf("EjectPayment: %v", err)
+	}
+	if len(sr.Txs) != 1 {
+		t.Fatalf("expected τ alone, got %d transactions", len(sr.Txs))
+	}
+	w.run()
+	for i := 0; i < 6; i++ {
+		w.chain.MineBlock()
+		w.run()
+	}
+
+	wealthOf := func(n *Node) chain.Amount {
+		return w.chain.BalanceByAddress(n.wallet.Address()) + n.Enclave().State().PerceivedBalance()
+	}
+	got := [3]chain.Amount{wealthOf(a), wealthOf(b), wealthOf(c)}
+	post := [3]chain.Amount{800, 1000, 200}
+	if got != post {
+		t.Fatalf("τ settlement wealth %v, want %v (post-payment)", got, post)
+	}
+	if w.chain.TotalUnspent() != w.chain.Minted() {
+		t.Fatal("value not conserved")
+	}
+}
+
+// TestMultihopWithCommitteeCompletesNormally checks the happy path with
+// committees: the payment completes, mirrors track the stage churn, and
+// the channels remain usable.
+func TestMultihopWithCommitteeCompletesNormally(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	c := w.node("carol", NodeConfig{})
+	ra := w.node("alice-member", NodeConfig{})
+	for _, pair := range [][2]*Node{{a, ra}, {a, b}, {b, c}, {b, ra}} {
+		w.connect(pair[0], pair[1])
+	}
+	if err := a.FormCommittee([]*Node{ra}, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.until(func() bool { return a.Enclave().CommitteeReady() })
+
+	idAB := w.openChannel(a, b)
+	w.fundAndAssociate(a, b, idAB, 1000)
+	idBC := w.openChannel(b, c)
+	w.fundAndAssociate(b, c, idBC, 1000)
+
+	done := false
+	err := a.PayMultihop([][]cryptoutil.PublicKey{identityPath(a, b, c)}, 150, 1,
+		func(ok bool, _ time.Duration, reason string) {
+			if !ok {
+				t.Fatalf("multihop failed: %s", reason)
+			}
+			done = true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if !done {
+		t.Fatal("payment never completed")
+	}
+	// Alice's mirror matches her state after the stage churn.
+	mirror, ok := ra.Enclave().MirrorState(a.Enclave().ChainID())
+	if !ok {
+		t.Fatal("no mirror")
+	}
+	if mirror.Channels[idAB].MyBal != a.Enclave().State().Channels[idAB].MyBal {
+		t.Fatal("mirror diverged after multihop")
+	}
+	if a.Enclave().State().Channels[idAB].MyBal != 850 {
+		t.Fatalf("alice balance %d, want 850", a.Enclave().State().Channels[idAB].MyBal)
+	}
+}

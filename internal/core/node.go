@@ -1,0 +1,945 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/netsim"
+	"teechain/internal/sim"
+	"teechain/internal/tee"
+	"teechain/internal/wire"
+)
+
+// Directory is the out-of-band identity exchange the paper assumes:
+// it maps enclave identity keys to network locations and carries payout
+// keys. All hosts in a deployment share one.
+type Directory struct {
+	byIdentity map[cryptoutil.PublicKey]netsim.NodeID
+	byNode     map[netsim.NodeID]cryptoutil.PublicKey
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		byIdentity: make(map[cryptoutil.PublicKey]netsim.NodeID),
+		byNode:     make(map[netsim.NodeID]cryptoutil.PublicKey),
+	}
+}
+
+// Register binds an identity to a network node.
+func (d *Directory) Register(id cryptoutil.PublicKey, node netsim.NodeID) {
+	d.byIdentity[id] = node
+	d.byNode[node] = id
+}
+
+// NodeOf resolves an identity to its network node.
+func (d *Directory) NodeOf(id cryptoutil.PublicKey) (netsim.NodeID, bool) {
+	n, ok := d.byIdentity[id]
+	return n, ok
+}
+
+// IdentityOf resolves a network node to its enclave identity.
+func (d *Directory) IdentityOf(node netsim.NodeID) (cryptoutil.PublicKey, bool) {
+	id, ok := d.byNode[node]
+	return id, ok
+}
+
+// Envelope is the unit the host transports: a protocol message plus the
+// session freshness token produced by the sending enclave.
+type Envelope struct {
+	From  cryptoutil.PublicKey
+	Msg   wire.Message
+	Token []byte
+}
+
+// WireSize implements the sizing interface for bandwidth modelling.
+func (env *Envelope) WireSize() int {
+	n := 65 + len(env.Token)
+	if s, ok := env.Msg.(wire.Message); ok {
+		n += s.WireSize()
+	}
+	return n
+}
+
+// NodeConfig bundles host-level policy.
+type NodeConfig struct {
+	Enclave Config
+	// BatchWindow, when positive, enables client-side payment batching
+	// with that flush interval (§7.2 uses 100 ms).
+	BatchWindow time.Duration
+	// RetryMin/RetryMax bound the randomized multi-hop retry backoff
+	// (the paper uses 100–200 ms, §7.4).
+	RetryMin, RetryMax time.Duration
+	// MaxRetries bounds multi-hop retry attempts (0 = no retries).
+	MaxRetries int
+	// Seed differentiates per-node randomness.
+	Seed uint64
+}
+
+// PayDone reports the fate of a payment to its issuer.
+type PayDone func(ok bool, latency time.Duration, reason string)
+
+// batchEntry tracks one logical payment inside a batch with its issue
+// time, so acknowledgement latency covers the batching wait the user
+// actually experienced.
+type batchEntry struct {
+	done     PayDone
+	issuedAt sim.Time
+}
+
+type pendingBatch struct {
+	amount  chain.Amount
+	count   int
+	entries []batchEntry
+	timer   *sim.Event
+}
+
+type inflightBatch struct {
+	count   int
+	entries []batchEntry
+	sentAt  sim.Time
+}
+
+type mhAttempt struct {
+	id      wire.PaymentID
+	dest    cryptoutil.PublicKey
+	amount  chain.Amount
+	count   int
+	paths   [][]cryptoutil.PublicKey
+	pathIdx int
+	tries   int
+	done    PayDone
+	started sim.Time
+}
+
+// Node is the untrusted Teechain host: it owns the network endpoint,
+// the blockchain client, the wallet, batching, retries, and reacts to
+// enclave events. One node hosts one enclave.
+type Node struct {
+	ID      netsim.NodeID
+	enclave *Enclave
+
+	net   *netsim.Network
+	ep    *netsim.Endpoint
+	sim   *sim.Simulator
+	chain *chain.Chain
+	dir   *Directory
+	cfg   NodeConfig
+	rnd   *sim.Rand
+
+	wallet *cryptoutil.KeyPair // host payout/wallet key (cold storage)
+
+	// deposit bookkeeping outside the enclave
+	depositScripts  map[chain.OutPoint]chain.Script
+	pendingDeposits []pendingDeposit                  // wallet-funded, awaiting confirmations
+	watched         map[chain.OutPoint]wire.PaymentID // τ inputs under watch
+	// watchedDeposits tracks deposits associated with our channels so
+	// counterparty settlements are detected on chain.
+	watchedDeposits map[chain.OutPoint]wire.ChannelID
+
+	// payment tracking
+	batches  map[wire.ChannelID]*pendingBatch
+	inflight map[wire.ChannelID][]*inflightBatch
+	mh       map[wire.PaymentID]*mhAttempt
+	mhSeq    uint64
+
+	// channels by peer, for convenience APIs
+	channelPeers map[wire.ChannelID]cryptoutil.PublicKey
+
+	// temporary channel setup and merge bookkeeping (§5.2)
+	tempSetup     []tempSetup
+	tempAssoc     []tempSetup
+	pendingMerges []wire.ChannelID
+
+	onEvent func(Event)
+
+	// Metrics
+	PaymentsSent     uint64
+	PaymentsAcked    uint64
+	PaymentsReceived uint64
+	MultihopsOK      uint64
+	MultihopsFailed  uint64
+}
+
+// NewNode creates a host plus its enclave, attaches it to the network,
+// and registers it in the directory.
+func NewNode(id netsim.NodeID, net *netsim.Network, bc *chain.Chain, dir *Directory, authority *tee.Authority, cfg NodeConfig) (*Node, error) {
+	platform := tee.NewPlatform(authority, string(id))
+	wallet, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("wallet"), []byte(id)))
+	if err != nil {
+		return nil, err
+	}
+	encCfg := cfg.Enclave
+	encCfg.PayoutKey = wallet.Public()
+	enclave, err := NewEnclave(platform, authority.PublicKey(), encCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RetryMin == 0 {
+		cfg.RetryMin = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= cfg.RetryMin {
+		cfg.RetryMax = cfg.RetryMin + 100*time.Millisecond
+	}
+	n := &Node{
+		ID:              id,
+		enclave:         enclave,
+		net:             net,
+		sim:             net.Sim(),
+		chain:           bc,
+		dir:             dir,
+		cfg:             cfg,
+		rnd:             sim.NewRand(cfg.Seed ^ 0x7ee), // per-node stream
+		wallet:          wallet,
+		depositScripts:  make(map[chain.OutPoint]chain.Script),
+		watched:         make(map[chain.OutPoint]wire.PaymentID),
+		watchedDeposits: make(map[chain.OutPoint]wire.ChannelID),
+		batches:         make(map[wire.ChannelID]*pendingBatch),
+		inflight:        make(map[wire.ChannelID][]*inflightBatch),
+		mh:              make(map[wire.PaymentID]*mhAttempt),
+		channelPeers:    make(map[wire.ChannelID]cryptoutil.PublicKey),
+	}
+	n.ep = net.AddNode(id, n.handleNetMessage, n.messageCost)
+	dir.Register(enclave.Identity(), id)
+	bc.OnBlock(n.onBlock)
+	return n, nil
+}
+
+// chargeLocal runs fn after occupying the node's processor for cost,
+// modelling enclave work triggered by local operator commands (e.g. the
+// monotonic counter increment that guards every state change in
+// stable-storage mode, §6.2).
+func (n *Node) chargeLocal(cost time.Duration, fn func()) {
+	n.ep.Processor().Do(cost, fn)
+}
+
+// Enclave exposes the node's enclave (the trusted component).
+func (n *Node) Enclave() *Enclave { return n.enclave }
+
+// Identity returns the enclave identity this node hosts.
+func (n *Node) Identity() cryptoutil.PublicKey { return n.enclave.Identity() }
+
+// WalletKey returns the host's cold payout key.
+func (n *Node) WalletKey() cryptoutil.PublicKey { return n.wallet.Public() }
+
+// OnEvent installs a user event callback (called after built-in
+// handling).
+func (n *Node) OnEvent(fn func(Event)) { n.onEvent = fn }
+
+func (n *Node) messageCost(payload any) (time.Duration, time.Duration) {
+	env, ok := payload.(*Envelope)
+	if !ok {
+		return CostPayBase, 0
+	}
+	return CostModel(n.cfg.Enclave.StableStorage)(env.Msg)
+}
+
+// Dispatch sends an enclave result's outbound messages and surfaces its
+// events. The Node convenience methods call it internally; it is
+// exported for advanced flows that drive the enclave directly (e.g.
+// committee failover, where a member settles a crashed owner's
+// channels).
+func (n *Node) Dispatch(res *Result) { n.dispatch(res) }
+
+// dispatch sends an enclave result's outbound messages and surfaces its
+// events.
+func (n *Node) dispatch(res *Result) {
+	if res == nil {
+		return
+	}
+	for _, out := range res.Out {
+		n.send(out)
+	}
+	for _, ev := range res.Events {
+		n.handleEvent(ev)
+	}
+}
+
+func (n *Node) send(out Outbound) {
+	to, ok := n.dir.NodeOf(out.To)
+	if !ok {
+		n.logf("no route to identity %s", out.To)
+		return
+	}
+	env := &Envelope{From: n.enclave.Identity(), Msg: out.Msg}
+	if _, isAttest := out.Msg.(*wire.Attest); !isAttest {
+		token, err := n.enclave.SealToken(out.To)
+		if err != nil {
+			n.logf("sealing token for %s: %v", out.To, err)
+			return
+		}
+		env.Token = token
+	}
+	if err := n.net.Send(n.ID, to, env, env.WireSize()); err != nil {
+		n.logf("send to %s: %v", to, err)
+	}
+}
+
+func (n *Node) handleNetMessage(from netsim.NodeID, payload any) {
+	env, ok := payload.(*Envelope)
+	if !ok {
+		n.logf("dropping non-envelope payload %T", payload)
+		return
+	}
+	if _, isAttest := env.Msg.(*wire.Attest); !isAttest {
+		if err := n.enclave.VerifyToken(env.From, env.Token); err != nil {
+			n.logf("dropping message %T from %s: %v", env.Msg, from, err)
+			return
+		}
+	}
+	res, err := n.enclave.HandleMessage(env.From, env.Msg)
+	if err != nil {
+		n.logf("enclave rejected %T from %s: %v", env.Msg, from, err)
+		return
+	}
+	n.hookIncoming(env.Msg)
+	n.dispatch(res)
+}
+
+// hookIncoming updates host bookkeeping keyed off specific messages:
+// payment metrics, and blockchain watches on τ inputs once τ is known
+// (so premature settlements by other path members trigger PoPT
+// ejection, §5.1).
+func (n *Node) hookIncoming(msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Pay:
+		n.PaymentsReceived += uint64(m.Count)
+	case *wire.MhLock:
+		n.watchTau(m.Payment)
+	case *wire.MhSign:
+		n.watchTau(m.Payment)
+	case *wire.MhPreUpdate:
+		n.watchTau(m.Payment)
+	}
+}
+
+// Logf, when set, receives host diagnostics (dropped messages, rejected
+// settlements). The demo binaries and debugging tests install printers;
+// production hosts would wire a real logger.
+var Logf func(node netsim.NodeID, format string, args ...any)
+
+func (n *Node) logf(format string, args ...any) {
+	if Logf != nil {
+		Logf(n.ID, format, args...)
+	}
+}
+
+// --- Built-in event reactions ---
+
+func (n *Node) handleEvent(ev Event) {
+	switch e := ev.(type) {
+	case EvChannelRequest:
+		// Auto-accept inbound channels with our wallet as settlement
+		// target.
+		res, err := n.enclave.AcceptChannel(e.Channel, e.Remote, e.RemoteAddr, n.wallet.Address(), false)
+		if err != nil {
+			n.logf("accepting channel %s: %v", e.Channel, err)
+			break
+		}
+		n.channelPeers[e.Channel] = e.Remote
+		n.dispatch(res)
+	case EvChannelOpen:
+		n.channelPeers[e.Channel] = e.Remote
+	case EvDepositApprovalNeeded:
+		// Verify the deposit on the blockchain per local policy (§4.1).
+		conf := n.chain.Confirmations(e.Deposit.Point.Tx)
+		res, err := n.enclave.ConfirmRemoteDeposit(e.Remote, e.Deposit, conf)
+		if err != nil {
+			n.logf("deposit approval %s: %v", e.Deposit.Point, err)
+			break
+		}
+		n.dispatch(res)
+	case EvDepositAssociated:
+		n.watchedDeposits[e.Point] = e.Channel
+	case EvDepositDissociated:
+		delete(n.watchedDeposits, e.Point)
+	case EvPayAcked:
+		n.completeBatch(e.Channel, true, "")
+	case EvPayNacked:
+		n.completeBatch(e.Channel, false, e.Reason)
+	case EvPaymentReceived:
+		// metrics only; hookIncoming counted it
+	case EvMultihopComplete:
+		n.finishMultihop(e)
+	case EvMultihopArrived:
+		n.PaymentsReceived += uint64(e.Count)
+	case EvSettlementReady:
+		if e.Tx != nil {
+			n.completeAndSubmit(e.Tx, e.Needs)
+		}
+	case EvSigComplete:
+		if _, err := n.chain.Submit(e.Tx); err != nil {
+			n.logf("submitting completed settlement: %v", err)
+		}
+	case EvFrozen:
+		// The host of a frozen chain settles everything it can.
+		n.logf("chain %s frozen: %s", e.Chain, e.Reason)
+	}
+	if n.onEvent != nil {
+		n.onEvent(ev)
+	}
+}
+
+// completeAndSubmit drives committee signature collection for a
+// settlement and submits when satisfied.
+func (n *Node) completeAndSubmit(tx *chain.Transaction, needs []SigNeed) {
+	if len(needs) == 0 {
+		if _, err := n.chain.Submit(tx); err != nil {
+			n.logf("submitting settlement: %v", err)
+		}
+		return
+	}
+	deps := n.depsForTx(tx)
+	res, err := n.enclave.CollectSignatures(tx, deps, needs)
+	if err != nil {
+		n.logf("collecting signatures: %v", err)
+		return
+	}
+	n.dispatch(res)
+}
+
+// depsForTx reconstructs the deposit descriptions behind a settlement's
+// inputs from host records and enclave state.
+func (n *Node) depsForTx(tx *chain.Transaction) []wire.DepositInfo {
+	deps := make([]wire.DepositInfo, len(tx.Inputs))
+	st := n.enclave.State()
+	for i, in := range tx.Inputs {
+		if rec, ok := st.Deposits[in.Prev]; ok {
+			deps[i] = rec.Info
+			continue
+		}
+		for _, c := range st.Channels {
+			if j := c.findDep(c.RemoteDeps, in.Prev); j >= 0 {
+				deps[i] = c.RemoteDeps[j]
+				break
+			}
+			if j := c.findDep(c.MyDeps, in.Prev); j >= 0 {
+				deps[i] = c.MyDeps[j]
+				break
+			}
+		}
+	}
+	return deps
+}
+
+// --- Setup operations ---
+
+// Connect performs mutual attestation with a peer node and exchanges
+// payout keys (identities are in the shared directory, i.e. exchanged
+// out of band). Completion is asynchronous; run the simulator and check
+// Connected.
+func (n *Node) Connect(peer *Node) error {
+	res, err := n.enclave.StartAttest(peer.Identity())
+	if err != nil {
+		return err
+	}
+	r1, err := n.enclave.RegisterPayoutKey(peer.WalletKey())
+	if err != nil {
+		return err
+	}
+	r2, err := peer.enclave.RegisterPayoutKey(n.WalletKey())
+	if err != nil {
+		return err
+	}
+	peer.dispatch(r2)
+	n.dispatch(res.merge(r1))
+	return nil
+}
+
+// Connected reports whether the secure channel with peer is up.
+func (n *Node) Connected(peer *Node) bool {
+	return n.enclave.SessionEstablished(peer.Identity())
+}
+
+// FormCommittee configures this node's committee chain (§6) with the
+// given member nodes and threshold m (of len(members)+1).
+func (n *Node) FormCommittee(members []*Node, m int) error {
+	ids := make([]cryptoutil.PublicKey, len(members))
+	for i, mem := range members {
+		ids[i] = mem.Identity()
+	}
+	res, err := n.enclave.FormCommittee(ids, m)
+	if err != nil {
+		return err
+	}
+	n.dispatch(res)
+	return nil
+}
+
+// CreateDepositInstant funds a deposit directly via the chain faucet
+// and registers it immediately — the setup shortcut used by benchmarks
+// (deposits are created "in advance", §4). CreateDeposit is the full
+// asynchronous path.
+func (n *Node) CreateDepositInstant(value chain.Amount) (chain.OutPoint, error) {
+	script, err := n.enclave.NewDepositScript()
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+	point, err := n.chain.Fund(script, value)
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+	n.depositScripts[point] = script
+	info := n.enclave.DepositInfoFor(point, value, script)
+	res, err := n.enclave.RegisterDeposit(info)
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+	n.dispatch(res)
+	return point, nil
+}
+
+// CreateDeposit funds a deposit from the host wallet with a real
+// blockchain transaction and registers it once it has confirmations
+// confirmations. The returned outpoint identifies the future deposit;
+// registration happens asynchronously as blocks arrive.
+func (n *Node) CreateDeposit(walletUTXO chain.OutPoint, value chain.Amount, confirmations uint64) (chain.OutPoint, error) {
+	prev, ok := n.chain.UTXO(walletUTXO)
+	if !ok {
+		return chain.OutPoint{}, fmt.Errorf("core: wallet utxo %s unknown", walletUTXO)
+	}
+	if prev.Value < value {
+		return chain.OutPoint{}, fmt.Errorf("core: wallet utxo %d below deposit value %d", prev.Value, value)
+	}
+	script, err := n.enclave.NewDepositScript()
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+	tx := &chain.Transaction{
+		Inputs:  []chain.TxIn{{Prev: walletUTXO}},
+		Outputs: []chain.TxOut{{Value: value, Script: script}},
+	}
+	if change := prev.Value - value; change > 0 {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: change, Script: chain.PayToKey(n.wallet.Public())})
+	}
+	if err := tx.SignInput(0, prev.Script, n.wallet); err != nil {
+		return chain.OutPoint{}, err
+	}
+	txid, err := n.chain.Submit(tx)
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+	point := chain.OutPoint{Tx: txid, Index: 0}
+	n.depositScripts[point] = script
+	// Register once buried deeply enough; the chain watcher below
+	// triggers on each block.
+	n.pendingDeposits = append(n.pendingDeposits, pendingDeposit{
+		point: point, value: value, script: script, confirmations: confirmations,
+	})
+	return point, nil
+}
+
+type pendingDeposit struct {
+	point         chain.OutPoint
+	value         chain.Amount
+	script        chain.Script
+	confirmations uint64
+}
+
+// ApproveDeposit runs the approval handshake for one of our deposits
+// with a channel peer.
+func (n *Node) ApproveDeposit(peer *Node, point chain.OutPoint) error {
+	res, err := n.enclave.RequestDepositApproval(peer.Identity(), point)
+	if err != nil {
+		return err
+	}
+	n.dispatch(res)
+	return nil
+}
+
+// OpenChannel initiates a payment channel with peer and returns its ID.
+func (n *Node) OpenChannel(peer *Node) (wire.ChannelID, error) {
+	id := n.newChannelID(peer)
+	res, err := n.enclave.OpenChannel(id, peer.Identity(), n.wallet.Address(), false)
+	if err != nil {
+		return "", err
+	}
+	n.channelPeers[id] = peer.Identity()
+	n.dispatch(res)
+	return id, nil
+}
+
+func (n *Node) newChannelID(peer *Node) wire.ChannelID {
+	n.mhSeq++
+	sum := cryptoutil.Hash256([]byte(n.ID), []byte(peer.ID), []byte(fmt.Sprint(n.mhSeq)))
+	return wire.ChannelID(fmt.Sprintf("ch-%x", sum[:8]))
+}
+
+// AssociateDeposit binds an approved deposit to a channel.
+func (n *Node) AssociateDeposit(channel wire.ChannelID, point chain.OutPoint) error {
+	res, err := n.enclave.AssociateDeposit(channel, point)
+	if err != nil {
+		return err
+	}
+	n.dispatch(res)
+	return nil
+}
+
+// DissociateDeposit removes a deposit from a channel.
+func (n *Node) DissociateDeposit(channel wire.ChannelID, point chain.OutPoint) error {
+	res, err := n.enclave.DissociateDeposit(channel, point)
+	if err != nil {
+		return err
+	}
+	n.dispatch(res)
+	return nil
+}
+
+// --- Payments ---
+
+// Pay sends amount over channel; done (optional) fires on remote
+// acknowledgement. With batching enabled the payment may share a
+// message with others in the same window.
+func (n *Node) Pay(channel wire.ChannelID, amount chain.Amount, done PayDone) error {
+	n.PaymentsSent++
+	if n.cfg.BatchWindow <= 0 {
+		return n.sendPay(channel, amount, 1, []batchEntry{{done: done, issuedAt: n.sim.Now()}})
+	}
+	b := n.batches[channel]
+	if b == nil {
+		b = &pendingBatch{}
+		n.batches[channel] = b
+		b.timer = n.sim.Schedule(n.cfg.BatchWindow, func() { n.flushBatch(channel) })
+	}
+	b.amount += amount
+	b.count++
+	b.entries = append(b.entries, batchEntry{done: done, issuedAt: n.sim.Now()})
+	return nil
+}
+
+func (n *Node) flushBatch(channel wire.ChannelID) {
+	b := n.batches[channel]
+	if b == nil || b.count == 0 {
+		delete(n.batches, channel)
+		return
+	}
+	delete(n.batches, channel)
+	if err := n.sendPay(channel, b.amount, b.count, b.entries); err != nil {
+		for _, e := range b.entries {
+			if e.done != nil {
+				e.done(false, 0, err.Error())
+			}
+		}
+	}
+}
+
+func (n *Node) sendPay(channel wire.ChannelID, amount chain.Amount, count int, entries []batchEntry) error {
+	if !n.cfg.Enclave.StableStorage {
+		return n.doSendPay(channel, amount, count, entries)
+	}
+	// Stable storage seals state under a monotonic counter before the
+	// payment leaves the enclave.
+	n.chargeLocal(tee.CounterIncrementLatency, func() {
+		if err := n.doSendPay(channel, amount, count, entries); err != nil {
+			for _, e := range entries {
+				if e.done != nil {
+					e.done(false, 0, err.Error())
+				}
+			}
+		}
+	})
+	return nil
+}
+
+func (n *Node) doSendPay(channel wire.ChannelID, amount chain.Amount, count int, entries []batchEntry) error {
+	res, err := n.enclave.Pay(channel, amount, count)
+	if err != nil {
+		return err
+	}
+	n.inflight[channel] = append(n.inflight[channel], &inflightBatch{
+		count: count, entries: entries, sentAt: n.sim.Now(),
+	})
+	n.dispatch(res)
+	return nil
+}
+
+// completeBatch resolves the oldest in-flight batch on a channel with
+// the remote's verdict: acknowledgements and nacks arrive in issue
+// order per channel (the enclave orders both behind replication).
+func (n *Node) completeBatch(channel wire.ChannelID, ok bool, reason string) {
+	q := n.inflight[channel]
+	if len(q) == 0 {
+		return
+	}
+	b := q[0]
+	n.inflight[channel] = q[1:]
+	now := n.sim.Now()
+	if ok {
+		n.PaymentsAcked += uint64(b.count)
+	}
+	for _, e := range b.entries {
+		if e.done != nil {
+			e.done(ok, now.Sub(e.issuedAt), reason)
+		}
+	}
+}
+
+// PayRetry is Pay with the §7.4 retry discipline: local failures and
+// remote nacks (channel locked by a crossing multi-hop payment) retry
+// after a randomized 100-200 ms backoff, up to the configured limit.
+func (n *Node) PayRetry(channel wire.ChannelID, amount chain.Amount, done PayDone) {
+	start := n.sim.Now()
+	var attempt func(tries int)
+	finish := func(ok bool, reason string) {
+		if done != nil {
+			done(ok, n.sim.Now().Sub(start), reason)
+		}
+	}
+	attempt = func(tries int) {
+		retry := func(reason string) {
+			if tries >= n.cfg.MaxRetries {
+				finish(false, reason)
+				return
+			}
+			backoff := n.rnd.DurationBetween(n.cfg.RetryMin, n.cfg.RetryMax)
+			n.sim.Schedule(backoff, func() { attempt(tries + 1) })
+		}
+		err := n.Pay(channel, amount, func(ok bool, _ time.Duration, reason string) {
+			if ok {
+				finish(true, "")
+				return
+			}
+			retry(reason)
+		})
+		if err != nil {
+			retry(err.Error())
+		}
+	}
+	attempt(0)
+}
+
+// PayMultihop routes amount along one of the given identity paths
+// (primary first); failures retry with randomized backoff, advancing to
+// alternate paths round-robin (dynamic routing, §7.4).
+func (n *Node) PayMultihop(paths [][]cryptoutil.PublicKey, amount chain.Amount, count int, done PayDone) error {
+	if len(paths) == 0 {
+		return errors.New("core: no paths supplied")
+	}
+	n.mhSeq++
+	att := &mhAttempt{
+		dest:    paths[0][len(paths[0])-1],
+		amount:  amount,
+		count:   count,
+		paths:   paths,
+		done:    done,
+		started: n.sim.Now(),
+	}
+	n.PaymentsSent += uint64(count)
+	return n.launchMultihop(att)
+}
+
+func (n *Node) launchMultihop(att *mhAttempt) error {
+	n.mhSeq++
+	att.id = wire.PaymentID(fmt.Sprintf("mh-%s-%d", n.ID, n.mhSeq))
+	path := att.paths[att.pathIdx%len(att.paths)]
+	res, err := n.enclave.PayMultihop(att.id, att.amount, att.count, path)
+	if err != nil {
+		// Local failure (e.g. our own channel is busy): retry like a
+		// remote failure.
+		n.mh[att.id] = att
+		n.retryMultihop(att, err.Error())
+		return nil
+	}
+	n.mh[att.id] = att
+	n.watchTau(att.id)
+	n.dispatch(res)
+	return nil
+}
+
+func (n *Node) finishMultihop(e EvMultihopComplete) {
+	att, ok := n.mh[e.Payment]
+	if !ok {
+		return
+	}
+	if e.OK {
+		delete(n.mh, e.Payment)
+		n.unwatch(e.Payment)
+		n.MultihopsOK++
+		n.PaymentsAcked += uint64(att.count)
+		if att.done != nil {
+			att.done(true, n.sim.Now().Sub(att.started), "")
+		}
+		return
+	}
+	n.retryMultihop(att, e.Reason)
+}
+
+func (n *Node) retryMultihop(att *mhAttempt, reason string) {
+	delete(n.mh, att.id)
+	att.tries++
+	if att.tries > n.cfg.MaxRetries {
+		n.MultihopsFailed++
+		if att.done != nil {
+			att.done(false, n.sim.Now().Sub(att.started), reason)
+		}
+		return
+	}
+	att.pathIdx++ // rotate paths when alternates exist
+	backoff := n.rnd.DurationBetween(n.cfg.RetryMin, n.cfg.RetryMax)
+	n.sim.Schedule(backoff, func() {
+		if err := n.launchMultihop(att); err != nil {
+			n.MultihopsFailed++
+			if att.done != nil {
+				att.done(false, n.sim.Now().Sub(att.started), err.Error())
+			}
+		}
+	})
+}
+
+// watchTau registers the τ inputs of an in-flight payment for
+// blockchain watching so premature settlements by other participants
+// are detected and answered with PoPT ejection.
+func (n *Node) watchTau(pid wire.PaymentID) {
+	mh, ok := n.enclave.State().Multihop[pid]
+	if !ok || mh.Tau == nil {
+		return
+	}
+	for _, in := range mh.Tau.Inputs {
+		n.watched[in.Prev] = pid
+	}
+}
+
+// --- Settlement ---
+
+// Settle terminates a channel; off-chain when neutral, otherwise the
+// settlement transaction is completed and submitted automatically.
+func (n *Node) Settle(channel wire.ChannelID) (*SettleResult, error) {
+	sr, err := n.enclave.Settle(channel)
+	if err != nil {
+		return nil, err
+	}
+	n.dispatch(sr.Result)
+	return sr, nil
+}
+
+// EjectPayment prematurely terminates a multi-hop payment and submits
+// the resulting settlements.
+func (n *Node) EjectPayment(pid wire.PaymentID) (*SettleResult, error) {
+	sr, err := n.enclave.EjectPayment(pid)
+	if err != nil {
+		return nil, err
+	}
+	n.dispatch(sr.Result)
+	for i, tx := range sr.Txs {
+		n.completeAndSubmit(tx, sr.Needs[i])
+	}
+	return sr, nil
+}
+
+// ReleaseDeposit spends a free deposit back to the wallet.
+func (n *Node) ReleaseDeposit(point chain.OutPoint) error {
+	tx, needs, res, err := n.enclave.ReleaseDeposit(point)
+	if err != nil {
+		return err
+	}
+	n.dispatch(res)
+	n.completeAndSubmit(tx, needs)
+	return nil
+}
+
+// onBlock reacts to new blocks: registers matured deposits and detects
+// spends of watched τ inputs (PoPT trigger).
+func (n *Node) onBlock(b *chain.Block) {
+	// Mature wallet-funded deposits.
+	if len(n.pendingDeposits) > 0 {
+		var keep []pendingDeposit
+		for _, pd := range n.pendingDeposits {
+			if n.chain.Confirmations(pd.point.Tx) >= pd.confirmations {
+				info := n.enclave.DepositInfoFor(pd.point, pd.value, pd.script)
+				if res, err := n.enclave.RegisterDeposit(info); err == nil {
+					n.dispatch(res)
+				} else {
+					n.logf("registering matured deposit: %v", err)
+				}
+				continue
+			}
+			keep = append(keep, pd)
+		}
+		n.pendingDeposits = keep
+	}
+	// Detect premature settlements of in-flight multi-hop payments and
+	// counterparty settlements of our channels.
+	for _, tx := range b.Txs {
+		for _, in := range tx.Inputs {
+			if pid, ok := n.watched[in.Prev]; ok {
+				delete(n.watched, in.Prev)
+				n.reactToSpend(pid, in.Prev, tx)
+				continue
+			}
+			if chID, ok := n.watchedDeposits[in.Prev]; ok {
+				delete(n.watchedDeposits, in.Prev)
+				n.reactToChannelSpend(chID, in.Prev, tx)
+			}
+		}
+	}
+}
+
+// reactToChannelSpend handles an on-chain spend of one of our channel
+// deposits: the counterparty (or a τ) settled the channel. The enclave
+// closes the channel; if a multi-hop payment was in flight over it, the
+// remaining channels eject consistently.
+func (n *Node) reactToChannelSpend(chID wire.ChannelID, point chain.OutPoint, tx *chain.Transaction) {
+	var pid wire.PaymentID
+	if c, ok := n.enclave.State().Channels[chID]; ok {
+		pid = c.Payment
+	}
+	if res, err := n.enclave.ObserveSpent(point, tx); err == nil {
+		n.dispatch(res)
+	}
+	if pid == "" {
+		return
+	}
+	if mh, ok := n.enclave.State().Multihop[pid]; !ok || mh.Done {
+		return
+	}
+	sr, err := n.enclave.EjectWithPoPT(pid, tx)
+	if err != nil {
+		sr, err = n.enclave.EjectPayment(pid)
+		if err != nil {
+			return
+		}
+	}
+	n.dispatch(sr.Result)
+	for i, stx := range sr.Txs {
+		n.completeAndSubmit(stx, sr.Needs[i])
+	}
+}
+
+func (n *Node) reactToSpend(pid wire.PaymentID, point chain.OutPoint, tx *chain.Transaction) {
+	// Our own channel's deposit: the enclave observes and closes.
+	if res, err := n.enclave.ObserveSpent(point, tx); err == nil {
+		n.dispatch(res)
+	}
+	mh, ok := n.enclave.State().Multihop[pid]
+	if !ok || mh.Done {
+		return
+	}
+	// A foreign channel of an in-flight payment settled prematurely:
+	// eject with the observed transaction as PoPT. When the PoPT rules
+	// do not apply (our channel was the one settled, or we are still in
+	// a stage permitting individual settlement), fall back to voluntary
+	// ejection so our remaining channels settle too.
+	sr, err := n.enclave.EjectWithPoPT(pid, tx)
+	if err != nil {
+		sr, err = n.enclave.EjectPayment(pid)
+		if err != nil {
+			return
+		}
+	}
+	n.dispatch(sr.Result)
+	for i, stx := range sr.Txs {
+		n.completeAndSubmit(stx, sr.Needs[i])
+	}
+}
+
+// unwatch clears blockchain watches for a finished payment.
+func (n *Node) unwatch(pid wire.PaymentID) {
+	for p, id := range n.watched {
+		if id == pid {
+			delete(n.watched, p)
+		}
+	}
+}

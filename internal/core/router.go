@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"teechain/internal/cryptoutil"
+)
+
+// Router finds payment paths over the channel graph. The paper assumes
+// routes are determined out of band (§3, footnote 2); Router is the
+// out-of-band mechanism for this deployment: hosts feed it channel
+// openings and query shortest (or progressively longer, for dynamic
+// routing §7.4) identity paths.
+type Router struct {
+	adj map[cryptoutil.PublicKey]map[cryptoutil.PublicKey]int // edge -> channel count
+}
+
+// NewRouter returns an empty channel graph.
+func NewRouter() *Router {
+	return &Router{adj: make(map[cryptoutil.PublicKey]map[cryptoutil.PublicKey]int)}
+}
+
+// AddChannel records a (bidirectional) channel between two identities.
+func (r *Router) AddChannel(a, b cryptoutil.PublicKey) {
+	r.edge(a)[b]++
+	r.edge(b)[a]++
+}
+
+// RemoveChannel removes one channel between two identities.
+func (r *Router) RemoveChannel(a, b cryptoutil.PublicKey) {
+	if m := r.adj[a]; m != nil && m[b] > 0 {
+		m[b]--
+		if m[b] == 0 {
+			delete(m, b)
+		}
+	}
+	if m := r.adj[b]; m != nil && m[a] > 0 {
+		m[a]--
+		if m[a] == 0 {
+			delete(m, a)
+		}
+	}
+}
+
+func (r *Router) edge(a cryptoutil.PublicKey) map[cryptoutil.PublicKey]int {
+	m, ok := r.adj[a]
+	if !ok {
+		m = make(map[cryptoutil.PublicKey]int)
+		r.adj[a] = m
+	}
+	return m
+}
+
+// neighbours returns a's neighbours in deterministic order.
+func (r *Router) neighbours(a cryptoutil.PublicKey) []cryptoutil.PublicKey {
+	m := r.adj[a]
+	out := make([]cryptoutil.PublicKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return lessKey(out[i], out[j])
+	})
+	return out
+}
+
+func lessKey(a, b cryptoutil.PublicKey) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// ShortestPath returns one shortest identity path from src to dst
+// (inclusive), or nil if unreachable.
+func (r *Router) ShortestPath(src, dst cryptoutil.PublicKey) []cryptoutil.PublicKey {
+	paths := r.Paths(src, dst, 1, 0)
+	if len(paths) == 0 {
+		return nil
+	}
+	return paths[0]
+}
+
+// Paths returns up to k simple paths from src to dst ordered by
+// non-decreasing length, considering paths at most extra hops longer
+// than the shortest (dynamic routing tries the shortest first, then
+// incrementally longer alternatives, §7.4). Search is a breadth-first
+// enumeration over simple paths, bounded to keep it tractable on the
+// deployment sizes the paper evaluates (≤ 30 nodes).
+func (r *Router) Paths(src, dst cryptoutil.PublicKey, k, extra int) [][]cryptoutil.PublicKey {
+	if k < 1 {
+		return nil
+	}
+	if src == dst {
+		return [][]cryptoutil.PublicKey{{src}}
+	}
+	type partial struct {
+		path []cryptoutil.PublicKey
+		seen map[cryptoutil.PublicKey]bool
+	}
+	var results [][]cryptoutil.PublicKey
+	shortest := -1
+	queue := []partial{{path: []cryptoutil.PublicKey{src}, seen: map[cryptoutil.PublicKey]bool{src: true}}}
+	const maxExpansions = 200_000
+	expansions := 0
+	for len(queue) > 0 && len(results) < k {
+		p := queue[0]
+		queue = queue[1:]
+		if shortest >= 0 && len(p.path)-1 > shortest+extra {
+			break
+		}
+		last := p.path[len(p.path)-1]
+		for _, next := range r.neighbours(last) {
+			if p.seen[next] {
+				continue
+			}
+			expansions++
+			if expansions > maxExpansions {
+				return results
+			}
+			np := make([]cryptoutil.PublicKey, len(p.path)+1)
+			copy(np, p.path)
+			np[len(p.path)] = next
+			if next == dst {
+				if shortest < 0 {
+					shortest = len(np) - 1
+				}
+				if len(np)-1 <= shortest+extra {
+					results = append(results, np)
+					if len(results) >= k {
+						return results
+					}
+				}
+				continue
+			}
+			ns := make(map[cryptoutil.PublicKey]bool, len(p.seen)+1)
+			for key := range p.seen {
+				ns[key] = true
+			}
+			ns[next] = true
+			queue = append(queue, partial{path: np, seen: ns})
+		}
+	}
+	return results
+}

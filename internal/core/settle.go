@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// This file constructs and authorizes settlement transactions: channel
+// termination (Alg. 1 settle), ejection during multi-hop payments, and
+// the validation committee members run before countersigning.
+
+// SettleResult is the outcome of a settle or eject entry point.
+type SettleResult struct {
+	// OffChain reports cooperative termination without a transaction.
+	OffChain bool
+	// Txs are the settlement transactions to submit; Needs lists, per
+	// transaction, inputs still requiring committee signatures.
+	Txs   []*chain.Transaction
+	Needs [][]SigNeed
+	// Result carries protocol messages and events to dispatch.
+	Result *Result
+}
+
+// buildChannelSettlement constructs the transaction settling channel c
+// at balances (myBal, remoteBal): all channel deposits in, one output
+// per non-zero balance.
+func buildChannelSettlement(c *ChannelState, myBal, remoteBal chain.Amount, myKey, remoteKey cryptoutil.PublicKey) (*chain.Transaction, []wire.DepositInfo, error) {
+	deps := make([]wire.DepositInfo, 0, len(c.MyDeps)+len(c.RemoteDeps))
+	deps = append(deps, c.MyDeps...)
+	deps = append(deps, c.RemoteDeps...)
+	if len(deps) == 0 {
+		return nil, nil, fmt.Errorf("core: channel %s has no deposits to settle", c.ID)
+	}
+	var total chain.Amount
+	points := make([]chain.OutPoint, len(deps))
+	byPoint := make(map[chain.OutPoint]wire.DepositInfo, len(deps))
+	for i, d := range deps {
+		points[i] = d.Point
+		byPoint[d.Point] = d
+		total += d.Value
+	}
+	if myBal+remoteBal != total {
+		return nil, nil, fmt.Errorf("core: settlement balances %d+%d do not match deposits %d",
+			myBal, remoteBal, total)
+	}
+	tx := &chain.Transaction{}
+	ordered := make([]wire.DepositInfo, 0, len(deps))
+	for _, p := range chain.SortOutPoints(points) {
+		tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: p})
+		ordered = append(ordered, byPoint[p])
+	}
+	if myBal > 0 {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: myBal, Script: chain.PayToKey(myKey)})
+	}
+	if remoteBal > 0 {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: remoteBal, Script: chain.PayToKey(remoteKey)})
+	}
+	return tx, ordered, nil
+}
+
+// settlementKeys resolves the 1-of-1 payout keys for both channel
+// parties from the replicated payout directory. Keys are exchanged out
+// of band alongside identity keys (RegisterPayoutKey) and replicated so
+// committee mirrors can settle after an owner crash.
+func (e *Enclave) settlementKeys(c *ChannelState) (cryptoutil.PublicKey, cryptoutil.PublicKey, error) {
+	myKey, ok := e.state.PayoutKeys[c.MyAddr]
+	if !ok {
+		return cryptoutil.PublicKey{}, cryptoutil.PublicKey{}, fmt.Errorf("core: no payout key for my address %s", c.MyAddr)
+	}
+	remoteKey, ok := e.state.PayoutKeys[c.RemoteAddr]
+	if !ok {
+		return cryptoutil.PublicKey{}, cryptoutil.PublicKey{}, fmt.Errorf("core: no payout key for remote address %s", c.RemoteAddr)
+	}
+	return myKey, remoteKey, nil
+}
+
+// RegisterPayoutKey teaches the enclave the public key behind a
+// settlement address so it can construct outputs paying it. The mapping
+// replicates to committee mirrors.
+func (e *Enclave) RegisterPayoutKey(key cryptoutil.PublicKey) (*Result, error) {
+	return e.commit(&Op{Kind: OpRegisterPayoutKey, Remote: key}, nil, nil)
+}
+
+// signSettlementInputs signs every input the enclave holds keys for and
+// returns the outstanding committee needs for the rest.
+func (e *Enclave) signSettlementInputs(tx *chain.Transaction, deps []wire.DepositInfo) []SigNeed {
+	var needs []SigNeed
+	for i, d := range deps {
+		signed := 0
+		for _, k := range d.Script.Keys {
+			kp, ok := e.btcKeys[k.Address()]
+			if !ok {
+				continue
+			}
+			if err := tx.SignInput(i, d.Script, kp); err == nil {
+				signed++
+				if signed >= d.Script.M {
+					break
+				}
+			}
+		}
+		if signed < d.Script.M {
+			need := SigNeed{Input: i, Committee: d.Committee}
+			for _, m := range d.Members {
+				if m.Identity != e.identity.Public() {
+					need.Members = append(need.Members, m.Identity)
+				}
+			}
+			needs = append(needs, need)
+		}
+	}
+	return needs
+}
+
+// Settle terminates a channel (settle, Alg. 1 line 105). Neutral
+// channels terminate off-chain by dissociating every deposit; otherwise
+// a settlement transaction is produced for the host to complete and
+// submit, and the remote is notified.
+func (e *Enclave) Settle(id wire.ChannelID) (*SettleResult, error) {
+	c, err := e.state.openChannel(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.Stage != MhIdle {
+		return nil, ErrChannelLocked
+	}
+	if c.Neutral() {
+		res, err := e.commit(&Op{Kind: OpSettleIntent, Channel: id}, oneOut(c.Remote, &wire.SettleRequest{Channel: id}), nil)
+		if err != nil {
+			return nil, err
+		}
+		// Dissociate all our deposits; the peer mirrors on request.
+		for _, d := range append([]wire.DepositInfo{}, c.MyDeps...) {
+			r, err := e.DissociateDeposit(id, d.Point)
+			if err != nil {
+				return nil, err
+			}
+			res.merge(r)
+		}
+		final, err := e.maybeCloseNeutral(id, res)
+		if err != nil {
+			return nil, err
+		}
+		return &SettleResult{OffChain: true, Result: final}, nil
+	}
+
+	myKey, remoteKey, err := e.settlementKeys(c)
+	if err != nil {
+		return nil, err
+	}
+	tx, deps, err := buildChannelSettlement(c, c.MyBal, c.RemoteBal, myKey, remoteKey)
+	if err != nil {
+		return nil, err
+	}
+	needs := e.signSettlementInputs(tx, deps)
+	out := oneOut(c.Remote, &wire.SettleNotify{Channel: id, Tx: tx})
+	ev := []Event{
+		EvChannelClosed{Channel: id, OffChain: false},
+		EvSettlementReady{Channel: id, Tx: tx, Needs: needs},
+	}
+	res, err := e.commit(&Op{Kind: OpCloseChannel, Channel: id}, out, ev)
+	if err != nil {
+		return nil, err
+	}
+	return &SettleResult{Txs: []*chain.Transaction{tx}, Needs: [][]SigNeed{needs}, Result: res}, nil
+}
+
+func (e *Enclave) handleSettleRequest(from cryptoutil.PublicKey, m *wire.SettleRequest) (*Result, error) {
+	c, err := e.state.openChannel(m.Channel)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: settle request from wrong peer")
+	}
+	if c.Stage != MhIdle {
+		return nil, ErrChannelLocked
+	}
+	if !c.Neutral() {
+		return nil, errors.New("core: cooperative close requested on non-neutral channel")
+	}
+	res, err := e.commit(&Op{Kind: OpSettleIntent, Channel: m.Channel}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range append([]wire.DepositInfo{}, c.MyDeps...) {
+		r, err := e.DissociateDeposit(m.Channel, d.Point)
+		if err != nil {
+			return nil, err
+		}
+		res.merge(r)
+	}
+	return e.maybeCloseNeutral(m.Channel, res)
+}
+
+func (e *Enclave) handleSettleNotify(from cryptoutil.PublicKey, m *wire.SettleNotify) (*Result, error) {
+	c, ok := e.state.Channels[m.Channel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: settle notify from wrong peer")
+	}
+	if c.Closed {
+		return &Result{}, nil
+	}
+	// Validate the counterparty's settlement against our own view; an
+	// inconsistent transaction is evidence of compromise and would also
+	// fail committee validation and blockchain conflict rules.
+	if m.Tx != nil {
+		if err := authorizeSettlement(e.state, m.Tx); err != nil {
+			return nil, fmt.Errorf("core: remote settlement rejected: %w", err)
+		}
+	}
+	ev := []Event{EvChannelClosed{Channel: m.Channel, OffChain: false}}
+	return e.commit(&Op{Kind: OpCloseChannel, Channel: m.Channel}, nil, ev)
+}
+
+// errNoMatch distinguishes "this rule does not apply" from hard
+// rejections inside authorizeSettlement.
+var errNoMatch = errors.New("core: no matching authorization rule")
+
+// authorizeSettlement decides whether tx is a settlement this state
+// (an enclave's own, or a committee member's mirror) permits:
+//
+//   - a full channel settlement at current balances, allowed only in
+//     multi-hop stages idle/lock/sign (pre-payment) and
+//     postUpdate (post-payment) — never between preUpdate and update,
+//     where only τ may settle (§5.1);
+//   - the recorded τ of an in-flight payment;
+//   - the release of a free deposit to the owner's payout address.
+func authorizeSettlement(st *State, tx *chain.Transaction) error {
+	if len(tx.Inputs) == 0 {
+		return errors.New("core: settlement with no inputs")
+	}
+	if err := authorizeChannelSettlement(st, tx); !errors.Is(err, errNoMatch) {
+		return err
+	}
+	if err := authorizeTau(st, tx); !errors.Is(err, errNoMatch) {
+		return err
+	}
+	if err := authorizeRelease(st, tx); !errors.Is(err, errNoMatch) {
+		return err
+	}
+	return errors.New("core: transaction matches no channel, τ, or free deposit")
+}
+
+func authorizeChannelSettlement(st *State, tx *chain.Transaction) error {
+	// Identify the channel by the first input's deposit.
+	var target *ChannelState
+	for _, c := range st.Channels {
+		if c.findDep(c.MyDeps, tx.Inputs[0].Prev) >= 0 || c.findDep(c.RemoteDeps, tx.Inputs[0].Prev) >= 0 {
+			target = c
+			break
+		}
+	}
+	if target == nil {
+		return errNoMatch
+	}
+	switch target.Stage {
+	case MhIdle, MhLock, MhSign, MhPostUpdate:
+		// Individual settlement allowed at current balances.
+	default:
+		return fmt.Errorf("core: channel %s in stage %v settles only via τ", target.ID, target.Stage)
+	}
+	// The transaction must spend exactly the channel's deposits.
+	want := make(map[chain.OutPoint]bool, len(target.MyDeps)+len(target.RemoteDeps))
+	var total chain.Amount
+	for _, d := range target.MyDeps {
+		want[d.Point] = true
+		total += d.Value
+	}
+	for _, d := range target.RemoteDeps {
+		want[d.Point] = true
+		total += d.Value
+	}
+	if len(tx.Inputs) != len(want) {
+		return fmt.Errorf("core: settlement spends %d inputs, channel %s has %d deposits",
+			len(tx.Inputs), target.ID, len(want))
+	}
+	for _, in := range tx.Inputs {
+		if !want[in.Prev] {
+			return fmt.Errorf("core: settlement spends foreign outpoint %s", in.Prev)
+		}
+	}
+	// Outputs must pay exactly the current balances to the registered
+	// settlement addresses.
+	paid := make(map[cryptoutil.Address]chain.Amount, len(tx.Outputs))
+	for _, o := range tx.Outputs {
+		paid[o.Script.Address()] += o.Value
+	}
+	if paid[target.MyAddr] != target.MyBal {
+		return fmt.Errorf("core: settlement pays %d to owner, state says %d", paid[target.MyAddr], target.MyBal)
+	}
+	if paid[target.RemoteAddr] != target.RemoteBal {
+		return fmt.Errorf("core: settlement pays %d to remote, state says %d", paid[target.RemoteAddr], target.RemoteBal)
+	}
+	if tx.OutputValue() != total {
+		return errors.New("core: settlement output total does not match deposits")
+	}
+	return nil
+}
+
+func authorizeTau(st *State, tx *chain.Transaction) error {
+	sig := tx.SigHash()
+	for _, mh := range st.Multihop {
+		if mh.Tau != nil && mh.Tau.SigHash() == sig {
+			return nil
+		}
+	}
+	return errNoMatch
+}
+
+func authorizeRelease(st *State, tx *chain.Transaction) error {
+	if len(tx.Inputs) != 1 || len(tx.Outputs) != 1 {
+		return errNoMatch
+	}
+	rec, ok := st.Deposits[tx.Inputs[0].Prev]
+	if !ok {
+		return errNoMatch
+	}
+	if !rec.Free && !rec.Released {
+		return fmt.Errorf("core: deposit %s is not free to release", rec.Info.Point)
+	}
+	out := tx.Outputs[0]
+	if out.Value != rec.Info.Value {
+		return fmt.Errorf("core: release value %d does not match deposit %d", out.Value, rec.Info.Value)
+	}
+	if out.Script.Address() != st.OwnerPayout {
+		return fmt.Errorf("core: release pays %s, owner payout is %s", out.Script.Address(), st.OwnerPayout)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// Temporary channels (§5.2): locking a channel during a multi-hop
+// payment blocks concurrent payments along the same edge. Because
+// Teechain creates channels instantly and assigns deposits dynamically,
+// a host can open G additional ("temporary") channels to the same peer
+// out of unassociated deposits; the enclave's channel selection then
+// spreads concurrent payments across them.
+
+// CreateTempChannels opens g temporary channels to peer, each funded
+// with a fresh deposit of the given value (setup-shortcut funding). It
+// returns the channel IDs once all are open and funded.
+func (n *Node) CreateTempChannels(peer *Node, g int, value chain.Amount) ([]wire.ChannelID, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("core: temp channel count %d must be positive", g)
+	}
+	ids := make([]wire.ChannelID, 0, g)
+	for i := 0; i < g; i++ {
+		id := n.newChannelID(peer)
+		res, err := n.enclave.OpenChannel(id, peer.Identity(), n.wallet.Address(), true)
+		if err != nil {
+			return nil, err
+		}
+		n.channelPeers[id] = peer.Identity()
+		n.dispatch(res)
+		point, err := n.CreateDepositInstant(value)
+		if err != nil {
+			return nil, err
+		}
+		n.tempSetup = append(n.tempSetup, tempSetup{channel: id, point: point, peer: peer.Identity()})
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+type tempSetup struct {
+	channel wire.ChannelID
+	point   chain.OutPoint
+	peer    cryptoutil.PublicKey
+}
+
+// FinishTempChannels completes deposit approval and association for
+// channels created by CreateTempChannels; call after the simulator has
+// delivered the channel-open handshakes.
+func (n *Node) FinishTempChannels() error {
+	pending := n.tempSetup
+	n.tempSetup = nil
+	for _, ts := range pending {
+		res, err := n.enclave.RequestDepositApproval(ts.peer, ts.point)
+		if err != nil {
+			return err
+		}
+		n.dispatch(res)
+		n.tempAssoc = append(n.tempAssoc, ts)
+	}
+	return nil
+}
+
+// AssociateTempDeposits is the final setup step: associate each
+// approved deposit with its temporary channel.
+func (n *Node) AssociateTempDeposits() error {
+	pending := n.tempAssoc
+	n.tempAssoc = nil
+	for _, ts := range pending {
+		res, err := n.enclave.AssociateDeposit(ts.channel, ts.point)
+		if err != nil {
+			return err
+		}
+		n.dispatch(res)
+	}
+	return nil
+}
+
+// MergeTempChannel folds a temporary channel back into the primary
+// relationship (§5.2): the imbalance is moved to the primary channel by
+// a payment pair between the same two hosts (the cycle payment of the
+// paper, specialised to its two-party form), after which the neutral
+// temporary channel terminates off-chain by deposit dissociation.
+//
+// Both hosts cooperate, mirroring the out-of-band coordination the
+// paper assumes for channel management.
+func (n *Node) MergeTempChannel(peer *Node, temp, primary wire.ChannelID) error {
+	c, ok := n.enclave.State().Channels[temp]
+	if !ok {
+		return fmt.Errorf("core: unknown temp channel %s", temp)
+	}
+	if !c.Temp {
+		return fmt.Errorf("core: channel %s is not temporary", temp)
+	}
+	var myDeps chain.Amount
+	for _, d := range c.MyDeps {
+		myDeps += d.Value
+	}
+	switch delta := c.MyBal - myDeps; {
+	case delta > 0:
+		// Our surplus on the temp channel moves back over temp and
+		// returns on the primary.
+		if err := n.Pay(temp, delta, nil); err != nil {
+			return err
+		}
+		if err := peer.Pay(primary, delta, nil); err != nil {
+			return err
+		}
+	case delta < 0:
+		if err := peer.Pay(temp, -delta, nil); err != nil {
+			return err
+		}
+		if err := n.Pay(primary, -delta, nil); err != nil {
+			return err
+		}
+	}
+	n.pendingMerges = append(n.pendingMerges, temp)
+	return nil
+}
+
+// CompleteMerges settles all now-neutral temporary channels off-chain.
+// Call after the rebalancing payments have been acknowledged.
+func (n *Node) CompleteMerges() error {
+	pending := n.pendingMerges
+	n.pendingMerges = nil
+	for _, id := range pending {
+		sr, err := n.Settle(id)
+		if err != nil {
+			return err
+		}
+		if !sr.OffChain {
+			return fmt.Errorf("core: temp channel %s did not settle off-chain", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package costmodel implements the blockchain-cost accounting of §7.5
+// (Table 4): the number of transactions and the amount of data each
+// payment-channel design places on the blockchain to open and close a
+// channel.
+//
+// Following the paper (and [9]), cost is measured in units of one
+// public key plus one signature; a lone key or signature counts half a
+// unit. The Lightning Network (LN), Duplex Micropayment Channels (DMC),
+// and Scalable Funding of Micropayment Channels (SFMC) comparators have
+// no usable public implementations, so — per the paper itself — they
+// are modelled analytically.
+package costmodel
+
+// Cost is a channel's on-chain footprint.
+type Cost struct {
+	// Txs is the number of transactions placed on the blockchain
+	// (fractional when shared among n channels, as in SFMC).
+	Txs float64
+	// Units is the data cost in key+signature pairs.
+	Units float64
+}
+
+// LN returns the Lightning Network cost: four transactions carrying six
+// keys and six signatures, identical for bilateral and unilateral
+// termination.
+func LN() Cost {
+	return Cost{Txs: 4, Units: 6}
+}
+
+// DMCBilateral returns Duplex Micropayment Channels' cooperative cost:
+// two transactions at two key+signature pairs each.
+func DMCBilateral() Cost {
+	return Cost{Txs: 2, Units: 4}
+}
+
+// DMCUnilateral returns DMC's unilateral cost for transaction-chain
+// depth d >= 1: the funding transaction plus the d-deep invalidation
+// chain plus two settlement transactions, each costing two units.
+func DMCUnilateral(d int) Cost {
+	if d < 1 {
+		d = 1
+	}
+	txs := float64(1 + d + 2)
+	return Cost{Txs: txs, Units: 2 * txs}
+}
+
+// SFMCBilateral returns SFMC's cooperative cost when a funding group of
+// p parties shares n channels: 2 shared transactions, each carrying p
+// signatures.
+func SFMCBilateral(n, p int) Cost {
+	if n < 1 {
+		n = 1
+	}
+	if p < 2 {
+		p = 2
+	}
+	return Cost{Txs: 2 / float64(n), Units: 2 * float64(p) / float64(n)}
+}
+
+// SFMCUnilateral returns SFMC's unilateral cost with funding-chain
+// length i and DMC transaction-chain depth d.
+func SFMCUnilateral(n, p, i, d int) Cost {
+	if n < 1 {
+		n = 1
+	}
+	if p < 2 {
+		p = 2
+	}
+	if i < 1 {
+		i = 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	shared := float64(1+i) / float64(n)
+	own := float64(1 + d + 2)
+	return Cost{
+		Txs:   shared + own,
+		Units: float64(1+i)*float64(p)/float64(n) + 2*own,
+	}
+}
+
+// TeechainBilateral returns Teechain's cost when a channel funded by a
+// single m-of-n committee deposit settles off-chain: one transaction
+// (the deposit funding), costing one key+signature pair to spend into
+// the deposit plus n committee keys (n/2 units).
+func TeechainBilateral(n int) Cost {
+	if n < 1 {
+		n = 1
+	}
+	return Cost{Txs: 1, Units: 1 + float64(n)/2}
+}
+
+// TeechainUnilateral returns Teechain's cost for on-chain settlement of
+// a channel holding two deposits with committees (m1-of-n1) and
+// (m2-of-n2): two funding transactions plus the settlement transaction
+// carrying m1+m2 threshold signatures.
+func TeechainUnilateral(m1, n1, m2, n2 int) Cost {
+	return Cost{
+		Txs:   3,
+		Units: 2 + float64(n1)/2 + float64(n2)/2 + float64(m1) + float64(m2),
+	}
+}
+
+// Row is one line of Table 4 for a given parameterisation.
+type Row struct {
+	Scheme          string
+	Bilateral       Cost
+	Unilateral      Cost
+	Parameters      string
+	BilateralNote   string
+	UnilateralNote  string
+	SharesAcrossN   bool
+	TrustsAllGroups bool
+}
+
+// Table4 evaluates every scheme at the paper's reference parameters:
+// DMC depth d, SFMC group size p sharing n channels with funding chain
+// i, and Teechain with two m-of-n committee deposits.
+func Table4(d, p, n, i, m, nc int) []Row {
+	return []Row{
+		{
+			Scheme:     "LN",
+			Bilateral:  LN(),
+			Unilateral: LN(),
+		},
+		{
+			Scheme:     "DMC",
+			Bilateral:  DMCBilateral(),
+			Unilateral: DMCUnilateral(d),
+			Parameters: "d",
+		},
+		{
+			Scheme:          "SFMC",
+			Bilateral:       SFMCBilateral(n, p),
+			Unilateral:      SFMCUnilateral(n, p, i, d),
+			Parameters:      "n,p,i,d",
+			SharesAcrossN:   true,
+			TrustsAllGroups: true,
+		},
+		{
+			Scheme:     "Teechain",
+			Bilateral:  TeechainBilateral(nc),
+			Unilateral: TeechainUnilateral(m, nc, m, nc),
+			Parameters: "m,n",
+		},
+	}
+}
+
+// Claims are the derived §7.5 statements, computed rather than quoted.
+type Claims struct {
+	// FewerTxsThanLNBilateral/Unilateral: fraction of transactions
+	// Teechain saves versus LN (paper: 75% and 25%).
+	FewerTxsThanLNBilateral  float64
+	FewerTxsThanLNUnilateral float64
+	// CheaperThanLNBilateral: data-cost saving versus LN with 2-of-3
+	// committees (paper: up to 58%).
+	CheaperThanLNBilateral float64
+	// UnilateralVsLN: cost ratio of Teechain unilateral to LN (paper:
+	// 50% more expensive).
+	UnilateralVsLN float64
+	// FewerTxsThanDMCBilateral and data saving (paper: 50% and 37%).
+	FewerTxsThanDMCBilateral float64
+	CheaperThanDMCBilateral  float64
+}
+
+// DeriveClaims computes the §7.5 comparison numbers for 2-of-3
+// committee deposits.
+func DeriveClaims() Claims {
+	ln := LN()
+	dmc := DMCBilateral()
+	tcBi := TeechainBilateral(3)
+	tcUni := TeechainUnilateral(2, 3, 2, 3)
+	return Claims{
+		FewerTxsThanLNBilateral:  1 - tcBi.Txs/ln.Txs,
+		FewerTxsThanLNUnilateral: 1 - tcUni.Txs/ln.Txs,
+		CheaperThanLNBilateral:   1 - tcBi.Units/ln.Units,
+		UnilateralVsLN:           tcUni.Units/ln.Units - 1,
+		FewerTxsThanDMCBilateral: 1 - tcBi.Txs/dmc.Txs,
+		CheaperThanDMCBilateral:  1 - tcBi.Units/dmc.Units,
+	}
+}

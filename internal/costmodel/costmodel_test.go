@@ -1,0 +1,119 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLN(t *testing.T) {
+	c := LN()
+	if c.Txs != 4 || c.Units != 6 {
+		t.Fatalf("LN = %+v, want 4 txs / 6 units", c)
+	}
+}
+
+func TestDMC(t *testing.T) {
+	if c := DMCBilateral(); c.Txs != 2 || c.Units != 4 {
+		t.Fatalf("DMC bilateral = %+v", c)
+	}
+	// d = 1: 1+1+2 = 4 transactions, 8 units.
+	if c := DMCUnilateral(1); c.Txs != 4 || c.Units != 8 {
+		t.Fatalf("DMC unilateral d=1 = %+v", c)
+	}
+	// Unilateral cost grows with chain depth.
+	if DMCUnilateral(5).Units <= DMCUnilateral(1).Units {
+		t.Fatal("DMC unilateral cost not increasing in d")
+	}
+	if c := DMCUnilateral(0); c.Txs != 4 {
+		t.Fatalf("DMC d clamped = %+v", c)
+	}
+}
+
+func TestSFMC(t *testing.T) {
+	// p=4 parties sharing n=8 channels.
+	c := SFMCBilateral(8, 4)
+	if !approx(c.Txs, 0.25) || !approx(c.Units, 1.0) {
+		t.Fatalf("SFMC bilateral = %+v", c)
+	}
+	u := SFMCUnilateral(8, 4, 2, 1)
+	// (1+2)/8 + 4 txs; (1+2)*4/8 + 2*4 units.
+	if !approx(u.Txs, 3.0/8+4) || !approx(u.Units, 1.5+8) {
+		t.Fatalf("SFMC unilateral = %+v", u)
+	}
+	// Sharing across more channels reduces per-channel cost.
+	if SFMCBilateral(16, 4).Units >= SFMCBilateral(8, 4).Units {
+		t.Fatal("SFMC bilateral not decreasing in n")
+	}
+}
+
+func TestTeechain(t *testing.T) {
+	// 2-of-3 committee: bilateral = 1 tx, 1 + 3/2 = 2.5 units.
+	c := TeechainBilateral(3)
+	if c.Txs != 1 || !approx(c.Units, 2.5) {
+		t.Fatalf("Teechain bilateral = %+v", c)
+	}
+	// Unilateral with two 2-of-3 deposits: 3 txs,
+	// 2 + 1.5 + 1.5 + 2 + 2 = 9 units.
+	u := TeechainUnilateral(2, 3, 2, 3)
+	if u.Txs != 3 || !approx(u.Units, 9) {
+		t.Fatalf("Teechain unilateral = %+v", u)
+	}
+	// No committee (1-of-1): bilateral 1.5 units.
+	if c := TeechainBilateral(1); !approx(c.Units, 1.5) {
+		t.Fatalf("Teechain 1-of-1 bilateral = %+v", c)
+	}
+}
+
+func TestPaperClaims(t *testing.T) {
+	cl := DeriveClaims()
+	// "Teechain places 25%–75% fewer transactions on the blockchain
+	// than LN".
+	if !approx(cl.FewerTxsThanLNBilateral, 0.75) {
+		t.Fatalf("bilateral tx saving = %v, want 0.75", cl.FewerTxsThanLNBilateral)
+	}
+	if !approx(cl.FewerTxsThanLNUnilateral, 0.25) {
+		t.Fatalf("unilateral tx saving = %v, want 0.25", cl.FewerTxsThanLNUnilateral)
+	}
+	// "up to 58% more efficient ... for bilateral termination".
+	if cl.CheaperThanLNBilateral < 0.58 || cl.CheaperThanLNBilateral > 0.59 {
+		t.Fatalf("bilateral cost saving = %v, want ~0.583", cl.CheaperThanLNBilateral)
+	}
+	// "For unilateral termination, Teechain is 50% more expensive".
+	if !approx(cl.UnilateralVsLN, 0.5) {
+		t.Fatalf("unilateral overhead = %v, want 0.5", cl.UnilateralVsLN)
+	}
+	// "For DMC and bilateral closure, Teechain places 50% fewer
+	// transactions and 37% less data".
+	if !approx(cl.FewerTxsThanDMCBilateral, 0.5) {
+		t.Fatalf("DMC tx saving = %v, want 0.5", cl.FewerTxsThanDMCBilateral)
+	}
+	if cl.CheaperThanDMCBilateral < 0.37 || cl.CheaperThanDMCBilateral > 0.38 {
+		t.Fatalf("DMC cost saving = %v, want ~0.375", cl.CheaperThanDMCBilateral)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4(1, 4, 8, 2, 2, 3)
+	if len(rows) != 4 {
+		t.Fatalf("Table4 has %d rows", len(rows))
+	}
+	schemes := map[string]bool{}
+	for _, r := range rows {
+		schemes[r.Scheme] = true
+		if r.Bilateral.Txs <= 0 || r.Unilateral.Txs <= 0 {
+			t.Fatalf("%s has non-positive tx counts", r.Scheme)
+		}
+		// For every scheme but LN, unilateral costs at least as much as
+		// bilateral.
+		if r.Scheme != "LN" && r.Unilateral.Units < r.Bilateral.Units {
+			t.Fatalf("%s unilateral cheaper than bilateral", r.Scheme)
+		}
+	}
+	for _, s := range []string{"LN", "DMC", "SFMC", "Teechain"} {
+		if !schemes[s] {
+			t.Fatalf("missing scheme %s", s)
+		}
+	}
+}

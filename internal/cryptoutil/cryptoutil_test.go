@@ -1,0 +1,399 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKeyPair(t *testing.T, seed string) *KeyPair {
+	t.Helper()
+	kp, err := GenerateKeyPair(NewDeterministicReader([]byte(seed)))
+	if err != nil {
+		t.Fatalf("GenerateKeyPair: %v", err)
+	}
+	return kp
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := testKeyPair(t, "alice")
+	msg := []byte("pay bob 10")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if !Verify(kp.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(kp.Public(), []byte("pay bob 1000"), sig) {
+		t.Fatal("signature verified over different message")
+	}
+	other := testKeyPair(t, "mallory")
+	if Verify(other.Public(), msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+	var bad Signature
+	copy(bad[:], sig[:])
+	bad[5] ^= 0x40
+	if Verify(kp.Public(), msg, bad) {
+		t.Fatal("corrupted signature verified")
+	}
+}
+
+func TestSignDeterministicPerRun(t *testing.T) {
+	kp := testKeyPair(t, "alice")
+	msg := []byte("hello")
+	a, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("signing the same message twice produced different signatures; runs will not be reproducible")
+	}
+}
+
+func TestKeyPairPrivateRoundTrip(t *testing.T) {
+	kp := testKeyPair(t, "deposit-key")
+	restored, err := KeyPairFromPrivateBytes(kp.PrivateBytes())
+	if err != nil {
+		t.Fatalf("KeyPairFromPrivateBytes: %v", err)
+	}
+	if restored.Public() != kp.Public() {
+		t.Fatal("restored key pair has different public key")
+	}
+	msg := []byte("settlement")
+	sig, err := restored.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(kp.Public(), msg, sig) {
+		t.Fatal("signature from restored key rejected")
+	}
+}
+
+func TestKeyPairFromPrivateBytesRejectsBad(t *testing.T) {
+	if _, err := KeyPairFromPrivateBytes(make([]byte, 16)); err == nil {
+		t.Fatal("short scalar accepted")
+	}
+	if _, err := KeyPairFromPrivateBytes(make([]byte, 32)); err == nil {
+		t.Fatal("zero scalar accepted")
+	}
+	all := bytes.Repeat([]byte{0xff}, 32)
+	if _, err := KeyPairFromPrivateBytes(all); err == nil {
+		t.Fatal("out-of-range scalar accepted")
+	}
+}
+
+func TestAddressDerivation(t *testing.T) {
+	a := testKeyPair(t, "a")
+	b := testKeyPair(t, "b")
+	if a.Address() == b.Address() {
+		t.Fatal("distinct keys produced the same address")
+	}
+	if a.Address() != a.Public().Address() {
+		t.Fatal("address derivation inconsistent")
+	}
+	if a.Address().IsZero() {
+		t.Fatal("derived address is zero")
+	}
+}
+
+func TestDHSessionAgreement(t *testing.T) {
+	idA := testKeyPair(t, "idA").Public()
+	idB := testKeyPair(t, "idB").Public()
+	dhA, err := GenerateDHKeyPair(NewDeterministicReader([]byte("dhA")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhB, err := GenerateDHKeyPair(NewDeterministicReader([]byte("dhB")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA, err := dhA.SharedKey(dhB.PublicBytes(), idA, idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer binds the identities in the opposite order; keys must
+	// still agree.
+	kB, err := dhB.SharedKey(dhA.PublicBytes(), idB, idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kA != kB {
+		t.Fatal("DH shared keys disagree")
+	}
+	// Binding to different identities must change the key.
+	idC := testKeyPair(t, "idC").Public()
+	kC, err := dhA.SharedKey(dhB.PublicBytes(), idA, idC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kC == kA {
+		t.Fatal("session key did not bind identities")
+	}
+}
+
+func sessionPair(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	var key [32]byte
+	copy(key[:], []byte("0123456789abcdef0123456789abcdef"))
+	a, err := NewSession(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestSessionSealOpen(t *testing.T) {
+	a, b := sessionPair(t)
+	msg := []byte("associate deposit d1")
+	sealed := a.Seal(msg, []byte("chan-1"))
+	plain, err := b.Open(sealed, []byte("chan-1"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(plain, msg) {
+		t.Fatalf("round trip mismatch: %q", plain)
+	}
+}
+
+func TestSessionRejectsReplay(t *testing.T) {
+	a, b := sessionPair(t)
+	sealed := a.Seal([]byte("pay 5"), nil)
+	if _, err := b.Open(sealed, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(sealed, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed message error = %v, want ErrReplay", err)
+	}
+}
+
+func TestSessionRejectsReorder(t *testing.T) {
+	a, b := sessionPair(t)
+	first := a.Seal([]byte("one"), nil)
+	second := a.Seal([]byte("two"), nil)
+	if _, err := b.Open(second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(first, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("reordered message error = %v, want ErrReplay", err)
+	}
+}
+
+func TestSessionRejectsTampering(t *testing.T) {
+	a, b := sessionPair(t)
+	sealed := a.Seal([]byte("pay 5"), nil)
+	sealed[len(sealed)-1] ^= 1
+	if _, err := b.Open(sealed, nil); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("tampered message error = %v, want ErrAuthFailed", err)
+	}
+	// A tampered counter must also fail authentication (counter is bound
+	// via the nonce).
+	sealed2 := a.Seal([]byte("pay 6"), nil)
+	sealed2[7] ^= 1
+	if _, err := b.Open(sealed2, nil); err == nil {
+		t.Fatal("counter tampering accepted")
+	}
+}
+
+func TestSessionRejectsWrongAAD(t *testing.T) {
+	a, b := sessionPair(t)
+	sealed := a.Seal([]byte("pay 5"), []byte("chan-1"))
+	if _, err := b.Open(sealed, []byte("chan-2")); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("wrong-AAD error = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestSessionShortMessage(t *testing.T) {
+	_, b := sessionPair(t)
+	if _, err := b.Open([]byte{1, 2, 3}, nil); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short message error = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestShamirRoundTrip(t *testing.T) {
+	rnd := NewDeterministicReader([]byte("shamir"))
+	secret := []byte("the deposit private key material")
+	shares, err := SplitSecret(rnd, secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("got %d shares, want 5", len(shares))
+	}
+	got, err := CombineShares(shares[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("3-of-5 reconstruction failed")
+	}
+	// Any other subset of size 3 must also work.
+	got, err = CombineShares([]Share{shares[4], shares[1], shares[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("alternate subset reconstruction failed")
+	}
+	// All 5 shares work too.
+	got, err = CombineShares(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("full-set reconstruction failed")
+	}
+}
+
+func TestShamirBelowThreshold(t *testing.T) {
+	rnd := NewDeterministicReader([]byte("shamir2"))
+	secret := []byte("super secret")
+	shares, err := SplitSecret(rnd, secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CombineShares(shares[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, secret) {
+		t.Fatal("2 shares of a 3-threshold split reconstructed the secret")
+	}
+}
+
+func TestShamirValidation(t *testing.T) {
+	rnd := NewDeterministicReader([]byte("x"))
+	if _, err := SplitSecret(rnd, []byte("s"), 0, 3); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := SplitSecret(rnd, []byte("s"), 4, 3); err == nil {
+		t.Fatal("m>n accepted")
+	}
+	if _, err := SplitSecret(rnd, nil, 1, 1); err == nil {
+		t.Fatal("empty secret accepted")
+	}
+	if _, err := SplitSecret(rnd, []byte("s"), 2, 300); err == nil {
+		t.Fatal("n>255 accepted")
+	}
+	if _, err := CombineShares(nil); err == nil {
+		t.Fatal("no shares accepted")
+	}
+	if _, err := CombineShares([]Share{{X: 1, Data: []byte{1}}, {X: 1, Data: []byte{2}}}); err == nil {
+		t.Fatal("duplicate shares accepted")
+	}
+	if _, err := CombineShares([]Share{{X: 0, Data: []byte{1}}}); err == nil {
+		t.Fatal("x=0 share accepted")
+	}
+	if _, err := CombineShares([]Share{{X: 1, Data: []byte{1}}, {X: 2, Data: []byte{1, 2}}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestShamirQuick(t *testing.T) {
+	rnd := NewDeterministicReader([]byte("quick"))
+	f := func(secret []byte, mRaw, nRaw uint8) bool {
+		if len(secret) == 0 {
+			secret = []byte{0}
+		}
+		if len(secret) > 64 {
+			secret = secret[:64]
+		}
+		n := int(nRaw%10) + 1
+		m := int(mRaw)%n + 1
+		shares, err := SplitSecret(rnd, secret, m, n)
+		if err != nil {
+			return false
+		}
+		got, err := CombineShares(shares[:m])
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, secret)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFFieldProperties(t *testing.T) {
+	// Multiplicative inverses: a * inv(a) == 1 for all non-zero a.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a = %d", got, a)
+		}
+	}
+	// Distributivity spot checks via quick.
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReader(t *testing.T) {
+	a := NewDeterministicReader([]byte("seed"))
+	b := NewDeterministicReader([]byte("seed"))
+	bufA := make([]byte, 1024)
+	bufB := make([]byte, 1024)
+	if _, err := a.Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	// Read b in awkward chunk sizes; stream must match regardless.
+	for off := 0; off < len(bufB); {
+		n := 7
+		if off+n > len(bufB) {
+			n = len(bufB) - off
+		}
+		m, err := b.Read(bufB[off : off+n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += m
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("deterministic reader streams diverged across chunkings")
+	}
+	c := NewDeterministicReader([]byte("other"))
+	bufC := make([]byte, 1024)
+	if _, err := c.Read(bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestConstantTimeEqual(t *testing.T) {
+	if !ConstantTimeEqual([]byte("abc"), []byte("abc")) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if ConstantTimeEqual([]byte("abc"), []byte("abd")) {
+		t.Fatal("unequal slices reported equal")
+	}
+	if ConstantTimeEqual([]byte("abc"), []byte("ab")) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestHash256(t *testing.T) {
+	a := Hash256([]byte("ab"), []byte("c"))
+	b := Hash256([]byte("abc"))
+	if a != b {
+		t.Fatal("Hash256 not concatenation-consistent")
+	}
+	c := Hash256([]byte("abd"))
+	if a == c {
+		t.Fatal("distinct inputs hashed equal")
+	}
+}

@@ -1,0 +1,48 @@
+package cryptoutil
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// DeterministicReader is an io.Reader producing a reproducible
+// pseudo-random stream (SHA-256 in counter mode). Simulated enclaves use
+// one per instance so entire experiments are replayable; production use
+// would substitute crypto/rand.Reader.
+type DeterministicReader struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+// NewDeterministicReader returns a stream derived from the given seed
+// material.
+func NewDeterministicReader(seed ...[]byte) *DeterministicReader {
+	h := sha256.New()
+	h.Write([]byte("teechain/drbg/v1"))
+	for _, s := range seed {
+		h.Write(s)
+	}
+	r := &DeterministicReader{}
+	h.Sum(r.seed[:0])
+	return r
+}
+
+// Read fills p with the next bytes of the stream. It never fails.
+func (r *DeterministicReader) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(r.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], r.seed[:])
+			binary.BigEndian.PutUint64(block[32:], r.ctr)
+			r.ctr++
+			sum := sha256.Sum256(block[:])
+			r.buf = sum[:]
+		}
+		c := copy(p, r.buf)
+		p = p[c:]
+		r.buf = r.buf[c:]
+	}
+	return n, nil
+}

@@ -1,0 +1,179 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors returned by session operations.
+var (
+	ErrReplay       = errors.New("cryptoutil: message counter replayed or reordered")
+	ErrAuthFailed   = errors.New("cryptoutil: message authentication failed")
+	ErrShortMessage = errors.New("cryptoutil: sealed message too short")
+)
+
+// DHKeyPair is an ephemeral ECDH key pair used to provision a session
+// key between two enclaves (authenticated Diffie-Hellman, Alg. 1
+// line 17).
+type DHKeyPair struct {
+	priv *ecdh.PrivateKey
+}
+
+// GenerateDHKeyPair creates a P-256 ECDH key pair from rnd.
+func GenerateDHKeyPair(rnd io.Reader) (*DHKeyPair, error) {
+	priv, err := ecdh.P256().GenerateKey(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generating DH key: %w", err)
+	}
+	return &DHKeyPair{priv: priv}, nil
+}
+
+// PublicBytes returns the public half for transmission to the peer.
+func (kp *DHKeyPair) PublicBytes() []byte {
+	return kp.priv.PublicKey().Bytes()
+}
+
+// SharedKey combines the local private key with the peer's public bytes
+// and derives a 32-byte session key: SHA-256 over the raw shared secret
+// and both parties' long-term identity keys, binding the session to the
+// attested identities (SIGMA-style channel binding).
+func (kp *DHKeyPair) SharedKey(peerPublic []byte, idA, idB PublicKey) ([32]byte, error) {
+	peer, err := ecdh.P256().NewPublicKey(peerPublic)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("cryptoutil: parsing peer DH key: %w", err)
+	}
+	secret, err := kp.priv.ECDH(peer)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("cryptoutil: computing shared secret: %w", err)
+	}
+	// Sort the identity bindings so both sides derive the same key.
+	lo, hi := idA, idB
+	if greater(lo[:], hi[:]) {
+		lo, hi = hi, lo
+	}
+	h := sha256.New()
+	h.Write([]byte("teechain/session/v1"))
+	h.Write(secret)
+	h.Write(lo[:])
+	h.Write(hi[:])
+	var key [32]byte
+	h.Sum(key[:0])
+	return key, nil
+}
+
+func greater(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}
+
+// Session is one direction-pair of an authenticated encrypted channel
+// between two enclaves (the netaes state of Alg. 1). Messages carry a
+// strictly increasing 64-bit counter used as the AES-GCM nonce; the
+// receiver rejects any counter at or below the last accepted one, which
+// provides the freshness protection the paper requires to defeat replay
+// and state-forking attacks (§7.1).
+type Session struct {
+	aead     cipher.AEAD
+	sendCtr  uint64
+	lastRecv uint64
+}
+
+// NewSession builds a session from a 32-byte shared key.
+func NewSession(key [32]byte) (*Session, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
+	}
+	return &Session{aead: aead}, nil
+}
+
+// sessionNonceSize is the AES-GCM nonce width; the message counter is
+// embedded in its trailing 8 bytes.
+const sessionNonceSize = 12
+
+// Seal encrypts and authenticates plaintext with additional data aad,
+// prepending the message counter. Each call consumes one counter value.
+func (s *Session) Seal(plaintext, aad []byte) []byte {
+	s.sendCtr++
+	var nonce [sessionNonceSize]byte
+	binary.BigEndian.PutUint64(nonce[4:], s.sendCtr)
+	out := make([]byte, 8, 8+len(plaintext)+s.aead.Overhead())
+	binary.BigEndian.PutUint64(out, s.sendCtr)
+	return s.aead.Seal(out, nonce[:], plaintext, aad)
+}
+
+// Open authenticates and decrypts a message produced by the peer's
+// Seal. It enforces strictly increasing counters: replayed or reordered
+// messages return ErrReplay without advancing state.
+func (s *Session) Open(sealed, aad []byte) ([]byte, error) {
+	if len(sealed) < 8+s.aead.Overhead() {
+		return nil, ErrShortMessage
+	}
+	ctr := binary.BigEndian.Uint64(sealed[:8])
+	if ctr <= s.lastRecv {
+		return nil, ErrReplay
+	}
+	var nonce [sessionNonceSize]byte
+	binary.BigEndian.PutUint64(nonce[4:], ctr)
+	plain, err := s.aead.Open(nil, nonce[:], sealed[8:], aad)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+	}
+	s.lastRecv = ctr
+	return plain, nil
+}
+
+// SealDetached encrypts plaintext under key with a random nonce drawn
+// from rnd, for payloads carried inside already-fresh protocol messages
+// (e.g. deposit private keys shared on association, Alg. 1 line 73).
+// Unlike Session.Seal it imposes no counter ordering, so it composes
+// with deferred message emission.
+func SealDetached(key [32]byte, rnd io.Reader, plaintext, aad []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
+	}
+	nonce := make([]byte, sessionNonceSize, sessionNonceSize+len(plaintext)+aead.Overhead())
+	if _, err := io.ReadFull(rnd, nonce); err != nil {
+		return nil, fmt.Errorf("cryptoutil: sampling nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// OpenDetached decrypts a blob produced by SealDetached.
+func OpenDetached(key [32]byte, blob, aad []byte) ([]byte, error) {
+	if len(blob) < sessionNonceSize {
+		return nil, ErrShortMessage
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
+	}
+	plain, err := aead.Open(nil, blob[:sessionNonceSize], blob[sessionNonceSize:], aad)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+	}
+	return plain, nil
+}

@@ -1,0 +1,148 @@
+package cryptoutil
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Shamir threshold secret sharing over GF(2^8), applied bytewise.
+//
+// Teechain combines chain replication with threshold secret sharing
+// (§6): a deposit's private key can be split so that any m of n
+// committee members can reconstruct it, while fewer than m learn
+// nothing. (The on-chain spending path uses m-of-n multisignatures; the
+// secret-sharing path covers key escrow for outsourced TEEs and sealed
+// backups.)
+
+// Share is one participant's share of a split secret. X identifies the
+// evaluation point (1-based, unique per participant).
+type Share struct {
+	X    byte
+	Data []byte
+}
+
+// SplitSecret splits secret into n shares such that any m reconstruct
+// it. It draws polynomial coefficients from rnd.
+func SplitSecret(rnd io.Reader, secret []byte, m, n int) ([]Share, error) {
+	if m < 1 || n < 1 || m > n {
+		return nil, fmt.Errorf("cryptoutil: invalid threshold %d-of-%d", m, n)
+	}
+	if n > 255 {
+		return nil, errors.New("cryptoutil: at most 255 shares supported")
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("cryptoutil: empty secret")
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Data: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, m)
+	for pos, b := range secret {
+		coeffs[0] = b
+		if _, err := io.ReadFull(rnd, coeffs[1:]); err != nil {
+			return nil, fmt.Errorf("cryptoutil: sampling coefficients: %w", err)
+		}
+		for i := range shares {
+			shares[i].Data[pos] = evalPoly(coeffs, shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// CombineShares reconstructs a secret from at least m distinct shares
+// produced by SplitSecret with threshold m. Passing fewer than m shares
+// yields garbage by design (information-theoretic hiding), so callers
+// must track the threshold out of band; passing duplicate share X values
+// is an error.
+func CombineShares(shares []Share) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, errors.New("cryptoutil: no shares")
+	}
+	length := len(shares[0].Data)
+	seen := make(map[byte]bool, len(shares))
+	for _, s := range shares {
+		if s.X == 0 {
+			return nil, errors.New("cryptoutil: share with x = 0")
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("cryptoutil: duplicate share x = %d", s.X)
+		}
+		seen[s.X] = true
+		if len(s.Data) != length {
+			return nil, errors.New("cryptoutil: shares of differing lengths")
+		}
+	}
+	secret := make([]byte, length)
+	for pos := 0; pos < length; pos++ {
+		var acc byte
+		for i, si := range shares {
+			// Lagrange basis polynomial evaluated at x = 0.
+			num, den := byte(1), byte(1)
+			for j, sj := range shares {
+				if i == j {
+					continue
+				}
+				num = gfMul(num, sj.X)
+				den = gfMul(den, si.X^sj.X)
+			}
+			basis := gfMul(num, gfInv(den))
+			acc ^= gfMul(si.Data[pos], basis)
+		}
+		secret[pos] = acc
+	}
+	return secret, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients
+// (constant term first) at x, using Horner's rule in GF(2^8).
+func evalPoly(coeffs []byte, x byte) byte {
+	var acc byte
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = gfMul(acc, x) ^ coeffs[i]
+	}
+	return acc
+}
+
+// GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1,
+// via log/exp tables built at package init.
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// Multiply x by the generator 0x03.
+		x = x ^ xtime(x)
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// xtime multiplies by x (0x02) in GF(2^8).
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return (b << 1) ^ 0x1b
+	}
+	return b << 1
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("cryptoutil: inverse of zero in GF(2^8)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}

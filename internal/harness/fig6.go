@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"teechain/internal/core"
+	"teechain/internal/sim"
+	"teechain/internal/wire"
+	"teechain/internal/workload"
+)
+
+// Figure 6: aggregate network throughput over a complete graph of 5-30
+// machines (the UK cluster), replaying the synthetic Bitcoin workload,
+// for committee sizes n = 1, 2, 3. In a complete graph every payment is
+// direct, so throughput scales with machines and fault tolerance sets
+// the per-machine ceiling.
+
+// Fig6Point is one (machines, committee size) measurement.
+type Fig6Point struct {
+	Machines   int
+	Committee  int // committee members per deposit (n; 1 = no FT)
+	Throughput float64
+}
+
+// RunFigure6 sweeps deployment sizes for each committee size.
+// paymentsPerMachine controls measurement length.
+func RunFigure6(machineCounts []int, committees []int, paymentsPerMachine int) ([]Fig6Point, error) {
+	var points []Fig6Point
+	for _, n := range committees {
+		for _, m := range machineCounts {
+			tput, err := runCompleteGraph(m, n, paymentsPerMachine)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 machines=%d committee=%d: %w", m, n, err)
+			}
+			points = append(points, Fig6Point{Machines: m, Committee: n, Throughput: tput})
+		}
+	}
+	return points, nil
+}
+
+// fig6Offered is the open-loop per-machine offered load for each
+// committee size: just above the per-machine capacity knee established
+// by Table 1 (unbatched: ~130 k tx/s alone, ~34 k with replication).
+// The paper's Fig. 6 per-machine numbers (2.2 M/30 ≈ 73 k at n = 1,
+// 1 M/30 ≈ 33 k at n = 2) say its workload replay is likewise
+// unbatched and knee-limited.
+// Note the per-machine knee with committees is lower than Table 1's
+// one-replica row: there every party had a dedicated member machine,
+// here every machine double-duties as owner and committee member and
+// spends ~2 member-updates of work per payment (see EXPERIMENTS.md).
+func fig6Offered(committee int) float64 {
+	switch committee {
+	case 1:
+		return 70_000
+	case 2:
+		return 11_000
+	default:
+		return 10_000
+	}
+}
+
+// runCompleteGraph builds the complete graph, assigns addresses
+// uniformly, and replays payments at the configuration's knee,
+// measuring aggregate acknowledged throughput.
+func runCompleteGraph(machines, committee, paymentsPerMachine int) (float64, error) {
+	d, err := NewDeployment()
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.NodeConfig{}
+	nodes := make([]*core.Node, machines)
+	for i := range nodes {
+		n, err := d.AddNode(fmt.Sprintf("UK%02d", i+1), SiteUK, cfg)
+		if err != nil {
+			return 0, err
+		}
+		nodes[i] = n
+	}
+	// Committee chains: machine i is backed by the next committee-1
+	// machines (same cluster, as in the paper's UK deployment).
+	if committee > 1 {
+		for i, n := range nodes {
+			members := make([]*core.Node, committee-1)
+			for r := range members {
+				members[r] = nodes[(i+1+r)%machines]
+			}
+			if err := d.FormCommittee(n, members, min(2, committee)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Channels between every pair, funded in both directions.
+	channels := make(map[[2]int]wire.ChannelID)
+	for i := 0; i < machines; i++ {
+		for j := i + 1; j < machines; j++ {
+			id, err := d.OpenChannel(nodes[i], nodes[j], 1_000_000_000, 1_000_000_000)
+			if err != nil {
+				return 0, err
+			}
+			channels[[2]int{i, j}] = id
+		}
+	}
+	channelFor := func(a, b int) wire.ChannelID {
+		if a > b {
+			a, b = b, a
+		}
+		return channels[[2]int{a, b}]
+	}
+
+	gen, err := workload.NewGenerator(workload.DefaultConfig(machines*40, 99))
+	if err != nil {
+		return 0, err
+	}
+	assign := workload.AssignUniform(machines*40, machines, 7)
+
+	total := paymentsPerMachine * machines
+	acked := 0
+	issued := 0
+	warmup := total / 10
+	var tWarm, tEnd sim.Time
+	done := func(ok bool, _ time.Duration, _ string) {
+		acked++
+		if acked == warmup {
+			tWarm = d.Sim.Now()
+		}
+		if acked == total {
+			tEnd = d.Sim.Now()
+		}
+	}
+	// Open-loop replay: every 5 ms each machine issues its share of the
+	// offered load (§7.4's replay drives machines as fast as they
+	// sustain). Machines are staggered across the tick — synchronized
+	// bursts from 30 independent machines would be a simulation
+	// artefact, and the queue oscillation they cause starves
+	// acknowledgements.
+	const tick = 5 * time.Millisecond
+	perTick := int(fig6Offered(committee) * tick.Seconds())
+	if perTick < 1 {
+		perTick = 1
+	}
+	issueOne := func() {
+		issued++
+		p := gen.Next()
+		src := assign.Machine(p.Src)
+		dst := assign.Machine(p.Dst)
+		if src == dst {
+			// Same machine owns both addresses: internal transfer, no
+			// network payment.
+			done(true, 0, "")
+			return
+		}
+		if err := nodes[src].Pay(channelFor(src, dst), p.Amount, done); err != nil {
+			done(false, 0, err.Error())
+		}
+	}
+	for m := 0; m < machines; m++ {
+		offset := tick * time.Duration(m) / time.Duration(machines)
+		var pump func()
+		pump = func() {
+			for i := 0; i < perTick && issued < total; i++ {
+				issueOne()
+			}
+			if issued < total {
+				d.Sim.Schedule(tick, pump)
+			}
+		}
+		d.Sim.Schedule(offset, pump)
+	}
+	if err := d.Until(func() bool { return acked >= total }); err != nil {
+		return 0, err
+	}
+	elapsed := tEnd.Sub(tWarm)
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(total-warmup) / elapsed.Seconds(), nil
+}

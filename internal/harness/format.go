@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"teechain/internal/costmodel"
+)
+
+// Text rendering of experiment results, used by cmd/teechain-bench to
+// print paper-style tables and series.
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond))
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Performance of payment channels (single channel US-UK)\n")
+	fmt.Fprintf(&b, "%-38s %12s %12s %10s\n", "Configuration", "tx/sec", "avg ms", "99th ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-38s %12.0f %12s %10s\n", r.Name, r.Throughput, ms(r.AvgLatency), ms(r.P99Latency))
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Performance of payment channel operations\n")
+	fmt.Fprintf(&b, "%-52s %14s %14s\n", "Operation", "local ms", "outsourced ms")
+	for _, r := range rows {
+		out := "-"
+		if r.Outsourced > 0 {
+			out = ms(r.Outsourced)
+		}
+		fmt.Fprintf(&b, "%-52s %14s %14s\n", r.Operation, ms(r.Local), out)
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders the Fig. 4 latency series plus the §7.3
+// throughput numbers.
+func FormatFigure4(points []Fig4Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: Multi-hop payment latency (seconds) by hops\n")
+	byConfig := map[Fig4Config][]Fig4Point{}
+	var order []Fig4Config
+	for _, p := range points {
+		if _, ok := byConfig[p.Config]; !ok {
+			order = append(order, p.Config)
+		}
+		byConfig[p.Config] = append(byConfig[p.Config], p)
+	}
+	for _, cfg := range order {
+		fmt.Fprintf(&b, "%-22s", cfg)
+		for _, p := range byConfig[cfg] {
+			fmt.Fprintf(&b, " %d:%5.1fs", p.Hops, p.Latency.Seconds())
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "\nMulti-hop throughput (batched, §7.3), tx/sec:\n")
+	for _, cfg := range order {
+		pts := byConfig[cfg]
+		first, last := pts[0], pts[len(pts)-1]
+		fmt.Fprintf(&b, "%-22s %d hops: %7.0f   %d hops: %7.0f\n",
+			cfg, first.Hops, first.Throughput, last.Hops, last.Throughput)
+	}
+	return b.String()
+}
+
+// FormatFigure6 renders the Fig. 6 scaling series.
+func FormatFigure6(points []Fig6Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Complete-graph throughput (tx/sec) by machines\n")
+	byCommittee := map[int][]Fig6Point{}
+	var order []int
+	for _, p := range points {
+		if _, ok := byCommittee[p.Committee]; !ok {
+			order = append(order, p.Committee)
+		}
+		byCommittee[p.Committee] = append(byCommittee[p.Committee], p)
+	}
+	for _, n := range order {
+		fmt.Fprintf(&b, "n=%d members:", n)
+		for _, p := range byCommittee[n] {
+			fmt.Fprintf(&b, "  %d:%.0f", p.Machines, p.Throughput)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Performance with hub-and-spoke topology\n")
+	fmt.Fprintf(&b, "%-32s %12s %12s %10s\n", "Approach", "tx/sec", "avg ms", "avg hops")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %12.0f %12s %10.1f\n", r.Approach, r.Throughput, ms(r.AvgLatency), r.AvgHops)
+	}
+	return b.String()
+}
+
+// FormatFigure7 renders the Fig. 7 temporary-channel series.
+func FormatFigure7(points []Fig7Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Throughput with temporary channels (tx/sec)\n")
+	byCommittee := map[int][]Fig7Point{}
+	var order []int
+	for _, p := range points {
+		if _, ok := byCommittee[p.Committee]; !ok {
+			order = append(order, p.Committee)
+		}
+		byCommittee[p.Committee] = append(byCommittee[p.Committee], p)
+	}
+	for _, n := range order {
+		fmt.Fprintf(&b, "n=%d members:", n)
+		for _, p := range byCommittee[n] {
+			fmt.Fprintf(&b, "  G=%d:%.0f", p.TempChannels, p.Throughput)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders Table 4 at the paper's reference parameters plus
+// the derived §7.5 claims.
+func FormatTable4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Transactions and blockchain cost per channel\n")
+	fmt.Fprintf(&b, "(d=1, SFMC p=4 over n=8 channels i=2; Teechain 2-of-3 committees)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s %14s\n", "Scheme", "bilat #tx", "bilat cost", "unilat #tx", "unilat cost")
+	for _, r := range costmodel.Table4(1, 4, 8, 2, 2, 3) {
+		fmt.Fprintf(&b, "%-10s %14.2f %14.2f %14.2f %14.2f\n",
+			r.Scheme, r.Bilateral.Txs, r.Bilateral.Units, r.Unilateral.Txs, r.Unilateral.Units)
+	}
+	cl := costmodel.DeriveClaims()
+	fmt.Fprintf(&b, "\nDerived §7.5 claims:\n")
+	fmt.Fprintf(&b, "  vs LN: %.0f%% fewer txs (bilateral), %.0f%% fewer txs (unilateral)\n",
+		cl.FewerTxsThanLNBilateral*100, cl.FewerTxsThanLNUnilateral*100)
+	fmt.Fprintf(&b, "  vs LN: %.0f%% cheaper bilateral, %.0f%% more expensive unilateral\n",
+		cl.CheaperThanLNBilateral*100, cl.UnilateralVsLN*100)
+	fmt.Fprintf(&b, "  vs DMC: %.0f%% fewer txs, %.0f%% less data (bilateral)\n",
+		cl.FewerTxsThanDMCBilateral*100, cl.CheaperThanDMCBilateral*100)
+	return b.String()
+}

@@ -1,0 +1,453 @@
+// Package harness builds Teechain deployments inside the discrete-event
+// simulator and runs the paper's experiments: every table and figure of
+// §7 has a runner here (see DESIGN.md §4 for the experiment index).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/netsim"
+	"teechain/internal/sim"
+	"teechain/internal/tee"
+	"teechain/internal/wire"
+)
+
+// Site is a geographic location in the Fig. 3 testbed.
+type Site string
+
+// Testbed sites.
+const (
+	SiteUK Site = "UK"
+	SiteUS Site = "US"
+	SiteIL Site = "IL"
+)
+
+// linkSpec describes connectivity between two sites. The RTT/bandwidth
+// values come from Fig. 3; the assignment of the three wide-area labels
+// to site pairs is inferred from the latency breakdown of Table 1 (see
+// EXPERIMENTS.md, calibration).
+type siteLink struct {
+	rtt  time.Duration
+	mbps int64
+}
+
+var interSite = map[[2]Site]siteLink{
+	{SiteUK, SiteUS}: {90 * time.Millisecond, 150},
+	{SiteUS, SiteIL}: {140 * time.Millisecond, 90},
+	{SiteUK, SiteIL}: {60 * time.Millisecond, 180},
+}
+
+// intraSite is the in-cluster link (Fig. 3: 0.5 ms, 1 Gb/s).
+var intraSite = siteLink{500 * time.Microsecond, 1000}
+
+func lookupLink(a, b Site) siteLink {
+	if a == b {
+		return intraSite
+	}
+	if l, ok := interSite[[2]Site{a, b}]; ok {
+		return l
+	}
+	if l, ok := interSite[[2]Site{b, a}]; ok {
+		return l
+	}
+	return intraSite
+}
+
+// Deployment is a running Teechain installation under simulation.
+type Deployment struct {
+	Sim    *sim.Simulator
+	Net    *netsim.Network
+	Chain  *chain.Chain
+	Dir    *core.Directory
+	Auth   *tee.Authority
+	Router *core.Router
+
+	nodes map[string]*core.Node
+	sites map[string]Site
+	order []string
+}
+
+// NewDeployment creates an empty deployment.
+func NewDeployment() (*Deployment, error) {
+	s := sim.New()
+	auth, err := tee.NewAuthority("harness")
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		Sim:    s,
+		Net:    netsim.New(s),
+		Chain:  chain.New(),
+		Dir:    core.NewDirectory(),
+		Auth:   auth,
+		Router: core.NewRouter(),
+		nodes:  make(map[string]*core.Node),
+		sites:  make(map[string]Site),
+	}, nil
+}
+
+// AddNode creates a node at a site, wiring links to all existing nodes
+// according to the testbed's site-to-site characteristics.
+func (d *Deployment) AddNode(name string, site Site, cfg core.NodeConfig) (*core.Node, error) {
+	if _, ok := d.nodes[name]; ok {
+		return nil, fmt.Errorf("harness: duplicate node %q", name)
+	}
+	cfg.Seed = hashSeed(name)
+	if cfg.Enclave.MinConfirmations == 0 {
+		cfg.Enclave.MinConfirmations = 1
+	}
+	n, err := core.NewNode(netsim.NodeID(name), d.Net, d.Chain, d.Dir, d.Auth, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, other := range d.order {
+		l := lookupLink(site, d.sites[other])
+		d.Net.SetLink(netsim.NodeID(name), netsim.NodeID(other), netsim.RTT(l.rtt, l.mbps))
+	}
+	d.nodes[name] = n
+	d.sites[name] = site
+	d.order = append(d.order, name)
+	return n, nil
+}
+
+func hashSeed(name string) uint64 {
+	sum := cryptoutil.Hash256([]byte("seed"), []byte(name))
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(sum[i])
+	}
+	return v
+}
+
+// Node returns a node by name.
+func (d *Deployment) Node(name string) *core.Node { return d.nodes[name] }
+
+// AddClient creates a TEE-less outsourcing client at a site, wiring its
+// links like AddNode.
+func (d *Deployment) AddClient(name string, site Site) (*core.Client, error) {
+	if _, ok := d.nodes[name]; ok {
+		return nil, fmt.Errorf("harness: duplicate node %q", name)
+	}
+	c, err := core.NewClient(netsim.NodeID(name), d.Net, d.Dir, d.Auth)
+	if err != nil {
+		return nil, err
+	}
+	for _, other := range d.order {
+		l := lookupLink(site, d.sites[other])
+		d.Net.SetLink(netsim.NodeID(name), netsim.NodeID(other), netsim.RTT(l.rtt, l.mbps))
+	}
+	d.sites[name] = site
+	d.order = append(d.order, name)
+	return c, nil
+}
+
+// Until steps the simulator until cond holds; it fails after budget
+// steps to catch livelock.
+func (d *Deployment) Until(cond func() bool) error {
+	for i := 0; i < 50_000_000; i++ {
+		if cond() {
+			return nil
+		}
+		if !d.Sim.Step() {
+			if cond() {
+				return nil
+			}
+			return fmt.Errorf("harness: simulator drained at %v without reaching condition", d.Sim.Now())
+		}
+	}
+	return fmt.Errorf("harness: step budget exhausted at %v", d.Sim.Now())
+}
+
+// Connect attests two nodes to each other.
+func (d *Deployment) Connect(a, b *core.Node) error {
+	if a.Connected(b) {
+		return nil
+	}
+	if err := a.Connect(b); err != nil {
+		return err
+	}
+	return d.Until(func() bool { return a.Connected(b) && b.Connected(a) })
+}
+
+// FormCommittee wires a node's committee with the given members
+// (connecting all pairs first) and waits until it is ready.
+func (d *Deployment) FormCommittee(owner *core.Node, members []*core.Node, m int) error {
+	for i, a := range members {
+		if err := d.Connect(owner, a); err != nil {
+			return err
+		}
+		for _, b := range members[i+1:] {
+			if err := d.Connect(a, b); err != nil {
+				return err
+			}
+		}
+	}
+	if err := owner.FormCommittee(members, m); err != nil {
+		return err
+	}
+	return d.Until(func() bool { return owner.Enclave().CommitteeReady() })
+}
+
+// OpenChannel opens and funds a channel between two connected nodes:
+// fundA from a's side and fundB from b's (zero skips that side). The
+// channel is registered with the router.
+func (d *Deployment) OpenChannel(a, b *core.Node, fundA, fundB chain.Amount) (wire.ChannelID, error) {
+	if err := d.Connect(a, b); err != nil {
+		return "", err
+	}
+	id, err := a.OpenChannel(b)
+	if err != nil {
+		return "", err
+	}
+	if err := d.Until(func() bool {
+		ca, okA := a.Enclave().State().Channels[id]
+		cb, okB := b.Enclave().State().Channels[id]
+		return okA && okB && ca.Open && cb.Open
+	}); err != nil {
+		return "", err
+	}
+	if fundA > 0 {
+		if err := d.fundSide(a, b, id, fundA); err != nil {
+			return "", err
+		}
+	}
+	if fundB > 0 {
+		if err := d.fundSide(b, a, id, fundB); err != nil {
+			return "", err
+		}
+	}
+	d.Router.AddChannel(a.Identity(), b.Identity())
+	return id, nil
+}
+
+func (d *Deployment) fundSide(owner, peer *core.Node, id wire.ChannelID, value chain.Amount) error {
+	point, err := owner.CreateDepositInstant(value)
+	if err != nil {
+		return err
+	}
+	if err := d.Until(func() bool {
+		rec, ok := owner.Enclave().State().Deposits[point]
+		return ok && rec.Free
+	}); err != nil {
+		return err
+	}
+	if err := owner.ApproveDeposit(peer, point); err != nil {
+		return err
+	}
+	if err := d.Until(func() bool {
+		return owner.Enclave().State().ApprovedMine[peer.Identity()][point]
+	}); err != nil {
+		return err
+	}
+	if err := owner.AssociateDeposit(id, point); err != nil {
+		return err
+	}
+	return d.Until(func() bool {
+		c, ok := peer.Enclave().State().Channels[id]
+		if !ok {
+			return false
+		}
+		for _, dep := range c.RemoteDeps {
+			if dep.Point == point {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// LatencyStats accumulates latency samples.
+type LatencyStats struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record adds a sample.
+func (s *LatencyStats) Record(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *LatencyStats) Count() int { return len(s.samples) }
+
+// Avg returns the mean latency.
+func (s *LatencyStats) Avg() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, v := range s.samples {
+		total += v
+	}
+	return total / time.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	idx := int(p/100*float64(len(s.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.samples) {
+		idx = len(s.samples) - 1
+	}
+	return s.samples[idx]
+}
+
+// windowDriver keeps `window` payments in flight over a channel until
+// `total` have been issued, recording latencies after a warmup
+// fraction. It is the measurement loop used by the throughput
+// experiments (the sliding window of §7.4).
+type windowDriver struct {
+	d       *Deployment
+	total   int
+	warmup  int
+	issued  int
+	acked   int
+	stats   LatencyStats
+	tWarm   sim.Time
+	tEnd    sim.Time
+	issueFn func(done core.PayDone) error
+	failed  int
+}
+
+func newWindowDriver(d *Deployment, total int, issue func(done core.PayDone) error) *windowDriver {
+	return &windowDriver{
+		d:       d,
+		total:   total,
+		warmup:  total / 10,
+		issueFn: issue,
+	}
+}
+
+func (w *windowDriver) issue(k int) {
+	for i := 0; i < k && w.issued < w.total; i++ {
+		w.issued++
+		err := w.issueFn(func(ok bool, lat time.Duration, _ string) {
+			w.acked++
+			if !ok {
+				w.failed++
+			}
+			if w.acked == w.warmup {
+				w.tWarm = w.d.Sim.Now()
+			}
+			if w.acked > w.warmup && ok {
+				w.stats.Record(lat)
+			}
+			if w.acked == w.total {
+				w.tEnd = w.d.Sim.Now()
+			}
+			w.issue(1)
+		})
+		if err != nil {
+			// Count as failed and move on.
+			w.acked++
+			w.failed++
+			w.issue(1)
+		}
+	}
+}
+
+// run drives the window to completion and returns throughput (tx/s
+// after warmup) and the latency stats.
+func (w *windowDriver) run(window int) (float64, *LatencyStats, error) {
+	w.issue(window)
+	if err := w.d.Until(func() bool { return w.acked >= w.total }); err != nil {
+		return 0, nil, err
+	}
+	elapsed := w.tEnd.Sub(w.tWarm)
+	if elapsed <= 0 {
+		return 0, &w.stats, nil
+	}
+	tput := float64(w.total-w.warmup) / elapsed.Seconds()
+	return tput, &w.stats, nil
+}
+
+// latencyProbe measures unloaded payment latency: sequential payments,
+// one in flight at a time (how the paper's latency column reads —
+// LND's 387 ms is two RTTs plus processing, not queueing).
+func latencyProbe(d *Deployment, count int, issue func(done core.PayDone) error) (*LatencyStats, error) {
+	stats := &LatencyStats{}
+	done := 0
+	var next func()
+	next = func() {
+		if done >= count {
+			return
+		}
+		err := issue(func(ok bool, lat time.Duration, _ string) {
+			if ok && done >= 2 { // skip cold-start samples
+				stats.Record(lat)
+			}
+			done++
+			next()
+		})
+		if err != nil {
+			done++
+			next()
+		}
+	}
+	next()
+	if err := d.Until(func() bool { return done >= count }); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// openLoop issues payments at a fixed offered rate regardless of
+// acknowledgements (open-loop load), returning the ack throughput after
+// warmup. Used for the batching rows, where a closed loop would
+// synchronise refills with batch boundaries and under-fill the pipeline.
+func openLoop(d *Deployment, rate float64, total int, issue func(done core.PayDone) error) (float64, error) {
+	const tick = 5 * time.Millisecond
+	perTick := int(rate * tick.Seconds())
+	if perTick < 1 {
+		perTick = 1
+	}
+	issued := 0
+	acked := 0
+	warmup := total / 10
+	var tWarm, tEnd sim.Time
+	onDone := func(ok bool, _ time.Duration, _ string) {
+		acked++
+		if acked == warmup {
+			tWarm = d.Sim.Now()
+		}
+		if acked == total {
+			tEnd = d.Sim.Now()
+		}
+	}
+	var pump func()
+	pump = func() {
+		for i := 0; i < perTick && issued < total; i++ {
+			issued++
+			if err := issue(onDone); err != nil {
+				acked++
+			}
+		}
+		if issued < total {
+			d.Sim.Schedule(tick, pump)
+		}
+	}
+	pump()
+	if err := d.Until(func() bool { return acked >= total }); err != nil {
+		return 0, err
+	}
+	elapsed := tEnd.Sub(tWarm)
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(total-warmup) / elapsed.Seconds(), nil
+}

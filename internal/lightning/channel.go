@@ -1,0 +1,348 @@
+// Package lightning implements the Lightning Network baseline the paper
+// compares against (§7, [50]/[37]): penalty-based duplex payment
+// channels with revocable commitment transactions, HTLC multi-hop
+// payments, and on-chain disputes bounded by a synchrony window τ.
+//
+// Two properties matter for the evaluation and are faithfully
+// reproduced here:
+//
+//  1. Synchronous blockchain access: a cheated party must confirm its
+//     justice transaction within τ blocks of a stale commitment, so an
+//     adversary who can delay transactions (chain.Censor) steals funds.
+//     Teechain has no such window.
+//  2. Message structure: channel opening writes a funding transaction
+//     and waits six confirmations; each payment is a two-round-trip
+//     commitment exchange; payments are sequential per channel (batched
+//     by LND). The timing model in timing.go derives the baseline's
+//     latency and throughput from these counts.
+package lightning
+
+import (
+	"errors"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+)
+
+// FundingConfirmations is how deep a funding transaction must be buried
+// before a channel opens (six Bitcoin blocks ≈ 60 minutes, Table 2).
+const FundingConfirmations = 6
+
+// Party is one side of a Lightning channel.
+type Party struct {
+	Name   string
+	key    *cryptoutil.KeyPair // channel multisig key
+	payout *cryptoutil.KeyPair // on-chain destination
+}
+
+// NewParty creates a party with deterministic keys derived from name.
+func NewParty(name string) (*Party, error) {
+	key, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("ln-key"), []byte(name)))
+	if err != nil {
+		return nil, err
+	}
+	payout, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("ln-payout"), []byte(name)))
+	if err != nil {
+		return nil, err
+	}
+	return &Party{Name: name, key: key, payout: payout}, nil
+}
+
+// PayoutAddress is where the party's funds land on settlement.
+func (p *Party) PayoutAddress() cryptoutil.Address { return p.payout.Address() }
+
+// PayoutKey returns the party's payout public key, for funding its
+// wallet on the chain.
+func (p *Party) PayoutKey() cryptoutil.PublicKey { return p.payout.Public() }
+
+// commitment is one channel state: each party holds its own version
+// whose to-self output is delayed by τ and revocable by the other side.
+type commitment struct {
+	seq  uint64
+	balA chain.Amount
+	balB chain.Amount
+	// txA is A's version (A's balance delayed/revocable), txB is B's.
+	txA, txB *chain.Transaction
+	// justiceA lets B punish A for broadcasting this commitment after
+	// revocation (and vice versa). Pre-signed by the cheated-against
+	// party's counterparty at revocation time.
+	justiceA, justiceB *chain.Transaction
+	// sweepA/B mature the delayed to-self outputs after τ blocks.
+	sweepA, sweepB *chain.Transaction
+	revoked        bool
+}
+
+// Channel is a penalty-based Lightning payment channel.
+type Channel struct {
+	A, B *Party
+	c    *chain.Chain
+	// Tau is the dispute window in blocks: after a unilateral close the
+	// counterparty has Tau blocks to present a justice transaction.
+	Tau uint64
+
+	fundingPoint  chain.OutPoint
+	fundingScript chain.Script
+	capacity      chain.Amount
+	openedAt      uint64
+	open          bool
+
+	states  []*commitment
+	current *commitment
+	// UpdatesOnChain counts transactions this channel placed on chain,
+	// for the §7.5 cost accounting.
+	TxsOnChain int
+
+	// HTLC state (htlc.go).
+	htlcs      []HTLC
+	pendingOut chain.Amount
+}
+
+// OpenChannel funds a 2-of-2 channel from A's wallet UTXO and waits for
+// FundingConfirmations blocks (the caller mines; see WaitOpen). Initial
+// balance is entirely A's, as in LN single-funded channels.
+func OpenChannel(c *chain.Chain, a, b *Party, walletUTXO chain.OutPoint, capacity chain.Amount, tau uint64) (*Channel, error) {
+	prev, ok := c.UTXO(walletUTXO)
+	if !ok {
+		return nil, fmt.Errorf("lightning: wallet utxo %s unknown", walletUTXO)
+	}
+	if prev.Value != capacity {
+		return nil, fmt.Errorf("lightning: wallet utxo %d != capacity %d", prev.Value, capacity)
+	}
+	script := chain.Multisig(2, a.key.Public(), b.key.Public())
+	funding := &chain.Transaction{
+		Inputs:  []chain.TxIn{{Prev: walletUTXO}},
+		Outputs: []chain.TxOut{{Value: capacity, Script: script}},
+	}
+	if err := funding.SignInput(0, prev.Script, a.payout); err != nil {
+		return nil, err
+	}
+	id, err := c.Submit(funding)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		A: a, B: b, c: c, Tau: tau,
+		fundingPoint:  chain.OutPoint{Tx: id, Index: 0},
+		fundingScript: script,
+		capacity:      capacity,
+		TxsOnChain:    1,
+	}
+	// Initial commitment: everything back to A.
+	if err := ch.buildState(capacity, 0); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// WaitOpen checks funding depth; the channel is unusable until the
+// funding transaction has six confirmations.
+func (ch *Channel) WaitOpen() bool {
+	if ch.open {
+		return true
+	}
+	if ch.c.Confirmations(ch.fundingPoint.Tx) >= FundingConfirmations {
+		ch.open = true
+		ch.openedAt = ch.c.Height()
+	}
+	return ch.open
+}
+
+// Balances returns the current channel balances.
+func (ch *Channel) Balances() (a, b chain.Amount) {
+	return ch.current.balA, ch.current.balB
+}
+
+// buildState constructs commitment seq+1 with the given balances: both
+// parties' commitment versions, their delayed sweeps, and (for the
+// previous state) the justice transactions exchanged at revocation.
+func (ch *Channel) buildState(balA, balB chain.Amount) error {
+	if balA < 0 || balB < 0 || balA+balB != ch.capacity {
+		return fmt.Errorf("lightning: invalid balances %d/%d for capacity %d", balA, balB, ch.capacity)
+	}
+	var seq uint64
+	if ch.current != nil {
+		seq = ch.current.seq + 1
+	}
+	cm := &commitment{seq: seq, balA: balA, balB: balB}
+
+	build := func(selfKey, otherKey *Party, selfBal, otherBal chain.Amount) (*chain.Transaction, *chain.Transaction, error) {
+		// Holder's commitment: output0 = delayed/revocable self output
+		// (kept under the 2-of-2 so both justice and sweep are
+		// expressible), output1 = counterparty paid directly.
+		tx := &chain.Transaction{Inputs: []chain.TxIn{{Prev: ch.fundingPoint}}}
+		if selfBal > 0 {
+			tx.Outputs = append(tx.Outputs, chain.TxOut{Value: selfBal, Script: ch.fundingScript})
+		}
+		if otherBal > 0 {
+			tx.Outputs = append(tx.Outputs, chain.TxOut{Value: otherBal, Script: chain.PayToKey(otherKey.payout.Public())})
+		}
+		if err := tx.SignInput(0, ch.fundingScript, selfKey.key); err != nil {
+			return nil, nil, err
+		}
+		if err := tx.SignInput(0, ch.fundingScript, otherKey.key); err != nil {
+			return nil, nil, err
+		}
+		var sweep *chain.Transaction
+		if selfBal > 0 {
+			sweep = &chain.Transaction{
+				Inputs:  []chain.TxIn{{Prev: chain.OutPoint{Tx: tx.ID(), Index: 0}, MinAge: ch.Tau}},
+				Outputs: []chain.TxOut{{Value: selfBal, Script: chain.PayToKey(selfKey.payout.Public())}},
+			}
+			if err := sweep.SignInput(0, ch.fundingScript, selfKey.key); err != nil {
+				return nil, nil, err
+			}
+			if err := sweep.SignInput(0, ch.fundingScript, otherKey.key); err != nil {
+				return nil, nil, err
+			}
+		}
+		return tx, sweep, nil
+	}
+
+	var err error
+	cm.txA, cm.sweepA, err = build(ch.A, ch.B, balA, balB)
+	if err != nil {
+		return err
+	}
+	cm.txB, cm.sweepB, err = build(ch.B, ch.A, balB, balA)
+	if err != nil {
+		return err
+	}
+
+	// Revoke the previous state: each party hands the other a justice
+	// transaction spending the old delayed output immediately.
+	if ch.current != nil {
+		old := ch.current
+		old.revoked = true
+		if old.balA > 0 {
+			j := &chain.Transaction{
+				Inputs:  []chain.TxIn{{Prev: chain.OutPoint{Tx: old.txA.ID(), Index: 0}}},
+				Outputs: []chain.TxOut{{Value: old.balA, Script: chain.PayToKey(ch.B.payout.Public())}},
+			}
+			if err := j.SignInput(0, ch.fundingScript, ch.A.key); err != nil {
+				return err
+			}
+			if err := j.SignInput(0, ch.fundingScript, ch.B.key); err != nil {
+				return err
+			}
+			old.justiceA = j
+		}
+		if old.balB > 0 {
+			j := &chain.Transaction{
+				Inputs:  []chain.TxIn{{Prev: chain.OutPoint{Tx: old.txB.ID(), Index: 0}}},
+				Outputs: []chain.TxOut{{Value: old.balB, Script: chain.PayToKey(ch.A.payout.Public())}},
+			}
+			if err := j.SignInput(0, ch.fundingScript, ch.B.key); err != nil {
+				return err
+			}
+			if err := j.SignInput(0, ch.fundingScript, ch.A.key); err != nil {
+				return err
+			}
+			old.justiceB = j
+		}
+	}
+
+	ch.states = append(ch.states, cm)
+	ch.current = cm
+	return nil
+}
+
+// Pay moves amount from A to B (negative amounts pay B to A),
+// producing a new revocable commitment.
+func (ch *Channel) Pay(amount chain.Amount) error {
+	if !ch.open {
+		return errors.New("lightning: channel not open")
+	}
+	balA := ch.current.balA - amount
+	balB := ch.current.balB + amount
+	if balA < 0 || balB < 0 {
+		return fmt.Errorf("lightning: insufficient balance for payment of %d", amount)
+	}
+	return ch.buildState(balA, balB)
+}
+
+// CooperativeClose settles at the current balances with a single
+// mutually signed transaction.
+func (ch *Channel) CooperativeClose() (*chain.Transaction, error) {
+	tx := &chain.Transaction{Inputs: []chain.TxIn{{Prev: ch.fundingPoint}}}
+	if ch.current.balA > 0 {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: ch.current.balA, Script: chain.PayToKey(ch.A.payout.Public())})
+	}
+	if ch.current.balB > 0 {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: ch.current.balB, Script: chain.PayToKey(ch.B.payout.Public())})
+	}
+	if err := tx.SignInput(0, ch.fundingScript, ch.A.key); err != nil {
+		return nil, err
+	}
+	if err := tx.SignInput(0, ch.fundingScript, ch.B.key); err != nil {
+		return nil, err
+	}
+	if _, err := ch.c.Submit(tx); err != nil {
+		return nil, err
+	}
+	ch.TxsOnChain++
+	ch.open = false
+	return tx, nil
+}
+
+// BroadcastCommitment unilaterally closes with the given state sequence
+// — broadcasting a revoked (stale) state is the theft attempt the
+// penalty mechanism deters. It returns the commitment transaction of
+// the broadcasting party (asA selects A's version).
+func (ch *Channel) BroadcastCommitment(seq uint64, asA bool) (*chain.Transaction, error) {
+	if int(seq) >= len(ch.states) {
+		return nil, fmt.Errorf("lightning: no state %d", seq)
+	}
+	cm := ch.states[seq]
+	tx := cm.txA
+	if !asA {
+		tx = cm.txB
+	}
+	if _, err := ch.c.Submit(tx); err != nil {
+		return nil, err
+	}
+	ch.TxsOnChain++
+	ch.open = false
+	return tx, nil
+}
+
+// Justice returns the penalty transaction punishing the broadcast of
+// revoked state seq by the given party, for the victim to submit within
+// τ blocks.
+func (ch *Channel) Justice(seq uint64, againstA bool) (*chain.Transaction, error) {
+	if int(seq) >= len(ch.states) {
+		return nil, fmt.Errorf("lightning: no state %d", seq)
+	}
+	cm := ch.states[seq]
+	if !cm.revoked {
+		return nil, errors.New("lightning: state is not revoked; no justice available")
+	}
+	j := cm.justiceA
+	if !againstA {
+		j = cm.justiceB
+	}
+	if j == nil {
+		return nil, errors.New("lightning: no delayed output to punish")
+	}
+	return j, nil
+}
+
+// Sweep returns the broadcaster's delayed-output sweep for state seq,
+// valid only τ blocks after the commitment confirmed.
+func (ch *Channel) Sweep(seq uint64, asA bool) (*chain.Transaction, error) {
+	if int(seq) >= len(ch.states) {
+		return nil, fmt.Errorf("lightning: no state %d", seq)
+	}
+	cm := ch.states[seq]
+	s := cm.sweepA
+	if !asA {
+		s = cm.sweepB
+	}
+	if s == nil {
+		return nil, errors.New("lightning: no delayed output to sweep")
+	}
+	return s, nil
+}
+
+// CurrentSeq returns the latest state sequence number.
+func (ch *Channel) CurrentSeq() uint64 { return ch.current.seq }

@@ -1,0 +1,322 @@
+package lightning
+
+import (
+	"testing"
+	"time"
+
+	"teechain/internal/chain"
+)
+
+// setupChannel funds and opens an A->B channel with the given capacity
+// and dispute window.
+func setupChannel(t *testing.T, c *chain.Chain, tau uint64, capacity chain.Amount) (*Channel, *Party, *Party) {
+	t.Helper()
+	a, err := NewParty("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewParty("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	utxo, err := c.FundKey(a.payout.Public(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := OpenChannel(c, a, b, utxo, capacity, tau)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	blocks := 0
+	for !ch.WaitOpen() {
+		c.MineBlock()
+		blocks++
+		if blocks > 10 {
+			t.Fatal("channel never opened")
+		}
+	}
+	if blocks != FundingConfirmations {
+		t.Fatalf("channel opened after %d blocks, want %d", blocks, FundingConfirmations)
+	}
+	return ch, a, b
+}
+
+func TestChannelOpenRequiresConfirmations(t *testing.T) {
+	c := chain.New()
+	ch, _, _ := setupChannel(t, c, 144, 1000)
+	if !ch.open {
+		t.Fatal("channel not open")
+	}
+}
+
+func TestPaymentsUpdateBalances(t *testing.T) {
+	c := chain.New()
+	ch, _, _ := setupChannel(t, c, 144, 1000)
+	if err := ch.Pay(300); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Pay(-100); err != nil {
+		t.Fatal(err)
+	}
+	a, b := ch.Balances()
+	if a != 800 || b != 200 {
+		t.Fatalf("balances %d/%d, want 800/200", a, b)
+	}
+	if err := ch.Pay(5000); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+}
+
+func TestCooperativeClose(t *testing.T) {
+	c := chain.New()
+	ch, a, b := setupChannel(t, c, 144, 1000)
+	if err := ch.Pay(400); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.CooperativeClose(); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	if got := c.BalanceByAddress(a.PayoutAddress()); got != 600 {
+		t.Fatalf("alice balance %d, want 600", got)
+	}
+	if got := c.BalanceByAddress(b.PayoutAddress()); got != 400 {
+		t.Fatalf("bob balance %d, want 400", got)
+	}
+}
+
+func TestUnilateralCloseWithSweepAfterTau(t *testing.T) {
+	c := chain.New()
+	tau := uint64(6)
+	ch, a, b := setupChannel(t, c, tau, 1000)
+	if err := ch.Pay(400); err != nil {
+		t.Fatal(err)
+	}
+	// A broadcasts the CURRENT commitment (honest unilateral close).
+	seq := ch.CurrentSeq()
+	if _, err := ch.BroadcastCommitment(seq, true); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	// B is paid immediately.
+	if got := c.BalanceByAddress(b.PayoutAddress()); got != 400 {
+		t.Fatalf("bob balance %d, want 400", got)
+	}
+	// A's delayed output cannot be swept before τ.
+	sweep, err := ch.Sweep(seq, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := c.Submit(sweep)
+	c.MineBlock()
+	if c.Status(id) == chain.StatusConfirmed {
+		t.Fatal("sweep confirmed before the dispute window elapsed")
+	}
+	c.MineBlocks(int(tau))
+	if c.Status(id) != chain.StatusConfirmed {
+		t.Fatalf("sweep still %v after τ blocks: %s", c.Status(id), c.RejectReason(id))
+	}
+	if got := c.BalanceByAddress(a.PayoutAddress()); got != 600 {
+		t.Fatalf("alice balance %d, want 600", got)
+	}
+}
+
+func TestJusticePunishesStaleBroadcast(t *testing.T) {
+	// The honest case existing payment networks rely on: the victim
+	// reacts within τ and takes everything.
+	c := chain.New()
+	tau := uint64(6)
+	ch, a, b := setupChannel(t, c, tau, 1000)
+	if err := ch.Pay(900); err != nil { // state 1: A=100, B=900
+		t.Fatal(err)
+	}
+	// A broadcasts revoked state 0 (A=1000) to steal B's 900.
+	if _, err := ch.BroadcastCommitment(0, true); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	// B reacts in time with the justice transaction.
+	j, err := ch.Justice(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	if got := c.BalanceByAddress(b.PayoutAddress()); got != 1000 {
+		t.Fatalf("bob reclaimed %d, want the full 1000 (penalty)", got)
+	}
+	if got := c.BalanceByAddress(a.PayoutAddress()); got != 0 {
+		t.Fatalf("cheating alice kept %d", got)
+	}
+}
+
+func TestDelayAttackStealsFromLightning(t *testing.T) {
+	// The attack that motivates Teechain (§1, §2.2): the attacker
+	// broadcasts a stale state AND delays the victim's justice
+	// transaction past the dispute window τ. The theft succeeds.
+	c := chain.New()
+	tau := uint64(6)
+	ch, a, b := setupChannel(t, c, tau, 1000)
+	if err := ch.Pay(900); err != nil { // A=100, B=900
+		t.Fatal(err)
+	}
+	if _, err := ch.BroadcastCommitment(0, true); err != nil { // stale: A=1000
+		t.Fatal(err)
+	}
+	c.MineBlock()
+
+	// B submits justice immediately — but the attacker censors it
+	// (transaction delay: spam, fee manipulation, eclipse...).
+	j, err := ch.Justice(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jid, _ := c.Submit(j)
+	c.Censor(jid, c.Height()+tau+2)
+
+	// After τ blocks the attacker sweeps the delayed output.
+	c.MineBlocks(int(tau))
+	sweep, err := ch.Sweep(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(sweep); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	c.MineBlocks(3) // censorship lifts; justice is now too late
+
+	if got := c.BalanceByAddress(a.PayoutAddress()); got != 1000 {
+		t.Fatalf("attacker holds %d, expected the full 1000 (successful theft)", got)
+	}
+	if got := c.BalanceByAddress(b.PayoutAddress()); got != 0 {
+		t.Fatalf("victim holds %d, expected 0 (funds stolen)", got)
+	}
+	if c.Status(jid) != chain.StatusRejected {
+		t.Fatalf("justice transaction status %v, want rejected (outrun)", c.Status(jid))
+	}
+}
+
+func TestHTLCMultihopSettles(t *testing.T) {
+	c := chain.New()
+	ch1, _, _ := setupChannel(t, c, 144, 1000)
+	// Second channel B->C reuses fresh parties for clarity.
+	bParty, err := NewParty("bob2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cParty, err := NewParty("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	utxo, err := c.FundKey(bParty.payout.Public(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := OpenChannel(c, bParty, cParty, utxo, 1000, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ch2.WaitOpen() {
+		c.MineBlock()
+	}
+
+	p, err := NewMultihopPayment([]*Channel{ch1, ch2}, 250, "invoice-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lock(c.Height()); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if len(ch1.PendingHTLCs()) != 1 || len(ch2.PendingHTLCs()) != 1 {
+		t.Fatal("HTLCs not added on both hops")
+	}
+	// Expiries decrease toward the recipient.
+	if ch1.PendingHTLCs()[0].Expiry <= ch2.PendingHTLCs()[0].Expiry {
+		t.Fatal("expiries do not decrease along the path")
+	}
+	if err := p.Settle(p.Preimage()); err != nil {
+		t.Fatalf("Settle: %v", err)
+	}
+	a1, b1 := ch1.Balances()
+	if a1 != 750 || b1 != 250 {
+		t.Fatalf("hop1 balances %d/%d", a1, b1)
+	}
+	a2, b2 := ch2.Balances()
+	if a2 != 750 || b2 != 250 {
+		t.Fatalf("hop2 balances %d/%d", a2, b2)
+	}
+}
+
+func TestHTLCWrongPreimageAndFail(t *testing.T) {
+	c := chain.New()
+	ch, _, _ := setupChannel(t, c, 144, 1000)
+	p, err := NewMultihopPayment([]*Channel{ch}, 100, "invoice-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lock(c.Height()); err != nil {
+		t.Fatal(err)
+	}
+	var wrong [32]byte
+	if err := p.Settle(wrong); err == nil {
+		t.Fatal("settled with wrong preimage")
+	}
+	p.Fail()
+	if len(ch.PendingHTLCs()) != 0 {
+		t.Fatal("HTLC not released on failure")
+	}
+	a, _ := ch.Balances()
+	if a != 1000 {
+		t.Fatal("failed HTLC moved funds")
+	}
+}
+
+func TestHTLCCapacityRespectsPending(t *testing.T) {
+	c := chain.New()
+	ch, _, _ := setupChannel(t, c, 144, 1000)
+	p1, _ := NewMultihopPayment([]*Channel{ch}, 600, "i1")
+	if err := p1.Lock(c.Height()); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewMultihopPayment([]*Channel{ch}, 600, "i2")
+	if err := p2.Lock(c.Height()); err == nil {
+		t.Fatal("over-committed channel accepted second HTLC")
+	}
+}
+
+func TestTimingModel(t *testing.T) {
+	rtt := 90 * time.Millisecond
+	lat := PaymentLatency(rtt)
+	if lat < 380*time.Millisecond || lat > 400*time.Millisecond {
+		t.Fatalf("payment latency %v, want ~387ms (Table 1)", lat)
+	}
+	l2 := MultihopLatency(2, 97*time.Millisecond)
+	if l2 < 900*time.Millisecond || l2 > 1400*time.Millisecond {
+		t.Fatalf("2-hop latency %v, want ~1s (Fig. 4)", l2)
+	}
+	l11 := MultihopLatency(11, 97*time.Millisecond)
+	if l11 < 6*time.Second || l11 > 8*time.Second {
+		t.Fatalf("11-hop latency %v, want ~7s (Fig. 4)", l11)
+	}
+	if MultihopLatency(11, rtt) <= MultihopLatency(2, rtt) {
+		t.Fatal("latency not increasing in hops")
+	}
+	tp2 := MultihopThroughput(2, 97*time.Millisecond, 1000)
+	tp11 := MultihopThroughput(11, 97*time.Millisecond, 1000)
+	if tp2 <= tp11 {
+		t.Fatal("throughput not decreasing in hops")
+	}
+	// §7.3: LN ~862 tx/s at 2 hops, ~139 tx/s at 11 hops.
+	if tp2 < 600 || tp2 > 1100 {
+		t.Fatalf("2-hop throughput %.0f, want ~862", tp2)
+	}
+	if tp11 < 100 || tp11 > 200 {
+		t.Fatalf("11-hop throughput %.0f, want ~139", tp11)
+	}
+	if got := ChannelOpenLatency(10 * time.Minute); got != time.Hour {
+		t.Fatalf("channel open %v, want 1h", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Package netsim simulates the wide-area network Teechain nodes
+// communicate over: point-to-point links with configurable propagation
+// latency and bandwidth, per-node serial processing, partitions, and
+// message accounting.
+//
+// Combined with internal/sim, it reproduces the paper's Fig. 3 testbed
+// in virtual time: a payment crossing the US–UK link arrives ~45 ms
+// later and queues behind the receiving enclave's processor, so both
+// latency distributions and throughput ceilings emerge from the
+// topology and the cost model rather than from hard-coded results.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"teechain/internal/sim"
+)
+
+// NodeID names a machine in the simulated network.
+type NodeID string
+
+// Handler consumes messages delivered to an endpoint after the
+// endpoint's processor has spent the modelled processing cost.
+type Handler func(from NodeID, payload any)
+
+// CostModel maps a message to (cpu, delay): cpu occupies the receiving
+// node's serial processor (setting throughput ceilings), while delay
+// postpones delivery without occupying it (I/O waits and pipeline
+// stalls that overlap across concurrent requests).
+type CostModel func(payload any) (cpu, delay time.Duration)
+
+// ZeroCost charges no processing time.
+func ZeroCost(any) (time.Duration, time.Duration) { return 0, 0 }
+
+// LinkSpec describes one direction of a link.
+type LinkSpec struct {
+	// Latency is the one-way propagation delay (half the RTT).
+	Latency time.Duration
+	// BitsPerSecond is the link bandwidth; zero means unlimited.
+	BitsPerSecond int64
+}
+
+// RTT is a convenience constructor: a symmetric link with the given
+// round-trip time and bandwidth in megabits per second (0 = unlimited).
+func RTT(rtt time.Duration, mbps int64) LinkSpec {
+	return LinkSpec{Latency: rtt / 2, BitsPerSecond: mbps * 1_000_000}
+}
+
+type linkKey struct{ from, to NodeID }
+
+type link struct {
+	spec LinkSpec
+	// tx serializes transmissions: a 1 MB message on a 100 Mb/s link
+	// occupies it for 80 ms before propagation begins.
+	tx   *sim.Processor
+	down bool
+
+	messages uint64
+	bytes    uint64
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	id      NodeID
+	net     *Network
+	proc    *sim.Processor
+	handler Handler
+	cost    CostModel
+
+	received uint64
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Processor exposes the endpoint's serial processor so hosts can charge
+// local (non-message) work such as attestation verification.
+func (e *Endpoint) Processor() *sim.Processor { return e.proc }
+
+// Received returns the number of messages delivered so far.
+func (e *Endpoint) Received() uint64 { return e.received }
+
+// Network is the simulated network fabric.
+type Network struct {
+	sim         *sim.Simulator
+	nodes       map[NodeID]*Endpoint
+	links       map[linkKey]*link
+	defaultLink LinkSpec
+
+	sent    uint64
+	dropped uint64
+}
+
+// New creates an empty network on the given simulator with an unlimited
+// zero-latency default link (overridable per pair or via
+// SetDefaultLink).
+func New(s *sim.Simulator) *Network {
+	return &Network{
+		sim:   s,
+		nodes: make(map[NodeID]*Endpoint),
+		links: make(map[linkKey]*link),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// SetDefaultLink sets the spec used for node pairs without an explicit
+// link.
+func (n *Network) SetDefaultLink(spec LinkSpec) { n.defaultLink = spec }
+
+// AddNode attaches a node. The handler runs after the node's serial
+// processor has spent the cost model's processing time for each
+// message. Adding a duplicate ID panics: topologies are static in every
+// experiment, so this is a programming error.
+func (n *Network) AddNode(id NodeID, handler Handler, cost CostModel) *Endpoint {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", id))
+	}
+	if cost == nil {
+		cost = ZeroCost
+	}
+	ep := &Endpoint{
+		id:      id,
+		net:     n,
+		proc:    sim.NewProcessor(n.sim),
+		handler: handler,
+		cost:    cost,
+	}
+	n.nodes[id] = ep
+	return ep
+}
+
+// SetHandler replaces a node's handler (used when wiring hosts after
+// topology construction).
+func (n *Network) SetHandler(id NodeID, handler Handler, cost CostModel) {
+	ep, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %q", id))
+	}
+	ep.handler = handler
+	if cost != nil {
+		ep.cost = cost
+	}
+}
+
+// SetLink configures the link between a and b in both directions.
+func (n *Network) SetLink(a, b NodeID, spec LinkSpec) {
+	n.direction(a, b).spec = spec
+	n.direction(b, a).spec = spec
+}
+
+// SetPartitioned makes the a<->b link drop all traffic (both
+// directions) when down is true, and restores it when false.
+func (n *Network) SetPartitioned(a, b NodeID, down bool) {
+	n.direction(a, b).down = down
+	n.direction(b, a).down = down
+}
+
+func (n *Network) direction(from, to NodeID) *link {
+	k := linkKey{from, to}
+	l, ok := n.links[k]
+	if !ok {
+		l = &link{spec: n.defaultLink, tx: sim.NewProcessor(n.sim)}
+		n.links[k] = l
+	}
+	return l
+}
+
+// Errors returned by Send.
+var (
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	ErrPartitioned = errors.New("netsim: link partitioned")
+)
+
+// Send transmits payload of the given wire size from one node to
+// another. Delivery is scheduled after link serialization, propagation
+// latency, and the receiver's processing cost. Send returns immediately
+// (asynchronous), with an error only for unknown nodes or partitioned
+// links — callers model retransmission/timeout themselves.
+func (n *Network) Send(from, to NodeID, payload any, size int) error {
+	src, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	_ = src
+	dst, ok := n.nodes[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	l := n.direction(from, to)
+	if l.down {
+		n.dropped++
+		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, from, to)
+	}
+	n.sent++
+	l.messages++
+	l.bytes += uint64(size)
+
+	var txTime time.Duration
+	if l.spec.BitsPerSecond > 0 {
+		txTime = time.Duration(int64(size) * 8 * int64(time.Second) / l.spec.BitsPerSecond)
+	}
+	latency := l.spec.Latency
+	// Serialize on the link, then propagate, then queue on the
+	// receiver's processor.
+	l.tx.Do(txTime, func() {
+		cpu, delay := dst.cost(payload)
+		arrival := n.sim.Now().Add(latency + delay)
+		dst.proc.DoAt(arrival, cpu, func() {
+			dst.received++
+			dst.handler(from, payload)
+		})
+	})
+	return nil
+}
+
+// SendLocal delivers a payload from a node to itself with processing
+// cost but no network traversal (operator commands entering a host).
+func (n *Network) SendLocal(id NodeID, payload any) error {
+	dst, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	cpu, delay := dst.cost(payload)
+	dst.proc.DoAt(n.sim.Now().Add(delay), cpu, func() {
+		dst.received++
+		dst.handler(id, payload)
+	})
+	return nil
+}
+
+// Sent returns the total messages accepted for transmission.
+func (n *Network) Sent() uint64 { return n.sent }
+
+// Dropped returns the total messages dropped at partitioned links.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// LinkStats returns messages and bytes carried from a to b.
+func (n *Network) LinkStats(from, to NodeID) (messages, bytes uint64) {
+	if l, ok := n.links[linkKey{from, to}]; ok {
+		return l.messages, l.bytes
+	}
+	return 0, 0
+}
+
+// LinkBusy returns the cumulative transmission (serialization) time of
+// the directed link, for utilisation diagnostics.
+func (n *Network) LinkBusy(from, to NodeID) time.Duration {
+	if l, ok := n.links[linkKey{from, to}]; ok {
+		return l.tx.BusyTime()
+	}
+	return 0
+}
+
+// Endpoint returns a node's endpoint (nil if unknown), exposing its
+// processor for utilisation metrics.
+func (n *Network) Endpoint(id NodeID) *Endpoint { return n.nodes[id] }
+
+// Nodes returns the attached node IDs (order unspecified).
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got, want := s.Now(), Time(30*time.Millisecond); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("events at the same instant ran out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var hits int
+	s.Schedule(time.Millisecond, func() {
+		hits++
+		s.Schedule(time.Millisecond, func() {
+			hits++
+		})
+	})
+	s.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if got, want := s.Now(), Time(2*time.Millisecond); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.Schedule(time.Millisecond, func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double-cancel must be harmless.
+	s.Cancel(e)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New()
+	var order []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, s.Schedule(time.Duration(i+1)*time.Millisecond, func() {
+			order = append(order, i)
+		}))
+	}
+	s.Cancel(events[2])
+	s.Run()
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var hits int
+	s.Schedule(time.Millisecond, func() { hits++ })
+	s.Schedule(5*time.Millisecond, func() { hits++ })
+	s.RunUntil(Time(3 * time.Millisecond))
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if got, want := s.Now(), Time(3*time.Millisecond); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(2*time.Second, func() { fired++ })
+	s.RunFor(time.Second)
+	if fired != 0 {
+		t.Fatal("event fired early")
+	}
+	s.RunFor(time.Second)
+	if fired != 1 {
+		t.Fatal("event did not fire at its deadline")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(Time(time.Millisecond), func() {})
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	if ran := s.RunSteps(3); ran != 3 {
+		t.Fatalf("RunSteps = %d, want 3", ran)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestProcessorSerialises(t *testing.T) {
+	s := New()
+	p := NewProcessor(s)
+	var done []Time
+	record := func() { done = append(done, s.Now()) }
+	p.Do(10*time.Millisecond, record)
+	p.Do(10*time.Millisecond, record)
+	p.Do(10*time.Millisecond, record)
+	s.Run()
+	want := []Time{
+		Time(10 * time.Millisecond),
+		Time(20 * time.Millisecond),
+		Time(30 * time.Millisecond),
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if got, want := p.BusyTime(), 30*time.Millisecond; got != want {
+		t.Fatalf("BusyTime = %v, want %v", got, want)
+	}
+}
+
+func TestProcessorDoAt(t *testing.T) {
+	s := New()
+	p := NewProcessor(s)
+	var completed Time
+	// Work arrives at t=50ms, costs 10ms: completes at 60ms.
+	p.DoAt(Time(50*time.Millisecond), 10*time.Millisecond, func() { completed = s.Now() })
+	s.Run()
+	if want := Time(60 * time.Millisecond); completed != want {
+		t.Fatalf("completed at %v, want %v", completed, want)
+	}
+}
+
+func TestProcessorDoAtQueuesBehindBusy(t *testing.T) {
+	s := New()
+	p := NewProcessor(s)
+	var second Time
+	p.Do(100*time.Millisecond, func() {})
+	// Arrives at 10ms but the processor is busy until 100ms.
+	p.DoAt(Time(10*time.Millisecond), 5*time.Millisecond, func() { second = s.Now() })
+	s.Run()
+	if want := Time(105 * time.Millisecond); second != want {
+		t.Fatalf("second completion at %v, want %v", second, want)
+	}
+}
+
+func TestProcessorThroughputCeiling(t *testing.T) {
+	// 1000 messages at 1ms each through a serial processor must take
+	// exactly 1s of virtual time: the throughput ceiling the enclave
+	// cost model relies on.
+	s := New()
+	p := NewProcessor(s)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		p.Do(time.Millisecond, func() { n++ })
+	}
+	s.Run()
+	if n != 1000 {
+		t.Fatalf("n = %d, want 1000", n)
+	}
+	if got, want := s.Now(), Time(time.Second); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestDurationBetween(t *testing.T) {
+	r := NewRand(1)
+	lo, hi := 100*time.Millisecond, 200*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := r.DurationBetween(lo, hi)
+		if d < lo || d >= hi {
+			t.Fatalf("duration %v outside [%v, %v)", d, lo, hi)
+		}
+	}
+	if d := r.DurationBetween(hi, lo); d != hi {
+		t.Fatalf("degenerate range returned %v, want %v", d, hi)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(99)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// Uniform degenerate case: ranks should all be hit.
+	u := NewZipf(r, 10, 0)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform zipf missed ranks: %d/10", len(seen))
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRand(5)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("shuffle lost elements: %d/50", len(seen))
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(time.Second)
+	if t0.Sub(Time(0)) != time.Second {
+		t.Fatal("Sub mismatch")
+	}
+	if t0.String() != "1s" {
+		t.Fatalf("String() = %q, want 1s", t0.String())
+	}
+}

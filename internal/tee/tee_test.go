@@ -1,0 +1,224 @@
+package tee
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newTestAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	meas := MeasurementOf("teechain")
+	var report [32]byte
+	copy(report[:], []byte("enclave public key hash"))
+	q, err := p.Quote(meas, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(auth.PublicKey(), q, meas); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+}
+
+func TestQuoteRejectsWrongMeasurement(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	var report [32]byte
+	q, err := p.Quote(MeasurementOf("malicious-program"), report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(auth.PublicKey(), q, MeasurementOf("teechain")); err == nil {
+		t.Fatal("quote for different program accepted")
+	}
+}
+
+func TestQuoteRejectsTampering(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	meas := MeasurementOf("teechain")
+	var report [32]byte
+	q, err := p.Quote(meas, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.ReportData[0] ^= 1
+	if err := VerifyQuote(auth.PublicKey(), q, meas); err == nil {
+		t.Fatal("tampered report data accepted")
+	}
+	// Wrong authority.
+	other, err := NewAuthority("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := p.Quote(meas, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(other.PublicKey(), q2, meas); err == nil {
+		t.Fatal("quote verified under wrong authority")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	meas := MeasurementOf("teechain")
+	data := []byte("channel state snapshot")
+	blob, err := p.Seal(meas, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Unseal(meas, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("unsealed data mismatch")
+	}
+}
+
+func TestSealBoundToMeasurementAndPlatform(t *testing.T) {
+	auth := newTestAuthority(t)
+	p1 := NewPlatform(auth, "machine-1")
+	p2 := NewPlatform(auth, "machine-2")
+	measA := MeasurementOf("teechain")
+	measB := MeasurementOf("evil")
+	blob, err := p1.Seal(measA, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Unseal(measB, blob); err == nil {
+		t.Fatal("different enclave code unsealed the blob")
+	}
+	if _, err := p2.Unseal(measA, blob); err == nil {
+		t.Fatal("different platform unsealed the blob")
+	}
+}
+
+func TestMonotonicCounters(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	if p.ReadCounter("c") != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if got := p.IncrementCounter("c"); got != i {
+			t.Fatalf("increment %d returned %d", i, got)
+		}
+	}
+	if p.ReadCounter("c") != 5 {
+		t.Fatal("counter value lost")
+	}
+	if p.ReadCounter("other") != 0 {
+		t.Fatal("counters not independent")
+	}
+}
+
+func TestRollbackProtection(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	meas := MeasurementOf("teechain")
+
+	v1, err := SealStateWithCounter(p, meas, "state", []byte("balance=100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh blob restores fine.
+	got, err := UnsealStateWithCounter(p, meas, "state", v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "balance=100" {
+		t.Fatalf("restored %q", got)
+	}
+
+	v2, err := SealStateWithCounter(p, meas, "state", []byte("balance=40"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restoring the stale snapshot must fail: this is the roll-back
+	// attack the paper defends against.
+	if _, err := UnsealStateWithCounter(p, meas, "state", v1); !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("stale restore error = %v, want ErrRolledBack", err)
+	}
+	// Current snapshot still restores.
+	got, err = UnsealStateWithCounter(p, meas, "state", v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "balance=40" {
+		t.Fatalf("restored %q", got)
+	}
+}
+
+func TestCompromiseGates(t *testing.T) {
+	auth := newTestAuthority(t)
+	p := NewPlatform(auth, "machine-1")
+	meas := MeasurementOf("teechain")
+	if _, err := p.StolenSealKey(meas); err == nil {
+		t.Fatal("seal key leaked from intact platform")
+	}
+	if _, err := p.ForgeQuote(meas, [32]byte{}); err == nil {
+		t.Fatal("quote forged on intact platform")
+	}
+	p.Compromise()
+	if !p.Compromised() {
+		t.Fatal("compromise flag not set")
+	}
+	if _, err := p.StolenSealKey(meas); err != nil {
+		t.Fatalf("compromised platform refused to leak seal key: %v", err)
+	}
+	q, err := p.ForgeQuote(meas, [32]byte{1})
+	if err != nil {
+		t.Fatalf("compromised platform refused to forge: %v", err)
+	}
+	// The forged quote still verifies — that is the threat: remote
+	// attestation cannot distinguish a compromised platform.
+	if err := VerifyQuote(auth.PublicKey(), q, meas); err != nil {
+		t.Fatalf("forged quote should verify (that is the attack): %v", err)
+	}
+}
+
+func TestPlatformRandDeterministic(t *testing.T) {
+	auth := newTestAuthority(t)
+	a := NewPlatform(auth, "machine-1")
+	b := NewPlatform(auth, "machine-1")
+	bufA, bufB := make([]byte, 64), make([]byte, 64)
+	if _, err := a.Rand().Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Rand().Read(bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("same platform id produced different entropy streams")
+	}
+	c := NewPlatform(auth, "machine-2")
+	bufC := make([]byte, 64)
+	if _, err := c.Rand().Read(bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Fatal("different platforms share an entropy stream")
+	}
+}
+
+func TestMeasurementStable(t *testing.T) {
+	if MeasurementOf("teechain") != MeasurementOf("teechain") {
+		t.Fatal("measurement not deterministic")
+	}
+	if MeasurementOf("teechain") == MeasurementOf("teechain2") {
+		t.Fatal("distinct programs share a measurement")
+	}
+}

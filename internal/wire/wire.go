@@ -1,0 +1,489 @@
+// Package wire defines the Teechain protocol messages exchanged between
+// enclaves, their sizes for network simulation, and a transport encoding
+// for the real-socket demo.
+//
+// Messages travel between enclaves either as Go values over the
+// discrete-event simulator or gob-encoded over TCP; WireSize reports the
+// realistic on-the-wire size either way, so bandwidth modelling does not
+// depend on the transport in use.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/tee"
+)
+
+// ChannelID identifies a payment channel between two enclaves. Both
+// parties agree on it out of band before opening the channel (Alg. 1).
+type ChannelID string
+
+// PaymentID identifies a multi-hop payment in flight.
+type PaymentID string
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// WireSize returns the encoded size in bytes, used for bandwidth
+	// modelling.
+	WireSize() int
+}
+
+const (
+	sigSize    = 64
+	keySize    = 65
+	quoteSize  = 32 + 32 + sigSize + 16 // measurement + report + sig + platform id
+	idOverhead = 24                     // channel/payment id strings
+	hdrSize    = 16                     // message framing overhead
+)
+
+func txSize(tx *chain.Transaction) int {
+	if tx == nil {
+		return 0
+	}
+	return tx.WireSize()
+}
+
+// --- Attestation and secure-channel establishment (§4.1) ---
+
+// Attest carries one side of mutual remote attestation plus the
+// ephemeral Diffie-Hellman half used to provision the session key
+// (Alg. 1, newNetworkChannel).
+type Attest struct {
+	Quote    tee.Quote
+	Identity cryptoutil.PublicKey // enclave identity key K_me
+	DHPublic []byte
+	Response bool // true when answering a peer's Attest
+	// Software marks a TEE-less participant attaching to a remote
+	// enclave for outsourcing (§3): it carries no quote, and the
+	// receiving enclave applies its outsourcing policy instead of quote
+	// verification.
+	Software bool
+}
+
+// WireSize implements Message.
+func (m *Attest) WireSize() int { return hdrSize + quoteSize + keySize + len(m.DHPublic) + 1 }
+
+// --- Payment channel protocol (Alg. 1) ---
+
+// ChannelOpen asks the remote enclave to open channel ID with the
+// stated settlement addresses.
+type ChannelOpen struct {
+	Channel      ChannelID
+	MyAddress    cryptoutil.Address // sender's settlement address
+	YoursAddress cryptoutil.Address // receiver's settlement address, as the sender believes it
+}
+
+// WireSize implements Message.
+func (m *ChannelOpen) WireSize() int { return hdrSize + idOverhead + 40 }
+
+// ChannelAck is the signed acknowledgement that opens the channel
+// (Alg. 1, line 26).
+type ChannelAck struct {
+	Channel      ChannelID
+	MyAddress    cryptoutil.Address
+	YoursAddress cryptoutil.Address
+}
+
+// WireSize implements Message.
+func (m *ChannelAck) WireSize() int { return hdrSize + idOverhead + 40 + sigSize }
+
+// DepositInfo describes a fund deposit: the on-chain outpoint, its
+// value, the committee script it pays into, and — for m-of-n committee
+// deposits — the committee chain and the member identities a
+// counterparty must contact to collect threshold signatures (§6.1).
+type DepositInfo struct {
+	Point  chain.OutPoint
+	Value  chain.Amount
+	Script chain.Script
+	// Committee is the replication chain securing this deposit; empty
+	// for 1-of-1 deposits whose key is shared on association.
+	Committee string
+	// Members lists committee member identities (including the owner)
+	// in chain order.
+	Members []PathHop
+}
+
+// Size returns the deposit description's encoded size.
+func (d DepositInfo) Size() int {
+	return 36 + 8 + 4 + len(d.Script.Keys)*keySize + idOverhead + len(d.Members)*keySize
+}
+
+// ApproveDeposit presents a deposit for the remote party's approval
+// (Alg. 1, approveMyDeposit). The receiver verifies the deposit is on
+// the blockchain with enough confirmations before approving.
+type ApproveDeposit struct {
+	Deposit DepositInfo
+}
+
+// WireSize implements Message.
+func (m *ApproveDeposit) WireSize() int { return hdrSize + m.Deposit.Size() }
+
+// ApprovedDeposit confirms the receiver validated the deposit on chain
+// (Alg. 1, approvedDeposit).
+type ApprovedDeposit struct {
+	Point chain.OutPoint
+}
+
+// WireSize implements Message.
+func (m *ApprovedDeposit) WireSize() int { return hdrSize + 36 + sigSize }
+
+// AssociateDeposit binds an approved deposit to a channel, transferring
+// the (encrypted) deposit private key material for 1-of-1 deposits
+// (Alg. 1, associateMyDeposit).
+type AssociateDeposit struct {
+	Channel      ChannelID
+	Deposit      DepositInfo
+	EncPrivShare []byte // encrypted under the session key; empty for committee deposits
+}
+
+// WireSize implements Message.
+func (m *AssociateDeposit) WireSize() int {
+	return hdrSize + idOverhead + m.Deposit.Size() + len(m.EncPrivShare)
+}
+
+// DissociateDeposit asks the remote to release a deposit from the
+// channel (Alg. 1, dissociateDeposit).
+type DissociateDeposit struct {
+	Channel ChannelID
+	Point   chain.OutPoint
+}
+
+// WireSize implements Message.
+func (m *DissociateDeposit) WireSize() int { return hdrSize + idOverhead + 36 }
+
+// DissociateAck confirms the remote destroyed its key copy (Alg. 1,
+// dissociatedDepositAck).
+type DissociateAck struct {
+	Channel ChannelID
+	Point   chain.OutPoint
+}
+
+// WireSize implements Message.
+func (m *DissociateAck) WireSize() int { return hdrSize + idOverhead + 36 + sigSize }
+
+// Pay transfers value inside a channel (Alg. 1, pay). Count carries the
+// number of client-side-batched logical payments this message
+// represents (1 when batching is off); Amount is their total.
+type Pay struct {
+	Channel ChannelID
+	Amount  chain.Amount
+	Count   int
+}
+
+// WireSize implements Message.
+func (m *Pay) WireSize() int { return hdrSize + idOverhead + 12 }
+
+// PayAck acknowledges a payment; the sender measures latency to this
+// acknowledgement.
+type PayAck struct {
+	Channel ChannelID
+	Amount  chain.Amount
+	Count   int
+}
+
+// WireSize implements Message.
+func (m *PayAck) WireSize() int { return hdrSize + idOverhead + 12 }
+
+// PayNack rejects a payment the receiver cannot apply — typically
+// because a multi-hop payment locked the channel while the payment was
+// in flight. The sender's enclave reverses its optimistic debit and the
+// host retries ("upon receiving a failure notification, the payment is
+// retried", §7.4).
+type PayNack struct {
+	Channel ChannelID
+	Amount  chain.Amount
+	Count   int
+	Reason  string
+}
+
+// WireSize implements Message.
+func (m *PayNack) WireSize() int { return hdrSize + idOverhead + 12 + len(m.Reason) }
+
+// SettleRequest asks the remote to cooperate in terminating the channel
+// (off-chain if balances are neutral, Alg. 1 settle).
+type SettleRequest struct {
+	Channel ChannelID
+}
+
+// WireSize implements Message.
+func (m *SettleRequest) WireSize() int { return hdrSize + idOverhead }
+
+// SettleNotify informs the remote that the sender terminated the
+// channel and (optionally) carries the settlement transaction.
+type SettleNotify struct {
+	Channel ChannelID
+	Tx      *chain.Transaction
+}
+
+// WireSize implements Message.
+func (m *SettleNotify) WireSize() int { return hdrSize + idOverhead + txSize(m.Tx) }
+
+// --- Multi-hop payment protocol (Alg. 2) ---
+
+// PathHop names one enclave on a multi-hop path by its identity key.
+type PathHop struct {
+	Identity cryptoutil.PublicKey
+}
+
+func pathSize(p []PathHop) int { return len(p) * keySize }
+
+// MhLock locks the next channel on the path and accumulates deposits
+// into the intermediate settlement transaction τ (Alg. 2, lock).
+// Channel names the payment channel between the sender and receiver of
+// this hop; each forwarder picks its own downstream channel (which is
+// how temporary channels join paths, §5.2).
+type MhLock struct {
+	Payment PaymentID
+	Amount  chain.Amount
+	Count   int // client-side batch size, as in Pay
+	Path    []PathHop
+	Channel ChannelID
+	Tau     *chain.Transaction // τ under construction
+}
+
+// WireSize implements Message.
+func (m *MhLock) WireSize() int {
+	return hdrSize + 2*idOverhead + 12 + pathSize(m.Path) + txSize(m.Tau)
+}
+
+// MhSign propagates τ backward, collecting signatures (Alg. 2, sign).
+type MhSign struct {
+	Payment PaymentID
+	Tau     *chain.Transaction
+}
+
+// WireSize implements Message.
+func (m *MhSign) WireSize() int { return hdrSize + idOverhead + txSize(m.Tau) }
+
+// MhPreUpdate distributes the fully signed τ forward (Alg. 2,
+// preUpdate). From this point premature termination settles via τ.
+type MhPreUpdate struct {
+	Payment PaymentID
+	Tau     *chain.Transaction
+}
+
+// WireSize implements Message.
+func (m *MhPreUpdate) WireSize() int { return hdrSize + idOverhead + txSize(m.Tau) }
+
+// MhUpdate applies the balance update backward (Alg. 2, update).
+type MhUpdate struct {
+	Payment PaymentID
+}
+
+// WireSize implements Message.
+func (m *MhUpdate) WireSize() int { return hdrSize + idOverhead }
+
+// MhPostUpdate discards τ forward, re-enabling individual settlement at
+// post-payment state (Alg. 2, postUpdate).
+type MhPostUpdate struct {
+	Payment PaymentID
+}
+
+// WireSize implements Message.
+func (m *MhPostUpdate) WireSize() int { return hdrSize + idOverhead }
+
+// MhRelease releases the channel locks backward (Alg. 2, release).
+type MhRelease struct {
+	Payment PaymentID
+}
+
+// WireSize implements Message.
+func (m *MhRelease) WireSize() int { return hdrSize + idOverhead }
+
+// MhAck reports multi-hop payment completion (or failure) to the
+// initiating host, which measures latency and drives retries.
+type MhAck struct {
+	Payment PaymentID
+	OK      bool
+	Reason  string
+}
+
+// WireSize implements Message.
+func (m *MhAck) WireSize() int { return hdrSize + idOverhead + 1 + len(m.Reason) }
+
+// MhAbort unwinds a multi-hop payment that failed during the lock phase
+// (e.g. a locked or underfunded channel downstream), travelling backward
+// and releasing locks. After the sign stage completes, aborting is no
+// longer possible — the payment either completes or is ejected.
+type MhAbort struct {
+	Payment PaymentID
+	Reason  string
+}
+
+// WireSize implements Message.
+func (m *MhAbort) WireSize() int { return hdrSize + idOverhead + len(m.Reason) }
+
+// --- Force-freeze chain replication (Alg. 3) ---
+
+// ReplAttach configures an enclave as a member of a replication chain /
+// committee (after mutual attestation): it carries the full membership
+// in chain order, the signature threshold, the owner's payout address,
+// and a state snapshot to mirror. Re-sent in full on membership change
+// (idempotent reconfiguration).
+type ReplAttach struct {
+	Chain    string    // replication chain / committee identifier
+	Members  []PathHop // identities in chain order; Members[0] is the owner
+	M        int       // threshold signatures needed to spend deposits
+	Payout   cryptoutil.Address
+	Snapshot []byte // owner state snapshot to mirror
+}
+
+// WireSize implements Message.
+func (m *ReplAttach) WireSize() int {
+	return hdrSize + idOverhead + pathSize(m.Members) + 4 + 20 + len(m.Snapshot)
+}
+
+// ReplAttachAck returns the member's freshly generated committee
+// blockchain key, which the owner folds into deposit scripts.
+type ReplAttachAck struct {
+	Chain  string
+	BtcKey cryptoutil.PublicKey
+}
+
+// WireSize implements Message.
+func (m *ReplAttachAck) WireSize() int { return hdrSize + idOverhead + keySize }
+
+// ReplUpdate propagates a sequenced state update down the chain
+// (Alg. 3, stateUpdate). Op is the state-machine operation the backup
+// applies to its mirror; op types are defined by the core package and
+// must be gob-registered for byte transports.
+type ReplUpdate struct {
+	Chain string
+	Seq   uint64
+	Op    any
+}
+
+// WireSize implements Message.
+func (m *ReplUpdate) WireSize() int { return hdrSize + idOverhead + 8 + sizeOfOp(m.Op) }
+
+// sizeOfOp estimates an op's wire size, deferring to the op itself when
+// it knows better.
+func sizeOfOp(op any) int {
+	if s, ok := op.(interface{ WireSize() int }); ok {
+		return s.WireSize()
+	}
+	return 64
+}
+
+// TauSig is a committee member's signature over one input of the
+// multi-hop intermediate settlement transaction τ, piggybacked on
+// replication acknowledgements during the sign stage (§6.1).
+type TauSig struct {
+	Input int
+	Slot  int
+	Sig   cryptoutil.Signature
+}
+
+// ReplAck acknowledges that the entire chain suffix applied update Seq.
+type ReplAck struct {
+	Chain   string
+	Seq     uint64
+	TauSigs []TauSig
+}
+
+// WireSize implements Message.
+func (m *ReplAck) WireSize() int {
+	return hdrSize + idOverhead + 8 + len(m.TauSigs)*(8+sigSize)
+}
+
+// ReplFreeze force-freezes the chain: all members stop accepting
+// updates, settle channels, and release deposits (§6).
+type ReplFreeze struct {
+	Chain  string
+	Reason string
+}
+
+// WireSize implements Message.
+func (m *ReplFreeze) WireSize() int { return hdrSize + idOverhead + len(m.Reason) }
+
+// --- Committee threshold signing (§6.1) ---
+
+// SigRequest asks a committee member to countersign a settlement
+// transaction after verifying it against its replicated state.
+type SigRequest struct {
+	Chain string
+	Tx    *chain.Transaction
+	Input int
+}
+
+// WireSize implements Message.
+func (m *SigRequest) WireSize() int { return hdrSize + idOverhead + 4 + txSize(m.Tx) }
+
+// SigResponse returns the member's signature slot, or a refusal.
+type SigResponse struct {
+	Chain   string
+	TxID    chain.TxID
+	Input   int
+	Slot    int
+	Sig     cryptoutil.Signature
+	Refused bool
+	Reason  string
+}
+
+// WireSize implements Message.
+func (m *SigResponse) WireSize() int { return hdrSize + idOverhead + 40 + sigSize + len(m.Reason) }
+
+// --- TEE outsourcing (§3) ---
+
+// OutsourceCmd wraps an operator command from a TEE-less client to its
+// remote enclave, sealed under the client-enclave session.
+type OutsourceCmd struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// WireSize implements Message.
+func (m *OutsourceCmd) WireSize() int { return hdrSize + 8 + len(m.Payload) }
+
+// OutsourceResult returns the outcome of an outsourced command.
+type OutsourceResult struct {
+	Seq     uint64
+	OK      bool
+	Payload []byte
+}
+
+// WireSize implements Message.
+func (m *OutsourceResult) WireSize() int { return hdrSize + 9 + len(m.Payload) }
+
+// Envelope frames a message for byte-oriented transports (the TCP
+// demo). The simulator passes Message values directly.
+type Envelope struct {
+	From string
+	Msg  Message
+}
+
+func init() {
+	for _, m := range []Message{
+		&Attest{}, &ChannelOpen{}, &ChannelAck{}, &ApproveDeposit{},
+		&ApprovedDeposit{}, &AssociateDeposit{}, &DissociateDeposit{},
+		&DissociateAck{}, &Pay{}, &PayAck{}, &PayNack{}, &SettleRequest{},
+		&SettleNotify{}, &MhLock{}, &MhSign{}, &MhPreUpdate{},
+		&MhUpdate{}, &MhPostUpdate{}, &MhRelease{}, &MhAck{}, &MhAbort{},
+		&ReplAttach{}, &ReplAttachAck{}, &ReplUpdate{}, &ReplAck{}, &ReplFreeze{},
+		&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
+	} {
+		gob.Register(m)
+	}
+}
+
+// Marshal encodes an envelope for a byte transport.
+func Marshal(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("wire: encoding %T: %w", env.Msg, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope produced by Marshal.
+func Unmarshal(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decoding envelope: %w", err)
+	}
+	return env, nil
+}

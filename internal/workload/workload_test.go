@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGeneratorBasics(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig(1000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		p := g.Next()
+		if p.Src == p.Dst {
+			t.Fatal("self-payment generated")
+		}
+		if p.Src < 0 || p.Src >= 1000 || p.Dst < 0 || p.Dst >= 1000 {
+			t.Fatalf("address out of range: %+v", p)
+		}
+		if p.Amount < 1 || p.Amount > 100 {
+			t.Fatalf("amount out of range: %+v", p)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(DefaultConfig(100, 7))
+	g2, _ := NewGenerator(DefaultConfig(100, 7))
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	g3, _ := NewGenerator(DefaultConfig(100, 8))
+	same := true
+	g1, _ = NewGenerator(DefaultConfig(100, 7))
+	for i := 0; i < 32; i++ {
+		if g1.Next() != g3.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorSkew(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig(1000, 1))
+	counts := make([]int, 1000)
+	for _, p := range g.Take(50000) {
+		counts[p.Src]++
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("no popularity skew: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Addresses: 1, MaxAmount: 10}); err == nil {
+		t.Fatal("single-address workload accepted")
+	}
+	if _, err := NewGenerator(Config{Addresses: 10, MaxAmount: 0}); err == nil {
+		t.Fatal("zero-amount workload accepted")
+	}
+}
+
+func TestAssignUniform(t *testing.T) {
+	a := AssignUniform(1000, 10, 3)
+	counts := make([]int, 10)
+	for _, m := range a {
+		if m < 0 || m >= 10 {
+			t.Fatalf("machine %d out of range", m)
+		}
+		counts[m]++
+	}
+	for m, c := range counts {
+		if c != 100 {
+			t.Fatalf("machine %d owns %d addresses, want 100", m, c)
+		}
+	}
+}
+
+func TestAssignTieredShares(t *testing.T) {
+	tiers := PaperTiers(3, 7, 20)
+	a := AssignTiered(10000, tiers, 1)
+	perMachine := make(map[int]int)
+	for _, m := range a {
+		perMachine[m]++
+	}
+	tierTotal := func(base, n int) int {
+		total := 0
+		for m := base; m < base+n; m++ {
+			total += perMachine[m]
+		}
+		return total
+	}
+	t1 := tierTotal(0, 3)
+	t2 := tierTotal(3, 7)
+	t3 := tierTotal(10, 20)
+	if t1+t2+t3 != 10000 {
+		t.Fatalf("addresses lost: %d", t1+t2+t3)
+	}
+	// 50/35/15 within rounding.
+	if t1 < 4900 || t1 > 5100 {
+		t.Fatalf("tier1 owns %d, want ~5000", t1)
+	}
+	if t2 < 3400 || t2 > 3600 {
+		t.Fatalf("tier2 owns %d, want ~3500", t2)
+	}
+	if t3 < 1400 || t3 > 1600 {
+		t.Fatalf("tier3 owns %d, want ~1500", t3)
+	}
+	// Tier-1 machines each hold more than tier-3 machines.
+	if perMachine[0] <= perMachine[29] {
+		t.Fatalf("tier1 machine (%d) not busier than tier3 machine (%d)",
+			perMachine[0], perMachine[29])
+	}
+}

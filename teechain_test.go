@@ -1,0 +1,139 @@
+package teechain
+
+import (
+	"testing"
+	"time"
+)
+
+// The facade tests double as executable documentation: each walks a
+// user-visible scenario end to end through the public API.
+
+func TestQuickstartFlow(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := net.AddNode("alice", SiteUK, NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := net.AddNode("bob", SiteUS, NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := net.OpenChannel(alice, bob, 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latency time.Duration
+	if err := alice.Pay(ch, 250, func(ok bool, lat time.Duration, reason string) {
+		if !ok {
+			t.Fatalf("payment failed: %s", reason)
+		}
+		latency = lat
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if latency <= 0 {
+		t.Fatal("payment not acknowledged")
+	}
+	sr, err := alice.Settle(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.OffChain {
+		t.Fatal("non-neutral channel settled off-chain")
+	}
+	net.Run()
+	net.MineBlock()
+	if got := net.OnChainBalance(alice); got != 750 {
+		t.Fatalf("alice on-chain %d, want 750", got)
+	}
+	if got := net.OnChainBalance(bob); got != 750 {
+		t.Fatalf("bob on-chain %d, want 750", got)
+	}
+}
+
+func TestMultihopViaFacade(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	for _, name := range []string{"a", "b", "c", "d"} {
+		n, err := net.AddNode(name, SiteUK, NodeOptions{MaxRetries: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		if _, err := net.OpenChannel(nodes[i], nodes[i+1], 1000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := net.Paths(nodes[0], nodes[3], 1, 0)
+	if len(paths) != 1 || len(paths[0]) != 4 {
+		t.Fatalf("routing failed: %d paths", len(paths))
+	}
+	ok := false
+	if err := nodes[0].PayMultihop(paths, 100, 1, func(o bool, _ time.Duration, reason string) {
+		if !o {
+			t.Fatalf("multihop failed: %s", reason)
+		}
+		ok = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if !ok {
+		t.Fatal("multihop never completed")
+	}
+}
+
+func TestCommitteeViaFacade(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := net.AddNode("owner", SiteUS, NodeOptions{})
+	r1, _ := net.AddNode("r1", SiteIL, NodeOptions{})
+	r2, _ := net.AddNode("r2", SiteUK, NodeOptions{})
+	bob, _ := net.AddNode("bob", SiteUK, NodeOptions{})
+	if err := net.FormCommittee(owner, []*Node{r1, r2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := net.OpenChannel(owner, bob, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Pay(ch, 400, nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if _, err := owner.Settle(ch); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	net.MineBlock()
+	if got := net.OnChainBalance(bob); got != 400 {
+		t.Fatalf("bob on-chain %d, want 400", got)
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := net.AddNode("a", SiteUK, NodeOptions{})
+	b, _ := net.AddNode("b", SiteUS, NodeOptions{})
+	if _, err := net.OpenChannel(a, b, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Attestation alone costs seconds of virtual time (Table 2).
+	if net.Now() < time.Second {
+		t.Fatalf("virtual time %v, want seconds of setup cost", net.Now())
+	}
+}
