@@ -1,0 +1,40 @@
+package teechain
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPaymentAllocationBudget pins the steady-state cost of the
+// simulated payment hot path: one payment end to end through two
+// enclaves — enclave commit, session freshness token seal/verify,
+// network delivery, acknowledgement — must stay within 2 allocations
+// (DESIGN.md §6; the pools make it 0 in practice, the budget leaves
+// room for incidental growth).
+func TestPaymentAllocationBudget(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := net.AddNode("alice", SiteUK, NodeOptions{})
+	bob, _ := net.AddNode("bob", SiteUK, NodeOptions{})
+	ch, err := net.OpenChannel(alice, bob, 100_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := func(bool, time.Duration, string) {}
+	pay := func() {
+		if err := alice.Pay(ch, 1, done); err != nil {
+			t.Fatal(err)
+		}
+		net.Run()
+	}
+	// Warm up pools, map capacities, and the event queue.
+	for i := 0; i < 2000; i++ {
+		pay()
+	}
+	avg := testing.AllocsPerRun(5000, pay)
+	if avg > 2 {
+		t.Fatalf("payment path allocates %.2f allocs/payment in steady state, budget is 2", avg)
+	}
+}

@@ -137,10 +137,11 @@ func BenchmarkPaymentChannel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
 	acked := 0
+	done := func(bool, time.Duration, string) { acked++ }
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := alice.Pay(ch, 1, func(bool, time.Duration, string) { acked++ }); err != nil {
+		if err := alice.Pay(ch, 1, done); err != nil {
 			b.Fatal(err)
 		}
 		net.Run()

@@ -11,19 +11,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"testing"
 	"time"
 )
 
-import "teechain/internal/harness"
+import (
+	"teechain"
+	"teechain/internal/harness"
+)
 
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,fig4,fig6,fig7")
 	quick := flag.Bool("quick", false, "reduced measurement lengths")
+	benchJSON := flag.String("benchjson", "", "write the payment micro-benchmark (ns/op, allocs/op, B/op, simulated tx/s) as JSON to this file and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {
@@ -110,4 +124,125 @@ func main() {
 
 func section(title string) {
 	fmt.Printf("\n================ %s ================\n", title)
+}
+
+// paymentBench is the wall-clock microbenchmark of the simulated
+// payment path (mirrors BenchmarkPaymentChannel): one payment through
+// two enclaves end to end, including session freshness tokens.
+func paymentBench(b *testing.B) {
+	net, err := teechain.NewNetwork()
+	if err != nil {
+		b.Fatal(err)
+	}
+	alice, _ := net.AddNode("alice", teechain.SiteUK, teechain.NodeOptions{})
+	bob, _ := net.AddNode("bob", teechain.SiteUK, teechain.NodeOptions{})
+	ch, err := net.OpenChannel(alice, bob, teechain.Amount(b.N)+1_000_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acked := 0
+	done := func(bool, time.Duration, string) { acked++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := alice.Pay(ch, 1, done); err != nil {
+			b.Fatal(err)
+		}
+		net.Run()
+	}
+	if acked != b.N {
+		b.Fatalf("acked %d of %d", acked, b.N)
+	}
+}
+
+// simulatedChannelThroughput measures single-channel capacity in
+// virtual time: a closed loop with a deep window over the US–UK
+// channel, acknowledged payments per simulated second after warmup.
+func simulatedChannelThroughput(total int) (float64, error) {
+	net, err := teechain.NewNetwork()
+	if err != nil {
+		return 0, err
+	}
+	alice, _ := net.AddNode("alice", teechain.SiteUS, teechain.NodeOptions{})
+	bob, _ := net.AddNode("bob", teechain.SiteUK, teechain.NodeOptions{})
+	ch, err := net.OpenChannel(alice, bob, teechain.Amount(total)+1_000_000, 0)
+	if err != nil {
+		return 0, err
+	}
+	// The window must out-run the bandwidth-delay product of the
+	// channel (capacity ~130 k tx/s × 90 ms RTT ≈ 12 k in flight) so
+	// the measurement reads enclave capacity, not the round trip.
+	const window = 16_384
+	warmup := total / 10
+	issued, acked, failed := 0, 0, 0
+	var tWarm, tEnd time.Duration
+	var issue func(k int)
+	done := func(ok bool, _ time.Duration, _ string) {
+		if !ok {
+			failed++
+		}
+		acked++
+		if acked == warmup {
+			tWarm = net.Now()
+		}
+		if acked == total {
+			tEnd = net.Now()
+		}
+		issue(1)
+	}
+	issue = func(k int) {
+		for i := 0; i < k && issued < total; i++ {
+			issued++
+			if err := alice.Pay(ch, 1, done); err != nil {
+				done(false, 0, err.Error())
+			}
+		}
+	}
+	issue(window)
+	if err := net.Until(func() bool { return acked >= total }); err != nil {
+		return 0, err
+	}
+	if failed > 0 {
+		return 0, fmt.Errorf("throughput measurement: %d of %d payments failed", failed, total)
+	}
+	elapsed := (tEnd - tWarm).Seconds()
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(total-warmup) / elapsed, nil
+}
+
+// writeBenchJSON records the payment-path perf snapshot so future
+// changes can track the trajectory (wall-clock simulator speed AND the
+// simulated protocol metric, which must not drift).
+func writeBenchJSON(path string) error {
+	r := testing.Benchmark(paymentBench)
+	tput, err := simulatedChannelThroughput(100_000)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		SimTxPerSec float64 `json:"sim_tx_per_s"`
+		Payments    int     `json:"bench_payments"`
+	}{
+		NsPerOp:     int64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SimTxPerSec: tput,
+		Payments:    r.N,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s ns/op, %d allocs/op, %.0f simulated tx/s\n",
+		path, fmt.Sprint(out.NsPerOp), out.AllocsPerOp, out.SimTxPerSec)
+	return nil
 }

@@ -170,13 +170,13 @@ func (h *tcpHost) dispatchLocked(res *core.Result) {
 			log.Printf("%s: encode: %v", h.name, err)
 		}
 	}
-	for _, ev := range res.Events {
+	res.ForEachEvent(func(ev core.Event) {
 		h.handleEventLocked(ev)
 		select {
 		case h.events <- ev:
 		default:
 		}
-	}
+	})
 }
 
 func (h *tcpHost) handleEventLocked(ev core.Event) {

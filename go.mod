@@ -1,0 +1,3 @@
+module teechain
+
+go 1.24

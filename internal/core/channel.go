@@ -413,9 +413,13 @@ func (e *Enclave) Pay(id wire.ChannelID, amount chain.Amount, count int) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	op := &Op{Kind: OpPaySend, Channel: id, Amount: amount, Count: count}
-	out := oneOut(c.Remote, &wire.Pay{Channel: id, Amount: amount, Count: count})
-	return e.commit(op, out, nil)
+	op := e.pools.getOp()
+	op.Kind, op.Channel, op.Amount, op.Count = OpPaySend, id, amount, count
+	m := e.pools.getPayMsg()
+	m.Channel, m.Amount, m.Count = id, amount, count
+	res := e.pools.getResult()
+	res.Out = append(res.Out, Outbound{To: c.Remote, Msg: m})
+	return e.commitFast(op, res)
 }
 
 func (e *Enclave) handlePay(from cryptoutil.PublicKey, m *wire.Pay) (*Result, error) {
@@ -437,10 +441,14 @@ func (e *Enclave) handlePay(from cryptoutil.PublicKey, m *wire.Pay) (*Result, er
 		nack := &wire.PayNack{Channel: m.Channel, Amount: m.Amount, Count: m.Count, Reason: "channel locked"}
 		return e.deferBehindPending(from, nack), nil
 	}
-	op := &Op{Kind: OpPayRecv, Channel: m.Channel, Amount: m.Amount, Count: m.Count}
-	out := oneOut(from, &wire.PayAck{Channel: m.Channel, Amount: m.Amount, Count: m.Count})
-	ev := []Event{EvPaymentReceived{Channel: m.Channel, Amount: m.Amount, Count: m.Count}}
-	return e.commit(op, out, ev)
+	op := e.pools.getOp()
+	op.Kind, op.Channel, op.Amount, op.Count = OpPayRecv, m.Channel, m.Amount, m.Count
+	ack := e.pools.getPayAckMsg()
+	ack.Channel, ack.Amount, ack.Count = m.Channel, m.Amount, m.Count
+	res := e.pools.getResult()
+	res.Out = append(res.Out, Outbound{To: from, Msg: ack})
+	res.pay = payEvent{kind: payEvReceived, channel: m.Channel, amount: m.Amount, count: m.Count}
+	return e.commitFast(op, res)
 }
 
 func (e *Enclave) handlePayNack(from cryptoutil.PublicKey, m *wire.PayNack) (*Result, error) {
@@ -448,9 +456,11 @@ func (e *Enclave) handlePayNack(from cryptoutil.PublicKey, m *wire.PayNack) (*Re
 	if !ok || c.Remote != from {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
 	}
-	op := &Op{Kind: OpPayRevert, Channel: m.Channel, Amount: m.Amount, Count: m.Count}
-	ev := []Event{EvPayNacked{Channel: m.Channel, Amount: m.Amount, Count: m.Count, Reason: m.Reason}}
-	return e.commit(op, nil, ev)
+	op := e.pools.getOp()
+	op.Kind, op.Channel, op.Amount, op.Count = OpPayRevert, m.Channel, m.Amount, m.Count
+	res := e.pools.getResult()
+	res.pay = payEvent{kind: payEvNacked, channel: m.Channel, amount: m.Amount, count: m.Count, reason: m.Reason}
+	return e.commitFast(op, res)
 }
 
 func (e *Enclave) handlePayAck(from cryptoutil.PublicKey, m *wire.PayAck) (*Result, error) {
@@ -458,9 +468,12 @@ func (e *Enclave) handlePayAck(from cryptoutil.PublicKey, m *wire.PayAck) (*Resu
 	if !ok || c.Remote != from {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
 	}
-	res := &Result{Events: []Event{EvPayAcked{Channel: m.Channel, Amount: m.Amount, Count: m.Count}}}
+	res := e.pools.getResult()
+	res.pay = payEvent{kind: payEvAcked, channel: m.Channel, amount: m.Amount, count: m.Count}
 	// Relay the acknowledgement to an outsourced user if one issued
 	// this payment (§3).
-	res.Out = append(res.Out, e.outsourceAckHook(m.Channel)...)
+	if len(e.outsourcePending) != 0 {
+		res.Out = append(res.Out, e.outsourceAckHook(m.Channel)...)
+	}
 	return res, nil
 }

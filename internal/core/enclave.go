@@ -49,6 +49,7 @@ type pendingUpdate struct {
 	op     *Op
 	out    []Outbound
 	events []Event
+	pay    payEvent
 }
 
 // replPrimary is the head-of-chain view of this enclave's own
@@ -124,6 +125,15 @@ type Enclave struct {
 	repl    *replPrimary
 	backups map[string]*replBackup
 
+	// pools recycles hot-path objects; NewNode points it at the
+	// deployment-wide instance shared through the Directory.
+	pools *hotPools
+
+	// lastSess is a one-entry session lookup cache (see State.lastCh
+	// for the rationale); established sessions are never replaced, so
+	// it cannot go stale.
+	lastSess *peerSession
+
 	// Outsourcing (§3): the provisioned TEE-less user and the pending
 	// command sequence numbers per channel awaiting acknowledgements.
 	outsourceUser    cryptoutil.PublicKey
@@ -151,6 +161,7 @@ func NewEnclave(platform *tee.Platform, authority cryptoutil.PublicKey, cfg Conf
 		sigCollections:   make(map[chain.TxID]*sigCollection),
 		backups:          make(map[string]*replBackup),
 		outsourcePending: make(map[wire.ChannelID][]uint64),
+		pools:            newHotPools(),
 		counterName:      "teechain-state",
 	}
 	e.state.OwnerPayout = cfg.PayoutKey.Address()
@@ -276,11 +287,26 @@ func (e *Enclave) SessionEstablished(peer cryptoutil.PublicKey) bool {
 }
 
 func (e *Enclave) session(peer cryptoutil.PublicKey) (*peerSession, error) {
+	if s := e.lastSess; s != nil && s.remote == peer {
+		return s, nil
+	}
 	s, ok := e.sessions[peer]
 	if !ok || !s.established {
 		return nil, fmt.Errorf("core: no established session with %s", peer)
 	}
+	e.lastSess = s
 	return s, nil
+}
+
+// establishedSession returns the session with peer, or nil. Hosts use
+// it to cache the transport session per peer and seal freshness tokens
+// without a map lookup per message.
+func (e *Enclave) establishedSession(peer cryptoutil.PublicKey) *peerSession {
+	s, ok := e.sessions[peer]
+	if !ok || !s.established {
+		return nil
+	}
+	return s
 }
 
 // SealToken produces the freshness/authentication token accompanying a
@@ -335,6 +361,51 @@ func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error
 		Seq:   seq,
 		Op:    op,
 	})}, nil
+}
+
+// commitFast is commit for the payment hot path: the caller has already
+// assembled its outbound messages and events into res, a Result from
+// getResult, and op comes from getOp. Both recycle as soon as nothing
+// retains them, so an unreplicated payment commit allocates nothing.
+func (e *Enclave) commitFast(op *Op, res *Result) (*Result, error) {
+	if err := e.state.Apply(op); err != nil {
+		e.pools.putResult(res)
+		e.pools.putOp(op)
+		return nil, err
+	}
+	if e.cfg.StableStorage {
+		if err := e.persist(); err != nil {
+			e.pools.putResult(res)
+			e.pools.putOp(op)
+			return nil, err
+		}
+	}
+	if e.repl == nil {
+		e.pools.putOp(op)
+		return res, nil
+	}
+	backup, ok := e.repl.backup()
+	if !ok {
+		e.pools.putOp(op)
+		return res, nil
+	}
+	// Replicated: the effects wait for the chain's acknowledgement, and
+	// the op travels to the backups, so both must move off the pooled
+	// objects. The op itself recycles when the ack releases it.
+	out := append([]Outbound(nil), res.Out...)
+	events := append([]Event(nil), res.Events...)
+	pay := res.pay
+	e.pools.putResult(res)
+	e.repl.nextSeq++
+	seq := e.repl.nextSeq
+	e.repl.pending[seq] = &pendingUpdate{op: op, out: out, events: events, pay: pay}
+	r := e.pools.getResult()
+	r.Out = append(r.Out, Outbound{To: backup, Msg: &wire.ReplUpdate{
+		Chain: e.repl.chainID,
+		Seq:   seq,
+		Op:    op,
+	}})
+	return r, nil
 }
 
 func (e *Enclave) handleReplUpdate(from cryptoutil.PublicKey, m *wire.ReplUpdate) (*Result, error) {
@@ -411,6 +482,12 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 	}
 	delete(e.repl.pending, m.Seq)
 	e.repl.ackSeq = m.Seq
+	// Pay-path ops came from the op pool; every chain member has applied
+	// them by the time the ack climbs back to the primary, so they
+	// recycle here. Ops that carry retained state (paths, τ) do not.
+	if hotOp(pu.op) {
+		defer e.pools.putOp(pu.op)
+	}
 
 	// Fold committee τ signatures into the (shared) τ object before the
 	// deferred sign-stage message departs.
@@ -426,7 +503,7 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 			in.Sigs[ts.Slot] = ts.Sig
 		}
 	}
-	return &Result{Out: pu.out, Events: pu.events}, nil
+	return &Result{Out: pu.out, Events: pu.events, pay: pu.pay}, nil
 }
 
 // signTauInputs produces this member's signatures over τ inputs that
@@ -570,6 +647,33 @@ func (e *Enclave) HandleMessage(from cryptoutil.PublicKey, msg wire.Message) (*R
 	if _, err := e.session(from); err != nil {
 		return nil, err
 	}
+	return e.handleSessionMessage(from, msg)
+}
+
+// HandleSealed is HandleMessage preceded by freshness-token
+// verification, sharing a single session lookup between the two — the
+// form transports use on the per-message fast path. Attest messages
+// carry no token (the session does not exist yet).
+func (e *Enclave) HandleSealed(from cryptoutil.PublicKey, token []byte, msg wire.Message) (*Result, error) {
+	if a, ok := msg.(*wire.Attest); ok {
+		if a.Software {
+			return e.handleSoftwareAttest(from, a)
+		}
+		return e.handleAttest(from, a)
+	}
+	s, err := e.session(from)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.transport.Open(token, nil); err != nil {
+		return nil, err
+	}
+	return e.handleSessionMessage(from, msg)
+}
+
+// handleSessionMessage dispatches a message from a peer whose session
+// was already validated by the caller.
+func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Message) (*Result, error) {
 	// An outsourced user may only issue commands; everything else on
 	// its session is rejected.
 	if from == e.outsourceUser {

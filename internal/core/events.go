@@ -146,10 +146,68 @@ type EvCommitteeReady struct {
 	Chain string
 }
 
+// payEvent carries the payment-path notification inline in a Result,
+// avoiding the interface boxing of Events: payments are the only events
+// frequent enough for boxing to matter. Kind zero means none.
+type payEvent struct {
+	kind    payEventKind
+	channel wire.ChannelID
+	amount  chain.Amount
+	count   int
+	reason  string
+}
+
+type payEventKind uint8
+
+const (
+	payEvNone payEventKind = iota
+	payEvReceived
+	payEvAcked
+	payEvNacked
+)
+
+// box converts the inline event to its public boxed form for user
+// event callbacks.
+func (p payEvent) box() Event {
+	switch p.kind {
+	case payEvReceived:
+		return EvPaymentReceived{Channel: p.channel, Amount: p.amount, Count: p.count}
+	case payEvAcked:
+		return EvPayAcked{Channel: p.channel, Amount: p.amount, Count: p.count}
+	case payEvNacked:
+		return EvPayNacked{Channel: p.channel, Amount: p.amount, Count: p.count, Reason: p.reason}
+	}
+	return nil
+}
+
 // Result aggregates what one enclave entry point produced.
 type Result struct {
 	Out    []Outbound
 	Events []Event
+
+	// pay is the unboxed payment event, if any (see payEvent).
+	pay payEvent
+
+	// pooled marks Results obtained from getResult; Node.dispatch
+	// recycles those after consuming them. Literal Results stay false
+	// and are never recycled, so cold paths may retain them.
+	pooled bool
+}
+
+// ForEachEvent invokes fn for every event the result carries. The
+// payment-path events travel unboxed in r.pay (see payEvent), so hosts
+// consuming a Result directly must iterate with this rather than
+// ranging over Events; boxing happens only here, when a consumer asks.
+func (r *Result) ForEachEvent(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	if r.pay.kind != payEvNone {
+		fn(r.pay.box())
+	}
+	for _, ev := range r.Events {
+		fn(ev)
+	}
 }
 
 func (r *Result) merge(o *Result) *Result {
@@ -158,6 +216,15 @@ func (r *Result) merge(o *Result) *Result {
 	}
 	r.Out = append(r.Out, o.Out...)
 	r.Events = append(r.Events, o.Events...)
+	if o.pay.kind != payEvNone {
+		if r.pay.kind == payEvNone {
+			r.pay = o.pay
+		} else {
+			// Two unboxed events cannot share the field; box the
+			// second so no notification is lost.
+			r.Events = append(r.Events, o.pay.box())
+		}
+	}
 	return r
 }
 

@@ -19,6 +19,9 @@ import (
 type Directory struct {
 	byIdentity map[cryptoutil.PublicKey]netsim.NodeID
 	byNode     map[netsim.NodeID]cryptoutil.PublicKey
+	// pools is the deployment-wide hot-path object pool: the directory
+	// is the one structure every node of a deployment shares.
+	pools *hotPools
 }
 
 // NewDirectory returns an empty directory.
@@ -26,6 +29,7 @@ func NewDirectory() *Directory {
 	return &Directory{
 		byIdentity: make(map[cryptoutil.PublicKey]netsim.NodeID),
 		byNode:     make(map[netsim.NodeID]cryptoutil.PublicKey),
+		pools:      newHotPools(),
 	}
 }
 
@@ -53,6 +57,13 @@ type Envelope struct {
 	From  cryptoutil.PublicKey
 	Msg   wire.Message
 	Token []byte
+
+	// pooled marks envelopes obtained from getEnvelope. Only those are
+	// recycled on release: hosts send each pooled envelope exactly once,
+	// while externally constructed envelopes (tests model replay attacks
+	// by delivering one envelope twice) are left to the garbage
+	// collector, so a duplicate delivery can never alias a recycled one.
+	pooled bool
 }
 
 // WireSize implements the sizing interface for bandwidth modelling.
@@ -103,6 +114,25 @@ type inflightBatch struct {
 	sentAt  sim.Time
 }
 
+// chanRuntime is the host's per-channel bookkeeping, merged into one
+// record so the payment path pays one map lookup instead of three. The
+// in-flight queue pops from head and compacts when drained, keeping one
+// backing array per channel in steady state.
+type chanRuntime struct {
+	batch    *pendingBatch
+	inflight []*inflightBatch
+	head     int
+}
+
+// peerRoute caches what the host needs per attested peer: its network
+// endpoint (dense netsim handle) and, once established, the transport
+// session used to seal freshness tokens. One identity-key map lookup
+// replaces the directory, endpoint, and session lookups per message.
+type peerRoute struct {
+	ep   *netsim.Endpoint
+	sess *peerSession
+}
+
 type mhAttempt struct {
 	id      wire.PaymentID
 	dest    cryptoutil.PublicKey
@@ -141,13 +171,26 @@ type Node struct {
 	watchedDeposits map[chain.OutPoint]wire.ChannelID
 
 	// payment tracking
-	batches  map[wire.ChannelID]*pendingBatch
-	inflight map[wire.ChannelID][]*inflightBatch
-	mh       map[wire.PaymentID]*mhAttempt
-	mhSeq    uint64
+	chans map[wire.ChannelID]*chanRuntime
+	mh    map[wire.PaymentID]*mhAttempt
+	mhSeq uint64
 
-	// channels by peer, for convenience APIs
-	channelPeers map[wire.ChannelID]cryptoutil.PublicKey
+	// peers caches routing and session state per attested identity.
+	peers map[cryptoutil.PublicKey]*peerRoute
+	// pools is the deployment-shared hot-path object pool (dir.pools).
+	pools *hotPools
+	// lastRoute/lastCr are one-entry lookup caches for the payment path
+	// (see State.lastCh); neither map's entries are ever replaced.
+	lastRoute *peerRoute
+	lastTo    cryptoutil.PublicKey
+	lastCr    *chanRuntime
+	lastCrID  wire.ChannelID
+	// costFn is the node's message cost model, resolved once.
+	costFn func(payload any) (cpu, delay time.Duration)
+	// freeBatches and freePending recycle payment batch records; the
+	// node's deployment runs on one goroutine, so plain freelists work.
+	freeBatches []*inflightBatch
+	freePending []*pendingBatch
 
 	// temporary channel setup and merge bookkeeping (§5.2)
 	tempSetup     []tempSetup
@@ -197,11 +240,13 @@ func NewNode(id netsim.NodeID, net *netsim.Network, bc *chain.Chain, dir *Direct
 		depositScripts:  make(map[chain.OutPoint]chain.Script),
 		watched:         make(map[chain.OutPoint]wire.PaymentID),
 		watchedDeposits: make(map[chain.OutPoint]wire.ChannelID),
-		batches:         make(map[wire.ChannelID]*pendingBatch),
-		inflight:        make(map[wire.ChannelID][]*inflightBatch),
+		chans:           make(map[wire.ChannelID]*chanRuntime),
 		mh:              make(map[wire.PaymentID]*mhAttempt),
-		channelPeers:    make(map[wire.ChannelID]cryptoutil.PublicKey),
+		peers:           make(map[cryptoutil.PublicKey]*peerRoute),
+		pools:           dir.pools,
+		costFn:          CostModel(cfg.Enclave.StableStorage),
 	}
+	enclave.pools = dir.pools
 	n.ep = net.AddNode(id, n.handleNetMessage, n.messageCost)
 	dir.Register(enclave.Identity(), id)
 	bc.OnBlock(n.onBlock)
@@ -234,7 +279,7 @@ func (n *Node) messageCost(payload any) (time.Duration, time.Duration) {
 	if !ok {
 		return CostPayBase, 0
 	}
-	return CostModel(n.cfg.Enclave.StableStorage)(env.Msg)
+	return n.costFn(env.Msg)
 }
 
 // Dispatch sends an enclave result's outbound messages and surfaces its
@@ -245,36 +290,92 @@ func (n *Node) messageCost(payload any) (time.Duration, time.Duration) {
 func (n *Node) Dispatch(res *Result) { n.dispatch(res) }
 
 // dispatch sends an enclave result's outbound messages and surfaces its
-// events.
+// events. Pooled results recycle once consumed.
 func (n *Node) dispatch(res *Result) {
 	if res == nil {
 		return
 	}
-	for _, out := range res.Out {
-		n.send(out)
+	for i := range res.Out {
+		n.send(res.Out[i])
+	}
+	if res.pay.kind != payEvNone {
+		n.handlePayEvent(res.pay)
 	}
 	for _, ev := range res.Events {
 		n.handleEvent(ev)
 	}
+	n.pools.putResult(res)
+}
+
+// handlePayEvent is handleEvent for the unboxed payment events; the
+// boxed form is built only when a user callback wants it.
+func (n *Node) handlePayEvent(p payEvent) {
+	switch p.kind {
+	case payEvAcked:
+		n.completeBatch(p.channel, true, "")
+	case payEvNacked:
+		n.completeBatch(p.channel, false, p.reason)
+	case payEvReceived:
+		// metrics only; hookIncoming counted it
+	}
+	if n.onEvent != nil {
+		n.onEvent(p.box())
+	}
+}
+
+// route returns the cached peer route for an identity, resolving the
+// directory and endpoint on first use.
+func (n *Node) route(to cryptoutil.PublicKey) *peerRoute {
+	if pr := n.lastRoute; pr != nil && n.lastTo == to {
+		return pr
+	}
+	if pr, ok := n.peers[to]; ok {
+		n.lastRoute, n.lastTo = pr, to
+		return pr
+	}
+	node, ok := n.dir.NodeOf(to)
+	if !ok {
+		return nil
+	}
+	ep := n.net.Endpoint(node)
+	if ep == nil {
+		return nil
+	}
+	pr := &peerRoute{ep: ep}
+	n.peers[to] = pr
+	return pr
 }
 
 func (n *Node) send(out Outbound) {
-	to, ok := n.dir.NodeOf(out.To)
-	if !ok {
+	pr := n.route(out.To)
+	if pr == nil {
 		n.logf("no route to identity %s", out.To)
 		return
 	}
-	env := &Envelope{From: n.enclave.Identity(), Msg: out.Msg}
+	env := n.pools.getEnvelope()
+	env.From = n.enclave.Identity()
+	env.Msg = out.Msg
 	if _, isAttest := out.Msg.(*wire.Attest); !isAttest {
-		token, err := n.enclave.SealToken(out.To)
-		if err != nil {
-			n.logf("sealing token for %s: %v", out.To, err)
-			return
+		sess := pr.sess
+		if sess == nil {
+			// Sessions are never replaced once established, so the
+			// route may cache the transport for the peer's lifetime.
+			sess = n.enclave.establishedSession(out.To)
+			if sess == nil {
+				n.logf("sealing token for %s: no established session", out.To)
+				n.pools.putEnvelope(env)
+				return
+			}
+			pr.sess = sess
 		}
-		env.Token = token
+		env.Token = sess.transport.SealAppend(env.Token[:0], nil, nil)
 	}
-	if err := n.net.Send(n.ID, to, env, env.WireSize()); err != nil {
-		n.logf("send to %s: %v", to, err)
+	if err := n.net.SendEp(n.ep, pr.ep, env, env.WireSize()); err != nil {
+		// The message was never handed to the network, so the envelope
+		// is still exclusively ours to recycle — a partition retry
+		// storm stays allocation-free.
+		n.logf("send to %s: %v", pr.ep.ID(), err)
+		n.pools.putEnvelope(env)
 	}
 }
 
@@ -284,19 +385,23 @@ func (n *Node) handleNetMessage(from netsim.NodeID, payload any) {
 		n.logf("dropping non-envelope payload %T", payload)
 		return
 	}
-	if _, isAttest := env.Msg.(*wire.Attest); !isAttest {
-		if err := n.enclave.VerifyToken(env.From, env.Token); err != nil {
-			n.logf("dropping message %T from %s: %v", env.Msg, from, err)
-			return
+	if _, isAttest := env.Msg.(*wire.Attest); isAttest {
+		// An inbound attest may replace the peer's session (outsourced
+		// user re-attaching, §3); drop the cached transport so tokens
+		// are sealed with whatever session the enclave ends up with.
+		if pr, ok := n.peers[env.From]; ok {
+			pr.sess = nil
 		}
 	}
-	res, err := n.enclave.HandleMessage(env.From, env.Msg)
+	res, err := n.enclave.HandleSealed(env.From, env.Token, env.Msg)
 	if err != nil {
-		n.logf("enclave rejected %T from %s: %v", env.Msg, from, err)
+		n.logf("dropping %T from %s: %v", env.Msg, from, err)
+		n.pools.putEnvelope(env)
 		return
 	}
 	n.hookIncoming(env.Msg)
 	n.dispatch(res)
+	n.pools.putEnvelope(env)
 }
 
 // hookIncoming updates host bookkeeping keyed off specific messages:
@@ -339,10 +444,9 @@ func (n *Node) handleEvent(ev Event) {
 			n.logf("accepting channel %s: %v", e.Channel, err)
 			break
 		}
-		n.channelPeers[e.Channel] = e.Remote
 		n.dispatch(res)
 	case EvChannelOpen:
-		n.channelPeers[e.Channel] = e.Remote
+		// runtime state is created lazily on first payment
 	case EvDepositApprovalNeeded:
 		// Verify the deposit on the blockchain per local policy (§4.1).
 		conf := n.chain.Confirmations(e.Deposit.Point.Tx)
@@ -557,7 +661,6 @@ func (n *Node) OpenChannel(peer *Node) (wire.ChannelID, error) {
 	if err != nil {
 		return "", err
 	}
-	n.channelPeers[id] = peer.Identity()
 	n.dispatch(res)
 	return id, nil
 }
@@ -590,68 +693,123 @@ func (n *Node) DissociateDeposit(channel wire.ChannelID, point chain.OutPoint) e
 
 // --- Payments ---
 
+// chanRt returns (creating on first use) the per-channel runtime
+// record.
+func (n *Node) chanRt(channel wire.ChannelID) *chanRuntime {
+	if cr := n.lastCr; cr != nil && n.lastCrID == channel {
+		return cr
+	}
+	cr := n.chans[channel]
+	if cr == nil {
+		cr = &chanRuntime{}
+		n.chans[channel] = cr
+	}
+	n.lastCr, n.lastCrID = cr, channel
+	return cr
+}
+
+func (n *Node) getBatch() *inflightBatch {
+	if k := len(n.freeBatches); k > 0 {
+		b := n.freeBatches[k-1]
+		n.freeBatches = n.freeBatches[:k-1]
+		return b
+	}
+	return &inflightBatch{}
+}
+
+func (n *Node) putBatch(b *inflightBatch) {
+	for i := range b.entries {
+		b.entries[i] = batchEntry{}
+	}
+	b.entries = b.entries[:0]
+	b.count = 0
+	n.freeBatches = append(n.freeBatches, b)
+}
+
+func (n *Node) failBatch(b *inflightBatch, reason string) {
+	for i := range b.entries {
+		if e := b.entries[i]; e.done != nil {
+			e.done(false, 0, reason)
+		}
+	}
+	n.putBatch(b)
+}
+
 // Pay sends amount over channel; done (optional) fires on remote
 // acknowledgement. With batching enabled the payment may share a
 // message with others in the same window.
 func (n *Node) Pay(channel wire.ChannelID, amount chain.Amount, done PayDone) error {
 	n.PaymentsSent++
+	cr := n.chanRt(channel)
 	if n.cfg.BatchWindow <= 0 {
-		return n.sendPay(channel, amount, 1, []batchEntry{{done: done, issuedAt: n.sim.Now()}})
+		b := n.getBatch()
+		b.count = 1
+		b.entries = append(b.entries, batchEntry{done: done, issuedAt: n.sim.Now()})
+		err := n.sendPay(channel, cr, amount, b)
+		if err != nil {
+			n.putBatch(b)
+		}
+		return err
 	}
-	b := n.batches[channel]
-	if b == nil {
-		b = &pendingBatch{}
-		n.batches[channel] = b
-		b.timer = n.sim.Schedule(n.cfg.BatchWindow, func() { n.flushBatch(channel) })
+	pb := cr.batch
+	if pb == nil {
+		if k := len(n.freePending); k > 0 {
+			pb = n.freePending[k-1]
+			n.freePending = n.freePending[:k-1]
+		} else {
+			pb = &pendingBatch{}
+		}
+		cr.batch = pb
+		pb.timer = n.sim.Schedule(n.cfg.BatchWindow, func() { n.flushBatch(channel) })
 	}
-	b.amount += amount
-	b.count++
-	b.entries = append(b.entries, batchEntry{done: done, issuedAt: n.sim.Now()})
+	pb.amount += amount
+	pb.count++
+	pb.entries = append(pb.entries, batchEntry{done: done, issuedAt: n.sim.Now()})
 	return nil
 }
 
 func (n *Node) flushBatch(channel wire.ChannelID) {
-	b := n.batches[channel]
-	if b == nil || b.count == 0 {
-		delete(n.batches, channel)
+	cr := n.chanRt(channel)
+	if cr.batch == nil {
 		return
 	}
-	delete(n.batches, channel)
-	if err := n.sendPay(channel, b.amount, b.count, b.entries); err != nil {
-		for _, e := range b.entries {
-			if e.done != nil {
-				e.done(false, 0, err.Error())
-			}
+	pb := cr.batch
+	cr.batch = nil
+	if pb.count > 0 {
+		b := n.getBatch()
+		b.count = pb.count
+		// Hand the accumulated entries to the in-flight batch and take
+		// its (cleared) backing array for the next window.
+		b.entries, pb.entries = pb.entries, b.entries
+		if err := n.sendPay(channel, cr, pb.amount, b); err != nil {
+			n.failBatch(b, err.Error())
 		}
 	}
+	pb.amount, pb.count, pb.timer = 0, 0, nil
+	n.freePending = append(n.freePending, pb)
 }
 
-func (n *Node) sendPay(channel wire.ChannelID, amount chain.Amount, count int, entries []batchEntry) error {
+func (n *Node) sendPay(channel wire.ChannelID, cr *chanRuntime, amount chain.Amount, b *inflightBatch) error {
 	if !n.cfg.Enclave.StableStorage {
-		return n.doSendPay(channel, amount, count, entries)
+		return n.doSendPay(channel, cr, amount, b)
 	}
 	// Stable storage seals state under a monotonic counter before the
 	// payment leaves the enclave.
 	n.chargeLocal(tee.CounterIncrementLatency, func() {
-		if err := n.doSendPay(channel, amount, count, entries); err != nil {
-			for _, e := range entries {
-				if e.done != nil {
-					e.done(false, 0, err.Error())
-				}
-			}
+		if err := n.doSendPay(channel, cr, amount, b); err != nil {
+			n.failBatch(b, err.Error())
 		}
 	})
 	return nil
 }
 
-func (n *Node) doSendPay(channel wire.ChannelID, amount chain.Amount, count int, entries []batchEntry) error {
-	res, err := n.enclave.Pay(channel, amount, count)
+func (n *Node) doSendPay(channel wire.ChannelID, cr *chanRuntime, amount chain.Amount, b *inflightBatch) error {
+	res, err := n.enclave.Pay(channel, amount, b.count)
 	if err != nil {
 		return err
 	}
-	n.inflight[channel] = append(n.inflight[channel], &inflightBatch{
-		count: count, entries: entries, sentAt: n.sim.Now(),
-	})
+	b.sentAt = n.sim.Now()
+	cr.inflight = append(cr.inflight, b)
 	n.dispatch(res)
 	return nil
 }
@@ -660,21 +818,37 @@ func (n *Node) doSendPay(channel wire.ChannelID, amount chain.Amount, count int,
 // the remote's verdict: acknowledgements and nacks arrive in issue
 // order per channel (the enclave orders both behind replication).
 func (n *Node) completeBatch(channel wire.ChannelID, ok bool, reason string) {
-	q := n.inflight[channel]
-	if len(q) == 0 {
+	cr := n.chanRt(channel)
+	if cr.head >= len(cr.inflight) {
 		return
 	}
-	b := q[0]
-	n.inflight[channel] = q[1:]
+	b := cr.inflight[cr.head]
+	cr.inflight[cr.head] = nil
+	cr.head++
+	if cr.head == len(cr.inflight) {
+		cr.inflight = cr.inflight[:0]
+		cr.head = 0
+	} else if cr.head >= 32 && cr.head*2 >= len(cr.inflight) {
+		// Compact once the dead prefix dominates, so a queue that
+		// never fully drains (sustained windowed load) stays O(window)
+		// rather than growing one slot per batch ever sent.
+		live := copy(cr.inflight, cr.inflight[cr.head:])
+		for i := live; i < len(cr.inflight); i++ {
+			cr.inflight[i] = nil
+		}
+		cr.inflight = cr.inflight[:live]
+		cr.head = 0
+	}
 	now := n.sim.Now()
 	if ok {
 		n.PaymentsAcked += uint64(b.count)
 	}
-	for _, e := range b.entries {
-		if e.done != nil {
+	for i := range b.entries {
+		if e := b.entries[i]; e.done != nil {
 			e.done(ok, now.Sub(e.issuedAt), reason)
 		}
 	}
+	n.putBatch(b)
 }
 
 // PayRetry is Pay with the §7.4 retry discipline: local failures and

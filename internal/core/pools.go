@@ -1,0 +1,142 @@
+package core
+
+import (
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// hotPools recycles the objects a payment allocates on its way through
+// the stack — the replicated Op, the wire message, the Result
+// aggregate, and the host Envelope (whose Token buffer doubles as the
+// session-token scratch space). Each is alive only from one enclave
+// entry point to the next simulator event, so with the pools the
+// steady-state payment path allocates nothing except event boxing; see
+// DESIGN.md §6 for the ownership rules.
+//
+// One hotPools instance is shared by every node of a deployment (via
+// its Directory): a deployment runs on a single goroutine, so plain
+// freelists suffice, and the parallel experiment harness gives each
+// deployment its own instance, so no synchronisation is needed.
+type hotPools struct {
+	envs    []*Envelope
+	results []*Result
+	ops     []*Op
+	pays    []*wire.Pay
+	acks    []*wire.PayAck
+}
+
+func newHotPools() *hotPools { return &hotPools{} }
+
+// getResult returns an empty pooled Result. Results obtained here are
+// recycled by Node.dispatch after their contents are consumed; only
+// construct one per enclave return value, never retain it.
+func (p *hotPools) getResult() *Result {
+	if k := len(p.results); k > 0 {
+		r := p.results[k-1]
+		p.results = p.results[:k-1]
+		return r
+	}
+	return &Result{pooled: true}
+}
+
+// putResult recycles a Result previously obtained from getResult.
+// Results built with plain literals (pooled == false) pass through
+// untouched, so cold paths may keep references to theirs.
+func (p *hotPools) putResult(r *Result) {
+	if r == nil || !r.pooled {
+		return
+	}
+	for i := range r.Out {
+		r.Out[i] = Outbound{}
+	}
+	for i := range r.Events {
+		r.Events[i] = nil
+	}
+	r.Out = r.Out[:0]
+	r.Events = r.Events[:0]
+	r.pay = payEvent{}
+	p.results = append(p.results, r)
+}
+
+// getOp returns a zeroed Op for a hot-path state transition. commitFast
+// recycles it once nothing retains it (on commit when unreplicated,
+// otherwise when the replication ack releases the pending update).
+func (p *hotPools) getOp() *Op {
+	if k := len(p.ops); k > 0 {
+		op := p.ops[k-1]
+		p.ops = p.ops[:k-1]
+		return op
+	}
+	return new(Op)
+}
+
+func (p *hotPools) putOp(op *Op) {
+	*op = Op{}
+	p.ops = append(p.ops, op)
+}
+
+// hotOp reports whether op is one of the pay-path kinds whose Apply
+// retains nothing, making the op safe to recycle.
+func hotOp(op *Op) bool {
+	switch op.Kind {
+	case OpPaySend, OpPayRecv, OpPayRevert:
+		return true
+	}
+	return false
+}
+
+func (p *hotPools) getPayMsg() *wire.Pay {
+	if k := len(p.pays); k > 0 {
+		m := p.pays[k-1]
+		p.pays = p.pays[:k-1]
+		return m
+	}
+	return new(wire.Pay)
+}
+
+func (p *hotPools) getPayAckMsg() *wire.PayAck {
+	if k := len(p.acks); k > 0 {
+		m := p.acks[k-1]
+		p.acks = p.acks[:k-1]
+		return m
+	}
+	return new(wire.PayAck)
+}
+
+// getEnvelope returns an Envelope whose Token buffer may carry capacity
+// from a previous journey; seal into Token[:0].
+func (p *hotPools) getEnvelope() *Envelope {
+	if k := len(p.envs); k > 0 {
+		env := p.envs[k-1]
+		p.envs = p.envs[:k-1]
+		env.pooled = true
+		return env
+	}
+	return &Envelope{pooled: true}
+}
+
+// putEnvelope recycles an envelope after its receiver has fully handled
+// it, along with the poolable wire messages it carried. Only envelopes
+// from getEnvelope recycle — hosts send each exactly once — while
+// externally constructed ones (tests model replay attacks by delivering
+// one envelope twice) pass through untouched, so a duplicate delivery
+// can never alias a recycled object. The flag also makes release
+// idempotent.
+func (p *hotPools) putEnvelope(env *Envelope) {
+	if !env.pooled {
+		return
+	}
+	env.pooled = false
+	switch m := env.Msg.(type) {
+	case *wire.Pay:
+		*m = wire.Pay{}
+		p.pays = append(p.pays, m)
+	case *wire.PayAck:
+		*m = wire.PayAck{}
+		p.acks = append(p.acks, m)
+	}
+	env.From = cryptoutil.PublicKey{}
+	env.Msg = nil
+	env.Token = env.Token[:0]
+	p.envs = append(p.envs, env)
+}

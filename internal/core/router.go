@@ -11,56 +11,97 @@ import (
 // out-of-band mechanism for this deployment: hosts feed it channel
 // openings and query shortest (or progressively longer, for dynamic
 // routing §7.4) identity paths.
+//
+// Identities are interned to dense integer handles on first sight, so
+// the graph is adjacency-by-small-int rather than maps keyed by 65-byte
+// public keys; the keys appear only at the API boundary. Neighbour
+// enumeration stays ordered by key bytes, which keeps path enumeration
+// deterministic and identical to the un-interned implementation.
 type Router struct {
-	adj map[cryptoutil.PublicKey]map[cryptoutil.PublicKey]int // edge -> channel count
+	ids  map[cryptoutil.PublicKey]int32
+	keys []cryptoutil.PublicKey // handle -> key
+	// adj[h] holds channel counts indexed by neighbour handle (0 = no
+	// edge); deployments are small (≤ tens of nodes), so dense rows are
+	// cheaper than maps.
+	adj [][]int32
+	// sorted[h] caches h's neighbour handles ordered by key bytes;
+	// invalidated (nil) when h's row changes.
+	sorted [][]int32
 }
 
 // NewRouter returns an empty channel graph.
 func NewRouter() *Router {
-	return &Router{adj: make(map[cryptoutil.PublicKey]map[cryptoutil.PublicKey]int)}
+	return &Router{ids: make(map[cryptoutil.PublicKey]int32)}
+}
+
+// intern returns the dense handle for a key, assigning one on first
+// sight.
+func (r *Router) intern(k cryptoutil.PublicKey) int32 {
+	if h, ok := r.ids[k]; ok {
+		return h
+	}
+	h := int32(len(r.keys))
+	r.ids[k] = h
+	r.keys = append(r.keys, k)
+	r.adj = append(r.adj, nil)
+	r.sorted = append(r.sorted, nil)
+	return h
+}
+
+func (r *Router) bump(a, b int32, delta int32) {
+	row := r.adj[a]
+	if int(b) >= len(row) {
+		grown := make([]int32, len(r.keys))
+		copy(grown, row)
+		row = grown
+		r.adj[a] = row
+	}
+	n := row[b] + delta
+	if n < 0 {
+		n = 0
+	}
+	row[b] = n
+	r.sorted[a] = nil
 }
 
 // AddChannel records a (bidirectional) channel between two identities.
 func (r *Router) AddChannel(a, b cryptoutil.PublicKey) {
-	r.edge(a)[b]++
-	r.edge(b)[a]++
+	ha, hb := r.intern(a), r.intern(b)
+	r.bump(ha, hb, 1)
+	r.bump(hb, ha, 1)
 }
 
 // RemoveChannel removes one channel between two identities.
 func (r *Router) RemoveChannel(a, b cryptoutil.PublicKey) {
-	if m := r.adj[a]; m != nil && m[b] > 0 {
-		m[b]--
-		if m[b] == 0 {
-			delete(m, b)
-		}
-	}
-	if m := r.adj[b]; m != nil && m[a] > 0 {
-		m[a]--
-		if m[a] == 0 {
-			delete(m, a)
-		}
-	}
-}
-
-func (r *Router) edge(a cryptoutil.PublicKey) map[cryptoutil.PublicKey]int {
-	m, ok := r.adj[a]
+	ha, ok := r.ids[a]
 	if !ok {
-		m = make(map[cryptoutil.PublicKey]int)
-		r.adj[a] = m
+		return
 	}
-	return m
+	hb, ok := r.ids[b]
+	if !ok {
+		return
+	}
+	r.bump(ha, hb, -1)
+	r.bump(hb, ha, -1)
 }
 
-// neighbours returns a's neighbours in deterministic order.
-func (r *Router) neighbours(a cryptoutil.PublicKey) []cryptoutil.PublicKey {
-	m := r.adj[a]
-	out := make([]cryptoutil.PublicKey, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// neighbours returns h's neighbour handles ordered by key bytes
+// (deterministic), caching the sorted order until the row changes.
+func (r *Router) neighbours(h int32) []int32 {
+	if s := r.sorted[h]; s != nil {
+		return s
+	}
+	row := r.adj[h]
+	out := make([]int32, 0, len(row))
+	for nb, count := range row {
+		if count > 0 {
+			out = append(out, int32(nb))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return lessKey(out[i], out[j])
+		return lessKey(r.keys[out[i]], r.keys[out[j]])
 	})
+	r.sorted[h] = out
 	return out
 }
 
@@ -96,16 +137,26 @@ func (r *Router) Paths(src, dst cryptoutil.PublicKey, k, extra int) [][]cryptout
 	if src == dst {
 		return [][]cryptoutil.PublicKey{{src}}
 	}
-	type partial struct {
-		path []cryptoutil.PublicKey
-		seen map[cryptoutil.PublicKey]bool
+	hs, ok := r.ids[src]
+	if !ok {
+		return nil
 	}
-	var results [][]cryptoutil.PublicKey
+	hd, ok := r.ids[dst]
+	if !ok {
+		return nil
+	}
+	type partial struct {
+		path []int32
+		seen []bool
+	}
+	var found [][]int32
 	shortest := -1
-	queue := []partial{{path: []cryptoutil.PublicKey{src}, seen: map[cryptoutil.PublicKey]bool{src: true}}}
+	first := partial{path: []int32{hs}, seen: make([]bool, len(r.keys))}
+	first.seen[hs] = true
+	queue := []partial{first}
 	const maxExpansions = 200_000
 	expansions := 0
-	for len(queue) > 0 && len(results) < k {
+	for len(queue) > 0 && len(found) < k {
 		p := queue[0]
 		queue = queue[1:]
 		if shortest >= 0 && len(p.path)-1 > shortest+extra {
@@ -118,30 +169,43 @@ func (r *Router) Paths(src, dst cryptoutil.PublicKey, k, extra int) [][]cryptout
 			}
 			expansions++
 			if expansions > maxExpansions {
-				return results
+				return r.toKeys(found)
 			}
-			np := make([]cryptoutil.PublicKey, len(p.path)+1)
+			np := make([]int32, len(p.path)+1)
 			copy(np, p.path)
 			np[len(p.path)] = next
-			if next == dst {
+			if next == hd {
 				if shortest < 0 {
 					shortest = len(np) - 1
 				}
 				if len(np)-1 <= shortest+extra {
-					results = append(results, np)
-					if len(results) >= k {
-						return results
+					found = append(found, np)
+					if len(found) >= k {
+						return r.toKeys(found)
 					}
 				}
 				continue
 			}
-			ns := make(map[cryptoutil.PublicKey]bool, len(p.seen)+1)
-			for key := range p.seen {
-				ns[key] = true
-			}
+			ns := make([]bool, len(r.keys))
+			copy(ns, p.seen)
 			ns[next] = true
 			queue = append(queue, partial{path: np, seen: ns})
 		}
 	}
-	return results
+	return r.toKeys(found)
+}
+
+func (r *Router) toKeys(paths [][]int32) [][]cryptoutil.PublicKey {
+	if len(paths) == 0 {
+		return nil
+	}
+	out := make([][]cryptoutil.PublicKey, len(paths))
+	for i, p := range paths {
+		kp := make([]cryptoutil.PublicKey, len(p))
+		for j, h := range p {
+			kp[j] = r.keys[h]
+		}
+		out[i] = kp
+	}
+	return out
 }

@@ -177,6 +177,13 @@ type State struct {
 	// the owner crashed. Exchanged out of band alongside identities and
 	// replicated.
 	PayoutKeys map[cryptoutil.Address]cryptoutil.PublicKey
+
+	// lastCh is a one-entry channel lookup cache: payments hit the same
+	// channel repeatedly, and comparing two equal IDs is far cheaper
+	// than hashing one. Channels are never removed from the map (only
+	// marked Closed), so the cache cannot go stale. Unexported, so gob
+	// replication and sealing ignore it.
+	lastCh *ChannelState
 }
 
 // NewState returns an empty state owned by the given enclave identity.
@@ -537,10 +544,14 @@ func (s *State) Apply(op *Op) error {
 }
 
 func (s *State) channel(id wire.ChannelID) (*ChannelState, error) {
+	if c := s.lastCh; c != nil && c.ID == id {
+		return c, nil
+	}
 	c, ok := s.Channels[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, id)
 	}
+	s.lastCh = c
 	return c, nil
 }
 

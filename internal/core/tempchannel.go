@@ -29,7 +29,6 @@ func (n *Node) CreateTempChannels(peer *Node, g int, value chain.Amount) ([]wire
 		if err != nil {
 			return nil, err
 		}
-		n.channelPeers[id] = peer.Identity()
 		n.dispatch(res)
 		point, err := n.CreateDepositInstant(value)
 		if err != nil {

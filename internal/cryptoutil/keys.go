@@ -67,12 +67,30 @@ type KeyPair struct {
 // GenerateKeyPair creates a key pair using entropy from rnd. Pass a
 // deterministic reader (see NewDeterministicReader) for reproducible
 // simulations.
+//
+// The private scalar is derived from rnd directly (rejection-sampled
+// below the group order) rather than via ecdsa.GenerateKey: since the
+// FIPS 140-3 module (Go 1.24) the latter draws from its own DRBG and
+// ignores the caller's reader, which would silently break the
+// simulator's bit-for-bit reproducibility.
 func GenerateKeyPair(rnd io.Reader) (*KeyPair, error) {
-	priv, err := ecdsa.GenerateKey(elliptic.P256(), rnd)
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: generating key pair: %w", err)
+	curve := elliptic.P256()
+	order := curve.Params().N
+	raw := make([]byte, 32)
+	for {
+		if _, err := io.ReadFull(rnd, raw); err != nil {
+			return nil, fmt.Errorf("cryptoutil: generating key pair: %w", err)
+		}
+		d := newInt(raw)
+		if d.Sign() == 0 || d.Cmp(order) >= 0 {
+			continue // rejection sampling keeps the scalar uniform
+		}
+		priv := new(ecdsa.PrivateKey)
+		priv.Curve = curve
+		priv.D = d
+		priv.PublicKey.X, priv.PublicKey.Y = curve.ScalarBaseMult(raw)
+		return fromECDSA(priv)
 	}
-	return fromECDSA(priv)
 }
 
 func fromECDSA(priv *ecdsa.PrivateKey) (*KeyPair, error) {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Errors returned by session operations.
@@ -25,13 +26,22 @@ type DHKeyPair struct {
 	priv *ecdh.PrivateKey
 }
 
-// GenerateDHKeyPair creates a P-256 ECDH key pair from rnd.
+// GenerateDHKeyPair creates a P-256 ECDH key pair from rnd. Like
+// GenerateKeyPair, the scalar is derived from rnd directly so that
+// deterministic readers yield reproducible keys (ecdh.GenerateKey
+// draws from the FIPS DRBG since Go 1.24).
 func GenerateDHKeyPair(rnd io.Reader) (*DHKeyPair, error) {
-	priv, err := ecdh.P256().GenerateKey(rnd)
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: generating DH key: %w", err)
+	raw := make([]byte, 32)
+	for {
+		if _, err := io.ReadFull(rnd, raw); err != nil {
+			return nil, fmt.Errorf("cryptoutil: generating DH key: %w", err)
+		}
+		priv, err := ecdh.P256().NewPrivateKey(raw)
+		if err != nil {
+			continue // out-of-range scalar: rejection-sample the next block
+		}
+		return &DHKeyPair{priv: priv}, nil
 	}
-	return &DHKeyPair{priv: priv}, nil
 }
 
 // PublicBytes returns the public half for transmission to the peer.
@@ -86,19 +96,19 @@ type Session struct {
 	aead     cipher.AEAD
 	sendCtr  uint64
 	lastRecv uint64
+	// nonce is a reusable scratch buffer: passing a stack array through
+	// the cipher.AEAD interface forces it to escape, so keeping one
+	// heap buffer per session removes a per-message allocation.
+	nonce []byte
 }
 
 // NewSession builds a session from a 32-byte shared key.
 func NewSession(key [32]byte) (*Session, error) {
-	block, err := aes.NewCipher(key[:])
+	aead, err := aeadForKey(key)
 	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
+		return nil, err
 	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
-	}
-	return &Session{aead: aead}, nil
+	return &Session{aead: aead, nonce: make([]byte, sessionNonceSize)}, nil
 }
 
 // sessionNonceSize is the AES-GCM nonce width; the message counter is
@@ -108,18 +118,33 @@ const sessionNonceSize = 12
 // Seal encrypts and authenticates plaintext with additional data aad,
 // prepending the message counter. Each call consumes one counter value.
 func (s *Session) Seal(plaintext, aad []byte) []byte {
+	out := make([]byte, 0, 8+len(plaintext)+s.aead.Overhead())
+	return s.SealAppend(out, plaintext, aad)
+}
+
+// SealAppend is Seal appending to dst (which may be a previous sealed
+// message's buffer, resliced to zero length) and returning the extended
+// slice. The sealed message becomes the caller's to transport; steady
+// state it costs no allocation once dst's capacity has grown to fit.
+func (s *Session) SealAppend(dst, plaintext, aad []byte) []byte {
 	s.sendCtr++
-	var nonce [sessionNonceSize]byte
-	binary.BigEndian.PutUint64(nonce[4:], s.sendCtr)
-	out := make([]byte, 8, 8+len(plaintext)+s.aead.Overhead())
-	binary.BigEndian.PutUint64(out, s.sendCtr)
-	return s.aead.Seal(out, nonce[:], plaintext, aad)
+	binary.BigEndian.PutUint64(s.nonce[4:], s.sendCtr)
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], s.sendCtr)
+	dst = append(dst, hdr[:]...)
+	return s.aead.Seal(dst, s.nonce, plaintext, aad)
 }
 
 // Open authenticates and decrypts a message produced by the peer's
 // Seal. It enforces strictly increasing counters: replayed or reordered
 // messages return ErrReplay without advancing state.
 func (s *Session) Open(sealed, aad []byte) ([]byte, error) {
+	return s.OpenAppend(nil, sealed, aad)
+}
+
+// OpenAppend is Open appending the plaintext to dst, letting callers
+// reuse a receive buffer across messages.
+func (s *Session) OpenAppend(dst, sealed, aad []byte) ([]byte, error) {
 	if len(sealed) < 8+s.aead.Overhead() {
 		return nil, ErrShortMessage
 	}
@@ -127,14 +152,48 @@ func (s *Session) Open(sealed, aad []byte) ([]byte, error) {
 	if ctr <= s.lastRecv {
 		return nil, ErrReplay
 	}
-	var nonce [sessionNonceSize]byte
-	binary.BigEndian.PutUint64(nonce[4:], ctr)
-	plain, err := s.aead.Open(nil, nonce[:], sealed[8:], aad)
+	binary.BigEndian.PutUint64(s.nonce[4:], ctr)
+	plain, err := s.aead.Open(dst, s.nonce, sealed[8:], aad)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAuthFailed, err)
 	}
 	s.lastRecv = ctr
 	return plain, nil
+}
+
+// aeadCache caches the AES-GCM construction per key: building the
+// cipher plus GCM tables dominates short seals, and the same deposit or
+// session key seals many messages. Guarded for the parallel experiment
+// harness; bounded so adversarial key churn cannot grow it unboundedly.
+var aeadCache struct {
+	sync.RWMutex
+	m map[[32]byte]cipher.AEAD
+}
+
+const aeadCacheMax = 4096
+
+func aeadForKey(key [32]byte) (cipher.AEAD, error) {
+	aeadCache.RLock()
+	aead, ok := aeadCache.m[key]
+	aeadCache.RUnlock()
+	if ok {
+		return aead, nil
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
+	}
+	aead, err = cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
+	}
+	aeadCache.Lock()
+	if aeadCache.m == nil || len(aeadCache.m) >= aeadCacheMax {
+		aeadCache.m = make(map[[32]byte]cipher.AEAD)
+	}
+	aeadCache.m[key] = aead
+	aeadCache.Unlock()
+	return aead, nil
 }
 
 // SealDetached encrypts plaintext under key with a random nonce drawn
@@ -143,13 +202,9 @@ func (s *Session) Open(sealed, aad []byte) ([]byte, error) {
 // Unlike Session.Seal it imposes no counter ordering, so it composes
 // with deferred message emission.
 func SealDetached(key [32]byte, rnd io.Reader, plaintext, aad []byte) ([]byte, error) {
-	block, err := aes.NewCipher(key[:])
+	aead, err := aeadForKey(key)
 	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
+		return nil, err
 	}
 	nonce := make([]byte, sessionNonceSize, sessionNonceSize+len(plaintext)+aead.Overhead())
 	if _, err := io.ReadFull(rnd, nonce); err != nil {
@@ -163,13 +218,9 @@ func OpenDetached(key [32]byte, blob, aad []byte) ([]byte, error) {
 	if len(blob) < sessionNonceSize {
 		return nil, ErrShortMessage
 	}
-	block, err := aes.NewCipher(key[:])
+	aead, err := aeadForKey(key)
 	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: creating cipher: %w", err)
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, fmt.Errorf("cryptoutil: creating GCM: %w", err)
+		return nil, err
 	}
 	plain, err := aead.Open(nil, blob[:sessionNonceSize], blob[sessionNonceSize:], aad)
 	if err != nil {

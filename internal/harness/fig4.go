@@ -72,7 +72,7 @@ func RunFigure4(maxHops int) ([]Fig4Point, error) {
 			Throughput: lightning.MultihopThroughput(hops, avgPathRTT(), 1000),
 		})
 	}
-	for _, cfg := range []struct {
+	configs := []struct {
 		name     Fig4Config
 		replicas int
 		stable   bool
@@ -81,21 +81,30 @@ func RunFigure4(maxHops int) ([]Fig4Point, error) {
 		{Fig4Stable, 0, true},
 		{Fig4OneReplica, 1, false},
 		{Fig4TwoReplicas, 2, false},
-	} {
-		for hops := 2; hops <= maxHops; hops++ {
-			lat, err := measureMultihopLatency(hops, cfg.replicas, cfg.stable)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %s hops=%d: %w", cfg.name, hops, err)
-			}
-			points = append(points, Fig4Point{
-				Config:     cfg.name,
-				Hops:       hops,
-				Latency:    lat,
-				Throughput: 135_000 / lat.Seconds(),
-			})
-		}
 	}
-	return points, nil
+	// Every (configuration, hop count) point is an independent
+	// deployment; sweep them across the worker pool.
+	hopCount := maxHops - 1
+	measured := make([]Fig4Point, len(configs)*hopCount)
+	err := forEachConfig(len(measured), func(i int) error {
+		cfg := configs[i/hopCount]
+		hops := 2 + i%hopCount
+		lat, err := measureMultihopLatency(hops, cfg.replicas, cfg.stable)
+		if err != nil {
+			return fmt.Errorf("fig4 %s hops=%d: %w", cfg.name, hops, err)
+		}
+		measured[i] = Fig4Point{
+			Config:     cfg.name,
+			Hops:       hops,
+			Latency:    lat,
+			Throughput: 135_000 / lat.Seconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(points, measured...), nil
 }
 
 // replicaSitesFor places a node's committee members in failure domains

@@ -23,18 +23,24 @@ type Fig6Point struct {
 	Throughput float64
 }
 
-// RunFigure6 sweeps deployment sizes for each committee size.
-// paymentsPerMachine controls measurement length.
+// RunFigure6 sweeps deployment sizes for each committee size,
+// running the independent (machines, committee) configurations across
+// the harness worker pool. paymentsPerMachine controls measurement
+// length.
 func RunFigure6(machineCounts []int, committees []int, paymentsPerMachine int) ([]Fig6Point, error) {
-	var points []Fig6Point
-	for _, n := range committees {
-		for _, m := range machineCounts {
-			tput, err := runCompleteGraph(m, n, paymentsPerMachine)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 machines=%d committee=%d: %w", m, n, err)
-			}
-			points = append(points, Fig6Point{Machines: m, Committee: n, Throughput: tput})
+	points := make([]Fig6Point, len(committees)*len(machineCounts))
+	err := forEachConfig(len(points), func(i int) error {
+		n := committees[i/len(machineCounts)]
+		m := machineCounts[i%len(machineCounts)]
+		tput, err := runCompleteGraph(m, n, paymentsPerMachine)
+		if err != nil {
+			return fmt.Errorf("fig6 machines=%d committee=%d: %w", m, n, err)
 		}
+		points[i] = Fig6Point{Machines: m, Committee: n, Throughput: tput}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment runners sweep independent configurations — Table 1
+// rows, Figure 4/6/7 points, Table 3 approaches. Each configuration
+// builds its own Deployment (simulator, network, blockchain, directory,
+// object pools), so configurations share no mutable state and can run
+// on a worker pool. Every configuration writes only its own result
+// slot, and a simulation is deterministic regardless of which worker
+// runs it, so parallel results are bit-identical to a serial sweep
+// (TestParallelHarnessDeterminism pins this).
+
+// workers is the experiment-level parallelism; defaults to GOMAXPROCS,
+// overridable with TEECHAIN_HARNESS_WORKERS (a value of 1 forces the
+// serial path).
+var workers atomic.Int64
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if v := os.Getenv("TEECHAIN_HARNESS_WORKERS"); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			n = k
+		}
+	}
+	workers.Store(int64(n))
+}
+
+// SetWorkers sets the number of experiment configurations run
+// concurrently (minimum 1) and returns the previous value.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// Workers returns the current experiment-level parallelism.
+func Workers() int { return int(workers.Load()) }
+
+// forEachConfig runs fn(0..n-1) across the worker pool and returns the
+// lowest-indexed error (matching what a serial loop would have
+// surfaced first). fn must confine its writes to its own index.
+func forEachConfig(n int, fn func(i int) error) error {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					// Stop claiming new configurations; in-flight ones
+					// finish, matching the serial sweep's early abort.
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

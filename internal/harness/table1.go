@@ -71,14 +71,20 @@ func RunTable1() ([]Table1Row, error) {
 		AvgLatency: lightning.PaymentLatency(rtt),
 		P99Latency: lightning.PaymentLatency(rtt) + 33*time.Millisecond,
 	}}
-	for _, spec := range table1Specs() {
-		row, err := runTable1Spec(spec)
+	specs := table1Specs()
+	measured := make([]Table1Row, len(specs))
+	err := forEachConfig(len(specs), func(i int) error {
+		row, err := runTable1Spec(specs[i])
 		if err != nil {
-			return nil, fmt.Errorf("table1 %q: %w", spec.name, err)
+			return fmt.Errorf("table1 %q: %w", specs[i].name, err)
 		}
-		rows = append(rows, row)
+		measured[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append(rows, measured...), nil
 }
 
 func runTable1Spec(spec table1Spec) (Table1Row, error) {

@@ -156,10 +156,10 @@ type Fig7Point struct {
 	Throughput   float64
 }
 
-// RunTable3 measures the four Table 3 rows.
+// RunTable3 measures the four Table 3 rows (independent deployments,
+// swept across the worker pool).
 func RunTable3(paymentsPerMachine int) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, spec := range []struct {
+	specs := []struct {
 		name    string
 		n       int
 		dynamic bool
@@ -168,17 +168,24 @@ func RunTable3(paymentsPerMachine int) ([]Table3Row, error) {
 		{"One replica", 2, false},
 		{"Dynamic routing (No FT)", 1, true},
 		{"Dynamic routing (One replica)", 2, true},
-	} {
+	}
+	rows := make([]Table3Row, len(specs))
+	err := forEachConfig(len(specs), func(i int) error {
+		spec := specs[i]
 		tput, lat, hops, err := runHubSpoke(spec.n, spec.dynamic, 0, paymentsPerMachine)
 		if err != nil {
-			return nil, fmt.Errorf("table3 %q: %w", spec.name, err)
+			return fmt.Errorf("table3 %q: %w", spec.name, err)
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Approach:   spec.name,
 			Throughput: tput,
 			AvgLatency: lat,
 			AvgHops:    hops,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -186,15 +193,20 @@ func RunTable3(paymentsPerMachine int) ([]Table3Row, error) {
 // RunFigure7 measures throughput as tier-1/2 nodes add G temporary
 // channels, for committee sizes 1 and 2.
 func RunFigure7(gs []int, paymentsPerMachine int) ([]Fig7Point, error) {
-	var points []Fig7Point
-	for _, n := range []int{1, 2} {
-		for _, g := range gs {
-			tput, _, _, err := runHubSpoke(n, false, g, paymentsPerMachine)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 g=%d n=%d: %w", g, n, err)
-			}
-			points = append(points, Fig7Point{TempChannels: g, Committee: n, Throughput: tput})
+	committees := []int{1, 2}
+	points := make([]Fig7Point, len(committees)*len(gs))
+	err := forEachConfig(len(points), func(i int) error {
+		n := committees[i/len(gs)]
+		g := gs[i%len(gs)]
+		tput, _, _, err := runHubSpoke(n, false, g, paymentsPerMachine)
+		if err != nil {
+			return fmt.Errorf("fig7 g=%d n=%d: %w", g, n, err)
 		}
+		points[i] = Fig7Point{TempChannels: g, Committee: n, Throughput: tput}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -8,6 +8,13 @@
 // later and queues behind the receiving enclave's processor, so both
 // latency distributions and throughput ceilings emerge from the
 // topology and the cost model rather than from hard-coded results.
+//
+// Node names (NodeID strings) exist only at the API boundary: AddNode
+// interns each node to a dense integer handle, endpoints reference
+// links by handle-indexed slices, and the per-message fast path
+// (SendEp) never hashes a string. Message deliveries are pooled Action
+// objects, so a send-deliver round trip allocates nothing in steady
+// state (DESIGN.md §6).
 package netsim
 
 import (
@@ -48,8 +55,6 @@ func RTT(rtt time.Duration, mbps int64) LinkSpec {
 	return LinkSpec{Latency: rtt / 2, BitsPerSecond: mbps * 1_000_000}
 }
 
-type linkKey struct{ from, to NodeID }
-
 type link struct {
 	spec LinkSpec
 	// tx serializes transmissions: a 1 MB message on a 100 Mb/s link
@@ -64,10 +69,15 @@ type link struct {
 // Endpoint is one node's attachment to the network.
 type Endpoint struct {
 	id      NodeID
+	handle  int
 	net     *Network
 	proc    *sim.Processor
 	handler Handler
 	cost    CostModel
+
+	// out holds the directed links from this endpoint, indexed by the
+	// destination's handle (nil until first use).
+	out []*link
 
 	received uint64
 }
@@ -85,12 +95,16 @@ func (e *Endpoint) Received() uint64 { return e.received }
 // Network is the simulated network fabric.
 type Network struct {
 	sim         *sim.Simulator
-	nodes       map[NodeID]*Endpoint
-	links       map[linkKey]*link
+	byName      map[NodeID]*Endpoint
+	eps         []*Endpoint // indexed by handle
 	defaultLink LinkSpec
 
 	sent    uint64
 	dropped uint64
+
+	// free is the delivery pool. A Network belongs to one simulator
+	// driven by one goroutine, so a plain freelist suffices.
+	free []*delivery
 }
 
 // New creates an empty network on the given simulator with an unlimited
@@ -98,9 +112,8 @@ type Network struct {
 // SetDefaultLink).
 func New(s *sim.Simulator) *Network {
 	return &Network{
-		sim:   s,
-		nodes: make(map[NodeID]*Endpoint),
-		links: make(map[linkKey]*link),
+		sim:    s,
+		byName: make(map[NodeID]*Endpoint),
 	}
 }
 
@@ -116,7 +129,7 @@ func (n *Network) SetDefaultLink(spec LinkSpec) { n.defaultLink = spec }
 // message. Adding a duplicate ID panics: topologies are static in every
 // experiment, so this is a programming error.
 func (n *Network) AddNode(id NodeID, handler Handler, cost CostModel) *Endpoint {
-	if _, ok := n.nodes[id]; ok {
+	if _, ok := n.byName[id]; ok {
 		panic(fmt.Sprintf("netsim: duplicate node %q", id))
 	}
 	if cost == nil {
@@ -124,19 +137,21 @@ func (n *Network) AddNode(id NodeID, handler Handler, cost CostModel) *Endpoint 
 	}
 	ep := &Endpoint{
 		id:      id,
+		handle:  len(n.eps),
 		net:     n,
 		proc:    sim.NewProcessor(n.sim),
 		handler: handler,
 		cost:    cost,
 	}
-	n.nodes[id] = ep
+	n.byName[id] = ep
+	n.eps = append(n.eps, ep)
 	return ep
 }
 
 // SetHandler replaces a node's handler (used when wiring hosts after
 // topology construction).
 func (n *Network) SetHandler(id NodeID, handler Handler, cost CostModel) {
-	ep, ok := n.nodes[id]
+	ep, ok := n.byName[id]
 	if !ok {
 		panic(fmt.Sprintf("netsim: unknown node %q", id))
 	}
@@ -160,13 +175,44 @@ func (n *Network) SetPartitioned(a, b NodeID, down bool) {
 }
 
 func (n *Network) direction(from, to NodeID) *link {
-	k := linkKey{from, to}
-	l, ok := n.links[k]
+	src, ok := n.byName[from]
 	if !ok {
-		l = &link{spec: n.defaultLink, tx: sim.NewProcessor(n.sim)}
-		n.links[k] = l
+		panic(fmt.Sprintf("netsim: unknown node %q", from))
 	}
+	dst, ok := n.byName[to]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %q", to))
+	}
+	return n.linkTo(src, dst)
+}
+
+// linkTo returns (creating on first use) the directed link src->dst.
+func (n *Network) linkTo(src, dst *Endpoint) *link {
+	if dst.handle < len(src.out) {
+		if l := src.out[dst.handle]; l != nil {
+			return l
+		}
+	} else {
+		grown := make([]*link, len(n.eps))
+		copy(grown, src.out)
+		src.out = grown
+	}
+	l := &link{spec: n.defaultLink, tx: sim.NewProcessor(n.sim)}
+	src.out[dst.handle] = l
 	return l
+}
+
+// peek returns the directed link src->dst without creating it.
+func (n *Network) peek(from, to NodeID) *link {
+	src, ok := n.byName[from]
+	if !ok {
+		return nil
+	}
+	dst, ok := n.byName[to]
+	if !ok || dst.handle >= len(src.out) {
+		return nil
+	}
+	return src.out[dst.handle]
 }
 
 // Errors returned by Send.
@@ -175,25 +221,75 @@ var (
 	ErrPartitioned = errors.New("netsim: link partitioned")
 )
 
+// delivery carries one message through its two scheduling stages: link
+// serialization, then processor-charged delivery. It implements
+// sim.Action so the whole journey reuses a single pooled object instead
+// of allocating two closures per message.
+type delivery struct {
+	net      *Network
+	dst      *Endpoint
+	from     NodeID
+	payload  any
+	latency  time.Duration
+	deferred bool // true once serialization finished
+}
+
+func (d *delivery) RunAction() {
+	if !d.deferred {
+		// Serialization done: charge the receiver and propagate.
+		d.deferred = true
+		cpu, delay := d.dst.cost(d.payload)
+		arrival := d.net.sim.Now().Add(d.latency + delay)
+		d.dst.proc.DoAtAction(arrival, cpu, d)
+		return
+	}
+	dst, from, payload := d.dst, d.from, d.payload
+	d.net.release(d)
+	dst.received++
+	dst.handler(from, payload)
+}
+
+func (n *Network) acquire() *delivery {
+	if len(n.free) == 0 {
+		return &delivery{net: n}
+	}
+	d := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	return d
+}
+
+func (n *Network) release(d *delivery) {
+	d.dst = nil
+	d.payload = nil
+	d.from = ""
+	d.deferred = false
+	n.free = append(n.free, d)
+}
+
 // Send transmits payload of the given wire size from one node to
 // another. Delivery is scheduled after link serialization, propagation
 // latency, and the receiver's processing cost. Send returns immediately
 // (asynchronous), with an error only for unknown nodes or partitioned
 // links — callers model retransmission/timeout themselves.
 func (n *Network) Send(from, to NodeID, payload any, size int) error {
-	src, ok := n.nodes[from]
+	src, ok := n.byName[from]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
 	}
-	_ = src
-	dst, ok := n.nodes[to]
+	dst, ok := n.byName[to]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
-	l := n.direction(from, to)
+	return n.SendEp(src, dst, payload, size)
+}
+
+// SendEp is Send addressed by endpoint, the allocation-free fast path
+// for hosts that cache their peers' endpoints.
+func (n *Network) SendEp(src, dst *Endpoint, payload any, size int) error {
+	l := n.linkTo(src, dst)
 	if l.down {
 		n.dropped++
-		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, from, to)
+		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, src.id, dst.id)
 	}
 	n.sent++
 	l.messages++
@@ -203,32 +299,31 @@ func (n *Network) Send(from, to NodeID, payload any, size int) error {
 	if l.spec.BitsPerSecond > 0 {
 		txTime = time.Duration(int64(size) * 8 * int64(time.Second) / l.spec.BitsPerSecond)
 	}
-	latency := l.spec.Latency
 	// Serialize on the link, then propagate, then queue on the
-	// receiver's processor.
-	l.tx.Do(txTime, func() {
-		cpu, delay := dst.cost(payload)
-		arrival := n.sim.Now().Add(latency + delay)
-		dst.proc.DoAt(arrival, cpu, func() {
-			dst.received++
-			dst.handler(from, payload)
-		})
-	})
+	// receiver's processor (delivery's second stage).
+	d := n.acquire()
+	d.dst = dst
+	d.from = src.id
+	d.payload = payload
+	d.latency = l.spec.Latency
+	l.tx.DoAction(txTime, d)
 	return nil
 }
 
 // SendLocal delivers a payload from a node to itself with processing
 // cost but no network traversal (operator commands entering a host).
 func (n *Network) SendLocal(id NodeID, payload any) error {
-	dst, ok := n.nodes[id]
+	dst, ok := n.byName[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
 	cpu, delay := dst.cost(payload)
-	dst.proc.DoAt(n.sim.Now().Add(delay), cpu, func() {
-		dst.received++
-		dst.handler(id, payload)
-	})
+	d := n.acquire()
+	d.dst = dst
+	d.from = id
+	d.payload = payload
+	d.deferred = true
+	dst.proc.DoAtAction(n.sim.Now().Add(delay), cpu, d)
 	return nil
 }
 
@@ -240,7 +335,7 @@ func (n *Network) Dropped() uint64 { return n.dropped }
 
 // LinkStats returns messages and bytes carried from a to b.
 func (n *Network) LinkStats(from, to NodeID) (messages, bytes uint64) {
-	if l, ok := n.links[linkKey{from, to}]; ok {
+	if l := n.peek(from, to); l != nil {
 		return l.messages, l.bytes
 	}
 	return 0, 0
@@ -249,7 +344,7 @@ func (n *Network) LinkStats(from, to NodeID) (messages, bytes uint64) {
 // LinkBusy returns the cumulative transmission (serialization) time of
 // the directed link, for utilisation diagnostics.
 func (n *Network) LinkBusy(from, to NodeID) time.Duration {
-	if l, ok := n.links[linkKey{from, to}]; ok {
+	if l := n.peek(from, to); l != nil {
 		return l.tx.BusyTime()
 	}
 	return 0
@@ -257,12 +352,12 @@ func (n *Network) LinkBusy(from, to NodeID) time.Duration {
 
 // Endpoint returns a node's endpoint (nil if unknown), exposing its
 // processor for utilisation metrics.
-func (n *Network) Endpoint(id NodeID) *Endpoint { return n.nodes[id] }
+func (n *Network) Endpoint(id NodeID) *Endpoint { return n.byName[id] }
 
 // Nodes returns the attached node IDs (order unspecified).
 func (n *Network) Nodes() []NodeID {
-	ids := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
+	ids := make([]NodeID, 0, len(n.byName))
+	for id := range n.byName {
 		ids = append(ids, id)
 	}
 	return ids

@@ -185,7 +185,7 @@ func TestStats(t *testing.T) {
 	if n.Sent() != 5 {
 		t.Fatalf("Sent() = %d, want 5", n.Sent())
 	}
-	if got := n.nodes["b"].Received(); got != 5 {
+	if got := n.Endpoint("b").Received(); got != 5 {
 		t.Fatalf("Received() = %d, want 5", got)
 	}
 	back, _ := n.LinkStats("b", "a")

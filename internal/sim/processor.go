@@ -26,17 +26,8 @@ func NewProcessor(s *Simulator) *Processor {
 // the completion of previously submitted work. It returns the virtual
 // completion time.
 func (p *Processor) Do(cost Duration, fn func()) Time {
-	if cost < 0 {
-		cost = 0
-	}
-	start := p.sim.Now()
-	if p.busyUntil > start {
-		start = p.busyUntil
-	}
-	done := start.Add(cost)
-	p.busyUntil = done
-	p.busy += cost
-	p.sim.ScheduleAt(done, fn)
+	done := p.occupy(p.sim.Now(), cost)
+	p.sim.ScheduleFuncAt(done, fn)
 	return done
 }
 
@@ -44,6 +35,30 @@ func (p *Processor) Do(cost Duration, fn func()) Time {
 // work whose input only becomes available at t, e.g. a message arriving
 // over a link).
 func (p *Processor) DoAt(t Time, cost Duration, fn func()) Time {
+	done := p.occupy(t, cost)
+	p.sim.ScheduleFuncAt(done, fn)
+	return done
+}
+
+// DoAction is Do for a sim.Action; pointer-typed actions run through
+// the processor with zero allocation.
+func (p *Processor) DoAction(cost Duration, a Action) Time {
+	done := p.occupy(p.sim.Now(), cost)
+	p.sim.ScheduleActionAt(done, a)
+	return done
+}
+
+// DoAtAction is DoAt for a sim.Action.
+func (p *Processor) DoAtAction(t Time, cost Duration, a Action) Time {
+	done := p.occupy(t, cost)
+	p.sim.ScheduleActionAt(done, a)
+	return done
+}
+
+// occupy reserves the processor for cost starting no earlier than t,
+// the current instant, or the completion of previously submitted work,
+// and returns the completion instant.
+func (p *Processor) occupy(t Time, cost Duration) Time {
 	if cost < 0 {
 		cost = 0
 	}
@@ -57,7 +72,6 @@ func (p *Processor) DoAt(t Time, cost Duration, fn func()) Time {
 	done := start.Add(cost)
 	p.busyUntil = done
 	p.busy += cost
-	p.sim.ScheduleAt(done, fn)
 	return done
 }
 

@@ -9,10 +9,16 @@
 // Events scheduled for the same instant fire in scheduling order, which
 // makes the simulation deterministic without any reliance on map
 // iteration order or goroutine interleaving.
+//
+// The event queue is a 4-ary heap storing entries by value: the common
+// case — scheduling work that is never cancelled — allocates nothing.
+// Only Schedule/ScheduleAt, which hand back a cancellable handle,
+// allocate an Event. Hot callers that would otherwise allocate a closure
+// per event implement Action and reuse one object across firings (see
+// DESIGN.md §6 for the buffer-ownership rules this supports).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -37,12 +43,17 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String formats the instant as a duration offset from simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
-// Event is a scheduled callback. Events are created by the Simulator and
-// may be cancelled until they fire.
+// Action is a schedulable work item. Implementations that are pointers
+// can be scheduled without any allocation, unlike closures; netsim's
+// pooled message deliveries are the main user.
+type Action interface {
+	RunAction()
+}
+
+// Event is a cancellable handle to a scheduled callback, created by
+// Schedule/ScheduleAt.
 type Event struct {
 	at        Time
-	seq       uint64
-	fn        func()
 	index     int // heap index, -1 when not queued
 	cancelled bool
 }
@@ -53,37 +64,21 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 // At returns the virtual instant the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-type eventHeap []*Event
+// entry is one queued event, stored by value in the heap. Exactly one of
+// fn and act is set; ev is non-nil only for cancellable events.
+type entry struct {
+	at  Time
+	seq uint64
+	fn  func()
+	act Action
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryBefore(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulator is a deterministic discrete-event scheduler. The zero value
@@ -91,7 +86,7 @@ func (h *eventHeap) Pop() any {
 type Simulator struct {
 	now   Time
 	seq   uint64
-	queue eventHeap
+	queue []entry // 4-ary min-heap ordered by (at, seq)
 
 	// Stepped counts events executed; useful as a progress/guard metric.
 	stepped uint64
@@ -120,40 +115,179 @@ func (s *Simulator) Schedule(d Duration, fn func()) *Event {
 	return s.ScheduleAt(s.now.Add(d), fn)
 }
 
-// ScheduleAt arranges for fn to run at instant t. Scheduling in the past
-// panics: it indicates a causality bug in the caller.
+// ScheduleAt arranges for fn to run at instant t and returns a
+// cancellable handle. Scheduling in the past panics: it indicates a
+// causality bug in the caller.
 func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
+	e := &Event{at: t}
+	s.pushEntry(entry{at: t, fn: fn, ev: e})
 	return e
+}
+
+// ScheduleFunc arranges for fn to run d after the current virtual time
+// without returning a cancellable handle; unlike Schedule it performs no
+// bookkeeping allocation. A negative d fires at the current instant.
+func (s *Simulator) ScheduleFunc(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.pushEntry(entry{at: s.now.Add(d), fn: fn})
+}
+
+// ScheduleFuncAt is ScheduleFunc for an absolute instant.
+func (s *Simulator) ScheduleFuncAt(t Time, fn func()) {
+	s.pushEntry(entry{at: t, fn: fn})
+}
+
+// ScheduleAction arranges for a to run d after the current virtual
+// time. Pointer-typed actions schedule with zero allocation.
+func (s *Simulator) ScheduleAction(d Duration, a Action) {
+	if d < 0 {
+		d = 0
+	}
+	s.pushEntry(entry{at: s.now.Add(d), act: a})
+}
+
+// ScheduleActionAt is ScheduleAction for an absolute instant.
+func (s *Simulator) ScheduleActionAt(t Time, a Action) {
+	s.pushEntry(entry{at: t, act: a})
+}
+
+func (s *Simulator) pushEntry(e entry) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", e.at, s.now))
+	}
+	e.seq = s.seq
+	s.seq++
+	i := len(s.queue)
+	s.queue = append(s.queue, e)
+	if e.ev != nil {
+		e.ev.index = i
+	}
+	s.up(i)
+}
+
+func (s *Simulator) swap(i, j int) {
+	q := s.queue
+	q[i], q[j] = q[j], q[i]
+	if q[i].ev != nil {
+		q[i].ev.index = i
+	}
+	if q[j].ev != nil {
+		q[j].ev.index = j
+	}
+}
+
+func (s *Simulator) up(i int) {
+	q := s.queue
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryBefore(&q[i], &q[p]) {
+			break
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *Simulator) down(i int) {
+	q := s.queue
+	n := len(q)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := i
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if entryBefore(&q[c], &q[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		s.swap(i, best)
+		i = best
+	}
+}
+
+// popMin removes and returns the earliest entry.
+func (s *Simulator) popMin() entry {
+	q := s.queue
+	min := q[0]
+	if min.ev != nil {
+		min.ev.index = -1
+	}
+	last := len(q) - 1
+	if last > 0 {
+		q[0] = q[last]
+		if q[0].ev != nil {
+			q[0].ev.index = 0
+		}
+	}
+	q[last] = entry{}
+	s.queue = q[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	return min
+}
+
+// removeAt removes the entry at heap index i.
+func (s *Simulator) removeAt(i int) {
+	q := s.queue
+	if q[i].ev != nil {
+		q[i].ev.index = -1
+	}
+	last := len(q) - 1
+	if i != last {
+		q[i] = q[last]
+		if q[i].ev != nil {
+			q[i].ev.index = i
+		}
+	}
+	q[last] = entry{}
+	s.queue = q[:last]
+	if i != last {
+		s.down(i)
+		s.up(i)
+	}
 }
 
 // Cancel removes a pending event. Cancelling an event that already fired
 // or was already cancelled is a no-op.
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.cancelled || e.index < 0 {
+	if e == nil {
+		return
+	}
+	if e.cancelled || e.index < 0 {
 		e.cancelled = true
 		return
 	}
 	e.cancelled = true
-	heap.Remove(&s.queue, e.index)
+	s.removeAt(e.index)
 }
 
 // Step executes the next pending event, advancing the clock to its
 // instant. It reports whether an event was executed.
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancelled {
+		e := s.popMin()
+		if e.ev != nil && e.ev.cancelled {
 			continue
 		}
 		s.now = e.at
 		s.stepped++
-		e.fn()
+		if e.act != nil {
+			e.act.RunAction()
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false
@@ -169,12 +303,7 @@ func (s *Simulator) Run() {
 // clock to exactly t. Events scheduled after t remain queued.
 func (s *Simulator) RunUntil(t Time) {
 	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if e.cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if e.at > t {
+		if s.queue[0].at > t {
 			break
 		}
 		s.Step()
