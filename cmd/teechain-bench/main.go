@@ -30,13 +30,26 @@ func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,fig4,fig6,fig7")
 	quick := flag.Bool("quick", false, "reduced measurement lengths")
 	benchJSON := flag.String("benchjson", "", "write the payment micro-benchmark (ns/op, allocs/op, B/op, simulated tx/s) as JSON to this file and exit")
+	compare := flag.String("compare", "", "with -benchjson: compare the fresh snapshot against this baseline JSON and exit nonzero on >25% ns/op regression or any allocs/op increase")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON); err != nil {
+		snap, err := measureBench()
+		if err != nil {
 			log.Fatal(err)
 		}
+		if err := writeBenchJSON(*benchJSON, snap); err != nil {
+			log.Fatal(err)
+		}
+		if *compare != "" {
+			if err := compareBaseline(*compare, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
 		return
+	}
+	if *compare != "" {
+		log.Fatal("-compare requires -benchjson")
 	}
 
 	want := map[string]bool{}
@@ -212,29 +225,34 @@ func simulatedChannelThroughput(total int) (float64, error) {
 	return float64(total-warmup) / elapsed, nil
 }
 
-// writeBenchJSON records the payment-path perf snapshot so future
-// changes can track the trajectory (wall-clock simulator speed AND the
-// simulated protocol metric, which must not drift).
-func writeBenchJSON(path string) error {
+// benchSnapshot is the payment-path perf record tracked across PRs:
+// wall-clock simulator speed AND the simulated protocol metric, which
+// must not drift.
+type benchSnapshot struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimTxPerSec float64 `json:"sim_tx_per_s"`
+	Payments    int     `json:"bench_payments"`
+}
+
+func measureBench() (*benchSnapshot, error) {
 	r := testing.Benchmark(paymentBench)
 	tput, err := simulatedChannelThroughput(100_000)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	out := struct {
-		NsPerOp     int64   `json:"ns_per_op"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-		BytesPerOp  int64   `json:"bytes_per_op"`
-		SimTxPerSec float64 `json:"sim_tx_per_s"`
-		Payments    int     `json:"bench_payments"`
-	}{
+	return &benchSnapshot{
 		NsPerOp:     int64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		SimTxPerSec: tput,
 		Payments:    r.N,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	}, nil
+}
+
+func writeBenchJSON(path string, snap *benchSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -242,7 +260,35 @@ func writeBenchJSON(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %s ns/op, %d allocs/op, %.0f simulated tx/s\n",
-		path, fmt.Sprint(out.NsPerOp), out.AllocsPerOp, out.SimTxPerSec)
+	fmt.Printf("wrote %s: %d ns/op, %d allocs/op, %.0f simulated tx/s\n",
+		path, snap.NsPerOp, snap.AllocsPerOp, snap.SimTxPerSec)
+	return nil
+}
+
+// compareBaseline is the CI perf regression gate: the fresh snapshot
+// may not regress ns/op by more than 25% or add a single allocation on
+// the payment hot path.
+func compareBaseline(path string, fresh *benchSnapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	fmt.Printf("baseline %s: %d ns/op, %d allocs/op, %.0f simulated tx/s\n",
+		path, base.NsPerOp, base.AllocsPerOp, base.SimTxPerSec)
+	limit := base.NsPerOp + base.NsPerOp/4
+	if fresh.NsPerOp > limit {
+		return fmt.Errorf("perf regression: %d ns/op exceeds baseline %d by more than 25%% (limit %d)",
+			fresh.NsPerOp, base.NsPerOp, limit)
+	}
+	if fresh.AllocsPerOp > base.AllocsPerOp {
+		return fmt.Errorf("alloc regression: %d allocs/op, baseline %d (no increase allowed)",
+			fresh.AllocsPerOp, base.AllocsPerOp)
+	}
+	fmt.Printf("perf gate passed: ns/op %d <= %d, allocs/op %d <= %d\n",
+		fresh.NsPerOp, limit, fresh.AllocsPerOp, base.AllocsPerOp)
 	return nil
 }

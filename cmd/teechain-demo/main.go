@@ -1,386 +1,103 @@
 // teechain-demo runs two Teechain enclaves over REAL TCP sockets on
-// localhost: the same protocol engine the simulator drives
-// (internal/core.Enclave is a transport-agnostic state machine), here
-// hosted by a minimal socket host with gob-encoded envelopes.
+// localhost, hosted by the production socket transport
+// (internal/transport): length-prefixed binary frames, per-peer writer
+// goroutines, automatic reconnection — the same engine the simulator
+// drives (internal/core.Enclave is a transport-agnostic state machine).
 //
 // The demo attests the enclaves to each other, opens a channel, runs
 // payments, and settles on a shared blockchain — printing wall-clock
-// latencies of the real socket round trips.
+// latencies of the real socket round trips. For N-node deployments as
+// separate processes, see cmd/teechain-node.
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"sync"
 	"time"
 
 	"teechain/internal/chain"
-	"teechain/internal/core"
-	"teechain/internal/cryptoutil"
 	"teechain/internal/tee"
-	"teechain/internal/wire"
+	"teechain/internal/transport"
 )
 
-// tcpHost is an untrusted Teechain host speaking gob-encoded envelopes
-// over TCP. It implements the minimum a host owes its enclave: deliver
-// messages, route outbounds, answer approval events.
-type tcpHost struct {
-	name    string
-	enclave *core.Enclave
-	wallet  *cryptoutil.KeyPair
-	bc      *chain.Chain
-	bcMu    *sync.Mutex
-
-	mu    sync.Mutex
-	peers map[cryptoutil.PublicKey]*gob.Encoder
-
-	events chan core.Event
-}
-
-func newTCPHost(name string, auth *tee.Authority, bc *chain.Chain, bcMu *sync.Mutex) (*tcpHost, error) {
-	platform := tee.NewPlatform(auth, name)
-	wallet, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("demo-wallet"), []byte(name)))
-	if err != nil {
-		return nil, err
-	}
-	enclave, err := core.NewEnclave(platform, auth.PublicKey(), core.Config{
-		MinConfirmations: 1,
-		PayoutKey:        wallet.Public(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &tcpHost{
-		name:    name,
-		enclave: enclave,
-		wallet:  wallet,
-		bc:      bc,
-		bcMu:    bcMu,
-		peers:   make(map[cryptoutil.PublicKey]*gob.Encoder),
-		events:  make(chan core.Event, 64),
-	}, nil
-}
-
-// serve accepts one peer connection and pumps its messages into the
-// enclave.
-func (h *tcpHost) serve(ln net.Listener) {
-	conn, err := ln.Accept()
-	if err != nil {
-		log.Fatalf("%s: accept: %v", h.name, err)
-	}
-	h.readLoop(conn)
-}
-
-// dial connects out to a peer and starts the read loop.
-func (h *tcpHost) dial(addr string) *net.TCPConn {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		log.Fatalf("%s: dial: %v", h.name, err)
-	}
-	go h.readLoop(conn)
-	return conn.(*net.TCPConn)
-}
-
-func (h *tcpHost) attach(peer cryptoutil.PublicKey, conn net.Conn) {
-	h.mu.Lock()
-	h.peers[peer] = gob.NewEncoder(conn)
-	h.mu.Unlock()
-}
-
-func (h *tcpHost) readLoop(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	for {
-		var env core.Envelope
-		if err := dec.Decode(&env); err != nil {
-			return
-		}
-		h.mu.Lock()
-		if _, known := h.peers[env.From]; !known {
-			h.peers[env.From] = gob.NewEncoder(conn)
-		}
-		if _, isAttest := env.Msg.(*wire.Attest); !isAttest {
-			if err := h.enclave.VerifyToken(env.From, env.Token); err != nil {
-				log.Printf("%s: dropping %T: %v", h.name, env.Msg, err)
-				h.mu.Unlock()
-				continue
-			}
-		}
-		res, err := h.enclave.HandleMessage(env.From, env.Msg)
-		if err != nil {
-			log.Printf("%s: enclave rejected %T: %v", h.name, env.Msg, err)
-			h.mu.Unlock()
-			continue
-		}
-		h.dispatchLocked(res)
-		h.mu.Unlock()
-	}
-}
-
-// dispatch handles an enclave result: send outbounds, react to events.
-func (h *tcpHost) dispatch(res *core.Result) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.dispatchLocked(res)
-}
-
-// call runs an enclave entry point under the host lock and dispatches
-// its result, serialising main-thread operations against the socket
-// read loop.
-func (h *tcpHost) call(fn func(*core.Enclave) (*core.Result, error)) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	res, err := fn(h.enclave)
-	if err != nil {
-		return err
-	}
-	h.dispatchLocked(res)
-	return nil
-}
-
-// check evaluates a predicate over enclave state under the host lock.
-func (h *tcpHost) check(pred func(*core.Enclave) bool) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return pred(h.enclave)
-}
-
-func (h *tcpHost) dispatchLocked(res *core.Result) {
-	if res == nil {
-		return
-	}
-	for _, out := range res.Out {
-		enc, ok := h.peers[out.To]
-		if !ok {
-			log.Printf("%s: no connection to %s", h.name, out.To)
-			continue
-		}
-		env := core.Envelope{From: h.enclave.Identity(), Msg: out.Msg}
-		if _, isAttest := out.Msg.(*wire.Attest); !isAttest {
-			token, err := h.enclave.SealToken(out.To)
-			if err != nil {
-				log.Printf("%s: seal token: %v", h.name, err)
-				continue
-			}
-			env.Token = token
-		}
-		if err := enc.Encode(&env); err != nil {
-			log.Printf("%s: encode: %v", h.name, err)
-		}
-	}
-	res.ForEachEvent(func(ev core.Event) {
-		h.handleEventLocked(ev)
-		select {
-		case h.events <- ev:
-		default:
-		}
-	})
-}
-
-func (h *tcpHost) handleEventLocked(ev core.Event) {
-	switch e := ev.(type) {
-	case core.EvChannelRequest:
-		res, err := h.enclave.AcceptChannel(e.Channel, e.Remote, e.RemoteAddr, h.wallet.Address(), false)
-		if err != nil {
-			log.Printf("%s: accept channel: %v", h.name, err)
-			return
-		}
-		h.dispatchLocked(res)
-	case core.EvDepositApprovalNeeded:
-		h.bcMu.Lock()
-		conf := h.bc.Confirmations(e.Deposit.Point.Tx)
-		h.bcMu.Unlock()
-		res, err := h.enclave.ConfirmRemoteDeposit(e.Remote, e.Deposit, conf)
-		if err != nil {
-			log.Printf("%s: approve deposit: %v", h.name, err)
-			return
-		}
-		h.dispatchLocked(res)
-	case core.EvSettlementReady:
-		if e.Tx != nil {
-			h.bcMu.Lock()
-			if _, err := h.bc.Submit(e.Tx); err != nil {
-				log.Printf("%s: submit settlement: %v", h.name, err)
-			}
-			h.bcMu.Unlock()
-		}
-	}
-}
-
-// await blocks until an event matching pred arrives.
-func (h *tcpHost) await(pred func(core.Event) bool) core.Event {
-	deadline := time.After(10 * time.Second)
-	for {
-		select {
-		case ev := <-h.events:
-			if pred(ev) {
-				return ev
-			}
-		case <-deadline:
-			log.Fatalf("%s: timed out waiting for event", h.name)
-		}
-	}
-}
-
 func main() {
-	payments := flag.Int("payments", 5, "payments to send in each direction")
+	payments := flag.Int("payments", 5, "payments to send")
 	flag.Parse()
-
-	gob.Register(&core.Op{})
 
 	auth, err := tee.NewAuthority("tcp-demo")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bc := chain.New()
-	var bcMu sync.Mutex
+	lc := transport.NewLocalChain(chain.New())
 
-	alice, err := newTCPHost("alice", auth, bc, &bcMu)
+	newHost := func(name string) *transport.Host {
+		h, err := transport.NewHost(transport.Config{
+			Name:      name,
+			Authority: auth,
+			Chain:     lc,
+			Logf: func(format string, args ...any) {
+				log.Printf(format, args...)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	alice, bob := newHost("alice"), newHost("bob")
+	defer alice.Close()
+	defer bob.Close()
+
+	addr, err := bob.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bob, err := newTCPHost("bob", auth, bc, &bcMu)
-	if err != nil {
+	if err := alice.DialPeer(addr); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("alice connected to bob at %s over real TCP\n", addr)
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
+	const opTimeout = 10 * time.Second
+	if err := alice.Attest("bob", opTimeout); err != nil {
 		log.Fatal(err)
 	}
-	go bob.serve(ln)
-	conn := alice.dial(ln.Addr().String())
-	alice.attach(bob.enclave.Identity(), conn)
-	fmt.Printf("alice connected to bob at %s over real TCP\n", ln.Addr())
-
-	// Out-of-band: exchange payout keys (the directory role).
-	if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.RegisterPayoutKey(bob.wallet.Public())
-	}); err != nil {
-		log.Fatal(err)
-	}
-	if err := bob.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.RegisterPayoutKey(alice.wallet.Public())
-	}); err != nil {
-		log.Fatal(err)
-	}
-
-	// Mutual remote attestation over the socket.
-	bobID := bob.enclave.Identity()
-	aliceID := alice.enclave.Identity()
-	if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.StartAttest(bobID)
-	}); err != nil {
-		log.Fatal(err)
-	}
-	waitFor(func() bool {
-		return alice.check(func(e *core.Enclave) bool { return e.SessionEstablished(bobID) }) &&
-			bob.check(func(e *core.Enclave) bool { return e.SessionEstablished(aliceID) })
-	})
 	fmt.Println("mutual attestation complete; secure channel established")
 
-	// Fund a deposit on the shared chain and open the channel.
-	alice.mu.Lock()
-	script, err := alice.enclave.NewDepositScript()
-	alice.mu.Unlock()
+	chID, err := alice.OpenChannel("bob", opTimeout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bcMu.Lock()
-	point, err := bc.Fund(script, 1000)
-	bcMu.Unlock()
-	if err != nil {
+	if _, err := alice.FundChannel(chID, 1000, opTimeout); err != nil {
 		log.Fatal(err)
 	}
-	if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.RegisterDeposit(e.DepositInfoFor(point, 1000, script))
-	}); err != nil {
-		log.Fatal(err)
-	}
-
-	chID := wire.ChannelID("tcp-demo-channel")
-	if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.OpenChannel(chID, bobID, alice.wallet.Address(), false)
-	}); err != nil {
-		log.Fatal(err)
-	}
-	waitFor(func() bool {
-		return alice.check(func(e *core.Enclave) bool {
-			c, ok := e.State().Channels[chID]
-			return ok && c.Open
-		})
-	})
-
-	if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.RequestDepositApproval(bobID, point)
-	}); err != nil {
-		log.Fatal(err)
-	}
-	waitFor(func() bool {
-		return alice.check(func(e *core.Enclave) bool { return e.State().ApprovedMine[bobID][point] })
-	})
-	if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-		return e.AssociateDeposit(chID, point)
-	}); err != nil {
-		log.Fatal(err)
-	}
-	waitFor(func() bool {
-		return bob.check(func(e *core.Enclave) bool {
-			c, ok := e.State().Channels[chID]
-			return ok && len(c.RemoteDeps) == 1
-		})
-	})
 	fmt.Println("channel open, 1000 deposited by alice")
 
 	// Payments over the socket, measuring real round-trip latency.
 	for i := 0; i < *payments; i++ {
 		start := time.Now()
-		if err := alice.call(func(e *core.Enclave) (*core.Result, error) {
-			return e.Pay(chID, 10, 1)
-		}); err != nil {
+		if err := alice.Pay(chID, 10); err != nil {
 			log.Fatal(err)
 		}
-		alice.await(func(ev core.Event) bool {
-			_, ok := ev.(core.EvPayAcked)
-			return ok
-		})
+		if err := alice.AwaitAcked(uint64(i+1), opTimeout); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("payment %d: 10 units, TCP round trip %v\n", i+1, time.Since(start).Round(time.Microsecond))
 	}
 
 	// Settle and mine.
-	alice.mu.Lock()
-	st := alice.enclave.State().Channels[chID]
-	fmt.Printf("settling at alice=%d bob=%d\n", st.MyBal, st.RemoteBal)
-	sr, err := alice.enclave.Settle(chID)
+	mine, remote, err := alice.ChannelBalances(chID)
 	if err != nil {
-		alice.mu.Unlock()
 		log.Fatal(err)
 	}
-	alice.dispatchLocked(sr.Result)
-	alice.mu.Unlock()
-	for _, tx := range sr.Txs {
-		bcMu.Lock()
-		if _, err := bc.Submit(tx); err != nil {
-			log.Fatal(err)
-		}
-		bcMu.Unlock()
+	fmt.Printf("settling at alice=%d bob=%d\n", mine, remote)
+	if err := alice.Settle(chID); err != nil {
+		log.Fatal(err)
 	}
-	bcMu.Lock()
-	bc.MineBlock()
-	a := bc.BalanceByAddress(alice.wallet.Address())
-	b := bc.BalanceByAddress(bob.wallet.Address())
-	bcMu.Unlock()
+	if _, err := lc.MineBlocks(1); err != nil {
+		log.Fatal(err)
+	}
+	a, _ := lc.Balance(alice.WalletAddress())
+	b, _ := lc.Balance(bob.WalletAddress())
 	fmt.Printf("on-chain settlement: alice %d, bob %d\n", a, b)
-}
-
-func waitFor(cond func() bool) {
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			log.Fatal("timed out waiting for condition")
-		}
-		time.Sleep(time.Millisecond)
-	}
 }

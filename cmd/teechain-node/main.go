@@ -1,0 +1,195 @@
+// teechain-node is a deployed Teechain node: one enclave hosted over
+// real TCP sockets (internal/transport), driven by a line-based control
+// API. N-node topologies — hub-and-spoke, multihop chains, committees —
+// run as real processes, one teechain-node each.
+//
+// One node in a cluster owns the blockchain and serves it to the rest
+// (-chain-listen); the others dial it (-chain). A deployment shares an
+// attestation authority seed (-authority).
+//
+// Example 3-node cluster (see README.md for the walkthrough):
+//
+//	teechain-node -name hub    -listen :7100 -control :7101 -chain-listen :7102
+//	teechain-node -name spoke1 -listen :7200 -control :7201 -chain localhost:7102 -peers localhost:7100
+//	teechain-node -name spoke2 -listen :7300 -control :7301 -chain localhost:7102 -peers localhost:7100
+//
+//	nc localhost 7201
+//	  attest hub
+//	  open hub
+//	  fund <channel> 100000
+//	  pay <channel> 10 100
+//	  settle <channel>
+//	  mine
+//	  balance
+//
+// Flags may also come from a JSON config file (-config); explicit flags
+// override file values.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"teechain/internal/chain"
+	"teechain/internal/tee"
+	"teechain/internal/transport"
+)
+
+// nodeConfig is the JSON config file schema; zero values defer to
+// flags/defaults.
+type nodeConfig struct {
+	Name             string   `json:"name"`
+	Listen           string   `json:"listen"`
+	Control          string   `json:"control"`
+	Peers            []string `json:"peers"`
+	Chain            string   `json:"chain"`
+	ChainListen      string   `json:"chain_listen"`
+	Authority        string   `json:"authority"`
+	WalletSeed       string   `json:"wallet_seed"`
+	MinConfirmations uint64   `json:"min_confirmations"`
+}
+
+func main() {
+	var (
+		configPath  = flag.String("config", "", "JSON config file; flags override its values")
+		name        = flag.String("name", "", "node name, unique within the deployment (required)")
+		listen      = flag.String("listen", "", "peer listen address, e.g. :7100")
+		control     = flag.String("control", "", "control API listen address (required)")
+		peers       = flag.String("peers", "", "comma-separated peer addresses to dial")
+		chainAddr   = flag.String("chain", "", "chain endpoint address to dial")
+		chainListen = flag.String("chain-listen", "", "serve an in-process chain on this address (the cluster's ledger owner)")
+		authority   = flag.String("authority", "", "shared attestation authority seed (default: \"teechain\")")
+		walletSeed  = flag.String("wallet-seed", "", "wallet key seed (default: node name)")
+		minConf     = flag.Uint64("min-confirmations", 0, "deposit approval depth (default 1)")
+	)
+	flag.Parse()
+
+	cfg := nodeConfig{}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatalf("reading config: %v", err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			log.Fatalf("parsing config %s: %v", *configPath, err)
+		}
+	}
+	override := func(dst *string, v string) {
+		if v != "" {
+			*dst = v
+		}
+	}
+	override(&cfg.Name, *name)
+	override(&cfg.Listen, *listen)
+	override(&cfg.Control, *control)
+	override(&cfg.Chain, *chainAddr)
+	override(&cfg.ChainListen, *chainListen)
+	override(&cfg.Authority, *authority)
+	override(&cfg.WalletSeed, *walletSeed)
+	if *peers != "" {
+		cfg.Peers = strings.Split(*peers, ",")
+	}
+	if *minConf != 0 {
+		cfg.MinConfirmations = *minConf
+	}
+	if cfg.Authority == "" {
+		cfg.Authority = "teechain"
+	}
+	if cfg.Name == "" {
+		log.Fatal("teechain-node: -name (or config name) is required")
+	}
+	if cfg.Control == "" {
+		log.Fatal("teechain-node: -control (or config control) is required")
+	}
+	if (cfg.Chain == "") == (cfg.ChainListen == "") {
+		log.Fatal("teechain-node: exactly one of -chain and -chain-listen is required")
+	}
+
+	if err := run(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg nodeConfig) error {
+	auth, err := tee.NewAuthority(cfg.Authority)
+	if err != nil {
+		return err
+	}
+
+	// Chain access: own the ledger and serve it, or dial the owner.
+	var access transport.ChainAccess
+	var chainSrv *transport.ChainServer
+	if cfg.ChainListen != "" {
+		lc := transport.NewLocalChain(chain.New())
+		ln, err := net.Listen("tcp", cfg.ChainListen)
+		if err != nil {
+			return fmt.Errorf("chain listener: %w", err)
+		}
+		chainSrv = transport.ServeChain(ln, lc)
+		defer chainSrv.Close()
+		log.Printf("%s: serving chain on %s", cfg.Name, ln.Addr())
+		access = lc
+	} else {
+		rc, err := transport.DialChain(cfg.Chain)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		access = rc
+	}
+
+	host, err := transport.NewHost(transport.Config{
+		Name:             cfg.Name,
+		Authority:        auth,
+		Chain:            access,
+		WalletSeed:       cfg.WalletSeed,
+		MinConfirmations: cfg.MinConfirmations,
+		Logf: func(format string, args ...any) {
+			log.Printf(format, args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+
+	if cfg.Listen != "" {
+		addr, err := host.Listen(cfg.Listen)
+		if err != nil {
+			return fmt.Errorf("peer listener: %w", err)
+		}
+		log.Printf("%s: listening for peers on %s", cfg.Name, addr)
+	}
+	for _, peer := range cfg.Peers {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
+			continue
+		}
+		if err := host.DialPeer(peer); err != nil {
+			return err
+		}
+		log.Printf("%s: dialing peer %s", cfg.Name, peer)
+	}
+
+	ctlLn, err := net.Listen("tcp", cfg.Control)
+	if err != nil {
+		return fmt.Errorf("control listener: %w", err)
+	}
+	ctl := transport.ServeControl(ctlLn, host)
+	defer ctl.Close()
+	id := host.Identity()
+	log.Printf("%s: control API on %s, identity %x", cfg.Name, ctlLn.Addr(), id[:])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("%s: %v, shutting down", cfg.Name, s)
+	return nil
+}

@@ -496,37 +496,12 @@ func (n *Node) completeAndSubmit(tx *chain.Transaction, needs []SigNeed) {
 		}
 		return
 	}
-	deps := n.depsForTx(tx)
-	res, err := n.enclave.CollectSignatures(tx, deps, needs)
+	res, err := n.enclave.CollectSignatures(tx, n.enclave.DepsForTx(tx), needs)
 	if err != nil {
 		n.logf("collecting signatures: %v", err)
 		return
 	}
 	n.dispatch(res)
-}
-
-// depsForTx reconstructs the deposit descriptions behind a settlement's
-// inputs from host records and enclave state.
-func (n *Node) depsForTx(tx *chain.Transaction) []wire.DepositInfo {
-	deps := make([]wire.DepositInfo, len(tx.Inputs))
-	st := n.enclave.State()
-	for i, in := range tx.Inputs {
-		if rec, ok := st.Deposits[in.Prev]; ok {
-			deps[i] = rec.Info
-			continue
-		}
-		for _, c := range st.Channels {
-			if j := c.findDep(c.RemoteDeps, in.Prev); j >= 0 {
-				deps[i] = c.RemoteDeps[j]
-				break
-			}
-			if j := c.findDep(c.MyDeps, in.Prev); j >= 0 {
-				deps[i] = c.MyDeps[j]
-				break
-			}
-		}
-	}
-	return deps
 }
 
 // --- Setup operations ---

@@ -75,6 +75,30 @@ func (p *hotPools) putOp(op *Op) {
 	p.ops = append(p.ops, op)
 }
 
+// RecycleResult returns a Result obtained from an enclave entry point
+// (and any poolable wire messages it carries) to the enclave's hot-path
+// pools. External hosts — the socket transport — call it after fully
+// consuming a result: every outbound message encoded, every event
+// handled, no references retained. Node-hosted deployments recycle
+// through dispatch instead and never call this. Literal (non-pooled)
+// results pass through untouched, so it is always safe to call.
+func (e *Enclave) RecycleResult(r *Result) {
+	if r == nil || !r.pooled {
+		return
+	}
+	for i := range r.Out {
+		switch m := r.Out[i].Msg.(type) {
+		case *wire.Pay:
+			*m = wire.Pay{}
+			e.pools.pays = append(e.pools.pays, m)
+		case *wire.PayAck:
+			*m = wire.PayAck{}
+			e.pools.acks = append(e.pools.acks, m)
+		}
+	}
+	e.pools.putResult(r)
+}
+
 // hotOp reports whether op is one of the pay-path kinds whose Apply
 // retains nothing, making the op safe to recycle.
 func hotOp(op *Op) bool {

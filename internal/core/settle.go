@@ -78,6 +78,31 @@ func (e *Enclave) settlementKeys(c *ChannelState) (cryptoutil.PublicKey, cryptou
 	return myKey, remoteKey, nil
 }
 
+// DepsForTx reconstructs the deposit descriptions behind a settlement
+// transaction's inputs from enclave state. Hosts (core.Node and the
+// socket transport) need them to drive committee signature collection
+// for inputs the enclave cannot sign alone.
+func (e *Enclave) DepsForTx(tx *chain.Transaction) []wire.DepositInfo {
+	deps := make([]wire.DepositInfo, len(tx.Inputs))
+	for i, in := range tx.Inputs {
+		if rec, ok := e.state.Deposits[in.Prev]; ok {
+			deps[i] = rec.Info
+			continue
+		}
+		for _, c := range e.state.Channels {
+			if j := c.findDep(c.RemoteDeps, in.Prev); j >= 0 {
+				deps[i] = c.RemoteDeps[j]
+				break
+			}
+			if j := c.findDep(c.MyDeps, in.Prev); j >= 0 {
+				deps[i] = c.MyDeps[j]
+				break
+			}
+		}
+	}
+	return deps
+}
+
 // RegisterPayoutKey teaches the enclave the public key behind a
 // settlement address so it can construct outputs paying it. The mapping
 // replicates to committee mirrors.

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// TestClusterTCPSmoke is the socket-deployment integration test CI
+// runs under -race: a 3-node hub-and-spoke cluster over real TCP
+// completes attestation, deposits, 100 direct payments, one multihop
+// payment through the hub, and on-chain settlement — with exact,
+// deterministic final balances (all keys derive from node names).
+func TestClusterTCPSmoke(t *testing.T) {
+	c, err := NewCluster("hub", "spoke1", "spoke2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Topology: spokes dial the hub; the hub only accepts.
+	if err := c.Connect("spoke1", "hub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect("spoke2", "hub"); err != nil {
+		t.Fatal(err)
+	}
+
+	// spoke1 -- hub channel, funded by spoke1.
+	ch1, err := c.OpenChannel("spoke1", "hub", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hub -- spoke2 channel, funded by the hub (forwarding liquidity).
+	hub := c.Host("hub")
+	ch2ID, err := hub.OpenChannel("spoke2", ClusterTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.FundChannel(ch2ID, 50_000, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// 100 direct payments spoke1 -> hub.
+	spoke1 := c.Host("spoke1")
+	const payments = 100
+	for i := 0; i < payments; i++ {
+		if err := spoke1.Pay(wire.ChannelID(ch1), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := spoke1.AwaitAcked(payments, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// One multihop payment spoke1 -> hub -> spoke2.
+	path := []cryptoutil.PublicKey{
+		c.Identity("spoke1"), c.Identity("hub"), c.Identity("spoke2"),
+	}
+	if err := spoke1.PayMultihop(path, 500, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if st := spoke1.Stats(); st.MultihopsOK != 1 {
+		t.Fatalf("spoke1 multihop stats: %+v", st)
+	}
+
+	// Settle both channels on chain and mine.
+	if err := spoke1.Settle(wire.ChannelID(ch1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Settle(ch2ID); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlocks(1)
+
+	// Exact, deterministic outcome:
+	//   ch1: spoke1 deposited 100 000, paid 100×10 + 500 multihop
+	//   ch2: hub deposited 50 000, forwarded the 500
+	if got := c.Balance("spoke1"); got != 98_500 {
+		t.Fatalf("spoke1 on-chain balance %d, want 98500", got)
+	}
+	if got := c.Balance("hub"); got != 51_000 {
+		t.Fatalf("hub on-chain balance %d, want 51000", got)
+	}
+	if got := c.Balance("spoke2"); got != 500 {
+		t.Fatalf("spoke2 on-chain balance %d, want 500", got)
+	}
+	// Conservation: everything minted ends up back on chain.
+	c.Chain.With(func(ch *chain.Chain) {
+		if ch.TotalUnspent() != ch.Minted() {
+			t.Fatalf("unspent %d != minted %d", ch.TotalUnspent(), ch.Minted())
+		}
+	})
+
+	// The hub saw all traffic: 100 direct + 1 multihop lock.
+	if st := hub.Stats(); st.PaymentsReceived < payments {
+		t.Fatalf("hub received %d payments, want >= %d", st.PaymentsReceived, payments)
+	}
+}
+
+// TestClusterMultihopChain runs a 4-node payment chain a -> b -> c -> d
+// (three hops) to exercise forwarding across more than one
+// intermediary over real sockets.
+func TestClusterMultihopChain(t *testing.T) {
+	c, err := NewCluster("a", "b", "c", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, edge := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		if err := c.Connect(edge[0], edge[1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.OpenChannel(edge[0], edge[1], 10_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	path := []cryptoutil.PublicKey{
+		c.Identity("a"), c.Identity("b"), c.Identity("c"), c.Identity("d"),
+	}
+	if err := c.Host("a").PayMultihop(path, 250, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// d's enclave credited the payment.
+	gotArrival := false
+	deadline := time.Now().Add(ClusterTimeout)
+	for !gotArrival && time.Now().Before(deadline) {
+		if c.Host("d").Stats().PaymentsReceived >= 1 {
+			gotArrival = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !gotArrival {
+		t.Fatal("payment never arrived at d")
+	}
+
+	// Each intermediary's pair of channels nets to zero: +250 upstream,
+	// -250 downstream.
+	for _, name := range []string{"b", "c"} {
+		var net chain.Amount
+		c.Host(name).WithEnclave(func(e *core.Enclave) {
+			for _, ch := range e.State().Channels {
+				net += ch.MyBal
+				for _, d := range ch.MyDeps {
+					net -= d.Value
+				}
+			}
+		})
+		if net != 0 {
+			t.Fatalf("%s forwarding imbalance: %d", name, net)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+)
+
+// ChainAccess is the blockchain interface a socket host needs: funding
+// deposits, submitting settlements, and answering the confirmation
+// queries behind deposit approval (§4.1). The simulator's Node talks to
+// a chain.Chain directly; socket hosts go through this interface so one
+// process can own the ledger (LocalChain) and serve it to the rest of a
+// cluster over TCP (ChainServer / RemoteChain) — the "chain endpoint"
+// of a deployed node.
+type ChainAccess interface {
+	Fund(script chain.Script, value chain.Amount) (chain.OutPoint, error)
+	Submit(tx *chain.Transaction) (chain.TxID, error)
+	Confirmations(id chain.TxID) (uint64, error)
+	MineBlocks(n int) (uint64, error) // returns the new height
+	Balance(addr cryptoutil.Address) (chain.Amount, error)
+	Height() (uint64, error)
+}
+
+// LocalChain adapts an in-process chain.Chain to ChainAccess behind a
+// mutex, so the many goroutines of one or more in-process hosts (the
+// harness cluster runner) can share a single ledger.
+type LocalChain struct {
+	mu sync.Mutex
+	c  *chain.Chain
+}
+
+// NewLocalChain wraps c. The caller must not touch c concurrently
+// except through the returned wrapper (or its own locking).
+func NewLocalChain(c *chain.Chain) *LocalChain { return &LocalChain{c: c} }
+
+// With runs fn with the underlying chain under the wrapper's lock, for
+// setup and assertions that need the full chain API.
+func (l *LocalChain) With(fn func(*chain.Chain)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l.c)
+}
+
+// Fund implements ChainAccess.
+func (l *LocalChain) Fund(script chain.Script, value chain.Amount) (chain.OutPoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Fund(script, value)
+}
+
+// Submit implements ChainAccess.
+func (l *LocalChain) Submit(tx *chain.Transaction) (chain.TxID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Submit(tx)
+}
+
+// Confirmations implements ChainAccess.
+func (l *LocalChain) Confirmations(id chain.TxID) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Confirmations(id), nil
+}
+
+// MineBlocks implements ChainAccess.
+func (l *LocalChain) MineBlocks(n int) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < n; i++ {
+		l.c.MineBlock()
+	}
+	return l.c.Height(), nil
+}
+
+// Balance implements ChainAccess.
+func (l *LocalChain) Balance(addr cryptoutil.Address) (chain.Amount, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.BalanceByAddress(addr), nil
+}
+
+// Height implements ChainAccess.
+func (l *LocalChain) Height() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Height(), nil
+}
+
+// --- Chain RPC (one process owns the ledger, the cluster dials it) ---
+
+// chainReq is a chain RPC request; exactly one operation per message.
+type chainReq struct {
+	Op     string
+	Script chain.Script
+	Value  chain.Amount
+	Tx     *chain.Transaction
+	ID     chain.TxID
+	Addr   cryptoutil.Address
+	N      int
+}
+
+type chainResp struct {
+	Point  chain.OutPoint
+	ID     chain.TxID
+	Count  uint64
+	Amount chain.Amount
+	Err    string
+}
+
+// ChainServer serves a LocalChain over TCP with gob-encoded
+// request/response pairs, one outstanding request per connection.
+type ChainServer struct {
+	lc *LocalChain
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ServeChain starts serving lc on ln until the listener closes.
+func ServeChain(ln net.Listener, lc *LocalChain) *ChainServer {
+	s := &ChainServer{lc: lc, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Close stops the server and waits for connection handlers to exit.
+func (s *ChainServer) Close() {
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *ChainServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *ChainServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req chainReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ChainServer) handle(req *chainReq) *chainResp {
+	var resp chainResp
+	fail := func(err error) *chainResp {
+		resp.Err = err.Error()
+		return &resp
+	}
+	switch req.Op {
+	case "fund":
+		point, err := s.lc.Fund(req.Script, req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Point = point
+	case "submit":
+		id, err := s.lc.Submit(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		resp.ID = id
+	case "confirmations":
+		n, _ := s.lc.Confirmations(req.ID)
+		resp.Count = n
+	case "mine":
+		h, _ := s.lc.MineBlocks(req.N)
+		resp.Count = h
+	case "balance":
+		a, _ := s.lc.Balance(req.Addr)
+		resp.Amount = a
+	case "height":
+		h, _ := s.lc.Height()
+		resp.Count = h
+	default:
+		return fail(fmt.Errorf("transport: unknown chain op %q", req.Op))
+	}
+	return &resp
+}
+
+// RemoteChain is a ChainAccess client speaking the ChainServer RPC over
+// one persistent connection, requests serialized by a mutex.
+type RemoteChain struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialChain connects to a ChainServer.
+func DialChain(addr string) (*RemoteChain, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing chain endpoint %s: %w", addr, err)
+	}
+	return &RemoteChain{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close drops the connection.
+func (r *RemoteChain) Close() error { return r.conn.Close() }
+
+func (r *RemoteChain) call(req *chainReq) (*chainResp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: chain rpc send: %w", err)
+	}
+	var resp chainResp
+	if err := r.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: chain rpc recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Fund implements ChainAccess.
+func (r *RemoteChain) Fund(script chain.Script, value chain.Amount) (chain.OutPoint, error) {
+	resp, err := r.call(&chainReq{Op: "fund", Script: script, Value: value})
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+	return resp.Point, nil
+}
+
+// Submit implements ChainAccess.
+func (r *RemoteChain) Submit(tx *chain.Transaction) (chain.TxID, error) {
+	resp, err := r.call(&chainReq{Op: "submit", Tx: tx})
+	if err != nil {
+		return chain.TxID{}, err
+	}
+	return resp.ID, nil
+}
+
+// Confirmations implements ChainAccess.
+func (r *RemoteChain) Confirmations(id chain.TxID) (uint64, error) {
+	resp, err := r.call(&chainReq{Op: "confirmations", ID: id})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// MineBlocks implements ChainAccess.
+func (r *RemoteChain) MineBlocks(n int) (uint64, error) {
+	resp, err := r.call(&chainReq{Op: "mine", N: n})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Balance implements ChainAccess.
+func (r *RemoteChain) Balance(addr cryptoutil.Address) (chain.Amount, error) {
+	resp, err := r.call(&chainReq{Op: "balance", Addr: addr})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Amount, nil
+}
+
+// Height implements ChainAccess.
+func (r *RemoteChain) Height() (uint64, error) {
+	resp, err := r.call(&chainReq{Op: "height"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}

@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// The control API is a line-based operator protocol served on a
+// separate TCP port by teechain-node: one command per line, one
+// response line per command, "ok ..." or "err ...". It is intended for
+// humans (netcat), scripts, and cluster coordinators.
+//
+// Commands:
+//
+//	ping                         liveness check
+//	identity                     this enclave's identity (hex)
+//	wallet                       this host's wallet address (hex)
+//	peers                        known peers as name=identity pairs
+//	dial <addr>                  connect (and keep reconnecting) to a peer
+//	attest <name>                mutual remote attestation with a peer
+//	open <name>                  open a channel, prints its id
+//	fund <channel> <amount>      deposit fresh funds into a channel
+//	pay <channel> <amount> [n]   send n (default 1) payments, wait for acks
+//	paymh <amount> <hop>...      multi-hop payment via named/hex hops
+//	settle <channel>             settle a channel on chain
+//	balances <channel>           channel balances (mine remote)
+//	mine [n]                     mine n (default 1) blocks
+//	balance                      wallet balance on chain
+//	stats                        host counters
+//	quit                         close this control connection
+
+// controlTimeout bounds every blocking control command.
+const controlTimeout = 30 * time.Second
+
+// ControlServer serves the control API for one host.
+type ControlServer struct {
+	h  *Host
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ServeControl starts the control API on ln until the listener closes.
+func ServeControl(ln net.Listener, h *Host) *ControlServer {
+	s := &ControlServer{h: h, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Close stops the server and waits for its connections to drain.
+func (s *ControlServer) Close() {
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *ControlServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *ControlServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<16)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			return
+		}
+		resp := s.handleLine(line)
+		if _, err := fmt.Fprintln(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ControlServer) handleLine(line string) string {
+	args := strings.Fields(line)
+	out, err := s.dispatch(args[0], args[1:])
+	if err != nil {
+		return "err " + err.Error()
+	}
+	if out == "" {
+		return "ok"
+	}
+	return "ok " + out
+}
+
+func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
+	h := s.h
+	switch cmd {
+	case "ping":
+		return "pong", nil
+	case "identity":
+		id := h.Identity()
+		return hex.EncodeToString(id[:]), nil
+	case "wallet":
+		addr := h.WalletAddress()
+		return addr.String(), nil
+	case "peers":
+		peers := h.Peers()
+		parts := make([]string, 0, len(peers))
+		for name, id := range peers {
+			parts = append(parts, fmt.Sprintf("%s=%s", name, hex.EncodeToString(id[:])))
+		}
+		return strings.Join(parts, " "), nil
+	case "dial":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: dial <addr>")
+		}
+		return "", h.DialPeer(args[0])
+	case "attest":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: attest <name>")
+		}
+		return "", h.Attest(args[0], controlTimeout)
+	case "open":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: open <name>")
+		}
+		chID, err := h.OpenChannel(args[0], controlTimeout)
+		if err != nil {
+			return "", err
+		}
+		return string(chID), nil
+	case "fund":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: fund <channel> <amount>")
+		}
+		amount, err := parseAmount(args[1])
+		if err != nil {
+			return "", err
+		}
+		point, err := h.FundChannel(wire.ChannelID(args[0]), amount, controlTimeout)
+		if err != nil {
+			return "", err
+		}
+		return point.String(), nil
+	case "pay":
+		if len(args) != 2 && len(args) != 3 {
+			return "", fmt.Errorf("usage: pay <channel> <amount> [count]")
+		}
+		amount, err := parseAmount(args[1])
+		if err != nil {
+			return "", err
+		}
+		count := 1
+		if len(args) == 3 {
+			if count, err = strconv.Atoi(args[2]); err != nil || count < 1 {
+				return "", fmt.Errorf("bad count %q", args[2])
+			}
+		}
+		target := h.Stats().PaymentsAcked + uint64(count)
+		for i := 0; i < count; i++ {
+			if err := h.Pay(wire.ChannelID(args[0]), amount); err != nil {
+				return "", err
+			}
+		}
+		if err := h.AwaitAcked(target, controlTimeout); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d acked", count), nil
+	case "paymh":
+		if len(args) < 3 {
+			return "", fmt.Errorf("usage: paymh <amount> <hop> <hop>...")
+		}
+		amount, err := parseAmount(args[0])
+		if err != nil {
+			return "", err
+		}
+		path := make([]cryptoutil.PublicKey, 0, len(args))
+		path = append(path, h.Identity())
+		for _, hop := range args[1:] {
+			id, err := h.ResolveIdentity(hop)
+			if err != nil {
+				return "", err
+			}
+			path = append(path, id)
+		}
+		return "", h.PayMultihop(path, amount, controlTimeout)
+	case "settle":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: settle <channel>")
+		}
+		return "", h.Settle(wire.ChannelID(args[0]))
+	case "balances":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: balances <channel>")
+		}
+		mine, remote, err := h.ChannelBalances(wire.ChannelID(args[0]))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d %d", mine, remote), nil
+	case "mine":
+		if len(args) > 1 {
+			return "", fmt.Errorf("usage: mine [n]")
+		}
+		n := 1
+		if len(args) == 1 {
+			var err error
+			if n, err = strconv.Atoi(args[0]); err != nil || n < 1 {
+				return "", fmt.Errorf("bad block count %q", args[0])
+			}
+		}
+		height, err := h.chain.MineBlocks(n)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("height %d", height), nil
+	case "balance":
+		bal, err := h.chain.Balance(h.WalletAddress())
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(int64(bal), 10), nil
+	case "stats":
+		st := h.Stats()
+		return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d",
+			st.PaymentsSent, st.PaymentsAcked, st.PaymentsNacked, st.PaymentsReceived,
+			st.MultihopsOK, st.MultihopsFailed, st.FramesIn, st.FramesOut, st.Drops, st.Reconnects), nil
+	default:
+		return "", fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseAmount(s string) (chain.Amount, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad amount %q", s)
+	}
+	return chain.Amount(v), nil
+}
+
+// ControlClient is a minimal client for the control API, used by tests
+// and scripts.
+type ControlClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialControl connects to a node's control port.
+func DialControl(addr string) (*ControlClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Do sends one command line and returns the response payload (the text
+// after "ok"), or an error for "err" responses.
+func (c *ControlClient) Do(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	resp = strings.TrimSpace(resp)
+	switch {
+	case resp == "ok":
+		return "", nil
+	case strings.HasPrefix(resp, "ok "):
+		return resp[3:], nil
+	case strings.HasPrefix(resp, "err "):
+		return "", fmt.Errorf("control: %s", resp[4:])
+	default:
+		return "", fmt.Errorf("control: malformed response %q", resp)
+	}
+}
+
+// Close drops the control connection.
+func (c *ControlClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,896 @@
+// Package transport deploys the transport-agnostic Teechain protocol
+// engine (internal/core.Enclave) as a long-lived socket host: real TCP
+// connections, length-prefixed binary frames (internal/wire framing),
+// per-peer writer goroutines with bounded outbound queues, and
+// automatic reconnection with backoff. It is the deployment half the
+// paper evaluates — enclaves exchanging messages over real networks
+// while treating the blockchain asynchronously — next to the
+// discrete-event simulation used for the controlled experiments (see
+// DESIGN.md, "Two deployment modes").
+//
+// A Host is the untrusted machine owner of one enclave: it moves bytes,
+// answers the enclave's approval events against the blockchain, and
+// exposes operator entry points (attest, open channel, fund, pay,
+// settle). All enclave access is serialized under one host lock — the
+// enclave is a single-threaded state machine by design — while the
+// per-peer writers and readers run concurrently around it.
+package transport
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/tee"
+	"teechain/internal/wire"
+)
+
+// Config configures a Host.
+type Config struct {
+	// Name is the operator-chosen node name, announced in the hello
+	// handshake. Required, and unique within a deployment.
+	Name string
+	// Authority is the shared attestation authority; every node of a
+	// deployment derives it from the same seed. Required.
+	Authority *tee.Authority
+	// Chain is the host's blockchain access. Required.
+	Chain ChainAccess
+	// WalletSeed derives the host's cold payout key; defaults to Name.
+	WalletSeed string
+	// MinConfirmations is the deposit approval policy (default 1).
+	MinConfirmations uint64
+	// QueueDepth bounds each peer's outbound frame queue (default 1024).
+	QueueDepth int
+	// RedialMin/RedialMax bound the reconnect backoff (defaults
+	// 25 ms / 1 s).
+	RedialMin, RedialMax time.Duration
+	// OnEvent, when set, observes every enclave event after built-in
+	// handling. Called with the host lock held; do not call back into
+	// the host.
+	OnEvent func(core.Event)
+	// Logf, when set, receives host diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts host activity. Reads are snapshots under the host lock.
+type Stats struct {
+	PaymentsSent     uint64
+	PaymentsAcked    uint64
+	PaymentsNacked   uint64
+	PaymentsReceived uint64
+	MultihopsOK      uint64
+	MultihopsFailed  uint64
+	FramesIn         uint64
+	FramesOut        uint64
+	Drops            uint64
+	Reconnects       uint64
+}
+
+type channelInfo struct {
+	peer   cryptoutil.PublicKey
+	open   bool
+	closed bool
+}
+
+type mhOutcome struct {
+	done   bool
+	ok     bool
+	reason string
+}
+
+// Host runs one enclave over real sockets.
+type Host struct {
+	cfg     Config
+	enclave *core.Enclave
+	wallet  *cryptoutil.KeyPair
+	chain   ChainAccess
+
+	mu          sync.Mutex
+	ln          net.Listener
+	listenAddr  string
+	peersByID   map[cryptoutil.PublicKey]*peer
+	peersByName map[string]*peer
+	peersByAddr map[string]*peer
+	conns       map[net.Conn]struct{}
+	channels    map[wire.ChannelID]*channelInfo
+	mh          map[wire.PaymentID]*mhOutcome
+	stats       Stats
+	seq         uint64
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// NewHost builds a host and its enclave. Call Listen to accept inbound
+// peers and DialPeer for outbound ones, then Close when done.
+func NewHost(cfg Config) (*Host, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("transport: Config.Name required")
+	}
+	if cfg.Authority == nil {
+		return nil, errors.New("transport: Config.Authority required")
+	}
+	if cfg.Chain == nil {
+		return nil, errors.New("transport: Config.Chain required")
+	}
+	if cfg.WalletSeed == "" {
+		cfg.WalletSeed = cfg.Name
+	}
+	if cfg.MinConfirmations == 0 {
+		cfg.MinConfirmations = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.RedialMin <= 0 {
+		cfg.RedialMin = 25 * time.Millisecond
+	}
+	if cfg.RedialMax <= cfg.RedialMin {
+		cfg.RedialMax = time.Second
+	}
+	wallet, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("wallet"), []byte(cfg.WalletSeed)))
+	if err != nil {
+		return nil, err
+	}
+	platform := tee.NewPlatform(cfg.Authority, cfg.Name)
+	enclave, err := core.NewEnclave(platform, cfg.Authority.PublicKey(), core.Config{
+		MinConfirmations: cfg.MinConfirmations,
+		PayoutKey:        wallet.Public(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		cfg:         cfg,
+		enclave:     enclave,
+		wallet:      wallet,
+		chain:       cfg.Chain,
+		peersByID:   make(map[cryptoutil.PublicKey]*peer),
+		peersByName: make(map[string]*peer),
+		peersByAddr: make(map[string]*peer),
+		conns:       make(map[net.Conn]struct{}),
+		channels:    make(map[wire.ChannelID]*channelInfo),
+		mh:          make(map[wire.PaymentID]*mhOutcome),
+	}, nil
+}
+
+// Name returns the host's node name.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// Identity returns the hosted enclave's identity key.
+func (h *Host) Identity() cryptoutil.PublicKey { return h.enclave.Identity() }
+
+// WalletKey returns the host's cold payout key.
+func (h *Host) WalletKey() cryptoutil.PublicKey { return h.wallet.Public() }
+
+// WalletAddress returns the payout key's address.
+func (h *Host) WalletAddress() cryptoutil.Address { return h.wallet.Address() }
+
+// Stats returns a snapshot of the host counters.
+func (h *Host) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// WithEnclave runs fn with the enclave under the host lock, for
+// inspection by tests and the control API. fn must not retain the
+// enclave.
+func (h *Host) WithEnclave(fn func(*core.Enclave)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fn(h.enclave)
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// --- Listener lifecycle ---
+
+// Listen starts accepting peer connections on addr ("host:port";
+// ":0" picks a free port). Returns the bound address.
+func (h *Host) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: host closed")
+	}
+	if h.ln != nil {
+		h.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: already listening")
+	}
+	h.ln = ln
+	h.listenAddr = ln.Addr().String()
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go h.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// ListenAddr returns the bound listen address ("" when not listening).
+func (h *Host) ListenAddr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.listenAddr
+}
+
+// CloseListener stops accepting new connections but leaves the host,
+// its peers, and live connections intact. Tests use it (with
+// DropConnections) to model a node's network restarting.
+func (h *Host) CloseListener() {
+	h.mu.Lock()
+	ln := h.ln
+	h.ln = nil
+	h.listenAddr = ""
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// DropConnections force-closes every live connection without closing
+// the host. Peers keep their queues and reconnect per policy.
+func (h *Host) DropConnections() {
+	h.mu.Lock()
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close shuts the host down: listener, peers, connections. It waits
+// for all host goroutines to exit.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return
+	}
+	h.closed = true
+	ln := h.ln
+	h.ln = nil
+	peers := make([]*peer, 0, len(h.peersByAddr)+len(h.peersByID))
+	seen := map[*peer]bool{}
+	for _, p := range h.peersByAddr {
+		if !seen[p] {
+			seen[p] = true
+			peers = append(peers, p)
+		}
+	}
+	for _, p := range h.peersByID {
+		if !seen[p] {
+			seen[p] = true
+			peers = append(peers, p)
+		}
+	}
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	h.wg.Wait()
+}
+
+// trackConn registers a live connection for Close, refusing (so the
+// caller closes it) when the host is already shutting down — otherwise
+// a connection arriving concurrently with Close would never be closed
+// and Close would wait on its read loop forever.
+func (h *Host) trackConn(conn net.Conn) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return false
+	}
+	h.conns[conn] = struct{}{}
+	return true
+}
+
+func (h *Host) untrackConn(conn net.Conn) {
+	h.mu.Lock()
+	delete(h.conns, conn)
+	h.mu.Unlock()
+}
+
+func (h *Host) noteReconnect() {
+	h.mu.Lock()
+	h.stats.Reconnects++
+	h.mu.Unlock()
+}
+
+func (h *Host) acceptLoop(ln net.Listener) {
+	defer h.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if !h.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		if err := h.writeHello(conn); err != nil {
+			h.untrackConn(conn)
+			conn.Close()
+			continue
+		}
+		ch := connHandle{conn: conn, dead: make(chan struct{})}
+		h.wg.Add(1)
+		go h.readLoop(ch, nil)
+	}
+}
+
+// writeHello sends the host's hello frame directly on a fresh
+// connection, before any writer goroutine owns it.
+func (h *Host) writeHello(conn net.Conn) error {
+	h.mu.Lock()
+	hello := &wire.Hello{Name: h.cfg.Name, Payout: h.wallet.Public()}
+	frame, err := wire.AppendFrame(nil, h.enclave.Identity(), nil, hello)
+	h.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return writeFull(conn, frame)
+}
+
+// --- Frame input path ---
+
+// readLoop pumps frames from one connection into the host. p is the
+// dialing peer that owns the connection, or nil for accepted
+// connections (resolved at hello time).
+func (h *Host) readLoop(ch connHandle, p *peer) {
+	defer h.wg.Done()
+	defer close(ch.dead)
+	defer ch.conn.Close()
+	defer h.untrackConn(ch.conn)
+	r := bufio.NewReader(ch.conn)
+	var buf []byte
+	for {
+		body, err := wire.ReadFrame(r, buf)
+		if err != nil {
+			return
+		}
+		buf = body
+		f, err := wire.DecodeFrame(body)
+		if err != nil {
+			// Framing violation: the stream is unrecoverable.
+			h.logf("%s: dropping connection on bad frame: %v", h.cfg.Name, err)
+			return
+		}
+		h.handleFrame(ch, p, f)
+	}
+}
+
+func (h *Host) handleFrame(ch connHandle, p *peer, f wire.Frame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stats.FramesIn++
+	if hello, ok := f.Msg.(*wire.Hello); ok {
+		h.handleHelloLocked(ch, p, f.From, hello)
+		return
+	}
+	res, err := h.enclave.HandleSealed(f.From, f.Token, f.Msg)
+	if err != nil {
+		h.logf("%s: dropping %T from %s: %v", h.cfg.Name, f.Msg, f.From, err)
+		return
+	}
+	h.noteIncomingLocked(f.Msg)
+	h.dispatchLocked(res)
+}
+
+// handleHelloLocked wires an announced identity into the routing table
+// and registers the remote's payout key (the paper's out-of-band
+// directory exchange, performed in-band by the untrusted hosts; trust
+// still rests on attestation).
+func (h *Host) handleHelloLocked(ch connHandle, p *peer, from cryptoutil.PublicKey, hello *wire.Hello) {
+	if p == nil {
+		// Accepted connection: adopt into the existing peer for this
+		// identity, or create an accept-only peer.
+		p = h.peersByID[from]
+		if p == nil {
+			p = h.newPeerLocked("")
+		}
+		if p.addr == "" {
+			select {
+			case p.connCh <- ch:
+			default:
+				// A newer connection already waits; this one stays
+				// read-only and dies with its read loop.
+			}
+		}
+	}
+	// A different record may already hold this identity (mutual dial:
+	// both sides list each other as peers). Retire it so its writer
+	// goroutine exits — an orphaned writer would block Close forever.
+	if old := h.peersByID[from]; old != nil && old != p {
+		old.close()
+	}
+	p.id = from
+	p.hasID = true
+	p.name = hello.Name
+	h.peersByID[from] = p
+	if hello.Name != "" {
+		h.peersByName[hello.Name] = p
+	}
+	if !hello.Payout.IsZero() {
+		res, err := h.enclave.RegisterPayoutKey(hello.Payout)
+		if err != nil {
+			h.logf("%s: registering payout key of %s: %v", h.cfg.Name, hello.Name, err)
+		} else {
+			h.dispatchLocked(res)
+		}
+	}
+	p.markHello()
+}
+
+func (h *Host) noteIncomingLocked(msg wire.Message) {
+	if m, ok := msg.(*wire.Pay); ok {
+		h.stats.PaymentsReceived += uint64(m.Count)
+	}
+}
+
+// --- Dispatch: enclave results out to the network and host ---
+
+func (h *Host) dispatchLocked(res *core.Result) {
+	if res == nil {
+		return
+	}
+	for i := range res.Out {
+		h.sendLocked(res.Out[i].To, res.Out[i].Msg)
+	}
+	res.ForEachEvent(h.handleEventLocked)
+	h.enclave.RecycleResult(res)
+}
+
+func (h *Host) sendLocked(to cryptoutil.PublicKey, msg wire.Message) {
+	p := h.peersByID[to]
+	if p == nil {
+		h.stats.Drops++
+		h.logf("%s: no peer for identity %s, dropping %T", h.cfg.Name, to, msg)
+		return
+	}
+	var token []byte
+	if _, isAttest := msg.(*wire.Attest); !isAttest {
+		t, err := h.enclave.SealToken(to)
+		if err != nil {
+			h.stats.Drops++
+			h.logf("%s: sealing token for %s: %v", h.cfg.Name, p.name, err)
+			return
+		}
+		token = t
+	}
+	frame, err := wire.AppendFrame(nil, h.enclave.Identity(), token, msg)
+	if err != nil {
+		h.stats.Drops++
+		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
+		return
+	}
+	if p.enqueue(frame) {
+		h.stats.FramesOut++
+	} else {
+		h.stats.Drops++
+		h.logf("%s: outbound queue to %s full, dropping %T", h.cfg.Name, p.name, msg)
+	}
+}
+
+func (h *Host) handleEventLocked(ev core.Event) {
+	switch e := ev.(type) {
+	case core.EvChannelRequest:
+		res, err := h.enclave.AcceptChannel(e.Channel, e.Remote, e.RemoteAddr, h.wallet.Address(), false)
+		if err != nil {
+			h.logf("%s: accepting channel %s: %v", h.cfg.Name, e.Channel, err)
+			break
+		}
+		// The AcceptChannel result carries EvChannelOpen, which records
+		// the channel below.
+		h.dispatchLocked(res)
+	case core.EvChannelOpen:
+		ci := h.channelLocked(e.Channel)
+		ci.peer = e.Remote
+		ci.open = true
+	case core.EvChannelClosed:
+		h.channelLocked(e.Channel).closed = true
+	case core.EvDepositApprovalNeeded:
+		conf, err := h.chain.Confirmations(e.Deposit.Point.Tx)
+		if err != nil {
+			h.logf("%s: confirmations for %s: %v", h.cfg.Name, e.Deposit.Point, err)
+			break
+		}
+		res, err := h.enclave.ConfirmRemoteDeposit(e.Remote, e.Deposit, conf)
+		if err != nil {
+			h.logf("%s: approving deposit %s: %v", h.cfg.Name, e.Deposit.Point, err)
+			break
+		}
+		h.dispatchLocked(res)
+	case core.EvPayAcked:
+		h.stats.PaymentsAcked += uint64(e.Count)
+	case core.EvPayNacked:
+		h.stats.PaymentsNacked += uint64(e.Count)
+	case core.EvPaymentReceived:
+		// counted in noteIncomingLocked
+	case core.EvMultihopArrived:
+		h.stats.PaymentsReceived += uint64(e.Count)
+	case core.EvMultihopComplete:
+		o := h.mh[e.Payment]
+		if o == nil {
+			o = &mhOutcome{}
+			h.mh[e.Payment] = o
+		}
+		o.done, o.ok, o.reason = true, e.OK, e.Reason
+		if e.OK {
+			h.stats.MultihopsOK++
+		} else {
+			h.stats.MultihopsFailed++
+		}
+	case core.EvSettlementReady:
+		if e.Tx != nil {
+			h.submitSettlementLocked(e.Tx, e.Needs)
+		}
+	case core.EvSigComplete:
+		if _, err := h.chain.Submit(e.Tx); err != nil {
+			h.logf("%s: submitting completed settlement: %v", h.cfg.Name, err)
+		}
+	case core.EvFrozen:
+		h.logf("%s: chain %s frozen: %s", h.cfg.Name, e.Chain, e.Reason)
+	}
+	if h.cfg.OnEvent != nil {
+		h.cfg.OnEvent(ev)
+	}
+}
+
+func (h *Host) channelLocked(id wire.ChannelID) *channelInfo {
+	ci := h.channels[id]
+	if ci == nil {
+		ci = &channelInfo{}
+		h.channels[id] = ci
+	}
+	return ci
+}
+
+// submitSettlementLocked completes a settlement transaction (collecting
+// committee signatures when needed) and submits it.
+func (h *Host) submitSettlementLocked(tx *chain.Transaction, needs []core.SigNeed) {
+	if len(needs) == 0 {
+		if _, err := h.chain.Submit(tx); err != nil {
+			h.logf("%s: submitting settlement: %v", h.cfg.Name, err)
+		}
+		return
+	}
+	res, err := h.enclave.CollectSignatures(tx, h.enclave.DepsForTx(tx), needs)
+	if err != nil {
+		h.logf("%s: collecting signatures: %v", h.cfg.Name, err)
+		return
+	}
+	h.dispatchLocked(res)
+}
+
+// --- Peer management ---
+
+// newPeerLocked creates and starts a peer. addr == "" means
+// accept-only.
+func (h *Host) newPeerLocked(addr string) *peer {
+	p := &peer{
+		h:       h,
+		addr:    addr,
+		outbox:  make(chan []byte, h.cfg.QueueDepth),
+		connCh:  make(chan connHandle, 1),
+		quit:    make(chan struct{}),
+		helloCh: make(chan struct{}),
+	}
+	if addr != "" {
+		h.peersByAddr[addr] = p
+	}
+	h.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// DialPeer connects (and keeps reconnecting) to a remote host. The
+// peer's identity becomes known once its hello arrives; AwaitPeer
+// blocks until then.
+func (h *Host) DialPeer(addr string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("transport: host closed")
+	}
+	if _, ok := h.peersByAddr[addr]; ok {
+		return nil
+	}
+	h.newPeerLocked(addr)
+	return nil
+}
+
+// AwaitPeer blocks until a peer named name has completed its hello,
+// returning its enclave identity.
+func (h *Host) AwaitPeer(name string, timeout time.Duration) (cryptoutil.PublicKey, error) {
+	var id cryptoutil.PublicKey
+	err := h.await(timeout, fmt.Sprintf("hello from %q", name), func() bool {
+		p := h.peersByName[name]
+		if p == nil || !p.hasID {
+			return false
+		}
+		id = p.id
+		return true
+	})
+	return id, err
+}
+
+// PeerIdentity resolves a known peer name to its identity.
+func (h *Host) PeerIdentity(name string) (cryptoutil.PublicKey, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peersByName[name]
+	if p == nil || !p.hasID {
+		return cryptoutil.PublicKey{}, false
+	}
+	return p.id, true
+}
+
+// Peers lists known peers as name -> identity.
+func (h *Host) Peers() map[string]cryptoutil.PublicKey {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]cryptoutil.PublicKey, len(h.peersByName))
+	for name, p := range h.peersByName {
+		if p.hasID {
+			out[name] = p.id
+		}
+	}
+	return out
+}
+
+// ResolveIdentity turns a peer name or a hex-encoded identity into an
+// identity key.
+func (h *Host) ResolveIdentity(s string) (cryptoutil.PublicKey, error) {
+	if id, ok := h.PeerIdentity(s); ok {
+		return id, nil
+	}
+	var id cryptoutil.PublicKey
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(id) {
+		return id, fmt.Errorf("transport: %q is neither a known peer nor a %d-byte hex identity", s, len(id))
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// --- Operator entry points ---
+
+// await polls pred (under the host lock) until it returns true or the
+// timeout expires.
+func (h *Host) await(timeout time.Duration, what string, pred func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		ok := pred()
+		h.mu.Unlock()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: %s: timed out waiting for %s", h.cfg.Name, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Attest performs mutual remote attestation with a named peer and
+// blocks until the secure channel is up.
+func (h *Host) Attest(name string, timeout time.Duration) error {
+	id, err := h.AwaitPeer(name, timeout)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	if h.enclave.SessionEstablished(id) {
+		h.mu.Unlock()
+		return nil
+	}
+	res, err := h.enclave.StartAttest(id)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+	return h.await(timeout, fmt.Sprintf("session with %q", name), func() bool {
+		return h.enclave.SessionEstablished(id)
+	})
+}
+
+// OpenChannel opens a payment channel with an attested peer and blocks
+// until it is usable.
+func (h *Host) OpenChannel(name string, timeout time.Duration) (wire.ChannelID, error) {
+	id, err := h.AwaitPeer(name, timeout)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	h.seq++
+	sum := cryptoutil.Hash256([]byte(h.cfg.Name), []byte(name), []byte(fmt.Sprint(h.seq)))
+	chID := wire.ChannelID(fmt.Sprintf("ch-%x", sum[:8]))
+	res, err := h.enclave.OpenChannel(chID, id, h.wallet.Address(), false)
+	if err != nil {
+		h.mu.Unlock()
+		return "", err
+	}
+	ci := h.channelLocked(chID)
+	ci.peer = id
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+	err = h.await(timeout, fmt.Sprintf("channel %s open", chID), func() bool {
+		return h.channels[chID].open
+	})
+	return chID, err
+}
+
+// FundChannel creates a fresh deposit of value via the chain, runs the
+// approval handshake with the channel peer, and associates the deposit
+// with the channel. Returns the deposit outpoint.
+func (h *Host) FundChannel(chID wire.ChannelID, value chain.Amount, timeout time.Duration) (chain.OutPoint, error) {
+	h.mu.Lock()
+	ci := h.channels[chID]
+	if ci == nil {
+		h.mu.Unlock()
+		return chain.OutPoint{}, fmt.Errorf("transport: unknown channel %s", chID)
+	}
+	peerID := ci.peer
+	script, err := h.enclave.NewDepositScript()
+	if err != nil {
+		h.mu.Unlock()
+		return chain.OutPoint{}, err
+	}
+	h.mu.Unlock()
+
+	point, err := h.chain.Fund(script, value)
+	if err != nil {
+		return chain.OutPoint{}, err
+	}
+
+	h.mu.Lock()
+	res, err := h.enclave.RegisterDeposit(h.enclave.DepositInfoFor(point, value, script))
+	if err != nil {
+		h.mu.Unlock()
+		return chain.OutPoint{}, err
+	}
+	h.dispatchLocked(res)
+	res, err = h.enclave.RequestDepositApproval(peerID, point)
+	if err != nil {
+		h.mu.Unlock()
+		return chain.OutPoint{}, err
+	}
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+
+	if err := h.await(timeout, fmt.Sprintf("approval of %s", point), func() bool {
+		return h.enclave.State().ApprovedMine[peerID][point]
+	}); err != nil {
+		return chain.OutPoint{}, err
+	}
+
+	h.mu.Lock()
+	res, err = h.enclave.AssociateDeposit(chID, point)
+	if err != nil {
+		h.mu.Unlock()
+		return chain.OutPoint{}, err
+	}
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+	return point, nil
+}
+
+// Pay sends one payment over a channel. Acknowledgement is
+// asynchronous: use AwaitAcked (acks arrive in issue order per
+// channel).
+func (h *Host) Pay(chID wire.ChannelID, amount chain.Amount) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	res, err := h.enclave.Pay(chID, amount, 1)
+	if err != nil {
+		return err
+	}
+	h.stats.PaymentsSent++
+	h.dispatchLocked(res)
+	return nil
+}
+
+// AwaitAcked blocks until at least n payments have been acknowledged
+// since the host started.
+func (h *Host) AwaitAcked(n uint64, timeout time.Duration) error {
+	return h.await(timeout, fmt.Sprintf("%d payment acks", n), func() bool {
+		return h.stats.PaymentsAcked >= n
+	})
+}
+
+// PayMultihop routes amount along path (this enclave first, final
+// recipient last) and blocks for the outcome.
+func (h *Host) PayMultihop(path []cryptoutil.PublicKey, amount chain.Amount, timeout time.Duration) error {
+	h.mu.Lock()
+	h.seq++
+	pid := wire.PaymentID(fmt.Sprintf("mh-%s-%d", h.cfg.Name, h.seq))
+	res, err := h.enclave.PayMultihop(pid, amount, 1, path)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	h.stats.PaymentsSent++
+	h.mh[pid] = &mhOutcome{}
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+
+	var out mhOutcome
+	if err := h.await(timeout, fmt.Sprintf("multihop %s", pid), func() bool {
+		o := h.mh[pid]
+		if o == nil || !o.done {
+			return false
+		}
+		out = *o
+		delete(h.mh, pid)
+		return true
+	}); err != nil {
+		return err
+	}
+	if !out.ok {
+		return fmt.Errorf("transport: multihop payment failed: %s", out.reason)
+	}
+	h.mu.Lock()
+	h.stats.PaymentsAcked++
+	h.mu.Unlock()
+	return nil
+}
+
+// Settle terminates a channel, submitting the settlement transaction
+// (when one is needed) to the chain.
+func (h *Host) Settle(chID wire.ChannelID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sr, err := h.enclave.Settle(chID)
+	if err != nil {
+		return err
+	}
+	// The result's EvSettlementReady event carries the same transaction
+	// as sr.Txs; dispatching handles completion and submission once.
+	h.dispatchLocked(sr.Result)
+	return nil
+}
+
+// ChannelBalances reports a channel's current (mine, remote) balances.
+func (h *Host) ChannelBalances(chID wire.ChannelID) (chain.Amount, chain.Amount, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.enclave.State().Channels[chID]
+	if !ok {
+		return 0, 0, fmt.Errorf("transport: unknown channel %s", chID)
+	}
+	return c.MyBal, c.RemoteBal, nil
+}

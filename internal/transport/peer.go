@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"teechain/internal/cryptoutil"
+)
+
+// connHandle pairs a connection with the channel its read loop closes
+// on exit, so the writer learns about dead connections even when it has
+// nothing to send.
+type connHandle struct {
+	conn net.Conn
+	dead chan struct{}
+}
+
+// peer is the host's view of one remote node: a bounded outbound frame
+// queue drained by a dedicated writer goroutine, plus the connection
+// lifecycle. Dialing peers (addr != "") own their connections and
+// redial with exponential backoff; accept-only peers (addr == "") are
+// handed connections by the listener as the remote (re)dials us.
+//
+// Frames queue while the peer is unreachable and drain in order once a
+// connection is back. A frame is retransmitted only if its write
+// returned an error, so queued traffic is delivered exactly once in the
+// quiet-reconnect case (peer restarted between frames) and at least
+// once when a connection dies mid-write.
+type peer struct {
+	h    *Host
+	addr string // dial target; "" for accept-only peers
+
+	outbox chan []byte
+	connCh chan connHandle // accepted connections adopted by the writer
+	quit   chan struct{}
+
+	closeOnce sync.Once
+	helloOnce sync.Once
+	helloCh   chan struct{} // closed once the remote's hello arrived
+
+	// mutable under h.mu
+	name  string
+	id    cryptoutil.PublicKey
+	hasID bool
+
+	// writer-goroutine private
+	pending []byte // frame whose write failed; resent on the next conn
+}
+
+func (p *peer) close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+}
+
+func (p *peer) markHello() {
+	p.helloOnce.Do(func() { close(p.helloCh) })
+}
+
+// enqueue offers a frame to the outbound queue without blocking: the
+// caller holds the host lock, and a stalled peer must not stall the
+// whole host. A full queue drops the frame (counted by the caller).
+func (p *peer) enqueue(frame []byte) bool {
+	select {
+	case p.outbox <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the peer's writer goroutine: obtain a connection (dial or
+// adopt), drain the outbox onto it, repeat until the host closes.
+func (p *peer) run() {
+	defer p.h.wg.Done()
+	backoff := p.h.cfg.RedialMin
+	for {
+		var ch connHandle
+		if p.addr != "" {
+			conn, err := net.Dial("tcp", p.addr)
+			if err != nil {
+				select {
+				case <-time.After(backoff):
+				case <-p.quit:
+					return
+				}
+				backoff *= 2
+				if backoff > p.h.cfg.RedialMax {
+					backoff = p.h.cfg.RedialMax
+				}
+				continue
+			}
+			backoff = p.h.cfg.RedialMin
+			ch = connHandle{conn: conn, dead: make(chan struct{})}
+			if !p.h.trackConn(conn) {
+				conn.Close()
+				return
+			}
+			if err := p.h.writeHello(conn); err != nil {
+				p.h.untrackConn(conn)
+				conn.Close()
+				continue
+			}
+			p.h.wg.Add(1)
+			go p.h.readLoop(ch, p)
+		} else {
+			select {
+			case ch = <-p.connCh:
+			case <-p.quit:
+				return
+			}
+		}
+		p.serveConn(ch)
+		ch.conn.Close()
+		select {
+		case <-p.quit:
+			return
+		default:
+		}
+		p.h.noteReconnect()
+	}
+}
+
+// serveConn writes queued frames to one connection until it dies or
+// the host closes. A frame that fails to write stays in p.pending for
+// the next connection.
+func (p *peer) serveConn(ch connHandle) {
+	for {
+		if p.pending != nil {
+			if err := writeFull(ch.conn, p.pending); err != nil {
+				return
+			}
+			p.pending = nil
+		}
+		select {
+		case frame := <-p.outbox:
+			p.pending = frame
+		case <-ch.dead:
+			return
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func writeFull(conn net.Conn, b []byte) error {
+	_, err := conn.Write(b)
+	return err
+}
