@@ -8,6 +8,13 @@
 //	teechain-bench            # run everything (several minutes)
 //	teechain-bench -run table1,fig4
 //	teechain-bench -quick     # reduced measurement lengths
+//
+// Deployment-path benchmarking (real TCP cluster, see socket.go):
+//
+//	teechain-bench -socket                          # scaling table
+//	teechain-bench -socket -channels 1,8 -batch 64
+//	teechain-bench -socket -socketjson BENCH_socket.json
+//	teechain-bench -socket -socketjson F -socketcompare BENCH_socket.json
 package main
 
 import (
@@ -31,7 +38,38 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced measurement lengths")
 	benchJSON := flag.String("benchjson", "", "write the payment micro-benchmark (ns/op, allocs/op, B/op, simulated tx/s) as JSON to this file and exit")
 	compare := flag.String("compare", "", "with -benchjson: compare the fresh snapshot against this baseline JSON and exit nonzero on >25% ns/op regression or any allocs/op increase")
+	socket := flag.Bool("socket", false, "run the real-TCP socket cluster benchmark (channel scaling) and exit")
+	channels := flag.String("channels", "1,2,4,8", "with -socket: comma-separated channel counts to measure")
+	socketPay := flag.Int("spay", 20000, "with -socket: payments per channel")
+	batch := flag.Int("batch", 64, "with -socket: payments per PayBatch frame (1 = unbatched Pay frames)")
+	sreps := flag.Int("sreps", 2, "with -socket: repetitions per channel count (best tx/s kept)")
+	socketJSON := flag.String("socketjson", "", "with -socket: write the snapshot as JSON to this file")
+	socketCompare := flag.String("socketcompare", "", "with -socket: compare against this baseline JSON and exit nonzero on >25% tx/s regression")
 	flag.Parse()
+
+	if *socket {
+		if *quick {
+			*socketPay = 4000
+		}
+		snap, err := runSocketSuite(*channels, *socketPay, *batch, *sreps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *socketJSON != "" {
+			if err := writeSocketJSON(*socketJSON, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *socketCompare != "" {
+			if err := compareSocketBaseline(*socketCompare, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *socketJSON != "" || *socketCompare != "" {
+		log.Fatal("-socketjson/-socketcompare require -socket")
+	}
 
 	if *benchJSON != "" {
 		snap, err := measureBench()

@@ -23,7 +23,8 @@
 //	  balance
 //
 // Flags may also come from a JSON config file (-config); explicit flags
-// override file values.
+// override file values. -pprof serves net/http/pprof on a dedicated
+// port for live profiling of a deployed node.
 package main
 
 import (
@@ -32,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: live profiling of deployed nodes
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +57,7 @@ type nodeConfig struct {
 	Authority        string   `json:"authority"`
 	WalletSeed       string   `json:"wallet_seed"`
 	MinConfirmations uint64   `json:"min_confirmations"`
+	Pprof            string   `json:"pprof"`
 }
 
 func main() {
@@ -68,6 +72,7 @@ func main() {
 		authority   = flag.String("authority", "", "shared attestation authority seed (default: \"teechain\")")
 		walletSeed  = flag.String("wallet-seed", "", "wallet key seed (default: node name)")
 		minConf     = flag.Uint64("min-confirmations", 0, "deposit approval depth (default 1)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
 
@@ -93,6 +98,7 @@ func main() {
 	override(&cfg.ChainListen, *chainListen)
 	override(&cfg.Authority, *authority)
 	override(&cfg.WalletSeed, *walletSeed)
+	override(&cfg.Pprof, *pprofAddr)
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
 	}
@@ -121,6 +127,22 @@ func run(cfg nodeConfig) error {
 	auth, err := tee.NewAuthority(cfg.Authority)
 	if err != nil {
 		return err
+	}
+
+	if cfg.Pprof != "" {
+		// net/http/pprof registers its handlers on the default mux; a
+		// dedicated listener keeps profiling off the protocol ports.
+		ln, err := net.Listen("tcp", cfg.Pprof)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, nil); err != nil && !strings.Contains(err.Error(), "use of closed") {
+				log.Printf("%s: pprof server: %v", cfg.Name, err)
+			}
+		}()
+		log.Printf("%s: pprof on http://%s/debug/pprof/", cfg.Name, ln.Addr())
 	}
 
 	// Chain access: own the ledger and serve it, or dial the owner.

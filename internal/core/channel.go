@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
@@ -447,8 +448,108 @@ func (e *Enclave) handlePay(from cryptoutil.PublicKey, m *wire.Pay) (*Result, er
 	ack.Channel, ack.Amount, ack.Count = m.Channel, m.Amount, m.Count
 	res := e.pools.getResult()
 	res.Out = append(res.Out, Outbound{To: from, Msg: ack})
-	res.pay = payEvent{kind: payEvReceived, channel: m.Channel, amount: m.Amount, count: m.Count}
+	res.pay = payEvent{kind: PayReceived, channel: m.Channel, amount: m.Amount, count: m.Count}
 	return e.commitFast(op, res)
+}
+
+// sumBatch validates a payment batch and returns its total: every
+// amount must be positive and the sum must not overflow — a wrapped
+// negative total would slip through Apply's balance guards
+// (`bal < amount` is vacuously false for negative amounts) and corrupt
+// channel state, so both the sender entry point and the wire handler
+// reject it here.
+func sumBatch(amounts []chain.Amount) (chain.Amount, error) {
+	if len(amounts) == 0 {
+		return 0, errors.New("core: empty payment batch")
+	}
+	// Enforced before any state commit: a batch too large to frame
+	// would be debited by the sender, then dropped at encode time,
+	// diverging the channel (see wire.MaxPayBatch).
+	if len(amounts) > wire.MaxPayBatch {
+		return 0, fmt.Errorf("core: payment batch of %d exceeds %d", len(amounts), wire.MaxPayBatch)
+	}
+	var total chain.Amount
+	for _, a := range amounts {
+		if a <= 0 {
+			return 0, fmt.Errorf("core: invalid payment amount %d in batch", a)
+		}
+		if total > math.MaxInt64-a {
+			return 0, errors.New("core: payment batch total overflows")
+		}
+		total += a
+	}
+	return total, nil
+}
+
+// PayBatch sends len(amounts) payments over a channel in one protocol
+// message (§7.2 batching): the frame, freshness token, and enclave
+// entry are paid once for the whole batch instead of per payment.
+// Unlike Pay with Count > 1 the payments may carry distinct amounts.
+// The batch applies atomically on both sides — the receiver either
+// credits all of it or nacks the total.
+func (e *Enclave) PayBatch(id wire.ChannelID, amounts []chain.Amount) (*Result, error) {
+	total, err := sumBatch(amounts)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.state.openChannel(id)
+	if err != nil {
+		return nil, err
+	}
+	op := e.pools.getOp()
+	op.Kind, op.Channel, op.Amount, op.Count = OpPaySend, id, total, len(amounts)
+	m := e.pools.getPayBatchMsg()
+	m.Channel = id
+	m.Amounts = append(m.Amounts[:0], amounts...)
+	res := e.pools.getResult()
+	res.Out = append(res.Out, Outbound{To: c.Remote, Msg: m})
+	return e.commitFast(op, res)
+}
+
+func (e *Enclave) handlePayBatch(from cryptoutil.PublicKey, m *wire.PayBatch) (*Result, error) {
+	c, err := e.state.openChannel(m.Channel)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remote != from {
+		return nil, errors.New("core: payment from wrong peer")
+	}
+	total, err := sumBatch(m.Amounts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Amounts)
+	// Same race as handlePay: the sender debited optimistically before a
+	// multi-hop lock reached it. Nack the whole batch so it reverses.
+	if c.Stage != MhIdle || c.ClosePending {
+		nack := &wire.PayNack{Channel: m.Channel, Amount: total, Count: n, Reason: "channel locked"}
+		return e.deferBehindPending(from, nack), nil
+	}
+	op := e.pools.getOp()
+	op.Kind, op.Channel, op.Amount, op.Count = OpPayRecv, m.Channel, total, n
+	ack := e.pools.getPayBatchAckMsg()
+	ack.Channel, ack.Total, ack.Count = m.Channel, total, n
+	res := e.pools.getResult()
+	res.Out = append(res.Out, Outbound{To: from, Msg: ack})
+	res.pay = payEvent{kind: PayReceived, channel: m.Channel, amount: total, count: n}
+	return e.commitFast(op, res)
+}
+
+func (e *Enclave) handlePayBatchAck(from cryptoutil.PublicKey, m *wire.PayBatchAck) (*Result, error) {
+	c, ok := e.state.Channels[m.Channel]
+	if !ok || c.Remote != from {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
+	}
+	// Acks drive host-side counters (uint64 adds); a forged negative
+	// Count/Total would wrap them and fake AwaitAcked completion.
+	if m.Count < 1 || m.Total <= 0 {
+		return nil, fmt.Errorf("core: invalid batch ack (%d payments, total %d)", m.Count, m.Total)
+	}
+	res := e.pools.getResult()
+	res.pay = payEvent{kind: PayAcked, channel: m.Channel, amount: m.Total, count: m.Count}
+	// Batches are a host-level transport optimisation; outsourced users
+	// (§3) issue single payments, so no ack relay happens here.
+	return res, nil
 }
 
 func (e *Enclave) handlePayNack(from cryptoutil.PublicKey, m *wire.PayNack) (*Result, error) {
@@ -456,10 +557,15 @@ func (e *Enclave) handlePayNack(from cryptoutil.PublicKey, m *wire.PayNack) (*Re
 	if !ok || c.Remote != from {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
 	}
+	// A forged non-positive amount would bypass Apply's balance guard
+	// and wrap the revert; a forged count wraps host counters.
+	if m.Amount <= 0 || m.Count < 1 {
+		return nil, fmt.Errorf("core: invalid nack (%d payments, amount %d)", m.Count, m.Amount)
+	}
 	op := e.pools.getOp()
 	op.Kind, op.Channel, op.Amount, op.Count = OpPayRevert, m.Channel, m.Amount, m.Count
 	res := e.pools.getResult()
-	res.pay = payEvent{kind: payEvNacked, channel: m.Channel, amount: m.Amount, count: m.Count, reason: m.Reason}
+	res.pay = payEvent{kind: PayNacked, channel: m.Channel, amount: m.Amount, count: m.Count, reason: m.Reason}
 	return e.commitFast(op, res)
 }
 
@@ -468,8 +574,11 @@ func (e *Enclave) handlePayAck(from cryptoutil.PublicKey, m *wire.PayAck) (*Resu
 	if !ok || c.Remote != from {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, m.Channel)
 	}
+	if m.Count < 1 || m.Amount <= 0 {
+		return nil, fmt.Errorf("core: invalid ack (%d payments, amount %d)", m.Count, m.Amount)
+	}
 	res := e.pools.getResult()
-	res.pay = payEvent{kind: payEvAcked, channel: m.Channel, amount: m.Amount, count: m.Count}
+	res.pay = payEvent{kind: PayAcked, channel: m.Channel, amount: m.Amount, count: m.Count}
 	// Relay the acknowledgement to an outsourced user if one issued
 	// this payment (§3).
 	if len(e.outsourcePending) != 0 {

@@ -1,0 +1,118 @@
+// Lane concurrency: the enclave-side half of the channel-sharded socket
+// deployment (internal/transport).
+//
+// The enclave is a single-threaded state machine by design, but most of
+// its state is naturally partitioned: a payment on channel A touches
+// A's balances, A's peer session (freshness-token counters), and the
+// hot-path pools — nothing a payment on channel B with a different peer
+// needs. A socket host exploits that with two lock levels:
+//
+//   - a WIDE lock (the host's RWMutex held exclusively) for everything
+//     that mutates shared structure: attestation and session setup,
+//     channel open/close, deposits, multi-hop, replication, settlement,
+//     and state inspection;
+//   - per-peer LANE locks (held together with the wide lock in read
+//     mode) for the payment fast path.
+//
+// The stripe is the *peer*, not the channel: session freshness tokens
+// carry a strictly increasing per-session counter (cryptoutil.Session,
+// whose receiver tolerates only window-bounded reordering), so all
+// sealing and verification against one peer must stay ordered —
+// and every channel belongs to exactly one peer, so per-peer
+// serialization covers per-channel state too. Payments on channels with
+// different peers proceed fully in parallel; payments on channels
+// sharing a peer serialize on that peer's lane, which costs nothing in
+// practice because they also share a TCP connection and arrive in order
+// anyway.
+//
+// The caller's obligations for every method in this file:
+//
+//  1. hold the deployment's wide lock in READ mode (so session,
+//     channel, and peer maps are not mutated underneath), and
+//  2. hold the lane lock of the peer involved (so per-session counters
+//     and per-channel balances see one writer at a time), and
+//  3. route traffic through lanes only while LaneEligible reports true,
+//     re-checked under the read lock on every message.
+//
+// The pools these paths allocate from are switched to mutex-guarded
+// mode by EnableConcurrentHost before any concurrency exists.
+package core
+
+import (
+	"fmt"
+
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// EnableConcurrentHost prepares the enclave for a host that runs
+// payment lanes concurrently (see the package comment above): the
+// hot-path pools become mutex-guarded. Must be called before the host
+// spawns any goroutine that can reach the enclave.
+func (e *Enclave) EnableConcurrentHost() {
+	e.pools.setShared()
+}
+
+// LaneEligible reports whether payment traffic may currently bypass the
+// wide lock. Replication chains, committee membership, stable storage,
+// and outsourcing all funnel payment commits through shared state
+// (pending-update maps, sealed snapshots, command relays), so any of
+// them forces payments back onto the wide path. Hosts re-check this
+// under the wide read lock for every lane message; the features above
+// are only ever enabled under the wide write lock, so the answer cannot
+// change mid-message.
+func (e *Enclave) LaneEligible() bool {
+	return e.repl == nil && len(e.backups) == 0 && !e.cfg.StableStorage && e.outsourceUser.IsZero()
+}
+
+// LaneMessage reports whether msg is one of the payment messages
+// HandleLane accepts.
+func LaneMessage(msg wire.Message) bool {
+	switch msg.(type) {
+	case *wire.Pay, *wire.PayAck, *wire.PayNack, *wire.PayBatch, *wire.PayBatchAck:
+		return true
+	}
+	return false
+}
+
+// HandleLane is HandleSealed restricted to the payment fast path,
+// subject to the lane discipline above: freshness-token verification
+// followed by the payment handler, touching only per-peer and
+// per-channel state (plus the shared pools, which lock internally).
+func (e *Enclave) HandleLane(from cryptoutil.PublicKey, token []byte, msg wire.Message) (*Result, error) {
+	s, err := e.session(from)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.transport.Open(token, nil); err != nil {
+		return nil, err
+	}
+	if e.state.Frozen {
+		return nil, ErrFrozen
+	}
+	switch m := msg.(type) {
+	case *wire.Pay:
+		return e.handlePay(from, m)
+	case *wire.PayAck:
+		return e.handlePayAck(from, m)
+	case *wire.PayNack:
+		return e.handlePayNack(from, m)
+	case *wire.PayBatch:
+		return e.handlePayBatch(from, m)
+	case *wire.PayBatchAck:
+		return e.handlePayBatchAck(from, m)
+	default:
+		return nil, fmt.Errorf("core: %T is not a lane message", msg)
+	}
+}
+
+// SealTokenAppend is SealToken appending to dst (reslice to dst[:0] to
+// reuse a scratch buffer), for hosts that seal one freshness token per
+// outbound frame on the lane path.
+func (e *Enclave) SealTokenAppend(dst []byte, peer cryptoutil.PublicKey) ([]byte, error) {
+	s, err := e.session(peer)
+	if err != nil {
+		return nil, err
+	}
+	return s.transport.SealAppend(dst, nil, nil), nil
+}

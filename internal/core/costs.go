@@ -85,7 +85,9 @@ func CostModel(stableStorage bool) func(payload any) (cpu, delay time.Duration) 
 		switch m := payload.(type) {
 		case *wire.Pay:
 			cpu = CostPayBase + time.Duration(max(1, m.Count))*CostPayPerPayment
-		case *wire.PayAck, *wire.PayNack:
+		case *wire.PayBatch:
+			cpu = CostPayBase + time.Duration(max(1, len(m.Amounts)))*CostPayPerPayment
+		case *wire.PayAck, *wire.PayNack, *wire.PayBatchAck:
 			cpu = CostPayBase
 		case *wire.ReplUpdate:
 			cpu = CostReplBase
@@ -149,7 +151,7 @@ func CostModel(stableStorage bool) func(payload any) (cpu, delay time.Duration) 
 // in the stable-storage configuration).
 func stateChanging(payload any) bool {
 	switch payload.(type) {
-	case *wire.Pay, *wire.ReplUpdate, *wire.ChannelOpen, *wire.ChannelAck,
+	case *wire.Pay, *wire.PayBatch, *wire.ReplUpdate, *wire.ChannelOpen, *wire.ChannelAck,
 		*wire.ApproveDeposit, *wire.AssociateDeposit, *wire.DissociateDeposit,
 		*wire.DissociateAck, *wire.MhLock, *wire.MhSign, *wire.MhPreUpdate,
 		*wire.MhUpdate, *wire.MhPostUpdate, *wire.MhRelease:

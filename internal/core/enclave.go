@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
@@ -131,8 +132,9 @@ type Enclave struct {
 
 	// lastSess is a one-entry session lookup cache (see State.lastCh
 	// for the rationale); established sessions are never replaced, so
-	// it cannot go stale.
-	lastSess *peerSession
+	// it cannot go stale. Atomic for the same reason as State.lastCh:
+	// concurrent payment lanes of a socket host share it.
+	lastSess atomic.Pointer[peerSession]
 
 	// Outsourcing (§3): the provisioned TEE-less user and the pending
 	// command sequence numbers per channel awaiting acknowledgements.
@@ -287,14 +289,14 @@ func (e *Enclave) SessionEstablished(peer cryptoutil.PublicKey) bool {
 }
 
 func (e *Enclave) session(peer cryptoutil.PublicKey) (*peerSession, error) {
-	if s := e.lastSess; s != nil && s.remote == peer {
+	if s := e.lastSess.Load(); s != nil && s.remote == peer {
 		return s, nil
 	}
 	s, ok := e.sessions[peer]
 	if !ok || !s.established {
 		return nil, fmt.Errorf("core: no established session with %s", peer)
 	}
-	e.lastSess = s
+	e.lastSess.Store(s)
 	return s, nil
 }
 
@@ -717,6 +719,10 @@ func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Messa
 		return e.handlePayAck(from, m)
 	case *wire.PayNack:
 		return e.handlePayNack(from, m)
+	case *wire.PayBatch:
+		return e.handlePayBatch(from, m)
+	case *wire.PayBatchAck:
+		return e.handlePayBatchAck(from, m)
 	case *wire.SettleRequest:
 		return e.handleSettleRequest(from, m)
 	case *wire.SettleNotify:

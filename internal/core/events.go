@@ -150,34 +150,46 @@ type EvCommitteeReady struct {
 // avoiding the interface boxing of Events: payments are the only events
 // frequent enough for boxing to matter. Kind zero means none.
 type payEvent struct {
-	kind    payEventKind
+	kind    PayKind
 	channel wire.ChannelID
 	amount  chain.Amount
 	count   int
 	reason  string
 }
 
-type payEventKind uint8
+type PayKind uint8
 
 const (
-	payEvNone payEventKind = iota
-	payEvReceived
-	payEvAcked
-	payEvNacked
+	PayNone PayKind = iota
+	PayReceived
+	PayAcked
+	PayNacked
 )
 
 // box converts the inline event to its public boxed form for user
 // event callbacks.
 func (p payEvent) box() Event {
 	switch p.kind {
-	case payEvReceived:
+	case PayReceived:
 		return EvPaymentReceived{Channel: p.channel, Amount: p.amount, Count: p.count}
-	case payEvAcked:
+	case PayAcked:
 		return EvPayAcked{Channel: p.channel, Amount: p.amount, Count: p.count}
-	case payEvNacked:
+	case PayNacked:
 		return EvPayNacked{Channel: p.channel, Amount: p.amount, Count: p.count, Reason: p.reason}
 	}
 	return nil
+}
+
+// PayOutcome is the unboxed payment notification a hot-path Result
+// carries. Socket hosts read it via Result.PayOutcome instead of
+// ForEachEvent, which would box the event into an interface (one
+// allocation per payment) just to type-switch it back.
+type PayOutcome struct {
+	Kind    PayKind
+	Channel wire.ChannelID
+	Amount  chain.Amount
+	Count   int
+	Reason  string
 }
 
 // Result aggregates what one enclave entry point produced.
@@ -194,6 +206,23 @@ type Result struct {
 	pooled bool
 }
 
+// PayOutcome returns the result's unboxed payment event (Kind PayNone
+// when there is none). Boxed events, if any, still need ForEachEvent —
+// check HasEvents.
+func (r *Result) PayOutcome() PayOutcome {
+	return PayOutcome{
+		Kind:    r.pay.kind,
+		Channel: r.pay.channel,
+		Amount:  r.pay.amount,
+		Count:   r.pay.count,
+		Reason:  r.pay.reason,
+	}
+}
+
+// HasEvents reports whether the result carries boxed events beyond the
+// unboxed payment outcome.
+func (r *Result) HasEvents() bool { return len(r.Events) > 0 }
+
 // ForEachEvent invokes fn for every event the result carries. The
 // payment-path events travel unboxed in r.pay (see payEvent), so hosts
 // consuming a Result directly must iterate with this rather than
@@ -202,7 +231,7 @@ func (r *Result) ForEachEvent(fn func(Event)) {
 	if r == nil {
 		return
 	}
-	if r.pay.kind != payEvNone {
+	if r.pay.kind != PayNone {
 		fn(r.pay.box())
 	}
 	for _, ev := range r.Events {
@@ -216,8 +245,8 @@ func (r *Result) merge(o *Result) *Result {
 	}
 	r.Out = append(r.Out, o.Out...)
 	r.Events = append(r.Events, o.Events...)
-	if o.pay.kind != payEvNone {
-		if r.pay.kind == payEvNone {
+	if o.pay.kind != PayNone {
+		if r.pay.kind == PayNone {
 			r.pay = o.pay
 		} else {
 			// Two unboxed events cannot share the field; box the

@@ -298,7 +298,7 @@ func (n *Node) dispatch(res *Result) {
 	for i := range res.Out {
 		n.send(res.Out[i])
 	}
-	if res.pay.kind != payEvNone {
+	if res.pay.kind != PayNone {
 		n.handlePayEvent(res.pay)
 	}
 	for _, ev := range res.Events {
@@ -311,11 +311,11 @@ func (n *Node) dispatch(res *Result) {
 // boxed form is built only when a user callback wants it.
 func (n *Node) handlePayEvent(p payEvent) {
 	switch p.kind {
-	case payEvAcked:
+	case PayAcked:
 		n.completeBatch(p.channel, true, "")
-	case payEvNacked:
+	case PayNacked:
 		n.completeBatch(p.channel, false, p.reason)
-	case payEvReceived:
+	case PayReceived:
 		// metrics only; hookIncoming counted it
 	}
 	if n.onEvent != nil {

@@ -68,8 +68,8 @@ func (e *Enclave) handleSoftwareAttest(from cryptoutil.PublicKey, m *wire.Attest
 	// This is the one place an *established* session can be replaced
 	// (the user re-attaching after a crash, §3): drop the lookup cache
 	// so no caller keeps sealing with the old transport.
-	if e.lastSess != nil && e.lastSess.remote == from {
-		e.lastSess = nil
+	if cached := e.lastSess.Load(); cached != nil && cached.remote == from {
+		e.lastSess.Store(nil)
 	}
 	if err := e.finishSession(s, m.DHPublic); err != nil {
 		return nil, err

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"teechain/internal/chain"
+	"teechain/internal/wire"
+)
+
+// TestPayBatchHostileInputsRejected pins the wire-facing validation of
+// the batch payment path: overflowing batch totals and forged
+// acks/nacks with non-positive counts or amounts must be rejected
+// before they reach State.Apply (whose `bal < amount` guards are
+// vacuously true for negative amounts) or the hosts' uint64 counters.
+func TestPayBatchHostileInputsRejected(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	w.connect(a, b)
+	id := w.openChannel(a, b)
+	w.fundAndAssociate(a, b, id, 1000)
+
+	ea, eb := a.Enclave(), b.Enclave()
+	aliceID := ea.Identity()
+	bobID := eb.Identity()
+
+	// Sender-side: overflow, empty, and negative-amount batches.
+	if _, err := ea.PayBatch(id, []chain.Amount{math.MaxInt64, math.MaxInt64}); err == nil ||
+		!strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("overflowing PayBatch accepted (err=%v)", err)
+	}
+	if _, err := ea.PayBatch(id, nil); err == nil {
+		t.Fatal("empty PayBatch accepted")
+	}
+	if _, err := ea.PayBatch(id, []chain.Amount{5, -3}); err == nil {
+		t.Fatal("negative amount in PayBatch accepted")
+	}
+
+	// Receiver-side: hostile frames straight into the handlers (the
+	// session already exists, so only payload validation stands between
+	// the wire and the state).
+	hostile := []struct {
+		name string
+		call func() (*Result, error)
+	}{
+		{"overflowing batch", func() (*Result, error) {
+			return eb.handlePayBatch(aliceID, &wire.PayBatch{Channel: id, Amounts: []chain.Amount{math.MaxInt64, math.MaxInt64}})
+		}},
+		{"zero-amount batch", func() (*Result, error) {
+			return eb.handlePayBatch(aliceID, &wire.PayBatch{Channel: id, Amounts: []chain.Amount{0}})
+		}},
+		{"negative batch ack", func() (*Result, error) {
+			return ea.handlePayBatchAck(bobID, &wire.PayBatchAck{Channel: id, Total: -5, Count: 1})
+		}},
+		{"negative-count batch ack", func() (*Result, error) {
+			return ea.handlePayBatchAck(bobID, &wire.PayBatchAck{Channel: id, Total: 5, Count: -1})
+		}},
+		{"negative ack", func() (*Result, error) {
+			return ea.handlePayAck(bobID, &wire.PayAck{Channel: id, Amount: -5, Count: 1})
+		}},
+		{"negative nack", func() (*Result, error) {
+			return ea.handlePayNack(bobID, &wire.PayNack{Channel: id, Amount: -5, Count: 1})
+		}},
+		{"negative-count nack", func() (*Result, error) {
+			return ea.handlePayNack(bobID, &wire.PayNack{Channel: id, Amount: 5, Count: -1})
+		}},
+	}
+	balA := ea.State().PerceivedBalance()
+	balB := eb.State().PerceivedBalance()
+	for _, h := range hostile {
+		if _, err := h.call(); err == nil {
+			t.Fatalf("%s accepted", h.name)
+		}
+	}
+	if got := ea.State().PerceivedBalance(); got != balA {
+		t.Fatalf("hostile input moved alice balance: %d -> %d", balA, got)
+	}
+	if got := eb.State().PerceivedBalance(); got != balB {
+		t.Fatalf("hostile input moved bob balance: %d -> %d", balB, got)
+	}
+
+	// A legitimate batch still flows end to end afterwards.
+	res, err := ea.PayBatch(id, []chain.Amount{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Dispatch(res)
+	w.until(func() bool {
+		c, ok := eb.State().Channels[id]
+		return ok && c.MyBal == 60
+	})
+	c := ea.State().Channels[id]
+	if c.MyBal != 1000-60 || c.RemoteBal != 60 {
+		t.Fatalf("post-batch balances: %d/%d, want 940/60", c.MyBal, c.RemoteBal)
+	}
+}

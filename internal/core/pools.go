@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"teechain/internal/cryptoutil"
 	"teechain/internal/wire"
 )
@@ -14,29 +16,71 @@ import (
 // DESIGN.md §6 for the ownership rules.
 //
 // One hotPools instance is shared by every node of a deployment (via
-// its Directory): a deployment runs on a single goroutine, so plain
-// freelists suffice, and the parallel experiment harness gives each
-// deployment its own instance, so no synchronisation is needed.
+// its Directory). Simulated deployments run on a single goroutine, so
+// the freelists are plain by default; a socket host whose payment lanes
+// run concurrently (see concurrent.go) calls setShared once at startup,
+// after which every get/put takes the pool mutex. The lock is a few
+// tens of nanoseconds against the microseconds a socket payment costs,
+// so it is not the lane-scaling bottleneck — and the sim path pays only
+// a predicted-false branch (no defer: these bodies cannot panic between
+// lock and unlock).
 type hotPools struct {
-	envs    []*Envelope
-	results []*Result
-	ops     []*Op
-	pays    []*wire.Pay
-	acks    []*wire.PayAck
+	// shared is set once, before any concurrency exists, and read-only
+	// afterwards.
+	shared bool
+	mu     sync.Mutex
+
+	envs      []*Envelope
+	results   []*Result
+	ops       []*Op
+	pays      []*wire.Pay
+	acks      []*wire.PayAck
+	batches   []*wire.PayBatch
+	batchAcks []*wire.PayBatchAck
 }
 
 func newHotPools() *hotPools { return &hotPools{} }
+
+// setShared switches the pools to mutex-guarded mode. Must be called
+// before the deployment spawns any goroutine that touches them.
+func (p *hotPools) setShared() { p.shared = true }
+
+// lock/unlock keep the mutex operations out of line so that the
+// non-shared (simulator) path inlines to a single predicted-false
+// branch at every call site — the sim's zero-alloc hot path must not
+// pay function-call overhead for a lock it never takes.
+func (p *hotPools) lock() {
+	if p.shared {
+		p.lockSlow()
+	}
+}
+
+func (p *hotPools) unlock() {
+	if p.shared {
+		p.unlockSlow()
+	}
+}
+
+//go:noinline
+func (p *hotPools) lockSlow() { p.mu.Lock() }
+
+//go:noinline
+func (p *hotPools) unlockSlow() { p.mu.Unlock() }
 
 // getResult returns an empty pooled Result. Results obtained here are
 // recycled by Node.dispatch after their contents are consumed; only
 // construct one per enclave return value, never retain it.
 func (p *hotPools) getResult() *Result {
+	p.lock()
+	var r *Result
 	if k := len(p.results); k > 0 {
-		r := p.results[k-1]
+		r = p.results[k-1]
 		p.results = p.results[:k-1]
-		return r
+	} else {
+		r = &Result{pooled: true}
 	}
-	return &Result{pooled: true}
+	p.unlock()
+	return r
 }
 
 // putResult recycles a Result previously obtained from getResult.
@@ -46,6 +90,12 @@ func (p *hotPools) putResult(r *Result) {
 	if r == nil || !r.pooled {
 		return
 	}
+	p.lock()
+	p.putResultLocked(r)
+	p.unlock()
+}
+
+func (p *hotPools) putResultLocked(r *Result) {
 	for i := range r.Out {
 		r.Out[i] = Outbound{}
 	}
@@ -62,17 +112,23 @@ func (p *hotPools) putResult(r *Result) {
 // recycles it once nothing retains it (on commit when unreplicated,
 // otherwise when the replication ack releases the pending update).
 func (p *hotPools) getOp() *Op {
+	p.lock()
+	var op *Op
 	if k := len(p.ops); k > 0 {
-		op := p.ops[k-1]
+		op = p.ops[k-1]
 		p.ops = p.ops[:k-1]
-		return op
+	} else {
+		op = new(Op)
 	}
-	return new(Op)
+	p.unlock()
+	return op
 }
 
 func (p *hotPools) putOp(op *Op) {
 	*op = Op{}
+	p.lock()
 	p.ops = append(p.ops, op)
+	p.unlock()
 }
 
 // RecycleResult returns a Result obtained from an enclave entry point
@@ -86,17 +142,33 @@ func (e *Enclave) RecycleResult(r *Result) {
 	if r == nil || !r.pooled {
 		return
 	}
+	p := e.pools
+	p.lock()
 	for i := range r.Out {
-		switch m := r.Out[i].Msg.(type) {
-		case *wire.Pay:
-			*m = wire.Pay{}
-			e.pools.pays = append(e.pools.pays, m)
-		case *wire.PayAck:
-			*m = wire.PayAck{}
-			e.pools.acks = append(e.pools.acks, m)
-		}
+		p.recycleMsgLocked(r.Out[i].Msg)
 	}
-	e.pools.putResult(r)
+	p.putResultLocked(r)
+	p.unlock()
+}
+
+// recycleMsgLocked returns a poolable wire message to its freelist;
+// non-poolable messages pass through untouched.
+func (p *hotPools) recycleMsgLocked(msg wire.Message) {
+	switch m := msg.(type) {
+	case *wire.Pay:
+		*m = wire.Pay{}
+		p.pays = append(p.pays, m)
+	case *wire.PayAck:
+		*m = wire.PayAck{}
+		p.acks = append(p.acks, m)
+	case *wire.PayBatch:
+		m.Channel = ""
+		m.Amounts = m.Amounts[:0]
+		p.batches = append(p.batches, m)
+	case *wire.PayBatchAck:
+		*m = wire.PayBatchAck{}
+		p.batchAcks = append(p.batchAcks, m)
+	}
 }
 
 // hotOp reports whether op is one of the pay-path kinds whose Apply
@@ -110,33 +182,73 @@ func hotOp(op *Op) bool {
 }
 
 func (p *hotPools) getPayMsg() *wire.Pay {
+	p.lock()
+	var m *wire.Pay
 	if k := len(p.pays); k > 0 {
-		m := p.pays[k-1]
+		m = p.pays[k-1]
 		p.pays = p.pays[:k-1]
-		return m
+	} else {
+		m = new(wire.Pay)
 	}
-	return new(wire.Pay)
+	p.unlock()
+	return m
 }
 
 func (p *hotPools) getPayAckMsg() *wire.PayAck {
+	p.lock()
+	var m *wire.PayAck
 	if k := len(p.acks); k > 0 {
-		m := p.acks[k-1]
+		m = p.acks[k-1]
 		p.acks = p.acks[:k-1]
-		return m
+	} else {
+		m = new(wire.PayAck)
 	}
-	return new(wire.PayAck)
+	p.unlock()
+	return m
+}
+
+// getPayBatchMsg returns a PayBatch whose Amounts slice keeps capacity
+// from previous journeys; append into Amounts[:0].
+func (p *hotPools) getPayBatchMsg() *wire.PayBatch {
+	p.lock()
+	var m *wire.PayBatch
+	if k := len(p.batches); k > 0 {
+		m = p.batches[k-1]
+		p.batches = p.batches[:k-1]
+	} else {
+		m = new(wire.PayBatch)
+	}
+	p.unlock()
+	return m
+}
+
+func (p *hotPools) getPayBatchAckMsg() *wire.PayBatchAck {
+	p.lock()
+	var m *wire.PayBatchAck
+	if k := len(p.batchAcks); k > 0 {
+		m = p.batchAcks[k-1]
+		p.batchAcks = p.batchAcks[:k-1]
+	} else {
+		m = new(wire.PayBatchAck)
+	}
+	p.unlock()
+	return m
 }
 
 // getEnvelope returns an Envelope whose Token buffer may carry capacity
 // from a previous journey; seal into Token[:0].
 func (p *hotPools) getEnvelope() *Envelope {
+	p.lock()
+	var env *Envelope
 	if k := len(p.envs); k > 0 {
-		env := p.envs[k-1]
+		env = p.envs[k-1]
 		p.envs = p.envs[:k-1]
 		env.pooled = true
-		return env
+	} else {
+		env = &Envelope{pooled: true}
 	}
-	return &Envelope{pooled: true}
+	p.unlock()
+	return env
 }
 
 // putEnvelope recycles an envelope after its receiver has fully handled
@@ -151,16 +263,11 @@ func (p *hotPools) putEnvelope(env *Envelope) {
 		return
 	}
 	env.pooled = false
-	switch m := env.Msg.(type) {
-	case *wire.Pay:
-		*m = wire.Pay{}
-		p.pays = append(p.pays, m)
-	case *wire.PayAck:
-		*m = wire.PayAck{}
-		p.acks = append(p.acks, m)
-	}
+	p.lock()
+	p.recycleMsgLocked(env.Msg)
 	env.From = cryptoutil.PublicKey{}
 	env.Msg = nil
 	env.Token = env.Token[:0]
 	p.envs = append(p.envs, env)
+	p.unlock()
 }

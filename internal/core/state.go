@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
@@ -181,9 +182,11 @@ type State struct {
 	// lastCh is a one-entry channel lookup cache: payments hit the same
 	// channel repeatedly, and comparing two equal IDs is far cheaper
 	// than hashing one. Channels are never removed from the map (only
-	// marked Closed), so the cache cannot go stale. Unexported, so gob
-	// replication and sealing ignore it.
-	lastCh *ChannelState
+	// marked Closed), so the cache cannot go stale. Atomic because
+	// socket hosts run payment lanes for different peers concurrently
+	// (see concurrent.go); entries are read-shared, never torn.
+	// Unexported, so gob replication and sealing ignore it.
+	lastCh atomic.Pointer[ChannelState]
 }
 
 // NewState returns an empty state owned by the given enclave identity.
@@ -544,14 +547,14 @@ func (s *State) Apply(op *Op) error {
 }
 
 func (s *State) channel(id wire.ChannelID) (*ChannelState, error) {
-	if c := s.lastCh; c != nil && c.ID == id {
+	if c := s.lastCh.Load(); c != nil && c.ID == id {
 		return c, nil
 	}
 	c, ok := s.Channels[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownChannel, id)
 	}
-	s.lastCh = c
+	s.lastCh.Store(c)
 	return c, nil
 }
 

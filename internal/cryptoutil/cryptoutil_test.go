@@ -177,15 +177,40 @@ func TestSessionRejectsReplay(t *testing.T) {
 	}
 }
 
-func TestSessionRejectsReorder(t *testing.T) {
+// TestSessionReorderWindow pins the DTLS-style anti-replay contract:
+// bounded reordering is accepted (frames straddling a transport
+// connection handover must not be lost), each counter is accepted at
+// most once, and counters older than the window are rejected.
+func TestSessionReorderWindow(t *testing.T) {
 	a, b := sessionPair(t)
 	first := a.Seal([]byte("one"), nil)
 	second := a.Seal([]byte("two"), nil)
 	if _, err := b.Open(second, nil); err != nil {
 		t.Fatal(err)
 	}
+	if plain, err := b.Open(first, nil); err != nil || string(plain) != "one" {
+		t.Fatalf("reordered message within window: %q, %v (want accepted)", plain, err)
+	}
+	// Each counter exactly once: both replays now fail.
 	if _, err := b.Open(first, nil); !errors.Is(err, ErrReplay) {
-		t.Fatalf("reordered message error = %v, want ErrReplay", err)
+		t.Fatalf("replay of reordered message error = %v, want ErrReplay", err)
+	}
+	if _, err := b.Open(second, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay error = %v, want ErrReplay", err)
+	}
+	// A message older than the window is rejected even though its
+	// counter was never seen.
+	a2, b2 := sessionPair(t)
+	old := a2.Seal([]byte("stale"), nil)
+	var last []byte
+	for i := 0; i < 65; i++ {
+		last = a2.Seal([]byte("fill"), nil)
+	}
+	if _, err := b2.Open(last, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Open(old, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("beyond-window message error = %v, want ErrReplay", err)
 	}
 }
 

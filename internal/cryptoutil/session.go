@@ -89,18 +89,30 @@ func greater(a, b []byte) bool {
 // Session is one direction-pair of an authenticated encrypted channel
 // between two enclaves (the netaes state of Alg. 1). Messages carry a
 // strictly increasing 64-bit counter used as the AES-GCM nonce; the
-// receiver rejects any counter at or below the last accepted one, which
-// provides the freshness protection the paper requires to defeat replay
-// and state-forking attacks (§7.1).
+// receiver accepts each counter at most once within a sliding window of
+// the most recent replayWindow counters (DTLS-style anti-replay).
+// Replayed counters and counters older than the window are rejected,
+// which provides the freshness protection the paper requires to defeat
+// replay and state-forking attacks (§7.1), while bounded reordering —
+// frames straddling a socket-transport connection handover (mutual-dial
+// collisions, reconnects) — is tolerated instead of dropping payments
+// whose sender has already committed them.
 type Session struct {
-	aead     cipher.AEAD
-	sendCtr  uint64
-	lastRecv uint64
+	aead    cipher.AEAD
+	sendCtr uint64
+	// recvMax is the highest counter accepted; recvWin is the seen
+	// bitmap for counters recvMax-i at bit i.
+	recvMax uint64
+	recvWin uint64
 	// nonce is a reusable scratch buffer: passing a stack array through
 	// the cipher.AEAD interface forces it to escape, so keeping one
 	// heap buffer per session removes a per-message allocation.
 	nonce []byte
 }
+
+// replayWindow is the anti-replay window depth: how far behind the
+// newest accepted counter a reordered message may arrive.
+const replayWindow = 64
 
 // NewSession builds a session from a 32-byte shared key.
 func NewSession(key [32]byte) (*Session, error) {
@@ -136,8 +148,8 @@ func (s *Session) SealAppend(dst, plaintext, aad []byte) []byte {
 }
 
 // Open authenticates and decrypts a message produced by the peer's
-// Seal. It enforces strictly increasing counters: replayed or reordered
-// messages return ErrReplay without advancing state.
+// Seal. Counters replayed, or older than the sliding window, return
+// ErrReplay without advancing state.
 func (s *Session) Open(sealed, aad []byte) ([]byte, error) {
 	return s.OpenAppend(nil, sealed, aad)
 }
@@ -149,15 +161,32 @@ func (s *Session) OpenAppend(dst, sealed, aad []byte) ([]byte, error) {
 		return nil, ErrShortMessage
 	}
 	ctr := binary.BigEndian.Uint64(sealed[:8])
-	if ctr <= s.lastRecv {
-		return nil, ErrReplay
+	if ctr == 0 {
+		return nil, ErrReplay // senders start at 1
+	}
+	if ctr <= s.recvMax {
+		off := s.recvMax - ctr
+		if off >= replayWindow || s.recvWin&(1<<off) != 0 {
+			return nil, ErrReplay
+		}
 	}
 	binary.BigEndian.PutUint64(s.nonce[4:], ctr)
 	plain, err := s.aead.Open(dst, s.nonce, sealed[8:], aad)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAuthFailed, err)
 	}
-	s.lastRecv = ctr
+	// Advance the window only after authentication, so forged counters
+	// cannot perturb replay state.
+	if ctr > s.recvMax {
+		if shift := ctr - s.recvMax; shift >= replayWindow {
+			s.recvWin = 1
+		} else {
+			s.recvWin = s.recvWin<<shift | 1
+		}
+		s.recvMax = ctr
+	} else {
+		s.recvWin |= 1 << (s.recvMax - ctr)
+	}
 	return plain, nil
 }
 

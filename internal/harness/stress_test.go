@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"teechain/internal/chain"
+	"teechain/internal/wire"
+)
+
+// TestClusterShardedStress is the concurrency stress for the
+// channel-sharded socket path, designed to run under -race: a 3-node
+// TCP cluster with four channels — two between the same pair of nodes
+// (multiplexed over one peer lane) and two more across distinct pairs
+// (parallel lanes) — takes concurrent single payments and batches from
+// separate goroutines. The workload is chosen so the final balance of
+// every channel is exact: per channel, one side pays a fixed schedule
+// and nothing else touches it.
+func TestClusterShardedStress(t *testing.T) {
+	c, err := NewCluster("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, edge := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}} {
+		if err := c.Connect(edge[0], edge[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// channel plan: payer, payee, payments, amount, batch size (1 =
+	// plain Pay frames). ab1/ab2 share the a<->b peer lane; ac and bc
+	// run on their own lanes concurrently.
+	plan := []struct {
+		payer, payee string
+		payments     int
+		amount       chain.Amount
+		batch        int
+	}{
+		{"a", "b", 600, 5, 1},  // ab1: singles
+		{"a", "b", 609, 7, 16}, // ab2: batches (609 = 38*16+1, ragged tail)
+		{"a", "c", 500, 3, 8},
+		{"b", "c", 800, 2, 1},
+	}
+
+	const fund = 100_000
+	chIDs := make([]wire.ChannelID, len(plan))
+	for i, p := range plan {
+		id, err := c.OpenChannel(p.payer, p.payee, fund)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chIDs[i] = wire.ChannelID(id)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(plan))
+	for i, p := range plan {
+		wg.Add(1)
+		go func(chID wire.ChannelID, payer string, payments int, amount chain.Amount, batch int) {
+			defer wg.Done()
+			h := c.Host(payer)
+			pay := func(n int) error {
+				if n == 1 {
+					return h.Pay(chID, amount)
+				}
+				amounts := make([]chain.Amount, n)
+				for j := range amounts {
+					amounts[j] = amount
+				}
+				return h.PayBatch(chID, amounts)
+			}
+			for sent := 0; sent < payments; {
+				n := batch
+				if payments-sent < n {
+					n = payments - sent
+				}
+				if err := pay(n); err != nil {
+					errs <- fmt.Errorf("%s on %s: %w", payer, chID, err)
+					return
+				}
+				sent += n
+			}
+		}(chIDs[i], p.payer, p.payments, p.amount, p.batch)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every payer waits for its full ack count (a pays on three
+	// channels, b on one).
+	if err := c.Host("a").AwaitAcked(600+609+500, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Host("b").AwaitAcked(800, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact final balances, checked from both ends of every channel.
+	for i, p := range plan {
+		paid := chain.Amount(p.payments) * p.amount
+		mine, remote, err := c.Host(p.payer).ChannelBalances(chIDs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mine != fund-paid || remote != paid {
+			t.Fatalf("%s view of %s: mine=%d remote=%d, want %d/%d",
+				p.payer, chIDs[i], mine, remote, fund-paid, paid)
+		}
+		theirs, ours, err := c.Host(p.payee).ChannelBalances(chIDs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if theirs != paid || ours != fund-paid {
+			t.Fatalf("%s view of %s: mine=%d remote=%d, want %d/%d",
+				p.payee, chIDs[i], theirs, ours, paid, fund-paid)
+		}
+	}
+
+	// Nothing dropped, nothing nacked, per-channel counters exact.
+	for _, name := range []string{"a", "b", "c"} {
+		if st := c.Host(name).Stats(); st.Drops != 0 || st.PaymentsNacked != 0 {
+			t.Fatalf("%s stats after stress: %+v", name, st)
+		}
+	}
+	for i, p := range plan {
+		cs := c.Host(p.payer).ChannelStats()[chIDs[i]]
+		want := uint64(p.payments)
+		if cs.Sent != want || cs.Acked != want || cs.InFlight != 0 {
+			t.Fatalf("%s channel stats for %s: %+v, want sent=acked=%d",
+				p.payer, chIDs[i], cs, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,13 +31,19 @@ import (
 //	attest <name>                mutual remote attestation with a peer
 //	open <name>                  open a channel, prints its id
 //	fund <channel> <amount>      deposit fresh funds into a channel
-//	pay <channel> <amount> [n]   send n (default 1) payments, wait for acks
+//	pay <channel> <amount> [n [batch]]
+//	                             send n (default 1) payments and wait
+//	                             for acks; batch > 1 packs them into
+//	                             PayBatch frames of that many payments
 //	paymh <amount> <hop>...      multi-hop payment via named/hex hops
 //	settle <channel>             settle a channel on chain
 //	balances <channel>           channel balances (mine remote)
 //	mine [n]                     mine n (default 1) blocks
 //	balance                      wallet balance on chain
 //	stats                        host counters
+//	stats channels               per-channel payment counters
+//	                             (sent/acked/nacked/received/inflight
+//	                             and the peer link's queue depth)
 //	quit                         close this control connection
 
 // controlTimeout bounds every blocking control command.
@@ -158,23 +165,48 @@ func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
 		}
 		return point.String(), nil
 	case "pay":
-		if len(args) != 2 && len(args) != 3 {
-			return "", fmt.Errorf("usage: pay <channel> <amount> [count]")
+		if len(args) < 2 || len(args) > 4 {
+			return "", fmt.Errorf("usage: pay <channel> <amount> [count [batch]]")
 		}
 		amount, err := parseAmount(args[1])
 		if err != nil {
 			return "", err
 		}
 		count := 1
-		if len(args) == 3 {
+		if len(args) >= 3 {
 			if count, err = strconv.Atoi(args[2]); err != nil || count < 1 {
 				return "", fmt.Errorf("bad count %q", args[2])
 			}
 		}
-		target := h.Stats().PaymentsAcked + uint64(count)
-		for i := 0; i < count; i++ {
-			if err := h.Pay(wire.ChannelID(args[0]), amount); err != nil {
-				return "", err
+		batch := 1
+		if len(args) == 4 {
+			if batch, err = strconv.Atoi(args[3]); err != nil || batch < 1 {
+				return "", fmt.Errorf("bad batch size %q", args[3])
+			}
+		}
+		// Payments pipeline: all issue up front, one wait for the acks
+		// (signalled, not polled). With batch > 1 they pack into
+		// PayBatch frames so framing and tokens amortise.
+		target := h.AckedTotal() + uint64(count)
+		chID := wire.ChannelID(args[0])
+		if batch <= 1 {
+			for i := 0; i < count; i++ {
+				if err := h.Pay(chID, amount); err != nil {
+					return "", err
+				}
+			}
+		} else {
+			amounts := make([]chain.Amount, 0, batch)
+			for sent := 0; sent < count; {
+				n := min(batch, count-sent)
+				amounts = amounts[:0]
+				for i := 0; i < n; i++ {
+					amounts = append(amounts, amount)
+				}
+				if err := h.PayBatch(chID, amounts); err != nil {
+					return "", err
+				}
+				sent += n
 			}
 		}
 		if err := h.AwaitAcked(target, controlTimeout); err != nil {
@@ -236,6 +268,24 @@ func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
 		}
 		return strconv.FormatInt(int64(bal), 10), nil
 	case "stats":
+		if len(args) == 1 && args[0] == "channels" {
+			per := h.ChannelStats()
+			ids := make([]string, 0, len(per))
+			for id := range per {
+				ids = append(ids, string(id))
+			}
+			sort.Strings(ids)
+			parts := make([]string, 0, len(ids))
+			for _, id := range ids {
+				cs := per[wire.ChannelID(id)]
+				parts = append(parts, fmt.Sprintf("%s sent=%d acked=%d nacked=%d received=%d inflight=%d queue=%d",
+					id, cs.Sent, cs.Acked, cs.Nacked, cs.Received, cs.InFlight, cs.QueueDepth))
+			}
+			return strings.Join(parts, "; "), nil
+		}
+		if len(args) != 0 {
+			return "", fmt.Errorf("usage: stats [channels]")
+		}
 		st := h.Stats()
 		return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d",
 			st.PaymentsSent, st.PaymentsAcked, st.PaymentsNacked, st.PaymentsReceived,

@@ -11,9 +11,19 @@
 // A Host is the untrusted machine owner of one enclave: it moves bytes,
 // answers the enclave's approval events against the blockchain, and
 // exposes operator entry points (attest, open channel, fund, pay,
-// settle). All enclave access is serialized under one host lock — the
-// enclave is a single-threaded state machine by design — while the
-// per-peer writers and readers run concurrently around it.
+// settle).
+//
+// Concurrency model (DESIGN.md, "Concurrency model"): enclave access is
+// two-tier. Cold operations — session setup, channel lifecycle,
+// deposits, multi-hop, replication, settlement, state inspection — hold
+// the host's wide lock exclusively, as in a single-threaded host. The
+// payment fast path (Pay/PayAck/PayNack/PayBatch/PayBatchAck frames and
+// the Pay/PayBatch entry points) holds the wide lock in READ mode plus
+// the per-peer lane lock of the one peer involved, so payments on
+// channels with different peers proceed in parallel across cores while
+// payments sharing a peer stay serialized (their session freshness
+// counters demand it). Stats are per-channel/per-peer atomics, so
+// neither counting nor Stats() serializes the lanes.
 package transport
 
 import (
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"teechain/internal/chain"
@@ -52,14 +63,16 @@ type Config struct {
 	// 25 ms / 1 s).
 	RedialMin, RedialMax time.Duration
 	// OnEvent, when set, observes every enclave event after built-in
-	// handling. Called with the host lock held; do not call back into
+	// handling. Called with the wide lock held for cold-path events and
+	// with a lane lock held for payment events; do not call back into
 	// the host.
 	OnEvent func(core.Event)
 	// Logf, when set, receives host diagnostics.
 	Logf func(format string, args ...any)
 }
 
-// Stats counts host activity. Reads are snapshots under the host lock.
+// Stats counts host activity. Each value is an atomic snapshot; the set
+// is not guaranteed mutually consistent while traffic is in flight.
 type Stats struct {
 	PaymentsSent     uint64
 	PaymentsAcked    uint64
@@ -73,10 +86,32 @@ type Stats struct {
 	Reconnects       uint64
 }
 
+// ChannelStats is one channel's payment counters (the sharded hot-path
+// counting: every field is maintained with atomics by the channel's
+// lane, so reading them never blocks payments).
+type ChannelStats struct {
+	Sent     uint64 // payments issued by this host on the channel
+	Acked    uint64 // payments acknowledged by the peer
+	Nacked   uint64 // payments rejected and reversed
+	Received uint64 // payments received from the peer
+	InFlight uint64 // issued but not yet acked or nacked
+	// QueueDepth is the owning peer's outbound frame queue length — a
+	// saturation signal for the whole peer link, not just this channel.
+	QueueDepth int
+}
+
 type channelInfo struct {
 	peer   cryptoutil.PublicKey
 	open   bool
 	closed bool
+
+	// Hot-path counters, updated under the owning peer's lane lock (or
+	// the wide lock) but always atomically, so Stats readers never
+	// contend with payments.
+	sent     atomic.Uint64
+	acked    atomic.Uint64
+	nacked   atomic.Uint64
+	received atomic.Uint64
 }
 
 type mhOutcome struct {
@@ -92,7 +127,9 @@ type Host struct {
 	wallet  *cryptoutil.KeyPair
 	chain   ChainAccess
 
-	mu          sync.Mutex
+	// mu is the wide lock: held exclusively by every cold operation,
+	// in read mode by the payment lanes (see the package comment).
+	mu          sync.RWMutex
 	ln          net.Listener
 	listenAddr  string
 	peersByID   map[cryptoutil.PublicKey]*peer
@@ -101,9 +138,27 @@ type Host struct {
 	conns       map[net.Conn]struct{}
 	channels    map[wire.ChannelID]*channelInfo
 	mh          map[wire.PaymentID]*mhOutcome
-	stats       Stats
 	seq         uint64
 	closed      bool
+
+	// Host-wide counters not attributable to one peer or channel.
+	// Atomic so writer/reader goroutines never take the wide lock.
+	sentTotal     atomic.Uint64
+	ackedTotal    atomic.Uint64
+	nackedTotal   atomic.Uint64
+	receivedTotal atomic.Uint64
+	mhOK          atomic.Uint64
+	mhFailed      atomic.Uint64
+	framesMisc    atomic.Uint64 // inbound frames with no resolved peer
+	drops         atomic.Uint64
+	reconnects    atomic.Uint64
+
+	// Ack signalling: AwaitAcked sleeps on ackCond instead of polling.
+	// noteAcked broadcasts only while ackWaiters is nonzero, so the
+	// uncontended hot path pays one atomic load.
+	ackMu      sync.Mutex
+	ackCond    *sync.Cond
+	ackWaiters atomic.Int32
 
 	wg sync.WaitGroup
 }
@@ -147,7 +202,10 @@ func NewHost(cfg Config) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Host{
+	// Payment lanes run concurrently; the enclave's pools must lock.
+	// No goroutine exists yet, so this is safely ordered before all use.
+	enclave.EnableConcurrentHost()
+	h := &Host{
 		cfg:         cfg,
 		enclave:     enclave,
 		wallet:      wallet,
@@ -158,7 +216,9 @@ func NewHost(cfg Config) (*Host, error) {
 		conns:       make(map[net.Conn]struct{}),
 		channels:    make(map[wire.ChannelID]*channelInfo),
 		mh:          make(map[wire.PaymentID]*mhOutcome),
-	}, nil
+	}
+	h.ackCond = sync.NewCond(&h.ackMu)
+	return h, nil
 }
 
 // Name returns the host's node name.
@@ -173,16 +233,74 @@ func (h *Host) WalletKey() cryptoutil.PublicKey { return h.wallet.Public() }
 // WalletAddress returns the payout key's address.
 func (h *Host) WalletAddress() cryptoutil.Address { return h.wallet.Address() }
 
-// Stats returns a snapshot of the host counters.
+// Stats sums the sharded counters into one snapshot. It takes the wide
+// lock only in read mode, so it never stalls payment lanes.
 func (h *Host) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	st := Stats{
+		PaymentsSent:     h.sentTotal.Load(),
+		PaymentsAcked:    h.ackedTotal.Load(),
+		PaymentsNacked:   h.nackedTotal.Load(),
+		PaymentsReceived: h.receivedTotal.Load(),
+		MultihopsOK:      h.mhOK.Load(),
+		MultihopsFailed:  h.mhFailed.Load(),
+		FramesIn:         h.framesMisc.Load(),
+		Drops:            h.drops.Load(),
+		Reconnects:       h.reconnects.Load(),
+	}
+	h.mu.RLock()
+	h.forEachPeerLocked(func(p *peer) {
+		st.FramesIn += p.framesIn.Load()
+		st.FramesOut += p.framesOut.Load()
+	})
+	h.mu.RUnlock()
+	return st
 }
 
-// WithEnclave runs fn with the enclave under the host lock, for
-// inspection by tests and the control API. fn must not retain the
-// enclave.
+// forEachPeerLocked visits every distinct peer record exactly once (a
+// record can appear in both the identity and address indexes). Caller
+// holds the wide lock in either mode.
+func (h *Host) forEachPeerLocked(fn func(*peer)) {
+	seen := map[*peer]bool{}
+	for _, p := range h.peersByID {
+		if !seen[p] {
+			seen[p] = true
+			fn(p)
+		}
+	}
+	for _, p := range h.peersByAddr {
+		if !seen[p] {
+			seen[p] = true
+			fn(p)
+		}
+	}
+}
+
+// ChannelStats snapshots the per-channel payment counters.
+func (h *Host) ChannelStats() map[wire.ChannelID]ChannelStats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make(map[wire.ChannelID]ChannelStats, len(h.channels))
+	for id, ci := range h.channels {
+		cs := ChannelStats{
+			Sent:     ci.sent.Load(),
+			Acked:    ci.acked.Load(),
+			Nacked:   ci.nacked.Load(),
+			Received: ci.received.Load(),
+		}
+		if settled := cs.Acked + cs.Nacked; cs.Sent > settled {
+			cs.InFlight = cs.Sent - settled
+		}
+		if p := h.peersByID[ci.peer]; p != nil {
+			cs.QueueDepth = len(p.outbox)
+		}
+		out[id] = cs
+	}
+	return out
+}
+
+// WithEnclave runs fn with the enclave under the wide lock (lanes
+// quiesced), for inspection by tests and the control API. fn must not
+// retain the enclave.
 func (h *Host) WithEnclave(fn func(*core.Enclave)) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -271,19 +389,7 @@ func (h *Host) Close() {
 	ln := h.ln
 	h.ln = nil
 	peers := make([]*peer, 0, len(h.peersByAddr)+len(h.peersByID))
-	seen := map[*peer]bool{}
-	for _, p := range h.peersByAddr {
-		if !seen[p] {
-			seen[p] = true
-			peers = append(peers, p)
-		}
-	}
-	for _, p := range h.peersByID {
-		if !seen[p] {
-			seen[p] = true
-			peers = append(peers, p)
-		}
-	}
+	h.forEachPeerLocked(func(p *peer) { peers = append(peers, p) })
 	conns := make([]net.Conn, 0, len(h.conns))
 	for c := range h.conns {
 		conns = append(conns, c)
@@ -322,9 +428,7 @@ func (h *Host) untrackConn(conn net.Conn) {
 }
 
 func (h *Host) noteReconnect() {
-	h.mu.Lock()
-	h.stats.Reconnects++
-	h.mu.Unlock()
+	h.reconnects.Add(1)
 }
 
 func (h *Host) acceptLoop(ln net.Listener) {
@@ -366,34 +470,167 @@ func (h *Host) writeHello(conn net.Conn) error {
 
 // readLoop pumps frames from one connection into the host. p is the
 // dialing peer that owns the connection, or nil for accepted
-// connections (resolved at hello time).
+// connections (resolved at hello time). The FrameReader reuses its
+// body, token, and hot-path message buffers across frames; each frame
+// is fully handled before the next is read, per its contract.
 func (h *Host) readLoop(ch connHandle, p *peer) {
 	defer h.wg.Done()
 	defer close(ch.dead)
 	defer ch.conn.Close()
 	defer h.untrackConn(ch.conn)
-	r := bufio.NewReader(ch.conn)
-	var buf []byte
+	fr := wire.NewFrameReader(bufio.NewReader(ch.conn))
 	for {
-		body, err := wire.ReadFrame(r, buf)
+		f, err := fr.Next()
 		if err != nil {
-			return
-		}
-		buf = body
-		f, err := wire.DecodeFrame(body)
-		if err != nil {
-			// Framing violation: the stream is unrecoverable.
-			h.logf("%s: dropping connection on bad frame: %v", h.cfg.Name, err)
+			if isFramingErr(err) {
+				// Framing violation: the stream is unrecoverable.
+				h.logf("%s: dropping connection on bad frame: %v", h.cfg.Name, err)
+			}
 			return
 		}
 		h.handleFrame(ch, p, f)
 	}
 }
 
+// isFramingErr distinguishes protocol violations (worth logging) from
+// ordinary connection teardown.
+func isFramingErr(err error) bool {
+	return errors.Is(err, wire.ErrFrameVersion) || errors.Is(err, wire.ErrFrameTooLarge) ||
+		errors.Is(err, wire.ErrFrameTruncated) || errors.Is(err, wire.ErrUnknownType) ||
+		errors.Is(err, wire.ErrFrameEncoding) || errors.Is(err, wire.ErrFramePayload)
+}
+
 func (h *Host) handleFrame(ch connHandle, p *peer, f wire.Frame) {
+	if core.LaneMessage(f.Msg) && h.handleLaneFrame(f) {
+		return
+	}
+	h.handleWideFrame(ch, p, f)
+}
+
+// handleLaneFrame is the payment fast path: wide lock in read mode plus
+// the sender's lane lock. Returns false when the frame must take the
+// wide path instead (unknown peer, or the enclave is running a feature
+// that disqualifies lanes — see core.LaneEligible).
+func (h *Host) handleLaneFrame(f wire.Frame) bool {
+	h.mu.RLock()
+	if h.closed {
+		h.mu.RUnlock()
+		return true // drop
+	}
+	p := h.peersByID[f.From]
+	if p == nil || !h.enclave.LaneEligible() {
+		h.mu.RUnlock()
+		return false
+	}
+	p.lane.Lock()
+	p.framesIn.Add(1)
+	res, err := h.enclave.HandleLane(f.From, f.Token, f.Msg)
+	if err != nil {
+		p.lane.Unlock()
+		h.mu.RUnlock()
+		h.logf("%s: dropping %T from %s: %v", h.cfg.Name, f.Msg, f.From, err)
+		return true
+	}
+	h.dispatchLane(p, res)
+	p.lane.Unlock()
+	h.mu.RUnlock()
+	return true
+}
+
+// dispatchLane consumes a lane result: outbound frames to the same
+// peer, per-channel counters from the unboxed payment outcome, ack
+// signalling, and recycling. Caller holds RLock + p.lane.
+func (h *Host) dispatchLane(p *peer, res *core.Result) {
+	if res == nil {
+		return
+	}
+	for i := range res.Out {
+		h.sendLane(p, res.Out[i].To, res.Out[i].Msg)
+	}
+	out := res.PayOutcome()
+	switch out.Kind {
+	case core.PayAcked:
+		if ci := h.channels[out.Channel]; ci != nil {
+			ci.acked.Add(uint64(out.Count))
+		}
+		h.noteAcked(uint64(out.Count))
+	case core.PayNacked:
+		if ci := h.channels[out.Channel]; ci != nil {
+			ci.nacked.Add(uint64(out.Count))
+		}
+		h.nackedTotal.Add(uint64(out.Count))
+	case core.PayReceived:
+		if ci := h.channels[out.Channel]; ci != nil {
+			ci.received.Add(uint64(out.Count))
+		}
+		h.receivedTotal.Add(uint64(out.Count))
+	}
+	if res.HasEvents() {
+		// Lane-eligible payment handlers produce no boxed events; seeing
+		// one means the eligibility gate and the handlers disagree.
+		h.logf("%s: unexpected boxed events on lane path", h.cfg.Name)
+	}
+	if h.cfg.OnEvent != nil {
+		res.ForEachEvent(h.cfg.OnEvent)
+	}
+	h.enclave.RecycleResult(res)
+}
+
+// sendLane seals, frames, and enqueues one lane message. Lane results
+// only ever target the lane's own peer (payment handlers answer the
+// sender); anything else is dropped loudly.
+func (h *Host) sendLane(p *peer, to cryptoutil.PublicKey, msg wire.Message) {
+	if !p.hasID || p.id != to {
+		h.drops.Add(1)
+		h.logf("%s: lane message for %s is not the lane peer, dropping %T", h.cfg.Name, to, msg)
+		return
+	}
+	tok, err := h.enclave.SealTokenAppend(p.tokenBuf[:0], to)
+	if err != nil {
+		h.drops.Add(1)
+		h.logf("%s: sealing token for %s: %v", h.cfg.Name, p.name, err)
+		return
+	}
+	p.tokenBuf = tok
+	frame, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), tok, msg)
+	if err != nil {
+		h.drops.Add(1)
+		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
+		return
+	}
+	if p.enqueue(frame) {
+		p.framesOut.Add(1)
+	} else {
+		h.drops.Add(1)
+		p.putBuf(frame)
+		h.logf("%s: outbound queue to %s full, dropping %T", h.cfg.Name, p.name, msg)
+	}
+}
+
+// noteAcked advances the host ack total and wakes AwaitAcked sleepers.
+func (h *Host) noteAcked(n uint64) {
+	h.ackedTotal.Add(n)
+	if h.ackWaiters.Load() > 0 {
+		h.ackMu.Lock()
+		h.ackCond.Broadcast()
+		h.ackMu.Unlock()
+	}
+}
+
+// handleWideFrame is the cold frame path, serialized under the wide
+// lock: hellos, attestation, channel lifecycle, deposits, multi-hop,
+// replication, settlement — plus payment frames whenever lanes are
+// ineligible (replication, stable storage, outsourcing).
+func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.stats.FramesIn++
+	if rp := h.peersByID[f.From]; rp != nil {
+		rp.framesIn.Add(1)
+	} else if p != nil {
+		p.framesIn.Add(1)
+	} else {
+		h.framesMisc.Add(1)
+	}
 	if hello, ok := f.Msg.(*wire.Hello); ok {
 		h.handleHelloLocked(ch, p, f.From, hello)
 		return
@@ -403,7 +640,6 @@ func (h *Host) handleFrame(ch connHandle, p *peer, f wire.Frame) {
 		h.logf("%s: dropping %T from %s: %v", h.cfg.Name, f.Msg, f.From, err)
 		return
 	}
-	h.noteIncomingLocked(f.Msg)
 	h.dispatchLocked(res)
 }
 
@@ -430,9 +666,46 @@ func (h *Host) handleHelloLocked(ch connHandle, p *peer, from cryptoutil.PublicK
 	}
 	// A different record may already hold this identity (mutual dial:
 	// both sides list each other as peers). Retire it so its writer
-	// goroutine exits — an orphaned writer would block Close forever.
+	// goroutine exits — an orphaned writer would block Close forever —
+	// without closing its live connection (inbound frames may still be
+	// riding it), and reparent whatever its writer had not yet sent: an
+	// attest response enqueued in the race window would otherwise be
+	// lost, and attestation has no retransmit. Queued frames move NOW,
+	// under the wide lock, before any new send can target the surviving
+	// record, keeping the reorder depth at the receiver tiny; a helper
+	// then waits off-lock for the writer to finish (it requeues its
+	// write-failed pending frame on exit) and recovers the tail. The
+	// session anti-replay window (cryptoutil.Session) absorbs the
+	// residual cross-connection reordering instead of dropping frames
+	// whose senders have already committed them.
 	if old := h.peersByID[from]; old != nil && old != p {
-		old.close()
+		old.retire()
+	drain:
+		for {
+			select {
+			case frame := <-old.outbox:
+				if !p.enqueue(frame) {
+					h.drops.Add(1)
+				}
+			default:
+				break drain
+			}
+		}
+		h.wg.Add(1)
+		go func(old, dst *peer) {
+			defer h.wg.Done()
+			<-old.writerDone
+			for {
+				select {
+				case frame := <-old.outbox:
+					if !dst.enqueue(frame) {
+						h.drops.Add(1)
+					}
+				default:
+					return
+				}
+			}
+		}(old, p)
 	}
 	p.id = from
 	p.hasID = true
@@ -452,12 +725,6 @@ func (h *Host) handleHelloLocked(ch connHandle, p *peer, from cryptoutil.PublicK
 	p.markHello()
 }
 
-func (h *Host) noteIncomingLocked(msg wire.Message) {
-	if m, ok := msg.(*wire.Pay); ok {
-		h.stats.PaymentsReceived += uint64(m.Count)
-	}
-}
-
 // --- Dispatch: enclave results out to the network and host ---
 
 func (h *Host) dispatchLocked(res *core.Result) {
@@ -474,7 +741,7 @@ func (h *Host) dispatchLocked(res *core.Result) {
 func (h *Host) sendLocked(to cryptoutil.PublicKey, msg wire.Message) {
 	p := h.peersByID[to]
 	if p == nil {
-		h.stats.Drops++
+		h.drops.Add(1)
 		h.logf("%s: no peer for identity %s, dropping %T", h.cfg.Name, to, msg)
 		return
 	}
@@ -482,22 +749,23 @@ func (h *Host) sendLocked(to cryptoutil.PublicKey, msg wire.Message) {
 	if _, isAttest := msg.(*wire.Attest); !isAttest {
 		t, err := h.enclave.SealToken(to)
 		if err != nil {
-			h.stats.Drops++
+			h.drops.Add(1)
 			h.logf("%s: sealing token for %s: %v", h.cfg.Name, p.name, err)
 			return
 		}
 		token = t
 	}
-	frame, err := wire.AppendFrame(nil, h.enclave.Identity(), token, msg)
+	frame, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), token, msg)
 	if err != nil {
-		h.stats.Drops++
+		h.drops.Add(1)
 		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
 		return
 	}
 	if p.enqueue(frame) {
-		h.stats.FramesOut++
+		p.framesOut.Add(1)
 	} else {
-		h.stats.Drops++
+		h.drops.Add(1)
+		p.putBuf(frame)
 		h.logf("%s: outbound queue to %s full, dropping %T", h.cfg.Name, p.name, msg)
 	}
 }
@@ -532,13 +800,22 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		}
 		h.dispatchLocked(res)
 	case core.EvPayAcked:
-		h.stats.PaymentsAcked += uint64(e.Count)
+		if ci := h.channels[e.Channel]; ci != nil {
+			ci.acked.Add(uint64(e.Count))
+		}
+		h.noteAcked(uint64(e.Count))
 	case core.EvPayNacked:
-		h.stats.PaymentsNacked += uint64(e.Count)
+		if ci := h.channels[e.Channel]; ci != nil {
+			ci.nacked.Add(uint64(e.Count))
+		}
+		h.nackedTotal.Add(uint64(e.Count))
 	case core.EvPaymentReceived:
-		// counted in noteIncomingLocked
+		if ci := h.channels[e.Channel]; ci != nil {
+			ci.received.Add(uint64(e.Count))
+		}
+		h.receivedTotal.Add(uint64(e.Count))
 	case core.EvMultihopArrived:
-		h.stats.PaymentsReceived += uint64(e.Count)
+		h.receivedTotal.Add(uint64(e.Count))
 	case core.EvMultihopComplete:
 		o := h.mh[e.Payment]
 		if o == nil {
@@ -547,9 +824,9 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		}
 		o.done, o.ok, o.reason = true, e.OK, e.Reason
 		if e.OK {
-			h.stats.MultihopsOK++
+			h.mhOK.Add(1)
 		} else {
-			h.stats.MultihopsFailed++
+			h.mhFailed.Add(1)
 		}
 	case core.EvSettlementReady:
 		if e.Tx != nil {
@@ -599,12 +876,13 @@ func (h *Host) submitSettlementLocked(tx *chain.Transaction, needs []core.SigNee
 // accept-only.
 func (h *Host) newPeerLocked(addr string) *peer {
 	p := &peer{
-		h:       h,
-		addr:    addr,
-		outbox:  make(chan []byte, h.cfg.QueueDepth),
-		connCh:  make(chan connHandle, 1),
-		quit:    make(chan struct{}),
-		helloCh: make(chan struct{}),
+		h:          h,
+		addr:       addr,
+		outbox:     make(chan []byte, h.cfg.QueueDepth),
+		connCh:     make(chan connHandle, 1),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		helloCh:    make(chan struct{}),
 	}
 	if addr != "" {
 		h.peersByAddr[addr] = p
@@ -686,8 +964,9 @@ func (h *Host) ResolveIdentity(s string) (cryptoutil.PublicKey, error) {
 
 // --- Operator entry points ---
 
-// await polls pred (under the host lock) until it returns true or the
-// timeout expires.
+// await polls pred (under the wide lock) until it returns true or the
+// timeout expires. Cold-path only; the payment ack wait has its own
+// condition-variable path (AwaitAcked).
 func (h *Host) await(timeout time.Duration, what string, pred func() bool) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -811,26 +1090,122 @@ func (h *Host) FundChannel(chID wire.ChannelID, value chain.Amount, timeout time
 
 // Pay sends one payment over a channel. Acknowledgement is
 // asynchronous: use AwaitAcked (acks arrive in issue order per
-// channel).
+// channel). The fast path holds only the wide read lock plus the
+// channel peer's lane, so payments on different peers run in parallel.
 func (h *Host) Pay(chID wire.ChannelID, amount chain.Amount) error {
+	return h.pay(chID, amount, nil)
+}
+
+// PayBatch sends len(amounts) payments over a channel in a single wire
+// frame (the paper's same-channel batching, §7.2). The batch applies
+// atomically on both sides and is acknowledged by one PayBatchAck,
+// counted as len(amounts) payments by AwaitAcked.
+func (h *Host) PayBatch(chID wire.ChannelID, amounts []chain.Amount) error {
+	if len(amounts) == 0 {
+		return errors.New("transport: empty payment batch")
+	}
+	return h.pay(chID, 0, amounts)
+}
+
+// enclavePay issues the enclave call for pay/payWide: one payment of
+// amount when amounts is nil, otherwise the batch. (A closure would
+// capture its arguments onto the heap once per payment.)
+func (h *Host) enclavePay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount) (*core.Result, error) {
+	if amounts == nil {
+		return h.enclave.Pay(chID, amount, 1)
+	}
+	return h.enclave.PayBatch(chID, amounts)
+}
+
+// pay is the shared payment entry: lane fast path when the channel's
+// peer is known and lanes are eligible, wide-lock fallback otherwise.
+func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount) error {
+	count := uint64(1)
+	if amounts != nil {
+		count = uint64(len(amounts))
+	}
+	h.mu.RLock()
+	if h.closed {
+		h.mu.RUnlock()
+		return errors.New("transport: host closed")
+	}
+	ci := h.channels[chID]
+	if ci == nil {
+		h.mu.RUnlock()
+		return fmt.Errorf("transport: unknown channel %s", chID)
+	}
+	p := h.peersByID[ci.peer]
+	if p == nil || !h.enclave.LaneEligible() {
+		h.mu.RUnlock()
+		return h.payWide(chID, amount, amounts, count)
+	}
+	p.lane.Lock()
+	res, err := h.enclavePay(chID, amount, amounts)
+	if err != nil {
+		p.lane.Unlock()
+		h.mu.RUnlock()
+		return err
+	}
+	ci.sent.Add(count)
+	h.sentTotal.Add(count)
+	h.dispatchLane(p, res)
+	p.lane.Unlock()
+	h.mu.RUnlock()
+	return nil
+}
+
+// payWide is pay under the wide lock, used while lanes are ineligible
+// (replication, stable storage, outsourcing active).
+func (h *Host) payWide(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount, count uint64) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	res, err := h.enclave.Pay(chID, amount, 1)
+	if h.closed {
+		return errors.New("transport: host closed")
+	}
+	res, err := h.enclavePay(chID, amount, amounts)
 	if err != nil {
 		return err
 	}
-	h.stats.PaymentsSent++
+	if ci := h.channels[chID]; ci != nil {
+		ci.sent.Add(count)
+	}
+	h.sentTotal.Add(count)
 	h.dispatchLocked(res)
 	return nil
 }
 
 // AwaitAcked blocks until at least n payments have been acknowledged
-// since the host started.
+// since the host started. It sleeps on a condition variable that the
+// ack path signals — no polling.
 func (h *Host) AwaitAcked(n uint64, timeout time.Duration) error {
-	return h.await(timeout, fmt.Sprintf("%d payment acks", n), func() bool {
-		return h.stats.PaymentsAcked >= n
+	if h.ackedTotal.Load() >= n {
+		return nil
+	}
+	h.ackWaiters.Add(1)
+	defer h.ackWaiters.Add(-1)
+	deadline := time.Now().Add(timeout)
+	// The timer converts the deadline into a broadcast so the cond wait
+	// below cannot sleep past it.
+	timer := time.AfterFunc(timeout, func() {
+		h.ackMu.Lock()
+		h.ackCond.Broadcast()
+		h.ackMu.Unlock()
 	})
+	defer timer.Stop()
+	h.ackMu.Lock()
+	defer h.ackMu.Unlock()
+	for h.ackedTotal.Load() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: %s: timed out waiting for %d payment acks (have %d)",
+				h.cfg.Name, n, h.ackedTotal.Load())
+		}
+		h.ackCond.Wait()
+	}
+	return nil
 }
+
+// AckedTotal returns the number of payments acknowledged so far.
+func (h *Host) AckedTotal() uint64 { return h.ackedTotal.Load() }
 
 // PayMultihop routes amount along path (this enclave first, final
 // recipient last) and blocks for the outcome.
@@ -843,7 +1218,7 @@ func (h *Host) PayMultihop(path []cryptoutil.PublicKey, amount chain.Amount, tim
 		h.mu.Unlock()
 		return err
 	}
-	h.stats.PaymentsSent++
+	h.sentTotal.Add(1)
 	h.mh[pid] = &mhOutcome{}
 	h.dispatchLocked(res)
 	h.mu.Unlock()
@@ -863,9 +1238,7 @@ func (h *Host) PayMultihop(path []cryptoutil.PublicKey, amount chain.Amount, tim
 	if !out.ok {
 		return fmt.Errorf("transport: multihop payment failed: %s", out.reason)
 	}
-	h.mu.Lock()
-	h.stats.PaymentsAcked++
-	h.mu.Unlock()
+	h.noteAcked(1)
 	return nil
 }
 

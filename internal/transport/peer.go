@@ -3,6 +3,7 @@ package transport
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"teechain/internal/cryptoutil"
@@ -27,6 +28,11 @@ type connHandle struct {
 // returned an error, so queued traffic is delivered exactly once in the
 // quiet-reconnect case (peer restarted between frames) and at least
 // once when a connection dies mid-write.
+//
+// The peer is also the unit of payment-lane concurrency: lane holders
+// (who also hold the host's wide lock in read mode) serialize all
+// hot-path enclave work touching this peer — its session counters and
+// its channels' balances — so lanes for different peers never contend.
 type peer struct {
 	h    *Host
 	addr string // dial target; "" for accept-only peers
@@ -34,10 +40,39 @@ type peer struct {
 	outbox chan []byte
 	connCh chan connHandle // accepted connections adopted by the writer
 	quit   chan struct{}
+	// writerDone closes when the writer goroutine has fully exited,
+	// with any write-failed pending frame requeued to outbox — the
+	// hello-collision reparent waits on it so no frame is stranded in
+	// the writer's private state.
+	writerDone chan struct{}
 
 	closeOnce sync.Once
 	helloOnce sync.Once
 	helloCh   chan struct{} // closed once the remote's hello arrived
+
+	// retired marks a record displaced by a hello collision (mutual
+	// dial): its writer must exit without closing the adopted
+	// connection, which may still carry inbound pre-session frames —
+	// an attest response has no retransmit — for the surviving record.
+	retired atomic.Bool
+
+	// lane serializes the payment fast path for this peer; see the
+	// package comment in host.go and internal/core/concurrent.go.
+	lane sync.Mutex
+
+	// tokenBuf is the lane-guarded scratch for outbound freshness
+	// tokens (sealed per frame, copied into the frame immediately).
+	tokenBuf []byte
+
+	// Per-peer frame counters (the sharded stats path).
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+
+	// bufMu guards freeBufs, the recycled outbound frame buffers:
+	// enqueuers take one, the writer returns it after a successful
+	// write. Bounded so an idle peer does not pin memory.
+	bufMu    sync.Mutex
+	freeBufs [][]byte
 
 	// mutable under h.mu
 	name  string
@@ -48,8 +83,49 @@ type peer struct {
 	pending []byte // frame whose write failed; resent on the next conn
 }
 
+// maxFreeBufs bounds the per-peer frame buffer freelist; maxFreeBufSize
+// keeps one oversized frame from pinning a large buffer forever.
+const (
+	maxFreeBufs    = 64
+	maxFreeBufSize = 64 << 10
+)
+
+// getBuf returns an empty frame buffer with recycled capacity when one
+// is available.
+func (p *peer) getBuf() []byte {
+	p.bufMu.Lock()
+	defer p.bufMu.Unlock()
+	if k := len(p.freeBufs); k > 0 {
+		b := p.freeBufs[k-1]
+		p.freeBufs = p.freeBufs[:k-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf returns a frame buffer to the freelist once no one references
+// its contents (after a successful write, or when enqueueing failed).
+func (p *peer) putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxFreeBufSize {
+		return
+	}
+	p.bufMu.Lock()
+	if len(p.freeBufs) < maxFreeBufs {
+		p.freeBufs = append(p.freeBufs, b[:0])
+	}
+	p.bufMu.Unlock()
+}
+
 func (p *peer) close() {
 	p.closeOnce.Do(func() { close(p.quit) })
+}
+
+// retire shuts the writer down without tearing the live connection;
+// see the retired field. The host closes tracked connections itself on
+// shutdown.
+func (p *peer) retire() {
+	p.retired.Store(true)
+	p.close()
 }
 
 func (p *peer) markHello() {
@@ -57,8 +133,8 @@ func (p *peer) markHello() {
 }
 
 // enqueue offers a frame to the outbound queue without blocking: the
-// caller holds the host lock, and a stalled peer must not stall the
-// whole host. A full queue drops the frame (counted by the caller).
+// caller holds host locks, and a stalled peer must not stall the whole
+// host. A full queue drops the frame (counted by the caller).
 func (p *peer) enqueue(frame []byte) bool {
 	select {
 	case p.outbox <- frame:
@@ -69,9 +145,25 @@ func (p *peer) enqueue(frame []byte) bool {
 }
 
 // run is the peer's writer goroutine: obtain a connection (dial or
-// adopt), drain the outbox onto it, repeat until the host closes.
+// adopt), drain the outbox onto it, repeat until the host closes. On
+// exit it requeues any write-failed pending frame and closes
+// writerDone, so a reparenter can recover the full queue.
 func (p *peer) run() {
 	defer p.h.wg.Done()
+	defer func() {
+		if p.pending != nil {
+			select {
+			case p.outbox <- p.pending:
+			default:
+				// Queue full: the frame is lost like any other
+				// overflow drop, but never silently.
+				p.h.drops.Add(1)
+				p.h.logf("%s: outbound queue full on writer exit, dropping pending frame", p.h.cfg.Name)
+			}
+			p.pending = nil
+		}
+		close(p.writerDone)
+	}()
 	backoff := p.h.cfg.RedialMin
 	for {
 		var ch connHandle
@@ -110,6 +202,9 @@ func (p *peer) run() {
 			}
 		}
 		p.serveConn(ch)
+		if p.retired.Load() {
+			return
+		}
 		ch.conn.Close()
 		select {
 		case <-p.quit:
@@ -122,13 +217,15 @@ func (p *peer) run() {
 
 // serveConn writes queued frames to one connection until it dies or
 // the host closes. A frame that fails to write stays in p.pending for
-// the next connection.
+// the next connection; successfully written frames recycle their
+// buffers to the peer's freelist.
 func (p *peer) serveConn(ch connHandle) {
 	for {
 		if p.pending != nil {
 			if err := writeFull(ch.conn, p.pending); err != nil {
 				return
 			}
+			p.putBuf(p.pending)
 			p.pending = nil
 		}
 		select {

@@ -8,14 +8,16 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"sync"
 
+	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
 )
 
 // This file defines the byte-transport framing used by real socket
 // deployments (internal/transport): a length-prefixed binary frame with
-// a version/type header, replacing the per-connection gob streams of
-// the original TCP demo. Per-connection gob streams are stateful — a
+// a version/type/flags header, replacing the per-connection gob streams
+// of the original TCP demo. Per-connection gob streams are stateful — a
 // reconnect mid-stream desynchronises the decoder — whereas each frame
 // here is self-contained, so connections can drop and resume at any
 // frame boundary.
@@ -26,24 +28,37 @@ import (
 //	0       4     frame length N (bytes following this prefix)
 //	4       1     protocol version (FrameVersion)
 //	5       1     message type code (see the registry below)
-//	6       65    sender enclave identity (cryptoutil.PublicKey)
-//	71      2     token length T
-//	73      T     session freshness token (empty for Attest/Hello)
-//	73+T    …     message payload, gob-encoded with a fresh encoder
+//	6       1     flags (bit 0: binary payload encoding)
+//	7       65    sender enclave identity (cryptoutil.PublicKey)
+//	72      2     token length T
+//	74      T     session freshness token (empty for Attest/Hello)
+//	74+T    …     message payload
+//
+// The payload is gob-encoded with a fresh encoder by default. Hot-path
+// payment messages (Pay, PayAck, PayNack, PayBatch, PayBatchAck)
+// implement BinaryMessage and travel as hand-rolled binary instead
+// (FlagBinaryPayload set): gob re-emits type descriptors on every
+// self-contained frame, which costs both bytes and allocations the
+// payment path cannot afford.
 //
 // The registry assigns every protocol message a stable one-byte code so
 // a receiver can reject unknown or malformed frames before decoding.
 
 // FrameVersion is the current framing protocol version. A frame with a
-// different version is rejected with ErrFrameVersion.
-const FrameVersion = 1
+// different version is rejected with ErrFrameVersion. Version 2 added
+// the flags byte and the binary payload encoding for payment messages.
+const FrameVersion = 2
+
+// FlagBinaryPayload marks a payload encoded via BinaryMessage rather
+// than gob.
+const FlagBinaryPayload = 1 << 0
 
 // MaxFrameSize bounds a frame's declared length, keeping a corrupt or
 // hostile length prefix from ballooning into a huge allocation.
 const MaxFrameSize = 1 << 20
 
 // frameHeaderSize is the fixed portion after the length prefix.
-const frameHeaderSize = 1 + 1 + 65 + 2
+const frameHeaderSize = 1 + 1 + 1 + 65 + 2
 
 // Framing errors. Receivers treat all of them as a protocol violation
 // by the remote connection.
@@ -52,6 +67,8 @@ var (
 	ErrFrameTooLarge  = errors.New("wire: frame exceeds MaxFrameSize")
 	ErrFrameTruncated = errors.New("wire: truncated frame")
 	ErrUnknownType    = errors.New("wire: unknown message type code")
+	ErrFrameEncoding  = errors.New("wire: payload encoding does not match message type")
+	ErrFramePayload   = errors.New("wire: malformed message payload")
 )
 
 // Hello is the transport-level handshake frame: the first frame each
@@ -67,6 +84,19 @@ type Hello struct {
 // WireSize implements Message.
 func (m *Hello) WireSize() int { return hdrSize + len(m.Name) + keySize }
 
+// BinaryMessage is implemented by hot-path messages whose payload is a
+// hand-rolled binary encoding instead of gob. AppendPayload appends the
+// encoded payload to dst (returning dst unchanged alongside the error
+// when the message cannot be encoded); DecodePayload overwrites every
+// field of the receiver from src (it must not retain src, must reject
+// trailing bytes, and must tolerate a previously used receiver,
+// reusing its slice capacity where possible).
+type BinaryMessage interface {
+	Message
+	AppendPayload(dst []byte) ([]byte, error)
+	DecodePayload(src []byte) error
+}
+
 // registry lists every message type in fixed order; a message's code is
 // its index + 1 (code 0 is reserved/invalid). Append only — reordering
 // changes codes on the wire.
@@ -79,11 +109,13 @@ var registry = []Message{
 	&MhUpdate{}, &MhPostUpdate{}, &MhRelease{}, &MhAck{}, &MhAbort{},
 	&ReplAttach{}, &ReplAttachAck{}, &ReplUpdate{}, &ReplAck{}, &ReplFreeze{},
 	&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
+	&PayBatch{}, &PayBatchAck{},
 }
 
 var (
 	codeByType = make(map[reflect.Type]byte, len(registry))
 	typeByCode = make([]reflect.Type, len(registry)+1)
+	binaryCode = make([]bool, len(registry)+1)
 )
 
 func init() {
@@ -91,6 +123,7 @@ func init() {
 		t := reflect.TypeOf(m).Elem()
 		codeByType[t] = byte(i + 1)
 		typeByCode[i+1] = t
+		_, binaryCode[i+1] = m.(BinaryMessage)
 	}
 }
 
@@ -118,8 +151,16 @@ type Frame struct {
 	Msg   Message
 }
 
+// gobBufPool recycles the scratch buffers gob payload encoding writes
+// into; the encoded bytes are copied into the frame, so the buffer is
+// free again as soon as AppendFrame returns.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // AppendFrame encodes a complete frame (length prefix included) onto
-// dst and returns the extended slice.
+// dst and returns the extended slice. BinaryMessage payloads encode
+// directly into dst; everything else goes through gob with a pooled
+// scratch buffer, so steady-state framing of hot-path messages is
+// allocation-free once dst has grown to capacity.
 func AppendFrame(dst []byte, from cryptoutil.PublicKey, token []byte, msg Message) ([]byte, error) {
 	code, err := MsgCode(msg)
 	if err != nil {
@@ -128,64 +169,123 @@ func AppendFrame(dst []byte, from cryptoutil.PublicKey, token []byte, msg Messag
 	if len(token) > 0xffff {
 		return nil, fmt.Errorf("wire: token length %d exceeds uint16", len(token))
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(msg); err != nil {
-		return nil, fmt.Errorf("wire: encoding %T: %w", msg, err)
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	var flags byte
+	bm, isBinary := msg.(BinaryMessage)
+	if isBinary {
+		flags |= FlagBinaryPayload
 	}
-	n := frameHeaderSize + len(token) + payload.Len()
-	if n > MaxFrameSize {
-		return nil, ErrFrameTooLarge
-	}
-	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, FrameVersion, code)
+	dst = append(dst, FrameVersion, code, flags)
 	dst = append(dst, from[:]...)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(token)))
 	dst = append(dst, token...)
-	return append(dst, payload.Bytes()...), nil
+	if isBinary {
+		var err error
+		if dst, err = bm.AppendPayload(dst); err != nil {
+			return nil, err
+		}
+	} else {
+		buf := gobBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := gob.NewEncoder(buf).Encode(msg); err != nil {
+			gobBufPool.Put(buf)
+			return nil, fmt.Errorf("wire: encoding %T: %w", msg, err)
+		}
+		dst = append(dst, buf.Bytes()...)
+		gobBufPool.Put(buf)
+	}
+	n := len(dst) - start - 4
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
 }
 
 // DecodeFrame parses a frame body (the bytes following the length
 // prefix). It never panics on malformed input.
 func DecodeFrame(body []byte) (Frame, error) {
-	if len(body) > MaxFrameSize {
-		return Frame{}, ErrFrameTooLarge
-	}
-	if len(body) < frameHeaderSize {
-		return Frame{}, ErrFrameTruncated
-	}
-	if body[0] != FrameVersion {
-		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrFrameVersion, body[0], FrameVersion)
-	}
-	msg, err := NewByCode(body[1])
-	if err != nil {
+	var f Frame
+	if err := decodeFrameInto(&f, body, nil, nil); err != nil {
 		return Frame{}, err
 	}
-	var f Frame
-	copy(f.From[:], body[2:67])
-	tlen := int(binary.BigEndian.Uint16(body[67:69]))
+	return f, nil
+}
+
+// decodeFrameInto parses body into f. tokenBuf, when non-nil, is reused
+// for the token copy. reuse, when non-nil, is a per-code cache of
+// previously decoded messages for binary payloads to overwrite (gob
+// payloads always decode into a fresh message: gob merges into existing
+// fields rather than overwriting).
+func decodeFrameInto(f *Frame, body, tokenBuf []byte, reuse []Message) error {
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	if len(body) < frameHeaderSize {
+		return ErrFrameTruncated
+	}
+	if body[0] != FrameVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrFrameVersion, body[0], FrameVersion)
+	}
+	code := body[1]
+	if int(code) >= len(typeByCode) || code == 0 {
+		return fmt.Errorf("%w: %d", ErrUnknownType, code)
+	}
+	flags := body[2]
+	copy(f.From[:], body[3:68])
+	tlen := int(binary.BigEndian.Uint16(body[68:70]))
 	rest := body[frameHeaderSize:]
 	if len(rest) < tlen {
-		return Frame{}, ErrFrameTruncated
+		return ErrFrameTruncated
 	}
 	if tlen > 0 {
-		f.Token = append([]byte(nil), rest[:tlen]...)
+		f.Token = append(tokenBuf[:0], rest[:tlen]...)
+	} else {
+		f.Token = nil
 	}
-	if err := gob.NewDecoder(bytes.NewReader(rest[tlen:])).Decode(msg); err != nil {
-		return Frame{}, fmt.Errorf("wire: decoding %T payload: %w", msg, err)
+	payload := rest[tlen:]
+	if flags&FlagBinaryPayload != 0 {
+		if !binaryCode[code] {
+			return fmt.Errorf("%w: code %d is not binary-encodable", ErrFrameEncoding, code)
+		}
+		var msg Message
+		if reuse != nil {
+			if msg = reuse[code]; msg == nil {
+				msg, _ = NewByCode(code)
+				reuse[code] = msg
+			}
+		} else {
+			msg, _ = NewByCode(code)
+		}
+		if err := msg.(BinaryMessage).DecodePayload(payload); err != nil {
+			return fmt.Errorf("%w: decoding %T: %v", ErrFramePayload, msg, err)
+		}
+		f.Msg = msg
+		return nil
+	}
+	msg, _ := NewByCode(code)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(msg); err != nil {
+		return fmt.Errorf("%w: decoding %T: %v", ErrFramePayload, msg, err)
 	}
 	f.Msg = msg
-	return f, nil
+	return nil
 }
 
 // ReadFrame reads one length-prefixed frame body from r, reusing buf
 // when it has capacity. It returns the body (valid until the next call
 // with the same buf) for DecodeFrame.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var prefix [4]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+	// The length prefix reads into the reused buffer rather than a local
+	// array: locals passed through the io.Reader interface escape, which
+	// would cost one heap allocation per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 64)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		return nil, err
 	}
-	n := int(binary.BigEndian.Uint32(prefix[:]))
+	n := int(binary.BigEndian.Uint32(buf[:4]))
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
@@ -203,4 +303,217 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// FrameReader pumps frames off one connection with steady-state
+// allocation reuse: the body buffer, the token copy, and one decoded
+// message per binary-encodable type are recycled across calls. The
+// returned Frame (its Token and, for binary payloads, its Msg) is valid
+// only until the next Next call — exactly the per-connection read-loop
+// discipline of internal/transport, which fully processes each frame
+// before reading the next.
+type FrameReader struct {
+	r     io.Reader
+	body  []byte
+	token []byte
+	reuse []Message // indexed by code; binary-encodable types only
+}
+
+// NewFrameReader wraps r (typically a *bufio.Reader) for frame pumping.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, reuse: make([]Message, len(typeByCode))}
+}
+
+// Next reads and decodes one frame. See FrameReader for the validity
+// window of the result.
+func (fr *FrameReader) Next() (Frame, error) {
+	body, err := ReadFrame(fr.r, fr.body)
+	if err != nil {
+		return Frame{}, err
+	}
+	fr.body = body
+	var f Frame
+	if err := decodeFrameInto(&f, body, fr.token, fr.reuse); err != nil {
+		return Frame{}, err
+	}
+	if f.Token != nil {
+		fr.token = f.Token
+	}
+	return f, nil
+}
+
+// --- Binary payload codecs (hot-path payment messages) ---
+
+func appendChannelID(dst []byte, id ChannelID) ([]byte, error) {
+	if len(id) > 0xff {
+		return nil, fmt.Errorf("wire: channel id %d bytes exceeds uint8", len(id))
+	}
+	dst = append(dst, byte(len(id)))
+	return append(dst, id...), nil
+}
+
+// readChannelID parses a length-prefixed channel id. prev is the
+// receiver's previous value: when the bytes match (the common case for
+// a reused hot-path message on one channel) it is returned as-is,
+// avoiding the string conversion's allocation.
+func readChannelID(src []byte, prev ChannelID) (ChannelID, []byte, error) {
+	if len(src) < 1 {
+		return "", nil, ErrFrameTruncated
+	}
+	n := int(src[0])
+	if len(src) < 1+n {
+		return "", nil, ErrFrameTruncated
+	}
+	b := src[1 : 1+n]
+	if string(b) == string(prev) {
+		return prev, src[1+n:], nil
+	}
+	return ChannelID(b), src[1+n:], nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *Pay) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Amount))
+	return binary.BigEndian.AppendUint32(dst, uint32(m.Count)), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *Pay) DecodePayload(src []byte) error {
+	ch, rest, err := readChannelID(src, m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 12 {
+		return ErrFrameTruncated
+	}
+	m.Channel = ch
+	m.Amount = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.Count = int(int32(binary.BigEndian.Uint32(rest[8:12])))
+	return nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *PayAck) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Amount))
+	return binary.BigEndian.AppendUint32(dst, uint32(m.Count)), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *PayAck) DecodePayload(src []byte) error {
+	ch, rest, err := readChannelID(src, m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 12 {
+		return ErrFrameTruncated
+	}
+	m.Channel = ch
+	m.Amount = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.Count = int(int32(binary.BigEndian.Uint32(rest[8:12])))
+	return nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *PayNack) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	if len(m.Reason) > 0xffff {
+		return dst, fmt.Errorf("wire: nack reason %d bytes exceeds uint16", len(m.Reason))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Amount))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Count))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Reason)))
+	return append(dst, m.Reason...), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *PayNack) DecodePayload(src []byte) error {
+	ch, rest, err := readChannelID(src, m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 14 {
+		return ErrFrameTruncated
+	}
+	rlen := int(binary.BigEndian.Uint16(rest[12:14]))
+	if len(rest) != 14+rlen {
+		return ErrFrameTruncated
+	}
+	m.Channel = ch
+	m.Amount = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.Count = int(int32(binary.BigEndian.Uint32(rest[8:12])))
+	m.Reason = string(rest[14:])
+	return nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *PayBatch) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Amounts)))
+	for _, a := range m.Amounts {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(a))
+	}
+	return dst, nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *PayBatch) DecodePayload(src []byte) error {
+	ch, rest, err := readChannelID(src, m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 4 {
+		return ErrFrameTruncated
+	}
+	n := int(binary.BigEndian.Uint32(rest[:4]))
+	if n > MaxPayBatch {
+		return fmt.Errorf("%w: batch of %d exceeds %d", ErrFramePayload, n, MaxPayBatch)
+	}
+	if len(rest) != 4+8*n {
+		return ErrFrameTruncated
+	}
+	m.Channel = ch
+	m.Amounts = m.Amounts[:0]
+	for i := 0; i < n; i++ {
+		m.Amounts = append(m.Amounts, chain.Amount(binary.BigEndian.Uint64(rest[4+8*i:])))
+	}
+	return nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *PayBatchAck) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Total))
+	return binary.BigEndian.AppendUint32(dst, uint32(m.Count)), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *PayBatchAck) DecodePayload(src []byte) error {
+	ch, rest, err := readChannelID(src, m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 12 {
+		return ErrFrameTruncated
+	}
+	m.Channel = ch
+	m.Total = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.Count = int(int32(binary.BigEndian.Uint32(rest[8:12])))
+	return nil
 }

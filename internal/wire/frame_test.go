@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
 )
 
@@ -159,7 +160,7 @@ func TestFrameRejectsTruncated(t *testing.T) {
 	}
 	// Token length pointing past the end of the body.
 	corrupt := append([]byte(nil), body...)
-	binary.BigEndian.PutUint16(corrupt[67:69], uint16(len(corrupt)))
+	binary.BigEndian.PutUint16(corrupt[68:70], uint16(len(corrupt)))
 	if _, err := DecodeFrame(corrupt); !errors.Is(err, ErrFrameTruncated) {
 		t.Fatalf("oversized token length: got %v, want ErrFrameTruncated", err)
 	}
@@ -204,6 +205,133 @@ func TestFrameRejectsUnknownType(t *testing.T) {
 		if _, err := DecodeFrame(body); !errors.Is(err, ErrUnknownType) {
 			t.Fatalf("code %d: got %v, want ErrUnknownType", code, err)
 		}
+	}
+}
+
+// TestFrameEncodingFlagMismatch checks that the binary-payload flag is
+// honoured strictly: setting it on a gob-only type is rejected, and
+// clearing it on a binary payload fails in the gob decoder rather than
+// misparsing.
+func TestFrameEncodingFlagMismatch(t *testing.T) {
+	pay, err := AppendFrame(nil, testIdentity(), nil, &Pay{Channel: "ch", Amount: 1, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pay[6]&FlagBinaryPayload == 0 {
+		t.Fatal("Pay frame does not use the binary payload encoding")
+	}
+	body := append([]byte(nil), pay[4:]...)
+	body[2] &^= FlagBinaryPayload
+	if _, err := DecodeFrame(body); err == nil {
+		t.Fatal("binary payload decoded as gob")
+	}
+
+	attest, err := AppendFrame(nil, testIdentity(), nil, &ChannelOpen{Channel: "ch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = append([]byte(nil), attest[4:]...)
+	body[2] |= FlagBinaryPayload
+	if _, err := DecodeFrame(body); !errors.Is(err, ErrFrameEncoding) {
+		t.Fatalf("binary flag on gob-only type: got %v, want ErrFrameEncoding", err)
+	}
+}
+
+// TestFrameReaderReuse streams a mixed sequence of frames through one
+// FrameReader and checks every frame decodes correctly even though the
+// reader recycles its body, token, and hot-path message objects.
+func TestFrameReaderReuse(t *testing.T) {
+	from := testIdentity()
+	var stream []byte
+	want := []Message{
+		&Pay{Channel: "ch-a", Amount: 10, Count: 1},
+		&Pay{Channel: "ch-b", Amount: 20, Count: 2},
+		&PayBatch{Channel: "ch-a", Amounts: []chain.Amount{1, 2, 3}},
+		&PayBatch{Channel: "ch-b", Amounts: []chain.Amount{4}},
+		&ChannelOpen{Channel: "ch-c"},
+		&PayBatchAck{Channel: "ch-a", Total: 6, Count: 3},
+		&PayNack{Channel: "ch-b", Amount: 4, Count: 1, Reason: "locked"},
+	}
+	for i, m := range want {
+		var err error
+		stream, err = AppendFrame(stream, from, []byte{byte(i), 0xee}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, m := range want {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.From != from {
+			t.Fatalf("frame %d: from mismatch", i)
+		}
+		if !bytes.Equal(f.Token, []byte{byte(i), 0xee}) {
+			t.Fatalf("frame %d: token %x", i, f.Token)
+		}
+		if !reflect.DeepEqual(f.Msg, m) {
+			t.Fatalf("frame %d: got %+v want %+v", i, f.Msg, m)
+		}
+	}
+	if _, err := fr.Next(); err == nil {
+		t.Fatal("Next succeeded past end of stream")
+	}
+}
+
+// TestFrameHotPathAllocationBudget pins steady-state framing costs on
+// the socket hot path: encoding a Pay/PayBatch frame into a reused
+// buffer and pumping it back through a FrameReader must not allocate.
+func TestFrameHotPathAllocationBudget(t *testing.T) {
+	from := testIdentity()
+	token := []byte("0123456789abcdef0123456789abcdef")
+	batch := &PayBatch{Channel: "ch-0123456789abcdef", Amounts: make([]chain.Amount, 64)}
+	for i := range batch.Amounts {
+		batch.Amounts[i] = chain.Amount(i + 1)
+	}
+	pay := &Pay{Channel: "ch", Amount: 1, Count: 1}
+	var stream []byte
+	for i := 0; i < 2; i++ {
+		var err error
+		stream, err = AppendFrame(stream, from, token, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err = AppendFrame(stream, from, token, pay)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	rd := bytes.NewReader(stream)
+	fr := NewFrameReader(rd)
+	// Warm the reader's reuse slots and the encode buffer.
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = AppendFrame(buf[:0], from, token, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err = AppendFrame(buf, from, token, pay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd.Reset(stream)
+		for i := 0; i < 4; i++ {
+			if _, err := fr.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("hot-path framing allocates %.2f allocs/round in steady state, budget is 1", avg)
 	}
 }
 

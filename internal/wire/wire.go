@@ -203,6 +203,39 @@ type PayNack struct {
 // WireSize implements Message.
 func (m *PayNack) WireSize() int { return hdrSize + idOverhead + 12 + len(m.Reason) }
 
+// MaxPayBatch bounds the payments one PayBatch may carry. Well under
+// what MaxFrameSize admits (8 bytes per amount), so a maximal batch
+// always encodes: the sender's enclave debits the batch total *before*
+// the host frames it, and an unencodable frame would leave the two
+// enclaves' balances permanently diverged.
+const MaxPayBatch = 4096
+
+// PayBatch carries up to MaxPayBatch independent payments over one
+// channel in a single frame — the paper's same-channel
+// batching/pipelining (§7.2): frame, token, and enclave-entry
+// overheads amortise over the whole batch instead of being paid per
+// payment. Unlike Pay with Count > 1, the payments may have distinct
+// amounts. The receiver applies the batch atomically (all payments or
+// a single nack for the total).
+type PayBatch struct {
+	Channel ChannelID
+	Amounts []chain.Amount
+}
+
+// WireSize implements Message.
+func (m *PayBatch) WireSize() int { return hdrSize + idOverhead + 4 + 8*len(m.Amounts) }
+
+// PayBatchAck acknowledges an entire PayBatch: Count payments totalling
+// Total were credited.
+type PayBatchAck struct {
+	Channel ChannelID
+	Total   chain.Amount
+	Count   int
+}
+
+// WireSize implements Message.
+func (m *PayBatchAck) WireSize() int { return hdrSize + idOverhead + 12 }
+
 // SettleRequest asks the remote to cooperate in terminating the channel
 // (off-chain if balances are neutral, Alg. 1 settle).
 type SettleRequest struct {
