@@ -38,3 +38,47 @@ func TestPaymentAllocationBudget(t *testing.T) {
 		t.Fatalf("payment path allocates %.2f allocs/payment in steady state, budget is 2", avg)
 	}
 }
+
+// TestReplicatedPaymentAllocationBudget pins the replicated hot path:
+// one payment committed under a two-member committee chain — pooled log
+// entry, pooled ReplUpdate/ReplAck frames down and up the chain, mirror
+// application at both members, and the withheld effects released by the
+// acknowledgement — must stay within the same budget as the plain path.
+func TestReplicatedPaymentAllocationBudget(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := net.AddNode("owner", SiteUK, NodeOptions{})
+	r1, _ := net.AddNode("r1", SiteUK, NodeOptions{})
+	r2, _ := net.AddNode("r2", SiteUK, NodeOptions{})
+	bob, _ := net.AddNode("bob", SiteUK, NodeOptions{})
+	for _, pair := range [][2]*Node{{owner, r1}, {owner, r2}, {r1, r2}, {owner, bob}} {
+		if err := net.Connect(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+		net.Run()
+	}
+	if err := net.FormCommittee(owner, []*Node{r1, r2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	ch, err := net.OpenChannel(owner, bob, 100_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := func(bool, time.Duration, string) {}
+	pay := func() {
+		if err := owner.Pay(ch, 1, done); err != nil {
+			t.Fatal(err)
+		}
+		net.Run()
+	}
+	for i := 0; i < 2000; i++ {
+		pay()
+	}
+	avg := testing.AllocsPerRun(5000, pay)
+	if avg > 2 {
+		t.Fatalf("replicated payment path allocates %.2f allocs/payment in steady state, budget is 2", avg)
+	}
+}

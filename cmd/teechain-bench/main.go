@@ -15,6 +15,12 @@
 //	teechain-bench -socket -channels 1,8 -batch 64
 //	teechain-bench -socket -socketjson BENCH_socket.json
 //	teechain-bench -socket -socketjson F -socketcompare BENCH_socket.json
+//
+// Replicated-payment benchmarking (committee chains over real TCP, see
+// replication.go):
+//
+//	teechain-bench -socket -committee 0,1,2,4
+//	teechain-bench -socket -committee 2 -repljson F -replcompare BENCH_replication.json
 package main
 
 import (
@@ -45,7 +51,37 @@ func main() {
 	sreps := flag.Int("sreps", 2, "with -socket: repetitions per channel count (best tx/s kept)")
 	socketJSON := flag.String("socketjson", "", "with -socket: write the snapshot as JSON to this file")
 	socketCompare := flag.String("socketcompare", "", "with -socket: compare against this baseline JSON and exit nonzero on >25% tx/s regression")
+	committee := flag.String("committee", "", "with -socket: comma-separated committee sizes to measure (e.g. 0,1,2,4); runs the replicated-payment benchmark instead of channel scaling")
+	replJSON := flag.String("repljson", "", "with -socket -committee: write the replication snapshot as JSON to this file")
+	replCompare := flag.String("replcompare", "", "with -socket -committee: compare against this baseline JSON and exit nonzero on >25% tx/s regression")
 	flag.Parse()
+
+	if *socket && *committee != "" {
+		if *socketJSON != "" || *socketCompare != "" {
+			log.Fatal("-socketjson/-socketcompare are for the channel-scaling benchmark; use -repljson/-replcompare with -committee")
+		}
+		if *quick {
+			*socketPay = 4000
+		}
+		snap, err := runReplSuite(*committee, *socketPay, *batch, *sreps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *replJSON != "" {
+			if err := writeReplJSON(*replJSON, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *replCompare != "" {
+			if err := compareReplBaseline(*replCompare, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *committee != "" || *replJSON != "" || *replCompare != "" {
+		log.Fatal("-committee/-repljson/-replcompare require -socket (and -committee for the JSON flags)")
+	}
 
 	if *socket {
 		if *quick {

@@ -1,0 +1,289 @@
+package main
+
+// The replication benchmark reproduces the paper's throughput-vs-
+// committee-size measurement (§7, Fig. 8-9) over real TCP: one
+// sender->receiver channel pair where the sender runs a committee chain
+// of N dedicated member nodes, pumping batched payments through its
+// lane fast path while the replication flusher pipelines ReplBatch
+// frames down the chain. Every payment's latency therefore includes
+// its replication round trip: a PayBatch frame is released to the
+// receiver only after the whole chain acknowledged its op.
+//
+// Alongside the committee-size sweep it measures the PRE-PIPELINE
+// baseline: the same committee with pipelining disabled (immediate
+// mode, wide-path payments) and one payment per round trip, which is
+// exactly how replicated payments behaved before the replication log
+// existed. The committed BENCH_replication.json records both; CI gates
+// on >25% tx/s regression per committee size (compareReplBaseline).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/harness"
+	"teechain/internal/transport"
+	"teechain/internal/wire"
+)
+
+// replResult is the measurement for one committee size.
+type replResult struct {
+	Committee int     `json:"committee"`
+	Payments  int     `json:"payments"`
+	TxPerSec  float64 `json:"tx_per_s"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+}
+
+// replSnapshot is the full replication-bench record tracked across PRs.
+type replSnapshot struct {
+	GoMaxProcs int `json:"go_max_procs"`
+	Batch      int `json:"batch"`
+	PerRun     int `json:"payments_per_run"`
+	// Baseline is the pre-pipeline behavior: committee of 2, immediate
+	// (unpipelined) replication, one payment per round trip.
+	Baseline replResult   `json:"baseline_per_payment_roundtrip"`
+	Results  []replResult `json:"results"`
+	// SpeedupVsBaseline is committee-2 pipelined tx/s over the baseline.
+	SpeedupVsBaseline float64 `json:"speedup_committee2_vs_baseline"`
+}
+
+// runReplBench measures one committee size: payments of amount 1 over a
+// single funded channel, batch payments per PayBatch frame, window in
+// flight. pipelined false selects the immediate-mode baseline.
+func runReplBench(committee, payments, batch, window int, pipelined bool) (replResult, error) {
+	res := replResult{Committee: committee, Payments: payments}
+	names := []string{"s0", "r0"}
+	members := make([]string, 0, committee)
+	for i := 1; i <= committee; i++ {
+		name := fmt.Sprintf("m%d", i)
+		names = append(names, name)
+		members = append(members, name)
+	}
+	var mut func(*transport.Config)
+	if !pipelined {
+		mut = func(cfg *transport.Config) { cfg.NoReplPipeline = true }
+	}
+	c, err := harness.NewClusterWith(mut, names...)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	if err := c.Connect("s0", "r0"); err != nil {
+		return res, err
+	}
+	if committee > 0 {
+		if err := c.FormCommittee("s0", members, min(2, committee+1)); err != nil {
+			return res, err
+		}
+	}
+	id, err := c.OpenChannel("s0", "r0", chain.Amount(payments)+1)
+	if err != nil {
+		return res, err
+	}
+	chID := wire.ChannelID(id)
+	sender := c.Host("s0")
+
+	type sample struct {
+		target uint64
+		t0     time.Time
+	}
+	entries := make(chan sample, payments/batch+2)
+	latCh := make(chan []time.Duration, 1)
+	errCh := make(chan error, 2)
+	// Reaper: acks arrive in issue order per channel; waiting for each
+	// batch's cumulative target yields one end-to-end latency sample per
+	// batch, replication round trip included.
+	go func() {
+		lats := make([]time.Duration, 0, payments/batch+1)
+		for e := range entries {
+			if err := sender.AwaitAcked(e.target, socketBenchTimeout); err != nil {
+				errCh <- err
+				break
+			}
+			lats = append(lats, time.Since(e.t0))
+		}
+		latCh <- lats
+	}()
+	start := time.Now()
+	amounts := make([]chain.Amount, 0, batch)
+	issued := 0
+	for issued < payments {
+		n := min(batch, payments-issued)
+		amounts = amounts[:0]
+		for i := 0; i < n; i++ {
+			amounts = append(amounts, 1)
+		}
+		t0 := time.Now()
+		var err error
+		if n == 1 {
+			err = sender.Pay(chID, 1)
+		} else {
+			err = sender.PayBatch(chID, amounts)
+		}
+		if err != nil {
+			close(entries)
+			return res, err
+		}
+		issued += n
+		entries <- sample{target: uint64(issued), t0: t0}
+		if over := issued - window; over > 0 {
+			if err := sender.AwaitAcked(uint64(over), socketBenchTimeout); err != nil {
+				close(entries)
+				return res, err
+			}
+		}
+	}
+	close(entries)
+	lats := <-latCh
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	res.TxPerSec = float64(payments) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P50Us = float64(lats[len(lats)/2].Microseconds())
+		res.P99Us = float64(lats[len(lats)*99/100].Microseconds())
+	}
+	return res, nil
+}
+
+// baselinePayments bounds the pre-pipeline baseline run: every payment
+// is a full replication round trip plus a payment round trip, so a few
+// hundred of them measure the per-payment cost precisely.
+const baselinePayments = 300
+
+func runReplSuite(committeeList string, payments, batch, reps int) (*replSnapshot, error) {
+	var sizes []int
+	for _, s := range strings.Split(committeeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad committee size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	window := 4 * batch
+	snap := &replSnapshot{GoMaxProcs: runtime.GOMAXPROCS(0), Batch: batch, PerRun: payments}
+	fmt.Printf("replication bench: GOMAXPROCS=%d, %d payments/run, batch=%d, window=%d, best of %d\n",
+		snap.GoMaxProcs, payments, batch, window, reps)
+
+	// Pre-pipeline baseline: committee of 2, immediate replication, one
+	// payment per round trip (batch=1, window=1).
+	for rep := 0; rep < reps; rep++ {
+		r, err := runReplBench(2, baselinePayments, 1, 1, false)
+		if err != nil {
+			return nil, fmt.Errorf("replication baseline: %w", err)
+		}
+		if r.TxPerSec > snap.Baseline.TxPerSec {
+			snap.Baseline = r
+		}
+	}
+	fmt.Printf("baseline (committee 2, per-payment round trip): %.0f tx/s, p50 %.0fus, p99 %.0fus\n",
+		snap.Baseline.TxPerSec, snap.Baseline.P50Us, snap.Baseline.P99Us)
+
+	fmt.Printf("%-10s %12s %10s %10s\n", "committee", "tx/s", "p50(us)", "p99(us)")
+	for _, n := range sizes {
+		// Best of reps, like the socket bench: the max is the stable
+		// signal a regression gate can compare.
+		var best replResult
+		for rep := 0; rep < reps; rep++ {
+			r, err := runReplBench(n, payments, batch, window, true)
+			if err != nil {
+				return nil, fmt.Errorf("replication bench with committee %d: %w", n, err)
+			}
+			if r.TxPerSec > best.TxPerSec {
+				best = r
+			}
+		}
+		snap.Results = append(snap.Results, best)
+		fmt.Printf("%-10d %12.0f %10.0f %10.0f\n", best.Committee, best.TxPerSec, best.P50Us, best.P99Us)
+		if n == 2 && snap.Baseline.TxPerSec > 0 {
+			snap.SpeedupVsBaseline = best.TxPerSec / snap.Baseline.TxPerSec
+		}
+	}
+	if snap.SpeedupVsBaseline > 0 {
+		fmt.Printf("committee-2 pipelined vs per-payment baseline: %.1fx\n", snap.SpeedupVsBaseline)
+	}
+	return snap, nil
+}
+
+func writeReplJSON(path string, snap *replSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// compareReplBaseline is the CI gate for the replication path: for
+// every committee size present in both snapshots, fresh tx/s may not
+// fall more than 25% below the committed baseline.
+func compareReplBaseline(path string, fresh *replSnapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading replication baseline: %w", err)
+	}
+	var base replSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing replication baseline %s: %w", path, err)
+	}
+	bySize := make(map[int]replResult, len(base.Results))
+	for _, r := range base.Results {
+		bySize[r.Committee] = r
+	}
+	checked := 0
+	for _, r := range fresh.Results {
+		b, ok := bySize[r.Committee]
+		if !ok {
+			continue
+		}
+		checked++
+		floor := b.TxPerSec * 0.75
+		if r.TxPerSec < floor {
+			return fmt.Errorf("replication perf regression at committee %d: %.0f tx/s is more than 25%% below baseline %.0f (floor %.0f)",
+				r.Committee, r.TxPerSec, b.TxPerSec, floor)
+		}
+		fmt.Printf("replication gate at committee %d: %.0f tx/s >= floor %.0f (baseline %.0f)\n",
+			r.Committee, r.TxPerSec, floor, b.TxPerSec)
+	}
+	if checked == 0 {
+		return fmt.Errorf("replication baseline %s shares no committee sizes with the fresh run", path)
+	}
+	// The immediate-mode baseline is the denominator of the headline
+	// speedup; it is measured on every run, so gate it too.
+	if base.Baseline.TxPerSec > 0 && fresh.Baseline.TxPerSec > 0 {
+		floor := base.Baseline.TxPerSec * 0.75
+		if fresh.Baseline.TxPerSec < floor {
+			return fmt.Errorf("replication baseline regression: %.0f tx/s is more than 25%% below committed %.0f",
+				fresh.Baseline.TxPerSec, base.Baseline.TxPerSec)
+		}
+	}
+	// Acceptance floor: pipelined committee-2 replication must beat the
+	// per-payment round trip by at least 10x (measured ~877x; 10x keeps
+	// the gate robust to machine noise while catching a pipeline that
+	// quietly fell back to stop-and-wait).
+	if fresh.SpeedupVsBaseline > 0 && fresh.SpeedupVsBaseline < 10 {
+		return fmt.Errorf("pipelined replication speedup collapsed: %.1fx over the per-payment baseline, need >= 10x",
+			fresh.SpeedupVsBaseline)
+	}
+	fmt.Printf("replication perf gate passed (%d committee sizes checked, baseline %.0f tx/s, speedup %.0fx)\n",
+		checked, fresh.Baseline.TxPerSec, fresh.SpeedupVsBaseline)
+	return nil
+}

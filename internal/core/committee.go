@@ -40,8 +40,11 @@ func (e *Enclave) FormCommittee(members []cryptoutil.PublicKey, m int) (*Result,
 		members:       all,
 		m:             m,
 		memberBtcKeys: make(map[cryptoutil.PublicKey]cryptoutil.PublicKey),
-		pending:       make(map[uint64]*pendingUpdate),
 	}
+	// A host that opted into pipelined replication before formation
+	// (EnableReplPipeline) gets the chain's log in pipelined mode.
+	e.repl.log.pipelined = e.replPipelined
+	e.repl.log.notify = e.replNotify
 	if len(members) == 0 {
 		e.repl.ready = true
 		return &Result{Events: []Event{EvCommitteeReady{Chain: e.repl.chainID}}}, nil
@@ -72,6 +75,10 @@ func (e *Enclave) FormCommittee(members []cryptoutil.PublicKey, m int) (*Result,
 func (e *Enclave) CommitteeReady() bool {
 	return e.repl != nil && e.repl.ready
 }
+
+// MirrorCount reports how many chains this enclave serves as a
+// committee member / backup for.
+func (e *Enclave) MirrorCount() int { return len(e.backups) }
 
 func (e *Enclave) handleReplAttach(from cryptoutil.PublicKey, m *wire.ReplAttach) (*Result, error) {
 	if len(m.Members) < 2 {

@@ -54,15 +54,24 @@ func (e *Enclave) EnableConcurrentHost() {
 }
 
 // LaneEligible reports whether payment traffic may currently bypass the
-// wide lock. Replication chains, committee membership, stable storage,
-// and outsourcing all funnel payment commits through shared state
-// (pending-update maps, sealed snapshots, command relays), so any of
-// them forces payments back onto the wide path. Hosts re-check this
-// under the wide read lock for every lane message; the features above
-// are only ever enabled under the wide write lock, so the answer cannot
-// change mid-message.
+// wide lock. Stable storage and outsourcing funnel payment commits
+// through shared state (sealed snapshots, command relays), so either
+// forces payments back onto the wide path. Replication does NOT: a
+// pipelined chain gives replicated commits their own concurrency domain
+// — the log behind its own mutex (repl.go) — so lane payments append
+// their ops and withheld effects there without touching wide state; an
+// immediate-mode chain (the simulator's default) still takes the wide
+// path, where the synchronous ReplUpdate emission belongs. Serving as a
+// committee BACKUP never disqualifies lanes: mirrors are only touched
+// by replication frames, which are wide-path messages. Hosts re-check
+// this under the wide read lock for every lane message; the features
+// above are only ever enabled under the wide write lock, so the answer
+// cannot change mid-message.
 func (e *Enclave) LaneEligible() bool {
-	return e.repl == nil && len(e.backups) == 0 && !e.cfg.StableStorage && e.outsourceUser.IsZero()
+	if e.cfg.StableStorage || !e.outsourceUser.IsZero() {
+		return false
+	}
+	return e.repl == nil || e.repl.log.pipelined
 }
 
 // LaneMessage reports whether msg is one of the payment messages

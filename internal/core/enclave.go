@@ -43,16 +43,6 @@ type peerSession struct {
 	established bool
 }
 
-// pendingUpdate is an optimistically applied state transition whose
-// externally visible effects are gated on replication acknowledgement
-// (Alg. 3: the primary proceeds only after its backup acks).
-type pendingUpdate struct {
-	op     *Op
-	out    []Outbound
-	events []Event
-	pay    payEvent
-}
-
 // replPrimary is the head-of-chain view of this enclave's own
 // replication chain / committee.
 type replPrimary struct {
@@ -65,9 +55,11 @@ type replPrimary struct {
 	memberBtcKeys map[cryptoutil.PublicKey]cryptoutil.PublicKey
 	ready         bool
 
-	nextSeq uint64
-	ackSeq  uint64
-	pending map[uint64]*pendingUpdate
+	// log is the replication pipeline: sequence assignment, the window
+	// of committed-but-unacknowledged entries with their withheld
+	// effects, and the pipelined-delivery queue. Its own lock domain —
+	// see repl.go.
+	log replLog
 }
 
 func (p *replPrimary) backup() (cryptoutil.PublicKey, bool) {
@@ -92,6 +84,10 @@ type replBackup struct {
 	// pendingSigs accumulates τ signatures from downstream members per
 	// in-flight update sequence, merged with our own on the way up.
 	pendingSigs map[uint64][]wire.TauSig
+	// scratchOp is the reused decode target for ReplBatch application:
+	// batched ops never retain struct internals, so one op per backup
+	// keeps batch application allocation-free.
+	scratchOp Op
 }
 
 func (b *replBackup) prev() cryptoutil.PublicKey { return b.members[b.myIndex-1] }
@@ -135,6 +131,12 @@ type Enclave struct {
 	// it cannot go stale. Atomic for the same reason as State.lastCh:
 	// concurrent payment lanes of a socket host share it.
 	lastSess atomic.Pointer[peerSession]
+
+	// replPipelined/replNotify record an EnableReplPipeline call made
+	// before committee formation; FormCommittee copies them into the
+	// chain's log.
+	replPipelined bool
+	replNotify    func()
 
 	// Outsourcing (§3): the provisioned TEE-less user and the pending
 	// command sequence numbers per channel awaiting acknowledgements.
@@ -335,11 +337,25 @@ func (e *Enclave) VerifyToken(peer cryptoutil.PublicKey, token []byte) error {
 
 // --- Replication plumbing (Alg. 3) ---
 
+// newReplEntry takes a pooled entry off the chain's log.
+func (l *replLog) newEntry() *replEntry {
+	l.mu.Lock()
+	ent := l.getEntryLocked()
+	l.mu.Unlock()
+	return ent
+}
+
 // commit optimistically applies op and defers its externally visible
 // effects until the replication chain acknowledges. Without backups the
-// effects release immediately. In stable-storage mode the state is
+// effects release immediately. In immediate mode (the simulator) the
+// sequenced update is emitted synchronously; in pipelined mode (socket
+// hosts) it only joins the replication log and the host's flusher
+// drains it in batches. In stable-storage mode the state is
 // additionally sealed under a monotonic counter.
 func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error) {
+	if e.repl != nil {
+		return e.commitRepl(op, out, events)
+	}
 	if err := e.state.Apply(op); err != nil {
 		return nil, err
 	}
@@ -348,28 +364,56 @@ func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error
 			return nil, err
 		}
 	}
-	if e.repl == nil {
+	return &Result{Out: out, Events: events}, nil
+}
+
+// commitRepl is the replicated tail of commit. The backlog bound is
+// checked BEFORE the state transition so a rejected commit leaves
+// primary state and replication stream consistent.
+func (e *Enclave) commitRepl(op *Op, out []Outbound, events []Event) (*Result, error) {
+	backup, replicated := e.repl.backup()
+	if replicated {
+		if err := e.repl.log.admit(); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.state.Apply(op); err != nil {
+		return nil, err
+	}
+	if e.cfg.StableStorage {
+		if err := e.persist(); err != nil {
+			return nil, err
+		}
+	}
+	if !replicated {
 		return &Result{Out: out, Events: events}, nil
 	}
-	backup, ok := e.repl.backup()
-	if !ok {
-		return &Result{Out: out, Events: events}, nil
+	l := &e.repl.log
+	ent := l.newEntry()
+	ent.op = op
+	ent.out = append(ent.out[:0], out...)
+	ent.events = append(ent.events[:0], events...)
+	seq, immediate := l.append(ent)
+	if !immediate {
+		return &Result{}, nil
 	}
-	e.repl.nextSeq++
-	seq := e.repl.nextSeq
-	e.repl.pending[seq] = &pendingUpdate{op: op, out: out, events: events}
-	return &Result{Out: oneOut(backup, &wire.ReplUpdate{
-		Chain: e.repl.chainID,
-		Seq:   seq,
-		Op:    op,
-	})}, nil
+	ru := e.pools.getReplUpdateMsg()
+	ru.Chain, ru.Seq, ru.Op = e.repl.chainID, seq, op
+	return &Result{Out: oneOut(backup, ru)}, nil
 }
 
 // commitFast is commit for the payment hot path: the caller has already
 // assembled its outbound messages and events into res, a Result from
 // getResult, and op comes from getOp. Both recycle as soon as nothing
-// retains them, so an unreplicated payment commit allocates nothing.
+// retains them, so an unreplicated payment commit allocates nothing —
+// and a replicated one moves the effects into a pooled log entry
+// (recycled when the ack releases it), so it allocates nothing either.
+// The unreplicated path pays one predicted-false nil check over the
+// seed's code; the replicated tail is outlined.
 func (e *Enclave) commitFast(op *Op, res *Result) (*Result, error) {
+	if e.repl != nil {
+		return e.commitFastRepl(op, res)
+	}
 	if err := e.state.Apply(op); err != nil {
 		e.pools.putResult(res)
 		e.pools.putOp(op)
@@ -382,31 +426,55 @@ func (e *Enclave) commitFast(op *Op, res *Result) (*Result, error) {
 			return nil, err
 		}
 	}
-	if e.repl == nil {
-		e.pools.putOp(op)
-		return res, nil
+	e.pools.putOp(op)
+	return res, nil
+}
+
+// commitFastRepl is the replicated tail of commitFast; see commitRepl
+// for the backlog-before-Apply ordering.
+func (e *Enclave) commitFastRepl(op *Op, res *Result) (*Result, error) {
+	backup, replicated := e.repl.backup()
+	if replicated {
+		if err := e.repl.log.admit(); err != nil {
+			e.pools.putResult(res)
+			e.pools.putOp(op)
+			return nil, err
+		}
 	}
-	backup, ok := e.repl.backup()
-	if !ok {
+	if err := e.state.Apply(op); err != nil {
+		e.pools.putResult(res)
+		e.pools.putOp(op)
+		return nil, err
+	}
+	if e.cfg.StableStorage {
+		if err := e.persist(); err != nil {
+			e.pools.putResult(res)
+			e.pools.putOp(op)
+			return nil, err
+		}
+	}
+	if !replicated {
 		e.pools.putOp(op)
 		return res, nil
 	}
 	// Replicated: the effects wait for the chain's acknowledgement, and
-	// the op travels to the backups, so both must move off the pooled
-	// objects. The op itself recycles when the ack releases it.
-	out := append([]Outbound(nil), res.Out...)
-	events := append([]Event(nil), res.Events...)
-	pay := res.pay
+	// the op travels to the backups, so both move into the pooled log
+	// entry. The op itself recycles when the ack releases it.
+	l := &e.repl.log
+	ent := l.newEntry()
+	ent.op = op
+	ent.out = append(ent.out[:0], res.Out...)
+	ent.events = append(ent.events[:0], res.Events...)
+	ent.pay = res.pay
 	e.pools.putResult(res)
-	e.repl.nextSeq++
-	seq := e.repl.nextSeq
-	e.repl.pending[seq] = &pendingUpdate{op: op, out: out, events: events, pay: pay}
+	seq, immediate := l.append(ent)
+	if !immediate {
+		return nil, nil
+	}
+	ru := e.pools.getReplUpdateMsg()
+	ru.Chain, ru.Seq, ru.Op = e.repl.chainID, seq, op
 	r := e.pools.getResult()
-	r.Out = append(r.Out, Outbound{To: backup, Msg: &wire.ReplUpdate{
-		Chain: e.repl.chainID,
-		Seq:   seq,
-		Op:    op,
-	}})
+	r.Out = append(r.Out, Outbound{To: backup, Msg: ru})
 	return r, nil
 }
 
@@ -420,6 +488,11 @@ func (e *Enclave) handleReplUpdate(from cryptoutil.PublicKey, m *wire.ReplUpdate
 	}
 	if from != b.prev() {
 		return nil, fmt.Errorf("core: replication update from non-predecessor %s", from)
+	}
+	if m.Seq <= b.lastSeq {
+		// Already applied: a transport redelivery after a connection
+		// handover. Dropped, not frozen — the mirror saw it exactly once.
+		return nil, fmt.Errorf("core: duplicate replication update %d (have %d)", m.Seq, b.lastSeq)
 	}
 	if m.Seq != b.lastSeq+1 {
 		// Sequence gap: state forking or message loss. Freeze.
@@ -452,9 +525,17 @@ func (e *Enclave) handleReplUpdate(from cryptoutil.PublicKey, m *wire.ReplUpdate
 		if len(mySigs) > 0 {
 			b.pendingSigs[m.Seq] = mySigs
 		}
-		return &Result{Out: oneOut(next, &wire.ReplUpdate{Chain: m.Chain, Seq: m.Seq, Op: op})}, nil
+		ru := e.pools.getReplUpdateMsg()
+		ru.Chain, ru.Seq, ru.Op = m.Chain, m.Seq, op
+		res := e.pools.getResult()
+		res.Out = append(res.Out, Outbound{To: next, Msg: ru})
+		return res, nil
 	}
-	return &Result{Out: oneOut(b.prev(), &wire.ReplAck{Chain: m.Chain, Seq: m.Seq, TauSigs: mySigs})}, nil
+	ack := e.pools.getReplAckMsg()
+	ack.Chain, ack.Seq, ack.TauSigs = m.Chain, m.Seq, mySigs
+	res := e.pools.getResult()
+	res.Out = append(res.Out, Outbound{To: b.prev(), Msg: ack})
+	return res, nil
 }
 
 func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Result, error) {
@@ -465,9 +546,16 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 		}
 		sigs := append(b.pendingSigs[m.Seq], m.TauSigs...)
 		delete(b.pendingSigs, m.Seq)
-		return &Result{Out: oneOut(b.prev(), &wire.ReplAck{Chain: m.Chain, Seq: m.Seq, TauSigs: sigs})}, nil
+		ack := e.pools.getReplAckMsg()
+		ack.Chain, ack.Seq, ack.TauSigs = m.Chain, m.Seq, sigs
+		res := e.pools.getResult()
+		res.Out = append(res.Out, Outbound{To: b.prev(), Msg: ack})
+		return res, nil
 	}
-	// Primary: release the pending update's effects in order.
+	// Primary: release the pending update's effects in order. Per-seq
+	// acks are exactly-next — strictly ordered like the updates they
+	// answer — and can never exceed what was actually flushed, so a
+	// forged ack cannot release effects the chain has not applied.
 	if e.repl == nil || e.repl.chainID != m.Chain {
 		return nil, fmt.Errorf("core: ack for unknown chain %s", m.Chain)
 	}
@@ -475,37 +563,53 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 	if !ok || from != backup {
 		return nil, fmt.Errorf("core: replication ack from non-backup %s", from)
 	}
-	if m.Seq != e.repl.ackSeq+1 {
-		return nil, fmt.Errorf("core: out-of-order ack %d (expected %d)", m.Seq, e.repl.ackSeq+1)
+	l := &e.repl.log
+	l.mu.Lock()
+	if m.Seq != l.ackSeq+1 || m.Seq > l.flushSeq {
+		expected := l.ackSeq + 1
+		l.mu.Unlock()
+		return nil, fmt.Errorf("core: out-of-order ack %d (expected %d)", m.Seq, expected)
 	}
-	pu, ok := e.repl.pending[m.Seq]
-	if !ok {
-		return nil, fmt.Errorf("core: ack for unknown update %d", m.Seq)
+	ent := l.entryAtLocked(m.Seq)
+	l.mu.Unlock()
+
+	// Validate the committee τ signatures BEFORE consuming the entry: a
+	// malformed ack must leave the withheld effects pending (the backup
+	// can resend a well-formed ack), not discard them. Acks are
+	// processed one at a time under the host's wide lock, so the peeked
+	// entry cannot be released underneath us.
+	if len(m.TauSigs) > 0 && ent.op.Tau != nil {
+		for _, ts := range m.TauSigs {
+			if ts.Input < 0 || ts.Input >= len(ent.op.Tau.Inputs) {
+				return nil, fmt.Errorf("core: tau signature for invalid input %d", ts.Input)
+			}
+			if ts.Slot < 0 || ts.Slot >= len(ent.op.Tau.Inputs[ts.Input].Sigs) {
+				return nil, fmt.Errorf("core: tau signature for invalid slot %d", ts.Slot)
+			}
+		}
+		// Fold into the (shared) τ object before the deferred sign-stage
+		// message departs.
+		for _, ts := range m.TauSigs {
+			ent.op.Tau.Inputs[ts.Input].Sigs[ts.Slot] = ts.Sig
+		}
 	}
-	delete(e.repl.pending, m.Seq)
-	e.repl.ackSeq = m.Seq
+	l.mu.Lock()
+	l.popLocked()
+	l.mu.Unlock()
+	res := e.pools.getResult()
+	res.Out = append(res.Out, ent.out...)
+	res.Events = append(res.Events, ent.events...)
+	res.pay = ent.pay
 	// Pay-path ops came from the op pool; every chain member has applied
 	// them by the time the ack climbs back to the primary, so they
 	// recycle here. Ops that carry retained state (paths, τ) do not.
-	if hotOp(pu.op) {
-		defer e.pools.putOp(pu.op)
+	if hotOp(ent.op) {
+		e.pools.putOp(ent.op)
 	}
-
-	// Fold committee τ signatures into the (shared) τ object before the
-	// deferred sign-stage message departs.
-	if len(m.TauSigs) > 0 && pu.op.Tau != nil {
-		for _, ts := range m.TauSigs {
-			if ts.Input < 0 || ts.Input >= len(pu.op.Tau.Inputs) {
-				return nil, fmt.Errorf("core: tau signature for invalid input %d", ts.Input)
-			}
-			in := &pu.op.Tau.Inputs[ts.Input]
-			if ts.Slot < 0 || ts.Slot >= len(in.Sigs) {
-				return nil, fmt.Errorf("core: tau signature for invalid slot %d", ts.Slot)
-			}
-			in.Sigs[ts.Slot] = ts.Sig
-		}
-	}
-	return &Result{Out: pu.out, Events: pu.events, pay: pu.pay}, nil
+	l.mu.Lock()
+	l.putEntryLocked(ent)
+	l.mu.Unlock()
+	return res, nil
 }
 
 // signTauInputs produces this member's signatures over τ inputs that
@@ -578,7 +682,7 @@ func (e *Enclave) handleReplFreeze(from cryptoutil.PublicKey, m *wire.ReplFreeze
 		// Primary frozen: the paper settles all channels and releases
 		// unused deposits. The host drives that via the EvFrozen event.
 		e.state.Frozen = true
-		e.repl.pending = make(map[uint64]*pendingUpdate)
+		e.repl.log.clear()
 		return &Result{Events: []Event{EvFrozen{Chain: m.Chain, Reason: m.Reason}}}, nil
 	}
 	return nil, fmt.Errorf("core: freeze for unknown chain %s", m.Chain)
@@ -592,7 +696,7 @@ func (e *Enclave) Freeze(chainID, reason string) (*Result, error) {
 	}
 	if e.repl != nil && e.repl.chainID == chainID {
 		e.state.Frozen = true
-		e.repl.pending = make(map[uint64]*pendingUpdate)
+		e.repl.log.clear()
 		res := &Result{Events: []Event{EvFrozen{Chain: chainID, Reason: reason}}}
 		if backup, ok := e.repl.backup(); ok {
 			res.Out = append(res.Out, Outbound{To: backup, Msg: &wire.ReplFreeze{Chain: chainID, Reason: reason}})
@@ -607,17 +711,10 @@ func (e *Enclave) Freeze(chainID, reason string) (*Result, error) {
 // FIFO ordering between committed responses (e.g. PayAck) and
 // uncommitted ones (e.g. PayNack).
 func (e *Enclave) deferBehindPending(to cryptoutil.PublicKey, msg wire.Message) *Result {
-	out := oneOut(to, msg)
-	if e.repl == nil || len(e.repl.pending) == 0 {
-		return &Result{Out: out}
+	if e.repl != nil && e.repl.log.attachTail(Outbound{To: to, Msg: msg}) {
+		return &Result{}
 	}
-	last := e.repl.nextSeq
-	pu := e.repl.pending[last]
-	if pu == nil {
-		return &Result{Out: out}
-	}
-	pu.out = append(pu.out, out...)
-	return &Result{}
+	return &Result{Out: oneOut(to, msg)}
 }
 
 // persist seals the enclave state under a monotonic counter (§6.2).
@@ -692,7 +789,7 @@ func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Messa
 			return e.handleSigRequest(from, m)
 		case *wire.ReplFreeze:
 			return e.handleReplFreeze(from, m)
-		case *wire.ReplUpdate, *wire.ReplAck:
+		case *wire.ReplUpdate, *wire.ReplAck, *wire.ReplBatch, *wire.ReplBatchAck:
 			return e.handleFrozenRepl(from, msg)
 		default:
 			return nil, ErrFrozen
@@ -751,6 +848,10 @@ func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Messa
 		return e.handleReplUpdate(from, m)
 	case *wire.ReplAck:
 		return e.handleReplAck(from, m)
+	case *wire.ReplBatch:
+		return e.handleReplBatch(from, m)
+	case *wire.ReplBatchAck:
+		return e.handleReplBatchAck(from, m)
 	case *wire.ReplFreeze:
 		return e.handleReplFreeze(from, m)
 	case *wire.SigRequest:

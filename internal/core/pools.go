@@ -30,13 +30,15 @@ type hotPools struct {
 	shared bool
 	mu     sync.Mutex
 
-	envs      []*Envelope
-	results   []*Result
-	ops       []*Op
-	pays      []*wire.Pay
-	acks      []*wire.PayAck
-	batches   []*wire.PayBatch
-	batchAcks []*wire.PayBatchAck
+	envs        []*Envelope
+	results     []*Result
+	ops         []*Op
+	pays        []*wire.Pay
+	acks        []*wire.PayAck
+	batches     []*wire.PayBatch
+	batchAcks   []*wire.PayBatchAck
+	replUpdates []*wire.ReplUpdate
+	replAcks    []*wire.ReplAck
 }
 
 func newHotPools() *hotPools { return &hotPools{} }
@@ -168,6 +170,16 @@ func (p *hotPools) recycleMsgLocked(msg wire.Message) {
 	case *wire.PayBatchAck:
 		*m = wire.PayBatchAck{}
 		p.batchAcks = append(p.batchAcks, m)
+	case *wire.ReplUpdate:
+		// The Op pointer is dropped, not recycled: it stays referenced by
+		// the primary's log entry until the chain acknowledges it.
+		*m = wire.ReplUpdate{}
+		p.replUpdates = append(p.replUpdates, m)
+	case *wire.ReplAck:
+		m.Chain = ""
+		m.Seq = 0
+		m.TauSigs = nil // sig slices travel onward in relayed acks
+		p.replAcks = append(p.replAcks, m)
 	}
 }
 
@@ -230,6 +242,35 @@ func (p *hotPools) getPayBatchAckMsg() *wire.PayBatchAck {
 		p.batchAcks = p.batchAcks[:k-1]
 	} else {
 		m = new(wire.PayBatchAck)
+	}
+	p.unlock()
+	return m
+}
+
+// getReplUpdateMsg returns a zeroed ReplUpdate for the replication
+// emit path (immediate mode and solo pipelined flushes).
+func (p *hotPools) getReplUpdateMsg() *wire.ReplUpdate {
+	p.lock()
+	var m *wire.ReplUpdate
+	if k := len(p.replUpdates); k > 0 {
+		m = p.replUpdates[k-1]
+		p.replUpdates = p.replUpdates[:k-1]
+	} else {
+		m = new(wire.ReplUpdate)
+	}
+	p.unlock()
+	return m
+}
+
+// getReplAckMsg returns a zeroed ReplAck for the backup ack path.
+func (p *hotPools) getReplAckMsg() *wire.ReplAck {
+	p.lock()
+	var m *wire.ReplAck
+	if k := len(p.replAcks); k > 0 {
+		m = p.replAcks[k-1]
+		p.replAcks = p.replAcks[:k-1]
+	} else {
+		m = new(wire.ReplAck)
 	}
 	p.unlock()
 	return m

@@ -1,0 +1,479 @@
+// Replication log: the dedicated concurrency domain of a chain
+// primary (Alg. 3 with the chain-replication batching/pipelining of
+// van Renesse & Schneider, OSDI'04).
+//
+// A replicated commit applies the op to the primary's state and then
+// appends the op — together with its withheld externally visible
+// effects (outbound messages, events, the unboxed payment outcome) — to
+// the chain's replication log. The log has its own mutex, so payment
+// lanes (which hold the host's wide lock only in READ mode, see
+// concurrent.go) can commit replicated payments concurrently: the lane
+// lock orders ops per channel, the log mutex orders the global append,
+// and ops on different channels commute, so backups that apply in log
+// order converge to the primary's state.
+//
+// Two delivery modes share the log:
+//
+//   - immediate (the default; the simulator's mode): every commit emits
+//     one ReplUpdate frame synchronously and every backup ack releases
+//     exactly one entry, preserving the seed's per-update wire behavior
+//     bit for bit (harness determinism tests pin this);
+//   - pipelined (socket hosts opt in via EnableReplPipeline): commits
+//     only append; a host-side flusher drains the log into ReplBatch
+//     frames (payment ops) and solo ReplUpdate frames (everything
+//     else), pipelining batches down the chain without waiting, bounded
+//     by an in-flight window; the tail acknowledges cumulatively and
+//     one ReplBatchAck releases a whole run of withheld effects.
+//
+// Entries are pooled and recycled on release, so a replicated payment
+// commit allocates nothing in steady state.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// replMaxPending bounds committed-but-unacknowledged ops (queued plus
+// in flight). Commits beyond it fail with ErrReplBacklog instead of
+// growing the log without bound when the chain stalls — the host
+// surfaces the error and the caller retries.
+const replMaxPending = 1 << 17
+
+// ErrReplBacklog reports that the replication chain has fallen too far
+// behind for further optimistic commits.
+var ErrReplBacklog = errors.New("core: replication backlog full")
+
+// replEntry is one committed, not-yet-acknowledged state update with
+// its withheld effects. Pooled; out and events keep capacity across
+// journeys.
+type replEntry struct {
+	seq    uint64
+	op     *Op
+	out    []Outbound
+	events []Event
+	pay    payEvent
+}
+
+// replLog is the replication pipeline state of a chain primary. All
+// fields are guarded by mu except backlog (atomic, read before Apply so
+// an over-full log rejects commits without taking the lock) and
+// pipelined/notify (written once under the wide lock before any
+// concurrent commit exists).
+type replLog struct {
+	mu sync.Mutex
+
+	// pipelined switches commits from emit-per-op to append-for-flush.
+	pipelined bool
+	// notify, when set, wakes the host's flusher after an append. Called
+	// outside mu; must not block.
+	notify func()
+
+	nextSeq  uint64 // last committed sequence number
+	flushSeq uint64 // last sequence handed to the transport (== nextSeq when immediate)
+	ackSeq   uint64 // last cumulatively acknowledged sequence
+
+	// entries[head:] holds the entries for seqs ackSeq+1..nextSeq in
+	// order; popping advances head and compacts like chanRuntime.
+	entries []*replEntry
+	head    int
+
+	free    []*replEntry
+	backlog atomic.Int64 // nextSeq - ackSeq, maintained on append/release
+}
+
+func (l *replLog) getEntryLocked() *replEntry {
+	if k := len(l.free); k > 0 {
+		e := l.free[k-1]
+		l.free = l.free[:k-1]
+		return e
+	}
+	return &replEntry{}
+}
+
+func (l *replLog) putEntryLocked(ent *replEntry) {
+	for i := range ent.out {
+		ent.out[i] = Outbound{}
+	}
+	for i := range ent.events {
+		ent.events[i] = nil
+	}
+	ent.out = ent.out[:0]
+	ent.events = ent.events[:0]
+	ent.op = nil
+	ent.pay = payEvent{}
+	ent.seq = 0
+	l.free = append(l.free, ent)
+}
+
+// admit reports whether another commit may enter the log. Approximate
+// by design (concurrent lanes may overshoot by a handful), checked
+// BEFORE State.Apply so a rejected commit leaves no divergence between
+// the primary's state and the replication stream.
+func (l *replLog) admit() error {
+	if l.backlog.Load() >= replMaxPending {
+		return ErrReplBacklog
+	}
+	return nil
+}
+
+// append assigns the next sequence number to a pooled entry built by
+// the caller and enqueues it. Returns the sequence and, in immediate
+// mode, true to tell the caller to emit the ReplUpdate itself.
+func (l *replLog) append(ent *replEntry) (seq uint64, immediate bool) {
+	l.mu.Lock()
+	l.nextSeq++
+	seq = l.nextSeq
+	ent.seq = seq
+	l.entries = append(l.entries, ent)
+	if !l.pipelined {
+		l.flushSeq = l.nextSeq
+	}
+	l.backlog.Add(1)
+	notify := l.pipelined && l.notify != nil
+	l.mu.Unlock()
+	if notify {
+		l.notify()
+	}
+	return seq, !l.pipelined
+}
+
+// entryAt returns the queued entry for seq, or nil. Caller holds mu.
+func (l *replLog) entryAtLocked(seq uint64) *replEntry {
+	if seq <= l.ackSeq || seq > l.nextSeq {
+		return nil
+	}
+	return l.entries[l.head+int(seq-l.ackSeq-1)]
+}
+
+// popLocked removes and returns the oldest entry (seq ackSeq+1),
+// advancing ackSeq. Caller holds mu and has checked it exists.
+func (l *replLog) popLocked() *replEntry {
+	ent := l.entries[l.head]
+	l.entries[l.head] = nil
+	l.head++
+	l.ackSeq++
+	l.backlog.Add(-1)
+	if l.head == len(l.entries) {
+		l.entries = l.entries[:0]
+		l.head = 0
+	} else if l.head >= 64 && l.head*2 >= len(l.entries) {
+		live := copy(l.entries, l.entries[l.head:])
+		for i := live; i < len(l.entries); i++ {
+			l.entries[i] = nil
+		}
+		l.entries = l.entries[:live]
+		l.head = 0
+	}
+	return ent
+}
+
+// attachTail appends out behind the newest pending entry's effects,
+// preserving per-channel FIFO between committed responses (PayAck) and
+// uncommitted ones (PayNack). Returns false when nothing is pending and
+// the message should be sent immediately.
+func (l *replLog) attachTail(out Outbound) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.head >= len(l.entries) {
+		return false
+	}
+	ent := l.entries[len(l.entries)-1]
+	ent.out = append(ent.out, out)
+	return true
+}
+
+// clear drops every pending entry (freeze). Entries are NOT recycled:
+// their ops may still ride in-flight replication messages.
+func (l *replLog) clear() {
+	l.mu.Lock()
+	for i := range l.entries {
+		l.entries[i] = nil
+	}
+	l.entries = l.entries[:0]
+	l.head = 0
+	l.ackSeq = l.nextSeq
+	l.flushSeq = l.nextSeq
+	l.backlog.Store(0)
+	l.mu.Unlock()
+}
+
+// releaseTo pops every entry with seq <= target, merging its withheld
+// effects into res (in sequence order) and recycling entries and hot
+// ops. Same-channel PayReceived outcomes merge into one unboxed event
+// (hosts only count them); anything else that cannot share the unboxed
+// slot is boxed. Caller validated target against ackSeq/flushSeq.
+func (e *Enclave) releaseTo(l *replLog, target uint64, res *Result) {
+	l.mu.Lock()
+	for l.ackSeq < target {
+		ent := l.popLocked()
+		res.Out = append(res.Out, ent.out...)
+		res.Events = append(res.Events, ent.events...)
+		if ent.pay.kind != PayNone {
+			if res.pay.kind == PayNone {
+				res.pay = ent.pay
+			} else if res.pay.kind == PayReceived && ent.pay.kind == PayReceived &&
+				res.pay.channel == ent.pay.channel {
+				res.pay.amount += ent.pay.amount
+				res.pay.count += ent.pay.count
+			} else {
+				res.Events = append(res.Events, ent.pay.box())
+			}
+		}
+		if ent.op != nil && hotOp(ent.op) {
+			e.pools.putOp(ent.op)
+		}
+		l.putEntryLocked(ent)
+	}
+	l.mu.Unlock()
+}
+
+// EnableReplPipeline switches this enclave's future replication chain
+// to pipelined delivery: commits append to the log and the host's
+// flusher (notify wakes it) drains batches via ReplNextFlush. Must be
+// called under the host's wide lock before FormCommittee.
+func (e *Enclave) EnableReplPipeline(notify func()) {
+	e.replPipelined = true
+	e.replNotify = notify
+	if e.repl != nil {
+		e.repl.log.pipelined = true
+		e.repl.log.notify = notify
+	}
+}
+
+// ReplPipelined reports whether the replication chain delivers in
+// pipelined (batched) mode.
+func (e *Enclave) ReplPipelined() bool {
+	return e.repl != nil && e.repl.log.pipelined
+}
+
+// ReplStats is a snapshot of the replication pipeline, surfaced through
+// the host's "stats committee" control command.
+type ReplStats struct {
+	Chain     string
+	Pipelined bool
+	NextSeq   uint64 // last committed op
+	FlushSeq  uint64 // last op handed to the transport
+	AckSeq    uint64 // last op acknowledged by the whole chain
+	Queued    int    // committed, not yet flushed
+	Window    int    // flushed, not yet acknowledged
+}
+
+// ReplStats snapshots the primary's replication log; ok is false when
+// no committee is formed.
+func (e *Enclave) ReplStats() (ReplStats, bool) {
+	if e.repl == nil {
+		return ReplStats{}, false
+	}
+	l := &e.repl.log
+	l.mu.Lock()
+	st := ReplStats{
+		Chain:     e.repl.chainID,
+		Pipelined: l.pipelined,
+		NextSeq:   l.nextSeq,
+		FlushSeq:  l.flushSeq,
+		AckSeq:    l.ackSeq,
+		Queued:    int(l.nextSeq - l.flushSeq),
+		Window:    int(l.flushSeq - l.ackSeq),
+	}
+	l.mu.Unlock()
+	return st, true
+}
+
+// replBatchKind maps a batchable op kind to its wire code (0 = not
+// batchable; such ops flush as solo ReplUpdate frames).
+func replBatchKind(k OpKind) uint8 {
+	switch k {
+	case OpPaySend:
+		return wire.ReplOpPaySend
+	case OpPayRecv:
+		return wire.ReplOpPayRecv
+	case OpPayRevert:
+		return wire.ReplOpPayRevert
+	}
+	return 0
+}
+
+// replOpKind is the inverse mapping, validating the wire code.
+func replOpKind(k uint8) (OpKind, bool) {
+	switch k {
+	case wire.ReplOpPaySend:
+		return OpPaySend, true
+	case wire.ReplOpPayRecv:
+		return OpPayRecv, true
+	case wire.ReplOpPayRevert:
+		return OpPayRevert, true
+	}
+	return 0, false
+}
+
+// ReplNextFlush hands the host's replication flusher its next frame: a
+// run of consecutive payment ops packed into batch (reused across
+// calls), or a solo *wire.ReplUpdate for ops that cannot batch
+// (multi-hop stages need per-sequence τ-signature piggybacking).
+// Returns n == 0 when nothing is flushable — the log is drained, or
+// flushed-but-unacknowledged ops already fill maxWindow (the pipelining
+// backpressure bound). Caller holds the wide lock in read mode.
+func (e *Enclave) ReplNextFlush(batch *wire.ReplBatch, maxOps, maxWindow int) (to cryptoutil.PublicKey, msg wire.Message, n int) {
+	if e.repl == nil || e.state.Frozen {
+		return to, nil, 0
+	}
+	backup, ok := e.repl.backup()
+	if !ok {
+		return to, nil, 0
+	}
+	l := &e.repl.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.pipelined || l.flushSeq >= l.nextSeq || int(l.flushSeq-l.ackSeq) >= maxWindow {
+		return to, nil, 0
+	}
+	first := l.flushSeq + 1
+	ent := l.entryAtLocked(first)
+	if kind := replBatchKind(ent.op.Kind); kind == 0 {
+		// Solo flush: one cold op as a classic per-sequence update.
+		l.flushSeq++
+		return backup, &wire.ReplUpdate{Chain: e.repl.chainID, Seq: first, Op: ent.op}, 1
+	}
+	if maxOps > wire.MaxReplBatch {
+		maxOps = wire.MaxReplBatch
+	}
+	batch.Chain = e.repl.chainID
+	batch.FirstSeq = first
+	batch.Ops = batch.Ops[:0]
+	for len(batch.Ops) < maxOps && l.flushSeq < l.nextSeq {
+		ent := l.entryAtLocked(l.flushSeq + 1)
+		kind := replBatchKind(ent.op.Kind)
+		if kind == 0 {
+			break // cold op: ends the run, flushes solo next call
+		}
+		batch.Ops = append(batch.Ops, wire.ReplBatchOp{
+			Kind:    kind,
+			Channel: ent.op.Channel,
+			Amount:  ent.op.Amount,
+			Count:   ent.op.Count,
+		})
+		l.flushSeq++
+	}
+	return backup, batch, len(batch.Ops)
+}
+
+// ReplRewindFlush un-flushes the last n flushed-but-unacknowledged ops
+// after the host failed to hand their frame to the transport (outbound
+// queue full, encode failure): the entries are still in the window, so
+// rewinding flushSeq re-offers them to the next ReplNextFlush. Safe
+// because the frame never left the host — no ack for those sequences
+// can be in flight, and the freshness counter the discarded frame
+// consumed is just a gap the receiver's anti-replay window skips.
+func (e *Enclave) ReplRewindFlush(n int) {
+	if e.repl == nil || n <= 0 {
+		return
+	}
+	l := &e.repl.log
+	l.mu.Lock()
+	if un := uint64(n); l.flushSeq >= un && l.flushSeq-un >= l.ackSeq {
+		l.flushSeq -= un
+	}
+	l.mu.Unlock()
+}
+
+// --- Backup side: batch application ---
+
+// handleReplBatch applies a batched run of payment ops to the mirror,
+// relays it down the chain, and (at the tail) acknowledges
+// cumulatively. Sequence discipline is exactly-next: a batch whose ops
+// were all seen already is a transport redelivery and is dropped
+// without effect; a gap (or partial overlap, impossible under
+// whole-frame retransmission) forks the chain and freezes it.
+func (e *Enclave) handleReplBatch(from cryptoutil.PublicKey, m *wire.ReplBatch) (*Result, error) {
+	b, ok := e.backups[m.Chain]
+	if !ok {
+		return nil, fmt.Errorf("core: not a member of chain %s", m.Chain)
+	}
+	if b.frozen {
+		return nil, fmt.Errorf("core: chain %s is frozen", m.Chain)
+	}
+	if from != b.prev() {
+		return nil, fmt.Errorf("core: replication batch from non-predecessor %s", from)
+	}
+	n := len(m.Ops)
+	if n < 1 || n > wire.MaxReplBatch {
+		return nil, fmt.Errorf("core: replication batch of %d ops", n)
+	}
+	last := m.FirstSeq + uint64(n) - 1
+	if last < m.FirstSeq {
+		return nil, errors.New("core: replication batch sequence range overflows")
+	}
+	if last <= b.lastSeq {
+		// Whole-batch duplicate: a redelivered frame after a connection
+		// handover. Dropping it (rather than freezing) keeps reconnects
+		// survivable; the mirror already applied every op exactly once.
+		return nil, fmt.Errorf("core: duplicate replication batch %d..%d (have %d)", m.FirstSeq, last, b.lastSeq)
+	}
+	if m.FirstSeq != b.lastSeq+1 {
+		// Sequence gap: state forking or message loss. Freeze.
+		return e.freezeChainLocal(b, fmt.Sprintf("batch sequence gap: got %d..%d, want %d", m.FirstSeq, last, b.lastSeq+1))
+	}
+	op := &b.scratchOp
+	for i := range m.Ops {
+		w := &m.Ops[i]
+		kind, ok := replOpKind(w.Kind)
+		if !ok {
+			return e.freezeChainLocal(b, fmt.Sprintf("unknown batch op kind %d", w.Kind))
+		}
+		// Forged-frame hardening, mirroring sumBatch: a non-positive
+		// amount slips through Apply's one-sided balance guards and a
+		// huge one overflows them; neither may touch the mirror.
+		if w.Amount <= 0 || w.Count < 1 {
+			return e.freezeChainLocal(b, fmt.Sprintf("invalid batch op amount %d count %d", w.Amount, w.Count))
+		}
+		*op = Op{Kind: kind, Channel: w.Channel, Amount: w.Amount, Count: w.Count}
+		if err := b.mirror.Apply(op); err != nil {
+			return e.freezeChainLocal(b, fmt.Sprintf("mirror apply failed at seq %d: %v", m.FirstSeq+uint64(i), err))
+		}
+	}
+	b.lastSeq = last
+	if next, hasNext := b.next(); hasNext {
+		return &Result{Out: oneOut(next, m)}, nil
+	}
+	return &Result{Out: oneOut(b.prev(), &wire.ReplBatchAck{Chain: m.Chain, Seq: last})}, nil
+}
+
+// handleReplBatchAck relays a cumulative acknowledgement up the chain
+// (middle members) or releases every withheld effect up to Seq (the
+// primary). Acks must be strictly monotonic and can never exceed what
+// was flushed — a forged ack cannot release effects of updates the
+// chain has not applied.
+func (e *Enclave) handleReplBatchAck(from cryptoutil.PublicKey, m *wire.ReplBatchAck) (*Result, error) {
+	if b, ok := e.backups[m.Chain]; ok {
+		if next, hasNext := b.next(); !hasNext || next != from {
+			return nil, fmt.Errorf("core: replication ack from non-successor %s", from)
+		}
+		return &Result{Out: oneOut(b.prev(), &wire.ReplBatchAck{Chain: m.Chain, Seq: m.Seq})}, nil
+	}
+	if e.repl == nil || e.repl.chainID != m.Chain {
+		return nil, fmt.Errorf("core: ack for unknown chain %s", m.Chain)
+	}
+	backup, ok := e.repl.backup()
+	if !ok || from != backup {
+		return nil, fmt.Errorf("core: replication ack from non-backup %s", from)
+	}
+	l := &e.repl.log
+	l.mu.Lock()
+	ackSeq, flushSeq := l.ackSeq, l.flushSeq
+	l.mu.Unlock()
+	if m.Seq <= ackSeq {
+		return nil, fmt.Errorf("core: stale cumulative ack %d (acked %d)", m.Seq, ackSeq)
+	}
+	if m.Seq > flushSeq {
+		return nil, fmt.Errorf("core: cumulative ack %d beyond flushed %d", m.Seq, flushSeq)
+	}
+	res := e.pools.getResult()
+	e.releaseTo(l, m.Seq, res)
+	return res, nil
+}

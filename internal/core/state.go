@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"teechain/internal/chain"
@@ -431,8 +432,8 @@ func (s *State) Apply(op *Op) error {
 		if c.Stage != MhIdle {
 			return ErrChannelLocked
 		}
-		if c.MyBal < op.Amount {
-			return ErrInsufficient
+		if err := payGuard(c.MyBal, c.RemoteBal, op.Amount); err != nil {
+			return err
 		}
 		c.MyBal -= op.Amount
 		c.RemoteBal += op.Amount
@@ -444,8 +445,8 @@ func (s *State) Apply(op *Op) error {
 		if c.Stage != MhIdle {
 			return ErrChannelLocked
 		}
-		if c.RemoteBal < op.Amount {
-			return ErrInsufficient
+		if err := payGuard(c.RemoteBal, c.MyBal, op.Amount); err != nil {
+			return err
 		}
 		c.RemoteBal -= op.Amount
 		c.MyBal += op.Amount
@@ -458,8 +459,8 @@ func (s *State) Apply(op *Op) error {
 		if err != nil {
 			return err
 		}
-		if c.RemoteBal < op.Amount {
-			return ErrInsufficient
+		if err := payGuard(c.RemoteBal, c.MyBal, op.Amount); err != nil {
+			return err
 		}
 		c.RemoteBal -= op.Amount
 		c.MyBal += op.Amount
@@ -544,6 +545,33 @@ func (s *State) Apply(op *Op) error {
 		return fmt.Errorf("core: unknown op kind %v", op.Kind)
 	}
 	return nil
+}
+
+// payGuard validates one payment-op transfer of amount from debit to
+// credit. Local entry points validate amounts before committing, so on
+// a primary this is redundant belt-and-braces — but committee mirrors
+// apply ops straight off the wire, where a forged non-positive amount
+// would pass the one-sided balance guard vacuously and a huge one would
+// wrap the credited balance (the same failure modes PR 3's sumBatch
+// closed for payment batches).
+func payGuard(debit, credit, amount chain.Amount) error {
+	// Kept inlineable (the error construction is outlined): Apply runs
+	// twice per payment on the simulator's hot path.
+	if amount <= 0 || debit < amount || credit > math.MaxInt64-amount {
+		return payGuardErr(debit, credit, amount)
+	}
+	return nil
+}
+
+//go:noinline
+func payGuardErr(debit, credit, amount chain.Amount) error {
+	if amount <= 0 {
+		return fmt.Errorf("core: invalid replicated payment amount %d", amount)
+	}
+	if debit < amount {
+		return ErrInsufficient
+	}
+	return fmt.Errorf("core: payment of %d overflows balance %d", amount, credit)
 }
 
 func (s *State) channel(id wire.ChannelID) (*ChannelState, error) {

@@ -32,6 +32,14 @@ const ClusterTimeout = 60 * time.Second
 // NewCluster starts one host per name, each listening on a fresh
 // loopback port. Close the cluster when done.
 func NewCluster(names ...string) (*Cluster, error) {
+	return NewClusterWith(nil, names...)
+}
+
+// NewClusterWith is NewCluster with a per-host Config hook, applied
+// after the defaults (name, authority, chain) are filled in — the
+// replication benchmark uses it to disable pipelined replication for
+// its per-payment-round-trip baseline.
+func NewClusterWith(mut func(*transport.Config), names ...string) (*Cluster, error) {
 	auth, err := tee.NewAuthority("cluster")
 	if err != nil {
 		return nil, err
@@ -42,11 +50,15 @@ func NewCluster(names ...string) (*Cluster, error) {
 		names: append([]string(nil), names...),
 	}
 	for _, name := range names {
-		h, err := transport.NewHost(transport.Config{
+		cfg := transport.Config{
 			Name:      name,
 			Authority: auth,
 			Chain:     c.Chain,
-		})
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		h, err := transport.NewHost(cfg)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -87,6 +99,25 @@ func (c *Cluster) Connect(from, to string) error {
 		return err
 	}
 	return src.Attest(to, ClusterTimeout)
+}
+
+// FormCommittee forms owner's committee chain from the named member
+// nodes (in chain order) with threshold m, dialing and attesting the
+// chain links first: the owner talks to every member (attach and
+// updates to the first backup) and consecutive members relay down the
+// chain. Blocks until the chain is ready for deposits.
+func (c *Cluster) FormCommittee(owner string, members []string, m int) error {
+	for i, name := range members {
+		if err := c.Connect(owner, name); err != nil {
+			return err
+		}
+		if i+1 < len(members) {
+			if err := c.Connect(name, members[i+1]); err != nil {
+				return err
+			}
+		}
+	}
+	return c.hosts[owner].FormCommittee(members, m, ClusterTimeout)
 }
 
 // OpenChannel opens and funds a channel from -> to, returning its id.

@@ -1,0 +1,325 @@
+package harness
+
+// Real-TCP committee-chain integration tests: replicated payments on
+// the lane fast path with the batched/pipelined replication flusher,
+// committee-member connection failure mid-stream, and threshold-signed
+// settlement — the deployed-with-replication scenario of the paper's
+// evaluation (§7, Fig. 8-9).
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/transport"
+	"teechain/internal/wire"
+)
+
+// controlFor serves the control API for a host and returns a connected
+// client, both torn down with the test.
+func controlFor(t *testing.T, h *transport.Host) *transport.ControlClient {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.ServeControl(ln, h)
+	t.Cleanup(srv.Close)
+	cc, err := transport.DialControl(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	return cc
+}
+
+// committeeCluster builds sender s (committee of two members m1, m2,
+// threshold 2), receiver r, with a funded s->r channel.
+func committeeCluster(t *testing.T, fund chain.Amount) (*Cluster, wire.ChannelID) {
+	t.Helper()
+	c, err := NewCluster("s", "r", "m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Connect("s", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FormCommittee("s", []string{"m1", "m2"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.OpenChannel("s", "r", fund)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, wire.ChannelID(id)
+}
+
+// pumpPayments issues count payments of amount over chID in PayBatch
+// frames of batch, then waits until the sender's cumulative ack total
+// reaches target.
+func pumpPayments(t *testing.T, h *transport.Host, chID wire.ChannelID, amount chain.Amount, count, batch int, target uint64) {
+	t.Helper()
+	amounts := make([]chain.Amount, 0, batch)
+	for sent := 0; sent < count; {
+		n := min(batch, count-sent)
+		amounts = amounts[:0]
+		for i := 0; i < n; i++ {
+			amounts = append(amounts, amount)
+		}
+		if err := h.PayBatch(chID, amounts); err != nil {
+			t.Fatal(err)
+		}
+		sent += n
+	}
+	if err := h.AwaitAcked(target, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// awaitReplDrained polls until the host's replication log is fully
+// acknowledged. Payment acks imply the payment ops drained, but effect-
+// free cold commits (e.g. the RegisterPayoutKey a reconnect hello
+// triggers) have no user-visible ack to wait on.
+func awaitReplDrained(t *testing.T, h *transport.Host) transport.CommitteeStats {
+	t.Helper()
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		st, ok := h.CommitteeStats()
+		if ok && st.AckSeq == st.NextSeq {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication log never drained: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// awaitMirror polls until the named member's mirror of s's chain shows
+// the expected channel balances.
+func awaitMirror(t *testing.T, c *Cluster, member, chainID string, chID wire.ChannelID, mine, remote chain.Amount) {
+	t.Helper()
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		var got *core.ChannelState
+		c.Host(member).WithEnclave(func(e *core.Enclave) {
+			if mirror, ok := e.MirrorState(chainID); ok {
+				got = mirror.Channels[chID]
+			}
+		})
+		if got != nil && got.MyBal == mine && got.RemoteBal == remote {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s mirror never reached %d/%d (last: %+v)", member, mine, remote, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterCommitteePayments runs replicated payments over real TCP:
+// the sender keeps its lane fast path (LaneEligible with a pipelined
+// chain), the flusher batches the ops down the chain, mirrors converge
+// to the owner's balances, and settlement collects the 2-of-3 threshold
+// signatures from the members over the sockets.
+func TestClusterCommitteePayments(t *testing.T) {
+	c, chID := committeeCluster(t, 10_000)
+	s := c.Host("s")
+
+	laneEligible := false
+	var chainID string
+	s.WithEnclave(func(e *core.Enclave) {
+		laneEligible = e.LaneEligible()
+		chainID = e.ChainID()
+	})
+	if !laneEligible {
+		t.Fatal("replicated pipelined sender lost lane eligibility")
+	}
+
+	const payments = 400
+	pumpPayments(t, s, chID, 2, payments, 16, payments)
+
+	mine, remote, err := s.ChannelBalances(chID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mine != 10_000-2*payments || remote != 2*payments {
+		t.Fatalf("balances %d/%d, want %d/%d", mine, remote, 10_000-2*payments, 2*payments)
+	}
+	awaitMirror(t, c, "m1", chainID, chID, mine, remote)
+	awaitMirror(t, c, "m2", chainID, chID, mine, remote)
+
+	// The pipeline must drain completely once everything is acked.
+	st := awaitReplDrained(t, s)
+	if !st.Pipelined || st.Queued != 0 || st.Window != 0 {
+		t.Fatalf("pipeline not drained: %+v", st)
+	}
+	if st.BatchesOut == 0 || st.OpsOut < payments/16 {
+		t.Fatalf("flusher counters implausible: %+v", st)
+	}
+
+	// Settlement: the committee deposit needs 2-of-3 signatures, fetched
+	// from the members over TCP.
+	if err := s.Settle(chID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(ClusterTimeout)
+	for c.Balance("s") != 10_000-2*payments || c.Balance("r") != 2*payments {
+		c.MineBlocks(1)
+		if time.Now().After(deadline) {
+			t.Fatalf("on-chain settlement: s=%d r=%d, want %d/%d",
+				c.Balance("s"), c.Balance("r"), 10_000-2*payments, 2*payments)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterCommitteeFailover kills and restarts the first backup's
+// network mid-stream: ReplBatch frames queued while it was unreachable
+// must be delivered exactly once after the automatic reconnect,
+// cumulative acks must resume, and the final balances must be
+// bit-identical to an unreplicated run of the same workload.
+func TestClusterCommitteeFailover(t *testing.T) {
+	const (
+		fund     = 10_000
+		amount   = 3
+		phase    = 100 // payments before and after the failure
+		batch    = 10
+		expected = chain.Amount(2 * phase * amount)
+	)
+	c, chID := committeeCluster(t, fund)
+	s, m1 := c.Host("s"), c.Host("m1")
+	var chainID string
+	s.WithEnclave(func(e *core.Enclave) { chainID = e.ChainID() })
+
+	// Phase 1: payments while the whole chain is healthy. AwaitAcked
+	// implies the replication acks returned too (a payment's frame is
+	// only released to the receiver after its op is acknowledged), so
+	// after this no replication frame is in flight.
+	pumpPayments(t, s, chID, amount, phase, batch, phase)
+
+	// Kill the backup's network: listener gone, every connection dead on
+	// both ends. The sender's writer queues replication frames and
+	// redials with backoff.
+	addr := m1.ListenAddr()
+	m1.CloseListener()
+	m1.DropConnections()
+	s.DropConnections()
+
+	// Phase 2: payments while the backup is unreachable. They commit
+	// optimistically and their effects stay withheld — no ack may arrive
+	// without the chain.
+	pre := s.AckedTotal()
+	pumpPayments(t, s, chID, amount, phase, batch, pre) // target already met: issue only
+	if got := s.AckedTotal(); got != pre {
+		t.Fatalf("payments acked while the backup was down: %d -> %d", pre, got)
+	}
+
+	// Restart the backup's listener on the same address; the redial
+	// delivers the queued ReplBatch frames in order, exactly once.
+	if _, err := m1.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AwaitAcked(2*phase, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	mine, remote, err := s.ChannelBalances(chID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mine != fund-expected || remote != expected {
+		t.Fatalf("balances %d/%d, want %d/%d", mine, remote, fund-expected, expected)
+	}
+	// Exactly once: had any queued batch been applied twice, the mirrors
+	// would have over-debited; a gap would have frozen the chain.
+	awaitMirror(t, c, "m1", chainID, chID, mine, remote)
+	awaitMirror(t, c, "m2", chainID, chID, mine, remote)
+	var frozen bool
+	m1.WithEnclave(func(e *core.Enclave) {
+		if mirror, ok := e.MirrorState(chainID); ok {
+			frozen = mirror.Frozen
+		}
+	})
+	if frozen {
+		t.Fatal("chain froze across the reconnect")
+	}
+	if rc := s.Stats().Reconnects; rc == 0 {
+		t.Fatal("sender reports no reconnects; the drop did not exercise the redial path")
+	}
+	awaitReplDrained(t, s)
+
+	// Bit-identical to an unreplicated run of the same workload.
+	plain, err := NewCluster("ps", "pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.Connect("ps", "pr"); err != nil {
+		t.Fatal(err)
+	}
+	pid, err := plain.OpenChannel("ps", "pr", fund)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpPayments(t, plain.Host("ps"), wire.ChannelID(pid), amount, 2*phase, batch, 2*phase)
+	pMine, pRemote, err := plain.Host("ps").ChannelBalances(wire.ChannelID(pid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pMine != mine || pRemote != remote {
+		t.Fatalf("replicated run diverged from unreplicated run: %d/%d vs %d/%d",
+			mine, remote, pMine, pRemote)
+	}
+}
+
+// TestCommitteeControlCommands drives committee formation and the
+// replication stats through the line-based control API.
+func TestCommitteeControlCommands(t *testing.T) {
+	c, err := NewCluster("s", "r", "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Connect("s", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect("s", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	cc := controlFor(t, c.Host("s"))
+
+	if _, err := cc.Do("stats committee"); err == nil {
+		t.Fatal("stats committee succeeded before formation")
+	}
+	out, err := cc.Do("committee m1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chainID string
+	if _, err := fmt.Sscanf(out, "chain %s ready", &chainID); err != nil {
+		t.Fatalf("committee response %q: %v", out, err)
+	}
+	chID, err := cc.Do("open r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Do(fmt.Sprintf("fund %s 1000", chID)); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := cc.Do(fmt.Sprintf("pay %s 5 40 8", chID)); err != nil || out != "40 acked" {
+		t.Fatalf("pay: %q, %v", out, err)
+	}
+	stats, err := cc.Do("stats committee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("chain=%s pipelined=true", chainID)
+	if len(stats) < len(want) || stats[:len(want)] != want {
+		t.Fatalf("stats committee %q does not start with %q", stats, want)
+	}
+}

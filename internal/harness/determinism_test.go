@@ -1,8 +1,14 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"reflect"
 	"testing"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
 )
 
 // TestParallelHarnessDeterminism pins the contract of the parallel
@@ -39,5 +45,69 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(parallel, again) {
 		t.Fatalf("repeated parallel run diverged:\nfirst:  %+v\nsecond: %+v", parallel, again)
+	}
+}
+
+// replicatedDeploymentDigest is the pinned digest of a small replicated
+// deployment: a two-replica committee owner paying a counterparty 200
+// times, hashing final balances, both mirrors, the acked count, summed
+// payment latencies, and the final virtual time. The value was recorded
+// BEFORE the replication log refactor (PR 4), so it pins the invariant
+// that refactor promised: the simulator's immediate-mode committee
+// chains — and with them RunFigure4/RunTable3's committee metrics —
+// stay bit-identical.
+const replicatedDeploymentDigest = "ef162b961b0397a376f6173ccc52fc4d"
+
+// TestReplicatedDeploymentDigest replays the replicated deployment and
+// compares against the pinned digest.
+func TestReplicatedDeploymentDigest(t *testing.T) {
+	d, err := NewDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := d.AddNode("owner", SiteUK, core.NodeConfig{})
+	r1, _ := d.AddNode("r1", SiteUS, core.NodeConfig{})
+	r2, _ := d.AddNode("r2", SiteIL, core.NodeConfig{})
+	bob, _ := d.AddNode("bob", SiteUS, core.NodeConfig{})
+	for _, pair := range [][2]*core.Node{{owner, r1}, {owner, r2}, {r1, r2}, {owner, bob}} {
+		if err := d.Connect(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+		d.Sim.Run()
+	}
+	if err := d.FormCommittee(owner, []*core.Node{r1, r2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim.Run()
+	ch, err := d.OpenChannel(owner, bob, 100_000, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latSum time.Duration
+	for i := 0; i < 200; i++ {
+		if err := owner.Pay(ch, chain.Amount(1+i%7), func(ok bool, lat time.Duration, _ string) {
+			if ok {
+				latSum += lat
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		d.Sim.Run()
+	}
+	h := sha256.New()
+	st := owner.Enclave().State().Channels[ch]
+	fmt.Fprintf(h, "bal=%d/%d acked=%d latsum=%d now=%d",
+		st.MyBal, st.RemoteBal, owner.PaymentsAcked, latSum, time.Duration(d.Sim.Now()))
+	for _, m := range []*core.Node{r1, r2} {
+		mirror, ok := m.Enclave().MirrorState(owner.Enclave().ChainID())
+		if !ok {
+			t.Fatalf("%s has no mirror", m.ID)
+		}
+		mc := mirror.Channels[ch]
+		fmt.Fprintf(h, "|mirror=%d/%d", mc.MyBal, mc.RemoteBal)
+	}
+	if got := fmt.Sprintf("%x", h.Sum(nil)[:16]); got != replicatedDeploymentDigest {
+		t.Fatalf("replicated deployment digest drifted:\n got  %s\n want %s\n"+
+			"(the simulator's immediate-mode replication behavior changed)", got, replicatedDeploymentDigest)
 	}
 }

@@ -36,6 +36,11 @@ import (
 //	                             for acks; batch > 1 packs them into
 //	                             PayBatch frames of that many payments
 //	paymh <amount> <hop>...      multi-hop payment via named/hex hops
+//	committee <peer>... <m>      form this node's committee chain from
+//	                             the named peers (in chain order) with
+//	                             signature threshold m; attests them
+//	                             first when needed and blocks until the
+//	                             chain is ready for deposits
 //	settle <channel>             settle a channel on chain
 //	balances <channel>           channel balances (mine remote)
 //	mine [n]                     mine n (default 1) blocks
@@ -44,6 +49,9 @@ import (
 //	stats channels               per-channel payment counters
 //	                             (sent/acked/nacked/received/inflight
 //	                             and the peer link's queue depth)
+//	stats committee              replication pipeline cursors (committed
+//	                             / flushed / acked seqs, queue and
+//	                             window depths, flusher frame counts)
 //	quit                         close this control connection
 
 // controlTimeout bounds every blocking control command.
@@ -231,6 +239,19 @@ func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
 			path = append(path, id)
 		}
 		return "", h.PayMultihop(path, amount, controlTimeout)
+	case "committee":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: committee <peer>... <m>")
+		}
+		m, err := strconv.Atoi(args[len(args)-1])
+		if err != nil || m < 1 {
+			return "", fmt.Errorf("bad threshold %q", args[len(args)-1])
+		}
+		if err := h.FormCommittee(args[:len(args)-1], m, controlTimeout); err != nil {
+			return "", err
+		}
+		st, _ := h.CommitteeStats()
+		return fmt.Sprintf("chain %s ready", st.Chain), nil
 	case "settle":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: settle <channel>")
@@ -268,6 +289,13 @@ func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
 		}
 		return strconv.FormatInt(int64(bal), 10), nil
 	case "stats":
+		if len(args) == 1 && args[0] == "committee" {
+			st, ok := h.CommitteeStats()
+			if !ok {
+				return "", fmt.Errorf("no committee formed or mirrored")
+			}
+			return formatCommitteeStats(st), nil
+		}
 		if len(args) == 1 && args[0] == "channels" {
 			per := h.ChannelStats()
 			ids := make([]string, 0, len(per))
@@ -284,7 +312,7 @@ func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
 			return strings.Join(parts, "; "), nil
 		}
 		if len(args) != 0 {
-			return "", fmt.Errorf("usage: stats [channels]")
+			return "", fmt.Errorf("usage: stats [channels|committee]")
 		}
 		st := h.Stats()
 		return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d",

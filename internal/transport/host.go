@@ -62,6 +62,25 @@ type Config struct {
 	// RedialMin/RedialMax bound the reconnect backoff (defaults
 	// 25 ms / 1 s).
 	RedialMin, RedialMax time.Duration
+	// NoReplPipeline disables batched, pipelined committee replication:
+	// FormCommittee then runs the chain in immediate mode — one
+	// synchronous ReplUpdate round trip per commit, payments on the wide
+	// path — which is the measured baseline the replication benchmark
+	// compares against.
+	NoReplPipeline bool
+	// ReplBatchOps caps the ops one ReplBatch frame carries (default
+	// 512, bounded by wire.MaxReplBatch).
+	ReplBatchOps int
+	// ReplWindowOps bounds flushed-but-unacknowledged replication ops —
+	// the pipelining window. Defaults to QueueDepth: each in-flight op
+	// withholds at most one outbound frame, so a cumulative ack can
+	// then never release more frames than an empty peer queue admits
+	// (released frames have no retransmit; overflowing the queue with
+	// them would diverge host-level state).
+	ReplWindowOps int
+	// ReplFlushInterval is the replication flusher's safety tick; size
+	// kicks normally wake it much sooner (default 2 ms).
+	ReplFlushInterval time.Duration
 	// OnEvent, when set, observes every enclave event after built-in
 	// handling. Called with the wide lock held for cold-path events and
 	// with a lane lock held for payment events; do not call back into
@@ -160,6 +179,16 @@ type Host struct {
 	ackCond    *sync.Cond
 	ackWaiters atomic.Int32
 
+	// Replication flusher plumbing (see repl.go). replRunning is
+	// guarded by mu; the counters are flusher-private writes, atomic so
+	// CommitteeStats reads them lock-free.
+	replKick       chan struct{}
+	replQuit       chan struct{}
+	replRunning    bool
+	replBatch      *wire.ReplBatch
+	replBatchesOut atomic.Uint64
+	replOpsOut     atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -190,6 +219,15 @@ func NewHost(cfg Config) (*Host, error) {
 	if cfg.RedialMax <= cfg.RedialMin {
 		cfg.RedialMax = time.Second
 	}
+	if cfg.ReplBatchOps <= 0 || cfg.ReplBatchOps > wire.MaxReplBatch {
+		cfg.ReplBatchOps = defaultReplBatchOps
+	}
+	if cfg.ReplWindowOps <= 0 {
+		cfg.ReplWindowOps = cfg.QueueDepth
+	}
+	if cfg.ReplFlushInterval <= 0 {
+		cfg.ReplFlushInterval = defaultReplFlushPeriod
+	}
 	wallet, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("wallet"), []byte(cfg.WalletSeed)))
 	if err != nil {
 		return nil, err
@@ -216,6 +254,9 @@ func NewHost(cfg Config) (*Host, error) {
 		conns:       make(map[net.Conn]struct{}),
 		channels:    make(map[wire.ChannelID]*channelInfo),
 		mh:          make(map[wire.PaymentID]*mhOutcome),
+		replKick:    make(chan struct{}, 1),
+		replQuit:    make(chan struct{}),
+		replBatch:   &wire.ReplBatch{},
 	}
 	h.ackCond = sync.NewCond(&h.ackMu)
 	return h, nil
@@ -386,6 +427,7 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	close(h.replQuit)
 	ln := h.ln
 	h.ln = nil
 	peers := make([]*peer, 0, len(h.peersByAddr)+len(h.peersByID))
@@ -576,35 +618,39 @@ func (h *Host) dispatchLane(p *peer, res *core.Result) {
 	h.enclave.RecycleResult(res)
 }
 
-// sendLane seals, frames, and enqueues one lane message. Lane results
-// only ever target the lane's own peer (payment handlers answer the
-// sender); anything else is dropped loudly.
-func (h *Host) sendLane(p *peer, to cryptoutil.PublicKey, msg wire.Message) {
+// sendLane seals, frames, and enqueues one lane message, reporting
+// whether the frame made it onto the peer's queue (the replication
+// flusher rewinds its cursor on false; payment callers drop, as
+// before, counted and logged). Lane results only ever target the
+// lane's own peer (payment handlers answer the sender); anything else
+// is dropped loudly.
+func (h *Host) sendLane(p *peer, to cryptoutil.PublicKey, msg wire.Message) bool {
 	if !p.hasID || p.id != to {
 		h.drops.Add(1)
 		h.logf("%s: lane message for %s is not the lane peer, dropping %T", h.cfg.Name, to, msg)
-		return
+		return false
 	}
 	tok, err := h.enclave.SealTokenAppend(p.tokenBuf[:0], to)
 	if err != nil {
 		h.drops.Add(1)
 		h.logf("%s: sealing token for %s: %v", h.cfg.Name, p.name, err)
-		return
+		return false
 	}
 	p.tokenBuf = tok
 	frame, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), tok, msg)
 	if err != nil {
 		h.drops.Add(1)
 		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
-		return
+		return false
 	}
 	if p.enqueue(frame) {
 		p.framesOut.Add(1)
-	} else {
-		h.drops.Add(1)
-		p.putBuf(frame)
-		h.logf("%s: outbound queue to %s full, dropping %T", h.cfg.Name, p.name, msg)
+		return true
 	}
+	h.drops.Add(1)
+	p.putBuf(frame)
+	h.logf("%s: outbound queue to %s full, dropping %T", h.cfg.Name, p.name, msg)
+	return false
 }
 
 // noteAcked advances the host ack total and wakes AwaitAcked sleepers.
@@ -641,6 +687,12 @@ func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 		return
 	}
 	h.dispatchLocked(res)
+	// A replication acknowledgement freed in-flight window space; wake
+	// the flusher so queued ops ship without waiting for its tick.
+	switch f.Msg.(type) {
+	case *wire.ReplBatchAck, *wire.ReplAck:
+		h.kickRepl()
+	}
 }
 
 // handleHelloLocked wires an announced identity into the routing table

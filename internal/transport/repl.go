@@ -1,0 +1,194 @@
+package transport
+
+// Replication over sockets: committee formation and the per-chain
+// replication flusher.
+//
+// A replicated socket host keeps payments on the per-peer lane fast
+// path (core.LaneEligible stays true): lane commits append their ops
+// and withheld effects to the enclave's replication log, and the
+// flusher goroutine here drains that log into ReplBatch frames (payment
+// ops) and solo ReplUpdate frames (everything else), pipelining them to
+// the chain's first backup without waiting for acknowledgements, up to
+// a bounded in-flight window. Cumulative ReplBatchAck frames come back
+// on the wide path, release whole runs of withheld PayAcks/events in
+// one dispatch, and re-kick the flusher (window space freed).
+//
+// The flusher wakes on three triggers: a size kick from the enclave
+// (the log grew), an ack kick (the window drained), and a safety ticker
+// (so nothing ever waits longer than the flush interval). Under load it
+// self-batches: each drain loop packs everything that accumulated while
+// the previous frame was being sealed and enqueued.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"teechain/internal/core"
+	"teechain/internal/cryptoutil"
+)
+
+// Replication flusher defaults; see Config (ReplWindowOps defaults to
+// QueueDepth, tying the release-burst bound to the queue bound).
+const (
+	defaultReplBatchOps     = 512
+	defaultReplFlushPeriod  = 2 * time.Millisecond
+	committeeReadyAwaitWhat = "committee ready"
+)
+
+// FormCommittee forms this enclave's committee chain (§6) from the
+// named peers, in chain order, with signature threshold m over
+// len(members)+1 keys. Peers are attested first when needed. Unless
+// Config.NoReplPipeline is set, the chain runs in pipelined mode and
+// the replication flusher starts. Blocks until every member has
+// returned its committee key (the chain is ready for deposits).
+func (h *Host) FormCommittee(members []string, m int, timeout time.Duration) error {
+	if len(members) == 0 {
+		return errors.New("transport: committee needs at least one member")
+	}
+	ids := make([]cryptoutil.PublicKey, len(members))
+	for i, name := range members {
+		if err := h.Attest(name, timeout); err != nil {
+			return err
+		}
+		id, err := h.AwaitPeer(name, timeout)
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return errors.New("transport: host closed")
+	}
+	pipelined := !h.cfg.NoReplPipeline
+	if pipelined {
+		// Before FormCommittee, so the chain's log starts pipelined and
+		// no commit ever emits a synchronous per-op update.
+		h.enclave.EnableReplPipeline(h.kickRepl)
+	}
+	res, err := h.enclave.FormCommittee(ids, m)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	h.dispatchLocked(res)
+	startFlusher := pipelined && !h.replRunning
+	if startFlusher {
+		h.replRunning = true
+		h.wg.Add(1)
+	}
+	h.mu.Unlock()
+	if startFlusher {
+		go h.replFlusher()
+	}
+	return h.await(timeout, committeeReadyAwaitWhat, func() bool {
+		return h.enclave.CommitteeReady()
+	})
+}
+
+// kickRepl wakes the replication flusher without blocking; it doubles
+// as the enclave's log-append notification.
+func (h *Host) kickRepl() {
+	select {
+	case h.replKick <- struct{}{}:
+	default:
+	}
+}
+
+// replFlusher drains the replication log until the host closes.
+func (h *Host) replFlusher() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.cfg.ReplFlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.replKick:
+		case <-ticker.C:
+		case <-h.replQuit:
+			return
+		}
+		h.replFlush()
+	}
+}
+
+// replFlush drains everything currently flushable: each iteration asks
+// the enclave for the next frame-worth of pending ops and seals,
+// frames, and enqueues it under the backup peer's lane (token sealing
+// must stay ordered per peer). Holding only the wide read lock, it
+// never stalls payment lanes on other peers.
+func (h *Host) replFlush() {
+	for {
+		h.mu.RLock()
+		if h.closed {
+			h.mu.RUnlock()
+			return
+		}
+		to, msg, n := h.enclave.ReplNextFlush(h.replBatch, h.cfg.ReplBatchOps, h.cfg.ReplWindowOps)
+		if n == 0 {
+			h.mu.RUnlock()
+			return
+		}
+		p := h.peersByID[to]
+		if p == nil {
+			// The backup was attested, so a missing record means its peer
+			// entry collapsed mid-restart. Rewind the cursor so the ops
+			// are re-offered once the record is back.
+			h.enclave.ReplRewindFlush(n)
+			h.mu.RUnlock()
+			h.logf("%s: no peer record for replication backup %s, deferring %d ops", h.cfg.Name, to, n)
+			return
+		}
+		p.lane.Lock()
+		sent := h.sendLane(p, to, msg)
+		p.lane.Unlock()
+		if !sent {
+			// Queue full (or encode failure): the frame never left, so
+			// un-flush the ops — replication has no retransmit, and a
+			// silently skipped batch would wedge the chain at the next
+			// sequence gap. Retried on the next kick or tick, by which
+			// time the writer has drained queue space.
+			h.enclave.ReplRewindFlush(n)
+			h.mu.RUnlock()
+			return
+		}
+		h.mu.RUnlock()
+		h.replBatchesOut.Add(1)
+		h.replOpsOut.Add(uint64(n))
+	}
+}
+
+// CommitteeStats snapshots the replication pipeline for the control
+// API: the enclave's log cursors plus the host's flusher counters.
+type CommitteeStats struct {
+	core.ReplStats
+	BatchesOut uint64 // replication frames flushed (batches + solo updates)
+	OpsOut     uint64 // ops carried by those frames
+	Mirrors    int    // chains this host serves as a committee member
+}
+
+// CommitteeStats reports the committee pipeline state; ok is false when
+// this host neither owns a chain nor mirrors one.
+func (h *Host) CommitteeStats() (CommitteeStats, bool) {
+	var st CommitteeStats
+	var owner, mirrors bool
+	h.mu.RLock()
+	st.ReplStats, owner = h.enclave.ReplStats()
+	st.Mirrors = h.enclave.MirrorCount()
+	h.mu.RUnlock()
+	mirrors = st.Mirrors > 0
+	st.BatchesOut = h.replBatchesOut.Load()
+	st.OpsOut = h.replOpsOut.Load()
+	return st, owner || mirrors
+}
+
+// formatCommitteeStats renders CommitteeStats for the control API.
+func formatCommitteeStats(st CommitteeStats) string {
+	if st.Chain == "" {
+		return fmt.Sprintf("mirrors=%d", st.Mirrors)
+	}
+	return fmt.Sprintf("chain=%s pipelined=%t next=%d flushed=%d acked=%d queued=%d window=%d batches_out=%d ops_out=%d mirrors=%d",
+		st.Chain, st.Pipelined, st.NextSeq, st.FlushSeq, st.AckSeq, st.Queued, st.Window,
+		st.BatchesOut, st.OpsOut, st.Mirrors)
+}

@@ -109,7 +109,7 @@ var registry = []Message{
 	&MhUpdate{}, &MhPostUpdate{}, &MhRelease{}, &MhAck{}, &MhAbort{},
 	&ReplAttach{}, &ReplAttachAck{}, &ReplUpdate{}, &ReplAck{}, &ReplFreeze{},
 	&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
-	&PayBatch{}, &PayBatchAck{},
+	&PayBatch{}, &PayBatchAck{}, &ReplBatch{}, &ReplBatchAck{},
 }
 
 var (
@@ -490,6 +490,115 @@ func (m *PayBatch) DecodePayload(src []byte) error {
 	for i := 0; i < n; i++ {
 		m.Amounts = append(m.Amounts, chain.Amount(binary.BigEndian.Uint64(rest[4+8*i:])))
 	}
+	return nil
+}
+
+// appendString/readString are the channel-id codec applied to plain
+// strings (chain ids); ChannelID is a string type, so the conversions
+// are free and the prev-reuse trick carries over unchanged.
+func appendString(dst []byte, s string) ([]byte, error) {
+	return appendChannelID(dst, ChannelID(s))
+}
+
+func readString(src []byte, prev string) (string, []byte, error) {
+	s, rest, err := readChannelID(src, ChannelID(prev))
+	return string(s), rest, err
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *ReplBatch) AppendPayload(dst []byte) ([]byte, error) {
+	if len(m.Ops) > MaxReplBatch {
+		return dst, fmt.Errorf("wire: replication batch of %d exceeds %d", len(m.Ops), MaxReplBatch)
+	}
+	dst, err := appendString(dst, m.Chain)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, m.FirstSeq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Ops)))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		dst = append(dst, op.Kind)
+		if dst, err = appendChannelID(dst, op.Channel); err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint64(dst, uint64(op.Amount))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(op.Count))
+	}
+	return dst, nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *ReplBatch) DecodePayload(src []byte) error {
+	ch, rest, err := readString(src, m.Chain)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 12 {
+		return ErrFrameTruncated
+	}
+	firstSeq := binary.BigEndian.Uint64(rest[:8])
+	n := int(binary.BigEndian.Uint32(rest[8:12]))
+	if n > MaxReplBatch {
+		return fmt.Errorf("%w: replication batch of %d exceeds %d", ErrFramePayload, n, MaxReplBatch)
+	}
+	rest = rest[12:]
+	m.Chain = ch
+	m.FirstSeq = firstSeq
+	// Reslice before appending: slot i of the previous journey is read
+	// (for the channel-id reuse) before slot i is overwritten.
+	old := m.Ops
+	m.Ops = m.Ops[:0]
+	for i := 0; i < n; i++ {
+		if len(rest) < 1 {
+			return ErrFrameTruncated
+		}
+		kind := rest[0]
+		var prev ChannelID
+		if i < len(old) {
+			prev = old[i].Channel
+		}
+		chID, r2, err := readChannelID(rest[1:], prev)
+		if err != nil {
+			return err
+		}
+		if len(r2) < 12 {
+			return ErrFrameTruncated
+		}
+		m.Ops = append(m.Ops, ReplBatchOp{
+			Kind:    kind,
+			Channel: chID,
+			Amount:  chain.Amount(binary.BigEndian.Uint64(r2[:8])),
+			Count:   int(int32(binary.BigEndian.Uint32(r2[8:12]))),
+		})
+		rest = r2[12:]
+	}
+	if len(rest) != 0 {
+		return ErrFrameTruncated
+	}
+	return nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *ReplBatchAck) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendString(dst, m.Chain)
+	if err != nil {
+		return dst, err
+	}
+	return binary.BigEndian.AppendUint64(dst, m.Seq), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *ReplBatchAck) DecodePayload(src []byte) error {
+	ch, rest, err := readString(src, m.Chain)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8 {
+		return ErrFrameTruncated
+	}
+	m.Chain = ch
+	m.Seq = binary.BigEndian.Uint64(rest)
 	return nil
 }
 

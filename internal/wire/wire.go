@@ -423,6 +423,64 @@ func (m *ReplAck) WireSize() int {
 	return hdrSize + idOverhead + 8 + len(m.TauSigs)*(8+sigSize)
 }
 
+// MaxReplBatch bounds the ops one ReplBatch may carry. Like
+// MaxPayBatch, it is well under what MaxFrameSize admits, so a maximal
+// batch always encodes: the primary has already applied every op in the
+// batch before the flusher frames it, and an unencodable frame would
+// strand the replication stream.
+const MaxReplBatch = 4096
+
+// Replication batch op kinds: the payment-path subset of the core
+// package's replicated operations, flattened so the wire layer can
+// hand-roll their encoding without knowing the core op type. Anything
+// outside this subset (channel lifecycle, deposits, multi-hop stages)
+// replicates as a solo ReplUpdate instead — those are rare and may
+// carry arbitrary payloads (τ, deposit scripts), while payments are the
+// traffic that must move at line rate.
+const (
+	ReplOpPaySend   uint8 = 1
+	ReplOpPayRecv   uint8 = 2
+	ReplOpPayRevert uint8 = 3
+)
+
+// ReplBatchOp is one payment-path state transition inside a ReplBatch.
+type ReplBatchOp struct {
+	Kind    uint8 // ReplOpPaySend, ReplOpPayRecv, or ReplOpPayRevert
+	Channel ChannelID
+	Amount  chain.Amount
+	Count   int
+}
+
+// ReplBatch propagates a run of sequenced payment-path state updates
+// down a replication chain in one frame (the chain-replication
+// batching/pipelining of van Renesse & Schneider applied to Alg. 3):
+// Ops[i] carries sequence number FirstSeq+i. Backups apply the whole
+// batch in order and acknowledge cumulatively with one ReplBatchAck, so
+// frame, token, and enclave-entry overheads amortise over the batch the
+// same way PayBatch amortises them over payments.
+type ReplBatch struct {
+	Chain    string
+	FirstSeq uint64
+	Ops      []ReplBatchOp
+}
+
+// WireSize implements Message.
+func (m *ReplBatch) WireSize() int {
+	return hdrSize + idOverhead + 12 + len(m.Ops)*(1+idOverhead+12)
+}
+
+// ReplBatchAck cumulatively acknowledges every replication update with
+// sequence number <= Seq: the entire chain suffix has applied them. One
+// ack releases a whole batch (or several) of withheld effects at the
+// primary.
+type ReplBatchAck struct {
+	Chain string
+	Seq   uint64
+}
+
+// WireSize implements Message.
+func (m *ReplBatchAck) WireSize() int { return hdrSize + idOverhead + 8 }
+
 // ReplFreeze force-freezes the chain: all members stop accepting
 // updates, settle channels, and release deposits (§6).
 type ReplFreeze struct {
@@ -498,6 +556,7 @@ func init() {
 		&MhUpdate{}, &MhPostUpdate{}, &MhRelease{}, &MhAck{}, &MhAbort{},
 		&ReplAttach{}, &ReplAttachAck{}, &ReplUpdate{}, &ReplAck{}, &ReplFreeze{},
 		&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
+		&ReplBatch{}, &ReplBatchAck{},
 	} {
 		gob.Register(m)
 	}
