@@ -1,0 +1,145 @@
+package wire
+
+// Codec tests for the replication pipeline frames (ReplBatch /
+// ReplBatchAck): round trips, malformed-input rejection, the batch size
+// bound, and the steady-state allocation budget of the flusher's
+// encode/decode loop.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"teechain/internal/chain"
+)
+
+func sampleReplBatch(n int) *ReplBatch {
+	b := &ReplBatch{Chain: "cc-0123456789abcdef", FirstSeq: 1000}
+	for i := 0; i < n; i++ {
+		kind := ReplOpPaySend
+		if i%3 == 1 {
+			kind = ReplOpPayRecv
+		} else if i%3 == 2 {
+			kind = ReplOpPayRevert
+		}
+		b.Ops = append(b.Ops, ReplBatchOp{
+			Kind:    kind,
+			Channel: "ch-0123456789abcdef",
+			Amount:  chain.Amount(i + 1),
+			Count:   1 + i%4,
+		})
+	}
+	return b
+}
+
+func TestReplBatchRoundTrip(t *testing.T) {
+	from := testIdentity()
+	token := []byte("0123456789abcdef0123456789abcdef")
+	for _, msg := range []Message{
+		sampleReplBatch(1),
+		sampleReplBatch(64),
+		&ReplBatchAck{Chain: "cc-0123456789abcdef", Seq: 1063},
+	} {
+		frame, err := AppendFrame(nil, from, token, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[4+1+1]&FlagBinaryPayload == 0 {
+			t.Fatalf("%T did not use the binary payload encoding", msg)
+		}
+		f, err := DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(f.Msg, msg) {
+			t.Fatalf("round trip: got %+v want %+v", f.Msg, msg)
+		}
+	}
+}
+
+func TestReplBatchRejectsOversizedAndTruncated(t *testing.T) {
+	from := testIdentity()
+	if _, err := AppendFrame(nil, from, nil, sampleReplBatch(MaxReplBatch+1)); err == nil {
+		t.Fatal("encoded a batch beyond MaxReplBatch")
+	}
+	frame, err := AppendFrame(nil, from, nil, sampleReplBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4:]
+	// Every truncation point must error, never panic or misdecode.
+	for cut := frameHeaderSize; cut < len(body); cut++ {
+		if _, err := DecodeFrame(body[:cut]); err == nil {
+			t.Fatalf("accepted frame truncated at %d", cut)
+		}
+	}
+	// A declared op count beyond MaxReplBatch is rejected before any
+	// allocation proportional to it.
+	var b ReplBatch
+	payload, err := sampleReplBatch(1).AppendPayload(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain prefix is 1+len bytes; the count lives after the 8-byte seq.
+	countOff := 1 + int(payload[0]) + 8
+	payload[countOff] = 0xff
+	payload[countOff+1] = 0xff
+	payload[countOff+2] = 0xff
+	payload[countOff+3] = 0xff
+	if err := b.DecodePayload(payload); err == nil {
+		t.Fatal("accepted a batch declaring 2^32-1 ops")
+	}
+	// Trailing bytes after the declared ops are rejected.
+	payload2, _ := sampleReplBatch(2).AppendPayload(nil)
+	if err := b.DecodePayload(append(payload2, 0)); err == nil {
+		t.Fatal("accepted trailing bytes after the batch")
+	}
+}
+
+// TestReplBatchAllocationBudget pins the flusher's steady-state framing
+// cost: encoding a 64-op ReplBatch plus its cumulative ack into reused
+// buffers and pumping both back through a FrameReader must not
+// allocate.
+func TestReplBatchAllocationBudget(t *testing.T) {
+	from := testIdentity()
+	token := []byte("0123456789abcdef0123456789abcdef")
+	batch := sampleReplBatch(64)
+	ack := &ReplBatchAck{Chain: batch.Chain, Seq: batch.FirstSeq + 63}
+	var stream []byte
+	for i := 0; i < 2; i++ {
+		var err error
+		if stream, err = AppendFrame(stream, from, token, batch); err != nil {
+			t.Fatal(err)
+		}
+		if stream, err = AppendFrame(stream, from, token, ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []byte
+	rd := bytes.NewReader(stream)
+	fr := NewFrameReader(rd)
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		var err error
+		if buf, err = AppendFrame(buf[:0], from, token, batch); err != nil {
+			t.Fatal(err)
+		}
+		if buf, err = AppendFrame(buf, from, token, ack); err != nil {
+			t.Fatal(err)
+		}
+		rd.Reset(stream)
+		for i := 0; i < 4; i++ {
+			if _, err := fr.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("replication framing allocates %.2f allocs/round in steady state, budget is 1", avg)
+	}
+}
