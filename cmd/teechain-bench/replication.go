@@ -15,6 +15,10 @@ package main
 // exactly how replicated payments behaved before the replication log
 // existed. The committed BENCH_replication.json records both; CI gates
 // on >25% tx/s regression per committee size (compareReplBaseline).
+//
+// Like the socket benchmark, the driver is the typed control-plane
+// client: pipelined PayBatchAsync requests over the sender's control
+// connection, measuring the same enclave path via typed frames.
 
 import (
 	"encoding/json"
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"teechain/internal/api/client"
 	"teechain/internal/chain"
 	"teechain/internal/harness"
 	"teechain/internal/transport"
@@ -88,22 +93,29 @@ func runReplBench(committee, payments, batch, window int, pipelined bool) (replR
 		return res, err
 	}
 	chID := wire.ChannelID(id)
-	sender := c.Host("s0")
+	sender := c.Client("s0")
+	sender.SetTimeout(socketBenchTimeout)
 
 	type sample struct {
-		target uint64
-		t0     time.Time
+		h  *client.Pending
+		t0 time.Time
 	}
-	entries := make(chan sample, payments/batch+2)
+	// In-flight bound: channel capacity caps outstanding batches, so
+	// issued-but-unacked payments stay ≈ window.
+	inflight := window / batch
+	if inflight < 1 {
+		inflight = 1
+	}
+	entries := make(chan sample, inflight)
 	latCh := make(chan []time.Duration, 1)
 	errCh := make(chan error, 2)
-	// Reaper: acks arrive in issue order per channel; waiting for each
-	// batch's cumulative target yields one end-to-end latency sample per
+	// Reaper: completions resolve in issue order per channel; waiting
+	// each handle in sequence yields one end-to-end latency sample per
 	// batch, replication round trip included.
 	go func() {
 		lats := make([]time.Duration, 0, payments/batch+1)
 		for e := range entries {
-			if err := sender.AwaitAcked(e.target, socketBenchTimeout); err != nil {
+			if err := e.h.Wait(); err != nil {
 				errCh <- err
 				break
 			}
@@ -121,24 +133,19 @@ func runReplBench(committee, payments, batch, window int, pipelined bool) (replR
 			amounts = append(amounts, 1)
 		}
 		t0 := time.Now()
+		var h *client.Pending
 		var err error
 		if n == 1 {
-			err = sender.Pay(chID, 1)
+			h, err = sender.PayAsync(chID, 1, 1)
 		} else {
-			err = sender.PayBatch(chID, amounts)
+			h, err = sender.PayBatchAsync(chID, amounts)
 		}
 		if err != nil {
 			close(entries)
 			return res, err
 		}
 		issued += n
-		entries <- sample{target: uint64(issued), t0: t0}
-		if over := issued - window; over > 0 {
-			if err := sender.AwaitAcked(uint64(over), socketBenchTimeout); err != nil {
-				close(entries)
-				return res, err
-			}
-		}
+		entries <- sample{h: h, t0: t0}
 	}
 	close(entries)
 	lats := <-latCh

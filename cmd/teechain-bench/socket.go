@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"teechain/internal/api/client"
 	"teechain/internal/chain"
 	"teechain/internal/harness"
 	"teechain/internal/wire"
@@ -22,6 +23,12 @@ import (
 // deployment-path scaling measurement the simulator cannot give us —
 // it exercises the per-peer lane concurrency, the binary frame codec,
 // and the ack signalling end to end over loopback TCP.
+//
+// The driver speaks the typed control-plane API (internal/api/client):
+// every sender is a client connection issuing pipelined
+// PayAsync/PayBatchAsync requests against its node's control listener,
+// so the measured path is exactly what external tooling exercises —
+// typed frames in, enclave lane fast path, typed completions out.
 //
 // The committed BENCH_socket.json is the CI regression baseline (see
 // compareSocketBaseline); fresh snapshots upload as artifacts.
@@ -74,23 +81,30 @@ func runSocketBench(channels, payments, batch, window int) (socketResult, error)
 	}
 
 	type sample struct {
-		target uint64
-		t0     time.Time
+		h  *client.Pending
+		t0 time.Time
 	}
 	latCh := make(chan []time.Duration, channels)
 	errCh := make(chan error, 2*channels)
+	// In-flight bound: the entries channel's capacity caps outstanding
+	// batches, so issued-but-unacked payments stay ≈ window.
+	inflight := window / batch
+	if inflight < 1 {
+		inflight = 1
+	}
 	start := time.Now()
 	for i := 0; i < channels; i++ {
-		sender := c.Host(fmt.Sprintf("s%d", i))
+		sender := c.Client(fmt.Sprintf("s%d", i))
+		sender.SetTimeout(socketBenchTimeout)
 		chID := chIDs[i]
-		entries := make(chan sample, payments/batch+2)
-		// Reaper: acks arrive in issue order per channel, so waiting for
-		// each batch's cumulative target in sequence yields one latency
-		// sample per batch.
+		entries := make(chan sample, inflight)
+		// Reaper: completions resolve in issue order per channel, so
+		// waiting each handle in sequence yields one end-to-end latency
+		// sample per batch (typed request -> lane -> typed completion).
 		go func() {
 			lats := make([]time.Duration, 0, payments/batch+1)
 			for e := range entries {
-				if err := sender.AwaitAcked(e.target, socketBenchTimeout); err != nil {
+				if err := e.h.Wait(); err != nil {
 					errCh <- err
 					break
 				}
@@ -98,7 +112,8 @@ func runSocketBench(channels, payments, batch, window int) (socketResult, error)
 			}
 			latCh <- lats
 		}()
-		// Sender: closed loop with a bounded in-flight window.
+		// Sender: closed loop; enqueueing past the window blocks until
+		// the reaper retires the oldest batch.
 		go func() {
 			defer close(entries)
 			amounts := make([]chain.Amount, 0, batch)
@@ -113,24 +128,19 @@ func runSocketBench(channels, payments, batch, window int) (socketResult, error)
 					amounts = append(amounts, 1)
 				}
 				t0 := time.Now()
+				var h *client.Pending
 				var err error
 				if n == 1 {
-					err = sender.Pay(chID, 1)
+					h, err = sender.PayAsync(chID, 1, 1)
 				} else {
-					err = sender.PayBatch(chID, amounts)
+					h, err = sender.PayBatchAsync(chID, amounts)
 				}
 				if err != nil {
 					errCh <- err
 					return
 				}
 				issued += n
-				entries <- sample{target: uint64(issued), t0: t0}
-				if over := issued - window; over > 0 {
-					if err := sender.AwaitAcked(uint64(over), socketBenchTimeout); err != nil {
-						errCh <- err
-						return
-					}
-				}
+				entries <- sample{h: h, t0: t0}
 			}
 		}()
 	}

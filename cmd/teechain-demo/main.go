@@ -4,18 +4,24 @@
 // goroutines, automatic reconnection — the same engine the simulator
 // drives (internal/core.Enclave is a transport-agnostic state machine).
 //
-// The demo attests the enclaves to each other, opens a channel, runs
-// payments, and settles on a shared blockchain — printing wall-clock
-// latencies of the real socket round trips. For N-node deployments as
-// separate processes, see cmd/teechain-node.
+// The demo drives the deployment exactly the way external tooling
+// does: through the typed control-plane API (internal/api) with the Go
+// client SDK (internal/api/client) — attesting the enclaves, opening a
+// channel, streaming payment events over a subscription, and settling
+// on a shared blockchain, printing wall-clock latencies of the real
+// socket round trips. For N-node deployments as separate processes,
+// see cmd/teechain-node.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
+	"teechain/internal/api"
+	"teechain/internal/api/client"
 	"teechain/internal/chain"
 	"teechain/internal/tee"
 	"teechain/internal/transport"
@@ -53,51 +59,87 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := alice.DialPeer(addr); err != nil {
+
+	// Serve alice's control plane and connect the typed client to it —
+	// the same listener also answers netcat's line protocol.
+	ctlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := transport.ServeControl(ctlLn, alice)
+	defer ctl.Close()
+	cc, err := client.Dial(ctlLn.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cc.Close()
+	fmt.Printf("typed control client connected to %s (node %q, identity %s…)\n",
+		ctlLn.Addr(), cc.Info().Name, api.FormatIdentity(cc.Info().Identity)[:16])
+
+	if err := cc.DialPeer(addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("alice connected to bob at %s over real TCP\n", addr)
 
-	const opTimeout = 10 * time.Second
-	if err := alice.Attest("bob", opTimeout); err != nil {
+	if err := cc.Attest("bob"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("mutual attestation complete; secure channel established")
 
-	chID, err := alice.OpenChannel("bob", opTimeout)
+	chID, err := cc.OpenChannel("bob")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := alice.FundChannel(chID, 1000, opTimeout); err != nil {
+	if _, err := cc.Deposit(chID, 1000); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("channel open, 1000 deposited by alice")
 
-	// Payments over the socket, measuring real round-trip latency.
+	// Subscribe to the event stream: acks arrive as pushes, not polls.
+	// The buffer covers the whole run — events are drained only after
+	// the payment loop, and an overflowing subscription drops.
+	sub, err := cc.Subscribe(api.EventPayAcked.Mask()|api.EventSettled.Mask(), *payments+16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Payments over the socket, measuring real round-trip latency via
+	// the async completion handle.
 	for i := 0; i < *payments; i++ {
 		start := time.Now()
-		if err := alice.Pay(chID, 10); err != nil {
+		h, err := cc.PayAsync(chID, 10, 1)
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := alice.AwaitAcked(uint64(i+1), opTimeout); err != nil {
+		if err := h.Wait(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("payment %d: 10 units, TCP round trip %v\n", i+1, time.Since(start).Round(time.Microsecond))
 	}
+	for acked := 0; acked < *payments; {
+		ev := <-sub.C
+		if ev.Kind == api.EventPayAcked {
+			acked += int(ev.Count)
+		}
+	}
+	fmt.Printf("event stream confirmed %d acks\n", *payments)
 
 	// Settle and mine.
-	mine, remote, err := alice.ChannelBalances(chID)
+	mine, remote, err := cc.Balances(chID)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("settling at alice=%d bob=%d\n", mine, remote)
-	if err := alice.Settle(chID); err != nil {
+	if err := cc.Settle(chID); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lc.MineBlocks(1); err != nil {
+	if _, err := cc.Mine(1); err != nil {
 		log.Fatal(err)
 	}
-	a, _ := lc.Balance(alice.WalletAddress())
+	a, err := cc.Balance()
+	if err != nil {
+		log.Fatal(err)
+	}
 	b, _ := lc.Balance(bob.WalletAddress())
 	fmt.Printf("on-chain settlement: alice %d, bob %d\n", a, b)
 }

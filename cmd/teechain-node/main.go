@@ -1,6 +1,10 @@
 // teechain-node is a deployed Teechain node: one enclave hosted over
-// real TCP sockets (internal/transport), driven by a line-based control
-// API. N-node topologies — hub-and-spoke, multihop chains, committees —
+// real TCP sockets (internal/transport), driven through its control
+// port. The control listener sniffs both control protocols per
+// connection: the typed, versioned control-plane API (internal/api,
+// spoken by the Go client SDK internal/api/client, the harness, and
+// the benches) and the legacy line protocol for humans with netcat.
+// N-node topologies — hub-and-spoke, multihop chains, committees —
 // run as real processes, one teechain-node each.
 //
 // One node in a cluster owns the blockchain and serves it to the rest
@@ -40,6 +44,7 @@ import (
 	"strings"
 	"syscall"
 
+	"teechain/internal/api"
 	"teechain/internal/chain"
 	"teechain/internal/tee"
 	"teechain/internal/transport"
@@ -207,11 +212,18 @@ func run(cfg nodeConfig) error {
 	ctl := transport.ServeControl(ctlLn, host)
 	defer ctl.Close()
 	id := host.Identity()
-	log.Printf("%s: control API on %s, identity %x", cfg.Name, ctlLn.Addr(), id[:])
+	log.Printf("%s: control API (typed v%d + line) on %s, identity %x",
+		cfg.Name, api.Version, ctlLn.Addr(), id[:])
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	log.Printf("%s: %v, shutting down", cfg.Name, s)
+	// Close the host before the control server (the defers run in the
+	// opposite order): a closing host fails blocked control waits fast
+	// (ErrClosed -> CodeUnavailable), so queued payment completions
+	// cannot hold shutdown for their full timeouts. Host.Close is
+	// idempotent; the deferred call becomes a no-op.
+	host.Close()
 	return nil
 }

@@ -1,0 +1,261 @@
+package api
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// TestRegistryComplete is the registry gate CI relies on: every
+// control-plane message type must be registered in the wire type
+// registry with its pinned, stable code (the codes are the protocol —
+// reordering Messages() or the wire registry breaks deployed nodes).
+func TestRegistryComplete(t *testing.T) {
+	// The enclave protocol occupies codes 1..35 (see wire's registry);
+	// api registration appends deterministically after it.
+	const apiBase = 36
+	msgs := Messages()
+	if len(msgs) == 0 {
+		t.Fatal("no api messages listed")
+	}
+	seen := map[reflect.Type]bool{}
+	for i, m := range msgs {
+		typ := reflect.TypeOf(m).Elem()
+		if seen[typ] {
+			t.Fatalf("duplicate message type %v in Messages()", typ)
+		}
+		seen[typ] = true
+		code, err := wire.MsgCode(m)
+		if err != nil {
+			t.Fatalf("%v not registered in the wire registry: %v", typ, err)
+		}
+		if want := byte(apiBase + i); code != want {
+			t.Fatalf("%v has code %d, want pinned %d — codes are append-only protocol surface", typ, code, want)
+		}
+		back, err := wire.NewByCode(code)
+		if err != nil {
+			t.Fatalf("NewByCode(%d): %v", code, err)
+		}
+		if got := reflect.TypeOf(back).Elem(); got != typ {
+			t.Fatalf("code %d round-trips to %v, want %v", code, got, typ)
+		}
+	}
+}
+
+// TestRequestResponseContracts checks that every *Req implements
+// Request and every response implements Response — the server and
+// client dispatch on these interfaces, so a message outside both would
+// be undeliverable.
+func TestRequestResponseContracts(t *testing.T) {
+	for _, m := range Messages() {
+		_, isReq := m.(Request)
+		_, isResp := m.(Response)
+		_, isEvent := m.(*Event)
+		if !isReq && !isResp && !isEvent {
+			t.Errorf("%T is neither Request, Response, nor Event", m)
+		}
+		if isReq && isResp {
+			t.Errorf("%T claims to be both Request and Response", m)
+		}
+	}
+}
+
+func sampleFrom() cryptoutil.PublicKey {
+	var k cryptoutil.PublicKey
+	for i := range k {
+		k[i] = byte(i)
+	}
+	return k
+}
+
+// TestBinaryCodecRoundTrip round-trips the hot messages through the
+// frame layer with populated fields.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	cases := []wire.Message{
+		&PayReq{ReqHeader: ReqHeader{ID: 7}, Channel: "ch-1", Amount: 42, Count: 3},
+		&PayBatchReq{ReqHeader: ReqHeader{ID: 9}, Channel: "ch-2", Amounts: []chain.Amount{1, 2, 3, 4}},
+		&PayResp{RespHeader: RespHeader{ID: 9, Code: CodeNacked, Err: "2 payment(s) rejected"}, Count: 4},
+		&PayResp{RespHeader: RespHeader{ID: 1}, Count: 1},
+		&Event{Seq: 11, Kind: EventPayAcked, Channel: "ch-3", Amount: 5, Count: 2},
+		&Event{Seq: 12, Kind: EventReplCursor, Chain: "cc-ab", Cursor: 99},
+	}
+	for _, msg := range cases {
+		if _, ok := msg.(wire.BinaryMessage); !ok {
+			t.Fatalf("%T must implement wire.BinaryMessage (hot path)", msg)
+		}
+		frame, err := wire.AppendFrame(nil, sampleFrom(), nil, msg)
+		if err != nil {
+			t.Fatalf("encoding %T: %v", msg, err)
+		}
+		f, err := wire.DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("decoding %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(f.Msg, msg) {
+			t.Fatalf("%T round trip: got %+v, want %+v", msg, f.Msg, msg)
+		}
+	}
+}
+
+// TestGobCodecRoundTrip round-trips a populated instance of every cold
+// message through the frame layer.
+func TestGobCodecRoundTrip(t *testing.T) {
+	id := sampleFrom()
+	var addr cryptoutil.Address
+	copy(addr[:], "teechain-addr-20byte")
+	cases := []wire.Message{
+		&HelloReq{ReqHeader: ReqHeader{ID: 1}, Version: Version},
+		&HelloResp{RespHeader: RespHeader{ID: 1}, Version: Version, Name: "hub", Identity: id, Wallet: addr},
+		&PeersResp{RespHeader: RespHeader{ID: 2}, Peers: []PeerInfo{{Name: "a", Identity: id}}},
+		&DialReq{ReqHeader: ReqHeader{ID: 3}, Addr: "localhost:7100"},
+		&AttestReq{ReqHeader: ReqHeader{ID: 4}, Peer: "hub"},
+		&OpenChannelResp{RespHeader: RespHeader{ID: 5}, Channel: "ch-77"},
+		&DepositReq{ReqHeader: ReqHeader{ID: 6}, Channel: "ch-77", Amount: 1000},
+		&MultihopReq{ReqHeader: ReqHeader{ID: 7}, Amount: 5, Hops: []string{"hub", "deadbeef"}},
+		&CommitteeReq{ReqHeader: ReqHeader{ID: 8}, Members: []string{"m1", "m2"}, M: 2},
+		&StatsResp{RespHeader: RespHeader{ID: 9},
+			Host:         HostStats{PaymentsAcked: 10},
+			Channels:     []ChannelStatsEntry{{Channel: "ch-1", Sent: 3, Acked: 3}},
+			HasCommittee: true,
+			Committee:    CommitteeStatsEntry{Chain: "cc-1", Pipelined: true, AckSeq: 4},
+		},
+		&SubscribeReq{ReqHeader: ReqHeader{ID: 10}, Mask: MaskAll},
+		&ErrorResp{RespHeader: RespHeader{ID: 11, Code: CodeUnknown, Err: "nope"}},
+	}
+	for _, msg := range cases {
+		frame, err := wire.AppendFrame(nil, sampleFrom(), nil, msg)
+		if err != nil {
+			t.Fatalf("encoding %T: %v", msg, err)
+		}
+		f, err := wire.DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("decoding %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(f.Msg, msg) {
+			t.Fatalf("%T round trip: got %+v, want %+v", msg, f.Msg, msg)
+		}
+	}
+}
+
+// TestMalformedPayloadsRejected feeds every registered api message type
+// a garbage payload and requires the frame layer to reject it with
+// wire.ErrFramePayload — the protocol-violation sentinel hosts log and
+// disconnect on — never to panic or silently accept.
+func TestMalformedPayloadsRejected(t *testing.T) {
+	for _, m := range Messages() {
+		code, err := wire.MsgCode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, isBinary := m.(wire.BinaryMessage)
+		for _, payload := range [][]byte{{0xff}, {0x13, 0x37, 0xff, 0xff, 0xff}} {
+			body := buildFrameBody(code, isBinary, payload)
+			_, err := wire.DecodeFrame(body)
+			if err == nil {
+				t.Fatalf("%T accepted garbage payload % x", m, payload)
+			}
+			if !errors.Is(err, wire.ErrFramePayload) && !errors.Is(err, wire.ErrFrameTruncated) {
+				t.Fatalf("%T rejected garbage with %v, want ErrFramePayload/ErrFrameTruncated", m, err)
+			}
+		}
+		// The empty payload must also never panic (gob reports EOF-ish
+		// payload errors; binary codecs report truncation).
+		body := buildFrameBody(code, isBinary, nil)
+		if _, err := wire.DecodeFrame(body); err == nil {
+			if !isBinary {
+				continue // empty gob payload can decode to the zero message; fine
+			}
+			t.Fatalf("%T accepted an empty binary payload", m)
+		}
+	}
+}
+
+// buildFrameBody handcrafts a frame body (sans length prefix) for a
+// registered code with an arbitrary payload.
+func buildFrameBody(code byte, binaryFlag bool, payload []byte) []byte {
+	var flags byte
+	if binaryFlag {
+		flags = wire.FlagBinaryPayload
+	}
+	body := []byte{wire.FrameVersion, code, flags}
+	var from cryptoutil.PublicKey
+	body = append(body, from[:]...)
+	body = binary.BigEndian.AppendUint16(body, 0) // empty token
+	return append(body, payload...)
+}
+
+// TestErrorClassification covers the Error/Code surface the clients
+// program against.
+func TestErrorClassification(t *testing.T) {
+	e := Errorf(CodeTimeout, "no response within %v", "30s")
+	if e.Code != CodeTimeout || e.Error() != "timeout: no response within 30s" {
+		t.Fatalf("Errorf: %+v / %q", e, e.Error())
+	}
+	var hdr RespHeader
+	fillOK := func(err error) RespHeader {
+		h := RespHeader{}
+		fill(&h, 5, err)
+		return h
+	}
+	hdr = fillOK(nil)
+	if hdr.ID != 5 || hdr.Code != OK || hdr.AsError() != nil {
+		t.Fatalf("fill(nil): %+v", hdr)
+	}
+	hdr = fillOK(e)
+	if hdr.Code != CodeTimeout || hdr.Err != e.Msg {
+		t.Fatalf("fill(coded): %+v", hdr)
+	}
+	hdr = fillOK(errors.New("boom"))
+	if hdr.Code != CodeInternal || hdr.Err != "boom" {
+		t.Fatalf("fill(uncoded): %+v", hdr)
+	}
+	var ae *Error
+	if err := hdr.AsError(); !errors.As(err, &ae) || ae.Code != CodeInternal {
+		t.Fatalf("AsError: %v", err)
+	}
+	for c := OK; c <= CodeNacked+1; c++ {
+		if c.String() == "" {
+			t.Fatalf("code %d has empty name", c)
+		}
+	}
+}
+
+// TestConvertHelpers pins the shared amount/identity text conversions
+// (deduplicated out of the transport control shim).
+func TestConvertHelpers(t *testing.T) {
+	if v, err := ParseAmount("12345"); err != nil || v != 12345 {
+		t.Fatalf("ParseAmount: %d, %v", v, err)
+	}
+	for _, bad := range []string{"", "0", "-3", "abc", "9223372036854775808"} {
+		if _, err := ParseAmount(bad); err == nil {
+			t.Fatalf("ParseAmount accepted %q", bad)
+		}
+	}
+	if n, err := ParseCount("7"); err != nil || n != 7 {
+		t.Fatalf("ParseCount: %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x"} {
+		if _, err := ParseCount(bad); err == nil {
+			t.Fatalf("ParseCount accepted %q", bad)
+		}
+	}
+	id := sampleFrom()
+	s := FormatIdentity(id)
+	if len(s) != 2*len(id) {
+		t.Fatalf("FormatIdentity length %d", len(s))
+	}
+	back, err := ParseIdentity(s)
+	if err != nil || back != id {
+		t.Fatalf("ParseIdentity round trip: %v", err)
+	}
+	for _, bad := range []string{"", "zz", s[:10], s + "00"} {
+		if _, err := ParseIdentity(bad); err == nil {
+			t.Fatalf("ParseIdentity accepted %q", bad)
+		}
+	}
+}

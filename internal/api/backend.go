@@ -1,0 +1,83 @@
+package api
+
+import (
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// PayCursor marks a point in one channel's payment stream: Target is
+// the channel's cumulative issued-payment count immediately after the
+// request's payments were issued. Acks and nacks arrive in issue order
+// per channel, so the request is complete exactly when the channel's
+// settled (acked+nacked) count reaches Target. NackedBefore snapshots
+// the channel's nack counter at issue time: any growth by completion
+// means payments in (or interleaved with) this span were rejected.
+type PayCursor struct {
+	Channel      wire.ChannelID
+	Target       uint64
+	NackedBefore uint64
+}
+
+// Backend is the node surface the control plane drives. transport.Host
+// provides it via Host.API(); the interface lives here so the api
+// package (protocol + server + shim dispatch) never depends on the
+// transport package.
+//
+// Blocking calls take an explicit timeout and return *Error with
+// CodeTimeout when it expires. Pay and PayBatch only ISSUE payments —
+// they return a PayCursor the caller completes with AwaitPaid — so a
+// pipelining server can issue request N+1 while N's acks are still in
+// flight, keeping the enclave's per-peer lane fast path saturated.
+type Backend interface {
+	// Info identifies the node (name, enclave identity, wallet).
+	Info() NodeInfo
+	// Peers lists known peers sorted by name.
+	Peers() []PeerInfo
+	// Dial connects (and keeps reconnecting) to a peer address.
+	Dial(addr string) error
+	// Attest runs mutual attestation with a named peer.
+	Attest(peer string, timeout time.Duration) error
+	// OpenChannel opens a channel with an attested peer.
+	OpenChannel(peer string, timeout time.Duration) (wire.ChannelID, error)
+	// Deposit funds a channel with a fresh on-chain deposit.
+	Deposit(ch wire.ChannelID, amount chain.Amount, timeout time.Duration) (chain.OutPoint, error)
+	// Pay issues count payments of amount each on the channel.
+	Pay(ch wire.ChannelID, amount chain.Amount, count int) (PayCursor, error)
+	// PayBatch issues len(amounts) payments in one PayBatch frame. The
+	// amounts slice is not retained past the call.
+	PayBatch(ch wire.ChannelID, amounts []chain.Amount) (PayCursor, error)
+	// AwaitPaid blocks until the cursor's span has settled, returning
+	// nil when all payments were acked and CodeNacked when any were
+	// rejected.
+	AwaitPaid(cur PayCursor, timeout time.Duration) error
+	// Multihop routes amount along hops (peer names or hex identities,
+	// excluding this node) and blocks for the outcome.
+	Multihop(amount chain.Amount, hops []string, timeout time.Duration) error
+	// FormCommittee forms this node's committee chain, returning its id.
+	FormCommittee(members []string, m int, timeout time.Duration) (string, error)
+	// Settle terminates a channel on chain.
+	Settle(ch wire.ChannelID) error
+	// Balances reads a channel's (mine, remote) balances.
+	Balances(ch wire.ChannelID) (chain.Amount, chain.Amount, error)
+	// Mine mines n blocks, returning the new height.
+	Mine(n int) (uint64, error)
+	// WalletBalance reads the wallet's on-chain balance.
+	WalletBalance() (chain.Amount, error)
+	// Stats snapshots host, per-channel, and committee counters.
+	Stats() StatsResp
+	// Subscribe registers an event observer. fn is invoked with
+	// enclave-side locks held and must not block; the returned cancel
+	// unregisters it. The Event's Seq field is left zero — delivery
+	// numbering belongs to the subscription, not the source.
+	Subscribe(fn func(Event)) (cancel func())
+}
+
+// NodeInfo identifies a node.
+type NodeInfo struct {
+	Name     string
+	Identity cryptoutil.PublicKey
+	Wallet   cryptoutil.Address
+}

@@ -1,0 +1,166 @@
+package api
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/wire"
+)
+
+// Hand-rolled binary payloads for the control-plane hot path. PayReq,
+// PayBatchReq, PayResp, and Event are the messages a driver exchanges
+// per payment batch (or per pushed event); gob would re-emit type
+// descriptors on every self-contained frame. The codecs follow the
+// wire package's BinaryMessage contract: DecodePayload overwrites
+// every field, rejects trailing bytes, and reuses the receiver's
+// slice/string capacity where possible.
+
+// AppendPayload implements wire.BinaryMessage.
+func (m *PayReq) AppendPayload(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint64(dst, m.ID)
+	dst, err := wire.AppendLPChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Amount))
+	return binary.BigEndian.AppendUint32(dst, m.Count), nil
+}
+
+// DecodePayload implements wire.BinaryMessage.
+func (m *PayReq) DecodePayload(src []byte) error {
+	if len(src) < 8 {
+		return wire.ErrFrameTruncated
+	}
+	id := binary.BigEndian.Uint64(src)
+	ch, rest, err := wire.ReadLPChannelID(src[8:], m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 12 {
+		return wire.ErrFrameTruncated
+	}
+	m.ID = id
+	m.Channel = ch
+	m.Amount = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.Count = binary.BigEndian.Uint32(rest[8:12])
+	return nil
+}
+
+// AppendPayload implements wire.BinaryMessage.
+func (m *PayBatchReq) AppendPayload(dst []byte) ([]byte, error) {
+	if len(m.Amounts) > wire.MaxPayBatch {
+		return dst, fmt.Errorf("api: batch of %d exceeds %d", len(m.Amounts), wire.MaxPayBatch)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, m.ID)
+	dst, err := wire.AppendLPChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Amounts)))
+	for _, a := range m.Amounts {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(a))
+	}
+	return dst, nil
+}
+
+// DecodePayload implements wire.BinaryMessage.
+func (m *PayBatchReq) DecodePayload(src []byte) error {
+	if len(src) < 8 {
+		return wire.ErrFrameTruncated
+	}
+	id := binary.BigEndian.Uint64(src)
+	ch, rest, err := wire.ReadLPChannelID(src[8:], m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 4 {
+		return wire.ErrFrameTruncated
+	}
+	n := int(binary.BigEndian.Uint32(rest[:4]))
+	if n > wire.MaxPayBatch {
+		return fmt.Errorf("api: batch of %d exceeds %d", n, wire.MaxPayBatch)
+	}
+	if len(rest) != 4+8*n {
+		return wire.ErrFrameTruncated
+	}
+	m.ID = id
+	m.Channel = ch
+	m.Amounts = m.Amounts[:0]
+	for i := 0; i < n; i++ {
+		m.Amounts = append(m.Amounts, chain.Amount(binary.BigEndian.Uint64(rest[4+8*i:])))
+	}
+	return nil
+}
+
+// AppendPayload implements wire.BinaryMessage.
+func (m *PayResp) AppendPayload(dst []byte) ([]byte, error) {
+	if len(m.Err) > 0xffff {
+		return dst, fmt.Errorf("api: error detail %d bytes exceeds uint16", len(m.Err))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, m.ID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Code))
+	dst = binary.BigEndian.AppendUint32(dst, m.Count)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Err)))
+	return append(dst, m.Err...), nil
+}
+
+// DecodePayload implements wire.BinaryMessage.
+func (m *PayResp) DecodePayload(src []byte) error {
+	if len(src) < 16 {
+		return wire.ErrFrameTruncated
+	}
+	elen := int(binary.BigEndian.Uint16(src[14:16]))
+	if len(src) != 16+elen {
+		return wire.ErrFrameTruncated
+	}
+	m.ID = binary.BigEndian.Uint64(src[:8])
+	m.Code = Code(binary.BigEndian.Uint16(src[8:10]))
+	m.Count = binary.BigEndian.Uint32(src[10:14])
+	m.Err = string(src[16:])
+	return nil
+}
+
+// AppendPayload implements wire.BinaryMessage.
+func (m *Event) AppendPayload(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = append(dst, byte(m.Kind))
+	dst, err := wire.AppendLPChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	if dst, err = wire.AppendLPString(dst, m.Chain); err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Amount))
+	dst = binary.BigEndian.AppendUint32(dst, m.Count)
+	return binary.BigEndian.AppendUint64(dst, m.Cursor), nil
+}
+
+// DecodePayload implements wire.BinaryMessage.
+func (m *Event) DecodePayload(src []byte) error {
+	if len(src) < 9 {
+		return wire.ErrFrameTruncated
+	}
+	seq := binary.BigEndian.Uint64(src[:8])
+	kind := EventKind(src[8])
+	ch, rest, err := wire.ReadLPChannelID(src[9:], m.Channel)
+	if err != nil {
+		return err
+	}
+	cn, rest, err := wire.ReadLPString(rest, m.Chain)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 20 {
+		return wire.ErrFrameTruncated
+	}
+	m.Seq = seq
+	m.Kind = kind
+	m.Channel = ch
+	m.Chain = cn
+	m.Amount = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.Count = binary.BigEndian.Uint32(rest[8:12])
+	m.Cursor = binary.BigEndian.Uint64(rest[12:20])
+	return nil
+}

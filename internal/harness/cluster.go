@@ -2,8 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"time"
 
+	"teechain/internal/api/client"
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
 	"teechain/internal/tee"
@@ -11,18 +14,28 @@ import (
 )
 
 // Cluster spawns an in-process N-node Teechain deployment over real
-// TCP sockets: one transport.Host per node, each with its own listener
-// on a loopback port, all sharing one blockchain. It is the socket
-// counterpart of the simulated Network — integration tests use it to
-// run hub-and-spoke, multihop, and failover topologies as real
-// concurrent processes with deterministic protocol outcomes (wallet and
-// enclave keys derive from node names, so final balances are exact).
+// TCP sockets: one transport.Host per node, each with its own peer
+// listener AND its own control listener (the sniffed typed-API/line
+// port teechain-node serves), all sharing one blockchain. Cluster
+// operations are driven end to end through the typed control-plane
+// client SDK (internal/api/client) — exactly the path external
+// tooling uses against deployed daemons — while Host accessors remain
+// for fault injection and enclave-state inspection. Integration tests
+// use it to run hub-and-spoke, multihop, and failover topologies as
+// real concurrent processes with deterministic protocol outcomes
+// (wallet and enclave keys derive from node names, so final balances
+// are exact).
 type Cluster struct {
 	// Chain is the shared ledger every node reads and settles against.
 	Chain *transport.LocalChain
 
-	hosts map[string]*transport.Host
-	names []string
+	hosts    map[string]*transport.Host
+	ctls     map[string]*transport.ControlServer
+	ctlAddrs map[string]string
+	names    []string
+
+	mu      sync.Mutex
+	clients map[string]*client.Conn
 }
 
 // ClusterTimeout bounds every blocking cluster operation; generous so
@@ -45,9 +58,12 @@ func NewClusterWith(mut func(*transport.Config), names ...string) (*Cluster, err
 		return nil, err
 	}
 	c := &Cluster{
-		Chain: transport.NewLocalChain(chain.New()),
-		hosts: make(map[string]*transport.Host, len(names)),
-		names: append([]string(nil), names...),
+		Chain:    transport.NewLocalChain(chain.New()),
+		hosts:    make(map[string]*transport.Host, len(names)),
+		ctls:     make(map[string]*transport.ControlServer, len(names)),
+		ctlAddrs: make(map[string]string, len(names)),
+		clients:  make(map[string]*client.Conn, len(names)),
+		names:    append([]string(nil), names...),
 	}
 	for _, name := range names {
 		cfg := transport.Config{
@@ -69,36 +85,89 @@ func NewClusterWith(mut func(*transport.Config), names ...string) (*Cluster, err
 			return nil, err
 		}
 		c.hosts[name] = h
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			h.Close()
+			c.Close()
+			return nil, err
+		}
+		ctl := transport.ServeControl(ln, h)
+		// Control operations share the cluster's generous timeout so
+		// race-instrumented CI and failover phases never flake on the
+		// server-side default.
+		ctl.Handler().Timeout = ClusterTimeout
+		c.ctls[name] = ctl
+		c.ctlAddrs[name] = ln.Addr().String()
 	}
 	return c, nil
 }
 
-// Close shuts every host down.
+// Close shuts every client, host, and control server down — hosts
+// before control servers, so any control operation still blocked in a
+// host wait fails fast (ErrClosed) instead of running out its timeout
+// while the control server drains.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = map[string]*client.Conn{}
+	c.mu.Unlock()
+	for _, cc := range clients {
+		cc.Close()
+	}
 	for _, h := range c.hosts {
 		h.Close()
 	}
+	for _, s := range c.ctls {
+		s.Close()
+	}
 }
 
-// Host returns the named node's host.
+// Host returns the named node's host (fault injection, enclave
+// inspection; cluster operations go through Client).
 func (c *Cluster) Host(name string) *transport.Host { return c.hosts[name] }
+
+// ControlAddr returns the named node's control listener address.
+func (c *Cluster) ControlAddr(name string) string { return c.ctlAddrs[name] }
+
+// Client returns a typed control-plane client for the named node,
+// dialing it on first use. It panics on an unknown name or a failed
+// dial — both mean the harness itself is broken.
+func (c *Cluster) Client(name string) *client.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc := c.clients[name]; cc != nil {
+		return cc
+	}
+	addr, ok := c.ctlAddrs[name]
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown cluster node %q", name))
+	}
+	cc, err := client.Dial(addr)
+	if err != nil {
+		panic(fmt.Sprintf("harness: dialing %s control: %v", name, err))
+	}
+	cc.SetTimeout(ClusterTimeout)
+	c.clients[name] = cc
+	return cc
+}
 
 // Identity returns the named node's enclave identity.
 func (c *Cluster) Identity(name string) cryptoutil.PublicKey {
 	return c.hosts[name].Identity()
 }
 
-// Connect has `from` dial `to`'s listener and performs mutual
+// Connect has `from` dial `to`'s peer listener and performs mutual
 // attestation, blocking until the secure channel is up.
 func (c *Cluster) Connect(from, to string) error {
-	src, dst := c.hosts[from], c.hosts[to]
-	if src == nil || dst == nil {
+	dst := c.hosts[to]
+	if c.hosts[from] == nil || dst == nil {
 		return fmt.Errorf("harness: unknown cluster node in %s->%s", from, to)
 	}
-	if err := src.DialPeer(dst.ListenAddr()); err != nil {
+	cc := c.Client(from)
+	if err := cc.DialPeer(dst.ListenAddr()); err != nil {
 		return err
 	}
-	return src.Attest(to, ClusterTimeout)
+	return cc.Attest(to)
 }
 
 // FormCommittee forms owner's committee chain from the named member
@@ -117,28 +186,30 @@ func (c *Cluster) FormCommittee(owner string, members []string, m int) error {
 			}
 		}
 	}
-	return c.hosts[owner].FormCommittee(members, m, ClusterTimeout)
+	_, err := c.Client(owner).Committee(m, members...)
+	return err
 }
 
 // OpenChannel opens and funds a channel from -> to, returning its id.
 // value == 0 skips funding.
 func (c *Cluster) OpenChannel(from, to string, value chain.Amount) (string, error) {
-	src := c.hosts[from]
-	chID, err := src.OpenChannel(to, ClusterTimeout)
+	cc := c.Client(from)
+	chID, err := cc.OpenChannel(to)
 	if err != nil {
 		return "", err
 	}
 	if value > 0 {
-		if _, err := src.FundChannel(chID, value, ClusterTimeout); err != nil {
+		if _, err := cc.Deposit(chID, value); err != nil {
 			return "", err
 		}
 	}
 	return string(chID), nil
 }
 
-// Balance reads a node's on-chain wallet balance.
+// Balance reads a node's on-chain wallet balance (through the typed
+// API).
 func (c *Cluster) Balance(name string) chain.Amount {
-	bal, _ := c.Chain.Balance(c.hosts[name].WalletAddress())
+	bal, _ := c.Client(name).Balance()
 	return bal
 }
 

@@ -4,9 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"teechain/internal/api"
 	"teechain/internal/chain"
 	"teechain/internal/core"
-	"teechain/internal/cryptoutil"
 	"teechain/internal/wire"
 )
 
@@ -14,7 +14,9 @@ import (
 // runs under -race: a 3-node hub-and-spoke cluster over real TCP
 // completes attestation, deposits, 100 direct payments, one multihop
 // payment through the hub, and on-chain settlement — with exact,
-// deterministic final balances (all keys derive from node names).
+// deterministic final balances (all keys derive from node names). The
+// whole workload drives through the typed control-plane client SDK;
+// no response string is parsed anywhere.
 func TestClusterTCPSmoke(t *testing.T) {
 	c, err := NewCluster("hub", "spoke1", "spoke2")
 	if err != nil {
@@ -31,48 +33,43 @@ func TestClusterTCPSmoke(t *testing.T) {
 	}
 
 	// spoke1 -- hub channel, funded by spoke1.
-	ch1, err := c.OpenChannel("spoke1", "hub", 100_000)
+	ch1str, err := c.OpenChannel("spoke1", "hub", 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ch1 := wire.ChannelID(ch1str)
 	// hub -- spoke2 channel, funded by the hub (forwarding liquidity).
-	hub := c.Host("hub")
-	ch2ID, err := hub.OpenChannel("spoke2", ClusterTimeout)
+	hub := c.Client("hub")
+	ch2, err := hub.OpenChannel("spoke2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := hub.FundChannel(ch2ID, 50_000, ClusterTimeout); err != nil {
+	if _, err := hub.Deposit(ch2, 50_000); err != nil {
 		t.Fatal(err)
 	}
 
-	// 100 direct payments spoke1 -> hub.
-	spoke1 := c.Host("spoke1")
+	// 100 direct payments spoke1 -> hub: one typed request issues them
+	// all and completes when the last is acked.
+	spoke1 := c.Client("spoke1")
 	const payments = 100
-	for i := 0; i < payments; i++ {
-		if err := spoke1.Pay(wire.ChannelID(ch1), 10); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := spoke1.AwaitAcked(payments, ClusterTimeout); err != nil {
+	if err := spoke1.Pay(ch1, 10, payments); err != nil {
 		t.Fatal(err)
 	}
 
-	// One multihop payment spoke1 -> hub -> spoke2.
-	path := []cryptoutil.PublicKey{
-		c.Identity("spoke1"), c.Identity("hub"), c.Identity("spoke2"),
-	}
-	if err := spoke1.PayMultihop(path, 500, ClusterTimeout); err != nil {
+	// One multihop payment spoke1 -> hub -> spoke2 (hub by name,
+	// spoke2 by hex identity — spoke1 never exchanged hellos with it).
+	if err := spoke1.Multihop(500, "hub", api.FormatIdentity(c.Identity("spoke2"))); err != nil {
 		t.Fatal(err)
 	}
-	if st := spoke1.Stats(); st.MultihopsOK != 1 {
-		t.Fatalf("spoke1 multihop stats: %+v", st)
+	if st, err := spoke1.Stats(); err != nil || st.Host.MultihopsOK != 1 {
+		t.Fatalf("spoke1 multihop stats: %+v, %v", st, err)
 	}
 
 	// Settle both channels on chain and mine.
-	if err := spoke1.Settle(wire.ChannelID(ch1)); err != nil {
+	if err := spoke1.Settle(ch1); err != nil {
 		t.Fatal(err)
 	}
-	if err := hub.Settle(ch2ID); err != nil {
+	if err := hub.Settle(ch2); err != nil {
 		t.Fatal(err)
 	}
 	c.MineBlocks(1)
@@ -97,14 +94,14 @@ func TestClusterTCPSmoke(t *testing.T) {
 	})
 
 	// The hub saw all traffic: 100 direct + 1 multihop lock.
-	if st := hub.Stats(); st.PaymentsReceived < payments {
-		t.Fatalf("hub received %d payments, want >= %d", st.PaymentsReceived, payments)
+	if st, err := hub.Stats(); err != nil || st.Host.PaymentsReceived < payments {
+		t.Fatalf("hub stats: %+v, %v", st, err)
 	}
 }
 
 // TestClusterMultihopChain runs a 4-node payment chain a -> b -> c -> d
 // (three hops) to exercise forwarding across more than one
-// intermediary over real sockets.
+// intermediary over real sockets, driven through the typed client.
 func TestClusterMultihopChain(t *testing.T) {
 	c, err := NewCluster("a", "b", "c", "d")
 	if err != nil {
@@ -121,10 +118,8 @@ func TestClusterMultihopChain(t *testing.T) {
 		}
 	}
 
-	path := []cryptoutil.PublicKey{
-		c.Identity("a"), c.Identity("b"), c.Identity("c"), c.Identity("d"),
-	}
-	if err := c.Host("a").PayMultihop(path, 250, ClusterTimeout); err != nil {
+	if err := c.Client("a").Multihop(250, "b",
+		api.FormatIdentity(c.Identity("c")), api.FormatIdentity(c.Identity("d"))); err != nil {
 		t.Fatal(err)
 	}
 
@@ -132,7 +127,11 @@ func TestClusterMultihopChain(t *testing.T) {
 	gotArrival := false
 	deadline := time.Now().Add(ClusterTimeout)
 	for !gotArrival && time.Now().Before(deadline) {
-		if c.Host("d").Stats().PaymentsReceived >= 1 {
+		st, err := c.Client("d").Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Host.PaymentsReceived >= 1 {
 			gotArrival = true
 			break
 		}
@@ -156,6 +155,95 @@ func TestClusterMultihopChain(t *testing.T) {
 		})
 		if net != 0 {
 			t.Fatalf("%s forwarding imbalance: %d", name, net)
+		}
+	}
+}
+
+// TestClusterAsyncPaySubscribe covers the control plane's async
+// contract over real TCP: a subscription streams payment-acked events
+// while PayAsync completion handles resolve out of band, and a settle
+// confirms through an EventSettled push — no ack polling anywhere.
+func TestClusterAsyncPaySubscribe(t *testing.T) {
+	c, err := NewCluster("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Connect("alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	chStr, err := c.OpenChannel("alice", "bob", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chID := wire.ChannelID(chStr)
+	alice := c.Client("alice")
+
+	sub, err := alice.Subscribe(api.MaskAll, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Issue three async requests back to back: 40 singles, a 10-payment
+	// batch, 50 more singles. All three are in flight together over one
+	// connection.
+	h1, err := alice.PayAsync(chID, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amounts := make([]chain.Amount, 10)
+	for i := range amounts {
+		amounts[i] = 5
+	}
+	h2, err := alice.PayBatchAsync(chID, amounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := alice.PayAsync(chID, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range []interface{ Wait() error }{h1, h2, h3} {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("async pay %d: %v", i+1, err)
+		}
+	}
+
+	// The event stream carries every ack: 100 payments across the three
+	// requests, with strictly increasing delivery sequence numbers.
+	var acked, lastSeq uint64
+	deadline := time.NewTimer(ClusterTimeout)
+	defer deadline.Stop()
+	for acked < 100 {
+		select {
+		case ev := <-sub.C:
+			if ev.Seq <= lastSeq {
+				t.Fatalf("event seq went backwards: %d after %d", ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			if ev.Kind == api.EventPayAcked {
+				acked += uint64(ev.Count)
+			}
+		case <-deadline.C:
+			t.Fatalf("timed out streaming ack events: %d/100 acked", acked)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("subscription dropped %d events", sub.Dropped())
+	}
+
+	// Settle confirms via the event stream.
+	if err := alice.Settle(chID); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		select {
+		case ev := <-sub.C:
+			if ev.Kind == api.EventSettled && ev.Channel == chID {
+				return
+			}
+		case <-time.After(ClusterTimeout):
+			t.Fatal("no EventSettled push after settle")
 		}
 	}
 }

@@ -4,7 +4,9 @@ package harness
 // the lane fast path with the batched/pipelined replication flusher,
 // committee-member connection failure mid-stream, and threshold-signed
 // settlement — the deployed-with-replication scenario of the paper's
-// evaluation (§7, Fig. 8-9).
+// evaluation (§7, Fig. 8-9). All workloads drive through the typed
+// control-plane client (internal/api/client); the legacy line shim is
+// covered separately by TestCommitteeControlCommands.
 
 import (
 	"fmt"
@@ -12,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"teechain/internal/api"
+	"teechain/internal/api/client"
 	"teechain/internal/chain"
 	"teechain/internal/core"
 	"teechain/internal/transport"
@@ -19,7 +23,7 @@ import (
 )
 
 // controlFor serves the control API for a host and returns a connected
-// client, both torn down with the test.
+// line-protocol client, both torn down with the test.
 func controlFor(t *testing.T, h *transport.Host) *transport.ControlClient {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -58,11 +62,13 @@ func committeeCluster(t *testing.T, fund chain.Amount) (*Cluster, wire.ChannelID
 	return c, wire.ChannelID(id)
 }
 
-// pumpPayments issues count payments of amount over chID in PayBatch
-// frames of batch, then waits until the sender's cumulative ack total
-// reaches target.
-func pumpPayments(t *testing.T, h *transport.Host, chID wire.ChannelID, amount chain.Amount, count, batch int, target uint64) {
+// issuePayments pushes count payments of amount over chID in PayBatch
+// frames of batch through the typed client, returning the completion
+// handles unresolved — the failover test issues while the committee is
+// unreachable, when no handle may complete.
+func issuePayments(t *testing.T, cc *client.Conn, chID wire.ChannelID, amount chain.Amount, count, batch int) []*client.Pending {
 	t.Helper()
+	handles := make([]*client.Pending, 0, count/batch+1)
 	amounts := make([]chain.Amount, 0, batch)
 	for sent := 0; sent < count; {
 		n := min(batch, count-sent)
@@ -70,25 +76,46 @@ func pumpPayments(t *testing.T, h *transport.Host, chID wire.ChannelID, amount c
 		for i := 0; i < n; i++ {
 			amounts = append(amounts, amount)
 		}
-		if err := h.PayBatch(chID, amounts); err != nil {
+		h, err := cc.PayBatchAsync(chID, amounts)
+		if err != nil {
 			t.Fatal(err)
 		}
+		handles = append(handles, h)
 		sent += n
 	}
-	if err := h.AwaitAcked(target, ClusterTimeout); err != nil {
-		t.Fatal(err)
+	return handles
+}
+
+// pumpPayments is issuePayments plus waiting for every batch's acks.
+func pumpPayments(t *testing.T, cc *client.Conn, chID wire.ChannelID, amount chain.Amount, count, batch int) {
+	t.Helper()
+	for _, h := range issuePayments(t, cc, chID, amount, count, batch) {
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
-// awaitReplDrained polls until the host's replication log is fully
+// committeeStats fetches the committee pipeline snapshot through the
+// typed API.
+func committeeStats(t *testing.T, cc *client.Conn) (api.CommitteeStatsEntry, bool) {
+	t.Helper()
+	st, err := cc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Committee, st.HasCommittee
+}
+
+// awaitReplDrained polls until the node's replication log is fully
 // acknowledged. Payment acks imply the payment ops drained, but effect-
 // free cold commits (e.g. the RegisterPayoutKey a reconnect hello
 // triggers) have no user-visible ack to wait on.
-func awaitReplDrained(t *testing.T, h *transport.Host) transport.CommitteeStats {
+func awaitReplDrained(t *testing.T, cc *client.Conn) api.CommitteeStatsEntry {
 	t.Helper()
 	deadline := time.Now().Add(ClusterTimeout)
 	for {
-		st, ok := h.CommitteeStats()
+		st, ok := committeeStats(t, cc)
 		if ok && st.AckSeq == st.NextSeq {
 			return st
 		}
@@ -128,11 +155,11 @@ func awaitMirror(t *testing.T, c *Cluster, member, chainID string, chID wire.Cha
 // signatures from the members over the sockets.
 func TestClusterCommitteePayments(t *testing.T) {
 	c, chID := committeeCluster(t, 10_000)
-	s := c.Host("s")
+	cs := c.Client("s")
 
 	laneEligible := false
 	var chainID string
-	s.WithEnclave(func(e *core.Enclave) {
+	c.Host("s").WithEnclave(func(e *core.Enclave) {
 		laneEligible = e.LaneEligible()
 		chainID = e.ChainID()
 	})
@@ -141,9 +168,9 @@ func TestClusterCommitteePayments(t *testing.T) {
 	}
 
 	const payments = 400
-	pumpPayments(t, s, chID, 2, payments, 16, payments)
+	pumpPayments(t, cs, chID, 2, payments, 16)
 
-	mine, remote, err := s.ChannelBalances(chID)
+	mine, remote, err := cs.Balances(chID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +181,7 @@ func TestClusterCommitteePayments(t *testing.T) {
 	awaitMirror(t, c, "m2", chainID, chID, mine, remote)
 
 	// The pipeline must drain completely once everything is acked.
-	st := awaitReplDrained(t, s)
+	st := awaitReplDrained(t, cs)
 	if !st.Pipelined || st.Queued != 0 || st.Window != 0 {
 		t.Fatalf("pipeline not drained: %+v", st)
 	}
@@ -164,7 +191,7 @@ func TestClusterCommitteePayments(t *testing.T) {
 
 	// Settlement: the committee deposit needs 2-of-3 signatures, fetched
 	// from the members over TCP.
-	if err := s.Settle(chID); err != nil {
+	if err := cs.Settle(chID); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(ClusterTimeout)
@@ -192,15 +219,16 @@ func TestClusterCommitteeFailover(t *testing.T) {
 		expected = chain.Amount(2 * phase * amount)
 	)
 	c, chID := committeeCluster(t, fund)
-	s, m1 := c.Host("s"), c.Host("m1")
+	cs := c.Client("s")
+	m1 := c.Host("m1")
 	var chainID string
-	s.WithEnclave(func(e *core.Enclave) { chainID = e.ChainID() })
+	c.Host("s").WithEnclave(func(e *core.Enclave) { chainID = e.ChainID() })
 
-	// Phase 1: payments while the whole chain is healthy. AwaitAcked
-	// implies the replication acks returned too (a payment's frame is
-	// only released to the receiver after its op is acknowledged), so
-	// after this no replication frame is in flight.
-	pumpPayments(t, s, chID, amount, phase, batch, phase)
+	// Phase 1: payments while the whole chain is healthy. A completed
+	// handle implies the replication acks returned too (a payment's
+	// frame is only released to the receiver after its op is
+	// acknowledged), so after this no replication frame is in flight.
+	pumpPayments(t, cs, chID, amount, phase, batch)
 
 	// Kill the backup's network: listener gone, every connection dead on
 	// both ends. The sender's writer queues replication frames and
@@ -208,27 +236,34 @@ func TestClusterCommitteeFailover(t *testing.T) {
 	addr := m1.ListenAddr()
 	m1.CloseListener()
 	m1.DropConnections()
-	s.DropConnections()
+	c.Host("s").DropConnections()
 
 	// Phase 2: payments while the backup is unreachable. They commit
 	// optimistically and their effects stay withheld — no ack may arrive
-	// without the chain.
-	pre := s.AckedTotal()
-	pumpPayments(t, s, chID, amount, phase, batch, pre) // target already met: issue only
-	if got := s.AckedTotal(); got != pre {
-		t.Fatalf("payments acked while the backup was down: %d -> %d", pre, got)
+	// without the chain, so the handles stay pending.
+	preStats, err := cs.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := issuePayments(t, cs, chID, amount, phase, batch)
+	if st, err := cs.Stats(); err != nil || st.Host.PaymentsAcked != preStats.Host.PaymentsAcked {
+		t.Fatalf("payments acked while the backup was down: %d -> %d (%v)",
+			preStats.Host.PaymentsAcked, st.Host.PaymentsAcked, err)
 	}
 
 	// Restart the backup's listener on the same address; the redial
-	// delivers the queued ReplBatch frames in order, exactly once.
+	// delivers the queued ReplBatch frames in order, exactly once, and
+	// every pending handle completes.
 	if _, err := m1.Listen(addr); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AwaitAcked(2*phase, ClusterTimeout); err != nil {
-		t.Fatal(err)
+	for i, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("pending batch %d never settled after reconnect: %v", i, err)
+		}
 	}
 
-	mine, remote, err := s.ChannelBalances(chID)
+	mine, remote, err := cs.Balances(chID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,10 +283,10 @@ func TestClusterCommitteeFailover(t *testing.T) {
 	if frozen {
 		t.Fatal("chain froze across the reconnect")
 	}
-	if rc := s.Stats().Reconnects; rc == 0 {
-		t.Fatal("sender reports no reconnects; the drop did not exercise the redial path")
+	if st, err := cs.Stats(); err != nil || st.Host.Reconnects == 0 {
+		t.Fatalf("sender reports no reconnects (%v); the drop did not exercise the redial path", err)
 	}
-	awaitReplDrained(t, s)
+	awaitReplDrained(t, cs)
 
 	// Bit-identical to an unreplicated run of the same workload.
 	plain, err := NewCluster("ps", "pr")
@@ -266,8 +301,8 @@ func TestClusterCommitteeFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pumpPayments(t, plain.Host("ps"), wire.ChannelID(pid), amount, 2*phase, batch, 2*phase)
-	pMine, pRemote, err := plain.Host("ps").ChannelBalances(wire.ChannelID(pid))
+	pumpPayments(t, plain.Client("ps"), wire.ChannelID(pid), amount, 2*phase, batch)
+	pMine, pRemote, err := plain.Client("ps").Balances(wire.ChannelID(pid))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +313,7 @@ func TestClusterCommitteeFailover(t *testing.T) {
 }
 
 // TestCommitteeControlCommands drives committee formation and the
-// replication stats through the line-based control API.
+// replication stats through the legacy line-based control shim.
 func TestCommitteeControlCommands(t *testing.T) {
 	c, err := NewCluster("s", "r", "m1")
 	if err != nil {

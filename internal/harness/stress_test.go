@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"teechain/internal/api/client"
 	"teechain/internal/chain"
 	"teechain/internal/wire"
 )
@@ -14,9 +15,11 @@ import (
 // TCP cluster with four channels — two between the same pair of nodes
 // (multiplexed over one peer lane) and two more across distinct pairs
 // (parallel lanes) — takes concurrent single payments and batches from
-// separate goroutines. The workload is chosen so the final balance of
-// every channel is exact: per channel, one side pays a fixed schedule
-// and nothing else touches it.
+// separate goroutines, all multiplexed through the typed control-plane
+// clients (one connection per node, demultiplexed in-flight requests).
+// The workload is chosen so the final balance of every channel is
+// exact: per channel, one side pays a fixed schedule and nothing else
+// touches it.
 func TestClusterShardedStress(t *testing.T) {
 	c, err := NewCluster("a", "b", "c")
 	if err != nil {
@@ -31,7 +34,7 @@ func TestClusterShardedStress(t *testing.T) {
 	}
 
 	// channel plan: payer, payee, payments, amount, batch size (1 =
-	// plain Pay frames). ab1/ab2 share the a<->b peer lane; ac and bc
+	// plain Pay requests). ab1/ab2 share the a<->b peer lane; ac and bc
 	// run on their own lanes concurrently.
 	plan := []struct {
 		payer, payee string
@@ -61,27 +64,36 @@ func TestClusterShardedStress(t *testing.T) {
 		wg.Add(1)
 		go func(chID wire.ChannelID, payer string, payments int, amount chain.Amount, batch int) {
 			defer wg.Done()
-			h := c.Host(payer)
-			pay := func(n int) error {
+			cc := c.Client(payer)
+			handles := make([]*client.Pending, 0, payments/batch+1)
+			issue := func(n int) (*client.Pending, error) {
 				if n == 1 {
-					return h.Pay(chID, amount)
+					return cc.PayAsync(chID, amount, 1)
 				}
 				amounts := make([]chain.Amount, n)
 				for j := range amounts {
 					amounts[j] = amount
 				}
-				return h.PayBatch(chID, amounts)
+				return cc.PayBatchAsync(chID, amounts)
 			}
 			for sent := 0; sent < payments; {
 				n := batch
 				if payments-sent < n {
 					n = payments - sent
 				}
-				if err := pay(n); err != nil {
+				h, err := issue(n)
+				if err != nil {
 					errs <- fmt.Errorf("%s on %s: %w", payer, chID, err)
 					return
 				}
+				handles = append(handles, h)
 				sent += n
+			}
+			for _, h := range handles {
+				if err := h.Wait(); err != nil {
+					errs <- fmt.Errorf("%s on %s: %w", payer, chID, err)
+					return
+				}
 			}
 		}(chIDs[i], p.payer, p.payments, p.amount, p.batch)
 	}
@@ -91,19 +103,10 @@ func TestClusterShardedStress(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Every payer waits for its full ack count (a pays on three
-	// channels, b on one).
-	if err := c.Host("a").AwaitAcked(600+609+500, ClusterTimeout); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Host("b").AwaitAcked(800, ClusterTimeout); err != nil {
-		t.Fatal(err)
-	}
-
 	// Exact final balances, checked from both ends of every channel.
 	for i, p := range plan {
 		paid := chain.Amount(p.payments) * p.amount
-		mine, remote, err := c.Host(p.payer).ChannelBalances(chIDs[i])
+		mine, remote, err := c.Client(p.payer).Balances(chIDs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +114,7 @@ func TestClusterShardedStress(t *testing.T) {
 			t.Fatalf("%s view of %s: mine=%d remote=%d, want %d/%d",
 				p.payer, chIDs[i], mine, remote, fund-paid, paid)
 		}
-		theirs, ours, err := c.Host(p.payee).ChannelBalances(chIDs[i])
+		theirs, ours, err := c.Client(p.payee).Balances(chIDs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,18 +124,35 @@ func TestClusterShardedStress(t *testing.T) {
 		}
 	}
 
-	// Nothing dropped, nothing nacked, per-channel counters exact.
+	// Nothing dropped, nothing nacked, per-channel counters exact —
+	// read through the structured stats response.
 	for _, name := range []string{"a", "b", "c"} {
-		if st := c.Host(name).Stats(); st.Drops != 0 || st.PaymentsNacked != 0 {
-			t.Fatalf("%s stats after stress: %+v", name, st)
+		st, err := c.Client(name).Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Host.Drops != 0 || st.Host.PaymentsNacked != 0 {
+			t.Fatalf("%s stats after stress: %+v", name, st.Host)
 		}
 	}
 	for i, p := range plan {
-		cs := c.Host(p.payer).ChannelStats()[chIDs[i]]
+		st, err := c.Client(p.payer).Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *struct {
+			Sent, Acked, InFlight uint64
+		}
+		for _, cs := range st.Channels {
+			if cs.Channel == chIDs[i] {
+				got = &struct{ Sent, Acked, InFlight uint64 }{cs.Sent, cs.Acked, cs.InFlight}
+				break
+			}
+		}
 		want := uint64(p.payments)
-		if cs.Sent != want || cs.Acked != want || cs.InFlight != 0 {
+		if got == nil || got.Sent != want || got.Acked != want || got.InFlight != 0 {
 			t.Fatalf("%s channel stats for %s: %+v, want sent=acked=%d",
-				p.payer, chIDs[i], cs, want)
+				p.payer, chIDs[i], got, want)
 		}
 	}
 }

@@ -1,0 +1,237 @@
+package transport
+
+// The control-plane backend: transport.Host exposed through the
+// internal/api Backend interface. This is the single surface both the
+// typed TCP server and the legacy line-protocol shim drive, so every
+// control protocol shares one semantics (and one set of structured
+// error codes, classified from the host's sentinel errors).
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"teechain/internal/api"
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// EvReplCursor is a transport-level host event: the committee chain's
+// cumulative replication ack cursor advanced. Emitted to observers
+// (Host.Observe) when a ReplAck/ReplBatchAck arrives, it backs the
+// control plane's EventReplCursor stream.
+type EvReplCursor struct {
+	Chain string
+	Acked uint64
+}
+
+// apiBackend adapts a Host to api.Backend.
+type apiBackend struct {
+	h *Host
+}
+
+// API returns the host's control-plane backend, for api.Serve /
+// api.NewServer and the line-protocol shim.
+func (h *Host) API() api.Backend { return apiBackend{h: h} }
+
+// classify maps host errors onto structured control-plane codes.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	code := api.CodeInternal
+	switch {
+	case errors.Is(err, ErrTimeout):
+		code = api.CodeTimeout
+	case errors.Is(err, ErrClosed):
+		code = api.CodeUnavailable
+	case errors.Is(err, ErrUnknownChannel), errors.Is(err, ErrUnknownPeer):
+		code = api.CodeNotFound
+	}
+	return &api.Error{Code: code, Msg: err.Error()}
+}
+
+func (b apiBackend) Info() api.NodeInfo {
+	return api.NodeInfo{
+		Name:     b.h.Name(),
+		Identity: b.h.Identity(),
+		Wallet:   b.h.WalletAddress(),
+	}
+}
+
+func (b apiBackend) Peers() []api.PeerInfo {
+	peers := b.h.Peers()
+	out := make([]api.PeerInfo, 0, len(peers))
+	for name, id := range peers {
+		out = append(out, api.PeerInfo{Name: name, Identity: id})
+	}
+	// Sorted by name: map iteration order must never leak into
+	// control-plane output (tests and scripts diff it).
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (b apiBackend) Dial(addr string) error { return classify(b.h.DialPeer(addr)) }
+
+func (b apiBackend) Attest(peer string, timeout time.Duration) error {
+	return classify(b.h.Attest(peer, timeout))
+}
+
+func (b apiBackend) OpenChannel(peer string, timeout time.Duration) (wire.ChannelID, error) {
+	ch, err := b.h.OpenChannel(peer, timeout)
+	return ch, classify(err)
+}
+
+func (b apiBackend) Deposit(ch wire.ChannelID, amount chain.Amount, timeout time.Duration) (chain.OutPoint, error) {
+	point, err := b.h.FundChannel(ch, amount, timeout)
+	return point, classify(err)
+}
+
+func (b apiBackend) Pay(ch wire.ChannelID, amount chain.Amount, count int) (api.PayCursor, error) {
+	var cur api.PayCursor
+	for i := 0; i < count; i++ {
+		mark, err := b.h.PayTracked(ch, amount)
+		if err != nil {
+			// Payments already issued stay issued; the cursor reflects
+			// them so a partial failure still settles deterministically.
+			return cur, classify(err)
+		}
+		if i == 0 {
+			cur = api.PayCursor{Channel: ch, NackedBefore: mark.NackedBefore}
+		}
+		cur.Target = mark.Target
+	}
+	return cur, nil
+}
+
+func (b apiBackend) PayBatch(ch wire.ChannelID, amounts []chain.Amount) (api.PayCursor, error) {
+	mark, err := b.h.PayBatchTracked(ch, amounts)
+	if err != nil {
+		return api.PayCursor{}, classify(err)
+	}
+	return api.PayCursor{Channel: ch, Target: mark.Target, NackedBefore: mark.NackedBefore}, nil
+}
+
+func (b apiBackend) AwaitPaid(cur api.PayCursor, timeout time.Duration) error {
+	nacked, err := b.h.AwaitChannelSettled(cur.Channel, cur.Target, timeout)
+	if err != nil {
+		return classify(err)
+	}
+	if nacked > cur.NackedBefore {
+		return api.Errorf(api.CodeNacked, "%d payment(s) rejected and reversed on %s",
+			nacked-cur.NackedBefore, cur.Channel)
+	}
+	return nil
+}
+
+func (b apiBackend) Multihop(amount chain.Amount, hops []string, timeout time.Duration) error {
+	path := make([]cryptoutil.PublicKey, 0, len(hops)+1)
+	path = append(path, b.h.Identity())
+	for _, hop := range hops {
+		id, err := b.h.ResolveIdentity(hop)
+		if err != nil {
+			return classify(err)
+		}
+		path = append(path, id)
+	}
+	return classify(b.h.PayMultihop(path, amount, timeout))
+}
+
+func (b apiBackend) FormCommittee(members []string, m int, timeout time.Duration) (string, error) {
+	if err := b.h.FormCommittee(members, m, timeout); err != nil {
+		return "", classify(err)
+	}
+	st, _ := b.h.CommitteeStats()
+	return st.Chain, nil
+}
+
+func (b apiBackend) Settle(ch wire.ChannelID) error { return classify(b.h.Settle(ch)) }
+
+func (b apiBackend) Balances(ch wire.ChannelID) (chain.Amount, chain.Amount, error) {
+	mine, remote, err := b.h.ChannelBalances(ch)
+	return mine, remote, classify(err)
+}
+
+func (b apiBackend) Mine(n int) (uint64, error) {
+	height, err := b.h.chain.MineBlocks(n)
+	return height, classify(err)
+}
+
+func (b apiBackend) WalletBalance() (chain.Amount, error) {
+	bal, err := b.h.chain.Balance(b.h.WalletAddress())
+	return bal, classify(err)
+}
+
+func (b apiBackend) Stats() api.StatsResp {
+	var resp api.StatsResp
+	st := b.h.Stats()
+	resp.Host = api.HostStats{
+		PaymentsSent:     st.PaymentsSent,
+		PaymentsAcked:    st.PaymentsAcked,
+		PaymentsNacked:   st.PaymentsNacked,
+		PaymentsReceived: st.PaymentsReceived,
+		MultihopsOK:      st.MultihopsOK,
+		MultihopsFailed:  st.MultihopsFailed,
+		FramesIn:         st.FramesIn,
+		FramesOut:        st.FramesOut,
+		Drops:            st.Drops,
+		Reconnects:       st.Reconnects,
+	}
+	per := b.h.ChannelStats()
+	resp.Channels = make([]api.ChannelStatsEntry, 0, len(per))
+	for id, cs := range per {
+		resp.Channels = append(resp.Channels, api.ChannelStatsEntry{
+			Channel:    id,
+			Sent:       cs.Sent,
+			Acked:      cs.Acked,
+			Nacked:     cs.Nacked,
+			Received:   cs.Received,
+			InFlight:   cs.InFlight,
+			QueueDepth: cs.QueueDepth,
+		})
+	}
+	sort.Slice(resp.Channels, func(i, j int) bool { return resp.Channels[i].Channel < resp.Channels[j].Channel })
+	if cst, ok := b.h.CommitteeStats(); ok {
+		resp.HasCommittee = true
+		resp.Committee = api.CommitteeStatsEntry{
+			Chain:      cst.Chain,
+			Pipelined:  cst.Pipelined,
+			NextSeq:    cst.NextSeq,
+			FlushSeq:   cst.FlushSeq,
+			AckSeq:     cst.AckSeq,
+			Queued:     cst.Queued,
+			Window:     cst.Window,
+			BatchesOut: cst.BatchesOut,
+			OpsOut:     cst.OpsOut,
+			Mirrors:    cst.Mirrors,
+		}
+	}
+	return resp
+}
+
+func (b apiBackend) Subscribe(fn func(api.Event)) (cancel func()) {
+	return b.h.Observe(func(ev core.Event) {
+		var out api.Event
+		switch e := ev.(type) {
+		case core.EvPayAcked:
+			out = api.Event{Kind: api.EventPayAcked, Channel: e.Channel, Amount: e.Amount, Count: uint32(e.Count)}
+		case core.EvPayNacked:
+			out = api.Event{Kind: api.EventPayNacked, Channel: e.Channel, Amount: e.Amount, Count: uint32(e.Count)}
+		case core.EvPaymentReceived:
+			out = api.Event{Kind: api.EventPayReceived, Channel: e.Channel, Amount: e.Amount, Count: uint32(e.Count)}
+		case core.EvChannelClosed:
+			out = api.Event{Kind: api.EventSettled, Channel: e.Channel}
+		case EvReplCursor:
+			out = api.Event{Kind: api.EventReplCursor, Chain: e.Chain, Cursor: e.Acked}
+		default:
+			return
+		}
+		fn(out)
+	})
+}

@@ -2,31 +2,39 @@ package transport
 
 import (
 	"bufio"
-	"encoding/hex"
+	"errors"
 	"fmt"
 	"net"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
-	"time"
 
+	"teechain/internal/api"
 	"teechain/internal/chain"
-	"teechain/internal/cryptoutil"
 	"teechain/internal/wire"
 )
 
-// The control API is a line-based operator protocol served on a
-// separate TCP port by teechain-node: one command per line, one
-// response line per command, "ok ..." or "err ...". It is intended for
-// humans (netcat), scripts, and cluster coordinators.
+// The control listener serves BOTH control protocols on one port,
+// sniffed from the first byte of each connection:
 //
-// Commands:
+//   - The typed, versioned control-plane API (internal/api): binary
+//     frames whose 4-byte length prefix always starts 0x00. This is
+//     what the Go client SDK (internal/api/client), the harness, and
+//     the benches speak.
+//
+//   - The legacy line protocol: one ASCII command per line, one
+//     "ok ..."/"err ..." response line. It is intended for humans
+//     (netcat) and survives as a SHIM: each line is parsed into the
+//     corresponding api request message, dispatched through the same
+//     api.Handler the typed server uses, and the typed response is
+//     formatted back to text. No node behavior lives here anymore.
+//
+// Line commands:
 //
 //	ping                         liveness check
 //	identity                     this enclave's identity (hex)
 //	wallet                       this host's wallet address (hex)
-//	peers                        known peers as name=identity pairs
+//	peers                        known peers as name=identity pairs,
+//	                             sorted by name
 //	dial <addr>                  connect (and keep reconnecting) to a peer
 //	attest <name>                mutual remote attestation with a peer
 //	open <name>                  open a channel, prints its id
@@ -38,44 +46,77 @@ import (
 //	paymh <amount> <hop>...      multi-hop payment via named/hex hops
 //	committee <peer>... <m>      form this node's committee chain from
 //	                             the named peers (in chain order) with
-//	                             signature threshold m; attests them
-//	                             first when needed and blocks until the
-//	                             chain is ready for deposits
+//	                             signature threshold m
 //	settle <channel>             settle a channel on chain
 //	balances <channel>           channel balances (mine remote)
 //	mine [n]                     mine n (default 1) blocks
 //	balance                      wallet balance on chain
 //	stats                        host counters
 //	stats channels               per-channel payment counters
-//	                             (sent/acked/nacked/received/inflight
-//	                             and the peer link's queue depth)
-//	stats committee              replication pipeline cursors (committed
-//	                             / flushed / acked seqs, queue and
-//	                             window depths, flusher frame counts)
+//	stats committee              replication pipeline cursors
 //	quit                         close this control connection
 
-// controlTimeout bounds every blocking control command.
-const controlTimeout = 30 * time.Second
-
-// ControlServer serves the control API for one host.
+// ControlServer serves the sniffed control listener for one host: the
+// typed api server plus the legacy line-protocol shim.
 type ControlServer struct {
-	h  *Host
-	ln net.Listener
-	wg sync.WaitGroup
+	h   *Host
+	ln  net.Listener
+	api *api.Server
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
-// ServeControl starts the control API on ln until the listener closes.
+// ServeControl starts the control listener on ln until Close.
 func ServeControl(ln net.Listener, h *Host) *ControlServer {
-	s := &ControlServer{h: h, ln: ln}
+	s := &ControlServer{
+		h:     h,
+		ln:    ln,
+		api:   api.NewServer(h.API(), h.logf),
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
 
-// Close stops the server and waits for its connections to drain.
+// Handler exposes the shared dispatch handler (tests tune its
+// timeout).
+func (s *ControlServer) Handler() *api.Handler { return s.api.Handler() }
+
+// Close stops the server and force-closes its connections.
 func (s *ControlServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
 	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.api.Close()
 	s.wg.Wait()
+}
+
+func (s *ControlServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *ControlServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *ControlServer) acceptLoop() {
@@ -90,10 +131,43 @@ func (s *ControlServer) acceptLoop() {
 	}
 }
 
+// sniffedConn replays the bytes the sniffer buffered.
+type sniffedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (c sniffedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// serveConn sniffs the protocol from the connection's first byte: a
+// typed api frame begins with its big-endian length prefix (first byte
+// 0x00 for any frame under 16 MiB), while every line-protocol command
+// starts with printable ASCII.
 func (s *ControlServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	if !s.track(conn) {
+		conn.Close()
+		return
+	}
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		s.untrack(conn)
+		conn.Close()
+		return
+	}
+	if first[0] == 0x00 {
+		// Typed connection: owned (tracked, closed) by the api server
+		// from here on; drop our registration so exactly one layer
+		// tears it down. A Close racing this handoff is safe — the api
+		// server refuses and closes the connection itself.
+		s.untrack(conn)
+		s.api.ServeConn(sniffedConn{Conn: conn, r: br})
+		return
+	}
+	defer s.untrack(conn)
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 4096), 1<<16)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -103,17 +177,27 @@ func (s *ControlServer) serveConn(conn net.Conn) {
 		if line == "quit" {
 			return
 		}
-		resp := s.handleLine(line)
+		resp := shimLine(s.api.Handler(), line)
 		if _, err := fmt.Fprintln(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *ControlServer) handleLine(line string) string {
+// shimLine translates one legacy command line into api request
+// messages, dispatches them through the shared handler, and renders
+// the typed response as the legacy "ok ..."/"err ..." text.
+func shimLine(h *api.Handler, line string) string {
 	args := strings.Fields(line)
-	out, err := s.dispatch(args[0], args[1:])
+	if len(args) == 0 {
+		return "err empty command"
+	}
+	out, err := shimDispatch(h, args[0], args[1:])
 	if err != nil {
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			return "err " + ae.Msg
+		}
 		return "err " + err.Error()
 	}
 	if out == "" {
@@ -122,150 +206,111 @@ func (s *ControlServer) handleLine(line string) string {
 	return "ok " + out
 }
 
-func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
-	h := s.h
+// doString runs one request through the handler and surfaces a non-OK
+// status as the error the shim prints.
+func doString(h *api.Handler, req api.Request) (api.Response, error) {
+	resp := h.Do(req)
+	if code, msg := resp.Status(); code != api.OK {
+		return nil, &api.Error{Code: code, Msg: msg}
+	}
+	return resp, nil
+}
+
+func shimDispatch(h *api.Handler, cmd string, args []string) (string, error) {
+	b := h.Backend()
 	switch cmd {
 	case "ping":
 		return "pong", nil
 	case "identity":
-		id := h.Identity()
-		return hex.EncodeToString(id[:]), nil
+		return api.FormatIdentity(b.Info().Identity), nil
 	case "wallet":
-		addr := h.WalletAddress()
-		return addr.String(), nil
+		return b.Info().Wallet.String(), nil
 	case "peers":
-		peers := h.Peers()
+		resp, err := doString(h, &api.PeersReq{})
+		if err != nil {
+			return "", err
+		}
+		peers := resp.(*api.PeersResp).Peers
 		parts := make([]string, 0, len(peers))
-		for name, id := range peers {
-			parts = append(parts, fmt.Sprintf("%s=%s", name, hex.EncodeToString(id[:])))
+		for _, p := range peers {
+			parts = append(parts, fmt.Sprintf("%s=%s", p.Name, api.FormatIdentity(p.Identity)))
 		}
 		return strings.Join(parts, " "), nil
 	case "dial":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: dial <addr>")
 		}
-		return "", h.DialPeer(args[0])
+		_, err := doString(h, &api.DialReq{Addr: args[0]})
+		return "", err
 	case "attest":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: attest <name>")
 		}
-		return "", h.Attest(args[0], controlTimeout)
+		_, err := doString(h, &api.AttestReq{Peer: args[0]})
+		return "", err
 	case "open":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: open <name>")
 		}
-		chID, err := h.OpenChannel(args[0], controlTimeout)
+		resp, err := doString(h, &api.OpenChannelReq{Peer: args[0]})
 		if err != nil {
 			return "", err
 		}
-		return string(chID), nil
+		return string(resp.(*api.OpenChannelResp).Channel), nil
 	case "fund":
 		if len(args) != 2 {
 			return "", fmt.Errorf("usage: fund <channel> <amount>")
 		}
-		amount, err := parseAmount(args[1])
+		amount, err := api.ParseAmount(args[1])
 		if err != nil {
 			return "", err
 		}
-		point, err := h.FundChannel(wire.ChannelID(args[0]), amount, controlTimeout)
+		resp, err := doString(h, &api.DepositReq{Channel: wire.ChannelID(args[0]), Amount: amount})
 		if err != nil {
 			return "", err
 		}
-		return point.String(), nil
+		return resp.(*api.DepositResp).Point.String(), nil
 	case "pay":
-		if len(args) < 2 || len(args) > 4 {
-			return "", fmt.Errorf("usage: pay <channel> <amount> [count [batch]]")
-		}
-		amount, err := parseAmount(args[1])
-		if err != nil {
-			return "", err
-		}
-		count := 1
-		if len(args) >= 3 {
-			if count, err = strconv.Atoi(args[2]); err != nil || count < 1 {
-				return "", fmt.Errorf("bad count %q", args[2])
-			}
-		}
-		batch := 1
-		if len(args) == 4 {
-			if batch, err = strconv.Atoi(args[3]); err != nil || batch < 1 {
-				return "", fmt.Errorf("bad batch size %q", args[3])
-			}
-		}
-		// Payments pipeline: all issue up front, one wait for the acks
-		// (signalled, not polled). With batch > 1 they pack into
-		// PayBatch frames so framing and tokens amortise.
-		target := h.AckedTotal() + uint64(count)
-		chID := wire.ChannelID(args[0])
-		if batch <= 1 {
-			for i := 0; i < count; i++ {
-				if err := h.Pay(chID, amount); err != nil {
-					return "", err
-				}
-			}
-		} else {
-			amounts := make([]chain.Amount, 0, batch)
-			for sent := 0; sent < count; {
-				n := min(batch, count-sent)
-				amounts = amounts[:0]
-				for i := 0; i < n; i++ {
-					amounts = append(amounts, amount)
-				}
-				if err := h.PayBatch(chID, amounts); err != nil {
-					return "", err
-				}
-				sent += n
-			}
-		}
-		if err := h.AwaitAcked(target, controlTimeout); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("%d acked", count), nil
+		return shimPay(h, args)
 	case "paymh":
 		if len(args) < 3 {
 			return "", fmt.Errorf("usage: paymh <amount> <hop> <hop>...")
 		}
-		amount, err := parseAmount(args[0])
+		amount, err := api.ParseAmount(args[0])
 		if err != nil {
 			return "", err
 		}
-		path := make([]cryptoutil.PublicKey, 0, len(args))
-		path = append(path, h.Identity())
-		for _, hop := range args[1:] {
-			id, err := h.ResolveIdentity(hop)
-			if err != nil {
-				return "", err
-			}
-			path = append(path, id)
-		}
-		return "", h.PayMultihop(path, amount, controlTimeout)
+		_, err = doString(h, &api.MultihopReq{Amount: amount, Hops: args[1:]})
+		return "", err
 	case "committee":
 		if len(args) < 2 {
 			return "", fmt.Errorf("usage: committee <peer>... <m>")
 		}
-		m, err := strconv.Atoi(args[len(args)-1])
-		if err != nil || m < 1 {
+		m, err := api.ParseCount(args[len(args)-1])
+		if err != nil {
 			return "", fmt.Errorf("bad threshold %q", args[len(args)-1])
 		}
-		if err := h.FormCommittee(args[:len(args)-1], m, controlTimeout); err != nil {
+		resp, err := doString(h, &api.CommitteeReq{Members: args[:len(args)-1], M: m})
+		if err != nil {
 			return "", err
 		}
-		st, _ := h.CommitteeStats()
-		return fmt.Sprintf("chain %s ready", st.Chain), nil
+		return fmt.Sprintf("chain %s ready", resp.(*api.CommitteeResp).Chain), nil
 	case "settle":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: settle <channel>")
 		}
-		return "", h.Settle(wire.ChannelID(args[0]))
+		_, err := doString(h, &api.SettleReq{Channel: wire.ChannelID(args[0])})
+		return "", err
 	case "balances":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: balances <channel>")
 		}
-		mine, remote, err := h.ChannelBalances(wire.ChannelID(args[0]))
+		resp, err := doString(h, &api.BalancesReq{Channel: wire.ChannelID(args[0])})
 		if err != nil {
 			return "", err
 		}
-		return fmt.Sprintf("%d %d", mine, remote), nil
+		br := resp.(*api.BalancesResp)
+		return fmt.Sprintf("%d %d", br.Mine, br.Remote), nil
 	case "mine":
 		if len(args) > 1 {
 			return "", fmt.Errorf("usage: mine [n]")
@@ -273,72 +318,132 @@ func (s *ControlServer) dispatch(cmd string, args []string) (string, error) {
 		n := 1
 		if len(args) == 1 {
 			var err error
-			if n, err = strconv.Atoi(args[0]); err != nil || n < 1 {
+			if n, err = api.ParseCount(args[0]); err != nil {
 				return "", fmt.Errorf("bad block count %q", args[0])
 			}
 		}
-		height, err := h.chain.MineBlocks(n)
+		resp, err := doString(h, &api.MineReq{Blocks: n})
 		if err != nil {
 			return "", err
 		}
-		return fmt.Sprintf("height %d", height), nil
+		return fmt.Sprintf("height %d", resp.(*api.MineResp).Height), nil
 	case "balance":
-		bal, err := h.chain.Balance(h.WalletAddress())
+		resp, err := doString(h, &api.BalanceReq{})
 		if err != nil {
 			return "", err
 		}
-		return strconv.FormatInt(int64(bal), 10), nil
+		return fmt.Sprintf("%d", resp.(*api.BalanceResp).Amount), nil
 	case "stats":
-		if len(args) == 1 && args[0] == "committee" {
-			st, ok := h.CommitteeStats()
-			if !ok {
-				return "", fmt.Errorf("no committee formed or mirrored")
-			}
-			return formatCommitteeStats(st), nil
-		}
-		if len(args) == 1 && args[0] == "channels" {
-			per := h.ChannelStats()
-			ids := make([]string, 0, len(per))
-			for id := range per {
-				ids = append(ids, string(id))
-			}
-			sort.Strings(ids)
-			parts := make([]string, 0, len(ids))
-			for _, id := range ids {
-				cs := per[wire.ChannelID(id)]
-				parts = append(parts, fmt.Sprintf("%s sent=%d acked=%d nacked=%d received=%d inflight=%d queue=%d",
-					id, cs.Sent, cs.Acked, cs.Nacked, cs.Received, cs.InFlight, cs.QueueDepth))
-			}
-			return strings.Join(parts, "; "), nil
-		}
-		if len(args) != 0 {
-			return "", fmt.Errorf("usage: stats [channels|committee]")
-		}
-		st := h.Stats()
-		return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d",
-			st.PaymentsSent, st.PaymentsAcked, st.PaymentsNacked, st.PaymentsReceived,
-			st.MultihopsOK, st.MultihopsFailed, st.FramesIn, st.FramesOut, st.Drops, st.Reconnects), nil
+		return shimStats(h, args)
 	default:
 		return "", fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func parseAmount(s string) (chain.Amount, error) {
-	v, err := strconv.ParseInt(s, 10, 64)
-	if err != nil || v <= 0 {
-		return 0, fmt.Errorf("bad amount %q", s)
+// shimPay reproduces the legacy pay semantics on the typed layer:
+// issue everything up front (optionally packed into PayBatch frames),
+// one wait for the acks. The issue/await split goes through the same
+// IssuePay/AwaitPay path the pipelined typed server uses.
+func shimPay(h *api.Handler, args []string) (string, error) {
+	if len(args) < 2 || len(args) > 4 {
+		return "", fmt.Errorf("usage: pay <channel> <amount> [count [batch]]")
 	}
-	return chain.Amount(v), nil
+	amount, err := api.ParseAmount(args[1])
+	if err != nil {
+		return "", err
+	}
+	count := 1
+	if len(args) >= 3 {
+		if count, err = api.ParseCount(args[2]); err != nil || count > api.MaxPayCount {
+			return "", fmt.Errorf("bad count %q", args[2])
+		}
+	}
+	batch := 1
+	if len(args) == 4 {
+		if batch, err = api.ParseCount(args[3]); err != nil {
+			return "", fmt.Errorf("bad batch size %q", args[3])
+		}
+	}
+	chID := wire.ChannelID(args[0])
+	var cur api.PayCursor
+	if batch <= 1 {
+		if cur, _, err = h.IssuePay(&api.PayReq{Channel: chID, Amount: amount, Count: uint32(count)}); err != nil {
+			return "", err
+		}
+	} else {
+		// Pack into PayBatch frames; cursors compose (acks arrive in
+		// issue order per channel), so one wait on the last chunk's
+		// target covers every chunk.
+		amounts := make([]chain.Amount, 0, batch)
+		issued := 0
+		for issued < count {
+			n := min(batch, count-issued)
+			amounts = amounts[:0]
+			for i := 0; i < n; i++ {
+				amounts = append(amounts, amount)
+			}
+			c, _, err := h.IssuePay(&api.PayBatchReq{Channel: chID, Amounts: amounts})
+			if err != nil {
+				return "", err
+			}
+			if issued == 0 {
+				cur = c
+			}
+			cur.Target = c.Target
+			issued += n
+		}
+	}
+	if err := h.AwaitPay(cur); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d acked", count), nil
 }
 
-// ControlClient is a minimal client for the control API, used by tests
-// and scripts.
+// shimStats renders the structured StatsResp in the legacy text
+// layouts.
+func shimStats(h *api.Handler, args []string) (string, error) {
+	resp, err := doString(h, &api.StatsReq{})
+	if err != nil {
+		return "", err
+	}
+	st := resp.(*api.StatsResp)
+	if len(args) == 1 && args[0] == "committee" {
+		if !st.HasCommittee {
+			return "", fmt.Errorf("no committee formed or mirrored")
+		}
+		c := st.Committee
+		if c.Chain == "" {
+			return fmt.Sprintf("mirrors=%d", c.Mirrors), nil
+		}
+		return fmt.Sprintf("chain=%s pipelined=%t next=%d flushed=%d acked=%d queued=%d window=%d batches_out=%d ops_out=%d mirrors=%d",
+			c.Chain, c.Pipelined, c.NextSeq, c.FlushSeq, c.AckSeq, c.Queued, c.Window,
+			c.BatchesOut, c.OpsOut, c.Mirrors), nil
+	}
+	if len(args) == 1 && args[0] == "channels" {
+		parts := make([]string, 0, len(st.Channels))
+		for _, cs := range st.Channels {
+			parts = append(parts, fmt.Sprintf("%s sent=%d acked=%d nacked=%d received=%d inflight=%d queue=%d",
+				cs.Channel, cs.Sent, cs.Acked, cs.Nacked, cs.Received, cs.InFlight, cs.QueueDepth))
+		}
+		return strings.Join(parts, "; "), nil
+	}
+	if len(args) != 0 {
+		return "", fmt.Errorf("usage: stats [channels|committee]")
+	}
+	hs := st.Host
+	return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d",
+		hs.PaymentsSent, hs.PaymentsAcked, hs.PaymentsNacked, hs.PaymentsReceived,
+		hs.MultihopsOK, hs.MultihopsFailed, hs.FramesIn, hs.FramesOut, hs.Drops, hs.Reconnects), nil
+}
+
+// ControlClient is a minimal client for the legacy line protocol, used
+// by tests and scripts (the typed SDK is internal/api/client).
 type ControlClient struct {
 	conn net.Conn
 	r    *bufio.Reader
 }
 
-// DialControl connects to a node's control port.
+// DialControl connects to a node's control port in line mode.
 func DialControl(addr string) (*ControlClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

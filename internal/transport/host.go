@@ -28,7 +28,6 @@ package transport
 
 import (
 	"bufio"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -36,11 +35,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"teechain/internal/api"
 	"teechain/internal/chain"
 	"teechain/internal/core"
 	"teechain/internal/cryptoutil"
 	"teechain/internal/tee"
 	"teechain/internal/wire"
+)
+
+// Sentinel errors, exported so the control plane can classify
+// failures into structured codes (internal/api).
+var (
+	// ErrTimeout wraps every blocking-operation timeout.
+	ErrTimeout = errors.New("transport: timed out")
+	// ErrClosed reports an operation on a closing host.
+	ErrClosed = errors.New("transport: host closed")
+	// ErrUnknownChannel reports an operation on a channel this host
+	// does not know.
+	ErrUnknownChannel = errors.New("transport: unknown channel")
+	// ErrUnknownPeer reports a name that resolves to no attested peer.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
 )
 
 // Config configures a Host.
@@ -179,6 +193,18 @@ type Host struct {
 	ackCond    *sync.Cond
 	ackWaiters atomic.Int32
 
+	// closing mirrors closed for lock-free fast-fail in blocking waits
+	// (set before Close wakes the ack waiters).
+	closing atomic.Bool
+
+	// observers fan enclave events out to control-plane subscribers
+	// (Observe). Copy-on-write: the hot path pays one atomic load when
+	// nobody subscribed. eventFn is the prebuilt OnEvent+observer fan,
+	// so lane dispatch does not allocate a closure per result.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]*eventObserver]
+	eventFn   func(core.Event)
+
 	// Replication flusher plumbing (see repl.go). replRunning is
 	// guarded by mu; the counters are flusher-private writes, atomic so
 	// CommitteeStats reads them lock-free.
@@ -259,7 +285,65 @@ func NewHost(cfg Config) (*Host, error) {
 		replBatch:   &wire.ReplBatch{},
 	}
 	h.ackCond = sync.NewCond(&h.ackMu)
+	h.eventFn = func(ev core.Event) {
+		if h.cfg.OnEvent != nil {
+			h.cfg.OnEvent(ev)
+		}
+		h.fanObservers(ev)
+	}
 	return h, nil
+}
+
+// eventObserver is one registered control-plane event tap.
+type eventObserver struct {
+	fn func(core.Event)
+}
+
+// Observe registers fn to receive every enclave event this host
+// handles (plus transport-level events like EvReplCursor). Like
+// Config.OnEvent, fn runs with the wide lock held for cold-path events
+// and a lane lock held for payment events: it must not block or call
+// back into the host. The returned cancel unregisters fn.
+func (h *Host) Observe(fn func(core.Event)) (cancel func()) {
+	ob := &eventObserver{fn: fn}
+	h.obsMu.Lock()
+	var next []*eventObserver
+	if cur := h.observers.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, ob)
+	h.observers.Store(&next)
+	h.obsMu.Unlock()
+	return func() {
+		h.obsMu.Lock()
+		defer h.obsMu.Unlock()
+		cur := h.observers.Load()
+		if cur == nil {
+			return
+		}
+		next := make([]*eventObserver, 0, len(*cur))
+		for _, o := range *cur {
+			if o != ob {
+				next = append(next, o)
+			}
+		}
+		if len(next) == 0 {
+			h.observers.Store(nil)
+		} else {
+			h.observers.Store(&next)
+		}
+	}
+}
+
+// fanObservers delivers one event to every registered observer.
+func (h *Host) fanObservers(ev core.Event) {
+	obs := h.observers.Load()
+	if obs == nil {
+		return
+	}
+	for _, o := range *obs {
+		o.fn(ev)
+	}
 }
 
 // Name returns the host's node name.
@@ -427,6 +511,7 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	h.closing.Store(true)
 	close(h.replQuit)
 	ln := h.ln
 	h.ln = nil
@@ -446,6 +531,9 @@ func (h *Host) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Fail blocked waiters fast: control-plane handlers may be sleeping
+	// in AwaitAcked/AwaitChannelSettled with long timeouts.
+	h.wakeAckWaiters()
 	h.wg.Wait()
 }
 
@@ -601,6 +689,7 @@ func (h *Host) dispatchLane(p *peer, res *core.Result) {
 			ci.nacked.Add(uint64(out.Count))
 		}
 		h.nackedTotal.Add(uint64(out.Count))
+		h.wakeAckWaiters() // per-channel settled waiters count nacks too
 	case core.PayReceived:
 		if ci := h.channels[out.Channel]; ci != nil {
 			ci.received.Add(uint64(out.Count))
@@ -612,8 +701,8 @@ func (h *Host) dispatchLane(p *peer, res *core.Result) {
 		// one means the eligibility gate and the handlers disagree.
 		h.logf("%s: unexpected boxed events on lane path", h.cfg.Name)
 	}
-	if h.cfg.OnEvent != nil {
-		res.ForEachEvent(h.cfg.OnEvent)
+	if h.cfg.OnEvent != nil || h.observers.Load() != nil {
+		res.ForEachEvent(h.eventFn)
 	}
 	h.enclave.RecycleResult(res)
 }
@@ -656,6 +745,12 @@ func (h *Host) sendLane(p *peer, to cryptoutil.PublicKey, msg wire.Message) bool
 // noteAcked advances the host ack total and wakes AwaitAcked sleepers.
 func (h *Host) noteAcked(n uint64) {
 	h.ackedTotal.Add(n)
+	h.wakeAckWaiters()
+}
+
+// wakeAckWaiters broadcasts to the ack condition only when somebody is
+// sleeping on it, so the uncontended hot path pays one atomic load.
+func (h *Host) wakeAckWaiters() {
 	if h.ackWaiters.Load() > 0 {
 		h.ackMu.Lock()
 		h.ackCond.Broadcast()
@@ -688,10 +783,16 @@ func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 	}
 	h.dispatchLocked(res)
 	// A replication acknowledgement freed in-flight window space; wake
-	// the flusher so queued ops ship without waiting for its tick.
+	// the flusher so queued ops ship without waiting for its tick, and
+	// report the advanced cursor to control-plane subscribers.
 	switch f.Msg.(type) {
 	case *wire.ReplBatchAck, *wire.ReplAck:
 		h.kickRepl()
+		if h.observers.Load() != nil {
+			if st, ok := h.enclave.ReplStats(); ok {
+				h.fanObservers(EvReplCursor{Chain: st.Chain, Acked: st.AckSeq})
+			}
+		}
 	}
 }
 
@@ -861,6 +962,7 @@ func (h *Host) handleEventLocked(ev core.Event) {
 			ci.nacked.Add(uint64(e.Count))
 		}
 		h.nackedTotal.Add(uint64(e.Count))
+		h.wakeAckWaiters()
 	case core.EvPaymentReceived:
 		if ci := h.channels[e.Channel]; ci != nil {
 			ci.received.Add(uint64(e.Count))
@@ -891,9 +993,7 @@ func (h *Host) handleEventLocked(ev core.Event) {
 	case core.EvFrozen:
 		h.logf("%s: chain %s frozen: %s", h.cfg.Name, e.Chain, e.Reason)
 	}
-	if h.cfg.OnEvent != nil {
-		h.cfg.OnEvent(ev)
-	}
+	h.eventFn(ev)
 }
 
 func (h *Host) channelLocked(id wire.ChannelID) *channelInfo {
@@ -1005,12 +1105,10 @@ func (h *Host) ResolveIdentity(s string) (cryptoutil.PublicKey, error) {
 	if id, ok := h.PeerIdentity(s); ok {
 		return id, nil
 	}
-	var id cryptoutil.PublicKey
-	raw, err := hex.DecodeString(s)
-	if err != nil || len(raw) != len(id) {
-		return id, fmt.Errorf("transport: %q is neither a known peer nor a %d-byte hex identity", s, len(id))
+	id, err := api.ParseIdentity(s)
+	if err != nil {
+		return id, fmt.Errorf("%w: %q is neither a known peer nor a %d-byte hex identity", ErrUnknownPeer, s, len(id))
 	}
-	copy(id[:], raw)
 	return id, nil
 }
 
@@ -1022,6 +1120,9 @@ func (h *Host) ResolveIdentity(s string) (cryptoutil.PublicKey, error) {
 func (h *Host) await(timeout time.Duration, what string, pred func() bool) error {
 	deadline := time.Now().Add(timeout)
 	for {
+		if h.closing.Load() {
+			return fmt.Errorf("%w while waiting for %s", ErrClosed, what)
+		}
 		h.mu.Lock()
 		ok := pred()
 		h.mu.Unlock()
@@ -1029,7 +1130,7 @@ func (h *Host) await(timeout time.Duration, what string, pred func() bool) error
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("transport: %s: timed out waiting for %s", h.cfg.Name, what)
+			return fmt.Errorf("%w: %s: waiting for %s", ErrTimeout, h.cfg.Name, what)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -1093,7 +1194,7 @@ func (h *Host) FundChannel(chID wire.ChannelID, value chain.Amount, timeout time
 	ci := h.channels[chID]
 	if ci == nil {
 		h.mu.Unlock()
-		return chain.OutPoint{}, fmt.Errorf("transport: unknown channel %s", chID)
+		return chain.OutPoint{}, fmt.Errorf("%w %s", ErrUnknownChannel, chID)
 	}
 	peerID := ci.peer
 	script, err := h.enclave.NewDepositScript()
@@ -1140,11 +1241,30 @@ func (h *Host) FundChannel(chID wire.ChannelID, value chain.Amount, timeout time
 	return point, nil
 }
 
+// PayMark is the tracked-payment cursor of one issue call: Target is
+// the channel's cumulative issued-payment count immediately after the
+// call's payments, and NackedBefore snapshots the channel's nack
+// counter just before them. Acks and nacks arrive in issue order per
+// channel, so the payments have all settled exactly when the channel's
+// acked+nacked count reaches Target (AwaitChannelSettled); nack-counter
+// growth past NackedBefore means payments in the span were rejected.
+type PayMark struct {
+	Target       uint64
+	NackedBefore uint64
+}
+
 // Pay sends one payment over a channel. Acknowledgement is
 // asynchronous: use AwaitAcked (acks arrive in issue order per
 // channel). The fast path holds only the wide read lock plus the
 // channel peer's lane, so payments on different peers run in parallel.
 func (h *Host) Pay(chID wire.ChannelID, amount chain.Amount) error {
+	_, err := h.pay(chID, amount, nil)
+	return err
+}
+
+// PayTracked is Pay returning the channel's settle cursor, the
+// control-plane path to exact per-request completion.
+func (h *Host) PayTracked(chID wire.ChannelID, amount chain.Amount) (PayMark, error) {
 	return h.pay(chID, amount, nil)
 }
 
@@ -1153,8 +1273,15 @@ func (h *Host) Pay(chID wire.ChannelID, amount chain.Amount) error {
 // atomically on both sides and is acknowledged by one PayBatchAck,
 // counted as len(amounts) payments by AwaitAcked.
 func (h *Host) PayBatch(chID wire.ChannelID, amounts []chain.Amount) error {
+	_, err := h.PayBatchTracked(chID, amounts)
+	return err
+}
+
+// PayBatchTracked is PayBatch returning the channel's settle cursor.
+// The amounts slice is not retained.
+func (h *Host) PayBatchTracked(chID wire.ChannelID, amounts []chain.Amount) (PayMark, error) {
 	if len(amounts) == 0 {
-		return errors.New("transport: empty payment batch")
+		return PayMark{}, errors.New("transport: empty payment batch")
 	}
 	return h.pay(chID, 0, amounts)
 }
@@ -1171,7 +1298,9 @@ func (h *Host) enclavePay(chID wire.ChannelID, amount chain.Amount, amounts []ch
 
 // pay is the shared payment entry: lane fast path when the channel's
 // peer is known and lanes are eligible, wide-lock fallback otherwise.
-func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount) error {
+// The returned PayMark is read under the same lock that orders the
+// issue, so it is exact even with concurrent issuers on the channel.
+func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount) (PayMark, error) {
 	count := uint64(1)
 	if amounts != nil {
 		count = uint64(len(amounts))
@@ -1179,12 +1308,12 @@ func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amo
 	h.mu.RLock()
 	if h.closed {
 		h.mu.RUnlock()
-		return errors.New("transport: host closed")
+		return PayMark{}, ErrClosed
 	}
 	ci := h.channels[chID]
 	if ci == nil {
 		h.mu.RUnlock()
-		return fmt.Errorf("transport: unknown channel %s", chID)
+		return PayMark{}, fmt.Errorf("%w %s", ErrUnknownChannel, chID)
 	}
 	p := h.peersByID[ci.peer]
 	if p == nil || !h.enclave.LaneEligible() {
@@ -1192,45 +1321,96 @@ func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amo
 		return h.payWide(chID, amount, amounts, count)
 	}
 	p.lane.Lock()
+	nackedBefore := ci.nacked.Load()
 	res, err := h.enclavePay(chID, amount, amounts)
 	if err != nil {
 		p.lane.Unlock()
 		h.mu.RUnlock()
-		return err
+		return PayMark{}, err
 	}
-	ci.sent.Add(count)
+	mark := PayMark{Target: ci.sent.Add(count), NackedBefore: nackedBefore}
 	h.sentTotal.Add(count)
 	h.dispatchLane(p, res)
 	p.lane.Unlock()
 	h.mu.RUnlock()
-	return nil
+	return mark, nil
 }
 
 // payWide is pay under the wide lock, used while lanes are ineligible
 // (replication, stable storage, outsourcing active).
-func (h *Host) payWide(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount, count uint64) error {
+func (h *Host) payWide(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount, count uint64) (PayMark, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return errors.New("transport: host closed")
+		return PayMark{}, ErrClosed
 	}
+	ci := h.channels[chID]
+	if ci == nil {
+		return PayMark{}, fmt.Errorf("%w %s", ErrUnknownChannel, chID)
+	}
+	nackedBefore := ci.nacked.Load()
 	res, err := h.enclavePay(chID, amount, amounts)
 	if err != nil {
-		return err
+		return PayMark{}, err
 	}
-	if ci := h.channels[chID]; ci != nil {
-		ci.sent.Add(count)
-	}
+	mark := PayMark{Target: ci.sent.Add(count), NackedBefore: nackedBefore}
 	h.sentTotal.Add(count)
 	h.dispatchLocked(res)
-	return nil
+	return mark, nil
 }
 
 // AwaitAcked blocks until at least n payments have been acknowledged
 // since the host started. It sleeps on a condition variable that the
 // ack path signals — no polling.
 func (h *Host) AwaitAcked(n uint64, timeout time.Duration) error {
-	if h.ackedTotal.Load() >= n {
+	return h.awaitAckCond(timeout, func() bool { return h.ackedTotal.Load() >= n },
+		func() string {
+			return fmt.Sprintf("%d payment acks (have %d)", n, h.ackedTotal.Load())
+		})
+}
+
+// AwaitChannelSettled blocks until a channel's settled-payment count
+// (acked + nacked) reaches target — a PayMark.Target from a tracked
+// issue call — and returns the channel's nack counter observed when
+// the target was first seen reached. Acks and nacks arrive in issue
+// order per channel, so reaching the target means every payment the
+// mark covers has been acknowledged or rejected.
+//
+// The snapshot is taken inside the wait predicate (nacks loaded before
+// acks), so a nack belonging to a LATER span is attributed to this one
+// only when the woken waiter is delayed past that later nack's arrival
+// — the comparison against PayMark.NackedBefore is deliberately
+// conservative, never optimistic.
+func (h *Host) AwaitChannelSettled(chID wire.ChannelID, target uint64, timeout time.Duration) (uint64, error) {
+	h.mu.RLock()
+	ci := h.channels[chID]
+	h.mu.RUnlock()
+	if ci == nil {
+		return 0, fmt.Errorf("%w %s", ErrUnknownChannel, chID)
+	}
+	var nackedAt uint64
+	err := h.awaitAckCond(timeout, func() bool {
+		n := ci.nacked.Load()
+		if ci.acked.Load()+n < target {
+			return false
+		}
+		nackedAt = n
+		return true
+	}, func() string {
+		return fmt.Sprintf("channel %s settle cursor %d (at %d)",
+			chID, target, ci.acked.Load()+ci.nacked.Load())
+	})
+	if err != nil {
+		return ci.nacked.Load(), err
+	}
+	return nackedAt, nil
+}
+
+// awaitAckCond sleeps on the ack condition variable until done holds,
+// the timeout expires, or the host closes. The ack and nack paths
+// signal it — no polling.
+func (h *Host) awaitAckCond(timeout time.Duration, done func() bool, what func() string) error {
+	if done() {
 		return nil
 	}
 	h.ackWaiters.Add(1)
@@ -1246,10 +1426,12 @@ func (h *Host) AwaitAcked(n uint64, timeout time.Duration) error {
 	defer timer.Stop()
 	h.ackMu.Lock()
 	defer h.ackMu.Unlock()
-	for h.ackedTotal.Load() < n {
+	for !done() {
+		if h.closing.Load() {
+			return fmt.Errorf("%w while waiting for %s", ErrClosed, what())
+		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("transport: %s: timed out waiting for %d payment acks (have %d)",
-				h.cfg.Name, n, h.ackedTotal.Load())
+			return fmt.Errorf("%w: %s: waiting for %s", ErrTimeout, h.cfg.Name, what())
 		}
 		h.ackCond.Wait()
 	}
@@ -1315,7 +1497,7 @@ func (h *Host) ChannelBalances(chID wire.ChannelID) (chain.Amount, chain.Amount,
 	defer h.mu.Unlock()
 	c, ok := h.enclave.State().Channels[chID]
 	if !ok {
-		return 0, 0, fmt.Errorf("transport: unknown channel %s", chID)
+		return 0, 0, fmt.Errorf("%w %s", ErrUnknownChannel, chID)
 	}
 	return c.MyBal, c.RemoteBal, nil
 }

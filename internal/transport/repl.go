@@ -21,7 +21,6 @@ package transport
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"teechain/internal/core"
@@ -181,14 +180,4 @@ func (h *Host) CommitteeStats() (CommitteeStats, bool) {
 	st.BatchesOut = h.replBatchesOut.Load()
 	st.OpsOut = h.replOpsOut.Load()
 	return st, owner || mirrors
-}
-
-// formatCommitteeStats renders CommitteeStats for the control API.
-func formatCommitteeStats(st CommitteeStats) string {
-	if st.Chain == "" {
-		return fmt.Sprintf("mirrors=%d", st.Mirrors)
-	}
-	return fmt.Sprintf("chain=%s pipelined=%t next=%d flushed=%d acked=%d queued=%d window=%d batches_out=%d ops_out=%d mirrors=%d",
-		st.Chain, st.Pipelined, st.NextSeq, st.FlushSeq, st.AckSeq, st.Queued, st.Window,
-		st.BatchesOut, st.OpsOut, st.Mirrors)
 }

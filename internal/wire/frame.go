@@ -127,6 +127,31 @@ func init() {
 	}
 }
 
+// Register appends a message type to the wire registry at package-init
+// time, assigning it the next code. The control-plane protocol
+// (internal/api) registers its messages this way so they travel in the
+// same self-contained frames as the enclave protocol without the wire
+// package depending on the api package. Codes stay stable as long as
+// registration order is deterministic: exactly one init function, in
+// one package, registering in fixed order. Register panics on duplicate
+// types and on code-space exhaustion; both are programmer errors caught
+// by the first test that touches either package.
+func Register(m Message) {
+	t := reflect.TypeOf(m).Elem()
+	if _, dup := codeByType[t]; dup {
+		panic(fmt.Sprintf("wire: duplicate registration of %T", m))
+	}
+	if len(registry) >= 255 {
+		panic("wire: message code space exhausted")
+	}
+	registry = append(registry, m)
+	code := byte(len(registry))
+	codeByType[t] = code
+	typeByCode = append(typeByCode, t)
+	_, isBinary := m.(BinaryMessage)
+	binaryCode = append(binaryCode, isBinary)
+}
+
 // MsgCode returns the registry code for a message type.
 func MsgCode(m Message) (byte, error) {
 	c, ok := codeByType[reflect.TypeOf(m).Elem()]
@@ -250,7 +275,9 @@ func decodeFrameInto(f *Frame, body, tokenBuf []byte, reuse []Message) error {
 			return fmt.Errorf("%w: code %d is not binary-encodable", ErrFrameEncoding, code)
 		}
 		var msg Message
-		if reuse != nil {
+		// The bounds check guards a FrameReader built before a later
+		// Register call (cannot happen after init, but harmless to keep).
+		if reuse != nil && int(code) < len(reuse) {
 			if msg = reuse[code]; msg == nil {
 				msg, _ = NewByCode(code)
 				reuse[code] = msg
@@ -504,6 +531,25 @@ func readString(src []byte, prev string) (string, []byte, error) {
 	s, rest, err := readChannelID(src, ChannelID(prev))
 	return string(s), rest, err
 }
+
+// AppendLPChannelID and ReadLPChannelID expose the length-prefixed
+// channel-id codec (with its previous-value reuse trick) to other
+// packages' BinaryMessage implementations — the control-plane protocol
+// (internal/api) hand-rolls its hot messages with them.
+func AppendLPChannelID(dst []byte, id ChannelID) ([]byte, error) { return appendChannelID(dst, id) }
+
+// ReadLPChannelID parses a length-prefixed channel id; see
+// readChannelID for the prev-reuse contract.
+func ReadLPChannelID(src []byte, prev ChannelID) (ChannelID, []byte, error) {
+	return readChannelID(src, prev)
+}
+
+// AppendLPString and ReadLPString are the same codec for plain strings.
+func AppendLPString(dst []byte, s string) ([]byte, error) { return appendString(dst, s) }
+
+// ReadLPString parses a length-prefixed string, reusing prev when the
+// bytes match.
+func ReadLPString(src []byte, prev string) (string, []byte, error) { return readString(src, prev) }
 
 // AppendPayload implements BinaryMessage.
 func (m *ReplBatch) AppendPayload(dst []byte) ([]byte, error) {
