@@ -476,6 +476,10 @@ type HostStats struct {
 	FramesOut        uint64
 	Drops            uint64
 	Reconnects       uint64
+	// FramesRejected counts inbound frames the node's enclave refused
+	// (failed token authentication or binding, replayed counters,
+	// sessionless peers).
+	FramesRejected uint64
 }
 
 // ChannelStatsEntry is one channel's payment counters.

@@ -1,0 +1,371 @@
+// Package attack is the byzantine adversary toolkit behind
+// cmd/teechain-attack and the hostile-network tests: a frame-aware
+// man-in-the-middle proxy that can withhold, corrupt, and replay
+// individual wire frames, plus an injector that speaks just enough of
+// the protocol to push forged frames at a listening host.
+//
+// Everything here attacks from OUTSIDE the TCB: the adversary owns the
+// network (per the paper's threat model, §3) but no enclave key. The
+// transport's defense is the session-bound token — AES-GCM over the
+// frame's type code with the payload as additional authenticated data
+// — so every mutation this package can produce must surface at the
+// victim as a rejected frame, never as applied state.
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// Direction tags which way a frame is flowing through the proxy.
+type Direction int
+
+const (
+	// ClientToServer is the dialing victim → upstream peer direction.
+	ClientToServer Direction = iota
+	// ServerToClient is the upstream peer → dialing victim direction.
+	ServerToClient
+)
+
+func (d Direction) String() string {
+	if d == ClientToServer {
+		return "c→s"
+	}
+	return "s→c"
+}
+
+// Mutator inspects one framed message (length prefix included) and
+// returns the frames to emit in its place: {frame} passes it through,
+// nil withholds it, and extra entries inject. Mutators run on pump
+// goroutines for every proxied connection, so stateful ones must be
+// concurrency-safe (the helpers below are).
+type Mutator func(dir Direction, frame []byte) [][]byte
+
+// FrameCode returns the wire registry code of a framed message, or 0
+// if the bytes are too short to carry one.
+func FrameCode(frame []byte) byte {
+	if len(frame) < 6 {
+		return 0
+	}
+	return frame[5]
+}
+
+// MustCode resolves a message type's registry code, panicking on
+// unregistered types (programmer error in attack scenarios).
+func MustCode(m wire.Message) byte {
+	c, err := wire.MsgCode(m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Passthrough forwards every frame untouched.
+func Passthrough() Mutator {
+	return func(_ Direction, frame []byte) [][]byte { return [][]byte{frame} }
+}
+
+// CorruptOnce flips the final byte — the tail of the payload, which is
+// the token's authenticated data — of the first frame matching code in
+// direction dir. hits counts how many frames were corrupted.
+func CorruptOnce(dir Direction, code byte, hits *atomic.Uint64) Mutator {
+	var done atomic.Bool
+	return func(d Direction, frame []byte) [][]byte {
+		if d != dir || FrameCode(frame) != code || len(frame) == 0 || !done.CompareAndSwap(false, true) {
+			return [][]byte{frame}
+		}
+		mut := make([]byte, len(frame))
+		copy(mut, frame)
+		mut[len(mut)-1] ^= 0xff
+		if hits != nil {
+			hits.Add(1)
+		}
+		return [][]byte{mut}
+	}
+}
+
+// Withhold drops the first n frames matching code in direction dir —
+// the ack-withholding adversary. n<0 withholds forever.
+func Withhold(dir Direction, code byte, n int, hits *atomic.Uint64) Mutator {
+	var dropped atomic.Int64
+	return func(d Direction, frame []byte) [][]byte {
+		if d != dir || FrameCode(frame) != code {
+			return [][]byte{frame}
+		}
+		if n >= 0 && dropped.Load() >= int64(n) {
+			return [][]byte{frame}
+		}
+		dropped.Add(1)
+		if hits != nil {
+			hits.Add(1)
+		}
+		return nil
+	}
+}
+
+// ReplayAfter records the first frame matching code in direction dir
+// and re-emits a copy of it (stale state, stale session counter) after
+// `after` further frames have passed in that direction.
+func ReplayAfter(dir Direction, code byte, after int, hits *atomic.Uint64) Mutator {
+	var mu sync.Mutex
+	var recorded []byte
+	var since int
+	replayed := false
+	return func(d Direction, frame []byte) [][]byte {
+		if d != dir {
+			return [][]byte{frame}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if recorded == nil {
+			if FrameCode(frame) == code {
+				recorded = append([]byte(nil), frame...)
+			}
+			return [][]byte{frame}
+		}
+		if replayed {
+			return [][]byte{frame}
+		}
+		since++
+		if since < after {
+			return [][]byte{frame}
+		}
+		replayed = true
+		if hits != nil {
+			hits.Add(1)
+		}
+		return [][]byte{frame, recorded}
+	}
+}
+
+// Chain applies mutators left to right, feeding each output frame of
+// one stage into the next.
+func Chain(ms ...Mutator) Mutator {
+	return func(dir Direction, frame []byte) [][]byte {
+		frames := [][]byte{frame}
+		for _, m := range ms {
+			var next [][]byte
+			for _, f := range frames {
+				next = append(next, m(dir, f)...)
+			}
+			frames = next
+		}
+		return frames
+	}
+}
+
+// Proxy is a frame-aware TCP man-in-the-middle: the victim dials the
+// proxy's address believing it to be the peer; the proxy relays to the
+// real upstream, running every frame through the mutator.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	mutate   Mutator
+	logf     func(string, ...any)
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+
+	forwarded atomic.Uint64
+	withheld  atomic.Uint64
+	injected  atomic.Uint64
+}
+
+// ProxyStats counts the proxy's frame handling.
+type ProxyStats struct {
+	Forwarded uint64 // frames emitted as-is or mutated 1:1
+	Withheld  uint64 // frames the mutator suppressed
+	Injected  uint64 // extra frames the mutator emitted
+}
+
+// NewProxy starts a MITM proxy on listen (e.g. "127.0.0.1:0")
+// relaying to upstream. mutate may be nil for pure passthrough; logf
+// may be nil.
+func NewProxy(listen, upstream string, mutate Mutator, logf func(string, ...any)) (*Proxy, error) {
+	if mutate == nil {
+		mutate = Passthrough()
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, upstream: upstream, mutate: mutate, logf: logf, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address victims should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the frame counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Forwarded: p.forwarded.Load(),
+		Withheld:  p.withheld.Load(),
+		Injected:  p.injected.Load(),
+	}
+}
+
+// Close stops accepting, kills live proxied connections, and waits
+// for the relay goroutines to finish.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		p.ln.Close()
+		p.connMu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.connMu.Unlock()
+	})
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.connMu.Lock()
+	p.conns[c] = struct{}{}
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer client.Close()
+	p.track(client)
+	defer p.untrack(client)
+	server, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		p.logf("attack: proxy upstream dial: %v", err)
+		return
+	}
+	defer server.Close()
+	p.track(server)
+	defer p.untrack(server)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.relay(ClientToServer, client, server) }()
+	go func() { defer wg.Done(); p.relay(ServerToClient, server, client) }()
+	wg.Wait()
+}
+
+// relay splits src into frames and pushes each through the mutator.
+// A length prefix that cannot be a frame degrades to opaque copying.
+func (p *Proxy) relay(dir Direction, src, dst net.Conn) {
+	defer dst.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(src, hdr[:]); err != nil {
+			return
+		}
+		size := int(binary.BigEndian.Uint32(hdr[:]))
+		if size > wire.MaxFrameSize || size < 4 {
+			if _, err := dst.Write(hdr[:]); err != nil {
+				return
+			}
+			io.Copy(dst, src)
+			return
+		}
+		frame := make([]byte, 4+size)
+		copy(frame, hdr[:])
+		if _, err := io.ReadFull(src, frame[4:]); err != nil {
+			return
+		}
+		out := p.mutate(dir, frame)
+		switch n := len(out); {
+		case n == 0:
+			p.withheld.Add(1)
+			p.logf("attack: %s withheld code=%d %dB", dir, FrameCode(frame), len(frame))
+		case n == 1:
+			p.forwarded.Add(1)
+		default:
+			p.forwarded.Add(1)
+			p.injected.Add(uint64(n - 1))
+			p.logf("attack: %s injected %d extra frame(s)", dir, n-1)
+		}
+		for _, f := range out {
+			if _, err := dst.Write(f); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// --- the injector: forged frames at a bare peer port ---
+
+// ForgeIdentity deterministically derives a key pair the victim has
+// never attested — the adversary's own "enclave".
+func ForgeIdentity(seed string) (*cryptoutil.KeyPair, error) {
+	return cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("attack-forge"), []byte(seed)))
+}
+
+// ForgeFrame builds a frame claiming to come from `from`, carrying an
+// arbitrary (necessarily unauthenticated) token.
+func ForgeFrame(from cryptoutil.PublicKey, token []byte, msg wire.Message) ([]byte, error) {
+	return wire.AppendFrame(nil, from, token, msg)
+}
+
+// InjectReport is what a forged-frame volley produced, as observed by
+// the injector.
+type InjectReport struct {
+	FramesSent int
+	// PeerClosed reports whether the victim hung up during the volley —
+	// either is acceptable; applying forged state is not.
+	PeerClosed bool
+}
+
+// Inject dials a host's peer port, announces itself with a hello for
+// the forged identity, then delivers the frames. It returns once all
+// frames are written (or the victim hangs up).
+func Inject(addr string, identity cryptoutil.PublicKey, name string, frames [][]byte) (InjectReport, error) {
+	var rep InjectReport
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return rep, fmt.Errorf("attack: dialing victim: %w", err)
+	}
+	defer conn.Close()
+	hello, err := wire.AppendFrame(nil, identity, nil, &wire.Hello{Name: name})
+	if err != nil {
+		return rep, err
+	}
+	if _, err := conn.Write(hello); err != nil {
+		rep.PeerClosed = true
+		return rep, nil
+	}
+	for _, f := range frames {
+		if _, err := conn.Write(f); err != nil {
+			rep.PeerClosed = true
+			return rep, nil
+		}
+		rep.FramesSent++
+	}
+	return rep, nil
+}

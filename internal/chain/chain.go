@@ -44,6 +44,20 @@ type utxoEntry struct {
 	height uint64
 }
 
+// spentEntry is one UTXO a block consumed, retained so a reorg can
+// restore it.
+type spentEntry struct {
+	op OutPoint
+	e  utxoEntry
+}
+
+// blockUndo records what connecting one block changed to the UTXO set,
+// enabling disconnection (Reorg).
+type blockUndo struct {
+	spent   []spentEntry
+	created []OutPoint
+}
+
 // Chain is the ledger: an ordered list of blocks, the UTXO set they
 // imply, and a mempool of submitted-but-unconfirmed transactions.
 //
@@ -57,6 +71,7 @@ type utxoEntry struct {
 // its own lock.
 type Chain struct {
 	blocks  []*Block
+	undo    []*blockUndo // parallel to blocks; what each connect changed
 	utxo    map[OutPoint]utxoEntry
 	mempool []*Transaction
 	inPool  map[TxID]bool
@@ -222,6 +237,7 @@ func (c *Chain) Censor(id TxID, untilHeight uint64) {
 func (c *Chain) MineBlock() *Block {
 	height := c.Height() + 1
 	block := &Block{Height: height}
+	u := &blockUndo{}
 	var keep []*Transaction
 	for _, tx := range c.mempool {
 		id := tx.ID()
@@ -244,12 +260,13 @@ func (c *Chain) MineBlock() *Block {
 			delete(c.inPool, id)
 			continue
 		}
-		c.connect(tx, height)
+		c.connect(tx, height, u)
 		block.Txs = append(block.Txs, tx)
 		delete(c.inPool, id)
 	}
 	c.mempool = keep
 	c.blocks = append(c.blocks, block)
+	c.undo = append(c.undo, u)
 	for _, fn := range c.onBlock {
 		fn(block)
 	}
@@ -263,16 +280,76 @@ func (c *Chain) MineBlocks(n int) {
 	}
 }
 
-func (c *Chain) connect(tx *Transaction, height uint64) {
+func (c *Chain) connect(tx *Transaction, height uint64, u *blockUndo) {
 	id := tx.ID()
 	for _, in := range tx.Inputs {
+		if e, ok := c.utxo[in.Prev]; ok {
+			u.spent = append(u.spent, spentEntry{op: in.Prev, e: e})
+		}
 		delete(c.utxo, in.Prev)
 	}
 	for i, o := range tx.Outputs {
-		c.utxo[OutPoint{Tx: id, Index: uint32(i)}] = utxoEntry{out: o, height: height}
+		op := OutPoint{Tx: id, Index: uint32(i)}
+		c.utxo[op] = utxoEntry{out: o, height: height}
+		u.created = append(u.created, op)
 	}
 	c.status[id] = StatusConfirmed
 	c.confirmed[id] = height
+}
+
+// Reorg disconnects the top depth blocks, modeling a competing fork
+// displacing them (the chain "reorganizes" onto a branch in which those
+// blocks never happened). Spent outputs are restored at their original
+// creation heights, created outputs are removed, and the displaced
+// transactions return to the front of the mempool as pending — the new
+// branch's miners may or may not re-include them, and a settling node
+// watching Confirmations sees its settlement drop back to 0 until they
+// do. Conservation (TotalUnspent == Minted) holds across the
+// disconnect: Fund mints outside blocks, so reorgs never touch minted
+// value.
+func (c *Chain) Reorg(depth int) error {
+	if depth <= 0 {
+		return fmt.Errorf("chain: reorg depth %d must be positive", depth)
+	}
+	if uint64(depth) > c.Height() {
+		return fmt.Errorf("chain: reorg depth %d exceeds height %d", depth, c.Height())
+	}
+	var displaced []*Transaction
+	for i := 0; i < depth; i++ {
+		top := len(c.blocks) - 1
+		b, u := c.blocks[top], c.undo[top]
+		c.blocks, c.undo = c.blocks[:top], c.undo[:top]
+		// Restore spends first, then remove creations: an output both
+		// created and consumed inside the block (a same-block tx chain)
+		// must end up gone, not restored.
+		for j := len(u.spent) - 1; j >= 0; j-- {
+			c.utxo[u.spent[j].op] = u.spent[j].e
+		}
+		for _, op := range u.created {
+			delete(c.utxo, op)
+		}
+		for j := len(b.Txs) - 1; j >= 0; j-- {
+			tx := b.Txs[j]
+			id := tx.ID()
+			c.status[id] = StatusPending
+			delete(c.confirmed, id)
+			displaced = append(displaced, tx)
+		}
+	}
+	// Displaced transactions re-enter the mempool in their original
+	// order, ahead of anything submitted since.
+	for i, j := 0, len(displaced)-1; i < j; i, j = i+1, j-1 {
+		displaced[i], displaced[j] = displaced[j], displaced[i]
+	}
+	pool := make([]*Transaction, 0, len(displaced)+len(c.mempool))
+	for _, tx := range displaced {
+		if id := tx.ID(); !c.inPool[id] {
+			pool = append(pool, tx)
+			c.inPool[id] = true
+		}
+	}
+	c.mempool = append(pool, c.mempool...)
+	return nil
 }
 
 func (c *Chain) reject(id TxID, reason string) {
@@ -296,6 +373,12 @@ func (c *Chain) Confirmations(id TxID) uint64 {
 	if h == 0 {
 		// Funded before any block: treat as buried below everything.
 		return c.Height() + 1
+	}
+	if h > c.Height() {
+		// Confirmed at a height a reorg has since disconnected (only
+		// Fund entries can reach here — block transactions revert to
+		// pending on disconnect): not currently confirmed.
+		return 0
 	}
 	return c.Height() - h + 1
 }

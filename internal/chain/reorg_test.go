@@ -1,0 +1,214 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"teechain/internal/cryptoutil"
+)
+
+// conserve asserts the chain-level conservation invariant.
+func conserve(t *testing.T, c *Chain, when string) {
+	t.Helper()
+	if c.TotalUnspent() != c.Minted() {
+		t.Fatalf("%s: value not conserved: unspent %d, minted %d", when, c.TotalUnspent(), c.Minted())
+	}
+}
+
+func TestReorgRestoresSpentOutputs(t *testing.T) {
+	c := New()
+	alice, bob := key(t, "alice"), key(t, "bob")
+	op, err := c.FundKey(alice.Public(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := spend(t, c, op, []*cryptoutil.KeyPair{alice},
+		TxOut{Value: 1000, Script: PayToKey(bob.Public())})
+	id, err := c.Submit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	if c.Confirmations(id) != 1 {
+		t.Fatalf("confirmations = %d, want 1", c.Confirmations(id))
+	}
+	conserve(t, c, "after mine")
+
+	if err := c.Reorg(1); err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, c, "after reorg")
+	if got := c.Status(id); got != StatusPending {
+		t.Fatalf("status after reorg = %v, want pending", got)
+	}
+	if c.Confirmations(id) != 0 {
+		t.Fatalf("confirmations after reorg = %d, want 0", c.Confirmations(id))
+	}
+	if !c.Unspent(op) {
+		t.Fatal("spent outpoint not restored by reorg")
+	}
+	if got := c.BalanceByAddress(bob.Address()); got != 0 {
+		t.Fatalf("bob balance after reorg = %d, want 0", got)
+	}
+	if got := c.BalanceByAddress(alice.Address()); got != 1000 {
+		t.Fatalf("alice balance after reorg = %d, want 1000", got)
+	}
+
+	// The displaced transaction is back in the mempool: the next block
+	// re-includes it.
+	c.MineBlock()
+	if c.Status(id) != StatusConfirmed {
+		t.Fatalf("status after re-mine = %v (%s), want confirmed", c.Status(id), c.RejectReason(id))
+	}
+	if got := c.BalanceByAddress(bob.Address()); got != 1000 {
+		t.Fatalf("bob balance after re-mine = %d, want 1000", got)
+	}
+	conserve(t, c, "after re-mine")
+}
+
+// TestReorgSameBlockChain covers the disconnect ordering subtlety: an
+// output created AND spent inside a reorged block must end up gone,
+// while the chain's original input is restored.
+func TestReorgSameBlockChain(t *testing.T) {
+	c := New()
+	alice, bob, carol := key(t, "alice"), key(t, "bob"), key(t, "carol")
+	op, err := c.FundKey(alice.Public(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txAB := spend(t, c, op, []*cryptoutil.KeyPair{alice},
+		TxOut{Value: 500, Script: PayToKey(bob.Public())})
+	if _, err := c.Submit(txAB); err != nil {
+		t.Fatal(err)
+	}
+	mid := OutPoint{Tx: txAB.ID(), Index: 0}
+	txBC := &Transaction{
+		Inputs:  []TxIn{{Prev: mid}},
+		Outputs: []TxOut{{Value: 500, Script: PayToKey(carol.Public())}},
+	}
+	if err := txBC.SignInput(0, PayToKey(bob.Public()), bob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(txBC); err != nil {
+		t.Fatal(err)
+	}
+	c.MineBlock()
+	if got := c.BalanceByAddress(carol.Address()); got != 500 {
+		t.Fatalf("carol balance = %d, want 500 (chain not fully mined)", got)
+	}
+
+	if err := c.Reorg(1); err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, c, "after reorg")
+	if c.Unspent(mid) {
+		t.Fatal("intra-block intermediate output survived the reorg")
+	}
+	if !c.Unspent(op) {
+		t.Fatal("funding outpoint not restored")
+	}
+	if got := c.BalanceByAddress(alice.Address()); got != 500 {
+		t.Fatalf("alice balance after reorg = %d, want 500", got)
+	}
+
+	// Both displaced transactions re-mine in original order.
+	c.MineBlock()
+	if got := c.BalanceByAddress(carol.Address()); got != 500 {
+		t.Fatalf("carol balance after re-mine = %d, want 500", got)
+	}
+	conserve(t, c, "after re-mine")
+}
+
+func TestReorgDepthValidation(t *testing.T) {
+	c := New()
+	c.MineBlock()
+	if err := c.Reorg(0); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("Reorg(0) = %v, want positive-depth error", err)
+	}
+	if err := c.Reorg(2); err == nil || !strings.Contains(err.Error(), "exceeds height") {
+		t.Fatalf("Reorg(2) at height 1 = %v, want depth error", err)
+	}
+	if err := c.Reorg(1); err != nil {
+		t.Fatalf("Reorg(1) = %v", err)
+	}
+	if c.Height() != 0 {
+		t.Fatalf("height after full reorg = %d, want 0", c.Height())
+	}
+}
+
+// TestReorgFundConfirmationsGuard: a Fund minted at height h is not in
+// any block, so a reorg below h cannot revert it — but Confirmations
+// must not underflow; it reports 0 until the chain regrows past h.
+func TestReorgFundConfirmationsGuard(t *testing.T) {
+	c := New()
+	c.MineBlocks(3)
+	alice := key(t, "alice")
+	op, err := c.FundKey(alice.Public(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := op.Tx
+	if got := c.Confirmations(id); got != 1 {
+		t.Fatalf("confirmations at mint = %d, want 1", got)
+	}
+	if err := c.Reorg(2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Unspent(op) {
+		t.Fatal("funded output must survive a reorg (minted outside blocks)")
+	}
+	if got := c.Confirmations(id); got != 0 {
+		t.Fatalf("confirmations after reorg below mint height = %d, want 0", got)
+	}
+	c.MineBlocks(2)
+	if got := c.Confirmations(id); got != 1 {
+		t.Fatalf("confirmations after regrowth = %d, want 1", got)
+	}
+	conserve(t, c, "after regrowth")
+}
+
+// TestReorgDeepDisplacesMultipleBlocks reorgs several blocks at once
+// and checks the displaced transactions re-mine in order.
+func TestReorgDeepDisplacesMultipleBlocks(t *testing.T) {
+	c := New()
+	alice, bob := key(t, "alice"), key(t, "bob")
+	var ids []TxID
+	for i := 0; i < 3; i++ {
+		op, err := c.FundKey(alice.Public(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := spend(t, c, op, []*cryptoutil.KeyPair{alice},
+			TxOut{Value: 100, Script: PayToKey(bob.Public())})
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, tx.ID())
+		c.MineBlock()
+	}
+	if got := c.BalanceByAddress(bob.Address()); got != 300 {
+		t.Fatalf("bob balance = %d, want 300", got)
+	}
+	if err := c.Reorg(3); err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, c, "after deep reorg")
+	if got := c.BalanceByAddress(bob.Address()); got != 0 {
+		t.Fatalf("bob balance after deep reorg = %d, want 0", got)
+	}
+	for _, id := range ids {
+		if c.Status(id) != StatusPending {
+			t.Fatalf("tx %v status = %v, want pending", id, c.Status(id))
+		}
+	}
+	c.MineBlock()
+	if got := c.BalanceByAddress(bob.Address()); got != 300 {
+		t.Fatalf("bob balance after re-mine = %d, want 300", got)
+	}
+	for _, id := range ids {
+		if c.Status(id) != StatusConfirmed {
+			t.Fatalf("tx %v not re-confirmed (%s)", id, c.RejectReason(id))
+		}
+	}
+	conserve(t, c, "after re-mine")
+}

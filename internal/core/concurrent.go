@@ -96,6 +96,26 @@ func (e *Enclave) HandleLane(from cryptoutil.PublicKey, token []byte, msg wire.M
 	if _, err := s.transport.Open(token, nil); err != nil {
 		return nil, err
 	}
+	return e.handleLaneVerified(from, msg)
+}
+
+// HandleLaneBound is HandleLane for transports that seal bound tokens
+// (SealTokenBound): the token must authenticate the frame's payload
+// bytes and declared type code in addition to freshness.
+func (e *Enclave) HandleLaneBound(from cryptoutil.PublicKey, token []byte, code byte, payload []byte, msg wire.Message) (*Result, error) {
+	s, err := e.session(from)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyTokenBound(s, token, code, payload); err != nil {
+		return nil, err
+	}
+	return e.handleLaneVerified(from, msg)
+}
+
+// handleLaneVerified dispatches a lane message whose token the caller
+// already verified.
+func (e *Enclave) handleLaneVerified(from cryptoutil.PublicKey, msg wire.Message) (*Result, error) {
 	if e.state.Frozen {
 		return nil, ErrFrozen
 	}

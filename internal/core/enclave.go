@@ -335,6 +335,61 @@ func (e *Enclave) VerifyToken(peer cryptoutil.PublicKey, token []byte) error {
 	return err
 }
 
+// ErrTokenBinding reports a bound token whose authenticated type code
+// does not match the frame header's declared code: the header was
+// rewritten in flight.
+var ErrTokenBinding = errors.New("core: frame type does not match token binding")
+
+// SealTokenBound seals a freshness token that also authenticates the
+// frame it will travel in: code (the wire registry code) rides as the
+// token's plaintext and payload as additional authenticated data.
+// Socket transports use this for every tokened frame, so a
+// man-in-the-middle can neither rewrite payload bytes (a payment
+// amount) nor relabel a frame's type (Pay and PayAck share a payload
+// shape) without the receiver's verifyTokenBound rejecting it. Appends
+// to dst like SealTokenAppend.
+func (e *Enclave) SealTokenBound(dst []byte, peer cryptoutil.PublicKey, code byte, payload []byte) ([]byte, error) {
+	s, err := e.session(peer)
+	if err != nil {
+		return nil, err
+	}
+	return s.transport.SealAppendBound(dst, code, payload), nil
+}
+
+// verifyTokenBound opens a bound token against the received frame
+// bytes and checks the authenticated type code.
+func verifyTokenBound(s *peerSession, token []byte, code byte, payload []byte) error {
+	got, err := s.transport.OpenBound(token, payload)
+	if err != nil {
+		return err
+	}
+	if got != code {
+		return fmt.Errorf("%w: token binds code %d, frame declares %d", ErrTokenBinding, got, code)
+	}
+	return nil
+}
+
+// HandleSealedBound is HandleSealed for transports that seal bound
+// tokens (SealTokenBound): the token must authenticate the frame's
+// payload bytes and type code, not just freshness. Attest messages
+// carry no token (the session does not exist yet).
+func (e *Enclave) HandleSealedBound(from cryptoutil.PublicKey, token []byte, code byte, payload []byte, msg wire.Message) (*Result, error) {
+	if a, ok := msg.(*wire.Attest); ok {
+		if a.Software {
+			return e.handleSoftwareAttest(from, a)
+		}
+		return e.handleAttest(from, a)
+	}
+	s, err := e.session(from)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyTokenBound(s, token, code, payload); err != nil {
+		return nil, err
+	}
+	return e.handleSessionMessage(from, msg)
+}
+
 // --- Replication plumbing (Alg. 3) ---
 
 // newReplEntry takes a pooled entry off the chain's log.

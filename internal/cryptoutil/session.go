@@ -108,6 +108,12 @@ type Session struct {
 	// the cipher.AEAD interface forces it to escape, so keeping one
 	// heap buffer per session removes a per-message allocation.
 	nonce []byte
+	// boundIn/boundOut are one-byte scratch buffers for the bound-token
+	// fast path (SealAppendBound/OpenBound): like nonce, anything passed
+	// through the cipher.AEAD interface escapes, so per-session buffers
+	// keep the per-frame cost allocation-free.
+	boundIn  []byte
+	boundOut []byte
 }
 
 // replayWindow is the anti-replay window depth: how far behind the
@@ -120,7 +126,12 @@ func NewSession(key [32]byte) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{aead: aead, nonce: make([]byte, sessionNonceSize)}, nil
+	return &Session{
+		aead:     aead,
+		nonce:    make([]byte, sessionNonceSize),
+		boundIn:  make([]byte, 1),
+		boundOut: make([]byte, 0, 1),
+	}, nil
 }
 
 // sessionNonceSize is the AES-GCM nonce width; the message counter is
@@ -188,6 +199,37 @@ func (s *Session) OpenAppend(dst, sealed, aad []byte) ([]byte, error) {
 		s.recvWin |= 1 << (s.recvMax - ctr)
 	}
 	return plain, nil
+}
+
+// SealAppendBound seals a bound freshness token: a one-byte plaintext
+// (a message type code) with aad as additional authenticated data.
+// Socket transports use it to cryptographically bind each frame's
+// payload bytes AND its declared type to the frame's token — without
+// it the token proves only freshness, and a man-in-the-middle could
+// rewrite a payment amount, or relabel a Pay frame as a PayAck, while
+// keeping the token valid. Each call consumes one counter value, like
+// SealAppend.
+func (s *Session) SealAppendBound(dst []byte, code byte, aad []byte) []byte {
+	s.boundIn[0] = code
+	return s.SealAppend(dst, s.boundIn, aad)
+}
+
+// OpenBound authenticates a bound token against aad and returns the
+// bound byte. The returned byte must be compared with the frame's
+// declared type code by the caller; a mismatch means the frame header
+// was tampered with. Counter discipline matches OpenAppend (replays
+// and window-expired counters return ErrReplay without advancing
+// state). The plaintext is written into a per-session scratch, so the
+// returned byte must be consumed before the next OpenBound call.
+func (s *Session) OpenBound(sealed, aad []byte) (byte, error) {
+	pt, err := s.OpenAppend(s.boundOut[:0], sealed, aad)
+	if err != nil {
+		return 0, err
+	}
+	if len(pt) != 1 {
+		return 0, fmt.Errorf("%w: bound token carries %d plaintext bytes, want 1", ErrAuthFailed, len(pt))
+	}
+	return pt[0], nil
 }
 
 // aeadCache caches the AES-GCM construction per key: building the

@@ -1,0 +1,392 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+func testIdentity(t *testing.T) cryptoutil.PublicKey {
+	t.Helper()
+	kp, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("faultnet-test")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp.Public()
+}
+
+func payFrame(t *testing.T, id cryptoutil.PublicKey, count int) []byte {
+	t.Helper()
+	b, err := wire.AppendFrame(nil, id, nil, &wire.Pay{Channel: "ch", Amount: 1, Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// readPayCount reads one frame from r and returns its Pay.Count.
+func readPayCount(r *frameSource) (int, error) {
+	body, err := wire.ReadFrame(r.conn, nil)
+	if err != nil {
+		return 0, err
+	}
+	f, err := wire.DecodeFrame(body)
+	if err != nil {
+		return 0, err
+	}
+	pay, ok := f.Msg.(*wire.Pay)
+	if !ok {
+		return 0, errors.New("not a Pay frame")
+	}
+	return pay.Count, nil
+}
+
+type frameSource struct{ conn net.Conn }
+
+// link spins up a listener registered as node "b", dials it as node
+// "a", and returns the wrapped dialer-side conn plus the raw accepted
+// conn.
+func link(t *testing.T, fn *Network) (wrapped, accepted net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	fn.RegisterNode("b", ln.Addr().String())
+	acceptCh := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			acceptCh <- conn
+		}
+	}()
+	wrapped, err = fn.Dialer("a")(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wrapped.Close() })
+	select {
+	case accepted = <-acceptCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { accepted.Close() })
+	return wrapped, accepted
+}
+
+func TestUnregisteredAddrPassesThrough(t *testing.T) {
+	fn := New(1, t.Logf)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept()
+	conn, err := fn.Dialer("a")(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*net.TCPConn); !ok {
+		t.Fatalf("dial to unregistered addr returned %T, want raw *net.TCPConn", conn)
+	}
+}
+
+// TestFaithfulForwarding: with no rules installed every frame arrives
+// intact and in order, in both directions.
+func TestFaithfulForwarding(t *testing.T) {
+	fn := New(2, t.Logf)
+	wrapped, accepted := link(t, fn)
+	id := testIdentity(t)
+
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		if _, err := wrapped.Write(payFrame(t, id, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := &frameSource{conn: accepted}
+	for i := 0; i < frames; i++ {
+		got, err := readPayCount(src)
+		if err != nil || got != i {
+			t.Fatalf("a→b frame %d: got %d, %v", i, got, err)
+		}
+	}
+
+	for i := 0; i < frames; i++ {
+		if _, err := accepted.Write(payFrame(t, id, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back := &frameSource{conn: wrapped}
+	for i := 0; i < frames; i++ {
+		got, err := readPayCount(back)
+		if err != nil || got != 100+i {
+			t.Fatalf("b→a frame %d: got %d, %v", i, got, err)
+		}
+	}
+	if st := fn.Stats(); st.Forwarded != 2*frames {
+		t.Fatalf("forwarded = %d, want %d", st.Forwarded, 2*frames)
+	}
+}
+
+// TestDropIsSeedDeterministic: the same seed drops the same frames.
+func TestDropIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		fn := New(seed, nil)
+		fn.SetRule("a", "b", Rule{Drop: 0.4})
+		wrapped, accepted := link(t, fn)
+		id := testIdentity(t)
+		const frames = 60
+		for i := 0; i < frames; i++ {
+			if _, err := wrapped.Write(payFrame(t, id, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wrapped.Close() // EOF on the accept side once the pump drains
+		src := &frameSource{conn: accepted}
+		var got []int
+		for {
+			c, err := readPayCount(src)
+			if err != nil {
+				break
+			}
+			got = append(got, c)
+		}
+		if len(got) == 0 || len(got) == frames {
+			t.Fatalf("drop rule had no effect: %d/%d delivered", len(got), frames)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical drop schedule")
+	}
+}
+
+// TestDuplicationDelivers twice: every frame arrives at least once and
+// the duplicated stat counts the extras.
+func TestDuplication(t *testing.T) {
+	fn := New(7, t.Logf)
+	fn.SetRule("a", "b", Rule{Dup: 1})
+	wrapped, accepted := link(t, fn)
+	id := testIdentity(t)
+	const frames = 10
+	for i := 0; i < frames; i++ {
+		if _, err := wrapped.Write(payFrame(t, id, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := &frameSource{conn: accepted}
+	for i := 0; i < frames; i++ {
+		for rep := 0; rep < 2; rep++ {
+			got, err := readPayCount(src)
+			if err != nil || got != i {
+				t.Fatalf("frame %d copy %d: got %d, %v", i, rep, got, err)
+			}
+		}
+	}
+	if st := fn.Stats(); st.Duplicated != frames {
+		t.Fatalf("duplicated = %d, want %d", st.Duplicated, frames)
+	}
+}
+
+// TestReorderShufflesWithoutLoss: a reorder rule permutes delivery
+// order but every frame still arrives exactly once.
+func TestReorderShufflesWithoutLoss(t *testing.T) {
+	fn := New(11, t.Logf)
+	fn.SetRule("a", "b", Rule{Reorder: 0.3, ReorderDepth: 3, ReorderHold: 10 * time.Second})
+	wrapped, accepted := link(t, fn)
+	id := testIdentity(t)
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		if _, err := wrapped.Write(payFrame(t, id, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrapped.Close()
+	src := &frameSource{conn: accepted}
+	seen := make(map[int]int)
+	var order []int
+	for {
+		c, err := readPayCount(src)
+		if err != nil {
+			break
+		}
+		seen[c]++
+		order = append(order, c)
+	}
+	if len(order) != frames {
+		t.Fatalf("delivered %d frames, want %d (reorder must not lose)", len(order), frames)
+	}
+	for i := 0; i < frames; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("frame %d delivered %d times", i, seen[i])
+		}
+	}
+	inOrder := true
+	for i, c := range order {
+		if c != i {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("reorder rule delivered everything in order")
+	}
+	if st := fn.Stats(); st.Reordered == 0 {
+		t.Fatal("reordered stat is zero")
+	}
+}
+
+// TestReorderHoldBackstop: a held frame on a link that goes quiet is
+// still delivered once its hold deadline expires.
+func TestReorderHoldBackstop(t *testing.T) {
+	fn := New(13, t.Logf)
+	fn.SetRule("a", "b", Rule{Reorder: 1, ReorderDepth: 4, ReorderHold: 50 * time.Millisecond})
+	wrapped, accepted := link(t, fn)
+	id := testIdentity(t)
+	start := time.Now()
+	if _, err := wrapped.Write(payFrame(t, id, 9)); err != nil {
+		t.Fatal(err)
+	}
+	src := &frameSource{conn: accepted}
+	got, err := readPayCount(src)
+	if err != nil || got != 9 {
+		t.Fatalf("held frame: got %d, %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("held frame took %v, watchdog did not fire", elapsed)
+	}
+}
+
+// TestTruncateKillsConnection: a truncated frame is partial on the
+// wire and the connection dies, as when a peer crashes mid-write.
+func TestTruncateKillsConnection(t *testing.T) {
+	fn := New(17, t.Logf)
+	fn.SetRule("a", "b", Rule{Truncate: 1})
+	wrapped, accepted := link(t, fn)
+	id := testIdentity(t)
+	if _, err := wrapped.Write(payFrame(t, id, 1)); err != nil {
+		t.Fatal(err)
+	}
+	src := &frameSource{conn: accepted}
+	if _, err := readPayCount(src); err == nil {
+		t.Fatal("truncated frame decoded cleanly")
+	}
+	if st := fn.Stats(); st.Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", st.Truncated)
+	}
+	// The raw conn is dead: the wrapped side's reads fail too.
+	wrapped.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := wrapped.Read(buf); err == nil {
+		t.Fatal("read on killed conn succeeded")
+	}
+}
+
+// TestPartitionAndHeal: a partition kills live conns and fails new
+// dials; healing restores dialability.
+func TestPartitionAndHeal(t *testing.T) {
+	fn := New(19, t.Logf)
+	wrapped, accepted := link(t, fn)
+	addr := fn.addrOf(t, "b")
+
+	fn.Partition("a", "b")
+	if _, err := fn.Dialer("a")(addr); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	// The live conn died: accept side sees EOF.
+	accepted.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := accepted.Read(buf); err == nil {
+		t.Fatal("partitioned conn still delivers")
+	}
+	_ = wrapped
+
+	fn.Heal("a", "b")
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go ln2.Accept()
+	fn.RegisterNode("b", ln2.Addr().String())
+	conn, err := fn.Dialer("a")(ln2.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	conn.Close()
+	if st := fn.Stats(); st.Killed == 0 {
+		t.Fatal("killed stat is zero after partition")
+	}
+}
+
+// addrOf finds the registered address of a node (test helper).
+func (n *Network) addrOf(t *testing.T, name string) string {
+	t.Helper()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for addr, node := range n.nodes {
+		if node == name {
+			return addr
+		}
+	}
+	t.Fatalf("node %s not registered", name)
+	return ""
+}
+
+// TestBlackholeAndReadDeadline: a one-way blackhole discards inbound
+// frames while the conn stays up; a read deadline on the wrapped conn
+// surfaces as a timeout — the hook ReadIdleTimeout recovery needs.
+func TestBlackholeAndReadDeadline(t *testing.T) {
+	fn := New(23, t.Logf)
+	fn.SetRule("b", "a", Rule{Blackhole: true})
+	wrapped, accepted := link(t, fn)
+	id := testIdentity(t)
+	if _, err := accepted.Write(payFrame(t, id, 5)); err != nil {
+		t.Fatal(err)
+	}
+	wrapped.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := wrapped.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read under blackhole: %v, want deadline exceeded", err)
+	}
+	// The outbound direction is unaffected.
+	wrapped.SetReadDeadline(time.Time{})
+	if _, err := wrapped.Write(payFrame(t, id, 6)); err != nil {
+		t.Fatal(err)
+	}
+	src := &frameSource{conn: accepted}
+	if got, err := readPayCount(src); err != nil || got != 6 {
+		t.Fatalf("a→b under b→a blackhole: got %d, %v", got, err)
+	}
+	if st := fn.Stats(); st.Blackholed == 0 {
+		t.Fatal("blackholed stat is zero")
+	}
+}

@@ -1,0 +1,616 @@
+package harness
+
+// The chaos layer: a Cluster whose outbound peer connections all run
+// through one internal/faultnet.Network, plus a seeded schedule
+// generator and runner. A schedule interleaves payment traffic (lane
+// pays, batches, multihops through the hub, committee replication)
+// with link faults (delay, duplication, bounded reordering), network
+// partitions, and node network bounces, then drains and checks the
+// conservation invariant: both endpoints of every channel agree, every
+// channel still sums to its deposit, and after settling everything on
+// chain the wallets hold exactly what was minted.
+//
+// Schedules deliberately restrict themselves to LOSSLESS fault rules.
+// The transport recovers from anything that kills a connection (the
+// writer's resend ring re-delivers the tokened tail and receivers
+// dedupe by session counter) but a frame silently dropped from a live
+// connection is gone — that is the documented semantics of
+// faultnet.Rule.Drop and of reordering beyond the anti-replay window,
+// and the safety-only tests cover them separately.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/faultnet"
+	"teechain/internal/transport"
+	"teechain/internal/wire"
+)
+
+// ChaosCluster is a Cluster whose hosts dial each other through a
+// fault-injecting network.
+type ChaosCluster struct {
+	*Cluster
+	// Net is the fault layer; drive it directly to set rules, cut
+	// partitions, or read fault counters.
+	Net *faultnet.Network
+}
+
+// NewChaosCluster starts a cluster with every outbound peer dial
+// routed through a faultnet.Network seeded with seed. Control-plane
+// connections and chain access stay fault-free: chaos is injected
+// between enclaves, not between the operator and their node.
+func NewChaosCluster(seed int64, logf func(string, ...any), names ...string) (*ChaosCluster, error) {
+	return NewChaosClusterWith(seed, logf, nil, names...)
+}
+
+// NewChaosClusterWith is NewChaosCluster with an extra per-host Config
+// hook, applied after the chaos dialer is installed — the blackhole
+// test uses it to turn on ReadIdleTimeout.
+func NewChaosClusterWith(seed int64, logf func(string, ...any), mut func(*transport.Config), names ...string) (*ChaosCluster, error) {
+	fn := faultnet.New(seed, logf)
+	c, err := NewClusterWith(func(cfg *transport.Config) {
+		cfg.Dial = fn.Dialer(cfg.Name)
+		cfg.Logf = logf
+		if mut != nil {
+			mut(cfg)
+		}
+	}, names...)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		fn.RegisterNode(name, c.Host(name).ListenAddr())
+	}
+	return &ChaosCluster{Cluster: c, Net: fn}, nil
+}
+
+// Close shuts the cluster down, then aborts any connection still held
+// by the fault layer (held reorder frames, live blackholes).
+func (cc *ChaosCluster) Close() {
+	cc.Cluster.Close()
+	cc.Net.CloseAll()
+}
+
+// Bounce restarts a node's network: listener closed, every live
+// connection killed, listener reopened on the SAME address (so peers
+// and the fault layer keep their registrations). Peers redial with
+// backoff and the writer's resend ring re-delivers the tokened tail,
+// which receivers dedupe by session counter.
+func (cc *ChaosCluster) Bounce(name string) error {
+	h := cc.Host(name)
+	if h == nil {
+		return fmt.Errorf("harness: bounce of unknown node %q", name)
+	}
+	addr := h.ListenAddr()
+	h.CloseListener()
+	h.DropConnections()
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if _, err = h.Listen(addr); err == nil {
+			return nil
+		}
+		// The freed port can take a moment to rebind.
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("harness: bounce of %s could not rebind %s: %w", name, addr, err)
+}
+
+// --- schedule generation ---
+
+// ChaosTopology is the fixed deployment a schedule runs against: a
+// hub with one funded channel per spoke (spoke pays hub), one
+// hub-funded channel to a sink (hub pays sink, and multihops
+// spoke→hub→sink ride it), and an optional replication committee
+// behind the hub.
+type ChaosTopology struct {
+	Hub       string
+	Spokes    []string
+	Sink      string
+	Committee []string
+	Deposit   chain.Amount
+}
+
+// DefaultChaosTopology is the 6-node deployment the chaos tests run:
+// two spokes, a sink, and a two-member committee behind the hub.
+func DefaultChaosTopology() ChaosTopology {
+	return ChaosTopology{
+		Hub:       "hub",
+		Spokes:    []string{"a", "b"},
+		Sink:      "sink",
+		Committee: []string{"m1", "m2"},
+		Deposit:   50_000,
+	}
+}
+
+// Nodes lists every node of the topology, hub first.
+func (tp ChaosTopology) Nodes() []string {
+	nodes := []string{tp.Hub}
+	nodes = append(nodes, tp.Spokes...)
+	nodes = append(nodes, tp.Sink)
+	nodes = append(nodes, tp.Committee...)
+	return nodes
+}
+
+// ChannelPairs lists the payment channels as {payer, payee} pairs, in
+// deterministic order: one per spoke (spoke pays hub), then hub→sink.
+func (tp ChaosTopology) ChannelPairs() [][2]string {
+	var chans [][2]string
+	for _, sp := range tp.Spokes {
+		chans = append(chans, [2]string{sp, tp.Hub})
+	}
+	chans = append(chans, [2]string{tp.Hub, tp.Sink})
+	return chans
+}
+
+// Links lists every faultable link: the channels plus the committee
+// chain links (owner to each member, consecutive members).
+func (tp ChaosTopology) Links() [][2]string {
+	links := tp.ChannelPairs()
+	for i, m := range tp.Committee {
+		links = append(links, [2]string{tp.Hub, m})
+		if i+1 < len(tp.Committee) {
+			links = append(links, [2]string{m, tp.Committee[i+1]})
+		}
+	}
+	return links
+}
+
+// bounceNodes are the nodes whose network a schedule may bounce.
+func (tp ChaosTopology) bounceNodes() []string {
+	nodes := []string{tp.Hub}
+	nodes = append(nodes, tp.Spokes...)
+	nodes = append(nodes, tp.Committee...)
+	return nodes
+}
+
+// Schedule op kinds.
+const (
+	OpPay       = "pay"       // burst of identical lane payments on one channel
+	OpPayBatch  = "paybatch"  // one PayBatch frame of mixed amounts
+	OpMultihop  = "multihop"  // spoke→hub→sink, blocking
+	OpRule      = "rule"      // install a lossless fault rule on a link (both directions)
+	OpClear     = "clear"     // clear every fault rule
+	OpPartition = "partition" // cut a link (kills conns, refuses redials)
+	OpHeal      = "heal"      // heal the partition
+	OpBounce    = "bounce"    // restart a node's listener and connections
+)
+
+// ChaosOp is one step of a schedule. Payment ops are the workload;
+// the rest are faults, skipped by the fault-free replay.
+type ChaosOp struct {
+	Kind    string
+	Channel int            // OpPay/OpPayBatch: index into ChannelPairs
+	Amounts []chain.Amount // OpPay/OpPayBatch: one payment per entry
+	Spoke   string         // OpMultihop: paying spoke
+	Amount  chain.Amount   // OpMultihop
+	Link    [2]string      // OpRule/OpPartition/OpHeal
+	Rule    faultnet.Rule  // OpRule
+	Node    string         // OpBounce
+}
+
+// ChaosSchedule is a reproducible chaos run: everything is derived
+// from Seed, and the same schedule executes with or without its fault
+// ops (Run's withFaults) for divergence comparison.
+type ChaosSchedule struct {
+	Seed int64
+	Topo ChaosTopology
+	Ops  []ChaosOp
+}
+
+// IsFault reports whether the op manipulates the network rather than
+// issuing workload.
+func (op ChaosOp) IsFault() bool {
+	switch op.Kind {
+	case OpRule, OpClear, OpPartition, OpHeal, OpBounce:
+		return true
+	}
+	return false
+}
+
+// losslessRule samples a fault rule that delays, duplicates, and
+// (when allowed) reorders but never loses frames: no drops, no
+// truncation, no blackholes, and reorder depths far inside the
+// 64-frame anti-replay window (duplicates and late-but-in-window
+// frames are rejected or deduped; frames reordered beyond the window
+// would be lost).
+//
+// allowReorder is false for committee links: replication batches have
+// no retransmit, so the chain protocol requires in-order delivery and
+// treats a sequence gap as fatal (the chain freezes). Lane payments
+// tolerate in-window reordering; ReplBatch does not — reordering a
+// committee link wedges replication permanently, which is loss, not
+// chaos. (Duplicated batches are fine: the session window rejects
+// them below the replication layer.)
+func losslessRule(rng *rand.Rand, allowReorder bool) faultnet.Rule {
+	var r faultnet.Rule
+	if rng.Float64() < 0.7 {
+		r.DelayMin = time.Duration(rng.Intn(3)) * time.Millisecond
+		r.DelayMax = r.DelayMin + time.Duration(1+rng.Intn(8))*time.Millisecond
+	}
+	if rng.Float64() < 0.5 {
+		r.Dup = 0.1 + 0.3*rng.Float64()
+	}
+	if rng.Float64() < 0.5 && allowReorder {
+		r.Reorder = 0.1 + 0.2*rng.Float64()
+		r.ReorderDepth = 1 + rng.Intn(6)
+		r.ReorderHold = 40 * time.Millisecond
+	}
+	return r
+}
+
+// BuildChaosSchedule derives a schedule of roughly n ops from seed:
+// ~55% payment bursts/batches, ~10% multihops, and ~35% network
+// faults. Invariants the generator maintains: at most one partition
+// at a time, every partition heals within a few ops, no multihop or
+// bounce while partitioned (a multihop through a cut link could only
+// time out; a bounce would stack two recoveries), bounces are spaced
+// out, and the schedule ends healed with all rules cleared.
+func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	chans := tp.ChannelPairs()
+	links := tp.Links()
+	bounceable := tp.bounceNodes()
+
+	var ops []ChaosOp
+	partitioned := -1 // index into links, -1 when none
+	healIn := 0
+	sinceBounce := n // no cooldown on the first bounce
+	for len(ops) < n {
+		if partitioned >= 0 {
+			healIn--
+			if healIn <= 0 {
+				ops = append(ops, ChaosOp{Kind: OpHeal, Link: links[partitioned]})
+				partitioned = -1
+				continue
+			}
+		}
+		sinceBounce++
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			ci := rng.Intn(len(chans))
+			amt := chain.Amount(1 + rng.Intn(10))
+			amounts := make([]chain.Amount, 1+rng.Intn(12))
+			for i := range amounts {
+				amounts[i] = amt
+			}
+			ops = append(ops, ChaosOp{Kind: OpPay, Channel: ci, Amounts: amounts})
+		case r < 0.55:
+			ci := rng.Intn(len(chans))
+			amounts := make([]chain.Amount, 1+rng.Intn(12))
+			for i := range amounts {
+				amounts[i] = chain.Amount(1 + rng.Intn(10))
+			}
+			ops = append(ops, ChaosOp{Kind: OpPayBatch, Channel: ci, Amounts: amounts})
+		case r < 0.65:
+			if partitioned >= 0 || len(tp.Spokes) == 0 {
+				continue
+			}
+			sp := tp.Spokes[rng.Intn(len(tp.Spokes))]
+			ops = append(ops, ChaosOp{Kind: OpMultihop, Spoke: sp, Amount: chain.Amount(1 + rng.Intn(20))})
+		case r < 0.80:
+			li := rng.Intn(len(links))
+			ops = append(ops, ChaosOp{Kind: OpRule, Link: links[li], Rule: losslessRule(rng, li < len(chans))})
+		case r < 0.85:
+			ops = append(ops, ChaosOp{Kind: OpClear})
+		case r < 0.93:
+			if partitioned >= 0 {
+				continue
+			}
+			partitioned = rng.Intn(len(links))
+			healIn = 1 + rng.Intn(3)
+			ops = append(ops, ChaosOp{Kind: OpPartition, Link: links[partitioned]})
+		default:
+			if partitioned >= 0 || sinceBounce < 10 {
+				continue
+			}
+			sinceBounce = 0
+			ops = append(ops, ChaosOp{Kind: OpBounce, Node: bounceable[rng.Intn(len(bounceable))]})
+		}
+	}
+	if partitioned >= 0 {
+		ops = append(ops, ChaosOp{Kind: OpHeal, Link: links[partitioned]})
+	}
+	ops = append(ops, ChaosOp{Kind: OpClear})
+	return ChaosSchedule{Seed: seed, Topo: tp, Ops: ops}
+}
+
+// --- schedule execution ---
+
+// awaitChannelBal polls until the named node sees the channel at
+// exactly mine/remote.
+func awaitChannelBal(c *Cluster, name string, chID wire.ChannelID, mine, remote chain.Amount) error {
+	h := c.Host(name)
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		m, r, err := h.ChannelBalances(chID)
+		if err == nil && m == mine && r == remote {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never saw channel %s at %d/%d (last %d/%d, %v)",
+				name, chID, mine, remote, m, r, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ChaosReport is the deterministic outcome of a schedule: final
+// channel balances as seen by the payer, on-chain wallet balances
+// after settling everything, per-node received-payment counters, and
+// the multihop count. Under lossless fault rules every payment is
+// applied exactly once, so a faulted run and the fault-free replay of
+// the same schedule must produce identical reports.
+type ChaosReport struct {
+	// ChannelBalances maps "payer->payee" to {payer balance, payee
+	// balance}, verified identical from both endpoints before the
+	// report is built.
+	ChannelBalances map[string][2]chain.Amount
+	// Wallets is each node's on-chain balance after settlement.
+	Wallets map[string]chain.Amount
+	// Received is each channel endpoint's PaymentsReceived counter.
+	Received map[string]uint64
+	// Multihops is how many multihop payments completed.
+	Multihops int
+}
+
+// Run executes the schedule against a fresh cluster — fault ops
+// included when withFaults is set, skipped otherwise — then drains
+// every pending ack, checks the conservation invariant, settles every
+// channel on chain, and returns the final state. Every error carries
+// the schedule's seed.
+func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("chaos seed %d: %s", s.Seed, fmt.Sprintf(format, args...))
+	}
+	tp := s.Topo
+
+	var (
+		c  *Cluster
+		cc *ChaosCluster
+	)
+	if withFaults {
+		var err error
+		cc, err = NewChaosCluster(s.Seed, logf, tp.Nodes()...)
+		if err != nil {
+			return nil, fail("cluster: %v", err)
+		}
+		c = cc.Cluster
+		defer cc.Close()
+	} else {
+		var err error
+		c, err = NewCluster(tp.Nodes()...)
+		if err != nil {
+			return nil, fail("cluster: %v", err)
+		}
+		defer c.Close()
+	}
+
+	// Topology setup runs fault-free (no rules are installed yet).
+	if len(tp.Committee) > 0 {
+		if err := c.FormCommittee(tp.Hub, tp.Committee, len(tp.Committee)); err != nil {
+			return nil, fail("committee: %v", err)
+		}
+	}
+	chans := tp.ChannelPairs()
+	chIDs := make([]wire.ChannelID, len(chans))
+	for i, pair := range chans {
+		if err := c.Connect(pair[0], pair[1]); err != nil {
+			return nil, fail("connect %s->%s: %v", pair[0], pair[1], err)
+		}
+		id, err := c.OpenChannel(pair[0], pair[1], tp.Deposit)
+		if err != nil {
+			return nil, fail("channel %s->%s: %v", pair[0], pair[1], err)
+		}
+		chIDs[i] = wire.ChannelID(id)
+		// Deposit returns when the DEPOSITOR approves the funding; the
+		// payee learns of it asynchronously. Wait until both endpoints
+		// see the funded channel, or the schedule races its own setup
+		// (a multihop hop rejects a locked amount it cannot see yet).
+		if err := awaitChannelBal(c, pair[1], chIDs[i], 0, tp.Deposit); err != nil {
+			return nil, fail("channel %s->%s funding: %v", pair[0], pair[1], err)
+		}
+	}
+	spokeChan := make(map[string]int, len(tp.Spokes))
+	for i, pair := range chans {
+		if pair[1] == tp.Hub {
+			spokeChan[pair[0]] = i
+		}
+	}
+	sinkChan := len(chans) - 1
+
+	// The analytic model: expected {payer, payee} balance per channel
+	// and expected cumulative acks per paying host. Multihop paths are
+	// spoke→hub→sink, debiting the spoke's channel and the hub→sink
+	// channel by the same amount.
+	model := make([][2]chain.Amount, len(chans))
+	for i := range model {
+		model[i] = [2]chain.Amount{tp.Deposit, 0}
+	}
+	expAcks := make(map[string]uint64)
+	multihops := 0
+
+	for i, op := range s.Ops {
+		if op.IsFault() && !withFaults {
+			continue
+		}
+		switch op.Kind {
+		case OpPay:
+			payer := chans[op.Channel][0]
+			h := c.Host(payer)
+			for _, amt := range op.Amounts {
+				if err := h.Pay(chIDs[op.Channel], amt); err != nil {
+					return nil, fail("op %d: pay %s: %v", i, payer, err)
+				}
+				model[op.Channel][0] -= amt
+				model[op.Channel][1] += amt
+			}
+			expAcks[payer] += uint64(len(op.Amounts))
+		case OpPayBatch:
+			payer := chans[op.Channel][0]
+			if err := c.Host(payer).PayBatch(chIDs[op.Channel], op.Amounts); err != nil {
+				return nil, fail("op %d: paybatch %s: %v", i, payer, err)
+			}
+			for _, amt := range op.Amounts {
+				model[op.Channel][0] -= amt
+				model[op.Channel][1] += amt
+			}
+			expAcks[payer] += uint64(len(op.Amounts))
+		case OpMultihop:
+			path := []cryptoutil.PublicKey{
+				c.Identity(op.Spoke), c.Identity(tp.Hub), c.Identity(tp.Sink),
+			}
+			// A multihop can abort benignly under reordering: MhLock
+			// snapshots the channel state for its τ validation, so a
+			// lane payment held back by a reorder rule makes the hop
+			// disagree with the sender until the frame lands (at most
+			// ReorderHold later). Aborts unwind atomically with no
+			// balance effect, so the sender's recovery is simply to
+			// retry — a permanently wedged path still fails here once
+			// the deadline expires.
+			deadline := time.Now().Add(ClusterTimeout)
+			for {
+				err := c.Host(op.Spoke).PayMultihop(path, op.Amount, ClusterTimeout)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					return nil, fail("op %d: multihop %s: %v", i, op.Spoke, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			sc := spokeChan[op.Spoke]
+			model[sc][0] -= op.Amount
+			model[sc][1] += op.Amount
+			model[sinkChan][0] -= op.Amount
+			model[sinkChan][1] += op.Amount
+			expAcks[op.Spoke]++ // PayMultihop records one ack on completion
+			multihops++
+		case OpRule:
+			cc.Net.SetRuleBoth(op.Link[0], op.Link[1], op.Rule)
+		case OpClear:
+			cc.Net.ClearRules()
+		case OpPartition:
+			cc.Net.Partition(op.Link[0], op.Link[1])
+		case OpHeal:
+			cc.Net.Heal(op.Link[0], op.Link[1])
+		case OpBounce:
+			if err := cc.Bounce(op.Node); err != nil {
+				return nil, fail("op %d: %v", i, err)
+			}
+		default:
+			return nil, fail("op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+
+	// Drain with any lossless rules still active (they must not block
+	// progress), but no partitions — a payment queued behind a cut
+	// link can only ack once the link heals.
+	if withFaults {
+		cc.Net.HealAll()
+	}
+	for name, n := range expAcks {
+		if err := c.Host(name).AwaitAcked(n, ClusterTimeout); err != nil {
+			return nil, fail("drain %s: %v", name, err)
+		}
+	}
+
+	// Conservation, part 1: both endpoints of every channel agree, the
+	// balances match the analytic model, and every channel still sums
+	// to its deposit.
+	report := &ChaosReport{
+		ChannelBalances: make(map[string][2]chain.Amount, len(chans)),
+		Wallets:         make(map[string]chain.Amount),
+		Received:        make(map[string]uint64),
+		Multihops:       multihops,
+	}
+	for i, pair := range chans {
+		payerMine, payerRemote, err := c.Host(pair[0]).ChannelBalances(chIDs[i])
+		if err != nil {
+			return nil, fail("balances %s: %v", pair[0], err)
+		}
+		payeeMine, payeeRemote, err := c.Host(pair[1]).ChannelBalances(chIDs[i])
+		if err != nil {
+			return nil, fail("balances %s: %v", pair[1], err)
+		}
+		if payerMine != payeeRemote || payerRemote != payeeMine {
+			return nil, fail("channel %s->%s diverged: payer sees %d/%d, payee sees %d/%d",
+				pair[0], pair[1], payerMine, payerRemote, payeeMine, payeeRemote)
+		}
+		if payerMine+payerRemote != tp.Deposit {
+			return nil, fail("channel %s->%s lost money: %d+%d != deposit %d",
+				pair[0], pair[1], payerMine, payerRemote, tp.Deposit)
+		}
+		if want := model[i]; payerMine != want[0] || payerRemote != want[1] {
+			return nil, fail("channel %s->%s: balances %d/%d, model says %d/%d",
+				pair[0], pair[1], payerMine, payerRemote, want[0], want[1])
+		}
+		report.ChannelBalances[pair[0]+"->"+pair[1]] = [2]chain.Amount{payerMine, payerRemote}
+	}
+	for _, name := range tp.Nodes() {
+		report.Received[name] = c.Host(name).Stats().PaymentsReceived
+	}
+
+	// Conservation, part 2: settle everything on chain (fault rules
+	// cleared — settlement signature round trips have no resend path
+	// through held frames) and verify the wallets add back up to
+	// exactly what was deposited.
+	if withFaults {
+		cc.Net.ClearRules()
+	}
+	for i, pair := range chans {
+		if err := c.Host(pair[0]).Settle(chIDs[i]); err != nil {
+			return nil, fail("settle %s->%s: %v", pair[0], pair[1], err)
+		}
+	}
+	expWallet := make(map[string]chain.Amount)
+	for i, pair := range chans {
+		expWallet[pair[0]] += model[i][0]
+		expWallet[pair[1]] += model[i][1]
+	}
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		c.MineBlocks(1)
+		settled := true
+		for name, want := range expWallet {
+			if c.Balance(name) != want {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			for name, want := range expWallet {
+				if got := c.Balance(name); got != want {
+					return nil, fail("on-chain settlement: %s holds %d, want %d", name, got, want)
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var conserved bool
+	var unspent, minted chain.Amount
+	c.Chain.With(func(ch *chain.Chain) {
+		unspent, minted = ch.TotalUnspent(), ch.Minted()
+		conserved = unspent == minted
+	})
+	if !conserved {
+		return nil, fail("chain conservation broken: unspent %d != minted %d", unspent, minted)
+	}
+	for _, name := range tp.Nodes() {
+		report.Wallets[name] = c.Balance(name)
+	}
+	if withFaults {
+		st := cc.Net.Stats()
+		logf("chaos seed %d: faults injected: %+v", s.Seed, st)
+	}
+	return report, nil
+}

@@ -49,7 +49,7 @@ func classify(err error) error {
 	switch {
 	case errors.Is(err, ErrTimeout):
 		code = api.CodeTimeout
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrChainUnavailable):
 		code = api.CodeUnavailable
 	case errors.Is(err, ErrUnknownChannel), errors.Is(err, ErrUnknownPeer):
 		code = api.CodeNotFound
@@ -182,6 +182,7 @@ func (b apiBackend) Stats() api.StatsResp {
 		FramesOut:        st.FramesOut,
 		Drops:            st.Drops,
 		Reconnects:       st.Reconnects,
+		FramesRejected:   st.FramesRejected,
 	}
 	per := b.h.ChannelStats()
 	resp.Channels = make([]api.ChannelStatsEntry, 0, len(per))

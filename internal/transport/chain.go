@@ -47,6 +47,15 @@ func (l *LocalChain) With(fn func(*chain.Chain)) {
 	fn(l.c)
 }
 
+// Reorg disconnects the top n blocks under the wrapper's lock; see
+// chain.Chain.Reorg. The chaos harness uses it to model forks observed
+// by settling nodes.
+func (l *LocalChain) Reorg(n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Reorg(n)
+}
+
 // Fund implements ChainAccess.
 func (l *LocalChain) Fund(script chain.Script, value chain.Amount) (chain.OutPoint, error) {
 	l.mu.Lock()
@@ -201,6 +210,14 @@ func (s *ChainServer) handle(req *chainReq) *chainResp {
 	return &resp
 }
 
+// ErrChainUnavailable reports a chain RPC that failed at the transport
+// layer — the endpoint was unreachable or the connection died with a
+// request in flight (e.g. mid-settle) — rather than being rejected by
+// the ledger. Typed so callers can distinguish "retry once the
+// endpoint is back" from "transaction invalid"; the control plane
+// classifies it as CodeUnavailable.
+var ErrChainUnavailable = errors.New("transport: chain endpoint unavailable")
+
 // RemoteChain is a ChainAccess client speaking the ChainServer RPC over
 // one persistent connection, requests serialized by a mutex.
 type RemoteChain struct {
@@ -214,7 +231,7 @@ type RemoteChain struct {
 func DialChain(addr string) (*RemoteChain, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dialing chain endpoint %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: dialing %s: %v", ErrChainUnavailable, addr, err)
 	}
 	return &RemoteChain{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
@@ -226,11 +243,11 @@ func (r *RemoteChain) call(req *chainReq) (*chainResp, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("transport: chain rpc send: %w", err)
+		return nil, fmt.Errorf("%w: rpc send: %v", ErrChainUnavailable, err)
 	}
 	var resp chainResp
 	if err := r.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("transport: chain rpc recv: %w", err)
+		return nil, fmt.Errorf("%w: rpc recv: %v", ErrChainUnavailable, err)
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)

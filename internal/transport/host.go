@@ -76,6 +76,24 @@ type Config struct {
 	// RedialMin/RedialMax bound the reconnect backoff (defaults
 	// 25 ms / 1 s).
 	RedialMin, RedialMax time.Duration
+	// RedialJitter spreads each backoff sleep uniformly over
+	// [(1-j)·d, d], so peers cut off by the same event (a partition
+	// healing, a hub restarting) do not redial in lockstep. 0 means the
+	// default (0.5); negative disables jitter, giving the deterministic
+	// schedule some tests rely on. Values above 1 are clamped to 1.
+	RedialJitter float64
+	// Dial, when set, replaces net.Dial("tcp", addr) for outbound peer
+	// connections. The fault-injection layer (internal/faultnet) hooks
+	// here; production hosts leave it nil.
+	Dial func(addr string) (net.Conn, error)
+	// ReadIdleTimeout, when positive, bounds how long a peer connection
+	// may go without delivering a frame before the host drops it and
+	// lets the redial path rebuild it. This recovers links wedged by a
+	// one-way blackhole (our outbound direction works, the inbound one
+	// is silently dead), at the cost of churning idle-but-healthy
+	// connections on quiet links. Off by default; the chaos harness
+	// enables it.
+	ReadIdleTimeout time.Duration
 	// NoReplPipeline disables batched, pipelined committee replication:
 	// FormCommittee then runs the chain in immediate mode — one
 	// synchronous ReplUpdate round trip per commit, payments on the wide
@@ -117,6 +135,11 @@ type Stats struct {
 	FramesOut        uint64
 	Drops            uint64
 	Reconnects       uint64
+	// FramesRejected counts inbound frames the enclave refused: failed
+	// token authentication or binding, replayed counters (including the
+	// routine duplicates of post-reconnect tail re-sends), and messages
+	// from peers without a session.
+	FramesRejected uint64
 }
 
 // ChannelStats is one channel's payment counters (the sharded hot-path
@@ -185,6 +208,13 @@ type Host struct {
 	framesMisc    atomic.Uint64 // inbound frames with no resolved peer
 	drops         atomic.Uint64
 	reconnects    atomic.Uint64
+	rejects       atomic.Uint64 // inbound frames refused by the enclave
+
+	// wideToken/widePayload are scratch buffers for sendLocked's
+	// two-phase frame build (payload, then bound token, then frame);
+	// guarded by mu held exclusively, like every sendLocked call.
+	wideToken   []byte
+	widePayload []byte
 
 	// Ack signalling: AwaitAcked sleeps on ackCond instead of polling.
 	// noteAcked broadcasts only while ackWaiters is nonzero, so the
@@ -244,6 +274,14 @@ func NewHost(cfg Config) (*Host, error) {
 	}
 	if cfg.RedialMax <= cfg.RedialMin {
 		cfg.RedialMax = time.Second
+	}
+	switch {
+	case cfg.RedialJitter == 0:
+		cfg.RedialJitter = defaultRedialJitter
+	case cfg.RedialJitter < 0:
+		cfg.RedialJitter = 0
+	case cfg.RedialJitter > 1:
+		cfg.RedialJitter = 1
 	}
 	if cfg.ReplBatchOps <= 0 || cfg.ReplBatchOps > wire.MaxReplBatch {
 		cfg.ReplBatchOps = defaultReplBatchOps
@@ -371,6 +409,7 @@ func (h *Host) Stats() Stats {
 		FramesIn:         h.framesMisc.Load(),
 		Drops:            h.drops.Load(),
 		Reconnects:       h.reconnects.Load(),
+		FramesRejected:   h.rejects.Load(),
 	}
 	h.mu.RLock()
 	h.forEachPeerLocked(func(p *peer) {
@@ -561,6 +600,16 @@ func (h *Host) noteReconnect() {
 	h.reconnects.Add(1)
 }
 
+// dialPeerConn opens an outbound peer connection, through Config.Dial
+// when the deployment injected one (fault injection) and plain TCP
+// otherwise.
+func (h *Host) dialPeerConn(addr string) (net.Conn, error) {
+	if h.cfg.Dial != nil {
+		return h.cfg.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
 func (h *Host) acceptLoop(ln net.Listener) {
 	defer h.wg.Done()
 	for {
@@ -609,7 +658,13 @@ func (h *Host) readLoop(ch connHandle, p *peer) {
 	defer ch.conn.Close()
 	defer h.untrackConn(ch.conn)
 	fr := wire.NewFrameReader(bufio.NewReader(ch.conn))
+	idle := h.cfg.ReadIdleTimeout
 	for {
+		if idle > 0 {
+			// A connection that stops delivering frames is dropped and
+			// rebuilt by the redial path; see Config.ReadIdleTimeout.
+			ch.conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck // a dead conn fails the read below
+		}
 		f, err := fr.Next()
 		if err != nil {
 			if isFramingErr(err) {
@@ -654,11 +709,11 @@ func (h *Host) handleLaneFrame(f wire.Frame) bool {
 	}
 	p.lane.Lock()
 	p.framesIn.Add(1)
-	res, err := h.enclave.HandleLane(f.From, f.Token, f.Msg)
+	res, err := h.enclave.HandleLaneBound(f.From, f.Token, f.Code, f.Payload, f.Msg)
 	if err != nil {
 		p.lane.Unlock()
 		h.mu.RUnlock()
-		h.logf("%s: dropping %T from %s: %v", h.cfg.Name, f.Msg, f.From, err)
+		h.noteRejected(f, err)
 		return true
 	}
 	h.dispatchLane(p, res)
@@ -719,14 +774,21 @@ func (h *Host) sendLane(p *peer, to cryptoutil.PublicKey, msg wire.Message) bool
 		h.logf("%s: lane message for %s is not the lane peer, dropping %T", h.cfg.Name, to, msg)
 		return false
 	}
-	tok, err := h.enclave.SealTokenAppend(p.tokenBuf[:0], to)
+	payload, code, flags, err := wire.EncodePayload(p.payloadBuf[:0], msg)
+	if err != nil {
+		h.drops.Add(1)
+		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
+		return false
+	}
+	p.payloadBuf = payload
+	tok, err := h.enclave.SealTokenBound(p.tokenBuf[:0], to, code, payload)
 	if err != nil {
 		h.drops.Add(1)
 		h.logf("%s: sealing token for %s: %v", h.cfg.Name, p.name, err)
 		return false
 	}
 	p.tokenBuf = tok
-	frame, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), tok, msg)
+	frame, err := wire.AppendFrameRaw(p.getBuf(), h.enclave.Identity(), tok, code, flags, payload)
 	if err != nil {
 		h.drops.Add(1)
 		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
@@ -740,6 +802,17 @@ func (h *Host) sendLane(p *peer, to cryptoutil.PublicKey, msg wire.Message) bool
 	p.putBuf(frame)
 	h.logf("%s: outbound queue to %s full, dropping %T", h.cfg.Name, p.name, msg)
 	return false
+}
+
+// noteRejected counts an inbound frame the enclave refused. Replayed
+// counters are routine — connection handovers re-send the writer's
+// recent tail precisely so the session window can dedupe it (see
+// peer.serveConn) — so they are counted but not logged.
+func (h *Host) noteRejected(f wire.Frame, err error) {
+	h.rejects.Add(1)
+	if !errors.Is(err, cryptoutil.ErrReplay) {
+		h.logf("%s: dropping %T from %s: %v", h.cfg.Name, f.Msg, f.From, err)
+	}
 }
 
 // noteAcked advances the host ack total and wakes AwaitAcked sleepers.
@@ -776,9 +849,9 @@ func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 		h.handleHelloLocked(ch, p, f.From, hello)
 		return
 	}
-	res, err := h.enclave.HandleSealed(f.From, f.Token, f.Msg)
+	res, err := h.enclave.HandleSealedBound(f.From, f.Token, f.Code, f.Payload, f.Msg)
 	if err != nil {
-		h.logf("%s: dropping %T from %s: %v", h.cfg.Name, f.Msg, f.From, err)
+		h.noteRejected(f, err)
 		return
 	}
 	h.dispatchLocked(res)
@@ -898,21 +971,38 @@ func (h *Host) sendLocked(to cryptoutil.PublicKey, msg wire.Message) {
 		h.logf("%s: no peer for identity %s, dropping %T", h.cfg.Name, to, msg)
 		return
 	}
-	var token []byte
-	if _, isAttest := msg.(*wire.Attest); !isAttest {
-		t, err := h.enclave.SealToken(to)
+	var frame []byte
+	if _, isAttest := msg.(*wire.Attest); isAttest {
+		// Attest travels tokenless: the session it would seal under
+		// does not exist yet.
+		f, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), nil, msg)
+		if err != nil {
+			h.drops.Add(1)
+			h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
+			return
+		}
+		frame = f
+	} else {
+		payload, code, flags, err := wire.EncodePayload(h.widePayload[:0], msg)
+		if err != nil {
+			h.drops.Add(1)
+			h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
+			return
+		}
+		h.widePayload = payload
+		tok, err := h.enclave.SealTokenBound(h.wideToken[:0], to, code, payload)
 		if err != nil {
 			h.drops.Add(1)
 			h.logf("%s: sealing token for %s: %v", h.cfg.Name, p.name, err)
 			return
 		}
-		token = t
-	}
-	frame, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), token, msg)
-	if err != nil {
-		h.drops.Add(1)
-		h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
-		return
+		h.wideToken = tok
+		frame, err = wire.AppendFrameRaw(p.getBuf(), h.enclave.Identity(), tok, code, flags, payload)
+		if err != nil {
+			h.drops.Add(1)
+			h.logf("%s: encoding %T: %v", h.cfg.Name, msg, err)
+			return
+		}
 	}
 	if p.enqueue(frame) {
 		p.framesOut.Add(1)

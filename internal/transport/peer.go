@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,10 @@ type peer struct {
 	// tokenBuf is the lane-guarded scratch for outbound freshness
 	// tokens (sealed per frame, copied into the frame immediately).
 	tokenBuf []byte
+	// payloadBuf is the lane-guarded scratch for outbound payload
+	// encoding: the payload bytes must exist before the bound token
+	// sealing them can (see Host.sendLane).
+	payloadBuf []byte
 
 	// Per-peer frame counters (the sharded stats path).
 	framesIn  atomic.Uint64
@@ -81,6 +86,20 @@ type peer struct {
 
 	// writer-goroutine private
 	pending []byte // frame whose write failed; resent on the next conn
+
+	// ring is the writer's recent-write tail: the last sentRingSize
+	// tokened frames whose writes SUCCEEDED, kept because TCP reports
+	// success once bytes reach the local kernel — a connection dying
+	// right after can lose them without any error surfacing. Each new
+	// connection re-sends the tail before fresh traffic; receivers
+	// drop the duplicates at the session anti-replay window (which is
+	// deeper than the ring), turning this at-least-once redelivery
+	// into exactly-once end to end. Tokenless frames (Attest) are
+	// excluded: they bypass the session layer, so a replayed attest
+	// would restart the handshake instead of being deduped.
+	ring    [sentRingSize][]byte
+	ringLen int
+	ringPos int
 }
 
 // maxFreeBufs bounds the per-peer frame buffer freelist; maxFreeBufSize
@@ -89,6 +108,17 @@ const (
 	maxFreeBufs    = 64
 	maxFreeBufSize = 64 << 10
 )
+
+// defaultRedialJitter is Config.RedialJitter's default: each backoff
+// sleep lands uniformly in the lower half of [d/2, d].
+const defaultRedialJitter = 0.5
+
+// sentRingSize is the recent-write tail depth re-sent after a
+// connection handover. It must stay below the session anti-replay
+// window (64): the receiver dedupes the tail by counter, and a tail
+// deeper than the window would re-reject frames it has genuinely lost
+// track of instead of absorbing them.
+const sentRingSize = 32
 
 // getBuf returns an empty frame buffer with recycled capacity when one
 // is available.
@@ -168,17 +198,15 @@ func (p *peer) run() {
 	for {
 		var ch connHandle
 		if p.addr != "" {
-			conn, err := net.Dial("tcp", p.addr)
+			conn, err := p.h.dialPeerConn(p.addr)
 			if err != nil {
+				sleep, next := nextBackoff(backoff, p.h.cfg.RedialMax, p.h.cfg.RedialJitter, rand.Float64())
 				select {
-				case <-time.After(backoff):
+				case <-time.After(sleep):
 				case <-p.quit:
 					return
 				}
-				backoff *= 2
-				if backoff > p.h.cfg.RedialMax {
-					backoff = p.h.cfg.RedialMax
-				}
+				backoff = next
 				continue
 			}
 			backoff = p.h.cfg.RedialMin
@@ -217,15 +245,27 @@ func (p *peer) run() {
 
 // serveConn writes queued frames to one connection until it dies or
 // the host closes. A frame that fails to write stays in p.pending for
-// the next connection; successfully written frames recycle their
-// buffers to the peer's freelist.
+// the next connection; successfully written frames enter the ring (or
+// recycle straight to the freelist when tokenless — see the ring
+// field) and recycle on eviction.
 func (p *peer) serveConn(ch connHandle) {
+	// Re-send the recent-write tail first: the previous connection may
+	// have died after accepting these bytes locally but before the
+	// remote read them. Receivers dedupe re-sent frames by session
+	// counter, so redelivery is safe; skipping it would lose in-flight
+	// payments whose senders have already committed them.
+	for i := 0; i < p.ringLen; i++ {
+		idx := (p.ringPos - p.ringLen + i + sentRingSize) % sentRingSize
+		if err := writeFull(ch.conn, p.ring[idx]); err != nil {
+			return
+		}
+	}
 	for {
 		if p.pending != nil {
 			if err := writeFull(ch.conn, p.pending); err != nil {
 				return
 			}
-			p.putBuf(p.pending)
+			p.ringPush(p.pending)
 			p.pending = nil
 		}
 		select {
@@ -237,6 +277,46 @@ func (p *peer) serveConn(ch connHandle) {
 			return
 		}
 	}
+}
+
+// ringPush files a successfully written frame into the recent-write
+// tail, recycling the frame it evicts. Tokenless frames bypass the
+// ring entirely (see the ring field comment).
+func (p *peer) ringPush(frame []byte) {
+	if frameTokenless(frame) {
+		p.putBuf(frame)
+		return
+	}
+	if evicted := p.ring[p.ringPos]; evicted != nil {
+		p.putBuf(evicted)
+	} else {
+		p.ringLen++
+	}
+	p.ring[p.ringPos] = frame
+	p.ringPos = (p.ringPos + 1) % sentRingSize
+}
+
+// frameTokenless reports whether an encoded frame carries no session
+// token (token length field zero). Offset: 4-byte length prefix +
+// version + code + flags + 65-byte identity = 72.
+func frameTokenless(frame []byte) bool {
+	return len(frame) < 74 || (frame[72] == 0 && frame[73] == 0)
+}
+
+// nextBackoff computes one reconnect backoff step: the sleep for the
+// current delay d — jittered uniformly over [(1-j)·d, d] by the random
+// sample u in [0,1) — and the next delay (doubled, capped at max).
+// Pure so the schedule is unit-testable.
+func nextBackoff(d, max time.Duration, jitter, u float64) (sleep, next time.Duration) {
+	sleep = d
+	if jitter > 0 {
+		sleep = time.Duration(float64(d) * (1 - jitter*u))
+	}
+	next = 2 * d
+	if next > max {
+		next = max
+	}
+	return sleep, next
 }
 
 func writeFull(conn net.Conn, b []byte) error {

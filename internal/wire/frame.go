@@ -169,11 +169,18 @@ func NewByCode(code byte) (Message, error) {
 	return reflect.New(typeByCode[code]).Interface().(Message), nil
 }
 
-// Frame is a decoded transport frame.
+// Frame is a decoded transport frame. Code is the registry code from
+// the frame header and Payload the raw encoded payload bytes — both
+// are retained so receivers can verify the sender's bound token
+// (cryptoutil.Session.OpenBound) against exactly the bytes that
+// traveled. Payload aliases the decode buffer: like Token, it is valid
+// only until the underlying buffer's next reuse.
 type Frame struct {
-	From  cryptoutil.PublicKey
-	Token []byte
-	Msg   Message
+	From    cryptoutil.PublicKey
+	Token   []byte
+	Msg     Message
+	Code    byte
+	Payload []byte
 }
 
 // gobBufPool recycles the scratch buffers gob payload encoding writes
@@ -228,6 +235,60 @@ func AppendFrame(dst []byte, from cryptoutil.PublicKey, token []byte, msg Messag
 	return dst, nil
 }
 
+// EncodePayload encodes msg's payload bytes onto dst, returning the
+// extended slice plus the message's registry code and frame flags.
+// It is the first half of a two-phase frame build: transports that
+// bind the payload into the freshness token (SealAppendBound) need the
+// payload bytes before the token exists, then assemble the frame with
+// AppendFrameRaw. AppendFrame remains the one-shot form for tokenless
+// and sim-path frames.
+func EncodePayload(dst []byte, msg Message) ([]byte, byte, byte, error) {
+	code, err := MsgCode(msg)
+	if err != nil {
+		return dst, 0, 0, err
+	}
+	var flags byte
+	if bm, ok := msg.(BinaryMessage); ok {
+		flags |= FlagBinaryPayload
+		out, err := bm.AppendPayload(dst)
+		if err != nil {
+			return dst, 0, 0, err
+		}
+		return out, code, flags, nil
+	}
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(msg); err != nil {
+		gobBufPool.Put(buf)
+		return dst, 0, 0, fmt.Errorf("wire: encoding %T: %w", msg, err)
+	}
+	dst = append(dst, buf.Bytes()...)
+	gobBufPool.Put(buf)
+	return dst, code, flags, nil
+}
+
+// AppendFrameRaw assembles a complete frame (length prefix included)
+// from an already-encoded payload — the second half of the two-phase
+// build started by EncodePayload.
+func AppendFrameRaw(dst []byte, from cryptoutil.PublicKey, token []byte, code, flags byte, payload []byte) ([]byte, error) {
+	if len(token) > 0xffff {
+		return nil, fmt.Errorf("wire: token length %d exceeds uint16", len(token))
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	dst = append(dst, FrameVersion, code, flags)
+	dst = append(dst, from[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(token)))
+	dst = append(dst, token...)
+	dst = append(dst, payload...)
+	n := len(dst) - start - 4
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
 // DecodeFrame parses a frame body (the bytes following the length
 // prefix). It never panics on malformed input.
 func DecodeFrame(body []byte) (Frame, error) {
@@ -270,6 +331,8 @@ func decodeFrameInto(f *Frame, body, tokenBuf []byte, reuse []Message) error {
 		f.Token = nil
 	}
 	payload := rest[tlen:]
+	f.Code = code
+	f.Payload = payload
 	if flags&FlagBinaryPayload != 0 {
 		if !binaryCode[code] {
 			return fmt.Errorf("%w: code %d is not binary-encodable", ErrFrameEncoding, code)
