@@ -1,0 +1,247 @@
+package main
+
+// The durability benchmark measures what crash safety costs on the
+// payment fast path: the same single-channel batched-payment pump as
+// the socket benchmark, run twice — once in memory and once with the
+// sender durable (group-committed WAL + sealed snapshots under a
+// temporary data directory). Because the WAL rides the lane fast path
+// (records seal and fsync off-path, acks release on the group commit),
+// durable throughput should stay within a small factor of in-memory;
+// the committed BENCH_durability.json records both and CI gates on
+// >25% tx/s regression and on the durable/in-memory ratio collapsing
+// below the 1/4 acceptance floor.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"teechain/internal/api/client"
+	"teechain/internal/chain"
+	"teechain/internal/harness"
+	"teechain/internal/transport"
+	"teechain/internal/wire"
+)
+
+// durResult is the measurement for one mode (durable or in-memory).
+type durResult struct {
+	Durable  bool    `json:"durable"`
+	Payments int     `json:"payments"`
+	TxPerSec float64 `json:"tx_per_s"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	// Fsyncs and OpsLogged record the group-commit shape of the durable
+	// run (zero for in-memory): far fewer fsyncs than ops is the whole
+	// point of the batched flusher.
+	Fsyncs    uint64 `json:"fsyncs,omitempty"`
+	OpsLogged uint64 `json:"ops_logged,omitempty"`
+}
+
+// durSnapshot is the durability-bench record tracked across PRs.
+type durSnapshot struct {
+	GoMaxProcs int       `json:"go_max_procs"`
+	Batch      int       `json:"batch"`
+	PerRun     int       `json:"payments_per_run"`
+	InMemory   durResult `json:"in_memory"`
+	Durable    durResult `json:"durable"`
+	// Ratio is durable tx/s over in-memory tx/s; the acceptance floor
+	// is 0.25 (durability may cost at most 4x).
+	Ratio float64 `json:"durable_over_in_memory"`
+}
+
+// runDurBench pumps batched payments over one funded sender->receiver
+// channel and measures acked throughput, with the sender durable or
+// not. Every ack in durable mode has cleared an fsync: the WAL holds
+// back PayBatch effects until its group commit, so the measurement is
+// end-to-end crash-safe throughput, not buffered-write throughput.
+func runDurBench(payments, batch, window int, durable bool) (durResult, error) {
+	res := durResult{Durable: durable, Payments: payments}
+	var mut func(*transport.Config)
+	if durable {
+		dir, err := os.MkdirTemp("", "teechain-durbench-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		mut = func(cfg *transport.Config) {
+			if cfg.Name == "s0" {
+				cfg.DataDir = dir
+			}
+		}
+	}
+	c, err := harness.NewClusterWith(mut, "s0", "r0")
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	if err := c.Connect("s0", "r0"); err != nil {
+		return res, err
+	}
+	id, err := c.OpenChannel("s0", "r0", chain.Amount(payments)+1)
+	if err != nil {
+		return res, err
+	}
+	chID := wire.ChannelID(id)
+	sender := c.Client("s0")
+	sender.SetTimeout(socketBenchTimeout)
+
+	type sample struct {
+		h  *client.Pending
+		t0 time.Time
+	}
+	inflight := window / batch
+	if inflight < 1 {
+		inflight = 1
+	}
+	entries := make(chan sample, inflight)
+	latCh := make(chan []time.Duration, 1)
+	errCh := make(chan error, 2)
+	go func() {
+		lats := make([]time.Duration, 0, payments/batch+1)
+		for e := range entries {
+			if err := e.h.Wait(); err != nil {
+				errCh <- err
+				break
+			}
+			lats = append(lats, time.Since(e.t0))
+		}
+		latCh <- lats
+	}()
+	start := time.Now()
+	amounts := make([]chain.Amount, 0, batch)
+	issued := 0
+	for issued < payments {
+		n := min(batch, payments-issued)
+		amounts = amounts[:0]
+		for i := 0; i < n; i++ {
+			amounts = append(amounts, 1)
+		}
+		t0 := time.Now()
+		var h *client.Pending
+		var err error
+		if n == 1 {
+			h, err = sender.PayAsync(chID, 1, 1)
+		} else {
+			h, err = sender.PayBatchAsync(chID, amounts)
+		}
+		if err != nil {
+			close(entries)
+			return res, err
+		}
+		issued += n
+		entries <- sample{h: h, t0: t0}
+	}
+	close(entries)
+	lats := <-latCh
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	st, err := sender.Stats()
+	if err != nil {
+		return res, err
+	}
+	if st.Host.PaymentsWide != 0 {
+		return res, fmt.Errorf("%d payments fell off the lane fast path", st.Host.PaymentsWide)
+	}
+	if durable {
+		ws, err := sender.WalStats()
+		if err != nil {
+			return res, err
+		}
+		res.Fsyncs = ws.Fsyncs
+		res.OpsLogged = ws.OpsLogged
+	}
+	res.TxPerSec = float64(payments) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P50Us = float64(lats[len(lats)/2].Microseconds())
+		res.P99Us = float64(lats[len(lats)*99/100].Microseconds())
+	}
+	return res, nil
+}
+
+func runDurSuite(payments, batch, reps int) (*durSnapshot, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	window := 4 * batch
+	snap := &durSnapshot{GoMaxProcs: runtime.GOMAXPROCS(0), Batch: batch, PerRun: payments}
+	fmt.Printf("durability bench: GOMAXPROCS=%d, %d payments/run, batch=%d, window=%d, best of %d\n",
+		snap.GoMaxProcs, payments, batch, window, reps)
+	for _, durable := range []bool{false, true} {
+		var best durResult
+		for rep := 0; rep < reps; rep++ {
+			r, err := runDurBench(payments, batch, window, durable)
+			if err != nil {
+				return nil, fmt.Errorf("durability bench (durable=%t): %w", durable, err)
+			}
+			if r.TxPerSec > best.TxPerSec {
+				best = r
+			}
+		}
+		if durable {
+			snap.Durable = best
+		} else {
+			snap.InMemory = best
+		}
+	}
+	if snap.InMemory.TxPerSec > 0 {
+		snap.Ratio = snap.Durable.TxPerSec / snap.InMemory.TxPerSec
+	}
+	fmt.Printf("%-10s %12s %10s %10s %10s %10s\n", "mode", "tx/s", "p50(us)", "p99(us)", "fsyncs", "ops")
+	fmt.Printf("%-10s %12.0f %10.0f %10.0f %10s %10s\n", "in-memory",
+		snap.InMemory.TxPerSec, snap.InMemory.P50Us, snap.InMemory.P99Us, "-", "-")
+	fmt.Printf("%-10s %12.0f %10.0f %10.0f %10d %10d\n", "durable",
+		snap.Durable.TxPerSec, snap.Durable.P50Us, snap.Durable.P99Us,
+		snap.Durable.Fsyncs, snap.Durable.OpsLogged)
+	fmt.Printf("durable/in-memory: %.2fx\n", snap.Ratio)
+	return snap, nil
+}
+
+func writeDurJSON(path string, snap *durSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// compareDurBaseline is the CI gate for the durable payment path:
+// durable tx/s may not fall more than 25% below the committed
+// baseline, and the durable/in-memory ratio may not collapse below the
+// 1/4 acceptance floor.
+func compareDurBaseline(path string, fresh *durSnapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading durability baseline: %w", err)
+	}
+	var base durSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing durability baseline %s: %w", path, err)
+	}
+	floor := base.Durable.TxPerSec * 0.75
+	if fresh.Durable.TxPerSec < floor {
+		return fmt.Errorf("durable perf regression: %.0f tx/s is more than 25%% below baseline %.0f (floor %.0f)",
+			fresh.Durable.TxPerSec, base.Durable.TxPerSec, floor)
+	}
+	if fresh.Ratio < 0.25 {
+		return fmt.Errorf("durable/in-memory ratio collapsed: %.2f, acceptance floor 0.25", fresh.Ratio)
+	}
+	if fresh.Durable.Fsyncs == 0 || fresh.Durable.Fsyncs >= fresh.Durable.OpsLogged {
+		return fmt.Errorf("group commit missing: %d fsyncs for %d ops", fresh.Durable.Fsyncs, fresh.Durable.OpsLogged)
+	}
+	fmt.Printf("durability perf gate passed: %.0f tx/s >= floor %.0f, ratio %.2f >= 0.25\n",
+		fresh.Durable.TxPerSec, floor, fresh.Ratio)
+	return nil
+}

@@ -21,6 +21,12 @@
 //
 //	teechain-bench -socket -committee 0,1,2,4
 //	teechain-bench -socket -committee 2 -repljson F -replcompare BENCH_replication.json
+//
+// Durability benchmarking (WAL-durable vs in-memory sender, see
+// durability.go):
+//
+//	teechain-bench -socket -durable
+//	teechain-bench -socket -durable -durjson F -durcompare BENCH_durability.json
 package main
 
 import (
@@ -54,7 +60,40 @@ func main() {
 	committee := flag.String("committee", "", "with -socket: comma-separated committee sizes to measure (e.g. 0,1,2,4); runs the replicated-payment benchmark instead of channel scaling")
 	replJSON := flag.String("repljson", "", "with -socket -committee: write the replication snapshot as JSON to this file")
 	replCompare := flag.String("replcompare", "", "with -socket -committee: compare against this baseline JSON and exit nonzero on >25% tx/s regression")
+	durable := flag.Bool("durable", false, "with -socket: run the durability benchmark (WAL-durable vs in-memory sender) instead of channel scaling")
+	durJSON := flag.String("durjson", "", "with -socket -durable: write the durability snapshot as JSON to this file")
+	durCompare := flag.String("durcompare", "", "with -socket -durable: compare against this baseline JSON and exit nonzero on >25% durable tx/s regression or a durable/in-memory ratio below 0.25")
 	flag.Parse()
+
+	if *durable {
+		if !*socket {
+			log.Fatal("-durable requires -socket")
+		}
+		if *committee != "" {
+			log.Fatal("-durable and -committee are separate benchmarks; pick one")
+		}
+		if *quick {
+			*socketPay = 4000
+		}
+		snap, err := runDurSuite(*socketPay, *batch, *sreps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *durJSON != "" {
+			if err := writeDurJSON(*durJSON, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *durCompare != "" {
+			if err := compareDurBaseline(*durCompare, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *durJSON != "" || *durCompare != "" {
+		log.Fatal("-durjson/-durcompare require -socket -durable")
+	}
 
 	if *socket && *committee != "" {
 		if *socketJSON != "" || *socketCompare != "" {

@@ -63,6 +63,7 @@ type nodeConfig struct {
 	WalletSeed       string   `json:"wallet_seed"`
 	MinConfirmations uint64   `json:"min_confirmations"`
 	Pprof            string   `json:"pprof"`
+	Data             string   `json:"data"`
 }
 
 func main() {
@@ -78,6 +79,7 @@ func main() {
 		walletSeed  = flag.String("wallet-seed", "", "wallet key seed (default: node name)")
 		minConf     = flag.Uint64("min-confirmations", 0, "deposit approval depth (default 1)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+		dataDir     = flag.String("data", "", "data directory for durable enclave state (WAL + sealed snapshots); empty = in-memory only")
 	)
 	flag.Parse()
 
@@ -104,6 +106,7 @@ func main() {
 	override(&cfg.Authority, *authority)
 	override(&cfg.WalletSeed, *walletSeed)
 	override(&cfg.Pprof, *pprofAddr)
+	override(&cfg.Data, *dataDir)
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
 	}
@@ -178,6 +181,7 @@ func run(cfg nodeConfig) error {
 		Chain:            access,
 		WalletSeed:       cfg.WalletSeed,
 		MinConfirmations: cfg.MinConfirmations,
+		DataDir:          cfg.Data,
 		Logf: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},

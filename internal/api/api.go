@@ -36,6 +36,7 @@ package api
 
 import (
 	"fmt"
+	"time"
 
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
@@ -43,8 +44,10 @@ import (
 )
 
 // Version is the control-plane protocol version, negotiated by
-// HelloReq/HelloResp. Bump on incompatible changes.
-const Version = 1
+// HelloReq/HelloResp. Bump on incompatible changes. v2 added the
+// durability surface: WalStats/SnapshotNow/Recover requests,
+// CodeRecovering, and the snapshot/WAL-lag/recovered event kinds.
+const Version = 2
 
 // MaxPayCount bounds PayReq.Count: a single request may issue at most
 // this many payments. The bound keeps a hostile (or fuzzed) count from
@@ -68,6 +71,7 @@ const (
 	CodeUnavailable      // host or server is shutting down
 	CodeVersion          // protocol version mismatch at hello
 	CodeNacked           // payment(s) rejected and reversed by the peer
+	CodeRecovering       // node restarted from durable state; run recover first
 )
 
 // String names the code for logs and the line-protocol shim.
@@ -91,6 +95,8 @@ func (c Code) String() string {
 		return "version-mismatch"
 	case CodeNacked:
 		return "nacked"
+	case CodeRecovering:
+		return "recovering"
 	}
 	return fmt.Sprintf("code-%d", uint16(c))
 }
@@ -480,6 +486,11 @@ type HostStats struct {
 	// (failed token authentication or binding, replayed counters,
 	// sessionless peers).
 	FramesRejected uint64
+	// PaymentsWide counts payments that fell back to the wide lock
+	// instead of a payment lane — the fast-path regression canary (a
+	// healthy durable or replicated node keeps it at zero). Appended
+	// in protocol v2; a v1 gob stream simply leaves it zero.
+	PaymentsWide uint64
 }
 
 // ChannelStatsEntry is one channel's payment counters.
@@ -545,6 +556,9 @@ const (
 	EventPayReceived EventKind = 3 // payments arrived from a peer
 	EventReplCursor  EventKind = 4 // replication ack cursor advanced
 	EventSettled     EventKind = 5 // a channel terminated (settle confirmed)
+	EventSnapshot    EventKind = 6 // a durable snapshot sealed (WAL truncated)
+	EventWalLag      EventKind = 7 // WAL fsync lag reached a new high-water mark
+	EventRecovered   EventKind = 8 // crash recovery completed; payments accepted
 )
 
 // Mask returns the subscription bit for the kind.
@@ -584,6 +598,9 @@ func (m *SubscribeResp) WireSize() int { return apiHdr + 8 }
 //	EventPayAcked/Nacked/Received  Channel, Amount, Count
 //	EventReplCursor                Chain, Cursor (cumulative acked seq)
 //	EventSettled                   Channel
+//	EventSnapshot                  Cursor (log seq the snapshot covers)
+//	EventWalLag                    Cursor (the new fsync-lag high water)
+//	EventRecovered                 (no fields)
 type Event struct {
 	Seq     uint64
 	Kind    EventKind
@@ -596,6 +613,80 @@ type Event struct {
 
 // WireSize implements wire.Message.
 func (m *Event) WireSize() int { return apiHdr + 29 + len(m.Channel) + len(m.Chain) }
+
+// --- Durability & admin (protocol v2) ---
+
+// WalStatsReq asks for the node's durability pipeline snapshot.
+type WalStatsReq struct {
+	ReqHeader
+}
+
+// WireSize implements wire.Message.
+func (m *WalStatsReq) WireSize() int { return apiHdr + 8 }
+
+// WalStatsResp reports the durability pipeline: log cursors, fsync
+// batching, snapshot age, and whether the node is still recovering.
+// Durable is false (and everything else zero) on an in-memory node.
+type WalStatsResp struct {
+	RespHeader
+	Durable     bool
+	NextSeq     uint64        // ops committed
+	FlushedSeq  uint64        // ops handed to the WAL flusher
+	SyncedSeq   uint64        // ops fsynced (effects released)
+	FsyncLag    uint64        // NextSeq - SyncedSeq at snapshot time
+	FsyncLagMax uint64        // high-water mark of the fsync lag
+	Fsyncs      uint64        // batched fsyncs performed
+	OpsLogged   uint64        // ops carried by those fsyncs
+	SnapshotSeq uint64        // log cursor of the last snapshot
+	SnapshotAge time.Duration // time since the last snapshot
+	Snapshots   uint64        // snapshots sealed since start
+	Recovering  bool          // recover not yet run to completion
+}
+
+// WireSize implements wire.Message.
+func (m *WalStatsResp) WireSize() int { return apiHdr + 8 + 90 + len(m.Err) }
+
+// SnapshotNowReq forces an immediate durable snapshot (sealing the
+// full enclave image under a fresh monotonic-counter increment and
+// truncating the WAL). Fails with CodeBadRequest on an in-memory node.
+type SnapshotNowReq struct {
+	ReqHeader
+}
+
+// WireSize implements wire.Message.
+func (m *SnapshotNowReq) WireSize() int { return apiHdr + 8 }
+
+// SnapshotNowResp reports the log sequence the snapshot covers.
+type SnapshotNowResp struct {
+	RespHeader
+	Seq uint64
+}
+
+// WireSize implements wire.Message.
+func (m *SnapshotNowResp) WireSize() int { return apiHdr + 16 + len(m.Err) }
+
+// RecoverReq runs crash recovery on a node that restarted from durable
+// state: re-attest neighbors, reconcile channels, resync the
+// committee. No-op (OK, Recovered false) on a node that is not
+// recovering. The node's peers must be reachable (dial them first).
+type RecoverReq struct {
+	ReqHeader
+}
+
+// WireSize implements wire.Message.
+func (m *RecoverReq) WireSize() int { return apiHdr + 8 }
+
+// RecoverResp reports the recovery outcome. Recovered is true when
+// this request completed a recovery (false when none was needed);
+// Resumed counts the channels reconciled.
+type RecoverResp struct {
+	RespHeader
+	Recovered bool
+	Resumed   int
+}
+
+// WireSize implements wire.Message.
+func (m *RecoverResp) WireSize() int { return apiHdr + 16 + len(m.Err) }
 
 // ErrorResp is the generic failure response for requests the server
 // cannot answer in their own response type (unknown request types,
@@ -621,6 +712,9 @@ func Messages() []wire.Message {
 		&BalancesReq{}, &BalancesResp{}, &MineReq{}, &MineResp{},
 		&BalanceReq{}, &BalanceResp{}, &StatsReq{}, &StatsResp{},
 		&SubscribeReq{}, &SubscribeResp{}, &Event{}, &ErrorResp{},
+		// v2 durability surface — appended so v1 codes are unchanged.
+		&WalStatsReq{}, &WalStatsResp{}, &SnapshotNowReq{}, &SnapshotNowResp{},
+		&RecoverReq{}, &RecoverResp{},
 	}
 }
 

@@ -16,9 +16,10 @@ import (
 // registry with its pinned, stable code (the codes are the protocol —
 // reordering Messages() or the wire registry breaks deployed nodes).
 func TestRegistryComplete(t *testing.T) {
-	// The enclave protocol occupies codes 1..35 (see wire's registry);
-	// api registration appends deterministically after it.
-	const apiBase = 36
+	// The enclave protocol occupies codes 1..39 (see wire's registry;
+	// 36-39 are the durable-mode resume messages); api registration
+	// appends deterministically after it.
+	const apiBase = 40
 	msgs := Messages()
 	if len(msgs) == 0 {
 		t.Fatal("no api messages listed")
@@ -218,7 +219,7 @@ func TestErrorClassification(t *testing.T) {
 	if err := hdr.AsError(); !errors.As(err, &ae) || ae.Code != CodeInternal {
 		t.Fatalf("AsError: %v", err)
 	}
-	for c := OK; c <= CodeNacked+1; c++ {
+	for c := OK; c <= CodeRecovering+1; c++ {
 		if c.String() == "" {
 			t.Fatalf("code %d has empty name", c)
 		}

@@ -68,6 +68,17 @@ type Backend interface {
 	WalletBalance() (chain.Amount, error)
 	// Stats snapshots host, per-channel, and committee counters.
 	Stats() StatsResp
+	// WalStats snapshots the durability pipeline; Durable is false on
+	// an in-memory node.
+	WalStats() WalStatsResp
+	// SnapshotNow forces an immediate durable snapshot, returning the
+	// log sequence it covers. Errors on an in-memory node.
+	SnapshotNow() (uint64, error)
+	// Recover runs crash recovery (re-attest, reconcile channels,
+	// resync committee) on a durable node that restarted. recovered
+	// is false when no recovery was pending; resumed counts the
+	// channels reconciled.
+	Recover(timeout time.Duration) (recovered bool, resumed int, err error)
 	// Subscribe registers an event observer. fn is invoked with
 	// enclave-side locks held and must not block; the returned cancel
 	// unregisters it. The Event's Seq field is left zero — delivery

@@ -431,3 +431,35 @@ func (c *Conn) Stats() (*api.StatsResp, error) {
 	}
 	return resp.(*api.StatsResp), nil
 }
+
+// WalStats snapshots the node's durability pipeline (Durable is false
+// on an in-memory node).
+func (c *Conn) WalStats() (*api.WalStatsResp, error) {
+	resp, err := c.do(&api.WalStatsReq{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*api.WalStatsResp), nil
+}
+
+// SnapshotNow forces an immediate durable snapshot, returning the log
+// sequence it covers.
+func (c *Conn) SnapshotNow() (uint64, error) {
+	resp, err := c.do(&api.SnapshotNowReq{})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(*api.SnapshotNowResp).Seq, nil
+}
+
+// Recover runs crash recovery on a node that restarted from durable
+// state. recovered is false when none was needed; resumed counts the
+// channels reconciled.
+func (c *Conn) Recover() (recovered bool, resumed int, err error) {
+	resp, err := c.do(&api.RecoverReq{})
+	if err != nil {
+		return false, 0, err
+	}
+	rr := resp.(*api.RecoverResp)
+	return rr.Recovered, rr.Resumed, nil
+}

@@ -176,6 +176,22 @@ func (h *Handler) Do(req Request) Response {
 		resp := h.b.Stats()
 		fill(&resp.RespHeader, id, nil)
 		return &resp
+	case *WalStatsReq:
+		resp := h.b.WalStats()
+		fill(&resp.RespHeader, id, nil)
+		return &resp
+	case *SnapshotNowReq:
+		resp := &SnapshotNowResp{}
+		seq, err := h.b.SnapshotNow()
+		resp.Seq = seq
+		fill(&resp.RespHeader, id, err)
+		return resp
+	case *RecoverReq:
+		resp := &RecoverResp{}
+		recovered, resumed, err := h.b.Recover(h.timeout())
+		resp.Recovered, resp.Resumed = recovered, resumed
+		fill(&resp.RespHeader, id, err)
+		return resp
 	default:
 		resp := &ErrorResp{}
 		fill(&resp.RespHeader, id, Errorf(CodeUnknown, "request type %T is not dispatchable", req))

@@ -414,6 +414,9 @@ func (e *Enclave) Pay(id wire.ChannelID, amount chain.Amount, count int) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	if c.Resuming {
+		return nil, fmt.Errorf("core: channel %s is reconciling after a crash", id)
+	}
 	op := e.pools.getOp()
 	op.Kind, op.Channel, op.Amount, op.Count = OpPaySend, id, amount, count
 	m := e.pools.getPayMsg()
@@ -495,6 +498,9 @@ func (e *Enclave) PayBatch(id wire.ChannelID, amounts []chain.Amount) (*Result, 
 	c, err := e.state.openChannel(id)
 	if err != nil {
 		return nil, err
+	}
+	if c.Resuming {
+		return nil, fmt.Errorf("core: channel %s is reconciling after a crash", id)
 	}
 	op := e.pools.getOp()
 	op.Kind, op.Channel, op.Amount, op.Count = OpPaySend, id, total, len(amounts)

@@ -29,6 +29,10 @@ func (e *Enclave) FormCommittee(members []cryptoutil.PublicKey, m int) (*Result,
 	if m < 1 || m > n {
 		return nil, fmt.Errorf("core: invalid threshold %d-of-%d", m, n)
 	}
+	// attachSeq is the log cursor the attach snapshot covers; members
+	// seed their mirror cursor from it so the stream resumes at
+	// attachSeq+1 (nonzero only for a durable owner's unified log).
+	var attachSeq uint64
 	for _, peer := range members {
 		if _, err := e.session(peer); err != nil {
 			return nil, err
@@ -41,10 +45,34 @@ func (e *Enclave) FormCommittee(members []cryptoutil.PublicKey, m int) (*Result,
 		m:             m,
 		memberBtcKeys: make(map[cryptoutil.PublicKey]cryptoutil.PublicKey),
 	}
-	// A host that opted into pipelined replication before formation
-	// (EnableReplPipeline) gets the chain's log in pipelined mode.
-	e.repl.log.pipelined = e.replPipelined
-	e.repl.log.notify = e.replNotify
+	if e.wal != nil {
+		// Durable enclave: adopt the WAL log wholesale so replication
+		// and durability share one sequence space and one ring of
+		// withheld effects (released only once every enabled cursor
+		// passes an entry). The combined notify wakes both flushers.
+		log := e.wal.log
+		if walNotify, replNotify := log.notify, e.replNotify; replNotify != nil {
+			if walNotify != nil {
+				log.notify = func() { walNotify(); replNotify() }
+			} else {
+				log.notify = replNotify
+			}
+		}
+		// Pre-formation ops ride the ReplAttach snapshot, not the
+		// replication stream — and a durable log is always pipelined,
+		// so appends never advanced flushSeq. Jump the replication
+		// cursors to the committed frontier.
+		log.mu.Lock()
+		log.flushSeq = log.nextSeq
+		log.ackSeq = log.nextSeq
+		attachSeq = log.nextSeq
+		log.mu.Unlock()
+		e.repl.log = log
+	} else {
+		// A host that opted into pipelined replication before formation
+		// (EnableReplPipeline) gets the chain's log in pipelined mode.
+		e.repl.log = &replLog{pipelined: e.replPipelined, notify: e.replNotify}
+	}
 	if len(members) == 0 {
 		e.repl.ready = true
 		return &Result{Events: []Event{EvCommitteeReady{Chain: e.repl.chainID}}}, nil
@@ -65,6 +93,7 @@ func (e *Enclave) FormCommittee(members []cryptoutil.PublicKey, m int) (*Result,
 			M:        m,
 			Payout:   e.state.OwnerPayout,
 			Snapshot: snap,
+			Seq:      attachSeq,
 		}})
 	}
 	return res, nil
@@ -120,6 +149,7 @@ func (e *Enclave) handleReplAttach(from cryptoutil.PublicKey, m *wire.ReplAttach
 		myIndex:     myIndex,
 		mirror:      mirror,
 		btcKey:      btcKey,
+		lastSeq:     m.Seq, // the snapshot covers the stream up to here
 		pendingSigs: make(map[uint64][]wire.TauSig),
 	}
 	return &Result{Out: oneOut(from, &wire.ReplAttachAck{Chain: m.Chain, BtcKey: btcKey.Public()})}, nil
@@ -409,4 +439,90 @@ func lookupKey(st *State, addr cryptoutil.Address) (cryptoutil.PublicKey, bool) 
 type EvSigRefused struct {
 	From   cryptoutil.PublicKey
 	Reason string
+}
+
+// --- Post-recovery committee resync (§6.2 durable mode) ---
+
+// ReplResyncStart re-seeds every committee member's mirror with this
+// crash-recovered primary's state, resuming replication from the
+// persisted cursor. Mirrors the primary lost contact with may be AHEAD
+// of the recovered state (ops flushed but not yet fsynced before the
+// crash) — replacing them wholesale is safe because the primary never
+// released the effects of those ops, so nothing external depends on
+// them. EvReplResynced fires once every member acknowledges.
+func (e *Enclave) ReplResyncStart() (*Result, error) {
+	if e.repl == nil {
+		return nil, errors.New("core: no committee to resync")
+	}
+	if e.state.Frozen {
+		return nil, ErrFrozen
+	}
+	if len(e.repl.members) < 2 {
+		return &Result{Events: []Event{EvReplResynced{Chain: e.repl.chainID}}}, nil
+	}
+	snap, err := e.snapshotState()
+	if err != nil {
+		return nil, err
+	}
+	l := e.repl.log
+	l.mu.Lock()
+	seq := l.nextSeq
+	l.mu.Unlock()
+	res := &Result{}
+	for _, peer := range e.repl.members[1:] {
+		if _, err := e.session(peer); err != nil {
+			return nil, err
+		}
+		res.Out = append(res.Out, Outbound{To: peer, Msg: &wire.ReplResync{
+			Chain: e.repl.chainID, Snapshot: snap, Seq: seq,
+		}})
+	}
+	e.repl.resyncPending = len(e.repl.members) - 1
+	return res, nil
+}
+
+func (e *Enclave) handleReplResync(from cryptoutil.PublicKey, m *wire.ReplResync) (*Result, error) {
+	b, ok := e.backups[m.Chain]
+	if !ok {
+		return nil, fmt.Errorf("core: not a member of chain %s", m.Chain)
+	}
+	if from != b.members[0] {
+		return nil, errors.New("core: resync must come from the chain owner")
+	}
+	mirror, err := decodeState(m.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if mirror.Owner != from || mirror.OwnerPayout != b.mirror.OwnerPayout {
+		return nil, errors.New("core: resync snapshot does not match chain owner")
+	}
+	b.mirror = mirror
+	b.lastSeq = m.Seq
+	b.frozen = false
+	clear(b.pendingSigs)
+	return &Result{Out: oneOut(from, &wire.ReplResyncAck{Chain: m.Chain, Seq: m.Seq})}, nil
+}
+
+func (e *Enclave) handleReplResyncAck(from cryptoutil.PublicKey, m *wire.ReplResyncAck) (*Result, error) {
+	if e.repl == nil || e.repl.chainID != m.Chain {
+		return nil, fmt.Errorf("core: resync ack for unknown chain %s", m.Chain)
+	}
+	isMember := false
+	for _, id := range e.repl.members[1:] {
+		if id == from {
+			isMember = true
+			break
+		}
+	}
+	if !isMember {
+		return nil, errors.New("core: resync ack from non-member")
+	}
+	if e.repl.resyncPending <= 0 {
+		return &Result{}, nil
+	}
+	e.repl.resyncPending--
+	if e.repl.resyncPending == 0 {
+		return &Result{Events: []Event{EvReplResynced{Chain: m.Chain}}}, nil
+	}
+	return &Result{}, nil
 }

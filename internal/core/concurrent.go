@@ -63,7 +63,11 @@ func (e *Enclave) EnableConcurrentHost() {
 // immediate-mode chain (the simulator's default) still takes the wide
 // path, where the synchronous ReplUpdate emission belongs. Serving as a
 // committee BACKUP never disqualifies lanes: mirrors are only touched
-// by replication frames, which are wide-path messages. Hosts re-check
+// by replication frames, which are wide-path messages. Durable (WAL)
+// mode keeps lanes eligible for the same reason replication does: the
+// durable log is always pipelined, so lane commits append behind the
+// log's own mutex and the WAL flusher drains them without wide state —
+// that is what keeps durable payments at line rate. Hosts re-check
 // this under the wide read lock for every lane message; the features
 // above are only ever enabled under the wide write lock, so the answer
 // cannot change mid-message.

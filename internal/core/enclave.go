@@ -55,11 +55,18 @@ type replPrimary struct {
 	memberBtcKeys map[cryptoutil.PublicKey]cryptoutil.PublicKey
 	ready         bool
 
+	// resyncPending counts committee members yet to acknowledge a
+	// post-recovery mirror resync (ReplResyncStart); EvReplResynced
+	// fires when it reaches zero.
+	resyncPending int
+
 	// log is the replication pipeline: sequence assignment, the window
 	// of committed-but-unacknowledged entries with their withheld
 	// effects, and the pipelined-delivery queue. Its own lock domain —
-	// see repl.go.
-	log replLog
+	// see repl.go. A pointer so a durable enclave's pre-existing WAL log
+	// can be adopted wholesale on committee formation, keeping one
+	// sequence space for both cursors.
+	log *replLog
 }
 
 func (p *replPrimary) backup() (cryptoutil.PublicKey, bool) {
@@ -122,14 +129,20 @@ type Enclave struct {
 	repl    *replPrimary
 	backups map[string]*replBackup
 
+	// wal, when non-nil, is the durable write-ahead-log state: the log
+	// whose syncSeq cursor gates effect releases plus the snapshot
+	// bookkeeping. See durable.go.
+	wal *walState
+
 	// pools recycles hot-path objects; NewNode points it at the
 	// deployment-wide instance shared through the Directory.
 	pools *hotPools
 
 	// lastSess is a one-entry session lookup cache (see State.lastCh
-	// for the rationale); established sessions are never replaced, so
-	// it cannot go stale. Atomic for the same reason as State.lastCh:
-	// concurrent payment lanes of a socket host share it.
+	// for the rationale). An established session is replaced only by a
+	// resume attestation from a recovered peer (handleAttest), which
+	// invalidates the cache. Atomic for the same reason as
+	// State.lastCh: concurrent payment lanes of a socket host share it.
 	lastSess atomic.Pointer[peerSession]
 
 	// replPipelined/replNotify record an EnableReplPipeline call made
@@ -200,6 +213,18 @@ func reportDataFor(identity cryptoutil.PublicKey, dhPub []byte) [32]byte {
 // StartAttest begins mutual remote attestation with a peer enclave
 // whose identity key was exchanged out of band.
 func (e *Enclave) StartAttest(peer cryptoutil.PublicKey) (*Result, error) {
+	return e.startAttest(peer, false)
+}
+
+// StartAttestResume is StartAttest for a crash-recovered enclave
+// re-establishing a session it held before the crash: the Resume flag
+// tells the peer to replace its (now stale) established session instead
+// of rejecting the handshake as a duplicate.
+func (e *Enclave) StartAttestResume(peer cryptoutil.PublicKey) (*Result, error) {
+	return e.startAttest(peer, true)
+}
+
+func (e *Enclave) startAttest(peer cryptoutil.PublicKey, resume bool) (*Result, error) {
 	if e.state.Frozen {
 		return nil, ErrFrozen
 	}
@@ -219,6 +244,7 @@ func (e *Enclave) StartAttest(peer cryptoutil.PublicKey) (*Result, error) {
 		Quote:    quote,
 		Identity: e.identity.Public(),
 		DHPublic: dh.PublicBytes(),
+		Resume:   resume,
 	})}, nil
 }
 
@@ -244,9 +270,31 @@ func (e *Enclave) handleAttest(from cryptoutil.PublicKey, m *wire.Attest) (*Resu
 		return &Result{}, nil
 	}
 
-	// Fresh inbound handshake; reject duplicates (Alg. 1 line 16).
+	// Fresh inbound handshake; reject duplicates (Alg. 1 line 16) —
+	// unless the peer attests that it crash-recovered and is resuming,
+	// in which case the existing session is stale (its keys died with
+	// the peer's old enclave) and is replaced. The attestation quote
+	// just verified above is what authorizes the replacement: only a
+	// genuine Teechain enclave holding the peer's identity key can
+	// produce it. A replayed Resume frame can at worst wedge one
+	// session until the next re-attestation; it cannot leak or forge
+	// state.
 	if s, ok := e.sessions[from]; ok && s.established {
-		return nil, fmt.Errorf("core: session with %s already established", from)
+		if !m.Resume {
+			return nil, fmt.Errorf("core: session with %s already established", from)
+		}
+		if cached := e.lastSess.Load(); cached != nil && cached.remote == from {
+			e.lastSess.Store(nil)
+		}
+		// Freeze outgoing payments on this peer's channels until the
+		// recovered peer's ChanResume reconciles them: a payment issued
+		// in between would be counted into the peer's send excess and
+		// wrongly reverted (see ChannelState.Resuming).
+		for _, c := range e.state.Channels {
+			if c.Remote == from && c.Open && !c.Closed {
+				c.Resuming = true
+			}
+		}
 	}
 	dh, err := cryptoutil.GenerateDHKeyPair(e.platform.Rand())
 	if err != nil {
@@ -400,15 +448,27 @@ func (l *replLog) newEntry() *replEntry {
 	return ent
 }
 
-// commit optimistically applies op and defers its externally visible
-// effects until the replication chain acknowledges. Without backups the
-// effects release immediately. In immediate mode (the simulator) the
-// sequenced update is emitted synchronously; in pipelined mode (socket
-// hosts) it only joins the replication log and the host's flusher
-// drains it in batches. In stable-storage mode the state is
-// additionally sealed under a monotonic counter.
-func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error) {
+// commitLog returns the log a replicated or durable commit appends to:
+// the committee log when one exists (after committee formation it and
+// the WAL log are the same object — FormCommittee adopts the WAL log),
+// else the WAL log. Callers have checked e.repl != nil || e.wal != nil.
+func (e *Enclave) commitLog() *replLog {
 	if e.repl != nil {
+		return e.repl.log
+	}
+	return e.wal.log
+}
+
+// commit optimistically applies op and defers its externally visible
+// effects until the replication chain acknowledges and/or the WAL
+// flusher fsyncs. Without backups or a WAL the effects release
+// immediately. In immediate mode (the simulator) the sequenced update
+// is emitted synchronously; in pipelined mode (socket hosts) it only
+// joins the log and the host's flusher(s) drain it in batches. In
+// legacy stable-storage mode the state is sealed synchronously under a
+// monotonic counter.
+func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error) {
+	if e.repl != nil || e.wal != nil {
 		return e.commitRepl(op, out, events)
 	}
 	if err := e.state.Apply(op); err != nil {
@@ -422,13 +482,19 @@ func (e *Enclave) commit(op *Op, out []Outbound, events []Event) (*Result, error
 	return &Result{Out: out, Events: events}, nil
 }
 
-// commitRepl is the replicated tail of commit. The backlog bound is
-// checked BEFORE the state transition so a rejected commit leaves
-// primary state and replication stream consistent.
+// commitRepl is the replicated/durable tail of commit. The backlog
+// bound is checked BEFORE the state transition so a rejected commit
+// leaves primary state and the log consistent.
 func (e *Enclave) commitRepl(op *Op, out []Outbound, events []Event) (*Result, error) {
-	backup, replicated := e.repl.backup()
-	if replicated {
-		if err := e.repl.log.admit(); err != nil {
+	var backup cryptoutil.PublicKey
+	var replicated bool
+	if e.repl != nil {
+		backup, replicated = e.repl.backup()
+	}
+	durable := e.wal != nil
+	l := e.commitLog()
+	if replicated || durable {
+		if err := l.admit(); err != nil {
 			return nil, err
 		}
 	}
@@ -440,10 +506,9 @@ func (e *Enclave) commitRepl(op *Op, out []Outbound, events []Event) (*Result, e
 			return nil, err
 		}
 	}
-	if !replicated {
+	if !replicated && !durable {
 		return &Result{Out: out, Events: events}, nil
 	}
-	l := &e.repl.log
 	ent := l.newEntry()
 	ent.op = op
 	ent.out = append(ent.out[:0], out...)
@@ -466,7 +531,7 @@ func (e *Enclave) commitRepl(op *Op, out []Outbound, events []Event) (*Result, e
 // The unreplicated path pays one predicted-false nil check over the
 // seed's code; the replicated tail is outlined.
 func (e *Enclave) commitFast(op *Op, res *Result) (*Result, error) {
-	if e.repl != nil {
+	if e.repl != nil || e.wal != nil {
 		return e.commitFastRepl(op, res)
 	}
 	if err := e.state.Apply(op); err != nil {
@@ -485,12 +550,18 @@ func (e *Enclave) commitFast(op *Op, res *Result) (*Result, error) {
 	return res, nil
 }
 
-// commitFastRepl is the replicated tail of commitFast; see commitRepl
-// for the backlog-before-Apply ordering.
+// commitFastRepl is the replicated/durable tail of commitFast; see
+// commitRepl for the backlog-before-Apply ordering.
 func (e *Enclave) commitFastRepl(op *Op, res *Result) (*Result, error) {
-	backup, replicated := e.repl.backup()
-	if replicated {
-		if err := e.repl.log.admit(); err != nil {
+	var backup cryptoutil.PublicKey
+	var replicated bool
+	if e.repl != nil {
+		backup, replicated = e.repl.backup()
+	}
+	durable := e.wal != nil
+	l := e.commitLog()
+	if replicated || durable {
+		if err := l.admit(); err != nil {
 			e.pools.putResult(res)
 			e.pools.putOp(op)
 			return nil, err
@@ -508,14 +579,14 @@ func (e *Enclave) commitFastRepl(op *Op, res *Result) (*Result, error) {
 			return nil, err
 		}
 	}
-	if !replicated {
+	if !replicated && !durable {
 		e.pools.putOp(op)
 		return res, nil
 	}
-	// Replicated: the effects wait for the chain's acknowledgement, and
-	// the op travels to the backups, so both move into the pooled log
-	// entry. The op itself recycles when the ack releases it.
-	l := &e.repl.log
+	// Replicated and/or durable: the effects wait for the chain's
+	// acknowledgement and/or the WAL fsync, and the op travels to the
+	// backups and/or the WAL, so both move into the pooled log entry.
+	// The op itself recycles when the release consumes it.
 	ent := l.newEntry()
 	ent.op = op
 	ent.out = append(ent.out[:0], res.Out...)
@@ -618,7 +689,7 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 	if !ok || from != backup {
 		return nil, fmt.Errorf("core: replication ack from non-backup %s", from)
 	}
-	l := &e.repl.log
+	l := e.repl.log
 	l.mu.Lock()
 	if m.Seq != l.ackSeq+1 || m.Seq > l.flushSeq {
 		expected := l.ackSeq + 1
@@ -628,10 +699,11 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 	ent := l.entryAtLocked(m.Seq)
 	l.mu.Unlock()
 
-	// Validate the committee τ signatures BEFORE consuming the entry: a
-	// malformed ack must leave the withheld effects pending (the backup
-	// can resend a well-formed ack), not discard them. Acks are
-	// processed one at a time under the host's wide lock, so the peeked
+	// Validate the committee τ signatures BEFORE advancing the ack
+	// cursor: a malformed ack must leave the withheld effects pending
+	// (the backup can resend a well-formed ack), not discard them. Acks
+	// are processed one at a time under the host's wide write lock —
+	// which also excludes the WAL flusher's release — so the peeked
 	// entry cannot be released underneath us.
 	if len(m.TauSigs) > 0 && ent.op.Tau != nil {
 		for _, ts := range m.TauSigs {
@@ -648,22 +720,16 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 			ent.op.Tau.Inputs[ts.Input].Sigs[ts.Slot] = ts.Sig
 		}
 	}
+	// Release through the shared path so a durable log additionally
+	// waits for the WAL fsync cursor. In the non-durable immediate mode
+	// this releases exactly the acknowledged entry, preserving the
+	// seed's per-update behavior bit for bit.
 	l.mu.Lock()
-	l.popLocked()
+	l.ackSeq++
+	target := l.releaseTargetLocked(true)
 	l.mu.Unlock()
 	res := e.pools.getResult()
-	res.Out = append(res.Out, ent.out...)
-	res.Events = append(res.Events, ent.events...)
-	res.pay = ent.pay
-	// Pay-path ops came from the op pool; every chain member has applied
-	// them by the time the ack climbs back to the primary, so they
-	// recycle here. Ops that carry retained state (paths, τ) do not.
-	if hotOp(ent.op) {
-		e.pools.putOp(ent.op)
-	}
-	l.mu.Lock()
-	l.putEntryLocked(ent)
-	l.mu.Unlock()
+	e.releaseTo(l, target, res)
 	return res, nil
 }
 
@@ -913,6 +979,14 @@ func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Messa
 		return e.handleSigRequest(from, m)
 	case *wire.SigResponse:
 		return e.handleSigResponse(from, m)
+	case *wire.ChanResume:
+		return e.handleChanResume(from, m)
+	case *wire.ChanResumeAck:
+		return e.handleChanResumeAck(from, m)
+	case *wire.ReplResync:
+		return e.handleReplResync(from, m)
+	case *wire.ReplResyncAck:
+		return e.handleReplResyncAck(from, m)
 	default:
 		return nil, fmt.Errorf("core: unhandled message type %T", msg)
 	}
@@ -934,6 +1008,15 @@ func (e *Enclave) newBtcKey() (*cryptoutil.KeyPair, error) {
 		return nil, err
 	}
 	e.btcKeys[kp.Address()] = kp
+	if e.wal != nil {
+		// Durable mode: the key must hit stable storage alongside the
+		// ops that reference its address, so it rides the next WAL
+		// record. Guarded by the log mutex like the entries themselves.
+		l := e.wal.log
+		l.mu.Lock()
+		e.wal.pendingKeys = append(e.wal.pendingKeys, kp)
+		l.mu.Unlock()
+	}
 	return kp, nil
 }
 

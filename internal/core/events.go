@@ -146,6 +146,21 @@ type EvCommitteeReady struct {
 	Chain string
 }
 
+// EvChannelResumed reports that post-crash reconciliation of one
+// channel completed (the peer's ChanResumeAck arrived and any excess
+// optimistic debits were reverted); the channel can carry payments
+// again.
+type EvChannelResumed struct {
+	Channel wire.ChannelID
+}
+
+// EvReplResynced reports that every committee member adopted the
+// recovered primary's state (ReplResyncStart) and replication can
+// resume.
+type EvReplResynced struct {
+	Chain string
+}
+
 // payEvent carries the payment-path notification inline in a Result,
 // avoiding the interface boxing of Events: payments are the only events
 // frequent enough for boxing to matter. Kind zero means none.

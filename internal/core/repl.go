@@ -60,31 +60,43 @@ type replEntry struct {
 	pay    payEvent
 }
 
-// replLog is the replication pipeline state of a chain primary. All
-// fields are guarded by mu except backlog (atomic, read before Apply so
-// an over-full log rejects commits without taking the lock) and
-// pipelined/notify (written once under the wide lock before any
+// replLog is the commit pipeline state of a chain primary and/or a
+// durable enclave: one ordered sequence of committed ops with their
+// withheld effects, consumed by up to two independent cursors — the
+// replication ack cursor (ackSeq) and the WAL fsync cursor (syncSeq).
+// An entry's effects release only once every enabled cursor has passed
+// it (releaseTargetLocked), which is exactly the paper's commit-before-
+// ack ordering for both replication and stable storage. All fields are
+// guarded by mu except backlog (atomic, read before Apply so an
+// over-full log rejects commits without taking the lock) and
+// pipelined/notify/durable (written once under the wide lock before any
 // concurrent commit exists).
 type replLog struct {
 	mu sync.Mutex
 
 	// pipelined switches commits from emit-per-op to append-for-flush.
 	pipelined bool
-	// notify, when set, wakes the host's flusher after an append. Called
-	// outside mu; must not block.
+	// notify, when set, wakes the host's flusher(s) after an append.
+	// Called outside mu; must not block.
 	notify func()
+	// durable gates releases on the WAL fsync cursor (syncSeq). A
+	// durable log is always pipelined.
+	durable bool
 
 	nextSeq  uint64 // last committed sequence number
 	flushSeq uint64 // last sequence handed to the transport (== nextSeq when immediate)
-	ackSeq   uint64 // last cumulatively acknowledged sequence
+	ackSeq   uint64 // last sequence cumulatively acknowledged by the chain
+	walSeq   uint64 // last sequence handed to the WAL flusher
+	syncSeq  uint64 // last sequence fsynced to the WAL
+	relSeq   uint64 // last sequence whose effects were released
 
-	// entries[head:] holds the entries for seqs ackSeq+1..nextSeq in
+	// entries[head:] holds the entries for seqs relSeq+1..nextSeq in
 	// order; popping advances head and compacts like chanRuntime.
 	entries []*replEntry
 	head    int
 
 	free    []*replEntry
-	backlog atomic.Int64 // nextSeq - ackSeq, maintained on append/release
+	backlog atomic.Int64 // nextSeq - relSeq, maintained on append/release
 }
 
 func (l *replLog) getEntryLocked() *replEntry {
@@ -145,19 +157,34 @@ func (l *replLog) append(ent *replEntry) (seq uint64, immediate bool) {
 
 // entryAt returns the queued entry for seq, or nil. Caller holds mu.
 func (l *replLog) entryAtLocked(seq uint64) *replEntry {
-	if seq <= l.ackSeq || seq > l.nextSeq {
+	if seq <= l.relSeq || seq > l.nextSeq {
 		return nil
 	}
-	return l.entries[l.head+int(seq-l.ackSeq-1)]
+	return l.entries[l.head+int(seq-l.relSeq-1)]
 }
 
-// popLocked removes and returns the oldest entry (seq ackSeq+1),
-// advancing ackSeq. Caller holds mu and has checked it exists.
+// releaseTargetLocked computes how far withheld effects may release:
+// the committed frontier, clamped by the chain ack cursor when the op
+// was replicated and by the WAL fsync cursor when the log is durable.
+// Caller holds mu.
+func (l *replLog) releaseTargetLocked(replicated bool) uint64 {
+	t := l.nextSeq
+	if replicated && l.ackSeq < t {
+		t = l.ackSeq
+	}
+	if l.durable && l.syncSeq < t {
+		t = l.syncSeq
+	}
+	return t
+}
+
+// popLocked removes and returns the oldest entry (seq relSeq+1),
+// advancing relSeq. Caller holds mu and has checked it exists.
 func (l *replLog) popLocked() *replEntry {
 	ent := l.entries[l.head]
 	l.entries[l.head] = nil
 	l.head++
-	l.ackSeq++
+	l.relSeq++
 	l.backlog.Add(-1)
 	if l.head == len(l.entries) {
 		l.entries = l.entries[:0]
@@ -199,6 +226,9 @@ func (l *replLog) clear() {
 	l.head = 0
 	l.ackSeq = l.nextSeq
 	l.flushSeq = l.nextSeq
+	l.walSeq = l.nextSeq
+	l.syncSeq = l.nextSeq
+	l.relSeq = l.nextSeq
 	l.backlog.Store(0)
 	l.mu.Unlock()
 }
@@ -207,10 +237,11 @@ func (l *replLog) clear() {
 // effects into res (in sequence order) and recycling entries and hot
 // ops. Same-channel PayReceived outcomes merge into one unboxed event
 // (hosts only count them); anything else that cannot share the unboxed
-// slot is boxed. Caller validated target against ackSeq/flushSeq.
+// slot is boxed. Caller computed target via releaseTargetLocked (or
+// validated it against the cursors directly).
 func (e *Enclave) releaseTo(l *replLog, target uint64, res *Result) {
 	l.mu.Lock()
-	for l.ackSeq < target {
+	for l.relSeq < target {
 		ent := l.popLocked()
 		res.Out = append(res.Out, ent.out...)
 		res.Events = append(res.Events, ent.events...)
@@ -241,8 +272,16 @@ func (e *Enclave) EnableReplPipeline(notify func()) {
 	e.replPipelined = true
 	e.replNotify = notify
 	if e.repl != nil {
-		e.repl.log.pipelined = true
-		e.repl.log.notify = notify
+		l := e.repl.log
+		l.pipelined = true
+		if l.durable && l.notify != nil && notify != nil {
+			// Recovered durable committee: the adopted log must wake
+			// both the WAL flusher and the replication flusher.
+			walNotify := l.notify
+			l.notify = func() { walNotify(); notify() }
+		} else {
+			l.notify = notify
+		}
 	}
 }
 
@@ -270,7 +309,7 @@ func (e *Enclave) ReplStats() (ReplStats, bool) {
 	if e.repl == nil {
 		return ReplStats{}, false
 	}
-	l := &e.repl.log
+	l := e.repl.log
 	l.mu.Lock()
 	st := ReplStats{
 		Chain:     e.repl.chainID,
@@ -327,7 +366,7 @@ func (e *Enclave) ReplNextFlush(batch *wire.ReplBatch, maxOps, maxWindow int) (t
 	if !ok {
 		return to, nil, 0
 	}
-	l := &e.repl.log
+	l := e.repl.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.pipelined || l.flushSeq >= l.nextSeq || int(l.flushSeq-l.ackSeq) >= maxWindow {
@@ -374,7 +413,7 @@ func (e *Enclave) ReplRewindFlush(n int) {
 	if e.repl == nil || n <= 0 {
 		return
 	}
-	l := &e.repl.log
+	l := e.repl.log
 	l.mu.Lock()
 	if un := uint64(n); l.flushSeq >= un && l.flushSeq-un >= l.ackSeq {
 		l.flushSeq -= un
@@ -463,17 +502,22 @@ func (e *Enclave) handleReplBatchAck(from cryptoutil.PublicKey, m *wire.ReplBatc
 	if !ok || from != backup {
 		return nil, fmt.Errorf("core: replication ack from non-backup %s", from)
 	}
-	l := &e.repl.log
+	l := e.repl.log
 	l.mu.Lock()
-	ackSeq, flushSeq := l.ackSeq, l.flushSeq
-	l.mu.Unlock()
-	if m.Seq <= ackSeq {
+	if m.Seq <= l.ackSeq {
+		ackSeq := l.ackSeq
+		l.mu.Unlock()
 		return nil, fmt.Errorf("core: stale cumulative ack %d (acked %d)", m.Seq, ackSeq)
 	}
-	if m.Seq > flushSeq {
+	if m.Seq > l.flushSeq {
+		flushSeq := l.flushSeq
+		l.mu.Unlock()
 		return nil, fmt.Errorf("core: cumulative ack %d beyond flushed %d", m.Seq, flushSeq)
 	}
+	l.ackSeq = m.Seq
+	target := l.releaseTargetLocked(true)
+	l.mu.Unlock()
 	res := e.pools.getResult()
-	e.releaseTo(l, m.Seq, res)
+	e.releaseTo(l, target, res)
 	return res, nil
 }

@@ -87,6 +87,28 @@ type ChannelState struct {
 	// Multi-hop lock state for this channel.
 	Stage   MhStage
 	Payment wire.PaymentID
+
+	// Cumulative payment totals per direction, maintained by Apply for
+	// the three payment op kinds and replicated/persisted like the
+	// balances. A crash-recovered endpoint reconciles with its peer
+	// (ChanResume) by comparing the peer's cumulative receipts against
+	// its own cumulative sends: the difference is exactly the optimistic
+	// debits the peer never saw.
+	SentAmt chain.Amount
+	SentCnt uint64
+	RecvAmt chain.Amount
+	RecvCnt uint64
+
+	// Resuming gates NEW outgoing payments while a crash-recovery
+	// reconciliation (ChanResume) is in flight on the channel. Set on
+	// the recovering side by RestoreDurable and on the surviving side
+	// when a resume attestation replaces the peer's session; cleared
+	// when the ChanResume exchange completes. Without the gate a
+	// payment issued between session resume and reconciliation would be
+	// counted into the peer's cumulative-send excess and wrongly
+	// reverted. Checked only at the Pay/PayBatch entry points — never
+	// in Apply — so WAL replay and mirror updates are unaffected.
+	Resuming bool
 }
 
 // TotalDeposits returns the sum of all deposits associated with the
@@ -437,6 +459,8 @@ func (s *State) Apply(op *Op) error {
 		}
 		c.MyBal -= op.Amount
 		c.RemoteBal += op.Amount
+		c.SentAmt += op.Amount
+		c.SentCnt += uint64(op.Count)
 	case OpPayRecv:
 		c, err := s.openChannel(op.Channel)
 		if err != nil {
@@ -450,6 +474,8 @@ func (s *State) Apply(op *Op) error {
 		}
 		c.RemoteBal -= op.Amount
 		c.MyBal += op.Amount
+		c.RecvAmt += op.Amount
+		c.RecvCnt += uint64(op.Count)
 	case OpPayRevert:
 		// Reversal of an optimistic debit the peer rejected. The
 		// "phantom" credit on our view of the remote balance cannot
@@ -464,6 +490,8 @@ func (s *State) Apply(op *Op) error {
 		}
 		c.RemoteBal -= op.Amount
 		c.MyBal += op.Amount
+		c.SentAmt -= op.Amount
+		c.SentCnt -= uint64(op.Count)
 	case OpMhStart:
 		if _, ok := s.Multihop[op.Payment]; ok {
 			return fmt.Errorf("core: payment %s already exists", op.Payment)

@@ -34,6 +34,12 @@ type Cluster struct {
 	ctlAddrs map[string]string
 	names    []string
 
+	// auth and mut are kept so RestartNode can rebuild a killed node
+	// with its original configuration (same authority, same Config
+	// hook — and therefore the same DataDir for durable nodes).
+	auth *tee.Authority
+	mut  func(*transport.Config)
+
 	mu      sync.Mutex
 	clients map[string]*client.Conn
 }
@@ -64,42 +70,51 @@ func NewClusterWith(mut func(*transport.Config), names ...string) (*Cluster, err
 		ctlAddrs: make(map[string]string, len(names)),
 		clients:  make(map[string]*client.Conn, len(names)),
 		names:    append([]string(nil), names...),
+		auth:     auth,
+		mut:      mut,
 	}
 	for _, name := range names {
-		cfg := transport.Config{
-			Name:      name,
-			Authority: auth,
-			Chain:     c.Chain,
-		}
-		if mut != nil {
-			mut(&cfg)
-		}
-		h, err := transport.NewHost(cfg)
-		if err != nil {
+		if err := c.startNode(name); err != nil {
 			c.Close()
 			return nil, err
 		}
-		if _, err := h.Listen("127.0.0.1:0"); err != nil {
-			h.Close()
-			c.Close()
-			return nil, err
-		}
-		c.hosts[name] = h
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			h.Close()
-			c.Close()
-			return nil, err
-		}
-		ctl := transport.ServeControl(ln, h)
-		// Control operations share the cluster's generous timeout so
-		// race-instrumented CI and failover phases never flake on the
-		// server-side default.
-		ctl.Handler().Timeout = ClusterTimeout
-		c.ctls[name] = ctl
-		c.ctlAddrs[name] = ln.Addr().String()
 	}
 	return c, nil
+}
+
+// startNode builds and starts one node: host, peer listener, control
+// server. Used for initial bringup and by RestartNode.
+func (c *Cluster) startNode(name string) error {
+	cfg := transport.Config{
+		Name:      name,
+		Authority: c.auth,
+		Chain:     c.Chain,
+	}
+	if c.mut != nil {
+		c.mut(&cfg)
+	}
+	h, err := transport.NewHost(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Listen("127.0.0.1:0"); err != nil {
+		h.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.Close()
+		return err
+	}
+	ctl := transport.ServeControl(ln, h)
+	// Control operations share the cluster's generous timeout so
+	// race-instrumented CI and failover phases never flake on the
+	// server-side default.
+	ctl.Handler().Timeout = ClusterTimeout
+	c.hosts[name] = h
+	c.ctls[name] = ctl
+	c.ctlAddrs[name] = ln.Addr().String()
+	return nil
 }
 
 // Close shuts every client, host, and control server down — hosts
@@ -149,6 +164,41 @@ func (c *Cluster) Client(name string) *client.Conn {
 	cc.SetTimeout(ClusterTimeout)
 	c.clients[name] = cc
 	return cc
+}
+
+// KillNode models `kill -9` on one node: its host goes down without
+// flushing or goodbye, its control server stops, and any cached client
+// connection is dropped. The node's durable files (when it has a
+// DataDir) survive for RestartNode.
+func (c *Cluster) KillNode(name string) {
+	c.mu.Lock()
+	cc := c.clients[name]
+	delete(c.clients, name)
+	c.mu.Unlock()
+	if cc != nil {
+		cc.Close()
+	}
+	if h := c.hosts[name]; h != nil {
+		h.Kill()
+	}
+	if s := c.ctls[name]; s != nil {
+		s.Close()
+	}
+	delete(c.hosts, name)
+	delete(c.ctls, name)
+	delete(c.ctlAddrs, name)
+}
+
+// RestartNode brings a killed node back with its original
+// configuration. A durable node restores its snapshot and replays its
+// WAL inside transport.NewHost; reconnect it to its peers (Connect
+// dials fresh listeners) and run Recover through its control client to
+// finish reconciliation.
+func (c *Cluster) RestartNode(name string) error {
+	if c.hosts[name] != nil {
+		return fmt.Errorf("harness: node %q is still running", name)
+	}
+	return c.startNode(name)
 }
 
 // Identity returns the named node's enclave identity.

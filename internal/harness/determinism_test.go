@@ -55,8 +55,15 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 // BEFORE the replication log refactor (PR 4), so it pins the invariant
 // that refactor promised: the simulator's immediate-mode committee
 // chains — and with them RunFigure4/RunTable3's committee metrics —
-// stay bit-identical.
-const replicatedDeploymentDigest = "ef162b961b0397a376f6173ccc52fc4d"
+// stay bit-identical. Re-pinned for the durability PR: balances,
+// mirrors, and the acked count are unchanged (verified by hand:
+// 99206/50794, 200 acked, mirrors identical), but the gob type
+// descriptors of Attest (Resume field), ChannelState (cumulative
+// payment counters and the Resuming reconciliation flag), and
+// ReplAttach (the Seq cursor members seed their mirror from) grew,
+// shifting the simulator's size-derived message timing and with it
+// latsum/now.
+const replicatedDeploymentDigest = "eddcfe39dd643cc25d89a6a0a21713e1"
 
 // TestReplicatedDeploymentDigest replays the replicated deployment and
 // compares against the pinned digest.

@@ -90,6 +90,17 @@ func VerifyQuote(authority cryptoutil.PublicKey, q Quote, expected Measurement) 
 	return nil
 }
 
+// CounterStore persists hardware monotonic counter values across
+// platform restarts. Real SGX counters live in non-volatile hardware;
+// the simulation needs an explicit backing file. Save is best-effort:
+// a lost save leaves the restored counter BEHIND the value embedded in
+// newer sealed blobs, so UnsealStateWithCounter refuses them — the
+// failure mode is refusal, never resurrection of stale state.
+type CounterStore interface {
+	Load() (map[string]uint64, error)
+	Save(map[string]uint64) error
+}
+
 // Platform is one machine's TEE hardware. Enclave programs run "on" a
 // platform: their secrets derive from it, their quotes are issued by
 // it, and compromising the platform compromises them.
@@ -98,6 +109,7 @@ type Platform struct {
 	authority   *Authority
 	sealSecret  [32]byte
 	counters    map[string]uint64
+	counterSt   CounterStore
 	rnd         *cryptoutil.DeterministicReader
 	compromised bool
 }
@@ -161,12 +173,34 @@ func (p *Platform) Unseal(meas Measurement, blob []byte) ([]byte, error) {
 	return plain, nil
 }
 
+// SetCounterStore attaches persistent backing to the platform's
+// monotonic counters: current values load immediately (replacing any
+// in-memory state) and every increment saves through the store. Durable
+// hosts attach a file-backed store before restoring sealed state.
+func (p *Platform) SetCounterStore(s CounterStore) error {
+	vals, err := s.Load()
+	if err != nil {
+		return fmt.Errorf("tee: loading counter store: %w", err)
+	}
+	if vals == nil {
+		vals = make(map[string]uint64)
+	}
+	p.counters = vals
+	p.counterSt = s
+	return nil
+}
+
 // IncrementCounter advances a named hardware monotonic counter and
 // returns its new value. Callers running under the simulator must
 // charge CounterIncrementLatency to their processor; the counter state
-// itself is instantaneous here.
+// itself is instantaneous here. With a CounterStore attached the new
+// value saves best-effort (see CounterStore for why ignoring the error
+// is fail-safe).
 func (p *Platform) IncrementCounter(name string) uint64 {
 	p.counters[name]++
+	if p.counterSt != nil {
+		_ = p.counterSt.Save(p.counters)
+	}
 	return p.counters[name]
 }
 

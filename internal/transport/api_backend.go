@@ -53,6 +53,8 @@ func classify(err error) error {
 		code = api.CodeUnavailable
 	case errors.Is(err, ErrUnknownChannel), errors.Is(err, ErrUnknownPeer):
 		code = api.CodeNotFound
+	case errors.Is(err, ErrRecovering):
+		code = api.CodeRecovering
 	}
 	return &api.Error{Code: code, Msg: err.Error()}
 }
@@ -183,6 +185,7 @@ func (b apiBackend) Stats() api.StatsResp {
 		Drops:            st.Drops,
 		Reconnects:       st.Reconnects,
 		FramesRejected:   st.FramesRejected,
+		PaymentsWide:     st.PaymentsWide,
 	}
 	per := b.h.ChannelStats()
 	resp.Channels = make([]api.ChannelStatsEntry, 0, len(per))
@@ -230,9 +233,63 @@ func (b apiBackend) Subscribe(fn func(api.Event)) (cancel func()) {
 			out = api.Event{Kind: api.EventSettled, Channel: e.Channel}
 		case EvReplCursor:
 			out = api.Event{Kind: api.EventReplCursor, Chain: e.Chain, Cursor: e.Acked}
+		case EvSnapshot:
+			out = api.Event{Kind: api.EventSnapshot, Cursor: e.Seq}
+		case EvWalLag:
+			out = api.Event{Kind: api.EventWalLag, Cursor: e.Lag}
+		case EvRecovered:
+			out = api.Event{Kind: api.EventRecovered}
 		default:
 			return
 		}
 		fn(out)
 	})
+}
+
+func (b apiBackend) WalStats() api.WalStatsResp {
+	var resp api.WalStatsResp
+	ws, ok := b.h.WalStats()
+	if !ok {
+		return resp
+	}
+	resp.Durable = true
+	resp.NextSeq = ws.NextSeq
+	resp.FlushedSeq = ws.FlushedSeq
+	resp.SyncedSeq = ws.SyncedSeq
+	resp.FsyncLag = ws.FsyncLag
+	resp.FsyncLagMax = ws.FsyncLagMax
+	resp.Fsyncs = ws.Fsyncs
+	resp.OpsLogged = ws.OpsLogged
+	resp.SnapshotSeq = ws.SnapshotSeq
+	resp.SnapshotAge = ws.SnapshotAge
+	resp.Snapshots = ws.Snapshots
+	resp.Recovering = ws.Recovering
+	return resp
+}
+
+func (b apiBackend) SnapshotNow() (uint64, error) {
+	if !b.h.enclave.Durable() {
+		return 0, &api.Error{Code: api.CodeBadRequest, Msg: "node is not durable (no data dir)"}
+	}
+	seq, err := b.h.SnapshotNow()
+	return seq, classify(err)
+}
+
+func (b apiBackend) Recover(timeout time.Duration) (bool, int, error) {
+	if !b.h.Recovering() {
+		return false, 0, nil
+	}
+	// Count the channels recovery will reconcile before running it.
+	b.h.mu.RLock()
+	resumed := 0
+	for _, c := range b.h.enclave.State().Channels {
+		if c.Open && !c.Closed {
+			resumed++
+		}
+	}
+	b.h.mu.RUnlock()
+	if err := b.h.Recover(timeout); err != nil {
+		return false, 0, classify(err)
+	}
+	return true, resumed, nil
 }

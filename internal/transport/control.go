@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"teechain/internal/api"
 	"teechain/internal/chain"
@@ -54,6 +55,12 @@ import (
 //	stats                        host counters
 //	stats channels               per-channel payment counters
 //	stats committee              replication pipeline cursors
+//	wal                          durability pipeline cursors and
+//	                             snapshot age (durable nodes)
+//	snapshot                     force an immediate durable snapshot
+//	recover                      run crash recovery after a durable
+//	                             restart (re-attest, reconcile
+//	                             channels, resync committee)
 //	quit                         close this control connection
 
 // ControlServer serves the sniffed control listener for one host: the
@@ -335,6 +342,34 @@ func shimDispatch(h *api.Handler, cmd string, args []string) (string, error) {
 		return fmt.Sprintf("%d", resp.(*api.BalanceResp).Amount), nil
 	case "stats":
 		return shimStats(h, args)
+	case "wal":
+		resp, err := doString(h, &api.WalStatsReq{})
+		if err != nil {
+			return "", err
+		}
+		ws := resp.(*api.WalStatsResp)
+		if !ws.Durable {
+			return "not durable", nil
+		}
+		return fmt.Sprintf("next=%d flushed=%d synced=%d lag=%d lagmax=%d fsyncs=%d ops=%d snapseq=%d snapage=%s snaps=%d recovering=%t",
+			ws.NextSeq, ws.FlushedSeq, ws.SyncedSeq, ws.FsyncLag, ws.FsyncLagMax,
+			ws.Fsyncs, ws.OpsLogged, ws.SnapshotSeq, ws.SnapshotAge.Round(time.Millisecond), ws.Snapshots, ws.Recovering), nil
+	case "snapshot":
+		resp, err := doString(h, &api.SnapshotNowReq{})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("snapshot at seq %d", resp.(*api.SnapshotNowResp).Seq), nil
+	case "recover":
+		resp, err := doString(h, &api.RecoverReq{})
+		if err != nil {
+			return "", err
+		}
+		rr := resp.(*api.RecoverResp)
+		if !rr.Recovered {
+			return "nothing to recover", nil
+		}
+		return fmt.Sprintf("recovered, %d channels resumed", rr.Resumed), nil
 	default:
 		return "", fmt.Errorf("unknown command %q", cmd)
 	}

@@ -55,6 +55,11 @@ func (stubBackend) Stats() api.StatsResp {
 	return api.StatsResp{Channels: []api.ChannelStatsEntry{{Channel: "ch-stub", Sent: 1, Acked: 1}}}
 }
 func (stubBackend) Subscribe(func(api.Event)) func() { return func() {} }
+func (stubBackend) WalStats() api.WalStatsResp {
+	return api.WalStatsResp{Durable: true, NextSeq: 7, SyncedSeq: 7, Fsyncs: 3, Snapshots: 1}
+}
+func (stubBackend) SnapshotNow() (uint64, error)             { return 7, nil }
+func (stubBackend) Recover(time.Duration) (bool, int, error) { return true, 2, nil }
 
 // TestShimLineBranches covers every command's success, usage, and
 // bad-argument branch through the translation layer.

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,24 @@ type Config struct {
 	// ReplFlushInterval is the replication flusher's safety tick; size
 	// kicks normally wake it much sooner (default 2 ms).
 	ReplFlushInterval time.Duration
+	// DataDir, when set, makes the host durable: committed state is
+	// group-committed to a write-ahead log in this directory, sealed
+	// snapshots bound to a persistent monotonic counter replace it
+	// periodically, and a restarted host recovers through
+	// snapshot-restore + WAL replay + peer reconciliation (see wal.go).
+	// Empty means in-memory only (the default, and the pre-durability
+	// behavior).
+	DataDir string
+	// WalBatchOps caps the ops one WAL record (one fsync) covers
+	// (default 512) — the group-commit batch size.
+	WalBatchOps int
+	// WalFlushInterval is the WAL flusher's safety tick; size kicks
+	// normally wake it much sooner (default 2 ms).
+	WalFlushInterval time.Duration
+	// SnapshotInterval is the periodic snapshot cadence (default 30 s;
+	// negative disables periodic snapshots, leaving only the boot
+	// snapshot and explicit SnapshotNow calls).
+	SnapshotInterval time.Duration
 	// OnEvent, when set, observes every enclave event after built-in
 	// handling. Called with the wide lock held for cold-path events and
 	// with a lane lock held for payment events; do not call back into
@@ -140,6 +159,10 @@ type Stats struct {
 	// routine duplicates of post-reconnect tail re-sends), and messages
 	// from peers without a session.
 	FramesRejected uint64
+	// PaymentsWide counts payments that took the wide-lock fallback
+	// instead of a lane — the fast-path regression canary: a durable
+	// or replicated host under load should keep this at zero.
+	PaymentsWide uint64
 }
 
 // ChannelStats is one channel's payment counters (the sharded hot-path
@@ -245,6 +268,32 @@ type Host struct {
 	replBatchesOut atomic.Uint64
 	replOpsOut     atomic.Uint64
 
+	// WAL flusher plumbing (see wal.go). walFile/walBuf are guarded by
+	// walFileMu (taken after mu when both are needed — never the other
+	// way around); the counters are atomics read lock-free by WalStats.
+	walKick   chan struct{}
+	walQuit   chan struct{}
+	walFileMu sync.Mutex
+	walFile   *os.File
+	walBuf    []byte
+	walFsyncs atomic.Uint64
+	walOpsOut atomic.Uint64
+	walLagMax atomic.Uint64
+	snapSeq   atomic.Uint64
+	snapCount atomic.Uint64
+	snapTime  atomic.Int64
+
+	// Crash-recovery state: recovering gates payments/settlement after
+	// a durable restart; resumedChans and resynced (guarded by mu)
+	// track the reconciliation acknowledgements Recover awaits.
+	recovering   atomic.Bool
+	resumedChans map[wire.ChannelID]bool
+	resynced     bool
+
+	// wideTotal counts payments that fell back to the wide path
+	// (Stats.PaymentsWide).
+	wideTotal atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -292,6 +341,15 @@ func NewHost(cfg Config) (*Host, error) {
 	if cfg.ReplFlushInterval <= 0 {
 		cfg.ReplFlushInterval = defaultReplFlushPeriod
 	}
+	if cfg.WalBatchOps <= 0 {
+		cfg.WalBatchOps = defaultWalBatchOps
+	}
+	if cfg.WalFlushInterval <= 0 {
+		cfg.WalFlushInterval = defaultWalFlushPeriod
+	}
+	if cfg.SnapshotInterval == 0 {
+		cfg.SnapshotInterval = defaultSnapshotPeriod
+	}
 	wallet, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("wallet"), []byte(cfg.WalletSeed)))
 	if err != nil {
 		return nil, err
@@ -321,13 +379,21 @@ func NewHost(cfg Config) (*Host, error) {
 		replKick:    make(chan struct{}, 1),
 		replQuit:    make(chan struct{}),
 		replBatch:   &wire.ReplBatch{},
+		walKick:     make(chan struct{}, 1),
+		walQuit:     make(chan struct{}),
 	}
+	h.resumedChans = make(map[wire.ChannelID]bool)
 	h.ackCond = sync.NewCond(&h.ackMu)
 	h.eventFn = func(ev core.Event) {
 		if h.cfg.OnEvent != nil {
 			h.cfg.OnEvent(ev)
 		}
 		h.fanObservers(ev)
+	}
+	if cfg.DataDir != "" {
+		if err := h.initDurable(platform); err != nil {
+			return nil, err
+		}
 	}
 	return h, nil
 }
@@ -410,6 +476,7 @@ func (h *Host) Stats() Stats {
 		Drops:            h.drops.Load(),
 		Reconnects:       h.reconnects.Load(),
 		FramesRejected:   h.rejects.Load(),
+		PaymentsWide:     h.wideTotal.Load(),
 	}
 	h.mu.RLock()
 	h.forEachPeerLocked(func(p *peer) {
@@ -552,6 +619,7 @@ func (h *Host) Close() {
 	h.closed = true
 	h.closing.Store(true)
 	close(h.replQuit)
+	close(h.walQuit)
 	ln := h.ln
 	h.ln = nil
 	peers := make([]*peer, 0, len(h.peersByAddr)+len(h.peersByID))
@@ -574,6 +642,13 @@ func (h *Host) Close() {
 	// in AwaitAcked/AwaitChannelSettled with long timeouts.
 	h.wakeAckWaiters()
 	h.wg.Wait()
+	if h.walFile != nil {
+		// After wg.Wait the WAL flusher is gone; anything it did not
+		// fsync is intentionally lost (its effects were withheld) and
+		// recovery reconciles it — Close never snapshots, so the
+		// recovery path is exercised on every durable restart.
+		h.walFile.Close()
+	}
 }
 
 // trackConn registers a live connection for Close, refusing (so the
@@ -1082,6 +1157,10 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		}
 	case core.EvFrozen:
 		h.logf("%s: chain %s frozen: %s", h.cfg.Name, e.Chain, e.Reason)
+	case core.EvChannelResumed:
+		h.resumedChans[e.Channel] = true
+	case core.EvReplResynced:
+		h.resynced = true
 	}
 	h.eventFn(ev)
 }
@@ -1395,6 +1474,9 @@ func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amo
 	if amounts != nil {
 		count = uint64(len(amounts))
 	}
+	if h.recovering.Load() {
+		return PayMark{}, fmt.Errorf("%w (payment on %s)", ErrRecovering, chID)
+	}
 	h.mu.RLock()
 	if h.closed {
 		h.mu.RUnlock()
@@ -1445,6 +1527,7 @@ func (h *Host) payWide(chID wire.ChannelID, amount chain.Amount, amounts []chain
 	}
 	mark := PayMark{Target: ci.sent.Add(count), NackedBefore: nackedBefore}
 	h.sentTotal.Add(count)
+	h.wideTotal.Add(count)
 	h.dispatchLocked(res)
 	return mark, nil
 }
@@ -1567,8 +1650,12 @@ func (h *Host) PayMultihop(path []cryptoutil.PublicKey, amount chain.Amount, tim
 }
 
 // Settle terminates a channel, submitting the settlement transaction
-// (when one is needed) to the chain.
+// (when one is needed) to the chain. Refused while the host is
+// recovering: balances are not trustworthy until reconciliation ends.
 func (h *Host) Settle(chID wire.ChannelID) error {
+	if h.recovering.Load() {
+		return fmt.Errorf("%w (settle %s)", ErrRecovering, chID)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sr, err := h.enclave.Settle(chID)

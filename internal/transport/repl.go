@@ -61,7 +61,11 @@ func (h *Host) FormCommittee(members []string, m int, timeout time.Duration) err
 		h.mu.Unlock()
 		return errors.New("transport: host closed")
 	}
-	pipelined := !h.cfg.NoReplPipeline
+	// A durable enclave's log is always pipelined (effects are withheld
+	// for the WAL fsync regardless), so replication must pipeline too —
+	// immediate mode's synchronous per-op ReplUpdate cannot ride a
+	// pipelined log. Durable therefore overrides NoReplPipeline.
+	pipelined := !h.cfg.NoReplPipeline || h.enclave.Durable()
 	if pipelined {
 		// Before FormCommittee, so the chain's log starts pipelined and
 		// no commit ever emits a synchronous per-op update.

@@ -110,6 +110,7 @@ var registry = []Message{
 	&ReplAttach{}, &ReplAttachAck{}, &ReplUpdate{}, &ReplAck{}, &ReplFreeze{},
 	&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
 	&PayBatch{}, &PayBatchAck{}, &ReplBatch{}, &ReplBatchAck{},
+	&ChanResume{}, &ChanResumeAck{}, &ReplResync{}, &ReplResyncAck{},
 }
 
 var (

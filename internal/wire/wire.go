@@ -62,6 +62,12 @@ type Attest struct {
 	// receiving enclave applies its outsourcing policy instead of quote
 	// verification.
 	Software bool
+	// Resume marks a fresh handshake from a crash-recovered enclave
+	// that held an established session with the receiver before the
+	// crash: it authorizes the receiver to replace its stale session
+	// instead of rejecting the handshake as a duplicate. Trailing gob
+	// field — absent (false) on frames from older senders.
+	Resume bool
 }
 
 // WireSize implements Message.
@@ -363,11 +369,17 @@ type ReplAttach struct {
 	M        int       // threshold signatures needed to spend deposits
 	Payout   cryptoutil.Address
 	Snapshot []byte // owner state snapshot to mirror
+	// Seq is the owner's log cursor at attach time: everything up to and
+	// including it is covered by Snapshot, so the member expects the
+	// replication stream to resume at Seq+1. Zero for a fresh log; a
+	// durable owner's unified WAL log has usually advanced past its
+	// pre-formation ops.
+	Seq uint64
 }
 
 // WireSize implements Message.
 func (m *ReplAttach) WireSize() int {
-	return hdrSize + idOverhead + pathSize(m.Members) + 4 + 20 + len(m.Snapshot)
+	return hdrSize + idOverhead + pathSize(m.Members) + 4 + 20 + len(m.Snapshot) + 8
 }
 
 // ReplAttachAck returns the member's freshly generated committee
@@ -491,6 +503,61 @@ type ReplFreeze struct {
 // WireSize implements Message.
 func (m *ReplFreeze) WireSize() int { return hdrSize + idOverhead + len(m.Reason) }
 
+// --- Crash recovery (§6.2 durable mode) ---
+
+// ChanResume reconciles one payment channel after the sender crash-
+// recovered from its WAL: it carries the recovering side's durable
+// cumulative receipt totals, and the peer reverts any of its own
+// optimistic debits beyond them (payments it sent whose Pay frames the
+// recovering side never durably saw). Group commit orders fsync before
+// the Pay frame departs, so the peer's receipts can never exceed the
+// recovering sender's durable sends — only the symmetric revert is ever
+// needed.
+type ChanResume struct {
+	Channel ChannelID
+	RecvAmt chain.Amount // sender's durable cumulative receipts on Channel
+	RecvCnt uint64
+}
+
+// WireSize implements Message.
+func (m *ChanResume) WireSize() int { return hdrSize + idOverhead + 16 }
+
+// ChanResumeAck closes the reconciliation: the peer's own durable
+// cumulative receipts, against which the recovering side reverts its
+// excess optimistic debits.
+type ChanResumeAck struct {
+	Channel ChannelID
+	RecvAmt chain.Amount
+	RecvCnt uint64
+}
+
+// WireSize implements Message.
+func (m *ChanResumeAck) WireSize() int { return hdrSize + idOverhead + 16 }
+
+// ReplResync re-seeds a committee member's mirror after the primary
+// crash-recovered: the mirror is replaced wholesale by the primary's
+// recovered state snapshot and the replication cursor jumps to Seq.
+// Safe because mirror-ahead effects are never released by the primary —
+// anything the old mirror had beyond the recovered state was withheld.
+type ReplResync struct {
+	Chain    string
+	Snapshot []byte
+	Seq      uint64
+}
+
+// WireSize implements Message.
+func (m *ReplResync) WireSize() int { return hdrSize + idOverhead + 8 + len(m.Snapshot) }
+
+// ReplResyncAck confirms the member adopted the recovered snapshot at
+// Seq.
+type ReplResyncAck struct {
+	Chain string
+	Seq   uint64
+}
+
+// WireSize implements Message.
+func (m *ReplResyncAck) WireSize() int { return hdrSize + idOverhead + 8 }
+
 // --- Committee threshold signing (§6.1) ---
 
 // SigRequest asks a committee member to countersign a settlement
@@ -557,6 +624,7 @@ func init() {
 		&ReplAttach{}, &ReplAttachAck{}, &ReplUpdate{}, &ReplAck{}, &ReplFreeze{},
 		&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
 		&ReplBatch{}, &ReplBatchAck{},
+		&ChanResume{}, &ChanResumeAck{}, &ReplResync{}, &ReplResyncAck{},
 	} {
 		gob.Register(m)
 	}
