@@ -27,6 +27,12 @@
 //
 //	teechain-bench -socket -durable
 //	teechain-bench -socket -durable -durjson F -durcompare BENCH_durability.json
+//
+// Overload benchmarking (admission control under overdrive, see
+// overload.go):
+//
+//	teechain-bench -socket -overdrive 10
+//	teechain-bench -socket -overdrive 10 -overloadjson F -overloadcompare BENCH_overload.json
 package main
 
 import (
@@ -63,6 +69,9 @@ func main() {
 	durable := flag.Bool("durable", false, "with -socket: run the durability benchmark (WAL-durable vs in-memory sender) instead of channel scaling")
 	durJSON := flag.String("durjson", "", "with -socket -durable: write the durability snapshot as JSON to this file")
 	durCompare := flag.String("durcompare", "", "with -socket -durable: compare against this baseline JSON and exit nonzero on >25% durable tx/s regression or a durable/in-memory ratio below 0.25")
+	overdrive := flag.Int("overdrive", 0, "with -socket: run the overload benchmark at this offered-load multiple (e.g. 10) instead of channel scaling")
+	overloadJSON := flag.String("overloadjson", "", "with -socket -overdrive: write the overload snapshot as JSON to this file")
+	overloadCompare := flag.String("overloadcompare", "", "with -socket -overdrive: compare against this baseline JSON and exit nonzero on a flat-p99 violation or >25% admitted tx/s regression")
 	flag.Parse()
 
 	if *durable {
@@ -93,6 +102,39 @@ func main() {
 	}
 	if *durJSON != "" || *durCompare != "" {
 		log.Fatal("-durjson/-durcompare require -socket -durable")
+	}
+
+	if *overdrive > 0 {
+		if !*socket {
+			log.Fatal("-overdrive requires -socket")
+		}
+		if *committee != "" {
+			log.Fatal("-overdrive and -committee are separate benchmarks; pick one")
+		}
+		if *quick {
+			*socketPay = 4000
+		}
+		// Tail percentiles need far more steady state than a throughput
+		// mean: 10x the socket bench's payment count keeps the p99-ratio
+		// gate out of warmup/GC noise while still finishing in seconds.
+		snap, err := runOverloadSuite(*socketPay*10, *batch, *overdrive, *sreps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *overloadJSON != "" {
+			if err := writeOverloadJSON(*overloadJSON, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *overloadCompare != "" {
+			if err := compareOverloadBaseline(*overloadCompare, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *overloadJSON != "" || *overloadCompare != "" {
+		log.Fatal("-overloadjson/-overloadcompare require -socket -overdrive")
 	}
 
 	if *socket && *committee != "" {

@@ -46,8 +46,11 @@ import (
 // Version is the control-plane protocol version, negotiated by
 // HelloReq/HelloResp. Bump on incompatible changes. v2 added the
 // durability surface: WalStats/SnapshotNow/Recover requests,
-// CodeRecovering, and the snapshot/WAL-lag/recovered event kinds.
-const Version = 2
+// CodeRecovering, and the snapshot/WAL-lag/recovered event kinds. v3
+// added overload control — CodeOverloaded, the RetryAfterMillis
+// response field (a PayResp wire-layout change, hence the bump), and
+// the overload/replication-stall event kinds.
+const Version = 3
 
 // MaxPayCount bounds PayReq.Count: a single request may issue at most
 // this many payments. The bound keeps a hostile (or fuzzed) count from
@@ -72,6 +75,7 @@ const (
 	CodeVersion          // protocol version mismatch at hello
 	CodeNacked           // payment(s) rejected and reversed by the peer
 	CodeRecovering       // node restarted from durable state; run recover first
+	CodeOverloaded       // admission refused before any debit; back off and retry
 )
 
 // String names the code for logs and the line-protocol shim.
@@ -97,16 +101,22 @@ func (c Code) String() string {
 		return "nacked"
 	case CodeRecovering:
 		return "recovering"
+	case CodeOverloaded:
+		return "overloaded"
 	}
 	return fmt.Sprintf("code-%d", uint16(c))
 }
 
 // Error is a coded control-plane error. Backends return it (or any
 // error, classified CodeInternal) and clients receive it reconstructed
-// from the response header.
+// from the response header. RetryAfterMillis is the server's backoff
+// hint, nonzero only with CodeOverloaded: the rejected work was never
+// applied, so the caller may retry after roughly that many
+// milliseconds (client.Retrier automates this).
 type Error struct {
-	Code Code
-	Msg  string
+	Code             Code
+	Msg              string
+	RetryAfterMillis uint32
 }
 
 // Error implements error.
@@ -137,11 +147,13 @@ func (h *ReqHeader) CorrID() uint64 { return h.ID }
 func (h *ReqHeader) SetCorrID(id uint64) { h.ID = id }
 
 // RespHeader is embedded by every response: the echoed correlation ID
-// plus the structured outcome.
+// plus the structured outcome. RetryAfterMillis carries the overload
+// backoff hint (see Error); trailing so v2 gob streams decode it zero.
 type RespHeader struct {
-	ID   uint64
-	Code Code
-	Err  string
+	ID               uint64
+	Code             Code
+	Err              string
+	RetryAfterMillis uint32
 }
 
 // CorrID implements Response.
@@ -150,12 +162,17 @@ func (h *RespHeader) CorrID() uint64 { return h.ID }
 // Status implements Response.
 func (h *RespHeader) Status() (Code, string) { return h.Code, h.Err }
 
+// RetryHint returns the overload backoff hint in milliseconds (zero
+// unless the response was CodeOverloaded). Named apart from the field
+// so the client SDK can read it through the Response interface.
+func (h *RespHeader) RetryHint() uint32 { return h.RetryAfterMillis }
+
 // AsError converts a response header into an *Error (nil when OK).
 func (h *RespHeader) AsError() error {
 	if h.Code == OK {
 		return nil
 	}
-	return &Error{Code: h.Code, Msg: h.Err}
+	return &Error{Code: h.Code, Msg: h.Err, RetryAfterMillis: h.RetryAfterMillis}
 }
 
 // Request is implemented by every control-plane request message.
@@ -337,7 +354,7 @@ type PayResp struct {
 }
 
 // WireSize implements wire.Message.
-func (m *PayResp) WireSize() int { return apiHdr + 12 + len(m.Err) }
+func (m *PayResp) WireSize() int { return apiHdr + 16 + len(m.Err) }
 
 // MultihopReq routes Amount along Hops (each a peer name or hex
 // identity; this node is prepended automatically) and blocks for the
@@ -491,6 +508,16 @@ type HostStats struct {
 	// healthy durable or replicated node keeps it at zero). Appended
 	// in protocol v2; a v1 gob stream simply leaves it zero.
 	PaymentsWide uint64
+	// Admission control (protocol v3; older gob streams leave them
+	// zero). PaymentsRejected counts payments refused at admission —
+	// never issued, never debited. PaymentsInflight is the current
+	// issued-but-unsettled gauge, ShedStarts counts transitions into
+	// shedding, and Shedding reports whether the node is currently
+	// rejecting admissions.
+	PaymentsRejected uint64
+	PaymentsInflight uint64
+	ShedStarts       uint64
+	Shedding         bool
 }
 
 // ChannelStatsEntry is one channel's payment counters.
@@ -517,6 +544,10 @@ type CommitteeStatsEntry struct {
 	BatchesOut uint64
 	OpsOut     uint64
 	Mirrors    int
+	// Stall watchdog (protocol v3): Stalled reports an ack cursor
+	// stuck with ops pending; Stalls counts watchdog trips.
+	Stalled bool
+	Stalls  uint64
 }
 
 // StatsReq fetches the structured stats snapshot: host counters,
@@ -551,14 +582,16 @@ type EventKind uint8
 
 // Event kinds. Append only.
 const (
-	EventPayAcked    EventKind = 1 // payments we issued were acknowledged
-	EventPayNacked   EventKind = 2 // payments we issued were rejected and reversed
-	EventPayReceived EventKind = 3 // payments arrived from a peer
-	EventReplCursor  EventKind = 4 // replication ack cursor advanced
-	EventSettled     EventKind = 5 // a channel terminated (settle confirmed)
-	EventSnapshot    EventKind = 6 // a durable snapshot sealed (WAL truncated)
-	EventWalLag      EventKind = 7 // WAL fsync lag reached a new high-water mark
-	EventRecovered   EventKind = 8 // crash recovery completed; payments accepted
+	EventPayAcked    EventKind = 1  // payments we issued were acknowledged
+	EventPayNacked   EventKind = 2  // payments we issued were rejected and reversed
+	EventPayReceived EventKind = 3  // payments arrived from a peer
+	EventReplCursor  EventKind = 4  // replication ack cursor advanced
+	EventSettled     EventKind = 5  // a channel terminated (settle confirmed)
+	EventSnapshot    EventKind = 6  // a durable snapshot sealed (WAL truncated)
+	EventWalLag      EventKind = 7  // WAL fsync lag reached a new high-water mark
+	EventRecovered   EventKind = 8  // crash recovery completed; payments accepted
+	EventOverload    EventKind = 9  // admission shedding started (Count 1) or stopped (Count 0)
+	EventReplStalled EventKind = 10 // replication ack cursor stuck with ops pending
 )
 
 // Mask returns the subscription bit for the kind.
@@ -601,6 +634,8 @@ func (m *SubscribeResp) WireSize() int { return apiHdr + 8 }
 //	EventSnapshot                  Cursor (log seq the snapshot covers)
 //	EventWalLag                    Cursor (the new fsync-lag high water)
 //	EventRecovered                 (no fields)
+//	EventOverload                  Count (1 shedding, 0 recovered), Cursor (retry hint, ms)
+//	EventReplStalled               Chain, Cursor (the stuck ack seq)
 type Event struct {
 	Seq     uint64
 	Kind    EventKind

@@ -82,6 +82,9 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 		&PayBatchReq{ReqHeader: ReqHeader{ID: 9}, Channel: "ch-2", Amounts: []chain.Amount{1, 2, 3, 4}},
 		&PayResp{RespHeader: RespHeader{ID: 9, Code: CodeNacked, Err: "2 payment(s) rejected"}, Count: 4},
 		&PayResp{RespHeader: RespHeader{ID: 1}, Count: 1},
+		&PayResp{RespHeader: RespHeader{ID: 3, Code: CodeOverloaded, Err: "overloaded", RetryAfterMillis: 5}, Count: 64},
+		&Event{Seq: 13, Kind: EventOverload, Count: 1, Cursor: 5},
+		&Event{Seq: 14, Kind: EventReplStalled, Chain: "cc-ab", Cursor: 17},
 		&Event{Seq: 11, Kind: EventPayAcked, Channel: "ch-3", Amount: 5, Count: 2},
 		&Event{Seq: 12, Kind: EventReplCursor, Chain: "cc-ab", Cursor: 99},
 	}

@@ -92,3 +92,23 @@ type NodeInfo struct {
 	Identity cryptoutil.PublicKey
 	Wallet   cryptoutil.Address
 }
+
+// Issuer is a per-connection payment-issue handle: payments issued
+// through it are charged against that connection's fair share of the
+// node's global in-flight budget, so one flooding client is shed
+// (CodeOverloaded) before it can starve the others. The server calls
+// Release as issued payments settle and Close when the connection goes
+// away.
+type Issuer interface {
+	Pay(ch wire.ChannelID, amount chain.Amount, count int) (PayCursor, error)
+	PayBatch(ch wire.ChannelID, amounts []chain.Amount) (PayCursor, error)
+	Release(count uint32)
+	Close()
+}
+
+// IssuerBackend is implemented by backends with per-connection
+// admission control (transport.Host). Backends without it share one
+// unpartitioned budget across all connections.
+type IssuerBackend interface {
+	NewIssuer() Issuer
+}

@@ -101,23 +101,25 @@ func (m *PayResp) AppendPayload(dst []byte) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, m.ID)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Code))
 	dst = binary.BigEndian.AppendUint32(dst, m.Count)
+	dst = binary.BigEndian.AppendUint32(dst, m.RetryAfterMillis)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Err)))
 	return append(dst, m.Err...), nil
 }
 
 // DecodePayload implements wire.BinaryMessage.
 func (m *PayResp) DecodePayload(src []byte) error {
-	if len(src) < 16 {
+	if len(src) < 20 {
 		return wire.ErrFrameTruncated
 	}
-	elen := int(binary.BigEndian.Uint16(src[14:16]))
-	if len(src) != 16+elen {
+	elen := int(binary.BigEndian.Uint16(src[18:20]))
+	if len(src) != 20+elen {
 		return wire.ErrFrameTruncated
 	}
 	m.ID = binary.BigEndian.Uint64(src[:8])
 	m.Code = Code(binary.BigEndian.Uint16(src[8:10]))
 	m.Count = binary.BigEndian.Uint32(src[10:14])
-	m.Err = string(src[16:])
+	m.RetryAfterMillis = binary.BigEndian.Uint32(src[14:18])
+	m.Err = string(src[20:])
 	return nil
 }
 

@@ -50,23 +50,51 @@ type Conn struct {
 	closed  bool
 	readErr error
 
+	// payWindow bounds in-flight async payment requests (nil =
+	// unbounded); paySlots maps pending IDs to the window channel
+	// their token came from, released when the response is delivered.
+	// Both guarded by mu.
+	payWindow chan struct{}
+	paySlots  map[uint64]chan struct{}
+
 	nextID     atomic.Uint64
 	readerDone chan struct{}
 }
 
+// Config tunes a connection.
+type Config struct {
+	// Timeout bounds every synchronous wait, including the hello
+	// handshake (api.DefaultTimeout when zero) — a black-holed control
+	// port fails with CodeTimeout instead of hanging the caller.
+	Timeout time.Duration
+	// DialTimeout bounds the TCP connect (Timeout when zero).
+	DialTimeout time.Duration
+}
+
 // Dial connects to a node's control port and performs the protocol
-// handshake (HelloReq/HelloResp version negotiation).
-func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+// handshake (HelloReq/HelloResp version negotiation) with default
+// timeouts.
+func Dial(addr string) (*Conn, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig is Dial with explicit timeouts.
+func DialConfig(addr string, cfg Config) (*Conn, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = api.DefaultTimeout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = cfg.Timeout
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	c := &Conn{
 		conn:       nc,
 		pending:    make(map[uint64]chan api.Response),
+		paySlots:   make(map[uint64]chan struct{}),
 		readerDone: make(chan struct{}),
 	}
-	c.timeout.Store(int64(api.DefaultTimeout))
+	c.timeout.Store(int64(cfg.Timeout))
 	go c.readLoop()
 	resp, err := c.do(&api.HelloReq{Version: api.Version})
 	if err != nil {
@@ -112,9 +140,10 @@ type Pending struct {
 	ch chan api.Response
 }
 
-// start stamps a correlation ID, registers the pending slot, and
+// start stamps a correlation ID, registers the pending slot (and the
+// issue-window token to release on completion, when non-nil), and
 // writes the request frame.
-func (c *Conn) start(req api.Request) (*Pending, error) {
+func (c *Conn) start(req api.Request, slot chan struct{}) (*Pending, error) {
 	id := c.nextID.Add(1)
 	req.SetCorrID(id)
 	ch := make(chan api.Response, 1)
@@ -124,6 +153,9 @@ func (c *Conn) start(req api.Request) (*Pending, error) {
 		return nil, fmt.Errorf("client: connection closed")
 	}
 	c.pending[id] = ch
+	if slot != nil {
+		c.paySlots[id] = slot
+	}
 	c.mu.Unlock()
 
 	var zero cryptoutil.PublicKey
@@ -137,10 +169,49 @@ func (c *Conn) start(req api.Request) (*Pending, error) {
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
+		delete(c.paySlots, id)
 		c.mu.Unlock()
 		return nil, err
 	}
 	return &Pending{c: c, id: id, ch: ch}, nil
+}
+
+// startPay is start for asynchronous payment requests, honoring the
+// SetPayWindow issue window: it blocks for a window token (or the
+// connection dying), and the token is returned when the response is
+// delivered (or issue fails).
+func (c *Conn) startPay(req api.Request) (*Pending, error) {
+	c.mu.Lock()
+	w := c.payWindow
+	c.mu.Unlock()
+	if w != nil {
+		select {
+		case w <- struct{}{}:
+		case <-c.readerDone:
+			return nil, fmt.Errorf("client: connection lost: %w", c.readError())
+		}
+	}
+	p, err := c.start(req, w)
+	if err != nil && w != nil {
+		<-w
+	}
+	return p, err
+}
+
+// SetPayWindow bounds the number of in-flight PayAsync/PayBatchAsync
+// requests: once n are awaiting responses, further issues block until
+// one completes. A bounded window keeps an open-loop generator from
+// tripping the server's admission control — the client self-clocks
+// instead of being shed. n <= 0 removes the bound (the default).
+// Requests already in flight keep the window they were issued under.
+func (c *Conn) SetPayWindow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		c.payWindow = nil
+		return
+	}
+	c.payWindow = make(chan struct{}, n)
 }
 
 // waitResp blocks for the raw response.
@@ -176,7 +247,11 @@ func (p *Pending) Done() <-chan api.Response { return p.ch }
 
 func respErr(resp api.Response) error {
 	if code, msg := resp.Status(); code != api.OK {
-		return &api.Error{Code: code, Msg: msg}
+		e := &api.Error{Code: code, Msg: msg}
+		if rh, ok := resp.(interface{ RetryHint() uint32 }); ok {
+			e.RetryAfterMillis = rh.RetryHint()
+		}
+		return e
 	}
 	return nil
 }
@@ -184,7 +259,7 @@ func respErr(resp api.Response) error {
 // do runs one request synchronously, returning the typed response
 // (already checked for OK).
 func (c *Conn) do(req api.Request) (api.Response, error) {
-	p, err := c.start(req)
+	p, err := c.start(req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +317,12 @@ func (c *Conn) deliver(resp api.Response) {
 	c.mu.Lock()
 	ch := c.pending[resp.CorrID()]
 	delete(c.pending, resp.CorrID())
+	slot := c.paySlots[resp.CorrID()]
+	delete(c.paySlots, resp.CorrID())
 	c.mu.Unlock()
+	if slot != nil {
+		<-slot // return the issue-window token
+	}
 	if ch != nil {
 		ch <- resp
 	}
@@ -350,9 +430,10 @@ func (c *Conn) Pay(ch wire.ChannelID, amount chain.Amount, count int) error {
 }
 
 // PayAsync issues count payments of amount each and returns a
-// completion handle; the payments are in flight when it returns.
+// completion handle; the payments are in flight when it returns. With
+// SetPayWindow set, it blocks while the window is full.
 func (c *Conn) PayAsync(ch wire.ChannelID, amount chain.Amount, count int) (*Pending, error) {
-	return c.start(&api.PayReq{Channel: ch, Amount: amount, Count: uint32(count)})
+	return c.startPay(&api.PayReq{Channel: ch, Amount: amount, Count: uint32(count)})
 }
 
 // PayBatch sends len(amounts) payments in one wire frame and blocks
@@ -366,9 +447,10 @@ func (c *Conn) PayBatch(ch wire.ChannelID, amounts []chain.Amount) error {
 }
 
 // PayBatchAsync issues a payment batch and returns a completion
-// handle. The amounts slice is not retained.
+// handle. The amounts slice is not retained. With SetPayWindow set, it
+// blocks while the window is full.
 func (c *Conn) PayBatchAsync(ch wire.ChannelID, amounts []chain.Amount) (*Pending, error) {
-	return c.start(&api.PayBatchReq{Channel: ch, Amounts: amounts})
+	return c.startPay(&api.PayBatchReq{Channel: ch, Amounts: amounts})
 }
 
 // Multihop routes amount along hops (peer names or hex identities,

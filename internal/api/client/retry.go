@@ -1,0 +1,100 @@
+package client
+
+// Overload-aware retry: typed predicates for CodeOverloaded and a
+// jittered exponential retrier that honors the server's
+// RetryAfterMillis hint. An overloaded rejection is safe to retry by
+// construction — admission runs before the enclave debits anything —
+// so idempotent cold operations and whole payment requests that were
+// refused can simply be re-issued after backing off.
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"teechain/internal/api"
+)
+
+// IsOverloaded reports whether err is a CodeOverloaded control-plane
+// error: the server refused admission before applying anything, and
+// the caller should back off (see RetryAfter) and retry.
+func IsOverloaded(err error) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == api.CodeOverloaded
+}
+
+// RetryAfter returns the server's backoff hint carried by err (zero
+// when err is not a coded error or carries no hint).
+func RetryAfter(err error) time.Duration {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return time.Duration(ae.RetryAfterMillis) * time.Millisecond
+	}
+	return 0
+}
+
+// Retrier re-runs an operation rejected with CodeOverloaded, sleeping
+// the server's RetryAfterMillis hint when present (an exponential
+// backoff from Base otherwise) with jitter so synchronized clients
+// don't re-flood in lockstep. Any other outcome — success or a
+// differently coded error — returns immediately.
+//
+// The zero value is usable: 5 attempts, 5ms base, 1s cap, real sleep
+// and jitter. Sleep and Rand are injectable so tests run
+// deterministically without waiting.
+type Retrier struct {
+	Attempts int           // total tries including the first (default 5)
+	Base     time.Duration // first hint-less backoff (default 5ms)
+	Max      time.Duration // backoff ceiling (default 1s)
+
+	Sleep func(time.Duration) // default time.Sleep
+	Rand  func() float64      // jitter source in [0,1); default math/rand
+}
+
+// Do runs op under the retry policy, returning its final error.
+func (r Retrier) Do(op func() error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base := r.Base
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	ceil := r.Max
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rnd := r.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	backoff := base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil || !IsOverloaded(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		d := backoff
+		if hint := RetryAfter(err); hint > 0 {
+			d = hint
+		}
+		if d > ceil {
+			d = ceil
+		}
+		// Sleep U[d/2, d): jitter staggers clients that were all shed
+		// at the same instant.
+		sleep(d/2 + time.Duration(rnd()*float64(d/2)))
+		if backoff *= 2; backoff > ceil {
+			backoff = ceil
+		}
+	}
+	return err
+}

@@ -35,9 +35,11 @@ func (h *Handler) timeout() time.Duration {
 }
 
 // fill stamps a response header from a request ID and an error,
-// classifying non-*Error errors as CodeInternal.
+// classifying non-*Error errors as CodeInternal and carrying the
+// overload retry hint through.
 func fill(hdr *RespHeader, id uint64, err error) {
 	hdr.ID = id
+	hdr.RetryAfterMillis = 0
 	if err == nil {
 		hdr.Code, hdr.Err = OK, ""
 		return
@@ -45,6 +47,7 @@ func fill(hdr *RespHeader, id uint64, err error) {
 	var ae *Error
 	if errors.As(err, &ae) {
 		hdr.Code, hdr.Err = ae.Code, ae.Msg
+		hdr.RetryAfterMillis = ae.RetryAfterMillis
 		return
 	}
 	hdr.Code, hdr.Err = CodeInternal, err.Error()
@@ -205,6 +208,12 @@ func (h *Handler) Do(req Request) Response {
 // path uses it so the next request can issue while this one's acks are
 // in flight.
 func (h *Handler) IssuePay(req Request) (PayCursor, uint32, error) {
+	return h.IssuePayOn(nil, req)
+}
+
+// IssuePayOn is IssuePay charged against a per-connection issuer; nil
+// falls back to the backend's shared admission path.
+func (h *Handler) IssuePayOn(iss Issuer, req Request) (PayCursor, uint32, error) {
 	switch r := req.(type) {
 	case *PayReq:
 		if r.Amount <= 0 || r.Count < 1 {
@@ -213,7 +222,13 @@ func (h *Handler) IssuePay(req Request) (PayCursor, uint32, error) {
 		if r.Count > MaxPayCount {
 			return PayCursor{}, 0, Errorf(CodeBadRequest, "count %d exceeds %d per request", r.Count, MaxPayCount)
 		}
-		cur, err := h.b.Pay(r.Channel, r.Amount, int(r.Count))
+		var cur PayCursor
+		var err error
+		if iss != nil {
+			cur, err = iss.Pay(r.Channel, r.Amount, int(r.Count))
+		} else {
+			cur, err = h.b.Pay(r.Channel, r.Amount, int(r.Count))
+		}
 		return cur, r.Count, err
 	case *PayBatchReq:
 		if len(r.Amounts) == 0 {
@@ -227,7 +242,13 @@ func (h *Handler) IssuePay(req Request) (PayCursor, uint32, error) {
 				return PayCursor{}, 0, Errorf(CodeBadRequest, "bad payment amount %d in batch", a)
 			}
 		}
-		cur, err := h.b.PayBatch(r.Channel, r.Amounts)
+		var cur PayCursor
+		var err error
+		if iss != nil {
+			cur, err = iss.PayBatch(r.Channel, r.Amounts)
+		} else {
+			cur, err = h.b.PayBatch(r.Channel, r.Amounts)
+		}
 		return cur, uint32(len(r.Amounts)), err
 	default:
 		return PayCursor{}, 0, Errorf(CodeUnknown, "%T is not a payment request", req)

@@ -38,6 +38,10 @@ const payQueueDepth = 1024
 // (visible to the subscriber as an Event.Seq gap).
 const eventBufDepth = 4096
 
+// maxAckBatch bounds the ack loop's adaptive coalescing window: how
+// many completed payment responses may share one framed write.
+const maxAckBatch = 64
+
 // NewServer builds a listenerless server: connections are handed in
 // via ServeConn (the sniffing control listener does this). Close still
 // tears live connections down.
@@ -127,6 +131,10 @@ type serverConn struct {
 	s    *Server
 	conn net.Conn
 
+	// issuer is this connection's fair-share admission handle (nil
+	// when the backend has no per-connection admission control).
+	issuer Issuer
+
 	// Outbound frames (responses and events) serialize under wmu; the
 	// frame buffer is reused across writes.
 	wmu  sync.Mutex
@@ -159,6 +167,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 		payQ: make(chan payPending, payQueueDepth),
 		quit: make(chan struct{}),
 	}
+	if ib, ok := s.h.Backend().(IssuerBackend); ok {
+		c.issuer = ib.NewIssuer()
+	}
 	ackerDone := make(chan struct{})
 	go c.ackLoop(ackerDone)
 
@@ -168,6 +179,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.untrack(conn)
 	close(c.payQ)
 	<-ackerDone
+	if c.issuer != nil {
+		c.issuer.Close()
+	}
 	close(c.quit)
 	if c.evCancel != nil {
 		c.evCancel()
@@ -232,7 +246,7 @@ func (c *serverConn) readLoop() {
 			// Issue inline: preserves per-connection payment order, and
 			// the FrameReader's reused message is fully consumed before
 			// the next frame is read. The ack wait pipelines.
-			cur, count, err := c.s.h.IssuePay(r)
+			cur, count, err := c.s.h.IssuePayOn(c.issuer, r)
 			if err != nil {
 				resp := &PayResp{Count: count}
 				fill(&resp.RespHeader, r.CorrID(), err)
@@ -261,12 +275,77 @@ func (c *serverConn) readLoop() {
 // channel arrive in issue order, so a FIFO wait per connection is
 // exact for single-channel drivers and conservative (head-of-line)
 // across channels on one connection.
+//
+// The loop adapts its response batching to load: when it falls behind
+// (the queue holds requests whose spans have already settled), it
+// coalesces up to target completed responses into one framed write,
+// doubling target each full pass up to maxAckBatch; an unfilled pass
+// halves it back toward one, so a lightly loaded connection keeps
+// per-response latency.
 func (c *serverConn) ackLoop(done chan struct{}) {
 	defer close(done)
-	for p := range c.payQ {
-		resp := &PayResp{Count: p.count}
-		fill(&resp.RespHeader, p.id, c.s.h.AwaitPay(p.cur))
-		c.send(resp)
+	batch := make([]payPending, 0, maxAckBatch)
+	resps := make([]*PayResp, 0, maxAckBatch)
+	target := 1
+	for {
+		p, ok := <-c.payQ
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+	coalesce:
+		for len(batch) < target {
+			select {
+			case q, qok := <-c.payQ:
+				if !qok {
+					break coalesce
+				}
+				batch = append(batch, q)
+			default:
+				break coalesce
+			}
+		}
+		resps = resps[:0]
+		for _, p := range batch {
+			err := c.s.h.AwaitPay(p.cur)
+			if c.issuer != nil {
+				c.issuer.Release(p.count)
+			}
+			resp := &PayResp{Count: p.count}
+			fill(&resp.RespHeader, p.id, err)
+			resps = append(resps, resp)
+		}
+		c.sendPays(resps)
+		if len(batch) >= target && target < maxAckBatch {
+			target *= 2
+		} else if len(batch) < target && target > 1 {
+			target /= 2
+		}
+	}
+}
+
+// sendPays frames a run of completed payment responses and writes them
+// in one syscall (the batch shares one wmu critical section, so events
+// and cold responses interleave between batches, never inside one).
+func (c *serverConn) sendPays(resps []*PayResp) {
+	if len(resps) == 0 {
+		return
+	}
+	var zero cryptoutil.PublicKey
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf := c.wbuf[:0]
+	for _, resp := range resps {
+		b, err := wire.AppendFrame(buf, zero, nil, resp)
+		if err != nil {
+			c.s.logeach("api: encoding %T: %v", resp, err)
+			continue
+		}
+		buf = b
+	}
+	c.wbuf = buf
+	if len(buf) > 0 {
+		c.conn.Write(buf) //nolint:errcheck // teardown is the read loop's job
 	}
 }
 

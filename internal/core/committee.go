@@ -478,6 +478,7 @@ func (e *Enclave) ReplResyncStart() (*Result, error) {
 		}})
 	}
 	e.repl.resyncPending = len(e.repl.members) - 1
+	e.repl.resyncSeq = seq
 	return res, nil
 }
 
@@ -522,7 +523,26 @@ func (e *Enclave) handleReplResyncAck(from cryptoutil.PublicKey, m *wire.ReplRes
 	}
 	e.repl.resyncPending--
 	if e.repl.resyncPending == 0 {
-		return &Result{Events: []Event{EvReplResynced{Chain: m.Chain}}}, nil
+		// Every member adopted the snapshot at resyncSeq, so everything
+		// up to it is replicated: advance the ack (and flush) cursor
+		// there and release the covered withheld effects. After crash
+		// recovery the log is empty and this is a no-op; after a live
+		// stall (watchdog self-heal) it is exactly what un-wedges the
+		// window — the acks the lost frame's batch would have produced.
+		res := e.pools.getResult()
+		res.Events = append(res.Events, EvReplResynced{Chain: m.Chain})
+		l := e.repl.log
+		l.mu.Lock()
+		if s := e.repl.resyncSeq; s > l.ackSeq {
+			l.ackSeq = s
+			if l.flushSeq < s {
+				l.flushSeq = s
+			}
+		}
+		target := l.releaseTargetLocked(true)
+		l.mu.Unlock()
+		e.releaseTo(l, target, res)
+		return res, nil
 	}
 	return &Result{}, nil
 }

@@ -57,8 +57,13 @@ type replPrimary struct {
 
 	// resyncPending counts committee members yet to acknowledge a
 	// post-recovery mirror resync (ReplResyncStart); EvReplResynced
-	// fires when it reaches zero.
+	// fires when it reaches zero. resyncSeq is the log sequence the
+	// resync snapshot covers: once every member adopted it, everything
+	// up to it is replicated by definition, so the ack cursor may jump
+	// there (releasing a stalled window's withheld effects — the
+	// watchdog self-heal path).
 	resyncPending int
+	resyncSeq     uint64
 
 	// log is the replication pipeline: sequence assignment, the window
 	// of committed-but-unacknowledged entries with their withheld

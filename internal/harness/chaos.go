@@ -19,8 +19,10 @@ package harness
 // and the safety-only tests cover them separately.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"teechain/internal/chain"
@@ -172,6 +174,7 @@ const (
 	OpPay       = "pay"       // burst of identical lane payments on one channel
 	OpPayBatch  = "paybatch"  // one PayBatch frame of mixed amounts
 	OpMultihop  = "multihop"  // spoke→hub→sink, blocking
+	OpOverdrive = "overdrive" // open-loop flood of one channel, far past its admission budget
 	OpRule      = "rule"      // install a lossless fault rule on a link (both directions)
 	OpClear     = "clear"     // clear every fault rule
 	OpPartition = "partition" // cut a link (kills conns, refuses redials)
@@ -179,12 +182,25 @@ const (
 	OpBounce    = "bounce"    // restart a node's listener and connections
 )
 
+// Admission budgets for schedule runs: shrunk far below the transport
+// defaults so an OpOverdrive burst (10x the per-channel budget, issued
+// concurrently) genuinely trips shedding, while the regular self-paced
+// workload stays admitted. Shed payments are retried until admitted —
+// rejection-before-debit means a retry is exact — so the analytic
+// model and the fault-free replay stay deterministic even though which
+// attempts get shed is timing-dependent.
+const (
+	chaosMaxInflightPerChannel = 512
+	chaosMaxInflightTotal      = 4096
+	overdriveWorkers           = 8
+)
+
 // ChaosOp is one step of a schedule. Payment ops are the workload;
 // the rest are faults, skipped by the fault-free replay.
 type ChaosOp struct {
 	Kind    string
-	Channel int            // OpPay/OpPayBatch: index into ChannelPairs
-	Amounts []chain.Amount // OpPay/OpPayBatch: one payment per entry
+	Channel int            // OpPay/OpPayBatch/OpOverdrive: index into ChannelPairs
+	Amounts []chain.Amount // OpPay/OpPayBatch/OpOverdrive: one payment per entry
 	Spoke   string         // OpMultihop: paying spoke
 	Amount  chain.Amount   // OpMultihop
 	Link    [2]string      // OpRule/OpPartition/OpHeal
@@ -243,10 +259,10 @@ func losslessRule(rng *rand.Rand, allowReorder bool) faultnet.Rule {
 }
 
 // BuildChaosSchedule derives a schedule of roughly n ops from seed:
-// ~55% payment bursts/batches, ~10% multihops, and ~35% network
-// faults. Invariants the generator maintains: at most one partition
-// at a time, every partition heals within a few ops, no multihop or
-// bounce while partitioned (a multihop through a cut link could only
+// ~55% payment bursts/batches, ~10% multihops, ~3% overdrive floods,
+// and ~32% network faults. Invariants the generator maintains: at most
+// one partition at a time, every partition heals within a few ops, no
+// multihop, overdrive, or bounce while partitioned (a multihop through a cut link could only
 // time out; a bounce would stack two recoveries), bounces are spaced
 // out, and the schedule ends healed with all rules cleared.
 func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
@@ -291,6 +307,22 @@ func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
 			}
 			sp := tp.Spokes[rng.Intn(len(tp.Spokes))]
 			ops = append(ops, ChaosOp{Kind: OpMultihop, Spoke: sp, Amount: chain.Amount(1 + rng.Intn(20))})
+		case r < 0.68:
+			// Overdrive floods one channel far past its admission
+			// budget from concurrent workers, forcing shedding and
+			// retry. Skipped while partitioned for the same reason as
+			// multihop: admission slots only free when acks flow, and
+			// acks across a cut link only flow after the heal op —
+			// which the blocked overdrive would prevent from running.
+			if partitioned >= 0 {
+				continue
+			}
+			ci := rng.Intn(len(chans))
+			amounts := make([]chain.Amount, 10*chaosMaxInflightPerChannel)
+			for i := range amounts {
+				amounts[i] = 1 // unit amounts: a burst must overload, not deplete
+			}
+			ops = append(ops, ChaosOp{Kind: OpOverdrive, Channel: ci, Amounts: amounts})
 		case r < 0.80:
 			li := rng.Intn(len(links))
 			ops = append(ops, ChaosOp{Kind: OpRule, Link: links[li], Rule: losslessRule(rng, li < len(chans))})
@@ -319,6 +351,40 @@ func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
 }
 
 // --- schedule execution ---
+
+// payRetry issues one lane payment, retrying only admission rejections
+// (transport.ErrOverloaded). Rejection happens before the enclave
+// debits anything, so a retry is exact: the analytic model counts the
+// payment once no matter how many attempts were shed.
+func payRetry(h *transport.Host, ch wire.ChannelID, amt chain.Amount) error {
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		err := h.Pay(ch, amt)
+		if err == nil || !errors.Is(err, transport.ErrOverloaded) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// payBatchRetry is payRetry for one PayBatch frame: batches admit
+// all-or-nothing, so a shed batch re-issues whole.
+func payBatchRetry(h *transport.Host, ch wire.ChannelID, amounts []chain.Amount) error {
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		err := h.PayBatch(ch, amounts)
+		if err == nil || !errors.Is(err, transport.ErrOverloaded) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // awaitChannelBal polls until the named node sees the channel at
 // exactly mine/remote.
@@ -375,9 +441,16 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 		c  *Cluster
 		cc *ChaosCluster
 	)
+	// Both runs use the shrunk admission budgets so overdrive bursts
+	// shed identically often enough to matter in either mode; retries
+	// make the final state independent of which attempts were shed.
+	mut := func(cfg *transport.Config) {
+		cfg.MaxInflightPerChannel = chaosMaxInflightPerChannel
+		cfg.MaxInflightTotal = chaosMaxInflightTotal
+	}
 	if withFaults {
 		var err error
-		cc, err = NewChaosCluster(s.Seed, logf, tp.Nodes()...)
+		cc, err = NewChaosClusterWith(s.Seed, logf, mut, tp.Nodes()...)
 		if err != nil {
 			return nil, fail("cluster: %v", err)
 		}
@@ -385,7 +458,7 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 		defer cc.Close()
 	} else {
 		var err error
-		c, err = NewCluster(tp.Nodes()...)
+		c, err = NewClusterWith(mut, tp.Nodes()...)
 		if err != nil {
 			return nil, fail("cluster: %v", err)
 		}
@@ -445,7 +518,7 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 			payer := chans[op.Channel][0]
 			h := c.Host(payer)
 			for _, amt := range op.Amounts {
-				if err := h.Pay(chIDs[op.Channel], amt); err != nil {
+				if err := payRetry(h, chIDs[op.Channel], amt); err != nil {
 					return nil, fail("op %d: pay %s: %v", i, payer, err)
 				}
 				model[op.Channel][0] -= amt
@@ -454,8 +527,50 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 			expAcks[payer] += uint64(len(op.Amounts))
 		case OpPayBatch:
 			payer := chans[op.Channel][0]
-			if err := c.Host(payer).PayBatch(chIDs[op.Channel], op.Amounts); err != nil {
+			if err := payBatchRetry(c.Host(payer), chIDs[op.Channel], op.Amounts); err != nil {
 				return nil, fail("op %d: paybatch %s: %v", i, payer, err)
+			}
+			for _, amt := range op.Amounts {
+				model[op.Channel][0] -= amt
+				model[op.Channel][1] += amt
+			}
+			expAcks[payer] += uint64(len(op.Amounts))
+		case OpOverdrive:
+			// Open-loop flood: overdriveWorkers goroutines split the
+			// burst and hammer one channel concurrently, each retrying
+			// its shed payments until admitted. The op blocks until the
+			// whole burst has been ISSUED (not acked); draining happens
+			// with everyone else's at the end of the schedule.
+			payer := chans[op.Channel][0]
+			h := c.Host(payer)
+			chID := chIDs[op.Channel]
+			var wg sync.WaitGroup
+			errc := make(chan error, overdriveWorkers)
+			per := (len(op.Amounts) + overdriveWorkers - 1) / overdriveWorkers
+			for w := 0; w < len(op.Amounts); w += per {
+				hi := w + per
+				if hi > len(op.Amounts) {
+					hi = len(op.Amounts)
+				}
+				wg.Add(1)
+				go func(amounts []chain.Amount) {
+					defer wg.Done()
+					for _, amt := range amounts {
+						if err := payRetry(h, chID, amt); err != nil {
+							select {
+							case errc <- err:
+							default:
+							}
+							return
+						}
+					}
+				}(op.Amounts[w:hi])
+			}
+			wg.Wait()
+			select {
+			case err := <-errc:
+				return nil, fail("op %d: overdrive %s: %v", i, payer, err)
+			default:
 			}
 			for _, amt := range op.Amounts {
 				model[op.Channel][0] -= amt

@@ -1,0 +1,230 @@
+package harness
+
+// Overload integration tests over real TCP: exact conservation while
+// admission sheds under concurrent hammering, and the replication
+// stall watchdog detecting an induced flush gap and self-healing a
+// durable owner via resync.
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/transport"
+	"teechain/internal/wire"
+)
+
+// TestOverloadShedConservation hammers one channel from concurrent
+// workers with a budget far below the offered load, retrying every
+// shed payment, and then checks the books balance EXACTLY: every
+// admitted payment applied once, every shed payment applied zero
+// times, both endpoints agreeing, and the reject counter matching the
+// workers' observed sheds one for one.
+func TestOverloadShedConservation(t *testing.T) {
+	const (
+		budget  = 64
+		deposit = 20_000
+		total   = 4_000
+		workers = 8
+	)
+	c, err := NewClusterWith(func(cfg *transport.Config) {
+		cfg.MaxInflightPerChannel = budget
+		cfg.MaxInflightTotal = 4 * budget
+	}, "s", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Connect("s", "r"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.OpenChannel("s", "r", deposit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chID := wire.ChannelID(id)
+	if err := awaitChannelBal(c, "r", chID, 0, deposit); err != nil {
+		t.Fatal(err)
+	}
+	h := c.Host("s")
+
+	var next int64
+	var shed atomic.Uint64
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.AddInt64(&next, 1) <= total {
+				for {
+					err := h.Pay(chID, 1)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, transport.ErrOverloaded) {
+						errCh <- err
+						return
+					}
+					shed.Add(1)
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if shed.Load() == 0 {
+		t.Fatalf("workers never got shed: %d-payment budget did not bite under %d workers", budget, workers)
+	}
+	if err := h.AwaitAcked(total, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactness: the reject counter matches the observed sheds, the
+	// in-flight gauge drained to zero, and both endpoints hold the
+	// analytic balance.
+	st := h.Stats()
+	if st.PaymentsRejected != shed.Load() {
+		t.Fatalf("host counted %d rejects, workers observed %d", st.PaymentsRejected, shed.Load())
+	}
+	if st.PaymentsInflight != 0 {
+		t.Fatalf("in-flight gauge after full drain: %d, want 0", st.PaymentsInflight)
+	}
+	if st.ShedStarts == 0 || st.Shedding {
+		t.Fatalf("shed lifecycle: shed_starts=%d shedding=%t, want >0/false", st.ShedStarts, st.Shedding)
+	}
+	if err := awaitChannelBal(c, "s", chID, deposit-total, total); err != nil {
+		t.Fatal(err)
+	}
+	if err := awaitChannelBal(c, "r", chID, total, deposit-total); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplStallWatchdogRecovers induces PR 6's silent-stall failure
+// mode — a replication frame that leaves the owner's flush cursor but
+// never reaches the mirror — by stealing one flush straight off the
+// enclave, then checks the watchdog (a) notices the ack cursor sitting
+// still with ops pending, raising Stalled and the stall counter, and
+// (b) self-heals the durable owner via resync: the mirror re-adopts
+// the owner's state, the wedged window releases, every payment settles
+// and the stall flag clears.
+func TestReplStallWatchdogRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewClusterWith(func(cfg *transport.Config) {
+		if cfg.Name == "hub" {
+			cfg.DataDir = filepath.Join(dir, cfg.Name)
+			// ~50ms of stuck cursor (25 ticks x 2ms flusher tick): fast
+			// detection without tripping on ordinary scheduling delay.
+			cfg.ReplStallTicks = 25
+		}
+	}, "hub", "m1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.FormCommittee("hub", []string{"m1"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect("hub", "a"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.OpenChannel("hub", "a", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chID := wire.ChannelID(id)
+	hub := c.Host("hub")
+
+	// Steady state first: one payment through the replicated chain.
+	if err := hub.Pay(chID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.AwaitAcked(1, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+	paid := uint64(1)
+
+	// Steal the TAIL of the flush stream: pull the next replication
+	// frame off the enclave exactly as the flusher would — advancing
+	// the flush cursor — and drop it, then issue no further traffic.
+	// This is the SILENT failure mode the watchdog exists for: a frame
+	// sent after the gap would make the mirror detect the sequence gap
+	// and force-freeze the chain (loud, and handled elsewhere), but a
+	// lost tail leaves the mirror idling before the gap with nobody
+	// signalling anyone — the owner's window just never drains. The
+	// race with the real flusher is harmless: if it beats us to the op,
+	// pay again and try to win the next one; once we steal, we drain
+	// every remaining unflushed op in the same critical section so the
+	// flusher has nothing left to send.
+	stolen := 0
+	batch := &wire.ReplBatch{}
+	for i := 0; i < 500 && stolen == 0; i++ {
+		if err := hub.Pay(chID, 1); err != nil {
+			t.Fatal(err)
+		}
+		paid++
+		hub.WithEnclave(func(e *core.Enclave) {
+			for {
+				_, _, n := e.ReplNextFlush(batch, 1, 1<<20)
+				if n == 0 {
+					return
+				}
+				stolen += n
+			}
+		})
+	}
+	if stolen == 0 {
+		t.Fatal("never managed to steal a replication flush from the flusher")
+	}
+	t.Logf("stole %d replication op(s) off the flush cursor", stolen)
+
+	// The watchdog must notice...
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		if st, ok := hub.CommitteeStats(); ok && st.Stalls >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			st, _ := hub.CommitteeStats()
+			t.Fatalf("watchdog never tripped: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the resync self-heal must release everything: all payments
+	// ack, the stall flag clears, and the committee cursor catches up.
+	if err := hub.AwaitAcked(paid, ClusterTimeout); err != nil {
+		t.Fatalf("payments never settled after self-heal: %v", err)
+	}
+	for {
+		st, ok := hub.CommitteeStats()
+		if ok && !st.Stalled && st.AckSeq == st.FlushSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stall never cleared after resync: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The chain still works end to end.
+	if err := hub.Pay(chID, 1); err != nil {
+		t.Fatal(err)
+	}
+	paid++
+	if err := hub.AwaitAcked(paid, ClusterTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := awaitChannelBal(c, "a", chID, chain.Amount(paid), 10_000-chain.Amount(paid)); err != nil {
+		t.Fatal(err)
+	}
+}

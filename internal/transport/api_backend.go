@@ -46,7 +46,13 @@ func classify(err error) error {
 		return ae
 	}
 	code := api.CodeInternal
+	var retry uint32
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Before ErrTimeout: a deadline abandoned while shedding is
+		// typed as backpressure, and it carries the retry hint.
+		code = api.CodeOverloaded
+		retry, _ = OverloadRetryMillis(err)
 	case errors.Is(err, ErrTimeout):
 		code = api.CodeTimeout
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrChainUnavailable):
@@ -56,7 +62,7 @@ func classify(err error) error {
 	case errors.Is(err, ErrRecovering):
 		code = api.CodeRecovering
 	}
-	return &api.Error{Code: code, Msg: err.Error()}
+	return &api.Error{Code: code, Msg: err.Error(), RetryAfterMillis: retry}
 }
 
 func (b apiBackend) Info() api.NodeInfo {
@@ -95,10 +101,12 @@ func (b apiBackend) Deposit(ch wire.ChannelID, amount chain.Amount, timeout time
 	return point, classify(err)
 }
 
-func (b apiBackend) Pay(ch wire.ChannelID, amount chain.Amount, count int) (api.PayCursor, error) {
+// payLoop issues count payments through issue (the shared host path or
+// a per-connection issuer), building the settle cursor.
+func payLoop(issue func(wire.ChannelID, chain.Amount) (PayMark, error), ch wire.ChannelID, amount chain.Amount, count int) (api.PayCursor, error) {
 	var cur api.PayCursor
 	for i := 0; i < count; i++ {
-		mark, err := b.h.PayTracked(ch, amount)
+		mark, err := issue(ch, amount)
 		if err != nil {
 			// Payments already issued stay issued; the cursor reflects
 			// them so a partial failure still settles deterministically.
@@ -112,6 +120,10 @@ func (b apiBackend) Pay(ch wire.ChannelID, amount chain.Amount, count int) (api.
 	return cur, nil
 }
 
+func (b apiBackend) Pay(ch wire.ChannelID, amount chain.Amount, count int) (api.PayCursor, error) {
+	return payLoop(b.h.PayTracked, ch, amount, count)
+}
+
 func (b apiBackend) PayBatch(ch wire.ChannelID, amounts []chain.Amount) (api.PayCursor, error) {
 	mark, err := b.h.PayBatchTracked(ch, amounts)
 	if err != nil {
@@ -119,6 +131,31 @@ func (b apiBackend) PayBatch(ch wire.ChannelID, amounts []chain.Amount) (api.Pay
 	}
 	return api.PayCursor{Channel: ch, Target: mark.Target, NackedBefore: mark.NackedBefore}, nil
 }
+
+// apiIssuer adapts a PayIssuer to api.Issuer: one fair-share admission
+// handle per typed control connection.
+type apiIssuer struct {
+	pi *PayIssuer
+}
+
+// NewIssuer implements api.IssuerBackend.
+func (b apiBackend) NewIssuer() api.Issuer { return apiIssuer{pi: b.h.NewPayIssuer()} }
+
+func (i apiIssuer) Pay(ch wire.ChannelID, amount chain.Amount, count int) (api.PayCursor, error) {
+	return payLoop(i.pi.PayTracked, ch, amount, count)
+}
+
+func (i apiIssuer) PayBatch(ch wire.ChannelID, amounts []chain.Amount) (api.PayCursor, error) {
+	mark, err := i.pi.PayBatchTracked(ch, amounts)
+	if err != nil {
+		return api.PayCursor{}, classify(err)
+	}
+	return api.PayCursor{Channel: ch, Target: mark.Target, NackedBefore: mark.NackedBefore}, nil
+}
+
+func (i apiIssuer) Release(count uint32) { i.pi.Release(uint64(count)) }
+
+func (i apiIssuer) Close() { i.pi.Close() }
 
 func (b apiBackend) AwaitPaid(cur api.PayCursor, timeout time.Duration) error {
 	nacked, err := b.h.AwaitChannelSettled(cur.Channel, cur.Target, timeout)
@@ -186,6 +223,10 @@ func (b apiBackend) Stats() api.StatsResp {
 		Reconnects:       st.Reconnects,
 		FramesRejected:   st.FramesRejected,
 		PaymentsWide:     st.PaymentsWide,
+		PaymentsRejected: st.PaymentsRejected,
+		PaymentsInflight: st.PaymentsInflight,
+		ShedStarts:       st.ShedStarts,
+		Shedding:         st.Shedding,
 	}
 	per := b.h.ChannelStats()
 	resp.Channels = make([]api.ChannelStatsEntry, 0, len(per))
@@ -214,6 +255,8 @@ func (b apiBackend) Stats() api.StatsResp {
 			BatchesOut: cst.BatchesOut,
 			OpsOut:     cst.OpsOut,
 			Mirrors:    cst.Mirrors,
+			Stalled:    cst.Stalled,
+			Stalls:     cst.Stalls,
 		}
 	}
 	return resp
@@ -239,6 +282,14 @@ func (b apiBackend) Subscribe(fn func(api.Event)) (cancel func()) {
 			out = api.Event{Kind: api.EventWalLag, Cursor: e.Lag}
 		case EvRecovered:
 			out = api.Event{Kind: api.EventRecovered}
+		case EvOverload:
+			var shedding uint32
+			if e.Shedding {
+				shedding = 1
+			}
+			out = api.Event{Kind: api.EventOverload, Count: shedding, Cursor: uint64(e.RetryAfterMillis)}
+		case EvReplStalled:
+			out = api.Event{Kind: api.EventReplStalled, Chain: e.Chain, Cursor: e.AckSeq}
 		default:
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
@@ -218,22 +219,42 @@ func (s *ChainServer) handle(req *chainReq) *chainResp {
 // classifies it as CodeUnavailable.
 var ErrChainUnavailable = errors.New("transport: chain endpoint unavailable")
 
+// DefaultChainRPCTimeout bounds each chain RPC round trip unless the
+// dialer overrides it; a black-holed chain endpoint must fail the call
+// (ErrChainUnavailable, classified CodeUnavailable) instead of hanging
+// a settle or deposit forever inside the host's wide lock.
+const DefaultChainRPCTimeout = 30 * time.Second
+
 // RemoteChain is a ChainAccess client speaking the ChainServer RPC over
 // one persistent connection, requests serialized by a mutex.
 type RemoteChain struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
 }
 
-// DialChain connects to a ChainServer.
+// DialChain connects to a ChainServer with the default RPC timeout.
 func DialChain(addr string) (*RemoteChain, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialChainTimeout(addr, DefaultChainRPCTimeout)
+}
+
+// DialChainTimeout is DialChain with an explicit per-call deadline
+// bounding both the dial and every RPC round trip (<= 0 disables,
+// restoring unbounded blocking).
+func DialChainTimeout(addr string, timeout time.Duration) (*RemoteChain, error) {
+	dial := net.Dial
+	if timeout > 0 {
+		dial = func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, address, timeout)
+		}
+	}
+	conn, err := dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dialing %s: %v", ErrChainUnavailable, addr, err)
 	}
-	return &RemoteChain{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &RemoteChain{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: timeout}, nil
 }
 
 // Close drops the connection.
@@ -242,6 +263,14 @@ func (r *RemoteChain) Close() error { return r.conn.Close() }
 func (r *RemoteChain) call(req *chainReq) (*chainResp, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.timeout > 0 {
+		// Deadline per round trip; a timed-out stream is unusable (a
+		// late response would desynchronize the next call), so the
+		// failed Decode below also poisons the connection — callers get
+		// ErrChainUnavailable until they redial.
+		r.conn.SetDeadline(time.Now().Add(r.timeout)) //nolint:errcheck // a dead conn fails the encode below
+		defer r.conn.SetDeadline(time.Time{})         //nolint:errcheck
+	}
 	if err := r.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("%w: rpc send: %v", ErrChainUnavailable, err)
 	}

@@ -203,6 +203,12 @@ func shimLine(h *api.Handler, line string) string {
 	if err != nil {
 		var ae *api.Error
 		if errors.As(err, &ae) {
+			if ae.Code == api.CodeOverloaded {
+				// Machine-parseable backoff for line-mode drivers: the
+				// command was refused before any debit; retry after the
+				// hinted delay.
+				return fmt.Sprintf("err overloaded retry-ms=%d", ae.RetryAfterMillis)
+			}
 			return "err " + ae.Msg
 		}
 		return "err " + err.Error()
@@ -450,9 +456,9 @@ func shimStats(h *api.Handler, args []string) (string, error) {
 		if c.Chain == "" {
 			return fmt.Sprintf("mirrors=%d", c.Mirrors), nil
 		}
-		return fmt.Sprintf("chain=%s pipelined=%t next=%d flushed=%d acked=%d queued=%d window=%d batches_out=%d ops_out=%d mirrors=%d",
+		return fmt.Sprintf("chain=%s pipelined=%t next=%d flushed=%d acked=%d queued=%d window=%d batches_out=%d ops_out=%d mirrors=%d stalled=%t stalls=%d",
 			c.Chain, c.Pipelined, c.NextSeq, c.FlushSeq, c.AckSeq, c.Queued, c.Window,
-			c.BatchesOut, c.OpsOut, c.Mirrors), nil
+			c.BatchesOut, c.OpsOut, c.Mirrors, c.Stalled, c.Stalls), nil
 	}
 	if len(args) == 1 && args[0] == "channels" {
 		parts := make([]string, 0, len(st.Channels))
@@ -466,9 +472,10 @@ func shimStats(h *api.Handler, args []string) (string, error) {
 		return "", fmt.Errorf("usage: stats [channels|committee]")
 	}
 	hs := st.Host
-	return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d",
+	return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d rejected=%d inflight=%d shed_starts=%d shedding=%t",
 		hs.PaymentsSent, hs.PaymentsAcked, hs.PaymentsNacked, hs.PaymentsReceived,
-		hs.MultihopsOK, hs.MultihopsFailed, hs.FramesIn, hs.FramesOut, hs.Drops, hs.Reconnects), nil
+		hs.MultihopsOK, hs.MultihopsFailed, hs.FramesIn, hs.FramesOut, hs.Drops, hs.Reconnects,
+		hs.PaymentsRejected, hs.PaymentsInflight, hs.ShedStarts, hs.Shedding), nil
 }
 
 // ControlClient is a minimal client for the legacy line protocol, used

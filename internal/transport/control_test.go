@@ -129,6 +129,54 @@ func TestShimLineBranches(t *testing.T) {
 	}
 }
 
+// overloadedStub rejects every payment with CodeOverloaded and reports
+// admission counters, exercising the shim's backpressure rendering.
+type overloadedStub struct{ stubBackend }
+
+func (overloadedStub) Pay(wire.ChannelID, chain.Amount, int) (api.PayCursor, error) {
+	return api.PayCursor{}, &api.Error{Code: api.CodeOverloaded, Msg: "transport: overloaded: stub", RetryAfterMillis: 7}
+}
+func (overloadedStub) PayBatch(wire.ChannelID, []chain.Amount) (api.PayCursor, error) {
+	return api.PayCursor{}, &api.Error{Code: api.CodeOverloaded, Msg: "transport: overloaded: stub", RetryAfterMillis: 7}
+}
+func (overloadedStub) Stats() api.StatsResp {
+	return api.StatsResp{
+		Host: api.HostStats{
+			PaymentsRejected: 3,
+			PaymentsInflight: 2,
+			ShedStarts:       1,
+			Shedding:         true,
+		},
+		HasCommittee: true,
+		Committee:    api.CommitteeStatsEntry{Chain: "cc-stub", Stalled: true, Stalls: 4},
+	}
+}
+
+// TestShimOverloaded pins the machine-parseable line-mode backpressure:
+// a shed payment answers "err overloaded retry-ms=<hint>", and the
+// stats commands expose the admission and stall counters.
+func TestShimOverloaded(t *testing.T) {
+	h := api.NewHandler(overloadedStub{})
+	if got, want := shimLine(h, "pay ch 5"), "err overloaded retry-ms=7"; got != want {
+		t.Errorf("shed pay -> %q, want %q", got, want)
+	}
+	if got, want := shimLine(h, "pay ch 5 4 2"), "err overloaded retry-ms=7"; got != want {
+		t.Errorf("shed batched pay -> %q, want %q", got, want)
+	}
+	got := shimLine(h, "stats")
+	for _, want := range []string{"rejected=3", "inflight=2", "shed_starts=1", "shedding=true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats %q missing %q", got, want)
+		}
+	}
+	got = shimLine(h, "stats committee")
+	for _, want := range []string{"stalled=true", "stalls=4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats committee %q missing %q", got, want)
+		}
+	}
+}
+
 // FuzzShimLine fuzzes the line-protocol parser: whatever arrives on a
 // control connection, the shim must answer exactly one "ok"/"err" line
 // and never panic.

@@ -132,6 +132,35 @@ type Config struct {
 	// negative disables periodic snapshots, leaving only the boot
 	// snapshot and explicit SnapshotNow calls).
 	SnapshotInterval time.Duration
+	// MaxInflightPerChannel bounds issued-but-unsettled payments per
+	// channel; issues beyond it are rejected with ErrOverloaded before
+	// any balance moves (default 65536; negative disables).
+	MaxInflightPerChannel int
+	// MaxInflightTotal bounds issued-but-unsettled payments across the
+	// whole host. The ceiling is shared fairly between registered
+	// PayIssuers (one per typed API connection), so a single greedy
+	// connection cannot starve the rest (default 262144; negative
+	// disables).
+	MaxInflightTotal int
+	// RetryHintMillis is the backoff hint stamped on every overload
+	// rejection (api.RetryAfterMillis; default 5).
+	RetryHintMillis int
+	// AckDeadline, when positive, caps every payment-settle wait
+	// (AwaitAcked, AwaitChannelSettled) regardless of the caller's
+	// timeout; a capped wait that expires while the host is shedding
+	// fails with ErrOverloaded instead of ErrTimeout. Off by default.
+	AckDeadline time.Duration
+	// ColdDeadline, when positive, caps every cold-operation wait
+	// (attestation, channel open, deposit approval, multihop, recovery)
+	// the same way. Off by default.
+	ColdDeadline time.Duration
+	// ReplStallTicks is how many consecutive flusher ticks the committee
+	// ack cursor may sit still with ops queued or in flight before the
+	// watchdog declares the chain stalled — emitting EvReplStalled,
+	// raising CommitteeStats.Stalled, and on durable hosts kicking
+	// ReplResync to self-heal (default 250 ticks ≈ 500 ms at the default
+	// flush interval; negative disables the watchdog).
+	ReplStallTicks int
 	// OnEvent, when set, observes every enclave event after built-in
 	// handling. Called with the wide lock held for cold-path events and
 	// with a lane lock held for payment events; do not call back into
@@ -163,6 +192,19 @@ type Stats struct {
 	// instead of a lane — the fast-path regression canary: a durable
 	// or replicated host under load should keep this at zero.
 	PaymentsWide uint64
+	// PaymentsRejected counts payments refused at admission
+	// (ErrOverloaded). Rejected payments never touched a balance.
+	PaymentsRejected uint64
+	// PaymentsInflight is the admitted-but-unsettled gauge the global
+	// ceiling bounds (clamped at zero for display).
+	PaymentsInflight uint64
+	// ShedStarts counts transitions into shedding (admission pressure
+	// episodes, not individual rejects).
+	ShedStarts uint64
+	// Shedding reports whether the host is currently shedding
+	// admissions (set on the first reject, cleared once the in-flight
+	// gauge drains to half the ceiling).
+	Shedding bool
 }
 
 // ChannelStats is one channel's payment counters (the sharded hot-path
@@ -294,6 +336,20 @@ type Host struct {
 	// (Stats.PaymentsWide).
 	wideTotal atomic.Uint64
 
+	// Overload-control state (overload.go): the global admitted-but-
+	// unsettled gauge, the shedding hysteresis flip-flop, admission
+	// counters, and the registered fair-share issuer count.
+	payInflight  atomic.Int64
+	shedding     atomic.Bool
+	admitRejects atomic.Uint64
+	shedStarts   atomic.Uint64
+	payIssuers   atomic.Int64
+
+	// Replication stall watchdog state (repl.go): stalled mirrors
+	// CommitteeStats.Stalled; replStalls counts watchdog trips.
+	replStalled atomic.Bool
+	replStalls  atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -349,6 +405,18 @@ func NewHost(cfg Config) (*Host, error) {
 	}
 	if cfg.SnapshotInterval == 0 {
 		cfg.SnapshotInterval = defaultSnapshotPeriod
+	}
+	if cfg.MaxInflightPerChannel == 0 {
+		cfg.MaxInflightPerChannel = defaultMaxInflightPerChannel
+	}
+	if cfg.MaxInflightTotal == 0 {
+		cfg.MaxInflightTotal = defaultMaxInflightTotal
+	}
+	if cfg.RetryHintMillis <= 0 {
+		cfg.RetryHintMillis = defaultRetryHintMillis
+	}
+	if cfg.ReplStallTicks == 0 {
+		cfg.ReplStallTicks = defaultReplStallTicks
 	}
 	wallet, err := cryptoutil.GenerateKeyPair(cryptoutil.NewDeterministicReader([]byte("wallet"), []byte(cfg.WalletSeed)))
 	if err != nil {
@@ -477,6 +545,12 @@ func (h *Host) Stats() Stats {
 		Reconnects:       h.reconnects.Load(),
 		FramesRejected:   h.rejects.Load(),
 		PaymentsWide:     h.wideTotal.Load(),
+		PaymentsRejected: h.admitRejects.Load(),
+		ShedStarts:       h.shedStarts.Load(),
+		Shedding:         h.shedding.Load(),
+	}
+	if infl := h.payInflight.Load(); infl > 0 {
+		st.PaymentsInflight = uint64(infl)
 	}
 	h.mu.RLock()
 	h.forEachPeerLocked(func(p *peer) {
@@ -813,11 +887,13 @@ func (h *Host) dispatchLane(p *peer, res *core.Result) {
 		if ci := h.channels[out.Channel]; ci != nil {
 			ci.acked.Add(uint64(out.Count))
 		}
+		h.payReleased(uint64(out.Count))
 		h.noteAcked(uint64(out.Count))
 	case core.PayNacked:
 		if ci := h.channels[out.Channel]; ci != nil {
 			ci.nacked.Add(uint64(out.Count))
 		}
+		h.payReleased(uint64(out.Count))
 		h.nackedTotal.Add(uint64(out.Count))
 		h.wakeAckWaiters() // per-channel settled waiters count nacks too
 	case core.PayReceived:
@@ -1121,11 +1197,13 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		if ci := h.channels[e.Channel]; ci != nil {
 			ci.acked.Add(uint64(e.Count))
 		}
+		h.payReleased(uint64(e.Count))
 		h.noteAcked(uint64(e.Count))
 	case core.EvPayNacked:
 		if ci := h.channels[e.Channel]; ci != nil {
 			ci.nacked.Add(uint64(e.Count))
 		}
+		h.payReleased(uint64(e.Count))
 		h.nackedTotal.Add(uint64(e.Count))
 		h.wakeAckWaiters()
 	case core.EvPaymentReceived:
@@ -1161,6 +1239,7 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		h.resumedChans[e.Channel] = true
 	case core.EvReplResynced:
 		h.resynced = true
+		h.replStalled.Store(false)
 	}
 	h.eventFn(ev)
 }
@@ -1285,8 +1364,12 @@ func (h *Host) ResolveIdentity(s string) (cryptoutil.PublicKey, error) {
 
 // await polls pred (under the wide lock) until it returns true or the
 // timeout expires. Cold-path only; the payment ack wait has its own
-// condition-variable path (AwaitAcked).
+// condition-variable path (AwaitAcked). Config.ColdDeadline caps the
+// caller's timeout, and expiry while the host is shedding admissions
+// reports ErrOverloaded — the wait most likely lost to load, not to a
+// dead peer — so clients back off instead of retrying hot.
 func (h *Host) await(timeout time.Duration, what string, pred func() bool) error {
+	timeout = clampDeadline(timeout, h.cfg.ColdDeadline)
 	deadline := time.Now().Add(timeout)
 	for {
 		if h.closing.Load() {
@@ -1299,10 +1382,22 @@ func (h *Host) await(timeout time.Duration, what string, pred func() bool) error
 			return nil
 		}
 		if time.Now().After(deadline) {
+			if h.shedding.Load() {
+				return overloadErrorf(h.retryHint(), "%s: gave up waiting for %s", h.cfg.Name, what)
+			}
 			return fmt.Errorf("%w: %s: waiting for %s", ErrTimeout, h.cfg.Name, what)
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// clampDeadline caps a caller timeout by a configured per-op deadline
+// (0 leaves it alone).
+func clampDeadline(timeout, limit time.Duration) time.Duration {
+	if limit > 0 && (timeout <= 0 || timeout > limit) {
+		return limit
+	}
+	return timeout
 }
 
 // Attest performs mutual remote attestation with a named peer and
@@ -1465,11 +1560,19 @@ func (h *Host) enclavePay(chID wire.ChannelID, amount chain.Amount, amounts []ch
 	return h.enclave.PayBatch(chID, amounts)
 }
 
-// pay is the shared payment entry: lane fast path when the channel's
-// peer is known and lanes are eligible, wide-lock fallback otherwise.
-// The returned PayMark is read under the same lock that orders the
-// issue, so it is exact even with concurrent issuers on the channel.
+// pay is the shared payment entry for the un-shared (direct Host)
+// issuers; payOn is the full path.
 func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount) (PayMark, error) {
+	return h.payOn(nil, chID, amount, amounts)
+}
+
+// payOn is the shared payment entry: lane fast path when the channel's
+// peer is known and lanes are eligible, wide-lock fallback otherwise.
+// Admission (overload.go) is checked under the same lock that orders
+// the issue, BEFORE the enclave applies anything — a rejected payment
+// never debits. The returned PayMark is read under that lock too, so
+// it is exact even with concurrent issuers on the channel.
+func (h *Host) payOn(pi *PayIssuer, chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount) (PayMark, error) {
 	count := uint64(1)
 	if amounts != nil {
 		count = uint64(len(amounts))
@@ -1490,12 +1593,18 @@ func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amo
 	p := h.peersByID[ci.peer]
 	if p == nil || !h.enclave.LaneEligible() {
 		h.mu.RUnlock()
-		return h.payWide(chID, amount, amounts, count)
+		return h.payWide(pi, chID, amount, amounts, count)
 	}
 	p.lane.Lock()
+	if err := h.admitPay(ci, pi, count); err != nil {
+		p.lane.Unlock()
+		h.mu.RUnlock()
+		return PayMark{}, err
+	}
 	nackedBefore := ci.nacked.Load()
 	res, err := h.enclavePay(chID, amount, amounts)
 	if err != nil {
+		h.unadmitPay(pi, count)
 		p.lane.Unlock()
 		h.mu.RUnlock()
 		return PayMark{}, err
@@ -1510,7 +1619,7 @@ func (h *Host) pay(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amo
 
 // payWide is pay under the wide lock, used while lanes are ineligible
 // (replication, stable storage, outsourcing active).
-func (h *Host) payWide(chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount, count uint64) (PayMark, error) {
+func (h *Host) payWide(pi *PayIssuer, chID wire.ChannelID, amount chain.Amount, amounts []chain.Amount, count uint64) (PayMark, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -1520,9 +1629,13 @@ func (h *Host) payWide(chID wire.ChannelID, amount chain.Amount, amounts []chain
 	if ci == nil {
 		return PayMark{}, fmt.Errorf("%w %s", ErrUnknownChannel, chID)
 	}
+	if err := h.admitPay(ci, pi, count); err != nil {
+		return PayMark{}, err
+	}
 	nackedBefore := ci.nacked.Load()
 	res, err := h.enclavePay(chID, amount, amounts)
 	if err != nil {
+		h.unadmitPay(pi, count)
 		return PayMark{}, err
 	}
 	mark := PayMark{Target: ci.sent.Add(count), NackedBefore: nackedBefore}
@@ -1581,11 +1694,16 @@ func (h *Host) AwaitChannelSettled(chID wire.ChannelID, target uint64, timeout t
 
 // awaitAckCond sleeps on the ack condition variable until done holds,
 // the timeout expires, or the host closes. The ack and nack paths
-// signal it — no polling.
+// signal it — no polling. Config.AckDeadline caps the caller's
+// timeout, and expiry while the host is shedding admissions reports
+// ErrOverloaded instead of ErrTimeout (typed backpressure: the acks
+// are late because the host is saturated, so the right client response
+// is back-off, not a hot retry).
 func (h *Host) awaitAckCond(timeout time.Duration, done func() bool, what func() string) error {
 	if done() {
 		return nil
 	}
+	timeout = clampDeadline(timeout, h.cfg.AckDeadline)
 	h.ackWaiters.Add(1)
 	defer h.ackWaiters.Add(-1)
 	deadline := time.Now().Add(timeout)
@@ -1604,6 +1722,9 @@ func (h *Host) awaitAckCond(timeout time.Duration, done func() bool, what func()
 			return fmt.Errorf("%w while waiting for %s", ErrClosed, what())
 		}
 		if time.Now().After(deadline) {
+			if h.shedding.Load() {
+				return overloadErrorf(h.retryHint(), "%s: gave up waiting for %s", h.cfg.Name, what())
+			}
 			return fmt.Errorf("%w: %s: waiting for %s", ErrTimeout, h.cfg.Name, what())
 		}
 		h.ackCond.Wait()

@@ -33,6 +33,15 @@ const (
 	defaultReplBatchOps     = 512
 	defaultReplFlushPeriod  = 2 * time.Millisecond
 	committeeReadyAwaitWhat = "committee ready"
+
+	// minReplBatchOps floors the adaptive flush batch: an idle chain
+	// flushes small, low-latency frames; backlog doubles the batch up
+	// to Config.ReplBatchOps (see replFlush).
+	minReplBatchOps = 32
+
+	// defaultReplStallTicks × ReplFlushInterval ≈ 500 ms of zero ack
+	// progress with ops pending before the watchdog trips.
+	defaultReplStallTicks = 250
 )
 
 // FormCommittee forms this enclave's committee chain (§6) from the
@@ -100,19 +109,27 @@ func (h *Host) kickRepl() {
 	}
 }
 
-// replFlusher drains the replication log until the host closes.
+// replFlusher drains the replication log until the host closes. The
+// flush batch size adapts to backlog (replFlush), and the safety tick
+// doubles as the stall watchdog's clock (replWatch).
 func (h *Host) replFlusher() {
 	defer h.wg.Done()
 	ticker := time.NewTicker(h.cfg.ReplFlushInterval)
 	defer ticker.Stop()
+	batchOps := minReplBatchOps
+	if batchOps > h.cfg.ReplBatchOps {
+		batchOps = h.cfg.ReplBatchOps
+	}
+	var wd replWatchdog
 	for {
 		select {
 		case <-h.replKick:
 		case <-ticker.C:
+			h.replWatch(&wd)
 		case <-h.replQuit:
 			return
 		}
-		h.replFlush()
+		batchOps = h.replFlush(batchOps)
 	}
 }
 
@@ -121,17 +138,28 @@ func (h *Host) replFlusher() {
 // frames, and enqueues it under the backup peer's lane (token sealing
 // must stay ordered per peer). Holding only the wide read lock, it
 // never stalls payment lanes on other peers.
-func (h *Host) replFlush() {
+//
+// batchOps is the adaptive batch bound: every full frame doubles it
+// (backlog — amortize framing and sealing over more ops) up to
+// Config.ReplBatchOps, and every drained pass halves it back toward
+// minReplBatchOps (idle — flush small for latency). The adapted value
+// is returned for the flusher to carry into the next pass.
+func (h *Host) replFlush(batchOps int) int {
 	for {
 		h.mu.RLock()
 		if h.closed {
 			h.mu.RUnlock()
-			return
+			return batchOps
 		}
-		to, msg, n := h.enclave.ReplNextFlush(h.replBatch, h.cfg.ReplBatchOps, h.cfg.ReplWindowOps)
+		to, msg, n := h.enclave.ReplNextFlush(h.replBatch, batchOps, h.cfg.ReplWindowOps)
 		if n == 0 {
 			h.mu.RUnlock()
-			return
+			if batchOps > minReplBatchOps {
+				if batchOps /= 2; batchOps < minReplBatchOps {
+					batchOps = minReplBatchOps
+				}
+			}
+			return batchOps
 		}
 		p := h.peersByID[to]
 		if p == nil {
@@ -141,7 +169,7 @@ func (h *Host) replFlush() {
 			h.enclave.ReplRewindFlush(n)
 			h.mu.RUnlock()
 			h.logf("%s: no peer record for replication backup %s, deferring %d ops", h.cfg.Name, to, n)
-			return
+			return batchOps
 		}
 		p.lane.Lock()
 		sent := h.sendLane(p, to, msg)
@@ -154,12 +182,84 @@ func (h *Host) replFlush() {
 			// time the writer has drained queue space.
 			h.enclave.ReplRewindFlush(n)
 			h.mu.RUnlock()
-			return
+			return batchOps
 		}
 		h.mu.RUnlock()
 		h.replBatchesOut.Add(1)
 		h.replOpsOut.Add(uint64(n))
+		if n >= batchOps && batchOps < h.cfg.ReplBatchOps {
+			if batchOps *= 2; batchOps > h.cfg.ReplBatchOps {
+				batchOps = h.cfg.ReplBatchOps
+			}
+		}
 	}
+}
+
+// replWatchdog is the flusher-private stall detector state: the last
+// observed committee ack cursor and how many safety ticks it has sat
+// still with ops pending.
+type replWatchdog struct {
+	lastAck uint64
+	ticks   int
+}
+
+// replWatch runs on the flusher's safety tick. If the ack cursor makes
+// no progress for Config.ReplStallTicks consecutive ticks while ops
+// are queued or in flight, the chain is stalled (PR 6's lost-ReplBatch
+// failure mode: the mirror idles before the gap, the owner's window
+// never drains, and nothing signals anyone). The watchdog raises
+// CommitteeStats.Stalled, emits EvReplStalled to observers, and on
+// durable hosts kicks the existing ReplResync path: mirrors re-adopt
+// the owner's state wholesale, which both unfreezes them and releases
+// the wedged window (core.handleReplResyncAck advances the ack cursor
+// to the resync sequence). A spurious trip — the mirror was only slow
+// — is safe: resync is idempotent re-seeding, ordered on the same
+// connection after every already-flushed frame.
+func (h *Host) replWatch(wd *replWatchdog) {
+	limit := h.cfg.ReplStallTicks
+	if limit <= 0 {
+		return
+	}
+	h.mu.RLock()
+	st, ok := h.enclave.ReplStats()
+	h.mu.RUnlock()
+	if !ok || !st.Pipelined || (st.Window == 0 && st.Queued == 0) {
+		wd.lastAck = st.AckSeq
+		wd.ticks = 0
+		h.replStalled.Store(false)
+		return
+	}
+	if st.AckSeq != wd.lastAck {
+		wd.lastAck = st.AckSeq
+		wd.ticks = 0
+		h.replStalled.Store(false)
+		return
+	}
+	wd.ticks++
+	if wd.ticks < limit {
+		return
+	}
+	wd.ticks = 0 // rearm: a failed heal trips again after a full period
+	if h.replStalled.CompareAndSwap(false, true) {
+		h.replStalls.Add(1)
+		h.logf("%s: replication chain %s stalled at ack %d (window %d, queued %d)",
+			h.cfg.Name, st.Chain, st.AckSeq, st.Window, st.Queued)
+		h.fanObservers(EvReplStalled{Chain: st.Chain, AckSeq: st.AckSeq})
+	}
+	h.mu.Lock()
+	if h.closed || !h.enclave.Durable() {
+		h.mu.Unlock()
+		return
+	}
+	res, err := h.enclave.ReplResyncStart()
+	if err != nil {
+		h.mu.Unlock()
+		h.logf("%s: replication stall self-heal: %v", h.cfg.Name, err)
+		return
+	}
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+	h.logf("%s: replication stall: resync kicked for chain %s", h.cfg.Name, st.Chain)
 }
 
 // CommitteeStats snapshots the replication pipeline for the control
@@ -169,6 +269,8 @@ type CommitteeStats struct {
 	BatchesOut uint64 // replication frames flushed (batches + solo updates)
 	OpsOut     uint64 // ops carried by those frames
 	Mirrors    int    // chains this host serves as a committee member
+	Stalled    bool   // watchdog: ack cursor stuck with ops pending
+	Stalls     uint64 // watchdog trips since the host started
 }
 
 // CommitteeStats reports the committee pipeline state; ok is false when
@@ -183,5 +285,7 @@ func (h *Host) CommitteeStats() (CommitteeStats, bool) {
 	mirrors = st.Mirrors > 0
 	st.BatchesOut = h.replBatchesOut.Load()
 	st.OpsOut = h.replOpsOut.Load()
+	st.Stalled = h.replStalled.Load()
+	st.Stalls = h.replStalls.Load()
 	return st, owner || mirrors
 }
