@@ -110,9 +110,11 @@ func (c Code) String() string {
 // Error is a coded control-plane error. Backends return it (or any
 // error, classified CodeInternal) and clients receive it reconstructed
 // from the response header. RetryAfterMillis is the server's backoff
-// hint, nonzero only with CodeOverloaded: the rejected work was never
-// applied, so the caller may retry after roughly that many
-// milliseconds (client.Retrier automates this).
+// hint, nonzero only when the rejected work was never applied and a
+// retry is expected to succeed — CodeOverloaded rejections and
+// CodeNacked transient multihop aborts — so the caller may retry
+// after roughly that many milliseconds (client.Retrier automates
+// this).
 type Error struct {
 	Code             Code
 	Msg              string
@@ -162,9 +164,9 @@ func (h *RespHeader) CorrID() uint64 { return h.ID }
 // Status implements Response.
 func (h *RespHeader) Status() (Code, string) { return h.Code, h.Err }
 
-// RetryHint returns the overload backoff hint in milliseconds (zero
-// unless the response was CodeOverloaded). Named apart from the field
-// so the client SDK can read it through the Response interface.
+// RetryHint returns the backoff hint in milliseconds (zero unless the
+// response carried one — see Error). Named apart from the field so the
+// client SDK can read it through the Response interface.
 func (h *RespHeader) RetryHint() uint32 { return h.RetryAfterMillis }
 
 // AsError converts a response header into an *Error (nil when OK).

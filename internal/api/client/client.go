@@ -59,6 +59,10 @@ type Conn struct {
 
 	nextID     atomic.Uint64
 	readerDone chan struct{}
+
+	// mhRetry re-issues multihop payments the server nacked as
+	// transient (guarded by mu; see SetMultihopRetry).
+	mhRetry Retrier
 }
 
 // Config tunes a connection.
@@ -453,11 +457,33 @@ func (c *Conn) PayBatchAsync(ch wire.ChannelID, amounts []chain.Amount) (*Pendin
 	return c.startPay(&api.PayBatchReq{Channel: ch, Amounts: amounts})
 }
 
+// SetMultihopRetry overrides the retry policy Multihop applies to
+// transient nacks (a hop busy with a concurrent payment, a τ built
+// from since-moved balances). The default zero-value policy retries
+// up to 5 times with the server's hint; a Retryable predicate set here
+// replaces (not extends) the transient-nack one.
+func (c *Conn) SetMultihopRetry(r Retrier) {
+	c.mu.Lock()
+	c.mhRetry = r
+	c.mu.Unlock()
+}
+
 // Multihop routes amount along hops (peer names or hex identities,
-// excluding the serving node) and blocks for the outcome.
+// excluding the serving node) and blocks for the outcome. Transient
+// rejections — a hop mid-way through another payment, a stale balance
+// snapshot — aborted cleanly server-side and are retried here under
+// the SetMultihopRetry policy; only the final error surfaces.
 func (c *Conn) Multihop(amount chain.Amount, hops ...string) error {
-	_, err := c.do(&api.MultihopReq{Amount: amount, Hops: hops})
-	return err
+	c.mu.Lock()
+	r := c.mhRetry
+	c.mu.Unlock()
+	if r.Retryable == nil {
+		r.Retryable = IsTransientNack
+	}
+	return r.Do(func() error {
+		_, err := c.do(&api.MultihopReq{Amount: amount, Hops: hops})
+		return err
+	})
 }
 
 // Committee forms the node's committee chain from members (in chain

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"teechain/internal/api"
+	"teechain/internal/chain"
+	"teechain/internal/wire"
+)
+
+// stubBackend implements api.Backend with no-op answers; tests override
+// the multihop behavior via the mh callback.
+type stubBackend struct {
+	mh func() error
+}
+
+func (s *stubBackend) Info() api.NodeInfo    { return api.NodeInfo{Name: "stub"} }
+func (s *stubBackend) Peers() []api.PeerInfo { return nil }
+func (s *stubBackend) Dial(string) error     { return nil }
+func (s *stubBackend) Attest(string, time.Duration) error {
+	return nil
+}
+func (s *stubBackend) OpenChannel(string, time.Duration) (wire.ChannelID, error) {
+	return "", nil
+}
+func (s *stubBackend) Deposit(wire.ChannelID, chain.Amount, time.Duration) (chain.OutPoint, error) {
+	return chain.OutPoint{}, nil
+}
+func (s *stubBackend) Pay(wire.ChannelID, chain.Amount, int) (api.PayCursor, error) {
+	return api.PayCursor{}, nil
+}
+func (s *stubBackend) PayBatch(wire.ChannelID, []chain.Amount) (api.PayCursor, error) {
+	return api.PayCursor{}, nil
+}
+func (s *stubBackend) AwaitPaid(api.PayCursor, time.Duration) error { return nil }
+func (s *stubBackend) Multihop(amount chain.Amount, hops []string, timeout time.Duration) error {
+	return s.mh()
+}
+func (s *stubBackend) FormCommittee([]string, int, time.Duration) (string, error) {
+	return "", nil
+}
+func (s *stubBackend) Settle(wire.ChannelID) error { return nil }
+func (s *stubBackend) Balances(wire.ChannelID) (chain.Amount, chain.Amount, error) {
+	return 0, 0, nil
+}
+func (s *stubBackend) Mine(int) (uint64, error)             { return 0, nil }
+func (s *stubBackend) WalletBalance() (chain.Amount, error) { return 0, nil }
+func (s *stubBackend) Stats() api.StatsResp                 { return api.StatsResp{} }
+func (s *stubBackend) WalStats() api.WalStatsResp           { return api.WalStatsResp{} }
+func (s *stubBackend) SnapshotNow() (uint64, error)         { return 0, nil }
+func (s *stubBackend) Recover(time.Duration) (bool, int, error) {
+	return false, 0, nil
+}
+func (s *stubBackend) Subscribe(func(api.Event)) func() { return func() {} }
+
+// dialStub serves a stub backend on a loopback listener and returns a
+// connected client.
+func dialStub(t *testing.T, b api.Backend) *Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := api.Serve(ln, b, nil)
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestMultihopRetriesTransientNack drives Conn.Multihop against a
+// server whose backend rejects the payment twice with a transient nack
+// (CodeNacked + RetryAfterMillis, the shape a benign multihop abort
+// classifies to) before accepting it. The client must re-issue the
+// request transparently, sleeping the server's hint each time, and
+// return success — without a single real sleep (Sleep is injected).
+func TestMultihopRetriesTransientNack(t *testing.T) {
+	var calls atomic.Int32
+	b := &stubBackend{mh: func() error {
+		if calls.Add(1) <= 2 {
+			return &api.Error{Code: api.CodeNacked, Msg: "transient abort", RetryAfterMillis: 25}
+		}
+		return nil
+	}}
+	c := dialStub(t, b)
+
+	var slept []time.Duration
+	c.SetMultihopRetry(Retrier{
+		Attempts: 5,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		Rand:     func() float64 { return 0 },
+	})
+	if err := c.Multihop(7, "hub", "dst"); err != nil {
+		t.Fatalf("multihop: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend saw %d attempts, want 3", got)
+	}
+	// Rand pinned to 0 makes each jittered sleep exactly hint/2.
+	want := 25 * time.Millisecond / 2
+	if len(slept) != 2 || slept[0] != want || slept[1] != want {
+		t.Fatalf("sleeps %v, want [%v %v]", slept, want, want)
+	}
+}
+
+// TestMultihopPermanentNackFailsFast: a nack without a retry hint is a
+// permanent rejection (insufficient balance, bad path) — the client
+// must surface it on the first attempt, never sleeping.
+func TestMultihopPermanentNackFailsFast(t *testing.T) {
+	var calls atomic.Int32
+	b := &stubBackend{mh: func() error {
+		calls.Add(1)
+		return &api.Error{Code: api.CodeNacked, Msg: "payer balance insufficient"}
+	}}
+	c := dialStub(t, b)
+	c.SetMultihopRetry(Retrier{
+		Sleep: func(time.Duration) { t.Fatal("slept on a permanent nack") },
+	})
+	err := c.Multihop(7, "hub", "dst")
+	if !IsNacked(err) {
+		t.Fatalf("err = %v, want CodeNacked", err)
+	}
+	if IsTransientNack(err) {
+		t.Fatalf("permanent nack classified transient: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend saw %d attempts, want 1", got)
+	}
+}

@@ -1,11 +1,13 @@
 package client
 
-// Overload-aware retry: typed predicates for CodeOverloaded and a
+// Retryable-error predicates (CodeOverloaded, transient nacks) and a
 // jittered exponential retrier that honors the server's
 // RetryAfterMillis hint. An overloaded rejection is safe to retry by
 // construction — admission runs before the enclave debits anything —
 // so idempotent cold operations and whole payment requests that were
-// refused can simply be re-issued after backing off.
+// refused can simply be re-issued after backing off. Transient
+// multihop nacks are likewise clean: the abort unwound the lock phase
+// before any balance moved.
 
 import (
 	"errors"
@@ -23,6 +25,24 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &ae) && ae.Code == api.CodeOverloaded
 }
 
+// IsNacked reports whether err is a CodeNacked control-plane error:
+// the payment was rejected and any optimistic debit reversed.
+func IsNacked(err error) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == api.CodeNacked
+}
+
+// IsTransientNack reports whether err is a CodeNacked control-plane
+// error the server marked retryable via a RetryAfterMillis hint: the
+// payment was refused by a busy hop or a stale balance snapshot, left
+// no state behind, and is expected to succeed on re-issue. Permanent
+// nacks (insufficient balance, unknown channel) carry no hint and
+// return false.
+func IsTransientNack(err error) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == api.CodeNacked && ae.RetryAfterMillis > 0
+}
+
 // RetryAfter returns the server's backoff hint carried by err (zero
 // when err is not a coded error or carries no hint).
 func RetryAfter(err error) time.Duration {
@@ -33,19 +53,24 @@ func RetryAfter(err error) time.Duration {
 	return 0
 }
 
-// Retrier re-runs an operation rejected with CodeOverloaded, sleeping
-// the server's RetryAfterMillis hint when present (an exponential
-// backoff from Base otherwise) with jitter so synchronized clients
-// don't re-flood in lockstep. Any other outcome — success or a
-// differently coded error — returns immediately.
+// Retrier re-runs an operation rejected with a retryable error,
+// sleeping the server's RetryAfterMillis hint when present (an
+// exponential backoff from Base otherwise) with jitter so synchronized
+// clients don't re-flood in lockstep. Any other outcome — success or a
+// non-retryable error — returns immediately.
 //
 // The zero value is usable: 5 attempts, 5ms base, 1s cap, real sleep
-// and jitter. Sleep and Rand are injectable so tests run
-// deterministically without waiting.
+// and jitter, retrying CodeOverloaded only. Sleep and Rand are
+// injectable so tests run deterministically without waiting.
 type Retrier struct {
 	Attempts int           // total tries including the first (default 5)
 	Base     time.Duration // first hint-less backoff (default 5ms)
 	Max      time.Duration // backoff ceiling (default 1s)
+
+	// Retryable decides whether an error is worth another attempt
+	// (default IsOverloaded). Compose predicates for wider policies,
+	// e.g. func(err error) bool { return IsOverloaded(err) || IsTransientNack(err) }.
+	Retryable func(error) bool
 
 	Sleep func(time.Duration) // default time.Sleep
 	Rand  func() float64      // jitter source in [0,1); default math/rand
@@ -73,10 +98,14 @@ func (r Retrier) Do(op func() error) error {
 	if rnd == nil {
 		rnd = rand.Float64
 	}
+	retryable := r.Retryable
+	if retryable == nil {
+		retryable = IsOverloaded
+	}
 	backoff := base
 	var err error
 	for i := 0; i < attempts; i++ {
-		if err = op(); err == nil || !IsOverloaded(err) {
+		if err = op(); err == nil || !retryable(err) {
 			return err
 		}
 		if i == attempts-1 {

@@ -150,6 +150,7 @@ func (e *Enclave) handleReplAttach(from cryptoutil.PublicKey, m *wire.ReplAttach
 		mirror:      mirror,
 		btcKey:      btcKey,
 		lastSeq:     m.Seq, // the snapshot covers the stream up to here
+		digBase:     m.Seq, // sequences inside the snapshot are unverifiable
 		pendingSigs: make(map[uint64][]wire.TauSig),
 	}
 	return &Result{Out: oneOut(from, &wire.ReplAttachAck{Chain: m.Chain, BtcKey: btcKey.Public()})}, nil
@@ -501,6 +502,12 @@ func (e *Enclave) handleReplResync(from cryptoutil.PublicKey, m *wire.ReplResync
 	b.lastSeq = m.Seq
 	b.frozen = false
 	clear(b.pendingSigs)
+	// The wholesale snapshot supersedes everything the self-healing
+	// machinery buffered or remembered about the old stream.
+	b.held = nil
+	b.digests = nil
+	b.digBase = m.Seq
+	b.replProgress()
 	return &Result{Out: oneOut(from, &wire.ReplResyncAck{Chain: m.Chain, Seq: m.Seq})}, nil
 }
 

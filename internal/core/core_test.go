@@ -511,3 +511,56 @@ func TestMultihopContentionAbortsAndRetries(t *testing.T) {
 		t.Fatalf("completed %d payments, want 2", okCount)
 	}
 }
+
+// TestMultihopContentionAbortIsTransient re-runs the contention
+// scenario and inspects the failure events themselves: every abort a
+// busy hop sends back (locked channel, stale τ) must arrive at the
+// initiator marked Transient, the signal hosts and the client SDK use
+// to distinguish retry-worthy rejections from permanent ones.
+func TestMultihopContentionAbortIsTransient(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{MaxRetries: 30})
+	b := w.node("bob", NodeConfig{MaxRetries: 30})
+	c := w.node("carol", NodeConfig{MaxRetries: 30})
+	d := w.node("dave", NodeConfig{MaxRetries: 30})
+	w.pipeline(1000, a, b, c)
+	w.connect(d, b)
+	idDB := w.openChannel(d, b)
+	w.fundAndAssociate(d, b, idDB, 1000)
+
+	var aborts, transient int
+	rec := func(ev Event) {
+		if e, ok := ev.(EvMultihopComplete); ok && !e.OK {
+			aborts++
+			if e.Transient {
+				transient++
+			}
+		}
+	}
+	a.OnEvent(rec)
+	d.OnEvent(rec)
+
+	okCount := 0
+	check := func(ok bool, _ time.Duration, reason string) {
+		if !ok {
+			t.Fatalf("payment failed permanently: %s", reason)
+		}
+		okCount++
+	}
+	if err := d.PayMultihop([][]cryptoutil.PublicKey{identityPath(d, b, c)}, 10, 1, check); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PayMultihop([][]cryptoutil.PublicKey{identityPath(a, b, c)}, 10, 1, check); err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if okCount != 2 {
+		t.Fatalf("completed %d payments, want 2", okCount)
+	}
+	if aborts == 0 {
+		t.Fatal("no contention abort observed — scenario lost its race")
+	}
+	if transient != aborts {
+		t.Fatalf("%d of %d contention aborts marked transient, want all", transient, aborts)
+	}
+}

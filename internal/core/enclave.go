@@ -93,13 +93,27 @@ type replBackup struct {
 	btcKey  *cryptoutil.KeyPair
 	lastSeq uint64
 	frozen  bool
-	// pendingSigs accumulates τ signatures from downstream members per
-	// in-flight update sequence, merged with our own on the way up.
+	// pendingSigs caches this member's (and, at middles, downstream
+	// members') τ signatures per update sequence: merged into the
+	// upstream ack, and re-served when a Retx duplicate repairs a lost
+	// ack. Pruned by rememberSigs once sequences leave the verifiable
+	// window.
 	pendingSigs map[uint64][]wire.TauSig
 	// scratchOp is the reused decode target for ReplBatch application:
 	// batched ops never retain struct internals, so one op per backup
 	// keeps batch application allocation-free.
 	scratchOp Op
+
+	// Self-healing state (repl_heal.go): the bounded reorder buffer for
+	// ahead-of-sequence frames, the rolling digest ring verifying that
+	// retransmissions match what was applied (digBase = last sequence
+	// covered by the attach/resync snapshot, unverifiable), and NACK
+	// suppression.
+	held         []replHeld
+	digests      []uint64
+	digBase      uint64
+	lastNackWant uint64
+	nackHeld     int
 }
 
 func (b *replBackup) prev() cryptoutil.PublicKey { return b.members[b.myIndex-1] }
@@ -518,6 +532,7 @@ func (e *Enclave) commitRepl(op *Op, out []Outbound, events []Event) (*Result, e
 	ent.op = op
 	ent.out = append(ent.out[:0], out...)
 	ent.events = append(ent.events[:0], events...)
+	ent.tauPending = replicated && op.Kind == OpMhStage && op.Stage == MhSign && op.Tau != nil
 	seq, immediate := l.append(ent)
 	if !immediate {
 		return &Result{}, nil
@@ -597,6 +612,7 @@ func (e *Enclave) commitFastRepl(op *Op, res *Result) (*Result, error) {
 	ent.out = append(ent.out[:0], res.Out...)
 	ent.events = append(ent.events[:0], res.Events...)
 	ent.pay = res.pay
+	ent.tauPending = replicated && op.Kind == OpMhStage && op.Stage == MhSign && op.Tau != nil
 	e.pools.putResult(res)
 	seq, immediate := l.append(ent)
 	if !immediate {
@@ -620,52 +636,63 @@ func (e *Enclave) handleReplUpdate(from cryptoutil.PublicKey, m *wire.ReplUpdate
 	if from != b.prev() {
 		return nil, fmt.Errorf("core: replication update from non-predecessor %s", from)
 	}
+	op, ok2 := m.Op.(*Op)
+	if !ok2 {
+		return nil, fmt.Errorf("core: replication update carries %T, not *Op", m.Op)
+	}
+	next, hasNext := b.next()
 	if m.Seq <= b.lastSeq {
 		// Already applied: a transport redelivery after a connection
-		// handover. Dropped, not frozen — the mirror saw it exactly once.
+		// handover, or a retransmission that crossed its own ack. The
+		// payload must still match what was applied.
+		if reason := b.verifySoloOverlap(m.Seq, op); reason != "" {
+			return e.freezeChainLocal(b, reason)
+		}
+		if m.Retx {
+			// Lost-ack repair: relay downstream (middle) or re-serve
+			// the per-sequence ack with the cached τ signatures plus a
+			// fresh cumulative ack for everything applied since (tail).
+			if hasNext {
+				return &Result{Out: oneOut(next, m)}, nil
+			}
+			res := &Result{Out: oneOut(b.prev(), &wire.ReplAck{
+				Chain: m.Chain, Seq: m.Seq, TauSigs: b.pendingSigs[m.Seq],
+			})}
+			if b.lastSeq > m.Seq {
+				res.Out = append(res.Out, Outbound{To: b.prev(), Msg: &wire.ReplBatchAck{Chain: m.Chain, Seq: b.lastSeq}})
+			}
+			return res, nil
+		}
 		return nil, fmt.Errorf("core: duplicate replication update %d (have %d)", m.Seq, b.lastSeq)
 	}
 	if m.Seq != b.lastSeq+1 {
-		// Sequence gap: state forking or message loss. Freeze.
-		return e.freezeChainLocal(b, fmt.Sprintf("sequence gap: got %d, want %d", m.Seq, b.lastSeq+1))
+		// Ahead of sequence: buffer and NACK the gap (repl_heal.go)
+		// instead of freezing — the frames in between were lost or
+		// reordered, which retransmission recovers.
+		return e.replHold(b, replHeld{firstSeq: m.Seq, op: op, retx: m.Retx})
 	}
-	op, ok := m.Op.(*Op)
-	if !ok {
-		return nil, fmt.Errorf("core: replication update carries %T, not *Op", m.Op)
-	}
-	if err := b.mirror.Apply(op); err != nil {
-		// Divergence between primary and mirror: freeze rather than
-		// continue with inconsistent state.
-		return e.freezeChainLocal(b, fmt.Sprintf("mirror apply failed: %v", err))
-	}
-	b.lastSeq = m.Seq
-
-	// Committee members countersign τ during the sign stage (§6.1),
-	// piggybacking signatures on the acknowledgement.
-	var mySigs []wire.TauSig
-	if op.Kind == OpMhStage && op.Stage == MhSign && op.Tau != nil {
-		sigs, err := e.signTauInputs(b, op.Tau)
-		if err != nil {
-			return e.freezeChainLocal(b, fmt.Sprintf("tau signing failed: %v", err))
-		}
-		mySigs = sigs
+	mySigs, reason := e.applySolo(b, m.Seq, op)
+	if reason != "" {
+		return e.freezeChainLocal(b, reason)
 	}
 
-	if next, hasNext := b.next(); hasNext {
-		// Remember our sigs; merge when the downstream ack returns.
-		if len(mySigs) > 0 {
-			b.pendingSigs[m.Seq] = mySigs
-		}
-		ru := e.pools.getReplUpdateMsg()
-		ru.Chain, ru.Seq, ru.Op = m.Chain, m.Seq, op
-		res := e.pools.getResult()
-		res.Out = append(res.Out, Outbound{To: next, Msg: ru})
-		return res, nil
-	}
-	ack := e.pools.getReplAckMsg()
-	ack.Chain, ack.Seq, ack.TauSigs = m.Chain, m.Seq, mySigs
 	res := e.pools.getResult()
-	res.Out = append(res.Out, Outbound{To: b.prev(), Msg: ack})
+	if hasNext {
+		ru := e.pools.getReplUpdateMsg()
+		ru.Chain, ru.Seq, ru.Op, ru.Retx = m.Chain, m.Seq, op, m.Retx
+		res.Out = append(res.Out, Outbound{To: next, Msg: ru})
+	} else {
+		ack := e.pools.getReplAckMsg()
+		ack.Chain, ack.Seq, ack.TauSigs = m.Chain, m.Seq, mySigs
+		res.Out = append(res.Out, Outbound{To: b.prev(), Msg: ack})
+	}
+	ackPending := false
+	if dreason := e.replDrainHeld(b, res, &ackPending); dreason != "" {
+		return e.freezeMerged(b, res, dreason)
+	}
+	if ackPending {
+		res.Out = append(res.Out, Outbound{To: b.prev(), Msg: &wire.ReplBatchAck{Chain: m.Chain, Seq: b.lastSeq}})
+	}
 	return res, nil
 }
 
@@ -675,8 +702,13 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 		if from2, hasNext := b.next(); !hasNext || from2 != from {
 			return nil, fmt.Errorf("core: replication ack from non-successor %s", from)
 		}
-		sigs := append(b.pendingSigs[m.Seq], m.TauSigs...)
-		delete(b.pendingSigs, m.Seq)
+		// Merge non-destructively and keep our cached sigs: a lost ack
+		// upstream is repaired by a Retx re-ack, which must merge the
+		// same signatures again (rememberSigs prunes the cache).
+		sigs := m.TauSigs
+		if pend := b.pendingSigs[m.Seq]; len(pend) > 0 {
+			sigs = append(append(make([]wire.TauSig, 0, len(pend)+len(m.TauSigs)), pend...), m.TauSigs...)
+		}
 		ack := e.pools.getReplAckMsg()
 		ack.Chain, ack.Seq, ack.TauSigs = m.Chain, m.Seq, sigs
 		res := e.pools.getResult()
@@ -728,9 +760,13 @@ func (e *Enclave) handleReplAck(from cryptoutil.PublicKey, m *wire.ReplAck) (*Re
 	// Release through the shared path so a durable log additionally
 	// waits for the WAL fsync cursor. In the non-durable immediate mode
 	// this releases exactly the acknowledged entry, preserving the
-	// seed's per-update behavior bit for bit.
+	// seed's per-update behavior bit for bit. With the signatures
+	// folded, the entry no longer clamps the cumulative cursor — resume
+	// it toward any batch ack that ran ahead while this ack was lost.
 	l.mu.Lock()
+	ent.tauPending = false
 	l.ackSeq++
+	l.advanceAckLocked()
 	target := l.releaseTargetLocked(true)
 	l.mu.Unlock()
 	res := e.pools.getResult()
@@ -915,7 +951,7 @@ func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Messa
 			return e.handleSigRequest(from, m)
 		case *wire.ReplFreeze:
 			return e.handleReplFreeze(from, m)
-		case *wire.ReplUpdate, *wire.ReplAck, *wire.ReplBatch, *wire.ReplBatchAck:
+		case *wire.ReplUpdate, *wire.ReplAck, *wire.ReplBatch, *wire.ReplBatchAck, *wire.ReplNack:
 			return e.handleFrozenRepl(from, msg)
 		default:
 			return nil, ErrFrozen
@@ -978,6 +1014,8 @@ func (e *Enclave) handleSessionMessage(from cryptoutil.PublicKey, msg wire.Messa
 		return e.handleReplBatch(from, m)
 	case *wire.ReplBatchAck:
 		return e.handleReplBatchAck(from, m)
+	case *wire.ReplNack:
+		return e.handleReplNack(from, m)
 	case *wire.ReplFreeze:
 		return e.handleReplFreeze(from, m)
 	case *wire.SigRequest:

@@ -95,11 +95,14 @@ type EvMultihopArrived struct {
 }
 
 // EvMultihopComplete reports the outcome of a multi-hop payment at its
-// initiator. Failed payments (OK=false) may be retried by the host.
+// initiator. Failed payments (OK=false) may be retried by the host;
+// Transient marks benign aborts (stale τ, busy channel) for which a
+// retry with fresh balances is expected to succeed.
 type EvMultihopComplete struct {
-	Payment wire.PaymentID
-	OK      bool
-	Reason  string
+	Payment   wire.PaymentID
+	OK        bool
+	Reason    string
+	Transient bool
 }
 
 // SigNeed describes a settlement input that still requires committee

@@ -93,6 +93,12 @@ func (e *Enclave) addChannelToTau(tau *chain.Transaction, c *ChannelState, delta
 	return nil
 }
 
+// ErrStaleTau marks a τ whose recorded post-payment balances no longer
+// match the channel: the sender built it from a balance snapshot that a
+// concurrent payment has since moved. Benign — the initiator rebuilds τ
+// from fresh balances and retries.
+var ErrStaleTau = errors.New("core: stale τ")
+
 // verifyTauChannel checks that τ covers channel c exactly: every
 // deposit appears as an input and the post-payment balances appear as
 // outputs. Receivers run it before accepting a lock, so a malicious
@@ -117,10 +123,10 @@ func (e *Enclave) verifyTauChannel(tau *chain.Transaction, c *ChannelState, delt
 		return ErrInsufficient
 	}
 	if !tauPays(tau, myKey, myPost) {
-		return fmt.Errorf("core: τ does not pay our post-payment balance %d", myPost)
+		return fmt.Errorf("%w: τ does not pay our post-payment balance %d", ErrStaleTau, myPost)
 	}
 	if !tauPays(tau, remoteKey, remotePost) {
-		return fmt.Errorf("core: τ does not pay remote post-payment balance %d", remotePost)
+		return fmt.Errorf("%w: τ does not pay remote post-payment balance %d", ErrStaleTau, remotePost)
 	}
 	return nil
 }
@@ -243,13 +249,19 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	abort := func(reason string) (*Result, error) {
 		return &Result{Out: oneOut(from, &wire.MhAbort{Payment: m.Payment, Reason: reason})}, nil
 	}
+	// Benign refusals: the channel is mid-way through another payment or
+	// τ was built from balances a concurrent payment has since moved.
+	// Both clear on their own, so the initiator may simply retry.
+	abortTransient := func(reason string) (*Result, error) {
+		return &Result{Out: oneOut(from, &wire.MhAbort{Payment: m.Payment, Reason: reason, Transient: true})}, nil
+	}
 
 	up, ok := e.state.Channels[m.Channel]
 	if !ok || up.Remote != from || !up.Open || up.Closed {
 		return abort("unknown upstream channel")
 	}
 	if up.Stage != MhIdle {
-		return abort("upstream channel locked")
+		return abortTransient("upstream channel locked")
 	}
 	if up.RemoteBal < m.Amount {
 		return abort("upstream payer balance insufficient")
@@ -260,6 +272,9 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	// Validate that τ settles the upstream channel at the correct
 	// post-payment state before committing to anything.
 	if err := e.verifyTauChannel(m.Tau, up, m.Amount); err != nil {
+		if errors.Is(err, ErrStaleTau) {
+			return abortTransient(err.Error())
+		}
 		return abort(err.Error())
 	}
 
@@ -269,6 +284,9 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 		var err error
 		down, err = e.channelTo(m.Path[myIdx+1].Identity, m.Amount)
 		if err != nil {
+			if errors.Is(err, ErrChannelLocked) {
+				return abortTransient("no downstream capacity: " + err.Error())
+			}
 			return abort("no downstream capacity: " + err.Error())
 		}
 		if err := e.addChannelToTau(m.Tau, down, -m.Amount); err != nil {
@@ -527,7 +545,7 @@ func (e *Enclave) handleMhAbort(from cryptoutil.PublicKey, m *wire.MhAbort) (*Re
 		// Abort for a payment we never locked (failed before us):
 		// nothing to unwind. If we are the initiator-to-be this is the
 		// completion signal.
-		return &Result{Events: []Event{EvMultihopComplete{Payment: m.Payment, OK: false, Reason: m.Reason}}}, nil
+		return &Result{Events: []Event{EvMultihopComplete{Payment: m.Payment, OK: false, Reason: m.Reason, Transient: m.Transient}}}, nil
 	}
 	if mh.Index+1 >= len(mh.Path) || mh.Path[mh.Index+1].Identity != from {
 		return nil, errors.New("core: abort from non-successor")
@@ -554,9 +572,9 @@ func (e *Enclave) handleMhAbort(from cryptoutil.PublicKey, m *wire.MhAbort) (*Re
 	var out []Outbound
 	var evs []Event
 	if mh.Index > 0 {
-		out = oneOut(mh.Path[mh.Index-1].Identity, &wire.MhAbort{Payment: m.Payment, Reason: m.Reason})
+		out = oneOut(mh.Path[mh.Index-1].Identity, &wire.MhAbort{Payment: m.Payment, Reason: m.Reason, Transient: m.Transient})
 	} else {
-		evs = []Event{EvMultihopComplete{Payment: m.Payment, OK: false, Reason: m.Reason}}
+		evs = []Event{EvMultihopComplete{Payment: m.Payment, OK: false, Reason: m.Reason, Transient: m.Transient}}
 	}
 	r, err := e.commit(&Op{Kind: OpMhFinish, Payment: m.Payment}, out, evs)
 	if err != nil {

@@ -58,6 +58,11 @@ type replEntry struct {
 	out    []Outbound
 	events []Event
 	pay    payEvent
+	// tauPending marks a multi-hop sign-stage op whose committee τ
+	// signatures have not been folded in yet: a cumulative ReplBatchAck
+	// may not release it (the per-sequence ReplAck carrying the
+	// signatures must land first), see advanceAckLocked.
+	tauPending bool
 }
 
 // replLog is the commit pipeline state of a chain primary and/or a
@@ -90,6 +95,21 @@ type replLog struct {
 	syncSeq  uint64 // last sequence fsynced to the WAL
 	relSeq   uint64 // last sequence whose effects were released
 
+	// Retransmission cursor (self-healing replication): when a mirror
+	// NACKs a gap — or the stall watchdog fires — the flusher re-serves
+	// seqs retxSeq+1..retxEnd from the retained entries with the Retx
+	// flag set, before any new flushing. Inactive when retxSeq >= retxEnd.
+	retxSeq uint64
+	retxEnd uint64
+	// batchAckHigh is the highest cumulative ReplBatchAck seen. It can
+	// run ahead of ackSeq when an earlier per-sequence ReplAck (τ
+	// signatures) was lost: ackSeq holds at the unfolded entry until a
+	// retransmission recovers the signatures, then resumes to here.
+	batchAckHigh uint64
+	// Self-healing telemetry, surfaced through ReplStats.
+	nacksIn uint64 // ReplNacks received from the chain
+	retxOps uint64 // ops re-served from the log
+
 	// entries[head:] holds the entries for seqs relSeq+1..nextSeq in
 	// order; popping advances head and compacts like chanRuntime.
 	entries []*replEntry
@@ -120,6 +140,7 @@ func (l *replLog) putEntryLocked(ent *replEntry) {
 	ent.op = nil
 	ent.pay = payEvent{}
 	ent.seq = 0
+	ent.tauPending = false
 	l.free = append(l.free, ent)
 }
 
@@ -229,6 +250,9 @@ func (l *replLog) clear() {
 	l.walSeq = l.nextSeq
 	l.syncSeq = l.nextSeq
 	l.relSeq = l.nextSeq
+	l.batchAckHigh = l.nextSeq
+	l.retxSeq = 0
+	l.retxEnd = 0
 	l.backlog.Store(0)
 	l.mu.Unlock()
 }
@@ -294,13 +318,16 @@ func (e *Enclave) ReplPipelined() bool {
 // ReplStats is a snapshot of the replication pipeline, surfaced through
 // the host's "stats committee" control command.
 type ReplStats struct {
-	Chain     string
-	Pipelined bool
-	NextSeq   uint64 // last committed op
-	FlushSeq  uint64 // last op handed to the transport
-	AckSeq    uint64 // last op acknowledged by the whole chain
-	Queued    int    // committed, not yet flushed
-	Window    int    // flushed, not yet acknowledged
+	Chain       string
+	Pipelined   bool
+	NextSeq     uint64 // last committed op
+	FlushSeq    uint64 // last op handed to the transport
+	AckSeq      uint64 // last op acknowledged by the whole chain
+	Queued      int    // committed, not yet flushed
+	Window      int    // flushed, not yet acknowledged
+	Frozen      bool   // the owner chain is frozen
+	NacksIn     uint64 // gap NACKs received from the chain
+	Retransmits uint64 // ops re-served from the log (self-healing)
 }
 
 // ReplStats snapshots the primary's replication log; ok is false when
@@ -312,13 +339,16 @@ func (e *Enclave) ReplStats() (ReplStats, bool) {
 	l := e.repl.log
 	l.mu.Lock()
 	st := ReplStats{
-		Chain:     e.repl.chainID,
-		Pipelined: l.pipelined,
-		NextSeq:   l.nextSeq,
-		FlushSeq:  l.flushSeq,
-		AckSeq:    l.ackSeq,
-		Queued:    int(l.nextSeq - l.flushSeq),
-		Window:    int(l.flushSeq - l.ackSeq),
+		Chain:       e.repl.chainID,
+		Pipelined:   l.pipelined,
+		NextSeq:     l.nextSeq,
+		FlushSeq:    l.flushSeq,
+		AckSeq:      l.ackSeq,
+		Queued:      int(l.nextSeq - l.flushSeq),
+		Window:      int(l.flushSeq - l.ackSeq),
+		Frozen:      e.state.Frozen,
+		NacksIn:     l.nacksIn,
+		Retransmits: l.retxOps,
 	}
 	l.mu.Unlock()
 	return st, true
@@ -357,7 +387,11 @@ func replOpKind(k uint8) (OpKind, bool) {
 // (multi-hop stages need per-sequence τ-signature piggybacking).
 // Returns n == 0 when nothing is flushable — the log is drained, or
 // flushed-but-unacknowledged ops already fill maxWindow (the pipelining
-// backpressure bound). Caller holds the wide lock in read mode.
+// backpressure bound). A scheduled retransmission (ReplNack or
+// ReplRetransmitStart) is served first, Retx-flagged, from the retained
+// entries; retransmissions ignore maxWindow because their ops are
+// already inside the flushed window. Caller holds the wide lock in read
+// mode.
 func (e *Enclave) ReplNextFlush(batch *wire.ReplBatch, maxOps, maxWindow int) (to cryptoutil.PublicKey, msg wire.Message, n int) {
 	if e.repl == nil || e.state.Frozen {
 		return to, nil, 0
@@ -369,7 +403,50 @@ func (e *Enclave) ReplNextFlush(batch *wire.ReplBatch, maxOps, maxWindow int) (t
 	l := e.repl.log
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.pipelined || l.flushSeq >= l.nextSeq || int(l.flushSeq-l.ackSeq) >= maxWindow {
+	if !l.pipelined {
+		return to, nil, 0
+	}
+	if maxOps > wire.MaxReplBatch {
+		maxOps = wire.MaxReplBatch
+	}
+	// Retransmission first: acknowledged ops need no re-serving, so the
+	// cursor fast-forwards past acks that landed since the NACK.
+	if l.retxSeq < l.ackSeq {
+		l.retxSeq = l.ackSeq
+	}
+	if l.retxEnd > l.flushSeq {
+		l.retxEnd = l.flushSeq
+	}
+	if l.retxSeq < l.retxEnd {
+		first := l.retxSeq + 1
+		ent := l.entryAtLocked(first)
+		if kind := replBatchKind(ent.op.Kind); kind == 0 {
+			l.retxSeq++
+			l.retxOps++
+			return backup, &wire.ReplUpdate{Chain: e.repl.chainID, Seq: first, Op: ent.op, Retx: true}, 1
+		}
+		batch.Chain = e.repl.chainID
+		batch.FirstSeq = first
+		batch.Retx = true
+		batch.Ops = batch.Ops[:0]
+		for len(batch.Ops) < maxOps && l.retxSeq < l.retxEnd {
+			ent := l.entryAtLocked(l.retxSeq + 1)
+			kind := replBatchKind(ent.op.Kind)
+			if kind == 0 {
+				break
+			}
+			batch.Ops = append(batch.Ops, wire.ReplBatchOp{
+				Kind:    kind,
+				Channel: ent.op.Channel,
+				Amount:  ent.op.Amount,
+				Count:   ent.op.Count,
+			})
+			l.retxSeq++
+			l.retxOps++
+		}
+		return backup, batch, len(batch.Ops)
+	}
+	if l.flushSeq >= l.nextSeq || int(l.flushSeq-l.ackSeq) >= maxWindow {
 		return to, nil, 0
 	}
 	first := l.flushSeq + 1
@@ -379,11 +456,9 @@ func (e *Enclave) ReplNextFlush(batch *wire.ReplBatch, maxOps, maxWindow int) (t
 		l.flushSeq++
 		return backup, &wire.ReplUpdate{Chain: e.repl.chainID, Seq: first, Op: ent.op}, 1
 	}
-	if maxOps > wire.MaxReplBatch {
-		maxOps = wire.MaxReplBatch
-	}
 	batch.Chain = e.repl.chainID
 	batch.FirstSeq = first
+	batch.Retx = false
 	batch.Ops = batch.Ops[:0]
 	for len(batch.Ops) < maxOps && l.flushSeq < l.nextSeq {
 		ent := l.entryAtLocked(l.flushSeq + 1)
@@ -421,14 +496,80 @@ func (e *Enclave) ReplRewindFlush(n int) {
 	l.mu.Unlock()
 }
 
+// ReplRewindRetx is ReplRewindFlush for a retransmitted frame the host
+// failed to hand to the transport: it re-offers the last n re-served
+// ops by rewinding the retransmit cursor instead of the flush cursor.
+func (e *Enclave) ReplRewindRetx(n int) {
+	if e.repl == nil || n <= 0 {
+		return
+	}
+	l := e.repl.log
+	l.mu.Lock()
+	if un := uint64(n); l.retxSeq >= un && l.retxSeq-un >= l.ackSeq {
+		l.retxSeq -= un
+	}
+	l.mu.Unlock()
+}
+
+// ReplRetransmitStart schedules a retransmission of the entire
+// unacknowledged flushed window (ackSeq+1..flushSeq) from the retained
+// log entries. The stall watchdog calls this as its first, cheap heal
+// step — a lost frame or lost ack recovers from the log without the
+// durable wholesale resync. Returns false when there is nothing to
+// re-serve.
+func (e *Enclave) ReplRetransmitStart() bool {
+	if e.repl == nil || e.state.Frozen {
+		return false
+	}
+	l := e.repl.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.pipelined || l.ackSeq >= l.flushSeq {
+		return false
+	}
+	if l.retxSeq < l.ackSeq {
+		l.retxSeq = l.ackSeq
+	}
+	if l.retxSeq < l.retxEnd {
+		// A retransmission is still being served; restarting it from
+		// ackSeq would re-serve the same prefix on every watchdog trip,
+		// flooding a slow link instead of healing it. Let the flusher
+		// finish the round — the next trip re-arms if it bought nothing.
+		return false
+	}
+	l.retxSeq = l.ackSeq
+	l.retxEnd = l.flushSeq
+	return true
+}
+
+// advanceAckLocked advances the cumulative ack cursor toward the
+// highest cumulative batch ack seen, stopping at any entry whose
+// committee τ signatures are still outstanding: a cumulative ack must
+// not release a sign-stage op before its per-sequence ReplAck folds the
+// signatures in (the deferred sign-stage message would depart
+// unsigned). Caller holds mu.
+func (l *replLog) advanceAckLocked() {
+	for l.ackSeq < l.batchAckHigh {
+		ent := l.entryAtLocked(l.ackSeq + 1)
+		if ent == nil || ent.tauPending {
+			break
+		}
+		l.ackSeq++
+	}
+}
+
 // --- Backup side: batch application ---
 
 // handleReplBatch applies a batched run of payment ops to the mirror,
 // relays it down the chain, and (at the tail) acknowledges
-// cumulatively. Sequence discipline is exactly-next: a batch whose ops
-// were all seen already is a transport redelivery and is dropped
-// without effect; a gap (or partial overlap, impossible under
-// whole-frame retransmission) forks the chain and freezes it.
+// cumulatively. Sequence discipline is exactly-next with self-healing
+// (repl_heal.go): a batch whose ops were all seen already is a
+// transport redelivery — dropped, or answered with a fresh cumulative
+// ack when Retx-flagged (lost-ack repair); a batch ahead of sequence is
+// buffered and the gap NACKed upstream; an overlapping batch has its
+// already-applied prefix digest-verified (divergence freezes) and only
+// the suffix applied. Freeze is reserved for genuine divergence: forged
+// ops, apply failures, and conflicting payloads at committed sequences.
 func (e *Enclave) handleReplBatch(from cryptoutil.PublicKey, m *wire.ReplBatch) (*Result, error) {
 	b, ok := e.backups[m.Chain]
 	if !ok {
@@ -448,39 +589,54 @@ func (e *Enclave) handleReplBatch(from cryptoutil.PublicKey, m *wire.ReplBatch) 
 	if last < m.FirstSeq {
 		return nil, errors.New("core: replication batch sequence range overflows")
 	}
+	next, hasNext := b.next()
 	if last <= b.lastSeq {
 		// Whole-batch duplicate: a redelivered frame after a connection
-		// handover. Dropping it (rather than freezing) keeps reconnects
-		// survivable; the mirror already applied every op exactly once.
+		// handover, or a retransmission that crossed the ack it repairs.
+		// The payload must still match what was applied.
+		if reason := b.verifyBatchOverlap(m.FirstSeq, m.Ops); reason != "" {
+			return e.freezeChainLocal(b, reason)
+		}
+		if m.Retx {
+			// Lost-ack repair: the primary would not re-serve acked
+			// sequences, so the ack must have been lost downstream of
+			// here — relay (middle) or re-acknowledge (tail).
+			if hasNext {
+				return &Result{Out: oneOut(next, m)}, nil
+			}
+			return &Result{Out: oneOut(b.prev(), &wire.ReplBatchAck{Chain: m.Chain, Seq: b.lastSeq})}, nil
+		}
 		return nil, fmt.Errorf("core: duplicate replication batch %d..%d (have %d)", m.FirstSeq, last, b.lastSeq)
 	}
-	if m.FirstSeq != b.lastSeq+1 {
-		// Sequence gap: state forking or message loss. Freeze.
-		return e.freezeChainLocal(b, fmt.Sprintf("batch sequence gap: got %d..%d, want %d", m.FirstSeq, last, b.lastSeq+1))
+	if m.FirstSeq > b.lastSeq+1 {
+		// Ahead of sequence: the frames in between were lost or
+		// reordered. Buffer and report the gap instead of freezing.
+		return e.replHold(b, replHeld{
+			firstSeq: m.FirstSeq,
+			ops:      append([]wire.ReplBatchOp(nil), m.Ops...),
+			retx:     m.Retx,
+		})
 	}
-	op := &b.scratchOp
-	for i := range m.Ops {
-		w := &m.Ops[i]
-		kind, ok := replOpKind(w.Kind)
-		if !ok {
-			return e.freezeChainLocal(b, fmt.Sprintf("unknown batch op kind %d", w.Kind))
-		}
-		// Forged-frame hardening, mirroring sumBatch: a non-positive
-		// amount slips through Apply's one-sided balance guards and a
-		// huge one overflows them; neither may touch the mirror.
-		if w.Amount <= 0 || w.Count < 1 {
-			return e.freezeChainLocal(b, fmt.Sprintf("invalid batch op amount %d count %d", w.Amount, w.Count))
-		}
-		*op = Op{Kind: kind, Channel: w.Channel, Amount: w.Amount, Count: w.Count}
-		if err := b.mirror.Apply(op); err != nil {
-			return e.freezeChainLocal(b, fmt.Sprintf("mirror apply failed at seq %d: %v", m.FirstSeq+uint64(i), err))
-		}
+	// Contiguous (possibly overlapping) run: verify the applied prefix,
+	// apply the suffix.
+	if reason := b.verifyBatchOverlap(m.FirstSeq, m.Ops); reason != "" {
+		return e.freezeChainLocal(b, reason)
 	}
-	b.lastSeq = last
-	if next, hasNext := b.next(); hasNext {
-		return &Result{Out: oneOut(next, m)}, nil
+	if reason := e.applyBatchSuffix(b, m.FirstSeq, m.Ops); reason != "" {
+		return e.freezeChainLocal(b, reason)
 	}
-	return &Result{Out: oneOut(b.prev(), &wire.ReplBatchAck{Chain: m.Chain, Seq: last})}, nil
+	res := &Result{}
+	if hasNext {
+		res.Out = append(res.Out, Outbound{To: next, Msg: m})
+	}
+	ackPending := !hasNext
+	if reason := e.replDrainHeld(b, res, &ackPending); reason != "" {
+		return e.freezeMerged(b, res, reason)
+	}
+	if ackPending {
+		res.Out = append(res.Out, Outbound{To: b.prev(), Msg: &wire.ReplBatchAck{Chain: m.Chain, Seq: b.lastSeq}})
+	}
+	return res, nil
 }
 
 // handleReplBatchAck relays a cumulative acknowledgement up the chain
@@ -514,10 +670,57 @@ func (e *Enclave) handleReplBatchAck(from cryptoutil.PublicKey, m *wire.ReplBatc
 		l.mu.Unlock()
 		return nil, fmt.Errorf("core: cumulative ack %d beyond flushed %d", m.Seq, flushSeq)
 	}
-	l.ackSeq = m.Seq
+	if m.Seq > l.batchAckHigh {
+		l.batchAckHigh = m.Seq
+	}
+	l.advanceAckLocked()
 	target := l.releaseTargetLocked(true)
 	l.mu.Unlock()
 	res := e.pools.getResult()
 	e.releaseTo(l, target, res)
 	return res, nil
+}
+
+// handleReplNack processes a mirror's gap report: middle members relay
+// it toward the primary; the primary schedules a retransmission of the
+// missing range from its retained log entries. NACK-suppression lives
+// here too — a retransmission already in flight that covers the wanted
+// range is not restarted, so a slow mirror cannot amplify one loss into
+// a retransmit storm.
+func (e *Enclave) handleReplNack(from cryptoutil.PublicKey, m *wire.ReplNack) (*Result, error) {
+	if b, ok := e.backups[m.Chain]; ok {
+		if next, hasNext := b.next(); !hasNext || next != from {
+			return nil, fmt.Errorf("core: replication nack from non-successor %s", from)
+		}
+		// Relay a copy: byte transports reuse the decode target.
+		return &Result{Out: oneOut(b.prev(), &wire.ReplNack{
+			Chain: m.Chain, WantSeq: m.WantSeq, HaveThrough: m.HaveThrough,
+		})}, nil
+	}
+	if e.repl == nil || e.repl.chainID != m.Chain {
+		return nil, fmt.Errorf("core: nack for unknown chain %s", m.Chain)
+	}
+	backup, ok := e.repl.backup()
+	if !ok || from != backup {
+		return nil, fmt.Errorf("core: replication nack from non-backup %s", from)
+	}
+	l := e.repl.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nacksIn++
+	if m.WantSeq == 0 || m.WantSeq > l.flushSeq+1 {
+		return nil, fmt.Errorf("core: nack wants %d outside flushed window (flushed %d)", m.WantSeq, l.flushSeq)
+	}
+	start := m.WantSeq - 1
+	if start < l.ackSeq {
+		start = l.ackSeq
+	}
+	if l.retxSeq < l.retxEnd && start >= l.retxSeq {
+		// A retransmission already covering the wanted range is in
+		// flight; let it run instead of rewinding (suppression).
+		return &Result{}, nil
+	}
+	l.retxSeq = start
+	l.retxEnd = l.flushSeq
+	return &Result{}, nil
 }

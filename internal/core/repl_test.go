@@ -378,17 +378,153 @@ func TestReplBatchDuplicateDroppedWithoutFreeze(t *testing.T) {
 	}
 }
 
-func TestReplBatchGapFreezes(t *testing.T) {
-	_, owner, m1, _, id := pipelinedPair(t)
-	st, _ := owner.ReplStats()
-	gap := &wire.ReplBatch{
-		Chain:    owner.ChainID(),
-		FirstSeq: st.AckSeq + 5, // skips sequence numbers
-		Ops:      []wire.ReplBatchOp{{Kind: wire.ReplOpPaySend, Channel: id, Amount: 1, Count: 1}},
+// TestReplBatchGapNacksAndRecovers is the tentpole behavior change of
+// self-healing replication: a lost batch no longer freezes the chain.
+// The mirror buffers the ahead-of-sequence frame, NACKs the gap, the
+// owner retransmits the missing range from its log (Retx-flagged), and
+// the chain converges with no freeze and no lost payments.
+func TestReplBatchGapNacksAndRecovers(t *testing.T) {
+	w, owner, m1, _, id := pipelinedPair(t)
+	base, _ := owner.ReplStats()
+	for i := 0; i < 6; i++ {
+		res, err := owner.Pay(id, 10, 1)
+		w.dispatch(owner, res, err)
 	}
-	res, err := m1.HandleMessage(owner.Identity(), gap)
+	// Steal the first 3-op batch off the flush cursor (the frame is
+	// "lost"), then deliver the second batch: the mirror sees a gap.
+	var lost wire.ReplBatch
+	if _, _, n := owner.ReplNextFlush(&lost, 3, 1<<20); n != 3 {
+		t.Fatalf("stole %d ops, want 3", n)
+	}
+	var batch wire.ReplBatch
+	if n := w.flushOnce(owner, &batch, 3, 1<<20); n != 3 {
+		t.Fatalf("flushed %d ops, want 3", n)
+	}
+	// The gap must not have frozen anything; the NACK (delivered by the
+	// pump) scheduled a retransmission the next flush serves.
+	mirror, _ := m1.MirrorState(owner.ChainID())
+	if mirror.Frozen || owner.State().Frozen {
+		t.Fatal("sequence gap froze the chain")
+	}
+	st, _ := owner.ReplStats()
+	if st.NacksIn == 0 {
+		t.Fatalf("owner never saw the gap NACK: %+v", st)
+	}
+	w.settle(owner)
+	st, _ = owner.ReplStats()
+	if st.AckSeq != st.NextSeq {
+		t.Fatalf("log never converged after retransmission: %+v", st)
+	}
+	if st.Retransmits < 3 {
+		t.Fatalf("retransmitted %d ops, want >= 3", st.Retransmits)
+	}
+	if mc := mirror.Channels[id]; mc.MyBal != pipeFund-60 || mc.RemoteBal != 60 {
+		t.Fatalf("mirror did not converge: %d/%d (acked from %d)", mc.MyBal, mc.RemoteBal, base.AckSeq)
+	}
+}
+
+// TestReplReorderedBatchesDrainWithoutRetransmit pins the reorder
+// buffer: two batches delivered out of order converge through the held
+// buffer alone — the NACK's retransmission is never needed because the
+// "missing" frame arrives right behind.
+func TestReplReorderedBatchesDrainWithoutRetransmit(t *testing.T) {
+	w, owner, m1, _, id := pipelinedPair(t)
+	for i := 0; i < 6; i++ {
+		res, err := owner.Pay(id, 5, 1)
+		w.dispatch(owner, res, err)
+	}
+	var a, b wire.ReplBatch
+	toA, _, n1 := owner.ReplNextFlush(&a, 3, 1<<20)
+	if n1 != 3 {
+		t.Fatalf("first flush %d, want 3", n1)
+	}
+	_, _, n2 := owner.ReplNextFlush(&b, 3, 1<<20)
+	if n2 != 3 {
+		t.Fatalf("second flush %d, want 3", n2)
+	}
+	// Deliver B before A (reordered link).
+	w.queue = append(w.queue, Outbound{To: toA, Msg: &b})
+	w.from = append(w.from, owner.Identity())
+	w.pump()
+	w.queue = append(w.queue, Outbound{To: toA, Msg: &a})
+	w.from = append(w.from, owner.Identity())
+	w.pump()
+	mirror, _ := m1.MirrorState(owner.ChainID())
+	if mirror.Frozen {
+		t.Fatal("reordered delivery froze the chain")
+	}
+	st, _ := owner.ReplStats()
+	if st.AckSeq != st.NextSeq {
+		t.Fatalf("reordered batches never converged: %+v", st)
+	}
+	if st.Retransmits != 0 {
+		t.Fatalf("in-window reorder retransmitted %d ops, want 0", st.Retransmits)
+	}
+	if mc := mirror.Channels[id]; mc.MyBal != pipeFund-30 || mc.RemoteBal != 30 {
+		t.Fatalf("mirror balances %d/%d", mc.MyBal, mc.RemoteBal)
+	}
+}
+
+// TestReplNackSuppression: redelivering the same ahead-of-sequence
+// frame must not emit a NACK per arrival — only when the wanted
+// sequence changes or the re-arm threshold hits.
+func TestReplNackSuppression(t *testing.T) {
+	w, owner, m1, _, id := pipelinedPair(t)
+	for i := 0; i < 4; i++ {
+		res, err := owner.Pay(id, 1, 1)
+		w.dispatch(owner, res, err)
+	}
+	var lost, ahead wire.ReplBatch
+	if _, _, n := owner.ReplNextFlush(&lost, 2, 1<<20); n != 2 {
+		t.Fatal("steal failed")
+	}
+	if _, _, n := owner.ReplNextFlush(&ahead, 2, 1<<20); n != 2 {
+		t.Fatal("flush failed")
+	}
+	res, err := m1.HandleMessage(owner.Identity(), &ahead)
 	if err != nil {
-		t.Fatalf("gap handling returned transport error: %v", err)
+		t.Fatalf("ahead-of-sequence frame: %v", err)
+	}
+	if got := len(res.Out); got != 1 {
+		t.Fatalf("first gap emitted %d messages, want 1 NACK", got)
+	}
+	if _, ok := res.Out[0].Msg.(*wire.ReplNack); !ok {
+		t.Fatalf("gap emitted %T, want *wire.ReplNack", res.Out[0].Msg)
+	}
+	// Same frame again: held already, same wanted seq — suppressed.
+	res, err = m1.HandleMessage(owner.Identity(), &ahead)
+	if err != nil {
+		t.Fatalf("redelivered ahead frame: %v", err)
+	}
+	if len(res.Out) != 0 {
+		t.Fatalf("suppressed redelivery still emitted %d messages", len(res.Out))
+	}
+}
+
+// TestReplConflictingPayloadFreezes is the genuine-divergence guard:
+// a frame overlapping already-applied sequences with a DIFFERENT
+// payload is not message loss but state forking, and must freeze.
+func TestReplConflictingPayloadFreezes(t *testing.T) {
+	w, owner, m1, _, id := pipelinedPair(t)
+	for i := 0; i < 3; i++ {
+		res, err := owner.Pay(id, 10, 1)
+		w.dispatch(owner, res, err)
+	}
+	w.settle(owner)
+	st, _ := owner.ReplStats()
+	// Overlap the last applied sequence with a different amount.
+	forged := &wire.ReplBatch{
+		Chain:    owner.ChainID(),
+		FirstSeq: st.AckSeq,
+		Retx:     true,
+		Ops: []wire.ReplBatchOp{
+			{Kind: wire.ReplOpPaySend, Channel: id, Amount: 999, Count: 1},
+			{Kind: wire.ReplOpPaySend, Channel: id, Amount: 1, Count: 1},
+		},
+	}
+	res, err := m1.HandleMessage(owner.Identity(), forged)
+	if err != nil {
+		t.Fatalf("conflicting batch returned transport error: %v", err)
 	}
 	frozen := false
 	res.ForEachEvent(func(ev Event) {
@@ -397,7 +533,87 @@ func TestReplBatchGapFreezes(t *testing.T) {
 		}
 	})
 	if !frozen {
-		t.Fatal("sequence gap did not freeze the chain")
+		t.Fatal("conflicting payload at a committed sequence did not freeze the chain")
+	}
+}
+
+// TestReplRetxDuplicateRepairsLostAck: a Retx-flagged whole-duplicate
+// batch means the primary never saw our ack — the mirror re-emits the
+// cumulative ack instead of dropping the frame as noise.
+func TestReplRetxDuplicateRepairsLostAck(t *testing.T) {
+	w, owner, m1, _, id := pipelinedPair(t)
+	for i := 0; i < 3; i++ {
+		res, err := owner.Pay(id, 10, 1)
+		w.dispatch(owner, res, err)
+	}
+	w.settle(owner)
+	var replayed *wire.ReplBatch
+	for _, m := range w.replFrames {
+		if bb, ok := m.(*wire.ReplBatch); ok {
+			replayed = bb
+		}
+	}
+	if replayed == nil {
+		t.Fatal("no ReplBatch was delivered")
+	}
+	cp := *replayed
+	cp.Retx = true
+	res, err := m1.HandleMessage(owner.Identity(), &cp)
+	if err != nil {
+		t.Fatalf("retx duplicate rejected: %v", err)
+	}
+	if len(res.Out) != 1 {
+		t.Fatalf("retx duplicate emitted %d messages, want 1 ack", len(res.Out))
+	}
+	ack, ok := res.Out[0].Msg.(*wire.ReplBatchAck)
+	if !ok {
+		t.Fatalf("retx duplicate answered with %T, want *wire.ReplBatchAck", res.Out[0].Msg)
+	}
+	mirror, _ := m1.MirrorState(owner.ChainID())
+	if mirror.Frozen {
+		t.Fatal("retx duplicate froze the chain")
+	}
+	st, _ := owner.ReplStats()
+	if ack.Seq != st.AckSeq {
+		t.Fatalf("repair ack covers %d, mirror has %d", ack.Seq, st.AckSeq)
+	}
+}
+
+// TestReplCumulativeAckClampsAtPendingTau: a cumulative ReplBatchAck
+// that overtakes a lost per-sequence ReplAck must not release a
+// sign-stage entry whose committee τ signatures are still unfolded —
+// the ack cursor clamps there until the per-seq ack (recovered by
+// retransmission in production) delivers the signatures.
+func TestReplCumulativeAckClampsAtPendingTau(t *testing.T) {
+	w, owner, m1, _, id := pipelinedPair(t)
+	for i := 0; i < 4; i++ {
+		res, err := owner.Pay(id, 1, 1)
+		w.dispatch(owner, res, err)
+	}
+	l := owner.repl.log
+	l.mu.Lock()
+	clampSeq := l.ackSeq + 2
+	l.entryAtLocked(clampSeq).tauPending = true
+	l.mu.Unlock()
+	var batch wire.ReplBatch
+	if _, _, n := owner.ReplNextFlush(&batch, wire.MaxReplBatch, 1<<20); n != 4 {
+		t.Fatalf("flushed %d ops, want 4", n)
+	}
+	st, _ := owner.ReplStats()
+	res, err := owner.HandleMessage(m1.Identity(), &wire.ReplBatchAck{Chain: owner.ChainID(), Seq: st.FlushSeq})
+	w.dispatch(owner, res, err)
+	st, _ = owner.ReplStats()
+	if st.AckSeq != clampSeq-1 {
+		t.Fatalf("cumulative ack released past the pending-τ entry: ackSeq %d, want %d", st.AckSeq, clampSeq-1)
+	}
+	// The recovered per-sequence ack folds the (empty) signature set and
+	// unclamps; the cursor resumes to the recorded cumulative high mark.
+	res, err = owner.HandleMessage(m1.Identity(), &wire.ReplAck{Chain: owner.ChainID(), Seq: clampSeq})
+	w.dispatch(owner, res, err)
+	w.pump()
+	st, _ = owner.ReplStats()
+	if st.AckSeq != st.FlushSeq {
+		t.Fatalf("per-seq ack did not resume the cursor: %+v", st)
 	}
 }
 

@@ -10,13 +10,22 @@ package harness
 // channel still sums to its deposit, and after settling everything on
 // chain the wallets hold exactly what was minted.
 //
-// Schedules deliberately restrict themselves to LOSSLESS fault rules.
-// The transport recovers from anything that kills a connection (the
+// Channel (lane) links restrict themselves to LOSSLESS fault rules:
+// the transport recovers from anything that kills a connection (the
 // writer's resend ring re-delivers the tokened tail and receivers
-// dedupe by session counter) but a frame silently dropped from a live
-// connection is gone — that is the documented semantics of
+// dedupe by session counter) but a lane frame silently dropped from a
+// live connection is gone — that is the documented semantics of
 // faultnet.Rule.Drop and of reordering beyond the anti-replay window,
 // and the safety-only tests cover them separately.
+//
+// COMMITTEE links carry their own recovery protocol (self-healing
+// replication: mirrors buffer ahead-of-sequence frames, NACK gaps, and
+// the owner retransmits from its log, with the stall watchdog as the
+// backstop for lost NACKs), so lossy schedules may drop, duplicate,
+// truncate, and reorder replication frames arbitrarily — including
+// past the anti-replay window — and the run must still converge with
+// zero frozen chains. Freezing is reserved for genuine divergence,
+// which no amount of message loss can manufacture.
 
 import (
 	"errors"
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"teechain/internal/chain"
+	"teechain/internal/core"
 	"teechain/internal/cryptoutil"
 	"teechain/internal/faultnet"
 	"teechain/internal/transport"
@@ -215,6 +225,9 @@ type ChaosSchedule struct {
 	Seed int64
 	Topo ChaosTopology
 	Ops  []ChaosOp
+	// Lossy records that committee-link rules in this schedule may
+	// drop, truncate, and deep-reorder (BuildLossyChaosSchedule).
+	Lossy bool
 }
 
 // IsFault reports whether the op manipulates the network rather than
@@ -228,20 +241,14 @@ func (op ChaosOp) IsFault() bool {
 }
 
 // losslessRule samples a fault rule that delays, duplicates, and
-// (when allowed) reorders but never loses frames: no drops, no
-// truncation, no blackholes, and reorder depths far inside the
-// 64-frame anti-replay window (duplicates and late-but-in-window
-// frames are rejected or deduped; frames reordered beyond the window
-// would be lost).
-//
-// allowReorder is false for committee links: replication batches have
-// no retransmit, so the chain protocol requires in-order delivery and
-// treats a sequence gap as fatal (the chain freezes). Lane payments
-// tolerate in-window reordering; ReplBatch does not — reordering a
-// committee link wedges replication permanently, which is loss, not
-// chaos. (Duplicated batches are fine: the session window rejects
-// them below the replication layer.)
-func losslessRule(rng *rand.Rand, allowReorder bool) faultnet.Rule {
+// reorders but never loses frames: no drops, no truncation, no
+// blackholes, and reorder depths far inside the 64-frame anti-replay
+// window (duplicates and late-but-in-window frames are rejected or
+// deduped; frames reordered beyond the window would be lost). Lane
+// links always use it — lane payments have no retransmit. Committee
+// links tolerate reordering too since PR 9: the mirror's reorder
+// buffer absorbs in-window swaps without even a NACK round trip.
+func losslessRule(rng *rand.Rand) faultnet.Rule {
 	var r faultnet.Rule
 	if rng.Float64() < 0.7 {
 		r.DelayMin = time.Duration(rng.Intn(3)) * time.Millisecond
@@ -250,10 +257,32 @@ func losslessRule(rng *rand.Rand, allowReorder bool) faultnet.Rule {
 	if rng.Float64() < 0.5 {
 		r.Dup = 0.1 + 0.3*rng.Float64()
 	}
-	if rng.Float64() < 0.5 && allowReorder {
+	if rng.Float64() < 0.5 {
 		r.Reorder = 0.1 + 0.2*rng.Float64()
 		r.ReorderDepth = 1 + rng.Intn(6)
 		r.ReorderHold = 40 * time.Millisecond
+	}
+	return r
+}
+
+// lossyCommitteeRule samples a genuinely lossy rule for a committee
+// link: on top of the lossless faults it drops frames outright,
+// occasionally truncates one mid-bytes (killing the connection), and
+// sometimes reorders so deep the anti-replay window turns the held
+// frame into loss. Self-healing replication (NACK + retransmit, with
+// the stall watchdog as backstop) must recover all of it; blackholes
+// are excluded because an indefinite one-way discard still active at
+// drain time is a partition, not loss.
+func lossyCommitteeRule(rng *rand.Rand) faultnet.Rule {
+	r := losslessRule(rng)
+	if rng.Float64() < 0.8 {
+		r.Drop = 0.05 + 0.20*rng.Float64()
+	}
+	if rng.Float64() < 0.25 {
+		r.Truncate = 0.01 + 0.04*rng.Float64()
+	}
+	if r.Reorder > 0 && rng.Float64() < 0.3 {
+		r.ReorderDepth = 48 + rng.Intn(48) // straddles the 64-frame window
 	}
 	return r
 }
@@ -264,8 +293,22 @@ func losslessRule(rng *rand.Rand, allowReorder bool) faultnet.Rule {
 // one partition at a time, every partition heals within a few ops, no
 // multihop, overdrive, or bounce while partitioned (a multihop through a cut link could only
 // time out; a bounce would stack two recoveries), bounces are spaced
-// out, and the schedule ends healed with all rules cleared.
+// out, and the schedule ends healed with all rules cleared. Every
+// rule is lossless; see BuildLossyChaosSchedule for committee loss.
 func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
+	return buildChaosSchedule(seed, n, tp, false)
+}
+
+// BuildLossyChaosSchedule is BuildChaosSchedule with lossy committee
+// links: rules on owner↔member and member↔member links sample drops,
+// truncation, and beyond-window reordering (lossyCommitteeRule), the
+// faults self-healing replication exists to absorb. Lane links stay
+// lossless — lane payments have no retransmit path.
+func BuildLossyChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
+	return buildChaosSchedule(seed, n, tp, true)
+}
+
+func buildChaosSchedule(seed int64, n int, tp ChaosTopology, lossy bool) ChaosSchedule {
 	rng := rand.New(rand.NewSource(seed))
 	chans := tp.ChannelPairs()
 	links := tp.Links()
@@ -325,7 +368,13 @@ func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
 			ops = append(ops, ChaosOp{Kind: OpOverdrive, Channel: ci, Amounts: amounts})
 		case r < 0.80:
 			li := rng.Intn(len(links))
-			ops = append(ops, ChaosOp{Kind: OpRule, Link: links[li], Rule: losslessRule(rng, li < len(chans))})
+			var rule faultnet.Rule
+			if lossy && li >= len(chans) { // committee link
+				rule = lossyCommitteeRule(rng)
+			} else {
+				rule = losslessRule(rng)
+			}
+			ops = append(ops, ChaosOp{Kind: OpRule, Link: links[li], Rule: rule})
 		case r < 0.85:
 			ops = append(ops, ChaosOp{Kind: OpClear})
 		case r < 0.93:
@@ -347,7 +396,7 @@ func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
 		ops = append(ops, ChaosOp{Kind: OpHeal, Link: links[partitioned]})
 	}
 	ops = append(ops, ChaosOp{Kind: OpClear})
-	return ChaosSchedule{Seed: seed, Topo: tp, Ops: ops}
+	return ChaosSchedule{Seed: seed, Topo: tp, Ops: ops, Lossy: lossy}
 }
 
 // --- schedule execution ---
@@ -444,9 +493,12 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 	// Both runs use the shrunk admission budgets so overdrive bursts
 	// shed identically often enough to matter in either mode; retries
 	// make the final state independent of which attempts were shed.
+	// The stall watchdog is tightened to ~50ms so a lost NACK on a
+	// lossy committee link heals within the schedule, not after it.
 	mut := func(cfg *transport.Config) {
 		cfg.MaxInflightPerChannel = chaosMaxInflightPerChannel
 		cfg.MaxInflightTotal = chaosMaxInflightTotal
+		cfg.ReplStallTicks = 25
 	}
 	if withFaults {
 		var err error
@@ -596,6 +648,17 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 					break
 				}
 				if time.Now().After(deadline) {
+					if st, ok := c.Host(tp.Hub).CommitteeStats(); ok {
+						logf("chaos seed %d: hub repl at failure: %+v", s.Seed, st)
+					}
+					for _, m := range tp.Committee {
+						c.Host(m).WithEnclave(func(e *core.Enclave) {
+							for _, ch := range e.MirrorChains() {
+								last, held, _ := e.MirrorProgress(ch)
+								logf("chaos seed %d: %s mirror %s last=%d held=%d", s.Seed, m, ch, last, held)
+							}
+						})
+					}
 					return nil, fail("op %d: multihop %s: %v", i, op.Spoke, err)
 				}
 				time.Sleep(5 * time.Millisecond)
@@ -633,6 +696,18 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 	for name, n := range expAcks {
 		if err := c.Host(name).AwaitAcked(n, ClusterTimeout); err != nil {
 			return nil, fail("drain %s: %v", name, err)
+		}
+	}
+
+	// Self-healing acceptance: no amount of injected loss may have
+	// frozen a chain. Freezing is reserved for genuine divergence
+	// (forged or conflicting frames), which faults cannot manufacture.
+	for _, name := range tp.Nodes() {
+		if st, ok := c.Host(name).CommitteeStats(); ok {
+			if st.Frozen || st.FrozenMirrors > 0 {
+				return nil, fail("%s: replication froze under message loss (owner frozen=%v, frozen mirrors=%d, nacks=%d, retx=%d)",
+					name, st.Frozen, st.FrozenMirrors, st.NacksIn, st.Retransmits)
+			}
 		}
 	}
 

@@ -77,6 +77,38 @@ func TestChaosSchedule(t *testing.T) {
 	}
 }
 
+// TestChaosScheduleLossy is TestChaosSchedule with lossy committee
+// links: replication frames are dropped, truncated, duplicated, and
+// reordered past the anti-replay window, and the run must STILL
+// converge — self-healing replication (reorder buffer + NACK +
+// retransmit + stall watchdog) recovers everything, Run fails any
+// frozen chain, and the fault-free replay must be bit-identical.
+func TestChaosScheduleLossy(t *testing.T) {
+	seeds := []int64{1, 2}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := BuildLossyChaosSchedule(seed, chaosOpCount, DefaultChaosTopology())
+			faulted, err := s.Run(true, t.Logf)
+			if err != nil {
+				t.Fatalf("%v (reproduce: go test ./internal/harness -run TestChaosScheduleLossy -seed=%d)", err, seed)
+			}
+			clean, err := s.Run(false, t.Logf)
+			if err != nil {
+				t.Fatalf("fault-free replay: %v (seed %d)", err, seed)
+			}
+			if !reflect.DeepEqual(faulted, clean) {
+				t.Fatalf("seed %d: lossy run diverged from fault-free replay:\nfaulted: %+v\nclean:   %+v",
+					seed, faulted, clean)
+			}
+			t.Logf("seed %d: lossy == fault-free: %+v", seed, faulted)
+		})
+	}
+}
+
 // newRawPair builds two plain transport hosts (no fault layer) with b
 // listening and a dialed through dial(b's address) — the beyond-window
 // test routes the dial through an attack proxy.
@@ -380,6 +412,142 @@ func TestChaosCommitteeChurn(t *testing.T) {
 		cc.MineBlocks(1)
 		if time.Now().After(deadline) {
 			t.Fatalf("settlement after churn: s=%d r=%d, want %d/%d",
+				cc.Balance("s"), cc.Balance("r"), fund-total, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosCommitteeChurnLossy is committee-member churn on a LOSSY
+// link: a drop+reorder+dup rule stays active on the owner→m1 link the
+// whole time, and m1 is bounced in the middle of a pipelined ReplBatch
+// stream. Lost frames NACK and retransmit, lost acks repair through
+// Retx duplicates, the bounce recovers through the resend ring, and
+// both mirrors must converge to bit-identical channel state with zero
+// frozen chains.
+func TestChaosCommitteeChurnLossy(t *testing.T) {
+	cc, err := NewChaosClusterWith(17, t.Logf, func(cfg *transport.Config) {
+		cfg.ReplStallTicks = 25 // ~50ms watchdog: heal lost NACKs fast
+	}, "s", "r", "m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.Connect("s", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.FormCommittee("s", []string{"m1", "m2"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	const fund = 10_000
+	id, err := cc.OpenChannel("s", "r", fund)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chID := wire.ChannelID(id)
+	hs := cc.Host("s")
+	var chainID string
+	hs.WithEnclave(func(e *core.Enclave) { chainID = e.ChainID() })
+
+	// The lossy rule stays up for the whole run: every fifth frame or
+	// so vanishes, others arrive out of order or twice.
+	cc.Net.SetRuleBoth("s", "m1", faultnet.Rule{
+		Drop:    0.2,
+		Dup:     0.2,
+		Reorder: 0.3, ReorderDepth: 6, ReorderHold: 30 * time.Millisecond,
+		DelayMin: time.Millisecond, DelayMax: 3 * time.Millisecond,
+	})
+
+	const wave = 100
+	acked := uint64(0)
+	pay := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := hs.Pay(chID, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Wave 1: pure loss, no churn — NACK/retransmit alone must drain.
+	pay(wave)
+	acked += wave
+	if err := hs.AwaitAcked(acked, ClusterTimeout); err != nil {
+		t.Fatalf("acks never drained under loss: %v", err)
+	}
+	// Wave 2: bounce m1 mid-stream with the rule still active.
+	pay(wave / 2)
+	if err := cc.Bounce("m1"); err != nil {
+		t.Fatal(err)
+	}
+	pay(wave / 2)
+	acked += wave
+	if err := hs.AwaitAcked(acked, ClusterTimeout); err != nil {
+		t.Fatalf("acks never resumed after lossy bounce: %v", err)
+	}
+
+	const total = 2 * wave
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		st, ok := hs.CommitteeStats()
+		if ok && st.AckSeq == st.NextSeq && st.Queued == 0 {
+			t.Logf("pipeline drained under loss: ack=%d nacks=%d retx=%d stalls=%d",
+				st.AckSeq, st.NacksIn, st.Retransmits, st.Stalls)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication pipeline never drained: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Both mirrors converge to bit-identical channel state.
+	mirrorChan := func(m string) *core.ChannelState {
+		var got *core.ChannelState
+		cc.Host(m).WithEnclave(func(e *core.Enclave) {
+			if mirror, ok := e.MirrorState(chainID); ok {
+				got = mirror.Channels[chID]
+			}
+		})
+		return got
+	}
+	for _, m := range []string{"m1", "m2"} {
+		deadline := time.Now().Add(ClusterTimeout)
+		for {
+			if got := mirrorChan(m); got != nil && got.MyBal == fund-total && got.RemoteBal == total {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s mirror never converged to %d/%d (last %+v)", m, fund-total, total, mirrorChan(m))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	m1c, m2c := mirrorChan("m1"), mirrorChan("m2")
+	if m1c.MyBal != m2c.MyBal || m1c.RemoteBal != m2c.RemoteBal {
+		t.Fatalf("mirrors diverged: m1 %d/%d, m2 %d/%d", m1c.MyBal, m1c.RemoteBal, m2c.MyBal, m2c.RemoteBal)
+	}
+
+	// Zero frozen chains, and the loss machinery actually fired.
+	for _, name := range []string{"s", "m1", "m2"} {
+		if st, ok := cc.Host(name).CommitteeStats(); ok && (st.Frozen || st.FrozenMirrors > 0) {
+			t.Fatalf("%s froze under message loss: %+v", name, st)
+		}
+	}
+	fst := cc.Net.Stats()
+	t.Logf("faults injected: %+v", fst)
+	if fst.Dropped == 0 {
+		t.Fatal("no frames dropped — the lossy rule exercised nothing")
+	}
+
+	// Threshold settlement still works after lossy churn.
+	cc.Net.ClearRules()
+	if err := hs.Settle(chID); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(ClusterTimeout)
+	for cc.Balance("s") != fund-total || cc.Balance("r") != total {
+		cc.MineBlocks(1)
+		if time.Now().After(deadline) {
+			t.Fatalf("settlement after lossy churn: s=%d r=%d, want %d/%d",
 				cc.Balance("s"), cc.Balance("r"), fund-total, total)
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -36,6 +36,11 @@ type apiBackend struct {
 // api.NewServer and the line-protocol shim.
 func (h *Host) API() api.Backend { return apiBackend{h: h} }
 
+// transientNackRetryMillis is the backoff hint on transient multihop
+// aborts: the blocking payment clears in one lock→release round trip,
+// so the hint is much shorter than the unavailable-endpoint one.
+const transientNackRetryMillis = 25
+
 // classify maps host errors onto structured control-plane codes.
 func classify(err error) error {
 	if err == nil {
@@ -44,6 +49,12 @@ func classify(err error) error {
 	var ae *api.Error
 	if errors.As(err, &ae) {
 		return ae
+	}
+	var mhe *MultihopAbortError
+	if errors.As(err, &mhe) && mhe.Transient {
+		// A benign abort (hop busy, stale τ): nothing was committed, so
+		// hint an immediate short-backoff retry.
+		return &api.Error{Code: api.CodeNacked, Msg: err.Error(), RetryAfterMillis: transientNackRetryMillis}
 	}
 	code := api.CodeInternal
 	var retry uint32
@@ -55,7 +66,13 @@ func classify(err error) error {
 		retry, _ = OverloadRetryMillis(err)
 	case errors.Is(err, ErrTimeout):
 		code = api.CodeTimeout
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrChainUnavailable):
+	case errors.Is(err, ErrChainUnavailable):
+		// The RemoteChain client already exhausted its own in-place
+		// retries, so hint a coarser client backoff: endpoint restarts
+		// take longer than a dropped frame.
+		code = api.CodeUnavailable
+		retry = chainUnavailableRetryMillis
+	case errors.Is(err, ErrClosed):
 		code = api.CodeUnavailable
 	case errors.Is(err, ErrUnknownChannel), errors.Is(err, ErrUnknownPeer):
 		code = api.CodeNotFound

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -225,14 +226,44 @@ var ErrChainUnavailable = errors.New("transport: chain endpoint unavailable")
 // a settle or deposit forever inside the host's wide lock.
 const DefaultChainRPCTimeout = 30 * time.Second
 
+// Chain RPC retry defaults: a transient endpoint outage (restart,
+// dropped connection) heals within a few capped, jittered backoffs;
+// anything longer surfaces ErrChainUnavailable to the caller, which
+// the control plane classifies CodeUnavailable with a retry hint.
+const (
+	defaultChainRetryAttempts = 4
+	defaultChainRetryBase     = 25 * time.Millisecond
+	defaultChainRetryMax      = 500 * time.Millisecond
+	// chainUnavailableRetryMillis is the control plane's backoff hint
+	// on CodeUnavailable chain errors (classify): by the time a caller
+	// sees one, the in-place retries above have already failed.
+	chainUnavailableRetryMillis = 250
+)
+
 // RemoteChain is a ChainAccess client speaking the ChainServer RPC over
 // one persistent connection, requests serialized by a mutex.
+//
+// Transport failures (ErrChainUnavailable) on idempotent operations —
+// reads, and Submit, which the ledger dedupes by transaction ID — are
+// retried in place with capped jittered backoff, redialing the stored
+// endpoint between attempts. Fund and MineBlocks are NOT retried: a
+// reply lost after the server applied the request would double-mint or
+// double-mine on retry, so those surface the error for the caller to
+// reconcile.
 type RemoteChain struct {
 	mu      sync.Mutex
+	addr    string
 	conn    net.Conn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
+	broken  bool // stream poisoned (timeout/desync); redial before reuse
 	timeout time.Duration
+
+	attempts int
+	base     time.Duration
+	max      time.Duration
+	sleep    func(time.Duration) // injectable for tests
+	rnd      func() float64      // jitter source in [0,1)
 }
 
 // DialChain connects to a ChainServer with the default RPC timeout.
@@ -244,6 +275,23 @@ func DialChain(addr string) (*RemoteChain, error) {
 // bounding both the dial and every RPC round trip (<= 0 disables,
 // restoring unbounded blocking).
 func DialChainTimeout(addr string, timeout time.Duration) (*RemoteChain, error) {
+	conn, err := dialChainConn(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteChain{
+		addr: addr, conn: conn,
+		enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+		timeout:  timeout,
+		attempts: defaultChainRetryAttempts,
+		base:     defaultChainRetryBase,
+		max:      defaultChainRetryMax,
+		sleep:    time.Sleep,
+		rnd:      rand.Float64,
+	}, nil
+}
+
+func dialChainConn(addr string, timeout time.Duration) (net.Conn, error) {
 	dial := net.Dial
 	if timeout > 0 {
 		dial = func(network, address string) (net.Conn, error) {
@@ -254,28 +302,55 @@ func DialChainTimeout(addr string, timeout time.Duration) (*RemoteChain, error) 
 	if err != nil {
 		return nil, fmt.Errorf("%w: dialing %s: %v", ErrChainUnavailable, addr, err)
 	}
-	return &RemoteChain{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: timeout}, nil
+	return conn, nil
+}
+
+// SetRetry overrides the transport-failure retry policy: attempts
+// total tries (1 disables retries), backing off from base to max.
+func (r *RemoteChain) SetRetry(attempts int, base, max time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attempts, r.base, r.max = attempts, base, max
 }
 
 // Close drops the connection.
 func (r *RemoteChain) Close() error { return r.conn.Close() }
 
-func (r *RemoteChain) call(req *chainReq) (*chainResp, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// redialLocked replaces a poisoned connection with a fresh one to the
+// stored endpoint. Held under mu.
+func (r *RemoteChain) redialLocked() error {
+	conn, err := dialChainConn(r.addr, r.timeout)
+	if err != nil {
+		return err
+	}
+	r.conn.Close()
+	r.conn = conn
+	r.enc, r.dec = gob.NewEncoder(conn), gob.NewDecoder(conn)
+	r.broken = false
+	return nil
+}
+
+// callOnce runs one RPC round trip on the current connection. Held
+// under mu. Transport failures poison the stream — a late response
+// would desynchronize the next call — so the caller must redial
+// before retrying.
+func (r *RemoteChain) callOnce(req *chainReq) (*chainResp, error) {
+	if r.broken {
+		if err := r.redialLocked(); err != nil {
+			return nil, err
+		}
+	}
 	if r.timeout > 0 {
-		// Deadline per round trip; a timed-out stream is unusable (a
-		// late response would desynchronize the next call), so the
-		// failed Decode below also poisons the connection — callers get
-		// ErrChainUnavailable until they redial.
 		r.conn.SetDeadline(time.Now().Add(r.timeout)) //nolint:errcheck // a dead conn fails the encode below
 		defer r.conn.SetDeadline(time.Time{})         //nolint:errcheck
 	}
 	if err := r.enc.Encode(req); err != nil {
+		r.broken = true
 		return nil, fmt.Errorf("%w: rpc send: %v", ErrChainUnavailable, err)
 	}
 	var resp chainResp
 	if err := r.dec.Decode(&resp); err != nil {
+		r.broken = true
 		return nil, fmt.Errorf("%w: rpc recv: %v", ErrChainUnavailable, err)
 	}
 	if resp.Err != "" {
@@ -284,18 +359,57 @@ func (r *RemoteChain) call(req *chainReq) (*chainResp, error) {
 	return &resp, nil
 }
 
-// Fund implements ChainAccess.
+// call runs the RPC, retrying transport failures with capped jittered
+// backoff when the operation is safe to re-issue (see RemoteChain).
+// Ledger rejections (resp.Err) return immediately — the request was
+// delivered and judged; retrying cannot change the verdict.
+func (r *RemoteChain) call(req *chainReq, idempotent bool) (*chainResp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	attempts := r.attempts
+	if attempts <= 0 || !idempotent {
+		attempts = 1
+	}
+	backoff := r.base
+	var resp *chainResp
+	var err error
+	for i := 0; i < attempts; i++ {
+		resp, err = r.callOnce(req)
+		if err == nil || !errors.Is(err, ErrChainUnavailable) {
+			return resp, err
+		}
+		if i == attempts-1 {
+			break
+		}
+		// Sleep U[backoff/2, backoff): jitter staggers clients whose
+		// shared endpoint just bounced.
+		d := backoff
+		if d > r.max {
+			d = r.max
+		}
+		r.sleep(d/2 + time.Duration(r.rnd()*float64(d/2)))
+		if backoff *= 2; backoff > r.max {
+			backoff = r.max
+		}
+	}
+	return nil, err
+}
+
+// Fund implements ChainAccess. Not retried: a lost reply after the
+// server funded would mint a second outpoint on re-issue.
 func (r *RemoteChain) Fund(script chain.Script, value chain.Amount) (chain.OutPoint, error) {
-	resp, err := r.call(&chainReq{Op: "fund", Script: script, Value: value})
+	resp, err := r.call(&chainReq{Op: "fund", Script: script, Value: value}, false)
 	if err != nil {
 		return chain.OutPoint{}, err
 	}
 	return resp.Point, nil
 }
 
-// Submit implements ChainAccess.
+// Submit implements ChainAccess. Retried on transport failure: the
+// ledger dedupes re-broadcasts by transaction ID, so re-issuing a
+// possibly-delivered settlement is exact.
 func (r *RemoteChain) Submit(tx *chain.Transaction) (chain.TxID, error) {
-	resp, err := r.call(&chainReq{Op: "submit", Tx: tx})
+	resp, err := r.call(&chainReq{Op: "submit", Tx: tx}, true)
 	if err != nil {
 		return chain.TxID{}, err
 	}
@@ -304,16 +418,17 @@ func (r *RemoteChain) Submit(tx *chain.Transaction) (chain.TxID, error) {
 
 // Confirmations implements ChainAccess.
 func (r *RemoteChain) Confirmations(id chain.TxID) (uint64, error) {
-	resp, err := r.call(&chainReq{Op: "confirmations", ID: id})
+	resp, err := r.call(&chainReq{Op: "confirmations", ID: id}, true)
 	if err != nil {
 		return 0, err
 	}
 	return resp.Count, nil
 }
 
-// MineBlocks implements ChainAccess.
+// MineBlocks implements ChainAccess. Not retried: a lost reply after
+// the server mined would re-mine on re-issue.
 func (r *RemoteChain) MineBlocks(n int) (uint64, error) {
-	resp, err := r.call(&chainReq{Op: "mine", N: n})
+	resp, err := r.call(&chainReq{Op: "mine", N: n}, false)
 	if err != nil {
 		return 0, err
 	}
@@ -322,7 +437,7 @@ func (r *RemoteChain) MineBlocks(n int) (uint64, error) {
 
 // Balance implements ChainAccess.
 func (r *RemoteChain) Balance(addr cryptoutil.Address) (chain.Amount, error) {
-	resp, err := r.call(&chainReq{Op: "balance", Addr: addr})
+	resp, err := r.call(&chainReq{Op: "balance", Addr: addr}, true)
 	if err != nil {
 		return 0, err
 	}
@@ -331,7 +446,7 @@ func (r *RemoteChain) Balance(addr cryptoutil.Address) (chain.Amount, error) {
 
 // Height implements ChainAccess.
 func (r *RemoteChain) Height() (uint64, error) {
-	resp, err := r.call(&chainReq{Op: "height"})
+	resp, err := r.call(&chainReq{Op: "height"}, true)
 	if err != nil {
 		return 0, err
 	}

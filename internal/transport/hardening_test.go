@@ -7,6 +7,7 @@ package transport
 import (
 	"errors"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -100,6 +101,9 @@ func TestRemoteChainUnavailableTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rc.Close()
+	// Retries off: this test types the failure; nobody is accepting
+	// anymore, so each retry would block a full RPC timeout on redial.
+	rc.SetRetry(1, 0, 0)
 	_, err = rc.Height()
 	if !errors.Is(err, ErrChainUnavailable) {
 		t.Fatalf("call after endpoint death: %v, want ErrChainUnavailable", err)
@@ -107,6 +111,82 @@ func TestRemoteChainUnavailableTyped(t *testing.T) {
 	var ae *api.Error
 	if cerr := classify(err); !errors.As(cerr, &ae) || ae.Code != api.CodeUnavailable {
 		t.Fatalf("classify(%v) = %v, want CodeUnavailable", err, cerr)
+	}
+}
+
+// flakyChainServer serves the chain RPC on a loopback listener but
+// kills the first kills accepted connections immediately, simulating an
+// endpoint that bounces and comes back.
+func flakyChainServer(t *testing.T, kills int32) (addr string) {
+	t.Helper()
+	lc := NewLocalChain(chain.New())
+	srv := &ChainServer{lc: lc}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var remaining atomic.Int32
+	remaining.Store(kills)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if remaining.Add(-1) >= 0 {
+				conn.Close()
+				continue
+			}
+			srv.wg.Add(1)
+			go srv.serveConn(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestRemoteChainRetriesIdempotent: a read against an endpoint that
+// bounces twice succeeds in place — the client redials and re-issues
+// under its capped jittered backoff instead of surfacing the failure.
+// The sleeps are injected and asserted exactly: base/2 then base (Rand
+// pinned to 0 makes each jittered sleep the lower bound d/2).
+func TestRemoteChainRetriesIdempotent(t *testing.T) {
+	addr := flakyChainServer(t, 2)
+	rc, err := DialChainTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer rc.Close()
+	var slept []time.Duration
+	rc.SetRetry(4, 20*time.Millisecond, 100*time.Millisecond)
+	rc.sleep = func(d time.Duration) { slept = append(slept, d) }
+	rc.rnd = func() float64 { return 0 }
+
+	// The dial consumed the first killed connection; the call burns the
+	// second on attempt one, redials into the third (served), succeeds.
+	if _, err := rc.Height(); err != nil {
+		t.Fatalf("height after bounce: %v", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("sleeps %v, want %v", slept, want)
+	}
+}
+
+// TestRemoteChainFundNotRetried: Fund is not idempotent (a lost reply
+// after the server funded would double-mint), so a transport failure
+// surfaces immediately — typed, after exactly one attempt, no backoff.
+func TestRemoteChainFundNotRetried(t *testing.T) {
+	addr := flakyChainServer(t, 1<<30) // every connection dies
+	rc, err := DialChainTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer rc.Close()
+	rc.sleep = func(time.Duration) { t.Fatal("slept retrying a non-idempotent op") }
+	_, err = rc.Fund(chain.Script{}, 100)
+	if !errors.Is(err, ErrChainUnavailable) {
+		t.Fatalf("fund against dead endpoint: %v, want ErrChainUnavailable", err)
 	}
 }
 

@@ -236,9 +236,23 @@ type channelInfo struct {
 }
 
 type mhOutcome struct {
-	done   bool
-	ok     bool
-	reason string
+	done      bool
+	ok        bool
+	reason    string
+	transient bool
+}
+
+// MultihopAbortError reports a multi-hop payment aborted by some hop.
+// Transient marks benign refusals (a hop's channel busy with another
+// payment, or a τ built from since-moved balances): the payment left no
+// state behind and a retry with fresh balances is expected to succeed.
+type MultihopAbortError struct {
+	Reason    string
+	Transient bool
+}
+
+func (e *MultihopAbortError) Error() string {
+	return "transport: multihop payment failed: " + e.Reason
 }
 
 // Host runs one enclave over real sockets.
@@ -1005,18 +1019,54 @@ func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 		h.noteRejected(f, err)
 		return
 	}
+	// Hello-independent adoption: an authenticated frame arriving on an
+	// accepted connection no writer owns (p == nil) proves the remote
+	// (re)dialed us even if its hello was lost in flight — a lossy link
+	// can drop the hello like any other frame, and nothing retransmits
+	// it. Without adoption every frame we owe the remote (replication
+	// acks above all) would queue forever while the remote's own
+	// dialer-side connection works and never redials.
+	if p == nil {
+		if rp := h.peersByID[f.From]; rp != nil {
+			h.offerConnLocked(rp, ch)
+		}
+	}
 	h.dispatchLocked(res)
-	// A replication acknowledgement freed in-flight window space; wake
-	// the flusher so queued ops ship without waiting for its tick, and
-	// report the advanced cursor to control-plane subscribers.
+	// A replication acknowledgement freed in-flight window space (and a
+	// NACK armed the retransmission cursor); wake the flusher so queued
+	// or re-served ops ship without waiting for its tick, and report
+	// the advanced cursor to control-plane subscribers.
 	switch f.Msg.(type) {
-	case *wire.ReplBatchAck, *wire.ReplAck:
+	case *wire.ReplBatchAck, *wire.ReplAck, *wire.ReplNack:
 		h.kickRepl()
 		if h.observers.Load() != nil {
 			if st, ok := h.enclave.ReplStats(); ok {
 				h.fanObservers(EvReplCursor{Chain: st.Chain, Acked: st.AckSeq})
 			}
 		}
+	}
+}
+
+// offerConnLocked hands an accepted connection to an accept-only
+// peer's writer for the reply direction, displacing any older handle
+// still waiting unadopted: newest wins, because the buffered handle
+// may belong to a connection that already died (the remote redials
+// after every kill), and adopting a dead handle over a live one
+// strands the writer on an empty channel while the remote — whose own
+// dialer-side connection works — never redials, silently severing
+// this direction. The displaced connection stays read-only and dies
+// with its read loop. Caller holds the wide lock.
+func (h *Host) offerConnLocked(p *peer, ch connHandle) {
+	if p.addr != "" {
+		return
+	}
+	select {
+	case <-p.connCh:
+	default:
+	}
+	select {
+	case p.connCh <- ch:
+	default:
 	}
 }
 
@@ -1032,14 +1082,7 @@ func (h *Host) handleHelloLocked(ch connHandle, p *peer, from cryptoutil.PublicK
 		if p == nil {
 			p = h.newPeerLocked("")
 		}
-		if p.addr == "" {
-			select {
-			case p.connCh <- ch:
-			default:
-				// A newer connection already waits; this one stays
-				// read-only and dies with its read loop.
-			}
-		}
+		h.offerConnLocked(p, ch)
 	}
 	// A different record may already hold this identity (mutual dial:
 	// both sides list each other as peers). Retire it so its writer
@@ -1219,7 +1262,7 @@ func (h *Host) handleEventLocked(ev core.Event) {
 			o = &mhOutcome{}
 			h.mh[e.Payment] = o
 		}
-		o.done, o.ok, o.reason = true, e.OK, e.Reason
+		o.done, o.ok, o.reason, o.transient = true, e.OK, e.Reason, e.Transient
 		if e.OK {
 			h.mhOK.Add(1)
 		} else {
@@ -1764,7 +1807,7 @@ func (h *Host) PayMultihop(path []cryptoutil.PublicKey, amount chain.Amount, tim
 		return err
 	}
 	if !out.ok {
-		return fmt.Errorf("transport: multihop payment failed: %s", out.reason)
+		return &MultihopAbortError{Reason: out.reason, Transient: out.transient}
 	}
 	h.noteAcked(1)
 	return nil

@@ -25,6 +25,7 @@ import (
 
 	"teechain/internal/core"
 	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
 )
 
 // Replication flusher defaults; see Config (ReplWindowOps defaults to
@@ -166,7 +167,7 @@ func (h *Host) replFlush(batchOps int) int {
 			// The backup was attested, so a missing record means its peer
 			// entry collapsed mid-restart. Rewind the cursor so the ops
 			// are re-offered once the record is back.
-			h.enclave.ReplRewindFlush(n)
+			h.replRewind(msg, n)
 			h.mu.RUnlock()
 			h.logf("%s: no peer record for replication backup %s, deferring %d ops", h.cfg.Name, to, n)
 			return batchOps
@@ -176,11 +177,11 @@ func (h *Host) replFlush(batchOps int) int {
 		p.lane.Unlock()
 		if !sent {
 			// Queue full (or encode failure): the frame never left, so
-			// un-flush the ops — replication has no retransmit, and a
-			// silently skipped batch would wedge the chain at the next
-			// sequence gap. Retried on the next kick or tick, by which
-			// time the writer has drained queue space.
-			h.enclave.ReplRewindFlush(n)
+			// un-flush the ops — a silently skipped batch would cost a
+			// NACK round trip at the next sequence gap. Retried on the
+			// next kick or tick, by which time the writer has drained
+			// queue space.
+			h.replRewind(msg, n)
 			h.mu.RUnlock()
 			return batchOps
 		}
@@ -195,26 +196,57 @@ func (h *Host) replFlush(batchOps int) int {
 	}
 }
 
+// replRewind un-flushes n ops after a frame failed to leave, moving
+// the cursor the frame was served from: a Retx-flagged frame came off
+// the retransmission cursor, everything else off the flush cursor.
+func (h *Host) replRewind(msg wire.Message, n int) {
+	retx := false
+	switch m := msg.(type) {
+	case *wire.ReplBatch:
+		retx = m.Retx
+	case *wire.ReplUpdate:
+		retx = m.Retx
+	}
+	if retx {
+		h.enclave.ReplRewindRetx(n)
+	} else {
+		h.enclave.ReplRewindFlush(n)
+	}
+}
+
 // replWatchdog is the flusher-private stall detector state: the last
-// observed committee ack cursor and how many safety ticks it has sat
-// still with ops pending.
+// observed committee ack cursor, how many safety ticks it has sat
+// still with ops pending, and how many heal attempts the current
+// stall has consumed (reset on any ack progress).
 type replWatchdog struct {
 	lastAck uint64
 	ticks   int
+	heals   int
 }
 
 // replWatch runs on the flusher's safety tick. If the ack cursor makes
 // no progress for Config.ReplStallTicks consecutive ticks while ops
 // are queued or in flight, the chain is stalled (PR 6's lost-ReplBatch
 // failure mode: the mirror idles before the gap, the owner's window
-// never drains, and nothing signals anyone). The watchdog raises
-// CommitteeStats.Stalled, emits EvReplStalled to observers, and on
-// durable hosts kicks the existing ReplResync path: mirrors re-adopt
-// the owner's state wholesale, which both unfreezes them and releases
-// the wedged window (core.handleReplResyncAck advances the ack cursor
-// to the resync sequence). A spurious trip — the mirror was only slow
-// — is safe: resync is idempotent re-seeding, ordered on the same
-// connection after every already-flushed frame.
+// never drains, and nothing signals anyone — e.g. when the NACK itself
+// was lost). The watchdog raises CommitteeStats.Stalled, emits
+// EvReplStalled to observers, and heals in two steps:
+//
+//  1. Retransmit. The unacked window is re-served from the log with
+//     the Retx flag (core.ReplRetransmitStart); mirrors treat
+//     duplicates as lost-ack repair and re-ack. This covers both lost
+//     frames and lost acks, costs one window of wire traffic, and
+//     needs no durable state.
+//  2. Resync (durable hosts, second consecutive trip): mirrors
+//     re-adopt the owner's state wholesale via the existing ReplResync
+//     path, which both unfreezes genuinely diverged mirrors and
+//     releases the wedged window (core.handleReplResyncAck advances
+//     the ack cursor to the resync sequence).
+//
+// A spurious trip — the mirror was only slow — is safe at either step:
+// retransmitted frames dedupe against the mirror's digest ring, and
+// resync is idempotent re-seeding, ordered on the same connection
+// after every already-flushed frame.
 func (h *Host) replWatch(wd *replWatchdog) {
 	limit := h.cfg.ReplStallTicks
 	if limit <= 0 {
@@ -226,28 +258,58 @@ func (h *Host) replWatch(wd *replWatchdog) {
 	if !ok || !st.Pipelined || (st.Window == 0 && st.Queued == 0) {
 		wd.lastAck = st.AckSeq
 		wd.ticks = 0
+		wd.heals = 0
 		h.replStalled.Store(false)
 		return
 	}
 	if st.AckSeq != wd.lastAck {
 		wd.lastAck = st.AckSeq
 		wd.ticks = 0
+		wd.heals = 0
 		h.replStalled.Store(false)
 		return
 	}
 	wd.ticks++
-	if wd.ticks < limit {
+	// Consecutive heal attempts back off geometrically (x2 per failed
+	// attempt, capped x32): when the link is congested rather than
+	// dead, what the stalled window needs is its in-flight
+	// retransmission DELIVERED, and re-pumping the whole window every
+	// stall period just feeds the congestion. Ack progress resets the
+	// backoff along with the rest of the watchdog state.
+	backoff := wd.heals
+	if backoff > 5 {
+		backoff = 5
+	}
+	if wd.ticks < limit<<backoff {
 		return
 	}
-	wd.ticks = 0 // rearm: a failed heal trips again after a full period
+	wd.ticks = 0 // rearm: a failed heal trips again after a backed-off period
+	wd.heals++
 	if h.replStalled.CompareAndSwap(false, true) {
 		h.replStalls.Add(1)
 		h.logf("%s: replication chain %s stalled at ack %d (window %d, queued %d)",
 			h.cfg.Name, st.Chain, st.AckSeq, st.Window, st.Queued)
 		h.fanObservers(EvReplStalled{Chain: st.Chain, AckSeq: st.AckSeq})
 	}
+	if wd.heals == 1 || !h.enclave.Durable() {
+		// Heal step 1 (and the only step on non-durable hosts, retried
+		// each trip): re-serve the unacked window from the log.
+		h.mu.RLock()
+		closed := h.closed
+		started := false
+		if !closed {
+			started = h.enclave.ReplRetransmitStart()
+		}
+		h.mu.RUnlock()
+		if closed || !started {
+			return
+		}
+		h.kickRepl()
+		h.logf("%s: replication stall: retransmitting unacked window for chain %s", h.cfg.Name, st.Chain)
+		return
+	}
 	h.mu.Lock()
-	if h.closed || !h.enclave.Durable() {
+	if h.closed {
 		h.mu.Unlock()
 		return
 	}
@@ -266,11 +328,12 @@ func (h *Host) replWatch(wd *replWatchdog) {
 // API: the enclave's log cursors plus the host's flusher counters.
 type CommitteeStats struct {
 	core.ReplStats
-	BatchesOut uint64 // replication frames flushed (batches + solo updates)
-	OpsOut     uint64 // ops carried by those frames
-	Mirrors    int    // chains this host serves as a committee member
-	Stalled    bool   // watchdog: ack cursor stuck with ops pending
-	Stalls     uint64 // watchdog trips since the host started
+	BatchesOut    uint64 // replication frames flushed (batches + solo updates)
+	OpsOut        uint64 // ops carried by those frames
+	Mirrors       int    // chains this host serves as a committee member
+	FrozenMirrors int    // mirrored chains frozen for genuine divergence
+	Stalled       bool   // watchdog: ack cursor stuck with ops pending
+	Stalls        uint64 // watchdog trips since the host started
 }
 
 // CommitteeStats reports the committee pipeline state; ok is false when
@@ -281,6 +344,7 @@ func (h *Host) CommitteeStats() (CommitteeStats, bool) {
 	h.mu.RLock()
 	st.ReplStats, owner = h.enclave.ReplStats()
 	st.Mirrors = h.enclave.MirrorCount()
+	st.FrozenMirrors = h.enclave.FrozenMirrors()
 	h.mu.RUnlock()
 	mirrors = st.Mirrors > 0
 	st.BatchesOut = h.replBatchesOut.Load()

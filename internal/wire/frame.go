@@ -111,6 +111,7 @@ var registry = []Message{
 	&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
 	&PayBatch{}, &PayBatchAck{}, &ReplBatch{}, &ReplBatchAck{},
 	&ChanResume{}, &ChanResumeAck{}, &ReplResync{}, &ReplResyncAck{},
+	&ReplNack{},
 }
 
 var (
@@ -625,6 +626,11 @@ func (m *ReplBatch) AppendPayload(dst []byte) ([]byte, error) {
 		return dst, err
 	}
 	dst = binary.BigEndian.AppendUint64(dst, m.FirstSeq)
+	var flags byte
+	if m.Retx {
+		flags |= 1
+	}
+	dst = append(dst, flags)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Ops)))
 	for i := range m.Ops {
 		op := &m.Ops[i]
@@ -644,17 +650,22 @@ func (m *ReplBatch) DecodePayload(src []byte) error {
 	if err != nil {
 		return err
 	}
-	if len(rest) < 12 {
+	if len(rest) < 13 {
 		return ErrFrameTruncated
 	}
 	firstSeq := binary.BigEndian.Uint64(rest[:8])
-	n := int(binary.BigEndian.Uint32(rest[8:12]))
+	flags := rest[8]
+	if flags&^1 != 0 {
+		return fmt.Errorf("%w: unknown replication batch flags %#x", ErrFramePayload, flags)
+	}
+	n := int(binary.BigEndian.Uint32(rest[9:13]))
 	if n > MaxReplBatch {
 		return fmt.Errorf("%w: replication batch of %d exceeds %d", ErrFramePayload, n, MaxReplBatch)
 	}
-	rest = rest[12:]
+	rest = rest[13:]
 	m.Chain = ch
 	m.FirstSeq = firstSeq
+	m.Retx = flags&1 != 0
 	// Reslice before appending: slot i of the previous journey is read
 	// (for the channel-id reuse) before slot i is overwritten.
 	old := m.Ops
@@ -709,6 +720,31 @@ func (m *ReplBatchAck) DecodePayload(src []byte) error {
 	}
 	m.Chain = ch
 	m.Seq = binary.BigEndian.Uint64(rest)
+	return nil
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *ReplNack) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendString(dst, m.Chain)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, m.WantSeq)
+	return binary.BigEndian.AppendUint64(dst, m.HaveThrough), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *ReplNack) DecodePayload(src []byte) error {
+	ch, rest, err := readString(src, m.Chain)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 16 {
+		return ErrFrameTruncated
+	}
+	m.Chain = ch
+	m.WantSeq = binary.BigEndian.Uint64(rest[:8])
+	m.HaveThrough = binary.BigEndian.Uint64(rest[8:16])
 	return nil
 }
 

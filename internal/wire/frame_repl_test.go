@@ -35,10 +35,14 @@ func sampleReplBatch(n int) *ReplBatch {
 func TestReplBatchRoundTrip(t *testing.T) {
 	from := testIdentity()
 	token := []byte("0123456789abcdef0123456789abcdef")
+	retx := sampleReplBatch(3)
+	retx.Retx = true
 	for _, msg := range []Message{
 		sampleReplBatch(1),
 		sampleReplBatch(64),
+		retx,
 		&ReplBatchAck{Chain: "cc-0123456789abcdef", Seq: 1063},
+		&ReplNack{Chain: "cc-0123456789abcdef", WantSeq: 1010, HaveThrough: 1009},
 	} {
 		frame, err := AppendFrame(nil, from, token, msg)
 		if err != nil {
@@ -80,8 +84,9 @@ func TestReplBatchRejectsOversizedAndTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Chain prefix is 1+len bytes; the count lives after the 8-byte seq.
-	countOff := 1 + int(payload[0]) + 8
+	// Chain prefix is 1+len bytes; the count lives after the 8-byte seq
+	// and the flags byte.
+	countOff := 1 + int(payload[0]) + 8 + 1
 	payload[countOff] = 0xff
 	payload[countOff+1] = 0xff
 	payload[countOff+2] = 0xff
@@ -94,6 +99,20 @@ func TestReplBatchRejectsOversizedAndTruncated(t *testing.T) {
 	if err := b.DecodePayload(append(payload2, 0)); err == nil {
 		t.Fatal("accepted trailing bytes after the batch")
 	}
+	// Unknown flag bits are rejected: the flags byte sits after the seq.
+	payload3, _ := sampleReplBatch(1).AppendPayload(nil)
+	payload3[1+int(payload3[0])+8] = 0x80
+	if err := b.DecodePayload(payload3); err == nil {
+		t.Fatal("accepted a batch with unknown flag bits")
+	}
+	// A truncated ReplNack errors rather than panicking.
+	var nack ReplNack
+	np, _ := (&ReplNack{Chain: "cc", WantSeq: 7, HaveThrough: 6}).AppendPayload(nil)
+	for cut := 0; cut < len(np); cut++ {
+		if err := nack.DecodePayload(np[:cut]); err == nil {
+			t.Fatalf("accepted nack truncated at %d", cut)
+		}
+	}
 }
 
 // TestReplBatchAllocationBudget pins the flusher's steady-state framing
@@ -105,6 +124,7 @@ func TestReplBatchAllocationBudget(t *testing.T) {
 	token := []byte("0123456789abcdef0123456789abcdef")
 	batch := sampleReplBatch(64)
 	ack := &ReplBatchAck{Chain: batch.Chain, Seq: batch.FirstSeq + 63}
+	nack := &ReplNack{Chain: batch.Chain, WantSeq: batch.FirstSeq, HaveThrough: batch.FirstSeq - 1}
 	var stream []byte
 	for i := 0; i < 2; i++ {
 		var err error
@@ -114,15 +134,17 @@ func TestReplBatchAllocationBudget(t *testing.T) {
 		if stream, err = AppendFrame(stream, from, token, ack); err != nil {
 			t.Fatal(err)
 		}
+		if stream, err = AppendFrame(stream, from, token, nack); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var buf []byte
 	rd := bytes.NewReader(stream)
 	fr := NewFrameReader(rd)
-	if _, err := fr.Next(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := fr.Next(); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 3; i++ {
+		if _, err := fr.Next(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	avg := testing.AllocsPerRun(1000, func() {
 		var err error
@@ -132,8 +154,11 @@ func TestReplBatchAllocationBudget(t *testing.T) {
 		if buf, err = AppendFrame(buf, from, token, ack); err != nil {
 			t.Fatal(err)
 		}
+		if buf, err = AppendFrame(buf, from, token, nack); err != nil {
+			t.Fatal(err)
+		}
 		rd.Reset(stream)
-		for i := 0; i < 4; i++ {
+		for i := 0; i < 6; i++ {
 			if _, err := fr.Next(); err != nil {
 				t.Fatal(err)
 			}

@@ -348,13 +348,17 @@ func (m *MhAck) WireSize() int { return hdrSize + idOverhead + 1 + len(m.Reason)
 // (e.g. a locked or underfunded channel downstream), travelling backward
 // and releasing locks. After the sign stage completes, aborting is no
 // longer possible — the payment either completes or is ejected.
+// Transient marks benign aborts (a stale τ built from raced balances, a
+// channel mid-way through another payment) that the initiator may
+// simply retry; it rides back unchanged through every hop.
 type MhAbort struct {
-	Payment PaymentID
-	Reason  string
+	Payment   PaymentID
+	Reason    string
+	Transient bool
 }
 
 // WireSize implements Message.
-func (m *MhAbort) WireSize() int { return hdrSize + idOverhead + len(m.Reason) }
+func (m *MhAbort) WireSize() int { return hdrSize + idOverhead + 1 + len(m.Reason) }
 
 // --- Force-freeze chain replication (Alg. 3) ---
 
@@ -395,11 +399,15 @@ func (m *ReplAttachAck) WireSize() int { return hdrSize + idOverhead + keySize }
 // ReplUpdate propagates a sequenced state update down the chain
 // (Alg. 3, stateUpdate). Op is the state-machine operation the backup
 // applies to its mirror; op types are defined by the core package and
-// must be gob-registered for byte transports.
+// must be gob-registered for byte transports. Retx marks a
+// retransmission served from the primary's replication log in response
+// to a ReplNack or a stall-watchdog trip: mirrors treat a Retx
+// duplicate as ack repair (re-acknowledge) rather than an error.
 type ReplUpdate struct {
 	Chain string
 	Seq   uint64
 	Op    any
+	Retx  bool
 }
 
 // WireSize implements Message.
@@ -473,12 +481,17 @@ type ReplBatchOp struct {
 type ReplBatch struct {
 	Chain    string
 	FirstSeq uint64
-	Ops      []ReplBatchOp
+	// Retx marks a retransmission served from the primary's replication
+	// log (ReplNack recovery or stall-watchdog probe). Mirrors treat a
+	// Retx duplicate as lost-ack repair — re-emit the cumulative ack —
+	// instead of rejecting it.
+	Retx bool
+	Ops  []ReplBatchOp
 }
 
 // WireSize implements Message.
 func (m *ReplBatch) WireSize() int {
-	return hdrSize + idOverhead + 12 + len(m.Ops)*(1+idOverhead+12)
+	return hdrSize + idOverhead + 13 + len(m.Ops)*(1+idOverhead+12)
 }
 
 // ReplBatchAck cumulatively acknowledges every replication update with
@@ -492,6 +505,23 @@ type ReplBatchAck struct {
 
 // WireSize implements Message.
 func (m *ReplBatchAck) WireSize() int { return hdrSize + idOverhead + 8 }
+
+// ReplNack reports a replication sequence gap upstream: the sender has
+// applied every update with sequence number <= HaveThrough and needs
+// the stream to resume at WantSeq (= HaveThrough+1). Mirrors emit it
+// when a ReplBatch/ReplUpdate arrives ahead of sequence (the frames in
+// between were lost or reordered beyond the reorder buffer); middles
+// relay it toward the primary, whose flusher retransmits the missing
+// range from its replication log with the Retx flag set. NACKs are
+// advisory — loss of a ReplNack is itself healed by the stall watchdog.
+type ReplNack struct {
+	Chain       string
+	WantSeq     uint64
+	HaveThrough uint64
+}
+
+// WireSize implements Message.
+func (m *ReplNack) WireSize() int { return hdrSize + idOverhead + 16 }
 
 // ReplFreeze force-freezes the chain: all members stop accepting
 // updates, settle channels, and release deposits (§6).
@@ -625,6 +655,7 @@ func init() {
 		&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
 		&ReplBatch{}, &ReplBatchAck{},
 		&ChanResume{}, &ChanResumeAck{}, &ReplResync{}, &ReplResyncAck{},
+		&ReplNack{},
 	} {
 		gob.Register(m)
 	}
