@@ -28,6 +28,12 @@
 //	teechain-bench -socket -durable
 //	teechain-bench -socket -durable -durjson F -durcompare BENCH_durability.json
 //
+// Routed-payment benchmarking (gossip graph, fee-aware pathfinding,
+// routed multihop over a random topology, see routing.go):
+//
+//	teechain-bench -socket -route
+//	teechain-bench -socket -route -routejson F -routecompare BENCH_routing.json
+//
 // Overload benchmarking (admission control under overdrive, see
 // overload.go):
 //
@@ -69,6 +75,11 @@ func main() {
 	durable := flag.Bool("durable", false, "with -socket: run the durability benchmark (WAL-durable vs in-memory sender) instead of channel scaling")
 	durJSON := flag.String("durjson", "", "with -socket -durable: write the durability snapshot as JSON to this file")
 	durCompare := flag.String("durcompare", "", "with -socket -durable: compare against this baseline JSON and exit nonzero on >25% durable tx/s regression or a durable/in-memory ratio below 0.25")
+	routeBench := flag.Bool("route", false, "with -socket: run the routed-payment benchmark (gossip graph, fee-aware pathfinding, routed multihop) instead of channel scaling")
+	routePay := flag.Int("rpay", 200, "with -socket -route: routed payments per run")
+	routeFinds := flag.Int("rfinds", 2000, "with -socket -route: pathfinding queries per run")
+	routeJSON := flag.String("routejson", "", "with -socket -route: write the routing snapshot as JSON to this file")
+	routeCompare := flag.String("routecompare", "", "with -socket -route: compare against this baseline JSON and exit nonzero on >25% routed tx/s regression or >25% path-find p99 regression")
 	overdrive := flag.Int("overdrive", 0, "with -socket: run the overload benchmark at this offered-load multiple (e.g. 10) instead of channel scaling")
 	overloadJSON := flag.String("overloadjson", "", "with -socket -overdrive: write the overload snapshot as JSON to this file")
 	overloadCompare := flag.String("overloadcompare", "", "with -socket -overdrive: compare against this baseline JSON and exit nonzero on a flat-p99 violation or >25% admitted tx/s regression")
@@ -102,6 +113,37 @@ func main() {
 	}
 	if *durJSON != "" || *durCompare != "" {
 		log.Fatal("-durjson/-durcompare require -socket -durable")
+	}
+
+	if *routeBench {
+		if !*socket {
+			log.Fatal("-route requires -socket")
+		}
+		if *committee != "" {
+			log.Fatal("-route and -committee are separate benchmarks; pick one")
+		}
+		if *quick {
+			*routePay = 100
+			*routeFinds = 500
+		}
+		snap, err := runRouteSuite(*routePay, *routeFinds, *sreps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *routeJSON != "" {
+			if err := writeRouteJSON(*routeJSON, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *routeCompare != "" {
+			if err := compareRouteBaseline(*routeCompare, snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *routeJSON != "" || *routeCompare != "" {
+		log.Fatal("-routejson/-routecompare require -socket -route")
 	}
 
 	if *overdrive > 0 {

@@ -1,0 +1,226 @@
+package main
+
+// The routing benchmark measures the two costs the routing subsystem
+// adds on top of raw channels: what a fee-aware pathfinding query costs
+// against a converged gossip graph (p50/p99 over thousands of random
+// src→dst queries), and what routed multihop throughput looks like when
+// every sender names only a target identity and the graph supplies
+// paths, fee schedules, and repathing (all payments concurrently in
+// flight over a seeded random topology). The committed
+// BENCH_routing.json records both and CI gates on >25% regression on
+// routed tx/s and on path-find p99.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/harness"
+	"teechain/internal/route"
+	"teechain/internal/transport"
+)
+
+// The benchmark topology: small enough to deploy in seconds over real
+// TCP, large enough that paths have real length (mean > 2 hops) and the
+// pathfinder has alternatives to rank by fee.
+const (
+	routeBenchSeed    = 11
+	routeBenchNodes   = 16
+	routeBenchExtra   = 12 // chords beyond the funding cycle
+	routeBenchDeposit = chain.Amount(50_000)
+)
+
+// routeSnapshot is the routing-bench record tracked across PRs.
+type routeSnapshot struct {
+	GoMaxProcs int     `json:"go_max_procs"`
+	Seed       int64   `json:"seed"`
+	Nodes      int     `json:"nodes"`
+	Channels   int     `json:"channels"`
+	Payments   int     `json:"payments"`
+	PathFinds  int     `json:"path_finds"`
+	TxPerSec   float64 `json:"routed_tx_per_s"`
+	MeanHops   float64 `json:"mean_hops"`
+	PathP50Us  float64 `json:"path_find_p50_us"`
+	PathP99Us  float64 `json:"path_find_p99_us"`
+}
+
+// runRouteBench deploys the seeded topology over real sockets, waits
+// for every node's gossip graph to converge, then measures pathfinding
+// latency on the quiet graph and routed-payment throughput with all
+// payments concurrently in flight. Transient collisions retry inside
+// PayRouted and (with a jittered pause) here, exactly as a real caller
+// would; every payment must land for the measurement to count.
+func runRouteBench(payments, pathfinds int) (*routeSnapshot, error) {
+	snap := &routeSnapshot{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       routeBenchSeed,
+		Nodes:      routeBenchNodes,
+		Payments:   payments,
+		PathFinds:  pathfinds,
+	}
+	rn := harness.BuildRoutedNet(routeBenchSeed, routeBenchNodes, routeBenchExtra, routeBenchDeposit)
+	snap.Channels = len(rn.Channels)
+	fees := rn.FeePolicies()
+	c, err := harness.NewClusterWith(func(cfg *transport.Config) {
+		fee := fees[cfg.Name]
+		cfg.FeeBase = fee.Base
+		cfg.FeeRatePPM = fee.RatePPM
+	}, rn.Nodes...)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if _, err := rn.Deploy(c); err != nil {
+		return nil, err
+	}
+	if err := rn.AwaitGraphs(c, harness.ClusterTimeout); err != nil {
+		return nil, err
+	}
+
+	// Pathfinding cost on the quiet, converged graph: random ordered
+	// pairs, so queries span the whole hop-length distribution. The
+	// cycle construction guarantees every pair is routable.
+	rng := rand.New(rand.NewSource(routeBenchSeed + 3))
+	lats := make([]time.Duration, 0, pathfinds)
+	for i := 0; i < pathfinds; i++ {
+		si := rng.Intn(routeBenchNodes)
+		di := rng.Intn(routeBenchNodes)
+		for di == si {
+			di = rng.Intn(routeBenchNodes)
+		}
+		h := c.Host(rn.Nodes[si])
+		dst := c.Identity(rn.Nodes[di])
+		t0 := time.Now()
+		if _, err := h.FindRoute(dst, chain.Amount(1+rng.Intn(5))); err != nil {
+			return nil, fmt.Errorf("path find %s->%s: %w", rn.Nodes[si], rn.Nodes[di], err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	snap.PathP50Us = float64(lats[len(lats)/2].Microseconds())
+	snap.PathP99Us = float64(lats[len(lats)*99/100].Microseconds())
+
+	// Routed throughput: every payment in flight at once, each naming
+	// only its target identity.
+	type job struct {
+		src, dst string
+		amount   chain.Amount
+	}
+	jobs := make([]job, payments)
+	for i := range jobs {
+		si := rng.Intn(routeBenchNodes)
+		di := rng.Intn(routeBenchNodes)
+		for di == si {
+			di = rng.Intn(routeBenchNodes)
+		}
+		jobs[i] = job{src: rn.Nodes[si], dst: rn.Nodes[di], amount: chain.Amount(1 + rng.Intn(5))}
+	}
+	routes := make([]route.Route, payments)
+	errs := make([]error, payments)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng2 := rand.New(rand.NewSource(routeBenchSeed + 100 + int64(i)))
+			j := jobs[i]
+			dst := c.Identity(j.dst)
+			deadline := time.Now().Add(harness.ClusterTimeout)
+			for {
+				r, err := c.Host(j.src).PayRouted(dst, j.amount, harness.ClusterTimeout)
+				if err == nil {
+					routes[i] = r
+					return
+				}
+				if time.Now().After(deadline) {
+					errs[i] = err
+					return
+				}
+				time.Sleep(time.Duration(20+rng2.Intn(40)) * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	hopTotal := 0
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("routed payment %d (%s->%s, %d): %w",
+				i, jobs[i].src, jobs[i].dst, jobs[i].amount, errs[i])
+		}
+		hopTotal += len(routes[i].Hops)
+	}
+	snap.TxPerSec = float64(payments) / elapsed.Seconds()
+	snap.MeanHops = float64(hopTotal) / float64(payments)
+	return snap, nil
+}
+
+func runRouteSuite(payments, pathfinds, reps int) (*routeSnapshot, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("routing bench: GOMAXPROCS=%d, %d nodes, %d payments/run, %d path finds, best of %d\n",
+		runtime.GOMAXPROCS(0), routeBenchNodes, payments, pathfinds, reps)
+	var best *routeSnapshot
+	for rep := 0; rep < reps; rep++ {
+		snap, err := runRouteBench(payments, pathfinds)
+		if err != nil {
+			return nil, fmt.Errorf("routing bench: %w", err)
+		}
+		if best == nil || snap.TxPerSec > best.TxPerSec {
+			best = snap
+		}
+	}
+	fmt.Printf("%8s %10s %12s %14s %14s\n", "nodes", "channels", "routed tx/s", "pathfind p50", "pathfind p99")
+	fmt.Printf("%8d %10d %12.0f %12.0fus %12.0fus\n",
+		best.Nodes, best.Channels, best.TxPerSec, best.PathP50Us, best.PathP99Us)
+	fmt.Printf("mean path length %.2f hops\n", best.MeanHops)
+	return best, nil
+}
+
+func writeRouteJSON(path string, snap *routeSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// compareRouteBaseline is the CI gate for the routing subsystem: routed
+// throughput may not fall more than 25% below the committed baseline,
+// and pathfinding p99 may not rise more than 25% above it.
+func compareRouteBaseline(path string, fresh *routeSnapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading routing baseline: %w", err)
+	}
+	var base routeSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing routing baseline %s: %w", path, err)
+	}
+	floor := base.TxPerSec * 0.75
+	if fresh.TxPerSec < floor {
+		return fmt.Errorf("routed perf regression: %.0f tx/s is more than 25%% below baseline %.0f (floor %.0f)",
+			fresh.TxPerSec, base.TxPerSec, floor)
+	}
+	ceiling := base.PathP99Us * 1.25
+	if fresh.PathP99Us > ceiling {
+		return fmt.Errorf("pathfinding regression: p99 %.0fus is more than 25%% above baseline %.0fus (ceiling %.0fus)",
+			fresh.PathP99Us, base.PathP99Us, ceiling)
+	}
+	fmt.Printf("routing perf gate passed: %.0f tx/s >= floor %.0f, pathfind p99 %.0fus <= ceiling %.0fus\n",
+		fresh.TxPerSec, floor, fresh.PathP99Us, ceiling)
+	return nil
+}

@@ -64,6 +64,8 @@ type nodeConfig struct {
 	MinConfirmations uint64   `json:"min_confirmations"`
 	Pprof            string   `json:"pprof"`
 	Data             string   `json:"data"`
+	FeeBase          int64    `json:"fee_base"`
+	FeeRatePPM       uint64   `json:"fee_rate_ppm"`
 }
 
 func main() {
@@ -80,6 +82,8 @@ func main() {
 		minConf     = flag.Uint64("min-confirmations", 0, "deposit approval depth (default 1)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 		dataDir     = flag.String("data", "", "data directory for durable enclave state (WAL + sealed snapshots); empty = in-memory only")
+		feeBase     = flag.Int64("fee-base", 0, "flat forwarding fee charged per relayed payment (default 0: relay for free)")
+		feeRate     = flag.Uint64("fee-rate", 0, "proportional forwarding fee in parts per million of the forwarded amount, 0..1000000 (default 0)")
 	)
 	flag.Parse()
 
@@ -112,6 +116,21 @@ func main() {
 	}
 	if *minConf != 0 {
 		cfg.MinConfirmations = *minConf
+	}
+	if *feeBase != 0 {
+		cfg.FeeBase = *feeBase
+	}
+	if *feeRate != 0 {
+		cfg.FeeRatePPM = *feeRate
+	}
+	// Reject a malformed policy before the node boots: a typo'd fee
+	// should die here with the offending value, not surface later as a
+	// generic enclave-boot failure.
+	if cfg.FeeBase < 0 {
+		log.Fatalf("teechain-node: -fee-base %d is negative", cfg.FeeBase)
+	}
+	if cfg.FeeRatePPM > 1_000_000 {
+		log.Fatalf("teechain-node: -fee-rate %d exceeds 1000000 ppm (100%%)", cfg.FeeRatePPM)
 	}
 	if cfg.Authority == "" {
 		cfg.Authority = "teechain"
@@ -182,6 +201,8 @@ func run(cfg nodeConfig) error {
 		WalletSeed:       cfg.WalletSeed,
 		MinConfirmations: cfg.MinConfirmations,
 		DataDir:          cfg.Data,
+		FeeBase:          chain.Amount(cfg.FeeBase),
+		FeeRatePPM:       uint32(cfg.FeeRatePPM),
 		Logf: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
@@ -190,6 +211,9 @@ func run(cfg nodeConfig) error {
 		return err
 	}
 	defer host.Close()
+	if cfg.FeeBase != 0 || cfg.FeeRatePPM != 0 {
+		log.Printf("%s: forwarding fee policy: base %d + %d ppm", cfg.Name, cfg.FeeBase, cfg.FeeRatePPM)
+	}
 
 	if cfg.Listen != "" {
 		addr, err := host.Listen(cfg.Listen)

@@ -49,8 +49,10 @@ import (
 // CodeRecovering, and the snapshot/WAL-lag/recovered event kinds. v3
 // added overload control — CodeOverloaded, the RetryAfterMillis
 // response field (a PayResp wire-layout change, hence the bump), and
-// the overload/replication-stall event kinds.
-const Version = 3
+// the overload/replication-stall event kinds. v4 added payment routing:
+// Route/RoutedPay requests, the route-update event kind, and the
+// routing block in StatsResp.
+const Version = 4
 
 // MaxPayCount bounds PayReq.Count: a single request may issue at most
 // this many payments. The bound keeps a hostile (or fuzzed) count from
@@ -384,6 +386,74 @@ type MultihopResp struct {
 // WireSize implements wire.Message.
 func (m *MultihopResp) WireSize() int { return apiHdr + 8 }
 
+// --- Routing (protocol v4) ---
+
+// RouteInfo describes one payment path: the full hop list (sender
+// first, target last), the per-hop forwarding fee schedule (aligned
+// with Hops, zero at both endpoints), the amount the target receives,
+// and the send amount — Amount plus every fee — debited from the
+// sender's first channel.
+type RouteInfo struct {
+	Hops   []cryptoutil.PublicKey
+	Fees   []chain.Amount
+	Amount chain.Amount
+	Send   chain.Amount
+}
+
+// TotalFee is the route's cost beyond the delivered amount.
+func (r RouteInfo) TotalFee() chain.Amount { return r.Send - r.Amount }
+
+func (r RouteInfo) wireSize() int { return len(r.Hops)*(keySize+8) + 16 }
+
+// RouteReq asks the node's fee-aware pathfinder for the cheapest
+// currently-known route delivering Amount to Target (a peer name or
+// hex identity) — a dry run of RoutedPayReq's path choice.
+type RouteReq struct {
+	ReqHeader
+	Target string
+	Amount chain.Amount
+}
+
+// WireSize implements wire.Message.
+func (m *RouteReq) WireSize() int { return apiHdr + 16 + len(m.Target) }
+
+// RouteResp carries the found route. CodeNotFound reports that no open
+// path with sufficient announced capacity reaches the target.
+type RouteResp struct {
+	RespHeader
+	Route RouteInfo
+}
+
+// WireSize implements wire.Message.
+func (m *RouteResp) WireSize() int { return apiHdr + 8 + m.Route.wireSize() }
+
+// RoutedPayReq pays Amount to Target (a peer name or hex identity)
+// with no explicit path: the node's pathfinder supplies the hops and
+// the fee schedule from its gossip graph, and benign mid-payment
+// aborts fall back to alternate routes server-side. The sender is
+// debited the route's Send amount (Amount plus fees); the target
+// receives exactly Amount.
+type RoutedPayReq struct {
+	ReqHeader
+	Target string
+	Amount chain.Amount
+}
+
+// WireSize implements wire.Message.
+func (m *RoutedPayReq) WireSize() int { return apiHdr + 16 + len(m.Target) }
+
+// RoutedPayResp reports the route the payment actually took.
+// CodeNacked with a retry hint means every candidate route aborted
+// transiently — retry to repath against a fresher graph
+// (client.Retrier automates this).
+type RoutedPayResp struct {
+	RespHeader
+	Route RouteInfo
+}
+
+// WireSize implements wire.Message.
+func (m *RoutedPayResp) WireSize() int { return apiHdr + 8 + m.Route.wireSize() }
+
 // --- Committees and settlement ---
 
 // CommitteeReq forms this node's committee chain from the named peers
@@ -563,19 +633,33 @@ type StatsReq struct {
 // WireSize implements wire.Message.
 func (m *StatsReq) WireSize() int { return apiHdr + 8 }
 
+// RoutingStatsEntry snapshots the node's routing plane (protocol v4):
+// the gossip graph size, the flood-guard counters, and the node's own
+// forwarding fee policy.
+type RoutingStatsEntry struct {
+	Nodes      int    // distinct endpoints across open edges
+	Edges      int    // open directed edges in the graph
+	Suppressed uint64 // stale announcements dropped by the flood guard
+	Dropped    uint64 // announcements lost to full gossip queues
+	FeeBase    chain.Amount
+	FeeRatePPM uint32
+}
+
 // StatsResp carries the structured stats. Channels is sorted by
 // channel id. HasCommittee gates Committee (the node may neither own
-// nor mirror a chain).
+// nor mirror a chain). Routing (protocol v4) is always present — every
+// node runs the gossip plane.
 type StatsResp struct {
 	RespHeader
 	Host         HostStats
 	Channels     []ChannelStatsEntry
 	HasCommittee bool
 	Committee    CommitteeStatsEntry
+	Routing      RoutingStatsEntry
 }
 
 // WireSize implements wire.Message.
-func (m *StatsResp) WireSize() int { return apiHdr + 80 + len(m.Channels)*64 + 64 }
+func (m *StatsResp) WireSize() int { return apiHdr + 80 + len(m.Channels)*64 + 64 + 40 }
 
 // --- Event streaming ---
 
@@ -594,6 +678,7 @@ const (
 	EventRecovered   EventKind = 8  // crash recovery completed; payments accepted
 	EventOverload    EventKind = 9  // admission shedding started (Count 1) or stopped (Count 0)
 	EventReplStalled EventKind = 10 // replication ack cursor stuck with ops pending
+	EventRouteUpdate EventKind = 11 // the node's view of the channel graph changed
 )
 
 // Mask returns the subscription bit for the kind.
@@ -638,6 +723,7 @@ func (m *SubscribeResp) WireSize() int { return apiHdr + 8 }
 //	EventRecovered                 (no fields)
 //	EventOverload                  Count (1 shedding, 0 recovered), Cursor (retry hint, ms)
 //	EventReplStalled               Chain, Cursor (the stuck ack seq)
+//	EventRouteUpdate               Channel (the edge that changed), Count (open edges), Cursor (nodes)
 type Event struct {
 	Seq     uint64
 	Kind    EventKind
@@ -752,6 +838,8 @@ func Messages() []wire.Message {
 		// v2 durability surface — appended so v1 codes are unchanged.
 		&WalStatsReq{}, &WalStatsResp{}, &SnapshotNowReq{}, &SnapshotNowResp{},
 		&RecoverReq{}, &RecoverResp{},
+		// v4 routing surface.
+		&RouteReq{}, &RouteResp{}, &RoutedPayReq{}, &RoutedPayResp{},
 	}
 }
 

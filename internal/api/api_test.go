@@ -16,10 +16,11 @@ import (
 // registry with its pinned, stable code (the codes are the protocol —
 // reordering Messages() or the wire registry breaks deployed nodes).
 func TestRegistryComplete(t *testing.T) {
-	// The enclave protocol occupies codes 1..40 (see wire's registry;
-	// 36-39 are the durable-mode resume messages, 40 is ReplNack); api
-	// registration appends deterministically after it.
-	const apiBase = 41
+	// The enclave protocol occupies codes 1..42 (see wire's registry;
+	// 36-39 are the durable-mode resume messages, 40 is ReplNack, 41-42
+	// the channel-graph gossip pair); api registration appends
+	// deterministically after it.
+	const apiBase = 43
 	msgs := Messages()
 	if len(msgs) == 0 {
 		t.Fatal("no api messages listed")

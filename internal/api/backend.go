@@ -56,6 +56,14 @@ type Backend interface {
 	// Multihop routes amount along hops (peer names or hex identities,
 	// excluding this node) and blocks for the outcome.
 	Multihop(amount chain.Amount, hops []string, timeout time.Duration) error
+	// Route runs the fee-aware pathfinder without paying: the cheapest
+	// known route delivering amount to target (a peer name or hex
+	// identity). CodeNotFound when no sufficient path is known.
+	Route(target string, amount chain.Amount) (RouteInfo, error)
+	// PayRouted pays amount to target over a pathfinder-chosen route,
+	// falling back across alternates on benign aborts, and blocks for
+	// the outcome. It returns the route actually paid.
+	PayRouted(target string, amount chain.Amount, timeout time.Duration) (RouteInfo, error)
 	// FormCommittee forms this node's committee chain, returning its id.
 	FormCommittee(members []string, m int, timeout time.Duration) (string, error)
 	// Settle terminates a channel on chain.

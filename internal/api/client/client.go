@@ -486,6 +486,43 @@ func (c *Conn) Multihop(amount chain.Amount, hops ...string) error {
 	})
 }
 
+// Route asks the node's fee-aware pathfinder for the cheapest
+// currently-known route delivering amount to target (a peer name or
+// hex identity) without paying — a dry run of PayRouted's path choice.
+func (c *Conn) Route(target string, amount chain.Amount) (api.RouteInfo, error) {
+	resp, err := c.do(&api.RouteReq{Target: target, Amount: amount})
+	if err != nil {
+		return api.RouteInfo{}, err
+	}
+	return resp.(*api.RouteResp).Route, nil
+}
+
+// PayRouted pays amount to target (a peer name or hex identity) with
+// no explicit path: the serving node's pathfinder supplies the hops
+// and fee schedule from its gossip graph. Transient nacks — every
+// candidate route aborted benignly — are retried here under the
+// SetMultihopRetry policy; each retry repaths against the node's then-
+// current graph. The route actually paid is returned; its TotalFee is
+// what the payment cost beyond amount.
+func (c *Conn) PayRouted(target string, amount chain.Amount) (api.RouteInfo, error) {
+	c.mu.Lock()
+	r := c.mhRetry
+	c.mu.Unlock()
+	if r.Retryable == nil {
+		r.Retryable = IsTransientNack
+	}
+	var route api.RouteInfo
+	err := r.Do(func() error {
+		resp, err := c.do(&api.RoutedPayReq{Target: target, Amount: amount})
+		if err != nil {
+			return err
+		}
+		route = resp.(*api.RoutedPayResp).Route
+		return nil
+	})
+	return route, err
+}
+
 // Committee forms the node's committee chain from members (in chain
 // order) with threshold m, returning the chain id.
 func (c *Conn) Committee(m int, members ...string) (string, error) {

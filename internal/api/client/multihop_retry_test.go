@@ -39,6 +39,12 @@ func (s *stubBackend) AwaitPaid(api.PayCursor, time.Duration) error { return nil
 func (s *stubBackend) Multihop(amount chain.Amount, hops []string, timeout time.Duration) error {
 	return s.mh()
 }
+func (s *stubBackend) Route(string, chain.Amount) (api.RouteInfo, error) {
+	return api.RouteInfo{}, nil
+}
+func (s *stubBackend) PayRouted(string, chain.Amount, time.Duration) (api.RouteInfo, error) {
+	return api.RouteInfo{}, s.mh()
+}
 func (s *stubBackend) FormCommittee([]string, int, time.Duration) (string, error) {
 	return "", nil
 }

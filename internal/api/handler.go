@@ -136,6 +136,32 @@ func (h *Handler) Do(req Request) Response {
 		}
 		fill(&resp.RespHeader, id, err)
 		return resp
+	case *RouteReq:
+		resp := &RouteResp{}
+		var err error
+		switch {
+		case r.Amount <= 0:
+			err = Errorf(CodeBadRequest, "bad route amount %d", r.Amount)
+		case r.Target == "":
+			err = Errorf(CodeBadRequest, "empty route target")
+		default:
+			resp.Route, err = h.b.Route(r.Target, r.Amount)
+		}
+		fill(&resp.RespHeader, id, err)
+		return resp
+	case *RoutedPayReq:
+		resp := &RoutedPayResp{}
+		var err error
+		switch {
+		case r.Amount <= 0:
+			err = Errorf(CodeBadRequest, "bad routed payment amount %d", r.Amount)
+		case r.Target == "":
+			err = Errorf(CodeBadRequest, "empty routed payment target")
+		default:
+			resp.Route, err = h.b.PayRouted(r.Target, r.Amount, h.timeout())
+		}
+		fill(&resp.RespHeader, id, err)
+		return resp
 	case *CommitteeReq:
 		resp := &CommitteeResp{}
 		var err error

@@ -9,6 +9,7 @@ import (
 
 	"teechain/internal/chain"
 	"teechain/internal/cryptoutil"
+	"teechain/internal/route"
 	"teechain/internal/tee"
 	"teechain/internal/wire"
 )
@@ -175,9 +176,28 @@ type Enclave struct {
 	outsourceUser    cryptoutil.PublicKey
 	outsourcePending map[wire.ChannelID][]uint64
 
+	// feePolicy is the forwarding fee this enclave charges per
+	// multi-hop payment it relays (zero by default). Locks whose fee
+	// schedule undercuts it are refused with a Transient abort, so the
+	// announced policy is enclave-enforced, not just advisory gossip.
+	feePolicy route.FeePolicy
+
 	counterName string
 	keySeq      uint64
 }
+
+// SetFeePolicy installs the forwarding fee policy. Call it before the
+// enclave starts relaying (the host sets it from its config at boot).
+func (e *Enclave) SetFeePolicy(p route.FeePolicy) error {
+	if !p.Valid() {
+		return fmt.Errorf("core: invalid fee policy %+v", p)
+	}
+	e.feePolicy = p
+	return nil
+}
+
+// FeePolicy returns the forwarding fee policy this enclave enforces.
+func (e *Enclave) FeePolicy() route.FeePolicy { return e.feePolicy }
 
 // NewEnclave launches the Teechain program on a platform.
 func NewEnclave(platform *tee.Platform, authority cryptoutil.PublicKey, cfg Config) (*Enclave, error) {

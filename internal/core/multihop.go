@@ -32,6 +32,74 @@ func pathIndexOf(path []wire.PathHop, id cryptoutil.PublicKey) int {
 	return -1
 }
 
+// validateMhPath rejects malformed paths before any channel is locked:
+// too short to name a counterparty, or visiting an identity twice. A
+// cyclic path would ask one node to lock two of its channels under a
+// single MultihopState whose Index can only point at one position,
+// deadlocking the stage machine — so it must never get as far as a
+// lock. Two-hop paths (a single channel) are legal: the lane's
+// optimistic Pay can be nacked after the sender's call returned, so a
+// caller that needs a definite per-payment verdict — routed payments
+// above all — runs even adjacent pairs through the lock/sign/update
+// stages.
+func validateMhPath(path []wire.PathHop) error {
+	if len(path) < 2 {
+		return errors.New("core: multi-hop path needs at least two hops")
+	}
+	seen := make(map[cryptoutil.PublicKey]bool, len(path))
+	for _, hop := range path {
+		if seen[hop.Identity] {
+			return fmt.Errorf("core: path visits %s twice", hop.Identity)
+		}
+		seen[hop.Identity] = true
+	}
+	return nil
+}
+
+// validateMhFees checks a lock's fee schedule against its path: either
+// empty (a fee-free legacy payment) or exactly one non-negative entry
+// per hop with zero at both endpoints (the initiator spends, the
+// recipient receives; neither forwards).
+func validateMhFees(path []wire.PathHop, fees []chain.Amount) error {
+	if len(fees) == 0 {
+		return nil
+	}
+	if len(fees) != len(path) {
+		return fmt.Errorf("core: %d fees for %d hops", len(fees), len(path))
+	}
+	if fees[0] != 0 || fees[len(fees)-1] != 0 {
+		return errors.New("core: endpoint hops cannot charge forwarding fees")
+	}
+	var total chain.Amount
+	for _, f := range fees {
+		if f < 0 {
+			return fmt.Errorf("core: negative forwarding fee %d", f)
+		}
+		total += f
+		if total < 0 {
+			return errors.New("core: fee schedule overflows")
+		}
+	}
+	return nil
+}
+
+// mhInOut returns what hop idx receives from upstream (in) and forwards
+// downstream (out): in = amount + Σ fees[idx:], out = in − fees[idx].
+// Fees compound toward the sender, so the initiator's out is the full
+// debit (amount plus every fee) and the recipient's in is exactly
+// amount. An empty schedule degenerates to in = out = amount.
+func mhInOut(amount chain.Amount, fees []chain.Amount, idx int) (in, out chain.Amount) {
+	in = amount
+	for i := len(fees) - 1; i >= idx; i-- {
+		in += fees[i]
+	}
+	out = in
+	if idx < len(fees) {
+		out -= fees[idx]
+	}
+	return in, out
+}
+
 // channelTo selects an open, idle channel to peer with at least amount
 // of our balance, preferring permanent channels over temporary ones
 // only when both qualify (temporary channels exist to absorb load,
@@ -188,16 +256,31 @@ func (e *Enclave) mhChannels(mh *MultihopState) (up, down *ChannelState) {
 	return up, down
 }
 
-// PayMultihop initiates a multi-hop payment along path (payMultihop,
-// Alg. 2 line 3). The initiator must be path[0] and the final recipient
-// path[len-1]; intermediaries forward and the whole path updates
-// atomically or not at all.
+// PayMultihop initiates a fee-free multi-hop payment along path
+// (payMultihop, Alg. 2 line 3). The initiator must be path[0] and the
+// final recipient path[len-1]; intermediaries forward and the whole
+// path updates atomically or not at all.
 func (e *Enclave) PayMultihop(pid wire.PaymentID, amount chain.Amount, count int, path []cryptoutil.PublicKey) (*Result, error) {
+	return e.PayMultihopFees(pid, amount, count, path, nil)
+}
+
+// PayMultihopFees initiates a multi-hop payment carrying a forwarding
+// fee schedule (one entry per hop, zero at the endpoints — usually a
+// route.Route's Fees): the recipient receives amount, each intermediary
+// keeps its fee, and this enclave is debited amount plus every fee.
+func (e *Enclave) PayMultihopFees(pid wire.PaymentID, amount chain.Amount, count int, path []cryptoutil.PublicKey, fees []chain.Amount) (*Result, error) {
 	if amount <= 0 || count < 1 {
 		return nil, fmt.Errorf("core: invalid multi-hop amount %d", amount)
 	}
-	if len(path) < 3 {
-		return nil, errors.New("core: multi-hop payments need at least two channels (use Pay for direct channels)")
+	hops := make([]wire.PathHop, len(path))
+	for i, p := range path {
+		hops[i] = wire.PathHop{Identity: p}
+	}
+	if err := validateMhPath(hops); err != nil {
+		return nil, err
+	}
+	if err := validateMhFees(hops, fees); err != nil {
+		return nil, err
 	}
 	if path[0] != e.identity.Public() {
 		return nil, errors.New("core: multi-hop path must start at this enclave")
@@ -205,24 +288,21 @@ func (e *Enclave) PayMultihop(pid wire.PaymentID, amount chain.Amount, count int
 	if _, ok := e.state.Multihop[pid]; ok {
 		return nil, fmt.Errorf("core: payment %s already exists", pid)
 	}
-	down, err := e.channelTo(path[1], amount)
+	_, send := mhInOut(amount, fees, 0)
+	down, err := e.channelTo(path[1], send)
 	if err != nil {
 		return nil, err
 	}
-	hops := make([]wire.PathHop, len(path))
-	for i, p := range path {
-		hops[i] = wire.PathHop{Identity: p}
-	}
 	tau := &chain.Transaction{}
-	if err := e.addChannelToTau(tau, down, -amount); err != nil {
+	if err := e.addChannelToTau(tau, down, -send); err != nil {
 		return nil, err
 	}
-	res, err := e.commit(&Op{Kind: OpMhStart, Payment: pid, Amount: amount, Count: count, Path: hops, Index: 0}, nil, nil)
+	res, err := e.commit(&Op{Kind: OpMhStart, Payment: pid, Amount: amount, Count: count, Path: hops, Index: 0, Fees: fees}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	out := oneOut(path[1], &wire.MhLock{
-		Payment: pid, Amount: amount, Count: count, Path: hops, Channel: down.ID, Tau: tau,
+		Payment: pid, Amount: amount, Count: count, Path: hops, Channel: down.ID, Tau: tau, Fees: fees,
 	})
 	res2, err := e.commit(&Op{Kind: OpMhStage, Payment: pid, Channel: down.ID, Stage: MhLock}, out, nil)
 	if err != nil {
@@ -232,6 +312,12 @@ func (e *Enclave) PayMultihop(pid wire.PaymentID, amount chain.Amount, count int
 }
 
 func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Result, error) {
+	if err := validateMhPath(m.Path); err != nil {
+		return nil, err
+	}
+	if err := validateMhFees(m.Path, m.Fees); err != nil {
+		return nil, err
+	}
 	myIdx := pathIndexOf(m.Path, e.identity.Public())
 	if myIdx <= 0 {
 		return nil, errors.New("core: not on the payment path")
@@ -245,6 +331,7 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	if _, ok := e.state.Multihop[m.Payment]; ok {
 		return nil, fmt.Errorf("core: payment %s already exists", m.Payment)
 	}
+	in, fwd := mhInOut(m.Amount, m.Fees, myIdx)
 
 	abort := func(reason string) (*Result, error) {
 		return &Result{Out: oneOut(from, &wire.MhAbort{Payment: m.Payment, Reason: reason})}, nil
@@ -263,7 +350,7 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	if up.Stage != MhIdle {
 		return abortTransient("upstream channel locked")
 	}
-	if up.RemoteBal < m.Amount {
+	if up.RemoteBal < in {
 		return abort("upstream payer balance insufficient")
 	}
 	if m.Tau == nil {
@@ -271,7 +358,7 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	}
 	// Validate that τ settles the upstream channel at the correct
 	// post-payment state before committing to anything.
-	if err := e.verifyTauChannel(m.Tau, up, m.Amount); err != nil {
+	if err := e.verifyTauChannel(m.Tau, up, in); err != nil {
 		if errors.Is(err, ErrStaleTau) {
 			return abortTransient(err.Error())
 		}
@@ -281,20 +368,32 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	last := myIdx == len(m.Path)-1
 	var down *ChannelState
 	if !last {
+		// Forwarding is paid work: the schedule must cover this hop's
+		// policy on the amount it forwards. A shortfall means the sender
+		// routed on a stale fee announcement — transient, so the host
+		// resyncs its graph and repaths (the announced policy rides the
+		// abort reason for immediate correction).
+		var fee chain.Amount
+		if myIdx < len(m.Fees) {
+			fee = m.Fees[myIdx]
+		}
+		if want := e.feePolicy.Fee(fwd); fee < want {
+			return abortTransient(fmt.Sprintf("forwarding fee %d below policy (want %d)", fee, want))
+		}
 		var err error
-		down, err = e.channelTo(m.Path[myIdx+1].Identity, m.Amount)
+		down, err = e.channelTo(m.Path[myIdx+1].Identity, fwd)
 		if err != nil {
 			if errors.Is(err, ErrChannelLocked) {
 				return abortTransient("no downstream capacity: " + err.Error())
 			}
 			return abort("no downstream capacity: " + err.Error())
 		}
-		if err := e.addChannelToTau(m.Tau, down, -m.Amount); err != nil {
+		if err := e.addChannelToTau(m.Tau, down, -fwd); err != nil {
 			return abort(err.Error())
 		}
 	}
 
-	res, err := e.commit(&Op{Kind: OpMhStart, Payment: m.Payment, Amount: m.Amount, Count: m.Count, Path: m.Path, Index: myIdx}, nil, nil)
+	res, err := e.commit(&Op{Kind: OpMhStart, Payment: m.Payment, Amount: m.Amount, Count: m.Count, Path: m.Path, Index: myIdx, Fees: m.Fees}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +419,7 @@ func (e *Enclave) handleMhLock(from cryptoutil.PublicKey, m *wire.MhLock) (*Resu
 	}
 	res.merge(res2)
 	out := oneOut(m.Path[myIdx+1].Identity, &wire.MhLock{
-		Payment: m.Payment, Amount: m.Amount, Count: m.Count, Path: m.Path, Channel: down.ID, Tau: m.Tau,
+		Payment: m.Payment, Amount: m.Amount, Count: m.Count, Path: m.Path, Channel: down.ID, Tau: m.Tau, Fees: m.Fees,
 	})
 	res3, err := e.commit(&Op{Kind: OpMhStage, Payment: m.Payment, Channel: down.ID, Stage: MhLock}, out, nil)
 	if err != nil {
@@ -428,8 +527,10 @@ func (e *Enclave) handleMhUpdate(from cryptoutil.PublicKey, m *wire.MhUpdate) (*
 		return nil, errors.New("core: update while downstream not in preUpdate")
 	}
 
-	// Pay downstream (our balance on the downstream channel drops).
-	res, err := e.commit(&Op{Kind: OpMhStage, Payment: m.Payment, Channel: down.ID, Stage: MhUpdate, Amount: -mh.Amount}, nil, nil)
+	// Pay downstream (our balance on the downstream channel drops by
+	// what we forward: the fee schedule's residue stays with us).
+	in, fwd := mhInOut(mh.Amount, mh.Fees, mh.Index)
+	res, err := e.commit(&Op{Kind: OpMhStage, Payment: m.Payment, Channel: down.ID, Stage: MhUpdate, Amount: -fwd}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +541,7 @@ func (e *Enclave) handleMhUpdate(from cryptoutil.PublicKey, m *wire.MhUpdate) (*
 		}
 		// Receive upstream and forward the update.
 		out := oneOut(mh.Path[mh.Index-1].Identity, &wire.MhUpdate{Payment: m.Payment})
-		res2, err := e.commit(&Op{Kind: OpMhStage, Payment: m.Payment, Channel: up.ID, Stage: MhUpdate, Amount: mh.Amount}, out, nil)
+		res2, err := e.commit(&Op{Kind: OpMhStage, Payment: m.Payment, Channel: up.ID, Stage: MhUpdate, Amount: in}, out, nil)
 		if err != nil {
 			return nil, err
 		}

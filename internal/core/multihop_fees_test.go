@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/route"
+)
+
+// TestMultihopFees runs a fee-carrying payment over A-B-C-D and checks
+// the exact per-channel split: D receives the base amount, each
+// intermediary keeps precisely its scheduled fee, A is debited amount
+// plus every fee, and total value is conserved.
+func TestMultihopFees(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	c := w.node("carol", NodeConfig{})
+	d := w.node("dave", NodeConfig{})
+	if err := b.Enclave().SetFeePolicy(route.FeePolicy{Base: 5, RatePPM: 10_000}); err != nil { // 5 + 1%
+		t.Fatal(err)
+	}
+	if err := c.Enclave().SetFeePolicy(route.FeePolicy{Base: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ids := w.pipeline(1000, a, b, c, d)
+
+	// C forwards 200 to D: fee 3, C receives 203. B forwards 203 to C:
+	// fee 5 + 2 (1% of 203, truncated) = 7, B receives 210.
+	fees := []chain.Amount{0, 7, 3, 0}
+	var completed bool
+	err := a.PayMultihopFees(
+		[][]cryptoutil.PublicKey{identityPath(a, b, c, d)}, [][]chain.Amount{fees},
+		200, 1,
+		func(ok bool, _ time.Duration, reason string) {
+			if !ok {
+				t.Fatalf("multihop failed: %s", reason)
+			}
+			completed = true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if !completed {
+		t.Fatal("fee-carrying multihop never completed")
+	}
+
+	type want struct {
+		n      *Node
+		ch     int
+		my     chain.Amount
+		remote chain.Amount
+	}
+	for _, tc := range []want{
+		{a, 0, 790, 210}, // A debited 200+7+3
+		{b, 0, 210, 790},
+		{b, 1, 797, 203}, // B forwarded 203, kept 7
+		{c, 1, 203, 797},
+		{c, 2, 800, 200}, // C forwarded 200, kept 3
+		{d, 2, 200, 800}, // D received exactly the base amount
+	} {
+		my, remote := channelBal(t, tc.n, ids[tc.ch])
+		if my != tc.my || remote != tc.remote {
+			t.Fatalf("%s channel %d balances (%d, %d), want (%d, %d)",
+				tc.n.ID, tc.ch, my, remote, tc.my, tc.remote)
+		}
+	}
+	// Conservation: the pipeline deposited 1000 into each of the three
+	// channels (sender side only), and fees move value without creating
+	// or destroying any.
+	var total chain.Amount
+	for _, n := range []*Node{a, b, c, d} {
+		total += n.Enclave().State().PerceivedBalance()
+	}
+	if total != 3000 {
+		t.Fatalf("total perceived balance %d, want 3000", total)
+	}
+}
+
+// TestMultihopFeeBelowPolicy sends a schedule that undercuts the hop's
+// policy; the hop must refuse with a TRANSIENT abort (stale-fee
+// announcements are a benign routing error) and lock nothing.
+func TestMultihopFeeBelowPolicy(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{MaxRetries: 1})
+	b := w.node("bob", NodeConfig{})
+	c := w.node("carol", NodeConfig{})
+	if err := b.Enclave().SetFeePolicy(route.FeePolicy{Base: 10}); err != nil {
+		t.Fatal(err)
+	}
+	w.pipeline(1000, a, b, c)
+
+	var reason string
+	transient := false
+	a.OnEvent(func(ev Event) {
+		if e, ok := ev.(EvMultihopComplete); ok && !e.OK {
+			reason, transient = e.Reason, e.Transient
+		}
+	})
+	done := false
+	err := a.PayMultihopFees(
+		[][]cryptoutil.PublicKey{identityPath(a, b, c)}, [][]chain.Amount{{0, 4, 0}},
+		100, 1,
+		func(ok bool, _ time.Duration, r string) {
+			done = true
+			if ok {
+				t.Fatal("underpaying multihop succeeded")
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if !done {
+		t.Fatal("multihop never resolved")
+	}
+	if !transient || !strings.Contains(reason, "fee") {
+		t.Fatalf("want transient fee abort, got transient=%v reason=%q", transient, reason)
+	}
+	// Nothing stays locked on either side.
+	for _, n := range []*Node{a, b, c} {
+		for _, ch := range n.Enclave().State().Channels {
+			if ch.Stage != MhIdle {
+				t.Fatalf("%s channel %s stuck in %v after fee refusal", n.ID, ch.ID, ch.Stage)
+			}
+		}
+	}
+	// A sufficient schedule sails through the same hop.
+	ok2 := false
+	err = a.PayMultihopFees(
+		[][]cryptoutil.PublicKey{identityPath(a, b, c)}, [][]chain.Amount{{0, 10, 0}},
+		100, 1,
+		func(ok bool, _ time.Duration, r string) {
+			if !ok {
+				t.Fatalf("adequate fee refused: %s", r)
+			}
+			ok2 = true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.run()
+	if !ok2 {
+		t.Fatal("adequate-fee multihop never completed")
+	}
+}
+
+// TestMultihopRejectsCyclicPath pins the pre-lock path validation: a
+// path that revisits an identity is refused at the initiator before any
+// channel is locked, and a forged lock with a cycle is refused by the
+// first hop.
+func TestMultihopRejectsCyclicPath(t *testing.T) {
+	w := newWorld(t)
+	a := w.node("alice", NodeConfig{})
+	b := w.node("bob", NodeConfig{})
+	c := w.node("carol", NodeConfig{})
+	w.pipeline(1000, a, b, c)
+
+	cyclic := [][]cryptoutil.PublicKey{{a.Identity(), b.Identity(), a.Identity(), b.Identity(), c.Identity()}}
+	if _, err := a.Enclave().PayMultihop("mh-cyclic", 10, 1, cyclic[0]); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Fatalf("cyclic path not rejected: %v", err)
+	}
+	// Nothing was locked or recorded by the refused attempt.
+	if _, ok := a.Enclave().State().Multihop["mh-cyclic"]; ok {
+		t.Fatal("refused payment left multihop state behind")
+	}
+	for _, ch := range a.Enclave().State().Channels {
+		if ch.Stage != MhIdle {
+			t.Fatalf("refused payment locked channel %s", ch.ID)
+		}
+	}
+	// Degenerate repeats (A-B-A) are refused too.
+	if _, err := a.Enclave().PayMultihop("mh-aba", 10, 1,
+		[]cryptoutil.PublicKey{a.Identity(), b.Identity(), a.Identity()}); err == nil {
+		t.Fatal("A-B-A path accepted")
+	}
+	// And the fee schedule validation rejects malformed shapes up front.
+	path := identityPath(a, b, c)
+	for _, fees := range [][]chain.Amount{
+		{1, 0, 0},  // initiator charging itself
+		{0, 1},     // wrong length
+		{0, -1, 0}, // negative
+		{0, 0, 5},  // recipient charging
+	} {
+		if _, err := a.Enclave().PayMultihopFees("mh-badfee", 10, 1, path, fees); err == nil {
+			t.Fatalf("fee schedule %v accepted", fees)
+		}
+	}
+}

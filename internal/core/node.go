@@ -134,11 +134,14 @@ type peerRoute struct {
 }
 
 type mhAttempt struct {
-	id      wire.PaymentID
-	dest    cryptoutil.PublicKey
-	amount  chain.Amount
-	count   int
-	paths   [][]cryptoutil.PublicKey
+	id     wire.PaymentID
+	dest   cryptoutil.PublicKey
+	amount chain.Amount
+	count  int
+	paths  [][]cryptoutil.PublicKey
+	// fees, when non-nil, aligns with paths: the forwarding fee
+	// schedule to attach when launching over the matching path.
+	fees    [][]chain.Amount
 	pathIdx int
 	tries   int
 	done    PayDone
@@ -864,8 +867,18 @@ func (n *Node) PayRetry(channel wire.ChannelID, amount chain.Amount, done PayDon
 // (primary first); failures retry with randomized backoff, advancing to
 // alternate paths round-robin (dynamic routing, §7.4).
 func (n *Node) PayMultihop(paths [][]cryptoutil.PublicKey, amount chain.Amount, count int, done PayDone) error {
+	return n.PayMultihopFees(paths, nil, amount, count, done)
+}
+
+// PayMultihopFees is PayMultihop with per-path forwarding fee
+// schedules: fees, when non-nil, aligns with paths and each schedule
+// aligns with its path (route.Route supplies both halves).
+func (n *Node) PayMultihopFees(paths [][]cryptoutil.PublicKey, fees [][]chain.Amount, amount chain.Amount, count int, done PayDone) error {
 	if len(paths) == 0 {
 		return errors.New("core: no paths supplied")
+	}
+	if fees != nil && len(fees) != len(paths) {
+		return fmt.Errorf("core: %d fee schedules for %d paths", len(fees), len(paths))
 	}
 	n.mhSeq++
 	att := &mhAttempt{
@@ -873,6 +886,7 @@ func (n *Node) PayMultihop(paths [][]cryptoutil.PublicKey, amount chain.Amount, 
 		amount:  amount,
 		count:   count,
 		paths:   paths,
+		fees:    fees,
 		done:    done,
 		started: n.sim.Now(),
 	}
@@ -884,7 +898,11 @@ func (n *Node) launchMultihop(att *mhAttempt) error {
 	n.mhSeq++
 	att.id = wire.PaymentID(fmt.Sprintf("mh-%s-%d", n.ID, n.mhSeq))
 	path := att.paths[att.pathIdx%len(att.paths)]
-	res, err := n.enclave.PayMultihop(att.id, att.amount, att.count, path)
+	var fees []chain.Amount
+	if att.fees != nil {
+		fees = att.fees[att.pathIdx%len(att.fees)]
+	}
+	res, err := n.enclave.PayMultihopFees(att.id, att.amount, att.count, path, fees)
 	if err != nil {
 		// Local failure (e.g. our own channel is busy): retry like a
 		// remote failure.

@@ -167,6 +167,9 @@ type MultihopState struct {
 	Amount  chain.Amount
 	Count   int
 	Path    []wire.PathHop
+	// Fees, when non-empty, aligns with Path: the forwarding fee each
+	// hop keeps (zero at the endpoints). Empty for fee-free payments.
+	Fees []chain.Amount
 	// Index is this enclave's position on the path (0-based).
 	Index int
 	// Tau is the intermediate settlement transaction once seen.
@@ -289,12 +292,15 @@ type Op struct {
 	Index   int
 	Path    []wire.PathHop
 	Tau     *chain.Transaction
+	// Fees is the multi-hop forwarding fee schedule (OpMhStart only).
+	Fees []chain.Amount
 }
 
 // WireSize estimates the op's encoded size for bandwidth modelling.
 func (op *Op) WireSize() int {
 	n := 64
 	n += len(op.Path) * 65
+	n += len(op.Fees) * 8
 	if op.Tau != nil {
 		n += op.Tau.WireSize()
 	}
@@ -502,6 +508,7 @@ func (s *State) Apply(op *Op) error {
 			Count:   op.Count,
 			Path:    op.Path,
 			Index:   op.Index,
+			Fees:    op.Fees,
 		}
 	case OpMhStage:
 		mh, ok := s.Multihop[op.Payment]

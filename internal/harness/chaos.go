@@ -38,6 +38,7 @@ import (
 	"teechain/internal/core"
 	"teechain/internal/cryptoutil"
 	"teechain/internal/faultnet"
+	"teechain/internal/route"
 	"teechain/internal/transport"
 	"teechain/internal/wire"
 )
@@ -124,6 +125,13 @@ type ChaosTopology struct {
 	Sink      string
 	Committee []string
 	Deposit   chain.Amount
+	// HubFee is the hub's forwarding fee policy. Zero keeps forwarding
+	// free (the legacy explicit-path multihop schedules); a routed
+	// schedule (BuildRoutedChaosSchedule) sets it nonzero so routed
+	// payments exercise fee conservation, and relies on the topology
+	// having exactly one viable spoke→sink path so the pathfinder's
+	// choice — and with it the analytic model — is deterministic.
+	HubFee route.FeePolicy
 }
 
 // DefaultChaosTopology is the 6-node deployment the chaos tests run:
@@ -136,6 +144,15 @@ func DefaultChaosTopology() ChaosTopology {
 		Committee: []string{"m1", "m2"},
 		Deposit:   50_000,
 	}
+}
+
+// RoutedChaosTopology is DefaultChaosTopology with a fee-charging hub,
+// for schedules whose multihop traffic is routed (pathfinder-chosen)
+// rather than explicit-path.
+func RoutedChaosTopology() ChaosTopology {
+	tp := DefaultChaosTopology()
+	tp.HubFee = route.FeePolicy{Base: 2, RatePPM: 10_000} // 2 + 1%
+	return tp
 }
 
 // Nodes lists every node of the topology, hub first.
@@ -183,7 +200,8 @@ func (tp ChaosTopology) bounceNodes() []string {
 const (
 	OpPay       = "pay"       // burst of identical lane payments on one channel
 	OpPayBatch  = "paybatch"  // one PayBatch frame of mixed amounts
-	OpMultihop  = "multihop"  // spoke→hub→sink, blocking
+	OpMultihop  = "multihop"  // spoke→hub→sink, blocking, explicit path
+	OpRoutedPay = "payroute"  // spoke pays sink via PayRouted: pathfinder-chosen hops, hub fee charged
 	OpOverdrive = "overdrive" // open-loop flood of one channel, far past its admission budget
 	OpRule      = "rule"      // install a lossless fault rule on a link (both directions)
 	OpClear     = "clear"     // clear every fault rule
@@ -306,6 +324,24 @@ func BuildChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
 // lossless — lane payments have no retransmit path.
 func BuildLossyChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
 	return buildChaosSchedule(seed, n, tp, true)
+}
+
+// BuildRoutedChaosSchedule is BuildChaosSchedule with the multihop
+// slots emitting routed payments (OpRoutedPay) instead: the spoke names
+// only the sink's identity and the pathfinder supplies the path and the
+// hub's fee from the gossip graph. Use a fee-charging topology
+// (RoutedChaosTopology) — a nonzero hub fee is what makes the routed
+// model distinct from the explicit-path one — and note a fee-charging
+// hub REJECTS legacy fee-free multihops, so the two op kinds cannot
+// share a topology.
+func BuildRoutedChaosSchedule(seed int64, n int, tp ChaosTopology) ChaosSchedule {
+	s := buildChaosSchedule(seed, n, tp, false)
+	for i, op := range s.Ops {
+		if op.Kind == OpMultihop {
+			s.Ops[i].Kind = OpRoutedPay
+		}
+	}
+	return s
 }
 
 func buildChaosSchedule(seed int64, n int, tp ChaosTopology, lossy bool) ChaosSchedule {
@@ -435,6 +471,44 @@ func payBatchRetry(h *transport.Host, ch wire.ChannelID, amounts []chain.Amount)
 	}
 }
 
+// chaosConnKillBacklog bounds how many issued payments may be
+// unacknowledged when a schedule kills connections (partition, bounce).
+// The writer's resend ring redelivers at most sentRingSize (32) frames
+// after a reconnect, and TCP reports success once bytes reach the local
+// kernel — so a connection killed with a deeper backlog silently loses
+// the older frames, and lane payments have no retransmit protocol
+// beyond the ring. Cutting a link under a deeper backlog therefore
+// injects a fault outside the transport's documented recovery envelope;
+// the half-ring bound keeps conn-kills landing on genuinely in-flight
+// traffic while staying inside what the ring can redeliver.
+const chaosConnKillBacklog = 16
+
+// awaitShallowBacklog waits until every named node's unacknowledged
+// payment backlog (issued minus acked minus nacked) is at most limit,
+// so a connection-killing fault stays within the resend ring's
+// redelivery depth.
+func awaitShallowBacklog(c *Cluster, names []string, limit uint64) error {
+	deadline := time.Now().Add(ClusterTimeout)
+	for {
+		deep := ""
+		var backlog uint64
+		for _, name := range names {
+			st := c.Host(name).Stats()
+			if b := st.PaymentsSent - st.PaymentsAcked - st.PaymentsNacked; b > limit {
+				deep, backlog = name, b
+				break
+			}
+		}
+		if deep == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s still has %d payments in flight (limit %d)", deep, backlog, limit)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // awaitChannelBal polls until the named node sees the channel at
 // exactly mine/remote.
 func awaitChannelBal(c *Cluster, name string, chID wire.ChannelID, mine, remote chain.Amount) error {
@@ -470,6 +544,10 @@ type ChaosReport struct {
 	Received map[string]uint64
 	// Multihops is how many multihop payments completed.
 	Multihops int
+	// RoutedPays is how many routed payments completed, and RoutedFees
+	// the total forwarding fees they left with the hub.
+	RoutedPays int
+	RoutedFees chain.Amount
 }
 
 // Run executes the schedule against a fresh cluster — fault ops
@@ -499,6 +577,10 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 		cfg.MaxInflightPerChannel = chaosMaxInflightPerChannel
 		cfg.MaxInflightTotal = chaosMaxInflightTotal
 		cfg.ReplStallTicks = 25
+		if cfg.Name == tp.Hub {
+			cfg.FeeBase = tp.HubFee.Base
+			cfg.FeeRatePPM = tp.HubFee.RatePPM
+		}
 	}
 	if withFaults {
 		var err error
@@ -559,7 +641,8 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 		model[i] = [2]chain.Amount{tp.Deposit, 0}
 	}
 	expAcks := make(map[string]uint64)
-	multihops := 0
+	multihops, routedPays := 0, 0
+	var routedFees chain.Amount
 
 	for i, op := range s.Ops {
 		if op.IsFault() && !withFaults {
@@ -670,15 +753,55 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 			model[sinkChan][1] += op.Amount
 			expAcks[op.Spoke]++ // PayMultihop records one ack on completion
 			multihops++
+		case OpRoutedPay:
+			// The spoke names only the sink's identity; the pathfinder
+			// must pick the topology's single viable path and charge
+			// exactly the hub's announced fee, which the model verifies
+			// via Send. Retried like OpMultihop — on top of the benign
+			// abort causes, the gossip graph can briefly lag the real
+			// balances (ErrNoRoute or a transient abort at a hop), and
+			// every multihop frame re-announces, so a retry runs against
+			// a fresher graph.
+			fee := tp.HubFee.Fee(op.Amount)
+			dst := c.Identity(tp.Sink)
+			deadline := time.Now().Add(ClusterTimeout)
+			for {
+				r, err := c.Host(op.Spoke).PayRouted(dst, op.Amount, ClusterTimeout)
+				if err == nil {
+					if r.Send != op.Amount+fee {
+						return nil, fail("op %d: routed pay %s sent %d for %d, want fee %d",
+							i, op.Spoke, r.Send, op.Amount, fee)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					return nil, fail("op %d: routed pay %s: %v", i, op.Spoke, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			sc := spokeChan[op.Spoke]
+			model[sc][0] -= op.Amount + fee // spoke pays amount plus the hub's fee
+			model[sc][1] += op.Amount + fee
+			model[sinkChan][0] -= op.Amount // hub forwards the amount, keeps the fee
+			model[sinkChan][1] += op.Amount
+			expAcks[op.Spoke]++
+			routedPays++
+			routedFees += fee
 		case OpRule:
 			cc.Net.SetRuleBoth(op.Link[0], op.Link[1], op.Rule)
 		case OpClear:
 			cc.Net.ClearRules()
 		case OpPartition:
+			if err := awaitShallowBacklog(c, tp.Nodes(), chaosConnKillBacklog); err != nil {
+				return nil, fail("op %d: before partition %v: %v", i, op.Link, err)
+			}
 			cc.Net.Partition(op.Link[0], op.Link[1])
 		case OpHeal:
 			cc.Net.Heal(op.Link[0], op.Link[1])
 		case OpBounce:
+			if err := awaitShallowBacklog(c, tp.Nodes(), chaosConnKillBacklog); err != nil {
+				return nil, fail("op %d: before bounce %s: %v", i, op.Node, err)
+			}
 			if err := cc.Bounce(op.Node); err != nil {
 				return nil, fail("op %d: %v", i, err)
 			}
@@ -695,7 +818,9 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 	}
 	for name, n := range expAcks {
 		if err := c.Host(name).AwaitAcked(n, ClusterTimeout); err != nil {
-			return nil, fail("drain %s: %v", name, err)
+			st := c.Host(name).Stats()
+			return nil, fail("drain %s: %v (sent=%d acked=%d nacked=%d drops=%d reconnects=%d)",
+				name, err, st.PaymentsSent, st.PaymentsAcked, st.PaymentsNacked, st.Drops, st.Reconnects)
 		}
 	}
 
@@ -719,6 +844,8 @@ func (s ChaosSchedule) Run(withFaults bool, logf func(string, ...any)) (*ChaosRe
 		Wallets:         make(map[string]chain.Amount),
 		Received:        make(map[string]uint64),
 		Multihops:       multihops,
+		RoutedPays:      routedPays,
+		RoutedFees:      routedFees,
 	}
 	for i, pair := range chans {
 		payerMine, payerRemote, err := c.Host(pair[0]).ChannelBalances(chIDs[i])

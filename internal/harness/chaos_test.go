@@ -109,6 +109,51 @@ func TestChaosScheduleLossy(t *testing.T) {
 	}
 }
 
+// TestChaosScheduleRouted swaps the explicit-path multihops for routed
+// payments: the spoke names only the sink's identity, the pathfinder
+// supplies the hops and the hub's announced fee from the gossip graph,
+// and the fee-aware analytic model must still balance exactly — under
+// faults and in the fault-free replay, bit-identically.
+func TestChaosScheduleRouted(t *testing.T) {
+	seeds := []int64{1, 2}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := BuildRoutedChaosSchedule(seed, chaosOpCount, RoutedChaosTopology())
+			routed := 0
+			for _, op := range s.Ops {
+				if op.Kind == OpRoutedPay {
+					routed++
+				}
+			}
+			t.Logf("seed %d: %d ops (%d routed)", seed, len(s.Ops), routed)
+
+			faulted, err := s.Run(true, t.Logf)
+			if err != nil {
+				t.Fatalf("%v (reproduce: go test ./internal/harness -run TestChaosScheduleRouted -seed=%d)", err, seed)
+			}
+			clean, err := s.Run(false, t.Logf)
+			if err != nil {
+				t.Fatalf("fault-free replay: %v (seed %d)", err, seed)
+			}
+			if !reflect.DeepEqual(faulted, clean) {
+				t.Fatalf("seed %d: routed run diverged from fault-free replay:\nfaulted: %+v\nclean:   %+v",
+					seed, faulted, clean)
+			}
+			if faulted.RoutedPays != routed {
+				t.Fatalf("seed %d: %d routed payments completed, schedule holds %d", seed, faulted.RoutedPays, routed)
+			}
+			if routed > 0 && faulted.RoutedFees == 0 {
+				t.Fatalf("seed %d: routed payments paid no fees; the fee model was not exercised", seed)
+			}
+			t.Logf("seed %d: routed == fault-free: %+v", seed, faulted)
+		})
+	}
+}
+
 // newRawPair builds two plain transport hosts (no fault layer) with b
 // listening and a dialed through dial(b's address) — the beyond-window
 // test routes the dial through an attack proxy.

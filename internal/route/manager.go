@@ -1,0 +1,221 @@
+package route
+
+import (
+	"sync"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+// MaxPeerQueue bounds each peer's pending-announcement queue. Entries
+// coalesce by edge (a fresher version REPLACES the queued one), so the
+// queue can only reach the bound when a peer lags behind more distinct
+// edges than this — at which point the overflow is dropped and counted,
+// and the next anti-entropy summary exchange heals the gap.
+const MaxPeerQueue = 4096
+
+// Manager is a node's gossip engine: it owns the network graph, floods
+// fresh announcements to peers with (edge, version) dedup, answers
+// anti-entropy summaries, and versions the node's own announcements.
+//
+// The manager never touches sockets. The transport attaches each live
+// peer connection, hands incoming gossip to Handle/HandleSummary, and
+// drains per-peer queues into frames whenever Kicked peers have work —
+// keeping all locking here independent of the host's wide lock.
+type Manager struct {
+	self  cryptoutil.PublicKey
+	graph *Graph
+
+	mu      sync.Mutex
+	peers   map[cryptoutil.PublicKey]*peerQueue
+	version map[wire.ChannelID]uint64 // own per-channel announcement versions
+
+	suppressed uint64 // stale floods dropped by version dedup
+	dropped    uint64 // announcements lost to a full peer queue
+}
+
+// peerQueue is one peer's pending announcements: FIFO over edge keys,
+// coalescing repeat announcements for the same edge.
+type peerQueue struct {
+	pending map[EdgeKey]wire.ChanAnnounce
+	order   []EdgeKey
+}
+
+// NewManager returns a gossip manager for the node with identity self.
+func NewManager(self cryptoutil.PublicKey) *Manager {
+	return &Manager{
+		self:    self,
+		graph:   NewGraph(),
+		peers:   make(map[cryptoutil.PublicKey]*peerQueue),
+		version: make(map[wire.ChannelID]uint64),
+	}
+}
+
+// Graph exposes the managed network graph (shared, concurrency-safe).
+func (m *Manager) Graph() *Graph { return m.graph }
+
+// Self returns the identity announcements originate from.
+func (m *Manager) Self() cryptoutil.PublicKey { return m.self }
+
+// AttachPeer registers a peer connection as a flood target. Idempotent;
+// an existing queue survives reconnects (anti-entropy covers whatever
+// the dead connection lost).
+func (m *Manager) AttachPeer(id cryptoutil.PublicKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.peers[id]; !ok {
+		m.peers[id] = &peerQueue{pending: make(map[EdgeKey]wire.ChanAnnounce)}
+	}
+}
+
+// DetachPeer removes a peer and its queue.
+func (m *Manager) DetachPeer(id cryptoutil.PublicKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.peers, id)
+}
+
+// Handle folds a received announcement into the graph and, when it was
+// fresh, queues it for re-broadcast to every attached peer except the
+// one it arrived from. It reports whether the graph changed; stale
+// duplicates are counted and go no further — the flood-storm guard.
+func (m *Manager) Handle(from cryptoutil.PublicKey, ann *wire.ChanAnnounce) bool {
+	if !m.graph.Apply(ann) {
+		m.mu.Lock()
+		m.suppressed++
+		m.mu.Unlock()
+		return false
+	}
+	m.enqueue(*ann, from)
+	return true
+}
+
+// Announce versions and floods one of the node's own directed edges,
+// applying it to the local graph first. A no-op announcement (the graph
+// already holds this exact edge from us) is swallowed without a version
+// bump, so hosts can re-announce whole channel sets after every
+// balance-moving cold operation and only real changes hit the wire. It
+// returns the announcement so callers can log or count it.
+func (m *Manager) Announce(channel wire.ChannelID, to cryptoutil.PublicKey, capacity chain.Amount, fee FeePolicy, closed bool) wire.ChanAnnounce {
+	if e, ok := m.graph.Edge(EdgeKey{Channel: channel, From: m.self}); ok &&
+		e.To == to && e.Capacity == capacity && e.Fee == fee && e.Closed == closed {
+		return announceEdge(&e)
+	}
+	m.mu.Lock()
+	m.version[channel]++
+	v := m.version[channel]
+	m.mu.Unlock()
+	ann := wire.ChanAnnounce{
+		Channel:    channel,
+		From:       m.self,
+		To:         to,
+		Capacity:   capacity,
+		FeeBase:    fee.Base,
+		FeeRatePPM: fee.RatePPM,
+		Version:    v,
+		Closed:     closed,
+	}
+	m.graph.Apply(&ann)
+	m.enqueue(ann, m.self)
+	return ann
+}
+
+// enqueue queues ann for every attached peer except skip, coalescing
+// by edge key and dropping (counted) on a full queue.
+func (m *Manager) enqueue(ann wire.ChanAnnounce, skip cryptoutil.PublicKey) {
+	key := EdgeKey{Channel: ann.Channel, From: ann.From}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, q := range m.peers {
+		if id == skip || id == ann.From {
+			// The announcer already has its own edge; sending it back
+			// is the n² amplification this guard exists to kill.
+			continue
+		}
+		if _, queued := q.pending[key]; queued {
+			q.pending[key] = ann // coalesce: newer version replaces
+			continue
+		}
+		if len(q.order) >= MaxPeerQueue {
+			m.dropped++
+			continue
+		}
+		q.pending[key] = ann
+		q.order = append(q.order, key)
+	}
+}
+
+// Drain removes and returns up to max pending announcements for one
+// peer, in FIFO order. It returns nil when the peer has nothing queued
+// (or is not attached).
+func (m *Manager) Drain(peer cryptoutil.PublicKey, max int) []wire.ChanAnnounce {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.peers[peer]
+	if !ok || len(q.order) == 0 {
+		return nil
+	}
+	n := len(q.order)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]wire.ChanAnnounce, 0, n)
+	for _, key := range q.order[:n] {
+		if ann, ok := q.pending[key]; ok {
+			out = append(out, ann)
+			delete(q.pending, key)
+		}
+	}
+	rest := q.order[n:]
+	q.order = append(q.order[:0], rest...)
+	return out
+}
+
+// PendingPeers lists the attached peers with queued announcements.
+func (m *Manager) PendingPeers() []cryptoutil.PublicKey {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []cryptoutil.PublicKey
+	for id, q := range m.peers {
+		if len(q.order) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Summaries digests the whole graph for anti-entropy, chunked to the
+// wire bound. Sent on every (re)connection; the receiver answers via
+// HandleSummary.
+func (m *Manager) Summaries() []wire.GossipSummary {
+	digest := m.graph.Digest()
+	if len(digest) == 0 {
+		return []wire.GossipSummary{{}}
+	}
+	var out []wire.GossipSummary
+	for len(digest) > 0 {
+		n := len(digest)
+		if n > wire.MaxGossipSummary {
+			n = wire.MaxGossipSummary
+		}
+		out = append(out, wire.GossipSummary{Entries: digest[:n]})
+		digest = digest[n:]
+	}
+	return out
+}
+
+// HandleSummary answers a peer's anti-entropy summary with every
+// announcement the local graph holds at a fresher version (or that the
+// summary omits). The caller sends the result straight back to from.
+func (m *Manager) HandleSummary(from cryptoutil.PublicKey, sum *wire.GossipSummary) []wire.ChanAnnounce {
+	return m.graph.Fresher(sum)
+}
+
+// Stats reports the flood-guard counters: announcements suppressed as
+// stale duplicates and announcements dropped on full peer queues.
+func (m *Manager) Stats() (suppressed, dropped uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.suppressed, m.dropped
+}

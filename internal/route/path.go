@@ -1,0 +1,304 @@
+package route
+
+import (
+	"bytes"
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+)
+
+// The pathfinder: Dijkstra over fee-plus-hop cost with capacity
+// pruning, run BACKWARD from the target. Fees compound toward the
+// sender — hop i must receive the target amount plus every fee charged
+// after it — so the amount an edge must carry is only known once the
+// downstream suffix is fixed, which is exactly what a reverse search
+// gives for free. Yen's algorithm on top yields the k-shortest
+// fallback paths PayRouted walks when a path aborts Transient.
+
+// DefaultHopCost is the per-hop cost bias added to the fee metric: it
+// makes the pathfinder prefer shorter paths among near-equal-fee
+// routes (every extra hop is an extra lock/abort surface).
+const DefaultHopCost chain.Amount = 1
+
+// Route is one sender-to-target payment path with its fee schedule.
+type Route struct {
+	// Hops is the full path, sender first, target last.
+	Hops []cryptoutil.PublicKey
+	// Fees aligns with Hops: Fees[i] is the forwarding fee hop i keeps
+	// (always zero at both endpoints).
+	Fees []chain.Amount
+	// Amount is what the target receives; Send = Amount + ΣFees is
+	// what the sender's first channel is debited.
+	Amount chain.Amount
+	Send   chain.Amount
+}
+
+// TotalFee is the routing cost of the path: Send - Amount.
+func (r Route) TotalFee() chain.Amount { return r.Send - r.Amount }
+
+// ErrNoRoute reports that no open path with sufficient announced
+// capacity connects the endpoints.
+var ErrNoRoute = errors.New("route: no path with sufficient capacity")
+
+// FindRoute returns the cheapest route from src to dst delivering
+// amount, by total forwarding fee with hopCost added per hop
+// (DefaultHopCost when <= 0).
+func (g *Graph) FindRoute(src, dst cryptoutil.PublicKey, amount chain.Amount, hopCost chain.Amount) (Route, error) {
+	routes, err := g.FindRoutes(src, dst, amount, 1, hopCost)
+	if err != nil {
+		return Route{}, err
+	}
+	return routes[0], nil
+}
+
+// FindRoutes returns up to k routes in increasing cost order (Yen's
+// algorithm over the Dijkstra core). It never returns an empty slice
+// without an error.
+func (g *Graph) FindRoutes(src, dst cryptoutil.PublicKey, amount chain.Amount, k int, hopCost chain.Amount) ([]Route, error) {
+	if amount <= 0 {
+		return nil, fmt.Errorf("route: non-positive amount %d", amount)
+	}
+	if src == dst {
+		return nil, errors.New("route: source is the target")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if hopCost <= 0 {
+		hopCost = DefaultHopCost
+	}
+	in := g.snapshot()
+
+	best, err := shortestPath(in, src, dst, amount, hopCost, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	routes := []Route{best}
+	if k == 1 {
+		return routes, nil
+	}
+
+	// Yen's k-shortest: for each prefix of the last accepted path,
+	// ban the next edges used by already-known paths sharing that
+	// prefix plus the prefix's interior nodes, and find the best spur.
+	var candidates []Route
+	for len(routes) < k {
+		prev := routes[len(routes)-1]
+		for i := 0; i < len(prev.Hops)-1; i++ {
+			rootHops := prev.Hops[:i+1]
+			bannedNode := make(map[cryptoutil.PublicKey]bool, i)
+			for _, n := range rootHops[:i] {
+				bannedNode[n] = true
+			}
+			bannedHop := make(map[[2]cryptoutil.PublicKey]bool)
+			for _, r := range routes {
+				if len(r.Hops) > i+1 && hopsEqual(r.Hops[:i+1], rootHops) {
+					bannedHop[[2]cryptoutil.PublicKey{r.Hops[i], r.Hops[i+1]}] = true
+				}
+			}
+			spur, err := shortestPath(in, prev.Hops[i], dst, amount, hopCost, bannedNode, bannedHop)
+			if err != nil {
+				continue
+			}
+			hops := append(append([]cryptoutil.PublicKey{}, rootHops[:i]...), spur.Hops...)
+			cand, err := routeForPath(in, hops, amount)
+			if err != nil {
+				continue
+			}
+			if containsRoute(routes, cand) || containsRoute(candidates, cand) {
+				continue
+			}
+			candidates = append(candidates, cand)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		bi := 0
+		for ci := 1; ci < len(candidates); ci++ {
+			if routeLess(candidates[ci], candidates[bi], hopCost) {
+				bi = ci
+			}
+		}
+		routes = append(routes, candidates[bi])
+		candidates = append(candidates[:bi], candidates[bi+1:]...)
+	}
+	return routes, nil
+}
+
+func hopsEqual(a, b []cryptoutil.PublicKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsRoute(rs []Route, r Route) bool {
+	for i := range rs {
+		if hopsEqual(rs[i].Hops, r.Hops) {
+			return true
+		}
+	}
+	return false
+}
+
+func routeLess(a, b Route, hopCost chain.Amount) bool {
+	ca := a.TotalFee() + hopCost*chain.Amount(len(a.Hops)-1)
+	cb := b.TotalFee() + hopCost*chain.Amount(len(b.Hops)-1)
+	if ca != cb {
+		return ca < cb
+	}
+	if len(a.Hops) != len(b.Hops) {
+		return len(a.Hops) < len(b.Hops)
+	}
+	for i := range a.Hops {
+		if c := bytes.Compare(a.Hops[i][:], b.Hops[i][:]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// pqItem is one frontier entry of the backward Dijkstra.
+type pqItem struct {
+	node cryptoutil.PublicKey
+	cost chain.Amount // fees accumulated from node to dst, plus hop bias
+	hops int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	if q[i].hops != q[j].hops {
+		return q[i].hops < q[j].hops
+	}
+	return bytes.Compare(q[i].node[:], q[j].node[:]) < 0
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// shortestPath runs the backward Dijkstra from dst and returns the
+// cheapest feasible src→dst route. bannedNode/bannedHop support Yen's
+// spur searches (nil = no bans); dst is never banned.
+func shortestPath(in map[cryptoutil.PublicKey][]Edge, src, dst cryptoutil.PublicKey, amount chain.Amount, hopCost chain.Amount, bannedNode map[cryptoutil.PublicKey]bool, bannedHop map[[2]cryptoutil.PublicKey]bool) (Route, error) {
+	// need[u]: the amount that must be delivered to u for the chosen
+	// suffix u→…→dst to deliver amount at dst. next[u]: the suffix's
+	// first hop.
+	need := map[cryptoutil.PublicKey]chain.Amount{dst: amount}
+	next := make(map[cryptoutil.PublicKey]cryptoutil.PublicKey)
+	done := make(map[cryptoutil.PublicKey]bool)
+	frontier := &pq{{node: dst, cost: 0, hops: 0}}
+	costOf := map[cryptoutil.PublicKey]chain.Amount{dst: 0}
+
+	for frontier.Len() > 0 {
+		it := heap.Pop(frontier).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == src {
+			break
+		}
+		// Relax reversed edges: every open edge u→it.node whose
+		// announced capacity covers what u must send.
+		for _, e := range in[it.node] {
+			u := e.From
+			if done[u] || bannedNode[u] {
+				continue
+			}
+			if bannedHop != nil && bannedHop[[2]cryptoutil.PublicKey{u, it.node}] {
+				continue
+			}
+			forward := need[it.node]
+			if e.Capacity < forward {
+				continue
+			}
+			// The source pays no forwarding fee — it spends its own
+			// balance; intermediaries charge their announced policy.
+			var fee chain.Amount
+			if u != src {
+				fee = e.Fee.Fee(forward)
+			}
+			cost := it.cost + fee + hopCost
+			if old, seen := costOf[u]; seen && cost >= old {
+				continue
+			}
+			costOf[u] = cost
+			need[u] = forward + fee
+			next[u] = it.node
+			heap.Push(frontier, pqItem{node: u, cost: cost, hops: it.hops + 1})
+		}
+	}
+	if !done[src] {
+		return Route{}, ErrNoRoute
+	}
+	var hops []cryptoutil.PublicKey
+	for n := src; ; n = next[n] {
+		hops = append(hops, n)
+		if n == dst {
+			break
+		}
+	}
+	return routeForPath(in, hops, amount)
+}
+
+// routeForPath computes the fee schedule for a fixed hop sequence,
+// verifying every edge exists with sufficient announced capacity. Yen
+// candidates go through here because a root-path prefix's fees depend
+// on the spur suffix's amounts.
+func routeForPath(in map[cryptoutil.PublicKey][]Edge, hops []cryptoutil.PublicKey, amount chain.Amount) (Route, error) {
+	if len(hops) < 2 {
+		return Route{}, ErrNoRoute
+	}
+	fees := make([]chain.Amount, len(hops))
+	needIn := amount // amount that must arrive at hops[i+1]
+	for i := len(hops) - 2; i >= 0; i-- {
+		e, ok := bestEdge(in, hops[i], hops[i+1], needIn)
+		if !ok {
+			return Route{}, ErrNoRoute
+		}
+		if i > 0 {
+			fees[i] = e.Fee.Fee(needIn)
+			needIn += fees[i]
+		}
+	}
+	return Route{Hops: hops, Fees: fees, Amount: amount, Send: needIn}, nil
+}
+
+// bestEdge picks the cheapest (then highest-capacity, then lowest
+// channel id) open edge from u to v that can carry amount.
+func bestEdge(in map[cryptoutil.PublicKey][]Edge, u, v cryptoutil.PublicKey, amount chain.Amount) (Edge, bool) {
+	var best Edge
+	found := false
+	for _, e := range in[v] {
+		if e.From != u || e.Capacity < amount {
+			continue
+		}
+		if !found {
+			best, found = e, true
+			continue
+		}
+		ef, bf := e.Fee.Fee(amount), best.Fee.Fee(amount)
+		switch {
+		case ef < bf:
+			best = e
+		case ef == bf && e.Capacity > best.Capacity:
+			best = e
+		case ef == bf && e.Capacity == best.Capacity && e.Channel < best.Channel:
+			best = e
+		}
+	}
+	return best, found
+}

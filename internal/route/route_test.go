@@ -1,0 +1,405 @@
+package route
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/wire"
+)
+
+func nodeKey(n int) cryptoutil.PublicKey {
+	var k cryptoutil.PublicKey
+	k[0] = byte(n)
+	k[1] = byte(n >> 8)
+	k[64] = 0x42 // never the zero key
+	return k
+}
+
+// addEdge installs a bidirectional channel between a and b with the
+// given per-direction capacities and fee policies, version 1.
+func addEdge(g *Graph, ch wire.ChannelID, a, b cryptoutil.PublicKey, capA, capB chain.Amount, feeA, feeB FeePolicy) {
+	g.Apply(&wire.ChanAnnounce{Channel: ch, From: a, To: b, Capacity: capA, FeeBase: feeA.Base, FeeRatePPM: feeA.RatePPM, Version: 1})
+	g.Apply(&wire.ChanAnnounce{Channel: ch, From: b, To: a, Capacity: capB, FeeBase: feeB.Base, FeeRatePPM: feeB.RatePPM, Version: 1})
+}
+
+func TestFeePolicy(t *testing.T) {
+	p := FeePolicy{Base: 2, RatePPM: 10_000} // 1%
+	if got := p.Fee(1000); got != 12 {
+		t.Fatalf("Fee(1000) = %d, want 12", got)
+	}
+	if got := p.Fee(1); got != 2 { // rate truncates to zero
+		t.Fatalf("Fee(1) = %d, want 2", got)
+	}
+	if !(FeePolicy{}).Valid() || !p.Valid() {
+		t.Fatal("valid policies rejected")
+	}
+	if (FeePolicy{Base: -1}).Valid() || (FeePolicy{RatePPM: FeeRateDenom + 1}).Valid() {
+		t.Fatal("invalid policies accepted")
+	}
+}
+
+// TestGraphStaleness pins the version-resolution rule: only strictly
+// newer announcements change the graph, and Apply's return value is the
+// re-broadcast gate.
+func TestGraphStaleness(t *testing.T) {
+	g := NewGraph()
+	a, b := nodeKey(1), nodeKey(2)
+	ann := wire.ChanAnnounce{Channel: "ch-1", From: a, To: b, Capacity: 100, Version: 3}
+	if !g.Apply(&ann) {
+		t.Fatal("fresh announcement rejected")
+	}
+	// Same version, different content: a replay must not win.
+	replay := ann
+	replay.Capacity = 999
+	if g.Apply(&replay) {
+		t.Fatal("equal-version replay applied")
+	}
+	older := ann
+	older.Version = 2
+	older.Capacity = 1
+	if g.Apply(&older) {
+		t.Fatal("older announcement applied")
+	}
+	if e, ok := g.Edge(EdgeKey{Channel: "ch-1", From: a}); !ok || e.Capacity != 100 || e.Version != 3 {
+		t.Fatalf("edge corrupted by stale floods: %+v", e)
+	}
+	newer := ann
+	newer.Version = 4
+	newer.Capacity = 55
+	if !g.Apply(&newer) {
+		t.Fatal("newer announcement rejected")
+	}
+	if e, _ := g.Edge(EdgeKey{Channel: "ch-1", From: a}); e.Capacity != 55 {
+		t.Fatalf("newer announcement did not update: %+v", e)
+	}
+
+	// A closed edge leaves the pathfinder view but keeps suppressing.
+	closed := newer
+	closed.Version = 5
+	closed.Closed = true
+	g.Apply(&closed)
+	if g.Open() != 0 {
+		t.Fatal("closed edge still open")
+	}
+	if g.Apply(&newer) {
+		t.Fatal("stale resurrection accepted after close")
+	}
+	if g.Version(EdgeKey{Channel: "ch-1", From: a}) != 5 {
+		t.Fatal("closed edge lost its version")
+	}
+}
+
+// TestGraphAntiEntropy checks Digest/Fresher round trips: a peer that
+// summarises a stale graph gets exactly the fresher announcements back,
+// and applying them converges the two graphs.
+func TestGraphAntiEntropy(t *testing.T) {
+	a, b, c := nodeKey(1), nodeKey(2), nodeKey(3)
+	full := NewGraph()
+	addEdge(full, "ch-ab", a, b, 100, 100, FeePolicy{}, FeePolicy{})
+	addEdge(full, "ch-bc", b, c, 200, 200, FeePolicy{Base: 1}, FeePolicy{Base: 2})
+
+	stale := NewGraph()
+	// stale holds ch-ab but has never heard of ch-bc.
+	addEdge(stale, "ch-ab", a, b, 100, 100, FeePolicy{}, FeePolicy{})
+
+	fresher := full.Fresher(&wire.GossipSummary{Entries: stale.Digest()})
+	if len(fresher) != 2 {
+		t.Fatalf("Fresher returned %d announcements, want 2 (both ch-bc directions)", len(fresher))
+	}
+	for i := range fresher {
+		stale.Apply(&fresher[i])
+	}
+	if !reflect.DeepEqual(stale.Digest(), full.Digest()) {
+		t.Fatalf("graphs did not converge:\n stale %+v\n full  %+v", stale.Digest(), full.Digest())
+	}
+	// Converged graphs owe each other nothing.
+	if extra := full.Fresher(&wire.GossipSummary{Entries: stale.Digest()}); len(extra) != 0 {
+		t.Fatalf("converged graph still offered %d announcements", len(extra))
+	}
+}
+
+// TestFindRouteFees builds a line A-B-C-D and checks the fee schedule
+// compounds correctly toward the sender: C charges on the target
+// amount, B charges on amount+C's fee.
+func TestFindRouteFees(t *testing.T) {
+	a, b, c, d := nodeKey(1), nodeKey(2), nodeKey(3), nodeKey(4)
+	g := NewGraph()
+	addEdge(g, "ch-ab", a, b, 10_000, 10_000, FeePolicy{}, FeePolicy{})
+	addEdge(g, "ch-bc", b, c, 10_000, 10_000, FeePolicy{Base: 5, RatePPM: 10_000}, FeePolicy{})
+	addEdge(g, "ch-cd", c, d, 10_000, 10_000, FeePolicy{Base: 3}, FeePolicy{})
+
+	r, err := g.FindRoute(a, d, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHops := []cryptoutil.PublicKey{a, b, c, d}
+	if !hopsEqual(r.Hops, wantHops) {
+		t.Fatalf("hops %v", r.Hops)
+	}
+	// C forwards 1000 to D, charging its own policy (base 3): fee 3,
+	// so C must receive 1003. B forwards 1003, charging base 5 + 1%:
+	// 5 + 10 = 15, so B must receive 1018. A pays no fee.
+	if want := []chain.Amount{0, 15, 3, 0}; !reflect.DeepEqual(r.Fees, want) {
+		t.Fatalf("fees %v, want %v", r.Fees, want)
+	}
+	if r.Amount != 1000 || r.Send != 1018 || r.TotalFee() != 18 {
+		t.Fatalf("amounts: %+v", r)
+	}
+}
+
+// TestFindRouteCheapest gives two paths and checks the cheaper (by fee)
+// wins even when hop counts match, and that hop bias breaks fee ties.
+func TestFindRouteCheapest(t *testing.T) {
+	src, x, y, dst := nodeKey(1), nodeKey(2), nodeKey(3), nodeKey(4)
+	g := NewGraph()
+	free := FeePolicy{}
+	addEdge(g, "ch-sx", src, x, 10_000, 10_000, free, free)
+	addEdge(g, "ch-xd", x, dst, 10_000, 10_000, FeePolicy{Base: 10}, free)
+	addEdge(g, "ch-sy", src, y, 10_000, 10_000, free, free)
+	addEdge(g, "ch-yd", y, dst, 10_000, 10_000, FeePolicy{Base: 2}, free)
+
+	r, err := g.FindRoute(src, dst, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hopsEqual(r.Hops, []cryptoutil.PublicKey{src, y, dst}) || r.TotalFee() != 2 {
+		t.Fatalf("picked %v fee %d, want via y fee 2", r.Hops, r.TotalFee())
+	}
+
+	// A free 3-hop path vs a free 2-hop path: hop cost prefers 2 hops.
+	g2 := NewGraph()
+	addEdge(g2, "ch-sd", src, dst, 10_000, 10_000, free, free)
+	addEdge(g2, "ch-sx", src, x, 10_000, 10_000, free, free)
+	addEdge(g2, "ch-xd", x, dst, 10_000, 10_000, free, free)
+	r2, err := g2.FindRoute(src, dst, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Hops) != 2 {
+		t.Fatalf("hop bias lost: %v", r2.Hops)
+	}
+}
+
+// TestFindRouteCapacityPruning checks announced capacity gates edges —
+// including the subtlety that an intermediary's inbound edge must carry
+// amount PLUS downstream fees.
+func TestFindRouteCapacityPruning(t *testing.T) {
+	src, x, y, dst := nodeKey(1), nodeKey(2), nodeKey(3), nodeKey(4)
+	g := NewGraph()
+	free := FeePolicy{}
+	// Cheap path via x but its last edge only carries 400.
+	addEdge(g, "ch-sx", src, x, 10_000, 10_000, free, free)
+	addEdge(g, "ch-xd", x, dst, 400, 10_000, free, free)
+	// Expensive path via y with ample capacity.
+	addEdge(g, "ch-sy", src, y, 10_000, 10_000, free, free)
+	addEdge(g, "ch-yd", y, dst, 10_000, 10_000, FeePolicy{Base: 50}, free)
+
+	r, err := g.FindRoute(src, dst, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hopsEqual(r.Hops, []cryptoutil.PublicKey{src, y, dst}) {
+		t.Fatalf("capacity pruning failed: %v", r.Hops)
+	}
+
+	// Fee-compounding case: y charges 50, so the src→y edge must carry
+	// 550. Cap it at 520 and the route must disappear entirely.
+	g.Apply(&wire.ChanAnnounce{Channel: "ch-sy", From: src, To: y, Capacity: 520, Version: 2})
+	if _, err := g.FindRoute(src, dst, 500, 0); err != ErrNoRoute {
+		t.Fatalf("want ErrNoRoute when fee-inclusive amount exceeds capacity, got %v", err)
+	}
+	// 500 with fee fits at amount 400 (400+50=450 ≤ 520, and ch-xd can
+	// carry 400 again): both paths feasible, cheap one wins.
+	r, err = g.FindRoute(src, dst, 400, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hopsEqual(r.Hops, []cryptoutil.PublicKey{src, x, dst}) {
+		t.Fatalf("want cheap path at smaller amount, got %v", r.Hops)
+	}
+}
+
+// TestFindRoutesKShortest asks for three routes across a 5-node mesh
+// and checks they are distinct, cost-ordered, and fee-consistent.
+func TestFindRoutesKShortest(t *testing.T) {
+	src, x, y, z, dst := nodeKey(1), nodeKey(2), nodeKey(3), nodeKey(4), nodeKey(5)
+	g := NewGraph()
+	free := FeePolicy{}
+	addEdge(g, "ch-sx", src, x, 10_000, 10_000, free, free)
+	addEdge(g, "ch-xd", x, dst, 10_000, 10_000, FeePolicy{Base: 1}, free)
+	addEdge(g, "ch-sy", src, y, 10_000, 10_000, free, free)
+	addEdge(g, "ch-yd", y, dst, 10_000, 10_000, FeePolicy{Base: 5}, free)
+	addEdge(g, "ch-sz", src, z, 10_000, 10_000, free, free)
+	addEdge(g, "ch-zd", z, dst, 10_000, 10_000, FeePolicy{Base: 9}, free)
+
+	routes, err := g.FindRoutes(src, dst, 100, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 3 {
+		t.Fatalf("got %d routes, want 3", len(routes))
+	}
+	wantVia := []cryptoutil.PublicKey{x, y, z}
+	for i, r := range routes {
+		if !hopsEqual(r.Hops, []cryptoutil.PublicKey{src, wantVia[i], dst}) {
+			t.Fatalf("route %d hops %v", i, r.Hops)
+		}
+		if i > 0 && routeLess(r, routes[i-1], DefaultHopCost) {
+			t.Fatalf("routes out of cost order at %d", i)
+		}
+		if r.Send != r.Amount+r.TotalFee() {
+			t.Fatalf("route %d inconsistent amounts %+v", i, r)
+		}
+	}
+	// Asking for more routes than exist returns what exists.
+	routes, err = g.FindRoutes(src, dst, 100, 10, 0)
+	if err != nil || len(routes) != 3 {
+		t.Fatalf("k=10: %d routes, err %v", len(routes), err)
+	}
+}
+
+// TestFindRouteDeterministic runs the same query many times over a
+// graph with parallel equal-cost paths; the pathfinder must never vary
+// with map iteration order.
+func TestFindRouteDeterministic(t *testing.T) {
+	g := NewGraph()
+	src, dst := nodeKey(1), nodeKey(100)
+	free := FeePolicy{}
+	for i := 2; i < 20; i++ {
+		mid := nodeKey(i)
+		addEdge(g, wire.ChannelID(fmt.Sprintf("ch-s%d", i)), src, mid, 10_000, 10_000, free, free)
+		addEdge(g, wire.ChannelID(fmt.Sprintf("ch-d%d", i)), mid, dst, 10_000, 10_000, free, free)
+	}
+	first, err := g.FindRoute(src, dst, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r, err := g.FindRoute(src, dst, 100, 0)
+		if err != nil || !hopsEqual(r.Hops, first.Hops) {
+			t.Fatalf("run %d picked %v, first run picked %v (err %v)", i, r.Hops, first.Hops, err)
+		}
+	}
+}
+
+func TestFindRouteErrors(t *testing.T) {
+	g := NewGraph()
+	a, b := nodeKey(1), nodeKey(2)
+	if _, err := g.FindRoute(a, b, 0, 0); err == nil {
+		t.Fatal("zero amount accepted")
+	}
+	if _, err := g.FindRoute(a, a, 10, 0); err == nil {
+		t.Fatal("self-route accepted")
+	}
+	if _, err := g.FindRoute(a, b, 10, 0); err != ErrNoRoute {
+		t.Fatalf("empty graph: %v", err)
+	}
+}
+
+// TestManagerFloodSuppression is the flood-storm guard test (satellite
+// 1): a re-delivered announcement must not re-enter any peer queue, and
+// queued announcements for the same edge coalesce to the newest.
+func TestManagerFloodSuppression(t *testing.T) {
+	self, p1, p2, origin := nodeKey(1), nodeKey(2), nodeKey(3), nodeKey(4)
+	m := NewManager(self)
+	m.AttachPeer(p1)
+	m.AttachPeer(p2)
+
+	ann := wire.ChanAnnounce{Channel: "ch-1", From: origin, To: p1, Capacity: 10, Version: 1}
+	if !m.Handle(origin, &ann) {
+		t.Fatal("fresh announcement not applied")
+	}
+	// The same announcement arriving again (the mesh echo) must be
+	// suppressed everywhere, and counted.
+	if m.Handle(p1, &ann) {
+		t.Fatal("duplicate announcement applied")
+	}
+	if sup, _ := m.Stats(); sup != 1 {
+		t.Fatalf("suppressed = %d, want 1", sup)
+	}
+	// p1 got the original flood; the duplicate added nothing.
+	if got := m.Drain(p1, 0); len(got) != 1 || got[0].Version != 1 {
+		t.Fatalf("p1 drain: %+v", got)
+	}
+
+	// Coalescing: two versions queued before a drain yield ONE entry,
+	// the newer.
+	v2, v3 := ann, ann
+	v2.Version, v2.Capacity = 2, 20
+	v3.Version, v3.Capacity = 3, 30
+	m.Handle(origin, &v2)
+	m.Handle(origin, &v3)
+	got := m.Drain(p2, 0)
+	if len(got) != 1 || got[0].Version != 3 || got[0].Capacity != 30 {
+		t.Fatalf("p2 drain did not coalesce to newest: %+v", got)
+	}
+	if got := m.Drain(p2, 0); got != nil {
+		t.Fatalf("drained queue not empty: %+v", got)
+	}
+	// The announcement's own origin never gets it echoed back.
+	m.AttachPeer(origin)
+	v4 := ann
+	v4.Version = 4
+	m.Handle(p1, &v4)
+	if got := m.Drain(origin, 0); got != nil {
+		t.Fatalf("origin echoed its own edge: %+v", got)
+	}
+}
+
+// TestManagerQueueBound fills a peer queue past MaxPeerQueue with
+// distinct edges; the overflow must drop (counted), not grow.
+func TestManagerQueueBound(t *testing.T) {
+	self, peer, origin := nodeKey(1), nodeKey(2), nodeKey(3)
+	m := NewManager(self)
+	m.AttachPeer(peer)
+	for i := 0; i < MaxPeerQueue+10; i++ {
+		ann := wire.ChanAnnounce{
+			Channel: wire.ChannelID(fmt.Sprintf("ch-%05d", i)),
+			From:    origin, To: self, Capacity: 1, Version: 1,
+		}
+		m.Handle(origin, &ann)
+	}
+	if _, dropped := m.Stats(); dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", dropped)
+	}
+	got := m.Drain(peer, 0)
+	if len(got) != MaxPeerQueue {
+		t.Fatalf("drained %d, want %d", len(got), MaxPeerQueue)
+	}
+	// FIFO: first announcement queued drains first.
+	if got[0].Channel != "ch-00000" {
+		t.Fatalf("drain order broken: first is %s", got[0].Channel)
+	}
+}
+
+// TestManagerAnnounceAndSummaries checks local announcements bump
+// versions monotonically and the summary chunking covers the graph.
+func TestManagerAnnounceAndSummaries(t *testing.T) {
+	self, peer := nodeKey(1), nodeKey(2)
+	m := NewManager(self)
+	m.AttachPeer(peer)
+	a1 := m.Announce("ch-1", peer, 100, FeePolicy{Base: 2}, false)
+	a2 := m.Announce("ch-1", peer, 90, FeePolicy{Base: 2}, false)
+	if a1.Version != 1 || a2.Version != 2 {
+		t.Fatalf("versions %d, %d", a1.Version, a2.Version)
+	}
+	if e, _ := m.Graph().Edge(EdgeKey{Channel: "ch-1", From: self}); e.Capacity != 90 {
+		t.Fatalf("local graph not updated: %+v", e)
+	}
+	got := m.Drain(peer, 0)
+	if len(got) != 1 || got[0].Capacity != 90 {
+		t.Fatalf("flood did not coalesce local announcements: %+v", got)
+	}
+	sums := m.Summaries()
+	if len(sums) != 1 || len(sums[0].Entries) != 1 {
+		t.Fatalf("summaries: %+v", sums)
+	}
+	// A peer with an empty graph gets everything back.
+	fresher := m.HandleSummary(peer, &wire.GossipSummary{})
+	if len(fresher) != 1 || fresher[0].Version != 2 {
+		t.Fatalf("HandleSummary: %+v", fresher)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"teechain/internal/chain"
 	"teechain/internal/core"
 	"teechain/internal/cryptoutil"
+	"teechain/internal/route"
 	"teechain/internal/wire"
 )
 
@@ -74,7 +75,8 @@ func classify(err error) error {
 		retry = chainUnavailableRetryMillis
 	case errors.Is(err, ErrClosed):
 		code = api.CodeUnavailable
-	case errors.Is(err, ErrUnknownChannel), errors.Is(err, ErrUnknownPeer):
+	case errors.Is(err, ErrUnknownChannel), errors.Is(err, ErrUnknownPeer),
+		errors.Is(err, route.ErrNoRoute):
 		code = api.CodeNotFound
 	case errors.Is(err, ErrRecovering):
 		code = api.CodeRecovering
@@ -199,6 +201,35 @@ func (b apiBackend) Multihop(amount chain.Amount, hops []string, timeout time.Du
 	return classify(b.h.PayMultihop(path, amount, timeout))
 }
 
+// routeInfo converts a pathfinder route to its control-plane shape.
+func routeInfo(r route.Route) api.RouteInfo {
+	return api.RouteInfo{Hops: r.Hops, Fees: r.Fees, Amount: r.Amount, Send: r.Send}
+}
+
+func (b apiBackend) Route(target string, amount chain.Amount) (api.RouteInfo, error) {
+	id, err := b.h.ResolveIdentity(target)
+	if err != nil {
+		return api.RouteInfo{}, classify(err)
+	}
+	r, err := b.h.FindRoute(id, amount)
+	if err != nil {
+		return api.RouteInfo{}, classify(err)
+	}
+	return routeInfo(r), nil
+}
+
+func (b apiBackend) PayRouted(target string, amount chain.Amount, timeout time.Duration) (api.RouteInfo, error) {
+	id, err := b.h.ResolveIdentity(target)
+	if err != nil {
+		return api.RouteInfo{}, classify(err)
+	}
+	r, err := b.h.PayRouted(id, amount, timeout)
+	if err != nil {
+		return api.RouteInfo{}, classify(err)
+	}
+	return routeInfo(r), nil
+}
+
 func (b apiBackend) FormCommittee(members []string, m int, timeout time.Duration) (string, error) {
 	if err := b.h.FormCommittee(members, m, timeout); err != nil {
 		return "", classify(err)
@@ -276,6 +307,15 @@ func (b apiBackend) Stats() api.StatsResp {
 			Stalls:     cst.Stalls,
 		}
 	}
+	rst := b.h.RouteStats()
+	resp.Routing = api.RoutingStatsEntry{
+		Nodes:      rst.Nodes,
+		Edges:      rst.Edges,
+		Suppressed: rst.Suppressed,
+		Dropped:    rst.Dropped,
+		FeeBase:    rst.FeeBase,
+		FeeRatePPM: rst.FeeRatePPM,
+	}
 	return resp
 }
 
@@ -307,6 +347,8 @@ func (b apiBackend) Subscribe(fn func(api.Event)) (cancel func()) {
 			out = api.Event{Kind: api.EventOverload, Count: shedding, Cursor: uint64(e.RetryAfterMillis)}
 		case EvReplStalled:
 			out = api.Event{Kind: api.EventReplStalled, Chain: e.Chain, Cursor: e.AckSeq}
+		case EvRouteUpdate:
+			out = api.Event{Kind: api.EventRouteUpdate, Channel: e.Channel, Count: uint32(e.Edges), Cursor: uint64(e.Nodes)}
 		default:
 			return
 		}

@@ -45,6 +45,10 @@ import (
 //	                             for acks; batch > 1 packs them into
 //	                             PayBatch frames of that many payments
 //	paymh <amount> <hop>...      multi-hop payment via named/hex hops
+//	route <target> <amount>      cheapest known route to a target
+//	                             (name or hex identity), not paid
+//	payroute <target> <amount>   routed payment: the node's pathfinder
+//	                             picks the hops and fee schedule
 //	committee <peer>... <m>      form this node's committee chain from
 //	                             the named peers (in chain order) with
 //	                             signature threshold m
@@ -55,6 +59,8 @@ import (
 //	stats                        host counters
 //	stats channels               per-channel payment counters
 //	stats committee              replication pipeline cursors
+//	stats routing                gossip graph size, flood-guard
+//	                             counters, and the node's fee policy
 //	wal                          durability pipeline cursors and
 //	                             snapshot age (durable nodes)
 //	snapshot                     force an immediate durable snapshot
@@ -295,6 +301,32 @@ func shimDispatch(h *api.Handler, cmd string, args []string) (string, error) {
 		}
 		_, err = doString(h, &api.MultihopReq{Amount: amount, Hops: args[1:]})
 		return "", err
+	case "route":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: route <target> <amount>")
+		}
+		amount, err := api.ParseAmount(args[1])
+		if err != nil {
+			return "", err
+		}
+		resp, err := doString(h, &api.RouteReq{Target: args[0], Amount: amount})
+		if err != nil {
+			return "", err
+		}
+		return formatRoute(resp.(*api.RouteResp).Route), nil
+	case "payroute":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: payroute <target> <amount>")
+		}
+		amount, err := api.ParseAmount(args[1])
+		if err != nil {
+			return "", err
+		}
+		resp, err := doString(h, &api.RoutedPayReq{Target: args[0], Amount: amount})
+		if err != nil {
+			return "", err
+		}
+		return formatRoute(resp.(*api.RoutedPayResp).Route), nil
 	case "committee":
 		if len(args) < 2 {
 			return "", fmt.Errorf("usage: committee <peer>... <m>")
@@ -468,14 +500,32 @@ func shimStats(h *api.Handler, args []string) (string, error) {
 		}
 		return strings.Join(parts, "; "), nil
 	}
+	if len(args) == 1 && args[0] == "routing" {
+		r := st.Routing
+		return fmt.Sprintf("nodes=%d edges=%d suppressed=%d dropped=%d fee_base=%d fee_rate_ppm=%d",
+			r.Nodes, r.Edges, r.Suppressed, r.Dropped, r.FeeBase, r.FeeRatePPM), nil
+	}
 	if len(args) != 0 {
-		return "", fmt.Errorf("usage: stats [channels|committee]")
+		return "", fmt.Errorf("usage: stats [channels|committee|routing]")
 	}
 	hs := st.Host
 	return fmt.Sprintf("sent=%d acked=%d nacked=%d received=%d mh_ok=%d mh_fail=%d frames_in=%d frames_out=%d drops=%d reconnects=%d rejected=%d inflight=%d shed_starts=%d shedding=%t",
 		hs.PaymentsSent, hs.PaymentsAcked, hs.PaymentsNacked, hs.PaymentsReceived,
 		hs.MultihopsOK, hs.MultihopsFailed, hs.FramesIn, hs.FramesOut, hs.Drops, hs.Reconnects,
 		hs.PaymentsRejected, hs.PaymentsInflight, hs.ShedStarts, hs.Shedding), nil
+}
+
+// formatRoute renders a route as "hops 4 send 210 fee 10 via <id> <id>
+// ..." — the hop identities after the totals so scripts can cut the
+// numbers without parsing keys.
+func formatRoute(r api.RouteInfo) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hops %d send %d fee %d via", len(r.Hops), r.Send, r.TotalFee())
+	for _, hop := range r.Hops {
+		sb.WriteByte(' ')
+		sb.WriteString(api.FormatIdentity(hop))
+	}
+	return sb.String()
 }
 
 // ControlClient is a minimal client for the legacy line protocol, used

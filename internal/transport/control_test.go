@@ -42,6 +42,12 @@ func (stubBackend) PayBatch(ch wire.ChannelID, amounts []chain.Amount) (api.PayC
 }
 func (stubBackend) AwaitPaid(api.PayCursor, time.Duration) error         { return nil }
 func (stubBackend) Multihop(chain.Amount, []string, time.Duration) error { return nil }
+func (stubBackend) Route(string, chain.Amount) (api.RouteInfo, error) {
+	return api.RouteInfo{Hops: make([]cryptoutil.PublicKey, 3), Fees: []chain.Amount{0, 2, 0}, Amount: 10, Send: 12}, nil
+}
+func (stubBackend) PayRouted(string, chain.Amount, time.Duration) (api.RouteInfo, error) {
+	return api.RouteInfo{Hops: make([]cryptoutil.PublicKey, 2), Amount: 10, Send: 10}, nil
+}
 func (stubBackend) FormCommittee([]string, int, time.Duration) (string, error) {
 	return "cc-stub", nil
 }
@@ -52,7 +58,10 @@ func (stubBackend) Balances(wire.ChannelID) (chain.Amount, chain.Amount, error) 
 func (stubBackend) Mine(int) (uint64, error)             { return 9, nil }
 func (stubBackend) WalletBalance() (chain.Amount, error) { return 42, nil }
 func (stubBackend) Stats() api.StatsResp {
-	return api.StatsResp{Channels: []api.ChannelStatsEntry{{Channel: "ch-stub", Sent: 1, Acked: 1}}}
+	return api.StatsResp{
+		Channels: []api.ChannelStatsEntry{{Channel: "ch-stub", Sent: 1, Acked: 1}},
+		Routing:  api.RoutingStatsEntry{Nodes: 4, Edges: 6, Suppressed: 2, FeeBase: 5, FeeRatePPM: 10_000},
+	}
 }
 func (stubBackend) Subscribe(func(api.Event)) func() { return func() {} }
 func (stubBackend) WalStats() api.WalStatsResp {
@@ -97,6 +106,12 @@ func TestShimLineBranches(t *testing.T) {
 		{"paymh 5 hub", "err usage: paymh <amount> <hop> <hop>..."},
 		{"paymh", "err usage: paymh <amount> <hop> <hop>..."},
 		{"paymh abc hub spoke", `err bad amount "abc"`},
+		{"route hub 10", "ok hops 3 send 12 fee 2 via *"},
+		{"route hub", "err usage: route <target> <amount>"},
+		{"route hub abc", `err bad amount "abc"`},
+		{"payroute hub 10", "ok hops 2 send 10 fee 0 via *"},
+		{"payroute", "err usage: payroute <target> <amount>"},
+		{"payroute hub 0", `err bad amount "0"`},
 		{"committee m1 m2 2", "ok chain cc-stub ready"},
 		{"committee", "err usage: committee <peer>... <m>"},
 		{"committee m1 0", `err bad threshold "0"`},
@@ -113,7 +128,8 @@ func TestShimLineBranches(t *testing.T) {
 		{"stats", "ok sent=0 *"},
 		{"stats channels", "ok ch-stub sent=1 *"},
 		{"stats committee", "err no committee formed or mirrored"},
-		{"stats bogus", "err usage: stats [channels|committee]"},
+		{"stats routing", "ok nodes=4 edges=6 suppressed=2 dropped=0 fee_base=5 fee_rate_ppm=10000"},
+		{"stats bogus", "err usage: stats [channels|committee|routing]"},
 		{"bogus", `err unknown command "bogus"`},
 		{"", "err empty command"},
 	}

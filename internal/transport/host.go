@@ -40,6 +40,7 @@ import (
 	"teechain/internal/chain"
 	"teechain/internal/core"
 	"teechain/internal/cryptoutil"
+	"teechain/internal/route"
 	"teechain/internal/tee"
 	"teechain/internal/wire"
 )
@@ -161,6 +162,14 @@ type Config struct {
 	// ReplResync to self-heal (default 250 ticks ≈ 500 ms at the default
 	// flush interval; negative disables the watchdog).
 	ReplStallTicks int
+	// FeeBase and FeeRatePPM set the node's forwarding fee policy: Base
+	// plus amount*RatePPM/1_000_000 (truncated) per multihop payment
+	// this node forwards as an intermediary. The policy is announced in
+	// channel gossip and enforced by the enclave — a lock whose fee
+	// schedule undercuts it aborts Transient. Zero values mean free
+	// forwarding (the default and the legacy behavior).
+	FeeBase    chain.Amount
+	FeeRatePPM uint32
 	// OnEvent, when set, observes every enclave event after built-in
 	// handling. Called with the wide lock held for cold-path events and
 	// with a lane lock held for payment events; do not call back into
@@ -261,6 +270,7 @@ type Host struct {
 	enclave *core.Enclave
 	wallet  *cryptoutil.KeyPair
 	chain   ChainAccess
+	routes  *route.Manager // gossip graph + flood queues (routing.go)
 
 	// mu is the wide lock: held exclusively by every cold operation,
 	// in read mode by the payment lanes (see the package comment).
@@ -447,11 +457,15 @@ func NewHost(cfg Config) (*Host, error) {
 	// Payment lanes run concurrently; the enclave's pools must lock.
 	// No goroutine exists yet, so this is safely ordered before all use.
 	enclave.EnableConcurrentHost()
+	if err := enclave.SetFeePolicy(route.FeePolicy{Base: cfg.FeeBase, RatePPM: cfg.FeeRatePPM}); err != nil {
+		return nil, err
+	}
 	h := &Host{
 		cfg:         cfg,
 		enclave:     enclave,
 		wallet:      wallet,
 		chain:       cfg.Chain,
+		routes:      route.NewManager(enclave.Identity()),
 		peersByID:   make(map[cryptoutil.PublicKey]*peer),
 		peersByName: make(map[string]*peer),
 		peersByAddr: make(map[string]*peer),
@@ -1010,8 +1024,17 @@ func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 	} else {
 		h.framesMisc.Add(1)
 	}
-	if hello, ok := f.Msg.(*wire.Hello); ok {
-		h.handleHelloLocked(ch, p, f.From, hello)
+	switch m := f.Msg.(type) {
+	case *wire.Hello:
+		h.handleHelloLocked(ch, p, f.From, m)
+		return
+	case *wire.ChanAnnounce:
+		// Gossip is tokenless and host-level; it never reaches the
+		// enclave (see internal/route and routing.go).
+		h.handleGossipLocked(f.From, m)
+		return
+	case *wire.GossipSummary:
+		h.handleGossipSummaryLocked(f.From, m)
 		return
 	}
 	res, err := h.enclave.HandleSealedBound(f.From, f.Token, f.Code, f.Payload, f.Msg)
@@ -1032,6 +1055,11 @@ func (h *Host) handleWideFrame(ch connHandle, p *peer, f wire.Frame) {
 		}
 	}
 	h.dispatchLocked(res)
+	// Cold frames are exactly the operations that move announced
+	// capacity (channel lifecycle, deposits, multihop stages), so
+	// refresh our own gossip edges after each one; unchanged edges are
+	// swallowed without a version bump or a frame.
+	h.reannounceLocked()
 	// A replication acknowledgement freed in-flight window space (and a
 	// NACK armed the retransmission cursor); wake the flusher so queued
 	// or re-served ops ship without waiting for its tick, and report
@@ -1143,6 +1171,11 @@ func (h *Host) handleHelloLocked(ch connHandle, p *peer, from cryptoutil.PublicK
 		}
 	}
 	p.markHello()
+	// Every (re)connection resends the hello, so this is also the
+	// anti-entropy trigger: the peer becomes a flood target and gets
+	// our full graph summary, healing whatever a partition dropped.
+	h.attachGossipPeerLocked(from)
+	h.reannounceLocked()
 }
 
 // --- Dispatch: enclave results out to the network and host ---
@@ -1166,9 +1199,11 @@ func (h *Host) sendLocked(to cryptoutil.PublicKey, msg wire.Message) {
 		return
 	}
 	var frame []byte
-	if _, isAttest := msg.(*wire.Attest); isAttest {
-		// Attest travels tokenless: the session it would seal under
-		// does not exist yet.
+	switch msg.(type) {
+	case *wire.Attest, *wire.ChanAnnounce, *wire.GossipSummary:
+		// Tokenless frames: Attest's session does not exist yet, and
+		// gossip is host-level routing advice that never enters an
+		// enclave (see internal/route).
 		f, err := wire.AppendFrame(p.getBuf(), h.enclave.Identity(), nil, msg)
 		if err != nil {
 			h.drops.Add(1)
@@ -1176,7 +1211,7 @@ func (h *Host) sendLocked(to cryptoutil.PublicKey, msg wire.Message) {
 			return
 		}
 		frame = f
-	} else {
+	default:
 		payload, code, flags, err := wire.EncodePayload(h.widePayload[:0], msg)
 		if err != nil {
 			h.drops.Add(1)
@@ -1222,8 +1257,10 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		ci := h.channelLocked(e.Channel)
 		ci.peer = e.Remote
 		ci.open = true
+		h.reannounceLocked()
 	case core.EvChannelClosed:
 		h.channelLocked(e.Channel).closed = true
+		h.reannounceLocked()
 	case core.EvDepositApprovalNeeded:
 		conf, err := h.chain.Confirmations(e.Deposit.Point.Tx)
 		if err != nil {
@@ -1256,6 +1293,7 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		h.receivedTotal.Add(uint64(e.Count))
 	case core.EvMultihopArrived:
 		h.receivedTotal.Add(uint64(e.Count))
+		h.reannounceLocked()
 	case core.EvMultihopComplete:
 		o := h.mh[e.Payment]
 		if o == nil {
@@ -1268,6 +1306,7 @@ func (h *Host) handleEventLocked(ev core.Event) {
 		} else {
 			h.mhFailed.Add(1)
 		}
+		h.reannounceLocked()
 	case core.EvSettlementReady:
 		if e.Tx != nil {
 			h.submitSettlementLocked(e.Tx, e.Needs)
@@ -1544,6 +1583,8 @@ func (h *Host) FundChannel(chID wire.ChannelID, value chain.Amount, timeout time
 		return chain.OutPoint{}, err
 	}
 	h.dispatchLocked(res)
+	// The deposit changed this channel's announced capacity.
+	h.reannounceLocked()
 	h.mu.Unlock()
 	return point, nil
 }
@@ -1779,38 +1820,10 @@ func (h *Host) awaitAckCond(timeout time.Duration, done func() bool, what func()
 func (h *Host) AckedTotal() uint64 { return h.ackedTotal.Load() }
 
 // PayMultihop routes amount along path (this enclave first, final
-// recipient last) and blocks for the outcome.
+// recipient last) and blocks for the outcome. The payment is fee-free;
+// PayRouted (routing.go) is the path- and fee-resolving front end.
 func (h *Host) PayMultihop(path []cryptoutil.PublicKey, amount chain.Amount, timeout time.Duration) error {
-	h.mu.Lock()
-	h.seq++
-	pid := wire.PaymentID(fmt.Sprintf("mh-%s-%d", h.cfg.Name, h.seq))
-	res, err := h.enclave.PayMultihop(pid, amount, 1, path)
-	if err != nil {
-		h.mu.Unlock()
-		return err
-	}
-	h.sentTotal.Add(1)
-	h.mh[pid] = &mhOutcome{}
-	h.dispatchLocked(res)
-	h.mu.Unlock()
-
-	var out mhOutcome
-	if err := h.await(timeout, fmt.Sprintf("multihop %s", pid), func() bool {
-		o := h.mh[pid]
-		if o == nil || !o.done {
-			return false
-		}
-		out = *o
-		delete(h.mh, pid)
-		return true
-	}); err != nil {
-		return err
-	}
-	if !out.ok {
-		return &MultihopAbortError{Reason: out.reason, Transient: out.transient}
-	}
-	h.noteAcked(1)
-	return nil
+	return h.payMultihopFees(path, nil, amount, timeout)
 }
 
 // Settle terminates a channel, submitting the settlement transaction

@@ -1,0 +1,284 @@
+package transport
+
+// The routing plane: channel-graph gossip and routed multihop payments
+// (internal/route deployed over real sockets). Gossip frames are
+// host-level and tokenless, like Hello — routing is advisory
+// untrusted-host machinery, and a stale or hostile graph can only make
+// a payment abort cleanly (the enclave re-verifies balances, fees, and
+// τ at every hop). All gossip handling runs under the wide lock on the
+// cold frame path; the payment lanes never touch it.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"teechain/internal/chain"
+	"teechain/internal/core"
+	"teechain/internal/cryptoutil"
+	"teechain/internal/route"
+	"teechain/internal/wire"
+)
+
+// EvRouteUpdate is a transport-level host event: the node's view of the
+// payment-channel graph changed (a fresh announcement arrived or one of
+// our own edges moved). It backs the control plane's EventRouteUpdate
+// stream.
+type EvRouteUpdate struct {
+	Channel wire.ChannelID // edge whose announcement changed
+	Nodes   int            // distinct endpoints across open edges
+	Edges   int            // open directed edges
+}
+
+// RouteStats snapshots the routing plane for the control plane.
+type RouteStats struct {
+	Nodes      int    // distinct endpoints across open edges
+	Edges      int    // open directed edges in the graph
+	Suppressed uint64 // stale announcements dropped by the flood guard
+	Dropped    uint64 // announcements lost to full peer queues
+	FeeBase    chain.Amount
+	FeeRatePPM uint32
+}
+
+// RouteStats reports the gossip graph size, flood-guard counters, and
+// the node's own fee policy.
+func (h *Host) RouteStats() RouteStats {
+	suppressed, dropped := h.routes.Stats()
+	g := h.routes.Graph()
+	fee := h.enclave.FeePolicy()
+	return RouteStats{
+		Nodes:      g.Nodes(),
+		Edges:      g.Open(),
+		Suppressed: suppressed,
+		Dropped:    dropped,
+		FeeBase:    fee.Base,
+		FeeRatePPM: fee.RatePPM,
+	}
+}
+
+// RouteGraph exposes the gossip-built network graph (shared,
+// concurrency-safe) for pathfinding and harness convergence checks.
+func (h *Host) RouteGraph() *route.Graph { return h.routes.Graph() }
+
+// FindRoute runs the fee-aware pathfinder over the gossip graph: the
+// cheapest currently-known path from this node to dst that can deliver
+// amount, with its full fee schedule.
+func (h *Host) FindRoute(dst cryptoutil.PublicKey, amount chain.Amount) (route.Route, error) {
+	return h.routes.Graph().FindRoute(h.enclave.Identity(), dst, amount, 0)
+}
+
+// routedPathFanout is how many alternative paths each PayRouted round
+// computes; a Transient abort on one falls through to the next.
+const routedPathFanout = 3
+
+// routedBackoffCap bounds the jittered backoff between PayRouted
+// rounds. A collision means other payments are crossing the same
+// channels, so the right response to repeated collisions is to get OUT
+// of the way: each pathfinding round costs real CPU (Yen's k-shortest
+// over the whole graph), and hundreds of senders re-resolving every
+// few milliseconds can starve the network goroutines that would let
+// any of them finish. The cap trades per-payment latency under
+// contention for network-wide throughput.
+const routedBackoffCap = 500 * time.Millisecond
+
+// PayRouted pays amount to the node with identity dst without an
+// explicit path: the pathfinder picks the cheapest routes from the
+// gossip graph, and benign collisions — a hop busy with a crossing
+// payment, capacity that moved since it was announced, a fee raised
+// since — fall through to the next-cheapest route. When every route in
+// a round collides, PayRouted re-resolves against the (by then fresher)
+// graph and tries again after a randomized backoff, until the deadline:
+// under concurrent load the jitter decorrelates senders contending for
+// the same channels, which retrying in lockstep never untangles. Every
+// route — adjacent targets included — runs through the atomic multihop
+// stages, never the optimistic payment lane: a lane payment racing a
+// crossing lock is nacked and reversed after Pay already returned, and
+// a route reported as paid must actually have moved the money. The
+// route actually paid is returned; its TotalFee is what the payment
+// cost beyond amount. Non-transient failures and an unroutable target
+// return the error unwrapped, so callers (the client SDK's Retrier
+// above all) can re-resolve against a fresher graph and try again.
+func (h *Host) PayRouted(dst cryptoutil.PublicKey, amount chain.Amount, timeout time.Duration) (route.Route, error) {
+	deadline := time.Now().Add(clampDeadline(timeout, h.cfg.ColdDeadline))
+	backoff := time.Millisecond
+	var lastErr error
+	for {
+		routes, err := h.routes.Graph().FindRoutes(h.enclave.Identity(), dst, amount, routedPathFanout, 0)
+		if err != nil {
+			// No feasible path in the graph at all: the caller's graph
+			// subscription, not a retry here, is what fixes that.
+			return route.Route{}, err
+		}
+		for _, r := range routes {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return route.Route{}, timeoutOr(lastErr, h, amount)
+			}
+			err = h.payMultihopFees(r.Hops, r.Fees, amount, remaining)
+			if err == nil {
+				return r, nil
+			}
+			lastErr = err
+			if !transientRouteErr(err) {
+				// Hard failure: alternates share the same broken
+				// reality (insufficient funds, a frozen chain); do not
+				// burn them.
+				return route.Route{}, err
+			}
+			// Transient collision: every lock was released, the next
+			// route starts clean.
+		}
+		sleep := time.Duration(rand.Int63n(int64(backoff))) + backoff/2
+		if time.Until(deadline) < sleep {
+			return route.Route{}, timeoutOr(lastErr, h, amount)
+		}
+		time.Sleep(sleep)
+		if backoff < routedBackoffCap {
+			backoff *= 2
+		}
+	}
+}
+
+// transientRouteErr reports whether a routed-payment attempt failed
+// only because it collided with crossing traffic — a Transient multihop
+// abort, or a channel the local enclave found locked at issue time —
+// and is worth retrying on another route or after a backoff.
+func transientRouteErr(err error) bool {
+	var mhe *MultihopAbortError
+	if errors.As(err, &mhe) {
+		return mhe.Transient
+	}
+	return errors.Is(err, core.ErrChannelLocked)
+}
+
+// timeoutOr returns lastErr if a routed attempt recorded one, else a
+// plain deadline error.
+func timeoutOr(lastErr error, h *Host, amount chain.Amount) error {
+	if lastErr != nil {
+		return lastErr
+	}
+	return fmt.Errorf("%w: %s: routed payment of %d", ErrTimeout, h.cfg.Name, amount)
+}
+
+// --- Gossip plumbing (wide lock held throughout) ---
+
+// handleGossipLocked folds a received announcement into the graph and
+// floods it onward when fresh; stale duplicates die here (the
+// flood-storm guard).
+func (h *Host) handleGossipLocked(from cryptoutil.PublicKey, ann *wire.ChanAnnounce) {
+	if !h.routes.Handle(from, ann) {
+		return
+	}
+	h.noteRouteUpdateLocked(ann.Channel)
+	h.flushGossipLocked()
+}
+
+// handleGossipSummaryLocked answers a peer's anti-entropy summary with
+// every announcement our graph holds at a fresher version.
+func (h *Host) handleGossipSummaryLocked(from cryptoutil.PublicKey, sum *wire.GossipSummary) {
+	for _, ann := range h.routes.HandleSummary(from, sum) {
+		h.sendLocked(from, &ann)
+	}
+}
+
+// flushGossipLocked drains every peer's pending-announcement queue onto
+// the wire. Gossip only ever flows on the cold path, so draining inline
+// under the wide lock is fine.
+func (h *Host) flushGossipLocked() {
+	for _, id := range h.routes.PendingPeers() {
+		for _, ann := range h.routes.Drain(id, 0) {
+			h.sendLocked(id, &ann)
+		}
+	}
+}
+
+// attachGossipPeerLocked wires a newly-helloed peer into the gossip
+// plane: it becomes a flood target and receives our full anti-entropy
+// summary. Hellos are resent on every reconnection, so a healed
+// partition resyncs both graphs without replaying the flood history.
+func (h *Host) attachGossipPeerLocked(id cryptoutil.PublicKey) {
+	h.routes.AttachPeer(id)
+	for _, sum := range h.routes.Summaries() {
+		h.sendLocked(id, &sum)
+	}
+}
+
+// reannounceLocked re-derives this node's own gossip announcements from
+// enclave channel state: one directed edge per open channel, capacity =
+// our spendable balance, plus retractions for closed ones. Announce
+// swallows no-ops without a version bump, so calling this after every
+// balance-moving cold operation is cheap and only real changes flood.
+// Lane payments deliberately do not reannounce — per-payment gossip
+// would drown the network, and stale capacity only costs a clean
+// transient abort at pathfinding's expense.
+func (h *Host) reannounceLocked() {
+	st := h.enclave.State()
+	if len(st.Channels) == 0 {
+		return
+	}
+	fee := h.enclave.FeePolicy()
+	self := h.routes.Self()
+	for id, c := range st.Channels {
+		if !c.Open {
+			continue
+		}
+		before := h.routes.Graph().Version(route.EdgeKey{Channel: id, From: self})
+		ann := h.routes.Announce(id, c.Remote, c.MyBal, fee, c.Closed)
+		if ann.Version != before {
+			h.noteRouteUpdateLocked(id)
+		}
+	}
+	h.flushGossipLocked()
+}
+
+// noteRouteUpdateLocked reports a graph change to control-plane
+// subscribers.
+func (h *Host) noteRouteUpdateLocked(ch wire.ChannelID) {
+	if h.observers.Load() == nil && h.cfg.OnEvent == nil {
+		return
+	}
+	g := h.routes.Graph()
+	ev := EvRouteUpdate{Channel: ch, Nodes: g.Nodes(), Edges: g.Open()}
+	if h.cfg.OnEvent != nil {
+		h.cfg.OnEvent(ev)
+	}
+	h.fanObservers(ev)
+}
+
+// payMultihopFees is PayMultihop carrying an explicit per-hop fee
+// schedule (aligned with path, zero at both endpoints); PayRouted feeds
+// it the pathfinder's schedule. A nil schedule is the legacy fee-free
+// payment.
+func (h *Host) payMultihopFees(path []cryptoutil.PublicKey, fees []chain.Amount, amount chain.Amount, timeout time.Duration) error {
+	h.mu.Lock()
+	h.seq++
+	pid := wire.PaymentID(fmt.Sprintf("mh-%s-%d", h.cfg.Name, h.seq))
+	res, err := h.enclave.PayMultihopFees(pid, amount, 1, path, fees)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	h.sentTotal.Add(1)
+	h.mh[pid] = &mhOutcome{}
+	h.dispatchLocked(res)
+	h.mu.Unlock()
+
+	var out mhOutcome
+	if err := h.await(timeout, fmt.Sprintf("multihop %s", pid), func() bool {
+		o := h.mh[pid]
+		if o == nil || !o.done {
+			return false
+		}
+		out = *o
+		delete(h.mh, pid)
+		return true
+	}); err != nil {
+		return err
+	}
+	if !out.ok {
+		return &MultihopAbortError{Reason: out.reason, Transient: out.transient}
+	}
+	h.noteAcked(1)
+	return nil
+}

@@ -112,6 +112,7 @@ var registry = []Message{
 	&PayBatch{}, &PayBatchAck{}, &ReplBatch{}, &ReplBatchAck{},
 	&ChanResume{}, &ChanResumeAck{}, &ReplResync{}, &ReplResyncAck{},
 	&ReplNack{},
+	&ChanAnnounce{}, &GossipSummary{},
 }
 
 var (

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"teechain/internal/chain"
+	"teechain/internal/cryptoutil"
+)
+
+// Channel-graph gossip (internal/route). Like Hello, these are
+// host-level frames: they never enter an enclave and carry no session
+// token — routing is advisory untrusted-host business, while value
+// safety stays with the enclave multihop protocol. Both are hand-rolled
+// BinaryMessage codecs: a 50-node mesh floods announcements on every
+// topology change, and gob's per-frame type descriptors would dominate
+// the payload.
+
+// ChanAnnounce advertises one DIRECTED edge of the payment-channel
+// graph: the announcing endpoint From can currently forward up to
+// Capacity over Channel to To, and charges FeeBase plus
+// amount*FeeRatePPM/1_000_000 for each payment it forwards as an
+// intermediary. Version is a per-(From, Channel) staleness counter,
+// monotonic for the announcement's lifetime: receivers keep the
+// highest Version per directed edge and drop (without re-flooding)
+// anything at or below it. Closed retracts the edge.
+type ChanAnnounce struct {
+	Channel    ChannelID
+	From       cryptoutil.PublicKey // announcing endpoint (edge tail)
+	To         cryptoutil.PublicKey // counterparty (edge head)
+	Capacity   chain.Amount
+	FeeBase    chain.Amount
+	FeeRatePPM uint32
+	Version    uint64
+	Closed     bool
+}
+
+// WireSize implements Message.
+func (m *ChanAnnounce) WireSize() int { return hdrSize + idOverhead + 2*keySize + 29 }
+
+// AppendPayload implements BinaryMessage.
+func (m *ChanAnnounce) AppendPayload(dst []byte) ([]byte, error) {
+	dst, err := appendChannelID(dst, m.Channel)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, m.From[:]...)
+	dst = append(dst, m.To[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Capacity))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.FeeBase))
+	dst = binary.BigEndian.AppendUint32(dst, m.FeeRatePPM)
+	dst = binary.BigEndian.AppendUint64(dst, m.Version)
+	var closed byte
+	if m.Closed {
+		closed = 1
+	}
+	return append(dst, closed), nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *ChanAnnounce) DecodePayload(src []byte) error {
+	ch, rest, err := readChannelID(src, m.Channel)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 2*keySize+29 {
+		return ErrFrameTruncated
+	}
+	if b := rest[2*keySize+28]; b > 1 {
+		return fmt.Errorf("%w: bad closed flag %d", ErrFramePayload, b)
+	}
+	m.Channel = ch
+	copy(m.From[:], rest[:keySize])
+	copy(m.To[:], rest[keySize:2*keySize])
+	rest = rest[2*keySize:]
+	m.Capacity = chain.Amount(binary.BigEndian.Uint64(rest[:8]))
+	m.FeeBase = chain.Amount(binary.BigEndian.Uint64(rest[8:16]))
+	m.FeeRatePPM = binary.BigEndian.Uint32(rest[16:20])
+	m.Version = binary.BigEndian.Uint64(rest[20:28])
+	m.Closed = rest[28] == 1
+	return nil
+}
+
+// MaxGossipSummary bounds the digest entries one GossipSummary may
+// carry; at ~90 bytes per entry a maximal summary stays well inside
+// MaxFrameSize. Larger graphs resync in multiple summaries.
+const MaxGossipSummary = 8192
+
+// GossipDigest names one directed edge and the highest announcement
+// version its sender holds for it.
+type GossipDigest struct {
+	Channel ChannelID
+	From    cryptoutil.PublicKey
+	Version uint64
+}
+
+// GossipSummary is the anti-entropy half of the gossip protocol: sent
+// whenever a peer connection (re-)establishes, it digests every
+// directed edge the sender's graph holds. The receiver answers with a
+// ChanAnnounce for each edge it knows at a strictly higher version —
+// and for each edge absent from the summary entirely — so two graphs
+// converge after any partition without replaying the flood history.
+type GossipSummary struct {
+	Entries []GossipDigest
+}
+
+// WireSize implements Message.
+func (m *GossipSummary) WireSize() int {
+	return hdrSize + 4 + len(m.Entries)*(idOverhead+keySize+8)
+}
+
+// AppendPayload implements BinaryMessage.
+func (m *GossipSummary) AppendPayload(dst []byte) ([]byte, error) {
+	if len(m.Entries) > MaxGossipSummary {
+		return dst, fmt.Errorf("wire: gossip summary of %d exceeds %d", len(m.Entries), MaxGossipSummary)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Entries)))
+	var err error
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if dst, err = appendChannelID(dst, e.Channel); err != nil {
+			return dst, err
+		}
+		dst = append(dst, e.From[:]...)
+		dst = binary.BigEndian.AppendUint64(dst, e.Version)
+	}
+	return dst, nil
+}
+
+// DecodePayload implements BinaryMessage.
+func (m *GossipSummary) DecodePayload(src []byte) error {
+	if len(src) < 4 {
+		return ErrFrameTruncated
+	}
+	n := int(binary.BigEndian.Uint32(src[:4]))
+	if n > MaxGossipSummary {
+		return fmt.Errorf("%w: gossip summary of %d exceeds %d", ErrFramePayload, n, MaxGossipSummary)
+	}
+	rest := src[4:]
+	old := m.Entries
+	m.Entries = m.Entries[:0]
+	for i := 0; i < n; i++ {
+		var prev ChannelID
+		if i < len(old) {
+			prev = old[i].Channel
+		}
+		chID, r2, err := readChannelID(rest, prev)
+		if err != nil {
+			return err
+		}
+		if len(r2) < keySize+8 {
+			return ErrFrameTruncated
+		}
+		var e GossipDigest
+		e.Channel = chID
+		copy(e.From[:], r2[:keySize])
+		e.Version = binary.BigEndian.Uint64(r2[keySize : keySize+8])
+		m.Entries = append(m.Entries, e)
+		rest = r2[keySize+8:]
+	}
+	if len(rest) != 0 {
+		return ErrFrameTruncated
+	}
+	return nil
+}

@@ -277,16 +277,23 @@ func pathSize(p []PathHop) int { return len(p) * keySize }
 // how temporary channels join paths, §5.2).
 type MhLock struct {
 	Payment PaymentID
-	Amount  chain.Amount
-	Count   int // client-side batch size, as in Pay
+	Amount  chain.Amount // amount the final recipient receives
+	Count   int          // client-side batch size, as in Pay
 	Path    []PathHop
 	Channel ChannelID
 	Tau     *chain.Transaction // τ under construction
+	// Fees, when non-empty, aligns with Path: Fees[i] is the forwarding
+	// fee hop i keeps (zero at both endpoints), so hop i receives
+	// Amount plus the fees of every hop after it and forwards that
+	// minus its own fee. Empty means a fee-free payment (the legacy
+	// encoding). Trailing gob field — absent on frames from older
+	// senders.
+	Fees []chain.Amount
 }
 
 // WireSize implements Message.
 func (m *MhLock) WireSize() int {
-	return hdrSize + 2*idOverhead + 12 + pathSize(m.Path) + txSize(m.Tau)
+	return hdrSize + 2*idOverhead + 12 + pathSize(m.Path) + txSize(m.Tau) + 8*len(m.Fees)
 }
 
 // MhSign propagates τ backward, collecting signatures (Alg. 2, sign).
@@ -655,7 +662,7 @@ func init() {
 		&SigRequest{}, &SigResponse{}, &OutsourceCmd{}, &OutsourceResult{},
 		&ReplBatch{}, &ReplBatchAck{},
 		&ChanResume{}, &ChanResumeAck{}, &ReplResync{}, &ReplResyncAck{},
-		&ReplNack{},
+		&ReplNack{}, &ChanAnnounce{}, &GossipSummary{},
 	} {
 		gob.Register(m)
 	}
